@@ -1,0 +1,39 @@
+//! Micro-benchmark of the linear aggregation functions (paper Table 1) over
+//! neighbourhoods of increasing size — the per-vertex cost RC pays in full
+//! (`k` accumulates) and Ripple avoids.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ripple_gnn::Aggregator;
+use ripple_graph::VertexId;
+use ripple_tensor::init;
+use std::hint::black_box;
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_aggregators");
+    group.sample_size(20);
+    let table = init::normal_like(4096, 64, 1);
+    for &degree in &[8usize, 64, 512] {
+        let neighbors: Vec<VertexId> = (0..degree as u32).map(VertexId).collect();
+        let weights: Vec<f32> = (0..degree).map(|i| 0.1 + (i % 7) as f32 * 0.1).collect();
+        group.throughput(Throughput::Elements(degree as u64));
+        for aggregator in Aggregator::all() {
+            group.bench_with_input(
+                BenchmarkId::new(aggregator.to_string(), degree),
+                &degree,
+                |b, _| {
+                    b.iter(|| {
+                        black_box(aggregator.aggregate(
+                            black_box(&table),
+                            black_box(&neighbors),
+                            black_box(&weights),
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_aggregation);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Bench form of Fig 12/Fig 13: distributed Ripple vs distributed RC batch
+//! processing on a Papers-like graph partitioned 4 and 8 ways.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ripple_bench::BenchScenario;
+use ripple_dist::{DistRecomputeEngine, DistRippleEngine, NetworkModel};
+use ripple_gnn::Workload;
+use ripple_graph::partition::{LdgPartitioner, Partitioner};
+use std::hint::black_box;
+
+fn bench_distributed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_distributed_batch100");
+    group.sample_size(10);
+    let scenario = BenchScenario::new(3000, 8.0, 16, Workload::GcS, 3, 100, 1);
+    let batch = scenario.batches[0].clone();
+    for parts in [4usize, 8] {
+        let partitioning = LdgPartitioner::new()
+            .partition(&scenario.snapshot, parts)
+            .expect("partitioning");
+        group.bench_function(BenchmarkId::new("dist_rc", parts), |b| {
+            b.iter_batched(
+                || {
+                    DistRecomputeEngine::new(
+                        &scenario.snapshot,
+                        scenario.model.clone(),
+                        &scenario.store,
+                        partitioning.clone(),
+                        NetworkModel::ten_gbe(),
+                    )
+                    .expect("engine")
+                },
+                |mut e| black_box(e.process_batch(&batch).unwrap()),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_function(BenchmarkId::new("dist_ripple", parts), |b| {
+            b.iter_batched(
+                || {
+                    DistRippleEngine::new(
+                        &scenario.snapshot,
+                        scenario.model.clone(),
+                        &scenario.store,
+                        partitioning.clone(),
+                        NetworkModel::ten_gbe(),
+                    )
+                    .expect("engine")
+                },
+                |mut e| black_box(e.process_batch(&batch).unwrap()),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distributed);
+criterion_main!(benches);

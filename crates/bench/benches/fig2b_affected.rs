@@ -1,0 +1,46 @@
+//! Bench form of Fig 2b: per-batch latency of RC vs Ripple as the update
+//! batch size grows, on a sparse (Arxiv-like) and a denser (Products-like)
+//! graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ripple_bench::BenchScenario;
+use ripple_gnn::recompute::RecomputeConfig;
+use ripple_gnn::Workload;
+use std::hint::black_box;
+
+fn bench_batch_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2b_batch_size_sweep");
+    group.sample_size(10);
+    for (name, degree) in [("arxiv_like", 7.0f64), ("products_like", 25.0)] {
+        for batch_size in [1usize, 10, 100] {
+            let scenario =
+                BenchScenario::new(1500, degree, 16, Workload::GcS, 3, batch_size, 1);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}/rc"), batch_size),
+                &batch_size,
+                |b, _| {
+                    b.iter_batched(
+                        || scenario.recompute_engine(RecomputeConfig::rc()),
+                        |mut engine| black_box(engine.process_batch(&scenario.batches[0]).unwrap()),
+                        criterion::BatchSize::LargeInput,
+                    )
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}/ripple"), batch_size),
+                &batch_size,
+                |b, _| {
+                    b.iter_batched(
+                        || scenario.ripple_engine(),
+                        |mut engine| black_box(engine.process_batch(&scenario.batches[0]).unwrap()),
+                        criterion::BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_sizes);
+criterion_main!(benches);

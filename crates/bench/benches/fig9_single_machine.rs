@@ -1,0 +1,63 @@
+//! Bench form of Fig 9/Fig 10: per-batch processing cost of DRC, RC and
+//! Ripple for each of the five GNN workloads (batch size 10, 2-layer models
+//! on an Arxiv-like graph; 3-layer variant for the GC-S workload).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ripple_bench::BenchScenario;
+use ripple_gnn::recompute::RecomputeConfig;
+use ripple_gnn::Workload;
+use std::hint::black_box;
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_workloads_batch10");
+    group.sample_size(10);
+    for workload in Workload::all() {
+        let scenario = BenchScenario::new(2000, 7.0, 16, workload, 2, 10, 1);
+        let batch = scenario.batches[0].clone();
+        group.bench_function(BenchmarkId::new("drc", workload.name()), |b| {
+            b.iter_batched(
+                || scenario.recompute_engine(RecomputeConfig::drc()),
+                |mut e| black_box(e.process_batch(&batch).unwrap()),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_function(BenchmarkId::new("rc", workload.name()), |b| {
+            b.iter_batched(
+                || scenario.recompute_engine(RecomputeConfig::rc()),
+                |mut e| black_box(e.process_batch(&batch).unwrap()),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_function(BenchmarkId::new("ripple", workload.name()), |b| {
+            b.iter_batched(
+                || scenario.ripple_engine(),
+                |mut e| black_box(e.process_batch(&batch).unwrap()),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig10_three_layer_gcs");
+    group.sample_size(10);
+    let scenario = BenchScenario::new(2000, 20.0, 16, Workload::GcS, 3, 10, 1);
+    let batch = scenario.batches[0].clone();
+    group.bench_function("rc", |b| {
+        b.iter_batched(
+            || scenario.recompute_engine(RecomputeConfig::rc()),
+            |mut e| black_box(e.process_batch(&batch).unwrap()),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("ripple", |b| {
+        b.iter_batched(
+            || scenario.ripple_engine(),
+            |mut e| black_box(e.process_batch(&batch).unwrap()),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_workloads);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Benchmarks the METIS stand-in partitioners (hash, LDG, BFS region
+//! growing) used by the distributed experiments (paper §5.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ripple_graph::partition::{BfsPartitioner, HashPartitioner, LdgPartitioner, Partitioner};
+use ripple_graph::synth::DatasetSpec;
+use std::hint::black_box;
+
+fn bench_partitioners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partitioning");
+    group.sample_size(10);
+    let graph = DatasetSpec::custom(5_000, 8.0, 4, 4).generate(5).expect("graph");
+    for parts in [4usize, 16] {
+        group.bench_with_input(BenchmarkId::new("hash", parts), &parts, |b, &p| {
+            b.iter(|| black_box(HashPartitioner::new().partition(&graph, p).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("ldg", parts), &parts, |b, &p| {
+            b.iter(|| black_box(LdgPartitioner::new().partition(&graph, p).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("bfs", parts), &parts, |b, &p| {
+            b.iter(|| black_box(BfsPartitioner::new().partition(&graph, p).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Error type for the incremental engine.
+
+use std::fmt;
+
+/// Errors produced by the Ripple incremental engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RippleError {
+    /// The engine was constructed from mismatched graph/model/store parts.
+    Mismatch(String),
+    /// A streamed update was invalid for the current graph state (e.g.
+    /// deleting an edge that does not exist).
+    InvalidUpdate(String),
+    /// An underlying GNN model/inference error.
+    Gnn(ripple_gnn::GnnError),
+    /// An underlying graph error.
+    Graph(ripple_graph::GraphError),
+    /// An underlying tensor error.
+    Tensor(ripple_tensor::TensorError),
+}
+
+impl fmt::Display for RippleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RippleError::Mismatch(msg) => write!(f, "engine construction mismatch: {msg}"),
+            RippleError::InvalidUpdate(msg) => write!(f, "invalid update: {msg}"),
+            RippleError::Gnn(e) => write!(f, "gnn error: {e}"),
+            RippleError::Graph(e) => write!(f, "graph error: {e}"),
+            RippleError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RippleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RippleError::Gnn(e) => Some(e),
+            RippleError::Graph(e) => Some(e),
+            RippleError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ripple_gnn::GnnError> for RippleError {
+    fn from(e: ripple_gnn::GnnError) -> Self {
+        RippleError::Gnn(e)
+    }
+}
+
+impl From<ripple_graph::GraphError> for RippleError {
+    fn from(e: ripple_graph::GraphError) -> Self {
+        RippleError::Graph(e)
+    }
+}
+
+impl From<ripple_tensor::TensorError> for RippleError {
+    fn from(e: ripple_tensor::TensorError) -> Self {
+        RippleError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(RippleError::Mismatch("x".into()).to_string().contains("mismatch"));
+        assert!(RippleError::InvalidUpdate("y".into()).to_string().contains("invalid update"));
+        let g: RippleError = ripple_graph::GraphError::InvalidSpec("s".into()).into();
+        assert!(g.to_string().contains("graph error"));
+        let t: RippleError = ripple_tensor::TensorError::Empty.into();
+        assert!(t.to_string().contains("tensor error"));
+        let n: RippleError = ripple_gnn::GnnError::StoreMismatch("m".into()).into();
+        assert!(n.to_string().contains("gnn error"));
+    }
+
+    #[test]
+    fn sources_are_chained() {
+        use std::error::Error;
+        let e: RippleError = ripple_tensor::TensorError::Empty.into();
+        assert!(e.source().is_some());
+        assert!(RippleError::Mismatch("x".into()).source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RippleError>();
+    }
+}

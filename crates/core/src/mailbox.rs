@@ -1,0 +1,168 @@
+//! Per-hop mailboxes accumulating delta messages.
+//!
+//! Every vertex conceptually owns `L` mailboxes, one per hop (paper §4.3).
+//! Because linear aggregators are commutative and associative, messages from
+//! different senders can be *pre-accumulated* in the mailbox in any order;
+//! the apply phase then needs exactly one vector addition per affected vertex
+//! regardless of how many in-neighbours changed.
+//!
+//! The concrete layout is one `HashMap<VertexId, Vec<f32>>` per hop — dense
+//! per-vertex storage would waste memory on the (vast) majority of vertices
+//! that are untouched by a batch.
+
+use crate::message::DeltaMessage;
+use ripple_graph::VertexId;
+use ripple_tensor::axpy;
+use std::collections::HashMap;
+
+/// The set of per-hop mailboxes used while processing one batch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MailboxSet {
+    /// `boxes[l-1]` maps a vertex to the accumulated delta for its hop-`l`
+    /// aggregate.
+    boxes: Vec<HashMap<VertexId, Vec<f32>>>,
+}
+
+impl MailboxSet {
+    /// Creates mailboxes for an `L`-layer model.
+    pub fn new(num_hops: usize) -> Self {
+        MailboxSet { boxes: vec![HashMap::new(); num_hops] }
+    }
+
+    /// Number of hops covered.
+    pub fn num_hops(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// Deposits `coeff * delta` into the hop-`hop` mailbox of `target`,
+    /// creating the slot (zero-initialised at the width of `delta`) if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hop` is 0 or greater than [`Self::num_hops`], or if a
+    /// previous deposit for the same slot used a different width.
+    pub fn deposit(&mut self, hop: usize, target: VertexId, coeff: f32, delta: &[f32]) {
+        assert!(hop >= 1 && hop <= self.boxes.len(), "hop {hop} out of range");
+        let slot = self.boxes[hop - 1]
+            .entry(target)
+            .or_insert_with(|| vec![0.0; delta.len()]);
+        axpy(slot, coeff, delta);
+    }
+
+    /// Deposits a pre-built [`DeltaMessage`] (used when receiving remote halo
+    /// messages in the distributed runtime).
+    pub fn deposit_message(&mut self, message: &DeltaMessage) {
+        self.deposit(message.hop, message.target, 1.0, &message.delta);
+    }
+
+    /// Targets currently holding mail for hop `hop`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hop` is out of range.
+    pub fn targets(&self, hop: usize) -> impl Iterator<Item = VertexId> + '_ {
+        self.boxes[hop - 1].keys().copied()
+    }
+
+    /// Number of vertices with pending mail at hop `hop`.
+    pub fn len(&self, hop: usize) -> usize {
+        self.boxes[hop - 1].len()
+    }
+
+    /// Returns `true` if no mailbox at any hop holds mail.
+    pub fn is_empty(&self) -> bool {
+        self.boxes.iter().all(HashMap::is_empty)
+    }
+
+    /// Drains and returns the hop-`hop` mailbox contents, leaving it empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hop` is out of range.
+    pub fn take_hop(&mut self, hop: usize) -> HashMap<VertexId, Vec<f32>> {
+        std::mem::take(&mut self.boxes[hop - 1])
+    }
+
+    /// Clears every mailbox.
+    pub fn clear(&mut self) {
+        for b in &mut self.boxes {
+            b.clear();
+        }
+    }
+
+    /// Total number of pending (vertex, hop) slots across all hops.
+    pub fn total_pending(&self) -> usize {
+        self.boxes.iter().map(HashMap::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deposits_accumulate() {
+        let mut m = MailboxSet::new(2);
+        m.deposit(1, VertexId(3), 1.0, &[1.0, 2.0]);
+        m.deposit(1, VertexId(3), 0.5, &[4.0, 4.0]);
+        let taken = m.take_hop(1);
+        assert_eq!(taken[&VertexId(3)], vec![3.0, 4.0]);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn deposits_are_order_independent() {
+        let deltas = [(1.0, vec![1.0, -1.0]), (2.0, vec![0.5, 0.5]), (-1.0, vec![3.0, 0.0])];
+        let mut forward = MailboxSet::new(1);
+        let mut backward = MailboxSet::new(1);
+        for (c, d) in &deltas {
+            forward.deposit(1, VertexId(0), *c, d);
+        }
+        for (c, d) in deltas.iter().rev() {
+            backward.deposit(1, VertexId(0), *c, d);
+        }
+        assert_eq!(forward.take_hop(1), backward.take_hop(1));
+    }
+
+    #[test]
+    fn hops_are_independent() {
+        let mut m = MailboxSet::new(3);
+        m.deposit(1, VertexId(0), 1.0, &[1.0]);
+        m.deposit(3, VertexId(0), 1.0, &[2.0]);
+        assert_eq!(m.len(1), 1);
+        assert_eq!(m.len(2), 0);
+        assert_eq!(m.len(3), 1);
+        assert_eq!(m.total_pending(), 2);
+        assert_eq!(m.targets(1).collect::<Vec<_>>(), vec![VertexId(0)]);
+        m.clear();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn deposit_message_routes_by_hop_and_target() {
+        let mut m = MailboxSet::new(2);
+        m.deposit_message(&DeltaMessage::new(VertexId(7), 2, vec![1.0, 1.0]));
+        m.deposit_message(&DeltaMessage::new(VertexId(7), 2, vec![0.5, -1.0]));
+        let taken = m.take_hop(2);
+        assert_eq!(taken[&VertexId(7)], vec![1.5, 0.0]);
+    }
+
+    #[test]
+    fn num_hops_reported() {
+        assert_eq!(MailboxSet::new(4).num_hops(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn hop_zero_panics() {
+        let mut m = MailboxSet::new(2);
+        m.deposit(0, VertexId(0), 1.0, &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn hop_beyond_layers_panics() {
+        let mut m = MailboxSet::new(2);
+        m.deposit(3, VertexId(0), 1.0, &[1.0]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Aggregate metrics over a processed update stream.
+//!
+//! The paper reports two headline metrics per (strategy, workload, graph,
+//! batch size) cell: **throughput** in updates/second and **median batch
+//! latency**. [`StreamSummary`] computes those (plus the affected-set and
+//! operation counters used by the analysis figures) from a sequence of
+//! per-batch [`BatchStats`].
+
+use ripple_gnn::recompute::BatchStats;
+use std::time::Duration;
+
+/// Percentile of a slice of durations (nearest-rank). Returns zero for an
+/// empty slice. `p` is clamped to `[0, 100]`.
+pub fn percentile(durations: &[Duration], p: f64) -> Duration {
+    if durations.is_empty() {
+        return Duration::ZERO;
+    }
+    let mut sorted: Vec<Duration> = durations.to_vec();
+    sorted.sort();
+    let p = p.clamp(0.0, 100.0);
+    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank]
+}
+
+/// Median of a slice of durations.
+pub fn median(durations: &[Duration]) -> Duration {
+    percentile(durations, 50.0)
+}
+
+/// Summary of a whole stream of processed batches for one strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamSummary {
+    /// Strategy name (e.g. "ripple", "rc", "drc").
+    pub strategy: String,
+    /// Number of batches processed.
+    pub num_batches: usize,
+    /// Total number of updates across all batches.
+    pub total_updates: usize,
+    /// Sum of all batch latencies (update + propagate).
+    pub total_time: Duration,
+    /// Median batch latency.
+    pub median_latency: Duration,
+    /// 95th-percentile batch latency.
+    pub p95_latency: Duration,
+    /// Throughput: total updates / total time, in updates per second.
+    pub throughput: f64,
+    /// Mean number of distinct vertices refreshed at the final hop per batch.
+    pub mean_affected_final: f64,
+    /// Mean propagation-tree size per batch.
+    pub mean_propagation_tree: f64,
+    /// Total neighbour-accumulate operations across the stream.
+    pub total_aggregate_ops: usize,
+    /// Total time spent in the update phase.
+    pub total_update_time: Duration,
+    /// Total time spent in the propagate phase.
+    pub total_propagate_time: Duration,
+}
+
+impl StreamSummary {
+    /// Builds a summary from per-batch statistics.
+    pub fn from_stats(strategy: impl Into<String>, stats: &[BatchStats]) -> Self {
+        let latencies: Vec<Duration> = stats.iter().map(BatchStats::total_time).collect();
+        let total_time: Duration = latencies.iter().sum();
+        let total_updates: usize = stats.iter().map(|s| s.batch_size).sum();
+        let throughput = if total_time.is_zero() {
+            f64::INFINITY
+        } else {
+            total_updates as f64 / total_time.as_secs_f64()
+        };
+        let mean = |f: &dyn Fn(&BatchStats) -> f64| -> f64 {
+            if stats.is_empty() {
+                0.0
+            } else {
+                stats.iter().map(f).sum::<f64>() / stats.len() as f64
+            }
+        };
+        StreamSummary {
+            strategy: strategy.into(),
+            num_batches: stats.len(),
+            total_updates,
+            total_time,
+            median_latency: median(&latencies),
+            p95_latency: percentile(&latencies, 95.0),
+            throughput,
+            mean_affected_final: mean(&|s| s.affected_final as f64),
+            mean_propagation_tree: mean(&|s| s.propagation_tree_size as f64),
+            total_aggregate_ops: stats.iter().map(|s| s.aggregate_ops).sum(),
+            total_update_time: stats.iter().map(|s| s.update_time).sum(),
+            total_propagate_time: stats.iter().map(|s| s.propagate_time).sum(),
+        }
+    }
+
+    /// One line in the format used by the experiment harness tables.
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:<8} batches={:<5} updates={:<7} thpt={:>10.1} up/s  median={:>9.3} ms  p95={:>9.3} ms  affected={:>8.1}",
+            self.strategy,
+            self.num_batches,
+            self.total_updates,
+            self.throughput,
+            self.median_latency.as_secs_f64() * 1e3,
+            self.p95_latency.as_secs_f64() * 1e3,
+            self.mean_affected_final,
+        )
+    }
+}
+
+impl std::fmt::Display for StreamSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.table_row())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(update_ms: u64, propagate_ms: u64, batch: usize, affected: usize) -> BatchStats {
+        BatchStats {
+            update_time: Duration::from_millis(update_ms),
+            propagate_time: Duration::from_millis(propagate_ms),
+            affected_per_hop: vec![affected, affected],
+            propagation_tree_size: affected * 2,
+            affected_final: affected,
+            aggregate_ops: affected * 3,
+            batch_size: batch,
+        }
+    }
+
+    #[test]
+    fn percentile_and_median() {
+        let d: Vec<Duration> = (1..=10).map(Duration::from_millis).collect();
+        assert_eq!(median(&d), Duration::from_millis(6));
+        assert_eq!(percentile(&d, 0.0), Duration::from_millis(1));
+        assert_eq!(percentile(&d, 100.0), Duration::from_millis(10));
+        assert_eq!(percentile(&[], 50.0), Duration::ZERO);
+        assert_eq!(percentile(&d, 200.0), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn summary_aggregates_batches() {
+        let all = vec![stats(1, 9, 10, 5), stats(2, 18, 10, 15), stats(1, 4, 10, 2)];
+        let summary = StreamSummary::from_stats("ripple", &all);
+        assert_eq!(summary.num_batches, 3);
+        assert_eq!(summary.total_updates, 30);
+        assert_eq!(summary.total_time, Duration::from_millis(35));
+        assert_eq!(summary.median_latency, Duration::from_millis(10));
+        assert!((summary.throughput - 30.0 / 0.035).abs() < 1.0);
+        assert!((summary.mean_affected_final - (5.0 + 15.0 + 2.0) / 3.0).abs() < 1e-9);
+        assert_eq!(summary.total_aggregate_ops, (5 + 15 + 2) * 3);
+        assert_eq!(summary.total_update_time, Duration::from_millis(4));
+        assert_eq!(summary.total_propagate_time, Duration::from_millis(31));
+    }
+
+    #[test]
+    fn empty_stream_summary() {
+        let summary = StreamSummary::from_stats("rc", &[]);
+        assert_eq!(summary.num_batches, 0);
+        assert_eq!(summary.total_updates, 0);
+        assert!(summary.throughput.is_infinite());
+        assert_eq!(summary.mean_affected_final, 0.0);
+    }
+
+    #[test]
+    fn table_row_and_display_contain_strategy() {
+        let summary = StreamSummary::from_stats("drc", &[stats(1, 1, 5, 1)]);
+        assert!(summary.table_row().contains("drc"));
+        assert!(summary.to_string().contains("up/s"));
+    }
+}

@@ -1,0 +1,108 @@
+//! Error type for GNN model construction and inference.
+
+use std::fmt;
+
+/// Errors produced by model construction and inference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GnnError {
+    /// A model was configured with fewer than two dimensions (input and at
+    /// least one layer output are required).
+    InvalidModelShape(String),
+    /// The graph's feature width does not match the model's input dimension.
+    FeatureDimMismatch {
+        /// Model input width.
+        model: usize,
+        /// Graph feature width.
+        graph: usize,
+    },
+    /// A layer index was out of range for the model.
+    LayerOutOfRange {
+        /// Requested layer.
+        layer: usize,
+        /// Number of layers in the model.
+        num_layers: usize,
+    },
+    /// An embedding store does not match the model or graph it is used with.
+    StoreMismatch(String),
+    /// An underlying tensor operation failed (shape or bounds violation).
+    Tensor(ripple_tensor::TensorError),
+    /// An underlying graph operation failed.
+    Graph(ripple_graph::GraphError),
+}
+
+impl fmt::Display for GnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GnnError::InvalidModelShape(msg) => write!(f, "invalid model shape: {msg}"),
+            GnnError::FeatureDimMismatch { model, graph } => write!(
+                f,
+                "feature dimension mismatch: model expects {model}, graph provides {graph}"
+            ),
+            GnnError::LayerOutOfRange { layer, num_layers } => {
+                write!(f, "layer {layer} out of range for a {num_layers}-layer model")
+            }
+            GnnError::StoreMismatch(msg) => write!(f, "embedding store mismatch: {msg}"),
+            GnnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            GnnError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GnnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GnnError::Tensor(e) => Some(e),
+            GnnError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ripple_tensor::TensorError> for GnnError {
+    fn from(e: ripple_tensor::TensorError) -> Self {
+        GnnError::Tensor(e)
+    }
+}
+
+impl From<ripple_graph::GraphError> for GnnError {
+    fn from(e: ripple_graph::GraphError) -> Self {
+        GnnError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(GnnError::InvalidModelShape("too short".into())
+            .to_string()
+            .contains("too short"));
+        assert!(GnnError::FeatureDimMismatch { model: 8, graph: 4 }
+            .to_string()
+            .contains("expects 8"));
+        assert!(GnnError::LayerOutOfRange { layer: 5, num_layers: 2 }
+            .to_string()
+            .contains("5"));
+        assert!(GnnError::StoreMismatch("x".into()).to_string().contains("store"));
+    }
+
+    #[test]
+    fn conversions_from_substrate_errors() {
+        let te: GnnError = ripple_tensor::TensorError::Empty.into();
+        assert!(matches!(te, GnnError::Tensor(_)));
+        assert!(te.to_string().contains("tensor"));
+        let ge: GnnError = ripple_graph::GraphError::InvalidSpec("bad".into()).into();
+        assert!(matches!(ge, GnnError::Graph(_)));
+        use std::error::Error;
+        assert!(ge.source().is_some());
+        assert!(GnnError::StoreMismatch("x".into()).source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GnnError>();
+    }
+}

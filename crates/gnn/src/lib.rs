@@ -1,0 +1,61 @@
+//! GNN model substrate for the Ripple reproduction.
+//!
+//! The paper evaluates five workloads built from three model families
+//! (GraphConv, GraphSAGE, GINConv) and three *linear* aggregation functions
+//! (sum, mean, weighted sum). This crate implements those models and the
+//! inference strategies the paper compares against:
+//!
+//! * [`Aggregator`] — the linear aggregation functions of Table 1, exposed in
+//!   a form that both full recomputation and incremental delta propagation
+//!   can share.
+//! * [`GnnLayer`] / [`GnnModel`] — the per-layer `Update` functions (Eqn. 2)
+//!   with deterministic, seeded weights.
+//! * [`EmbeddingStore`] — the per-layer embedding **and aggregate** tables
+//!   that inference maintains; keeping the raw aggregates is what lets the
+//!   incremental engine (and exact recomputation under non-linear
+//!   activations) avoid re-reading whole neighbourhoods.
+//! * [`layer_wise`] — full-graph layer-wise inference (the bootstrap pass and
+//!   the basis of the DRC/RC baselines).
+//! * [`vertex_wise`] — per-target-vertex inference with optional fanout
+//!   sampling (the DNC baseline and the Fig 2a accuracy/latency trade-off).
+//! * [`recompute`] — the layer-wise *recompute-on-update* baseline (RC), the
+//!   strongest non-incremental competitor in the paper.
+//! * [`Workload`] — the five named paper workloads (GC-S, GS-S, GC-M, GI-S,
+//!   GC-W).
+//!
+//! # Example
+//!
+//! ```
+//! use ripple_gnn::{GnnModel, LayerKind, Aggregator, layer_wise};
+//! use ripple_graph::synth::DatasetSpec;
+//!
+//! let graph = DatasetSpec::custom(100, 4.0, 8, 4).generate(1).unwrap();
+//! let model = GnnModel::new(LayerKind::GraphConv, Aggregator::Sum, &[8, 16, 4], 7).unwrap();
+//! let store = layer_wise::full_inference(&graph, &model).unwrap();
+//! assert_eq!(store.num_layers(), 2);
+//! assert_eq!(store.embeddings(2).shape(), (100, 4));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod aggregator;
+pub mod embeddings;
+pub mod error;
+pub mod layer;
+pub mod layer_wise;
+pub mod model;
+pub mod recompute;
+pub mod sampling;
+pub mod vertex_wise;
+pub mod workload;
+
+pub use aggregator::Aggregator;
+pub use embeddings::EmbeddingStore;
+pub use error::GnnError;
+pub use layer::{GnnLayer, LayerKind};
+pub use model::GnnModel;
+pub use workload::Workload;
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, GnnError>;

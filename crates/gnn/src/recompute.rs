@@ -1,0 +1,439 @@
+//! Layer-wise recompute-on-update baselines (RC and DRC-style).
+//!
+//! When a batch of updates arrives, the recompute strategy refreshes the
+//! embeddings of every vertex in the forward `L`-hop neighbourhood of the
+//! updates, layer by layer, by **pulling all in-neighbours** of each affected
+//! vertex (§4.2). This is exact and scoped to the affected region, but the
+//! aggregation cost of a vertex is proportional to its full in-degree `k`
+//! rather than the number of changed in-neighbours `k'` — which is the
+//! wasted work Ripple removes.
+//!
+//! Two flavours are provided through [`RecomputeConfig`]:
+//!
+//! * **RC** — the paper's own lightweight baseline: adjacency lists are
+//!   updated in place, nothing else.
+//! * **DRC-style** — models DGL's behaviour of rebuilding its immutable graph
+//!   structure (CSR) on every batch of topology changes, which the paper
+//!   identifies as the dominant cost of the DGL baselines (Fig 8's "Update"
+//!   stack).
+
+use crate::embeddings::EmbeddingStore;
+use crate::layer_wise::recompute_vertices_at_hop;
+use crate::model::GnnModel;
+use crate::vertex_wise::{infer_vertices, VertexWiseOptions};
+use crate::{GnnError, Result};
+use ripple_graph::{DynamicGraph, GraphUpdate, UpdateBatch, VertexId};
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// Configuration of the recompute engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecomputeConfig {
+    /// Rebuild a CSR snapshot of the whole graph on every batch, modelling
+    /// the graph-update overhead of DGL-style frameworks (the DRC baseline).
+    pub rebuild_csr_per_batch: bool,
+}
+
+impl RecomputeConfig {
+    /// The paper's lightweight RC baseline.
+    pub fn rc() -> Self {
+        RecomputeConfig { rebuild_csr_per_batch: false }
+    }
+
+    /// The DRC-style baseline with per-batch graph rebuild overhead.
+    pub fn drc() -> Self {
+        RecomputeConfig { rebuild_csr_per_batch: true }
+    }
+}
+
+/// Per-batch cost and coverage statistics, shared by the recompute baselines
+/// and (via the same field meanings) the incremental engine.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchStats {
+    /// Wall-clock time spent applying the updates to the graph structure
+    /// (the "Update" stack of Fig 8).
+    pub update_time: Duration,
+    /// Wall-clock time spent recomputing/propagating embeddings (the
+    /// "Propagate" stack of Fig 8).
+    pub propagate_time: Duration,
+    /// Number of vertices touched at each hop `1..=L`.
+    pub affected_per_hop: Vec<usize>,
+    /// Total number of (vertex, hop) evaluations — the propagation-tree size
+    /// of Fig 11.
+    pub propagation_tree_size: usize,
+    /// Number of *distinct* vertices whose final-layer embedding was
+    /// refreshed.
+    pub affected_final: usize,
+    /// Neighbour-accumulate operations performed during aggregation.
+    pub aggregate_ops: usize,
+    /// Number of updates in the batch.
+    pub batch_size: usize,
+}
+
+impl BatchStats {
+    /// Total batch latency (update + propagate).
+    pub fn total_time(&self) -> Duration {
+        self.update_time + self.propagate_time
+    }
+
+    /// Updates processed per second of total batch latency.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.total_time().as_secs_f64();
+        if secs == 0.0 {
+            return f64::INFINITY;
+        }
+        self.batch_size as f64 / secs
+    }
+}
+
+/// The per-hop affected vertex sets for a batch of updates, computed on the
+/// **post-update** topology (paper §4.2):
+///
+/// * hop 1 — sinks of edge additions/deletions, out-neighbours of
+///   feature-updated vertices, and (for models whose update function uses the
+///   vertex's own embedding) the feature-updated vertices themselves;
+/// * hop `l` — out-neighbours of hop `l-1`, plus edge-update sinks again
+///   (a new/deleted edge changes the sink's aggregate at *every* layer), plus
+///   hop `l-1` itself for self-dependent models.
+pub fn affected_hops(
+    graph: &DynamicGraph,
+    model: &GnnModel,
+    batch: &UpdateBatch,
+) -> Vec<HashSet<VertexId>> {
+    let depends_on_self = model.depends_on_self();
+    let mut edge_sinks: HashSet<VertexId> = HashSet::new();
+    let mut feature_sources: HashSet<VertexId> = HashSet::new();
+    for update in batch {
+        match update {
+            GraphUpdate::AddEdge { dst, .. } | GraphUpdate::DeleteEdge { dst, .. } => {
+                edge_sinks.insert(*dst);
+            }
+            GraphUpdate::UpdateFeature { vertex, .. } => {
+                feature_sources.insert(*vertex);
+            }
+        }
+    }
+
+    let mut hops: Vec<HashSet<VertexId>> = Vec::with_capacity(model.num_layers());
+    for l in 1..=model.num_layers() {
+        let mut current: HashSet<VertexId> = edge_sinks.clone();
+        let previous: &HashSet<VertexId> = if l == 1 { &feature_sources } else { &hops[l - 2] };
+        for &u in previous {
+            if !graph.contains_vertex(u) {
+                continue;
+            }
+            for &w in graph.out_neighbors(u) {
+                current.insert(w);
+            }
+        }
+        if depends_on_self {
+            current.extend(previous.iter().copied());
+        }
+        hops.push(current);
+    }
+    hops
+}
+
+/// The layer-wise recompute engine (RC / DRC-style baseline).
+///
+/// Owns the evolving graph and embedding store; each call to
+/// [`RecomputeEngine::process_batch`] applies a batch of updates and brings
+/// every affected embedding back in sync by full re-aggregation.
+#[derive(Debug, Clone)]
+pub struct RecomputeEngine {
+    graph: DynamicGraph,
+    model: GnnModel,
+    store: EmbeddingStore,
+    config: RecomputeConfig,
+}
+
+impl RecomputeEngine {
+    /// Creates an engine from a bootstrapped graph + store pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::StoreMismatch`] if the store does not cover the
+    /// graph's vertices or the model's layers.
+    pub fn new(
+        graph: DynamicGraph,
+        model: GnnModel,
+        store: EmbeddingStore,
+        config: RecomputeConfig,
+    ) -> Result<Self> {
+        if store.num_vertices() != graph.num_vertices() {
+            return Err(GnnError::StoreMismatch(format!(
+                "store covers {} vertices, graph has {}",
+                store.num_vertices(),
+                graph.num_vertices()
+            )));
+        }
+        if store.num_layers() != model.num_layers() {
+            return Err(GnnError::StoreMismatch(format!(
+                "store has {} layers, model has {}",
+                store.num_layers(),
+                model.num_layers()
+            )));
+        }
+        Ok(RecomputeEngine { graph, model, store, config })
+    }
+
+    /// The current graph (post all applied batches).
+    pub fn graph(&self) -> &DynamicGraph {
+        &self.graph
+    }
+
+    /// The current embedding store.
+    pub fn store(&self) -> &EmbeddingStore {
+        &self.store
+    }
+
+    /// The model used for inference.
+    pub fn model(&self) -> &GnnModel {
+        &self.model
+    }
+
+    /// Consumes the engine, returning the graph and store.
+    pub fn into_parts(self) -> (DynamicGraph, EmbeddingStore) {
+        (self.graph, self.store)
+    }
+
+    /// Applies a batch of updates and recomputes all affected embeddings.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph errors (e.g. deleting a non-existent edge) and tensor
+    /// errors; the engine should be considered poisoned after an error.
+    pub fn process_batch(&mut self, batch: &UpdateBatch) -> Result<BatchStats> {
+        let update_start = Instant::now();
+        // Phase 1: apply topology/feature changes.
+        for update in batch {
+            self.graph.apply(update)?;
+            if let GraphUpdate::UpdateFeature { vertex, features } = update {
+                self.store.set_embedding(0, *vertex, features)?;
+            }
+        }
+        if self.config.rebuild_csr_per_batch {
+            // DRC-style overhead: frameworks with immutable graph structures
+            // pay a full rebuild on every batch of topology changes.
+            let _csr = self.graph.to_csr();
+        }
+        let update_time = update_start.elapsed();
+
+        // Phase 2: recompute affected embeddings hop by hop.
+        let propagate_start = Instant::now();
+        let hops = affected_hops(&self.graph, &self.model, batch);
+        let mut stats = BatchStats {
+            batch_size: batch.len(),
+            affected_per_hop: hops.iter().map(HashSet::len).collect(),
+            propagation_tree_size: hops.iter().map(HashSet::len).sum(),
+            affected_final: hops.last().map(HashSet::len).unwrap_or(0),
+            ..BatchStats::default()
+        };
+        for (hop, affected) in hops.iter().enumerate() {
+            let vertices: Vec<VertexId> = affected.iter().copied().collect();
+            stats.aggregate_ops += recompute_vertices_at_hop(
+                &self.graph,
+                &self.model,
+                &mut self.store,
+                hop + 1,
+                &vertices,
+            )?;
+        }
+        stats.update_time = update_time;
+        stats.propagate_time = propagate_start.elapsed();
+        Ok(stats)
+    }
+}
+
+/// The vertex-wise recompute baseline (DNC-style): applies the batch, then
+/// re-infers every affected final-hop vertex with full `L`-hop vertex-wise
+/// inference. Far more expensive than layer-wise recompute because the
+/// computation graphs of nearby targets overlap (Fig 8).
+///
+/// Returns the updated graph is *not* returned — the caller's graph is
+/// mutated in place — along with per-batch statistics.
+///
+/// # Errors
+///
+/// Propagates graph and tensor errors.
+pub fn vertex_wise_recompute_batch(
+    graph: &mut DynamicGraph,
+    model: &GnnModel,
+    store: &mut EmbeddingStore,
+    batch: &UpdateBatch,
+) -> Result<BatchStats> {
+    let update_start = Instant::now();
+    for update in batch {
+        graph.apply(update)?;
+        if let GraphUpdate::UpdateFeature { vertex, features } = update {
+            store.set_embedding(0, *vertex, features)?;
+        }
+    }
+    let update_time = update_start.elapsed();
+
+    let propagate_start = Instant::now();
+    let hops = affected_hops(graph, model, batch);
+    let final_affected: Vec<VertexId> = hops
+        .last()
+        .map(|s| s.iter().copied().collect())
+        .unwrap_or_default();
+    let (embeddings, vw_stats) =
+        infer_vertices(graph, model, &final_affected, &VertexWiseOptions::default())?;
+    for (v, emb) in final_affected.iter().zip(embeddings.iter()) {
+        store.set_embedding(model.num_layers(), *v, emb)?;
+    }
+    Ok(BatchStats {
+        update_time,
+        propagate_time: propagate_start.elapsed(),
+        affected_per_hop: hops.iter().map(HashSet::len).collect(),
+        propagation_tree_size: hops.iter().map(HashSet::len).sum(),
+        affected_final: final_affected.len(),
+        aggregate_ops: vw_stats.aggregate_ops,
+        batch_size: batch.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer_wise::full_inference;
+    use crate::Workload;
+    use ripple_graph::stream::{build_stream, StreamConfig};
+    use ripple_graph::synth::DatasetSpec;
+
+    fn setup(workload: Workload, layers: usize) -> (DynamicGraph, GnnModel, Vec<UpdateBatch>) {
+        let spec = DatasetSpec::custom(120, 5.0, 6, 4);
+        let full = spec
+            .generate_weighted(3, workload.needs_edge_weights())
+            .unwrap();
+        let plan = build_stream(&full, &StreamConfig { total_updates: 60, seed: 1, ..Default::default() }).unwrap();
+        let model = workload.build_model(6, 8, 4, layers, 5).unwrap();
+        let batches = plan.batches(10);
+        (plan.snapshot, model, batches)
+    }
+
+    #[test]
+    fn recompute_matches_full_reinference_for_all_workloads() {
+        for workload in Workload::all() {
+            let (snapshot, model, batches) = setup(workload, 2);
+            let store = full_inference(&snapshot, &model).unwrap();
+            let mut engine =
+                RecomputeEngine::new(snapshot.clone(), model.clone(), store, RecomputeConfig::rc())
+                    .unwrap();
+            let mut reference_graph = snapshot;
+            for batch in &batches {
+                engine.process_batch(batch).unwrap();
+                reference_graph.apply_batch(batch).unwrap();
+            }
+            let reference = full_inference(&reference_graph, &model).unwrap();
+            let diff = engine.store().max_final_diff(&reference).unwrap();
+            assert!(diff < 1e-3, "workload {workload}: final diff {diff}");
+        }
+    }
+
+    #[test]
+    fn recompute_is_exact_for_three_layer_models() {
+        let (snapshot, model, batches) = setup(Workload::GsS, 3);
+        let store = full_inference(&snapshot, &model).unwrap();
+        let mut engine =
+            RecomputeEngine::new(snapshot.clone(), model.clone(), store, RecomputeConfig::rc()).unwrap();
+        let mut reference_graph = snapshot;
+        for batch in &batches {
+            engine.process_batch(batch).unwrap();
+            reference_graph.apply_batch(batch).unwrap();
+        }
+        let reference = full_inference(&reference_graph, &model).unwrap();
+        assert!(engine.store().max_final_diff(&reference).unwrap() < 1e-3);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let (snapshot, model, batches) = setup(Workload::GcS, 2);
+        let store = full_inference(&snapshot, &model).unwrap();
+        let mut engine =
+            RecomputeEngine::new(snapshot, model, store, RecomputeConfig::rc()).unwrap();
+        let stats = engine.process_batch(&batches[0]).unwrap();
+        assert_eq!(stats.batch_size, 10);
+        assert_eq!(stats.affected_per_hop.len(), 2);
+        assert!(stats.propagation_tree_size >= stats.affected_final);
+        assert!(stats.aggregate_ops > 0);
+        assert!(stats.throughput() > 0.0);
+        assert!(stats.total_time() >= stats.update_time);
+    }
+
+    #[test]
+    fn drc_config_spends_more_update_time() {
+        let (snapshot, model, batches) = setup(Workload::GcS, 2);
+        let store = full_inference(&snapshot, &model).unwrap();
+        let mut rc =
+            RecomputeEngine::new(snapshot.clone(), model.clone(), store.clone(), RecomputeConfig::rc())
+                .unwrap();
+        let mut drc =
+            RecomputeEngine::new(snapshot, model, store, RecomputeConfig::drc()).unwrap();
+        let mut rc_update = Duration::ZERO;
+        let mut drc_update = Duration::ZERO;
+        for batch in &batches {
+            rc_update += rc.process_batch(batch).unwrap().update_time;
+            drc_update += drc.process_batch(batch).unwrap().update_time;
+        }
+        assert!(drc_update > rc_update, "drc {drc_update:?} vs rc {rc_update:?}");
+        // Both remain exact.
+        assert!(rc.store().max_final_diff(drc.store()).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn affected_hops_edge_update_hits_sink_every_layer() {
+        let mut g = DynamicGraph::new(4, 2);
+        g.add_edge(VertexId(0), VertexId(1), 1.0).unwrap();
+        g.add_edge(VertexId(1), VertexId(2), 1.0).unwrap();
+        let model = Workload::GcS.build_model(2, 4, 2, 3, 0).unwrap();
+        // A new edge 3 -> 1 is being added.
+        g.add_edge(VertexId(3), VertexId(1), 1.0).unwrap();
+        let batch = UpdateBatch::from_updates(vec![GraphUpdate::add_edge(VertexId(3), VertexId(1))]);
+        let hops = affected_hops(&g, &model, &batch);
+        assert!(hops[0].contains(&VertexId(1)));
+        assert!(hops[1].contains(&VertexId(1)), "sink re-affected at every hop");
+        assert!(hops[1].contains(&VertexId(2)));
+        assert!(hops[2].contains(&VertexId(1)));
+    }
+
+    #[test]
+    fn affected_hops_feature_update_respects_self_dependency() {
+        let mut g = DynamicGraph::new(3, 2);
+        g.add_edge(VertexId(0), VertexId(1), 1.0).unwrap();
+        let batch =
+            UpdateBatch::from_updates(vec![GraphUpdate::update_feature(VertexId(0), vec![1.0, 1.0])]);
+        let gc = Workload::GcS.build_model(2, 4, 2, 2, 0).unwrap();
+        let sage = Workload::GsS.build_model(2, 4, 2, 2, 0).unwrap();
+        let gc_hops = affected_hops(&g, &gc, &batch);
+        let sage_hops = affected_hops(&g, &sage, &batch);
+        assert!(!gc_hops[0].contains(&VertexId(0)), "GraphConv has no self dependency");
+        assert!(sage_hops[0].contains(&VertexId(0)), "SAGE re-embeds the updated vertex itself");
+        assert!(gc_hops[0].contains(&VertexId(1)));
+    }
+
+    #[test]
+    fn vertex_wise_recompute_is_exact_on_final_layer() {
+        let (snapshot, model, batches) = setup(Workload::GcS, 2);
+        let mut graph = snapshot.clone();
+        let mut store = full_inference(&graph, &model).unwrap();
+        let mut reference_graph = snapshot;
+        for batch in batches.iter().take(2) {
+            vertex_wise_recompute_batch(&mut graph, &model, &mut store, batch).unwrap();
+            reference_graph.apply_batch(batch).unwrap();
+        }
+        let reference = full_inference(&reference_graph, &model).unwrap();
+        assert!(store.max_final_diff(&reference).unwrap() < 1e-3);
+    }
+
+    #[test]
+    fn constructor_validates_store_shape() {
+        let (snapshot, model, _) = setup(Workload::GcS, 2);
+        let wrong_model = Workload::GcS.build_model(6, 8, 4, 3, 0).unwrap();
+        let store = full_inference(&snapshot, &model).unwrap();
+        assert!(RecomputeEngine::new(snapshot.clone(), wrong_model, store.clone(), RecomputeConfig::rc())
+            .is_err());
+        let small_store = EmbeddingStore::zeroed(&model, 5);
+        assert!(RecomputeEngine::new(snapshot, model, small_store, RecomputeConfig::rc()).is_err());
+    }
+}

@@ -1,0 +1,233 @@
+//! Vertex-wise ("node-wise") inference: the DNC baseline.
+//!
+//! For each target vertex, the full `L`-hop in-neighbourhood computation
+//! graph is materialised and evaluated bottom-up (Fig 1, centre). Within one
+//! target the computation is memoised per layer (as DGL's message-flow-graph
+//! blocks do), but *across* targets everything is recomputed — which is the
+//! redundant work layer-wise inference avoids and the reason the paper
+//! rejects this strategy for streaming updates.
+
+use crate::model::GnnModel;
+use crate::sampling::sample_neighbors;
+use crate::{GnnError, Result};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use ripple_graph::{DynamicGraph, VertexId};
+use std::collections::HashMap;
+
+/// Cost counters for a vertex-wise inference call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VertexWiseStats {
+    /// Number of per-vertex layer evaluations performed (memoised within the
+    /// target's computation graph).
+    pub vertex_computations: usize,
+    /// Number of neighbour-accumulate operations performed while aggregating.
+    pub aggregate_ops: usize,
+}
+
+impl VertexWiseStats {
+    fn merge(&mut self, other: VertexWiseStats) {
+        self.vertex_computations += other.vertex_computations;
+        self.aggregate_ops += other.aggregate_ops;
+    }
+}
+
+/// Options for vertex-wise inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VertexWiseOptions {
+    /// Cap on the number of in-neighbours aggregated per vertex per layer
+    /// (`None` = use the full neighbourhood, which is what serving requires
+    /// for deterministic predictions).
+    pub fanout: Option<usize>,
+    /// RNG seed used when `fanout` is set.
+    pub seed: u64,
+}
+
+impl Default for VertexWiseOptions {
+    fn default() -> Self {
+        VertexWiseOptions { fanout: None, seed: 0 }
+    }
+}
+
+/// Computes the final-layer embedding of a single target vertex by expanding
+/// its `L`-hop in-neighbourhood.
+///
+/// # Errors
+///
+/// Returns [`GnnError::FeatureDimMismatch`] if the graph features do not
+/// match the model input width, and propagates tensor errors from the layer
+/// forward passes.
+pub fn infer_vertex(
+    graph: &DynamicGraph,
+    model: &GnnModel,
+    target: VertexId,
+    options: &VertexWiseOptions,
+) -> Result<(Vec<f32>, VertexWiseStats)> {
+    if graph.feature_dim() != model.input_dim() {
+        return Err(GnnError::FeatureDimMismatch {
+            model: model.input_dim(),
+            graph: graph.feature_dim(),
+        });
+    }
+    let mut stats = VertexWiseStats::default();
+    // memo[l] maps vertex -> hop-l embedding within this target's computation
+    // graph only.
+    let mut memo: Vec<HashMap<VertexId, Vec<f32>>> = vec![HashMap::new(); model.num_layers() + 1];
+    let mut rng = SmallRng::seed_from_u64(options.seed ^ (u64::from(target.0) << 17));
+    let emb = compute(graph, model, target, model.num_layers(), options, &mut memo, &mut stats, &mut rng)?;
+    Ok((emb, stats))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn compute(
+    graph: &DynamicGraph,
+    model: &GnnModel,
+    v: VertexId,
+    layer: usize,
+    options: &VertexWiseOptions,
+    memo: &mut Vec<HashMap<VertexId, Vec<f32>>>,
+    stats: &mut VertexWiseStats,
+    rng: &mut SmallRng,
+) -> Result<Vec<f32>> {
+    if layer == 0 {
+        return Ok(graph.feature(v).to_vec());
+    }
+    if let Some(hit) = memo[layer].get(&v) {
+        return Ok(hit.clone());
+    }
+    let aggregator = model.aggregator();
+    let gnn_layer = model.layer(layer)?;
+
+    let all_neighbors = graph.in_neighbors(v);
+    let all_weights = graph.in_weights(v);
+    let (neighbors, weights) = match options.fanout {
+        Some(f) => sample_neighbors(all_neighbors, all_weights, f, rng),
+        None => (all_neighbors.to_vec(), all_weights.to_vec()),
+    };
+
+    let width = if layer == 1 { model.input_dim() } else { model.layer(layer - 1)?.output_dim() };
+    let mut raw = vec![0.0f32; width];
+    for (&u, &w) in neighbors.iter().zip(weights.iter()) {
+        let h_u = compute(graph, model, u, layer - 1, options, memo, stats, rng)?;
+        ripple_tensor::axpy(&mut raw, aggregator.edge_coefficient(w), &h_u);
+    }
+    stats.aggregate_ops += aggregator.ops_for_neighbors(neighbors.len());
+    let finalized = aggregator.finalize(&raw, neighbors.len());
+    let self_prev = compute(graph, model, v, layer - 1, options, memo, stats, rng)?;
+    let out = gnn_layer.forward(&self_prev, &finalized)?;
+    stats.vertex_computations += 1;
+    memo[layer].insert(v, out.clone());
+    Ok(out)
+}
+
+/// Runs vertex-wise inference over a set of targets, returning the per-target
+/// embeddings and merged statistics. This is the unit of work the DNC
+/// baseline performs per update batch (one call per affected final-hop
+/// vertex).
+///
+/// # Errors
+///
+/// Propagates errors from [`infer_vertex`].
+pub fn infer_vertices(
+    graph: &DynamicGraph,
+    model: &GnnModel,
+    targets: &[VertexId],
+    options: &VertexWiseOptions,
+) -> Result<(Vec<Vec<f32>>, VertexWiseStats)> {
+    let mut stats = VertexWiseStats::default();
+    let mut embeddings = Vec::with_capacity(targets.len());
+    for &t in targets {
+        let (emb, s) = infer_vertex(graph, model, t, options)?;
+        stats.merge(s);
+        embeddings.push(emb);
+    }
+    Ok((embeddings, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer_wise::full_inference;
+    use crate::{Aggregator, LayerKind, Workload};
+    use ripple_graph::synth::DatasetSpec;
+    use ripple_tensor::vector::max_abs_diff;
+
+    fn graph() -> DynamicGraph {
+        DatasetSpec::custom(80, 4.0, 6, 4).generate(5).unwrap()
+    }
+
+    #[test]
+    fn matches_layer_wise_inference_without_sampling() {
+        let g = graph();
+        for workload in Workload::all() {
+            let model = workload.build_model(6, 8, 4, 2, 3).unwrap();
+            let reference = full_inference(&g, &model).unwrap();
+            for v in [0u32, 7, 33, 79] {
+                let (emb, _) =
+                    infer_vertex(&g, &model, VertexId(v), &VertexWiseOptions::default()).unwrap();
+                let diff = max_abs_diff(&emb, reference.embedding(2, VertexId(v)));
+                assert!(diff < 1e-4, "workload {workload}: vertex {v} differs by {diff}");
+            }
+        }
+    }
+
+    #[test]
+    fn three_layer_model_also_matches() {
+        let g = DatasetSpec::custom(50, 3.0, 5, 3).generate(8).unwrap();
+        let model = GnnModel::new(LayerKind::Sage, Aggregator::Mean, &[5, 8, 8, 3], 2).unwrap();
+        let reference = full_inference(&g, &model).unwrap();
+        let (emb, stats) =
+            infer_vertex(&g, &model, VertexId(10), &VertexWiseOptions::default()).unwrap();
+        assert!(max_abs_diff(&emb, reference.embedding(3, VertexId(10))) < 1e-4);
+        assert!(stats.vertex_computations > 0);
+    }
+
+    #[test]
+    fn sampling_reduces_work() {
+        let g = DatasetSpec::custom(300, 20.0, 6, 4).generate(2).unwrap();
+        let model = Workload::GcS.build_model(6, 16, 4, 2, 0).unwrap();
+        let full_opts = VertexWiseOptions::default();
+        let sampled_opts = VertexWiseOptions { fanout: Some(4), seed: 1 };
+        // Pick a reasonably high-in-degree target.
+        let target = (0..300u32)
+            .map(VertexId)
+            .max_by_key(|&v| g.in_degree(v))
+            .unwrap();
+        let (_, full_stats) = infer_vertex(&g, &model, target, &full_opts).unwrap();
+        let (_, sampled_stats) = infer_vertex(&g, &model, target, &sampled_opts).unwrap();
+        assert!(
+            sampled_stats.aggregate_ops < full_stats.aggregate_ops,
+            "sampled {} vs full {}",
+            sampled_stats.aggregate_ops,
+            full_stats.aggregate_ops
+        );
+    }
+
+    #[test]
+    fn sampled_inference_is_seed_deterministic() {
+        let g = graph();
+        let model = Workload::GcS.build_model(6, 8, 4, 2, 0).unwrap();
+        let opts = VertexWiseOptions { fanout: Some(2), seed: 9 };
+        let (a, _) = infer_vertex(&g, &model, VertexId(3), &opts).unwrap();
+        let (b, _) = infer_vertex(&g, &model, VertexId(3), &opts).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batch_inference_merges_stats() {
+        let g = graph();
+        let model = Workload::GcS.build_model(6, 8, 4, 2, 0).unwrap();
+        let targets = vec![VertexId(0), VertexId(1), VertexId(2)];
+        let (embs, stats) =
+            infer_vertices(&g, &model, &targets, &VertexWiseOptions::default()).unwrap();
+        assert_eq!(embs.len(), 3);
+        assert!(stats.vertex_computations >= 3);
+    }
+
+    #[test]
+    fn feature_mismatch_rejected() {
+        let g = graph();
+        let model = Workload::GcS.build_model(9, 8, 4, 2, 0).unwrap();
+        assert!(infer_vertex(&g, &model, VertexId(0), &VertexWiseOptions::default()).is_err());
+    }
+}

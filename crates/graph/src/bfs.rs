@@ -1,0 +1,159 @@
+//! Forward (out-edge) multi-hop traversals.
+//!
+//! An update at vertex `u` can only change the embeddings of vertices within
+//! `L` hops *forward* of `u` (following out-edges), because layer-`l`
+//! embeddings aggregate layer-`l-1` embeddings of in-neighbours. These
+//! helpers compute that forward neighbourhood, which both the recompute
+//! baseline and the experiment harness (propagation-tree size, Fig 11) need.
+
+use crate::dynamic::DynamicGraph;
+use crate::ids::VertexId;
+use std::collections::HashSet;
+
+/// The sets of vertices reachable from `sources` at each hop `1..=hops`,
+/// following out-edges. Hop `l` contains every vertex with an in-neighbour in
+/// hop `l-1` (hop 0 being the sources themselves), i.e. every vertex whose
+/// layer-`l` aggregate could be affected by a change at the sources.
+///
+/// Unlike a plain BFS, a vertex can appear in multiple hop sets: being
+/// reached at hop 1 does not exempt it from being affected again at hop 2
+/// (its layer-2 embedding also depends on layer-1 embeddings).
+///
+/// # Example
+///
+/// ```
+/// use ripple_graph::{DynamicGraph, VertexId, bfs};
+///
+/// let mut g = DynamicGraph::new(3, 1);
+/// g.add_edge(VertexId(0), VertexId(1), 1.0).unwrap();
+/// g.add_edge(VertexId(1), VertexId(2), 1.0).unwrap();
+/// let hops = bfs::forward_hops(&g, &[VertexId(0)], 2);
+/// assert!(hops[0].contains(&VertexId(1)));
+/// assert!(hops[1].contains(&VertexId(2)));
+/// ```
+pub fn forward_hops(
+    graph: &DynamicGraph,
+    sources: &[VertexId],
+    hops: usize,
+) -> Vec<HashSet<VertexId>> {
+    let mut result: Vec<HashSet<VertexId>> = Vec::with_capacity(hops);
+    let mut frontier: HashSet<VertexId> = sources.iter().copied().collect();
+    for _ in 0..hops {
+        let mut next = HashSet::new();
+        for &u in &frontier {
+            if !graph.contains_vertex(u) {
+                continue;
+            }
+            for &w in graph.out_neighbors(u) {
+                next.insert(w);
+            }
+        }
+        result.push(next.clone());
+        frontier = next;
+    }
+    result
+}
+
+/// The *cumulative* affected set within `hops` hops forward of `sources`:
+/// the union of all hop sets. This is the set of vertices whose final-layer
+/// prediction may need refreshing after an update at the sources — the
+/// quantity plotted as "% affected nodes" in Fig 2b.
+pub fn affected_set(
+    graph: &DynamicGraph,
+    sources: &[VertexId],
+    hops: usize,
+) -> HashSet<VertexId> {
+    let per_hop = forward_hops(graph, sources, hops);
+    let mut all = HashSet::new();
+    for hop in per_hop {
+        all.extend(hop);
+    }
+    all
+}
+
+/// Size of the propagation tree: the total number of (vertex, hop) pairs
+/// visited when propagating an update for `hops` hops. A vertex affected at
+/// two different hops counts twice, matching the amount of work both RC and
+/// Ripple perform (Fig 11's x-axis).
+pub fn propagation_tree_size(
+    graph: &DynamicGraph,
+    sources: &[VertexId],
+    hops: usize,
+) -> usize {
+    forward_hops(graph, sources, hops)
+        .iter()
+        .map(HashSet::len)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small directed "diamond with a tail":
+    /// 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3, 3 -> 4.
+    fn diamond() -> DynamicGraph {
+        let mut g = DynamicGraph::new(5, 1);
+        for (s, d) in [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)] {
+            g.add_edge(VertexId(s), VertexId(d), 1.0).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn forward_hops_follow_out_edges() {
+        let g = diamond();
+        let hops = forward_hops(&g, &[VertexId(0)], 3);
+        assert_eq!(hops[0], [VertexId(1), VertexId(2)].into_iter().collect());
+        assert_eq!(hops[1], [VertexId(3)].into_iter().collect());
+        assert_eq!(hops[2], [VertexId(4)].into_iter().collect());
+    }
+
+    #[test]
+    fn affected_set_is_union_of_hops() {
+        let g = diamond();
+        let set = affected_set(&g, &[VertexId(0)], 3);
+        assert_eq!(set.len(), 4);
+        assert!(!set.contains(&VertexId(0)), "source itself is not forward-reachable");
+    }
+
+    #[test]
+    fn vertex_can_appear_in_multiple_hops() {
+        // 0 -> 1, 1 -> 1 would be a self loop; instead use a cycle 0 -> 1 -> 2 -> 1.
+        let mut g = DynamicGraph::new(3, 1);
+        g.add_edge(VertexId(0), VertexId(1), 1.0).unwrap();
+        g.add_edge(VertexId(1), VertexId(2), 1.0).unwrap();
+        g.add_edge(VertexId(2), VertexId(1), 1.0).unwrap();
+        let hops = forward_hops(&g, &[VertexId(0)], 3);
+        assert!(hops[0].contains(&VertexId(1)));
+        assert!(hops[2].contains(&VertexId(1)), "cycle revisits vertex 1 at hop 3");
+        assert_eq!(propagation_tree_size(&g, &[VertexId(0)], 3), 3);
+    }
+
+    #[test]
+    fn empty_sources_affect_nothing() {
+        let g = diamond();
+        assert!(affected_set(&g, &[], 3).is_empty());
+        assert_eq!(propagation_tree_size(&g, &[], 3), 0);
+    }
+
+    #[test]
+    fn zero_hops_affect_nothing() {
+        let g = diamond();
+        assert!(forward_hops(&g, &[VertexId(0)], 0).is_empty());
+    }
+
+    #[test]
+    fn multiple_sources_union() {
+        let g = diamond();
+        let set = affected_set(&g, &[VertexId(1), VertexId(2)], 1);
+        assert_eq!(set, [VertexId(3)].into_iter().collect());
+    }
+
+    #[test]
+    fn unknown_source_is_ignored() {
+        let g = diamond();
+        let set = affected_set(&g, &[VertexId(99)], 2);
+        assert!(set.is_empty());
+    }
+}

@@ -1,0 +1,222 @@
+//! Immutable CSR (compressed sparse row) snapshot of a graph.
+//!
+//! Bulk layer-wise inference over the whole graph (the bootstrap step and the
+//! DRC/RC baselines' full-graph pass) iterates over every vertex's in-edges
+//! once per layer; a CSR layout makes that traversal cache-friendly and
+//! allocation-free. The snapshot stores *both* orientations (in-CSR and
+//! out-CSR) because inference pulls from in-neighbours while update
+//! propagation pushes to out-neighbours.
+
+use crate::dynamic::DynamicGraph;
+use crate::ids::VertexId;
+
+/// An immutable CSR snapshot with both in- and out-edge orientations and
+/// per-edge weights.
+///
+/// # Example
+///
+/// ```
+/// use ripple_graph::{CsrGraph, DynamicGraph, VertexId};
+///
+/// let mut g = DynamicGraph::new(3, 1);
+/// g.add_edge(VertexId(0), VertexId(2), 1.0).unwrap();
+/// g.add_edge(VertexId(1), VertexId(2), 1.0).unwrap();
+/// let csr = CsrGraph::from_dynamic(&g);
+/// assert_eq!(csr.in_neighbors(VertexId(2)).len(), 2);
+/// assert_eq!(csr.out_neighbors(VertexId(0)), &[VertexId(2)]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrGraph {
+    num_vertices: usize,
+    num_edges: usize,
+    in_offsets: Vec<usize>,
+    in_targets: Vec<VertexId>,
+    in_weights: Vec<f32>,
+    out_offsets: Vec<usize>,
+    out_targets: Vec<VertexId>,
+    out_weights: Vec<f32>,
+}
+
+impl CsrGraph {
+    /// Builds a CSR snapshot from a dynamic graph's current topology.
+    pub fn from_dynamic(g: &DynamicGraph) -> Self {
+        let n = g.num_vertices();
+        let mut in_offsets = Vec::with_capacity(n + 1);
+        let mut in_targets = Vec::with_capacity(g.num_edges());
+        let mut in_weights = Vec::with_capacity(g.num_edges());
+        in_offsets.push(0);
+        for v in 0..n {
+            let vid = VertexId(v as u32);
+            in_targets.extend_from_slice(g.in_neighbors(vid));
+            in_weights.extend_from_slice(g.in_weights(vid));
+            in_offsets.push(in_targets.len());
+        }
+        let mut out_offsets = Vec::with_capacity(n + 1);
+        let mut out_targets = Vec::with_capacity(g.num_edges());
+        let mut out_weights = Vec::with_capacity(g.num_edges());
+        out_offsets.push(0);
+        for v in 0..n {
+            let vid = VertexId(v as u32);
+            out_targets.extend_from_slice(g.out_neighbors(vid));
+            out_weights.extend_from_slice(g.out_weights(vid));
+            out_offsets.push(out_targets.len());
+        }
+        CsrGraph {
+            num_vertices: n,
+            num_edges: g.num_edges(),
+            in_offsets,
+            in_targets,
+            in_weights,
+            out_offsets,
+            out_targets,
+            out_weights,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// In-neighbours (sources of edges entering `v`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a vertex of the graph.
+    pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        let i = v.index();
+        &self.in_targets[self.in_offsets[i]..self.in_offsets[i + 1]]
+    }
+
+    /// Weights of the in-edges of `v`, parallel to [`Self::in_neighbors`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a vertex of the graph.
+    pub fn in_edge_weights(&self, v: VertexId) -> &[f32] {
+        let i = v.index();
+        &self.in_weights[self.in_offsets[i]..self.in_offsets[i + 1]]
+    }
+
+    /// Out-neighbours (sinks of edges leaving `u`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is not a vertex of the graph.
+    pub fn out_neighbors(&self, u: VertexId) -> &[VertexId] {
+        let i = u.index();
+        &self.out_targets[self.out_offsets[i]..self.out_offsets[i + 1]]
+    }
+
+    /// Weights of the out-edges of `u`, parallel to [`Self::out_neighbors`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is not a vertex of the graph.
+    pub fn out_edge_weights(&self, u: VertexId) -> &[f32] {
+        let i = u.index();
+        &self.out_weights[self.out_offsets[i]..self.out_offsets[i + 1]]
+    }
+
+    /// In-degree of `v`.
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.in_neighbors(v).len()
+    }
+
+    /// Out-degree of `u`.
+    pub fn out_degree(&self, u: VertexId) -> usize {
+        self.out_neighbors(u).len()
+    }
+
+    /// Iterator over all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
+        (0..self.num_vertices as u32).map(VertexId)
+    }
+
+    /// Estimated heap memory used by the CSR arrays, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        (self.in_offsets.capacity() + self.out_offsets.capacity()) * std::mem::size_of::<usize>()
+            + (self.in_targets.capacity() + self.out_targets.capacity())
+                * std::mem::size_of::<VertexId>()
+            + (self.in_weights.capacity() + self.out_weights.capacity()) * std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DynamicGraph {
+        let mut g = DynamicGraph::new(4, 1);
+        g.add_edge(VertexId(0), VertexId(1), 1.0).unwrap();
+        g.add_edge(VertexId(0), VertexId(2), 2.0).unwrap();
+        g.add_edge(VertexId(3), VertexId(2), 3.0).unwrap();
+        g.add_edge(VertexId(2), VertexId(1), 4.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn csr_matches_dynamic_adjacency() {
+        let g = sample();
+        let csr = g.to_csr();
+        assert_eq!(csr.num_vertices(), 4);
+        assert_eq!(csr.num_edges(), 4);
+        for v in csr.vertices() {
+            let mut csr_in: Vec<_> = csr.in_neighbors(v).to_vec();
+            let mut dyn_in: Vec<_> = g.in_neighbors(v).to_vec();
+            csr_in.sort();
+            dyn_in.sort();
+            assert_eq!(csr_in, dyn_in, "in-neighbours of {v}");
+            let mut csr_out: Vec<_> = csr.out_neighbors(v).to_vec();
+            let mut dyn_out: Vec<_> = g.out_neighbors(v).to_vec();
+            csr_out.sort();
+            dyn_out.sort();
+            assert_eq!(csr_out, dyn_out, "out-neighbours of {v}");
+        }
+    }
+
+    #[test]
+    fn degrees_match() {
+        let g = sample();
+        let csr = g.to_csr();
+        for v in csr.vertices() {
+            assert_eq!(csr.in_degree(v), g.in_degree(v));
+            assert_eq!(csr.out_degree(v), g.out_degree(v));
+        }
+    }
+
+    #[test]
+    fn weights_follow_edges() {
+        let csr = sample().to_csr();
+        let in2 = csr.in_neighbors(VertexId(2));
+        let w2 = csr.in_edge_weights(VertexId(2));
+        assert_eq!(in2.len(), w2.len());
+        for (n, w) in in2.iter().zip(w2.iter()) {
+            match n.0 {
+                0 => assert_eq!(*w, 2.0),
+                3 => assert_eq!(*w, 3.0),
+                other => panic!("unexpected in-neighbour {other}"),
+            }
+        }
+        assert_eq!(csr.out_edge_weights(VertexId(0)).len(), 2);
+    }
+
+    #[test]
+    fn empty_graph_snapshot() {
+        let g = DynamicGraph::new(0, 0);
+        let csr = g.to_csr();
+        assert_eq!(csr.num_vertices(), 0);
+        assert_eq!(csr.num_edges(), 0);
+        assert_eq!(csr.vertices().count(), 0);
+    }
+
+    #[test]
+    fn memory_bytes_positive() {
+        assert!(sample().to_csr().memory_bytes() > 0);
+    }
+}

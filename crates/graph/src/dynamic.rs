@@ -1,0 +1,502 @@
+//! Mutable in-memory graph that absorbs streaming updates.
+//!
+//! [`DynamicGraph`] is the structure the paper calls its "lightweight edge
+//! list structures": per-vertex in/out adjacency vectors that can apply an
+//! edge addition/deletion or a feature change in (amortised) time
+//! proportional to the degree of the endpoints, rather than rebuilding a CSR
+//! as DGL does (which is what makes the DRC baseline slow at update time).
+
+use crate::error::GraphError;
+use crate::ids::VertexId;
+use crate::update::{GraphUpdate, UpdateBatch};
+use crate::{csr::CsrGraph, Result};
+use ripple_tensor::Matrix;
+
+/// A directed graph with per-vertex adjacency lists, per-edge weights and a
+/// dense vertex feature table.
+///
+/// Vertices are dense ids `0..n`. Parallel edges are not allowed; edge
+/// weights default to `1.0` and are only meaningful to the `weighted sum`
+/// aggregator.
+///
+/// # Example
+///
+/// ```
+/// use ripple_graph::{DynamicGraph, VertexId};
+///
+/// let mut g = DynamicGraph::new(3, 2);
+/// g.add_edge(VertexId(0), VertexId(2), 1.0).unwrap();
+/// g.add_edge(VertexId(1), VertexId(2), 1.0).unwrap();
+/// assert_eq!(g.in_degree(VertexId(2)), 2);
+/// assert_eq!(g.num_edges(), 2);
+/// g.remove_edge(VertexId(0), VertexId(2)).unwrap();
+/// assert_eq!(g.in_degree(VertexId(2)), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicGraph {
+    /// Out-neighbour lists: `out[u]` holds the sinks of edges leaving `u`.
+    out: Vec<Vec<VertexId>>,
+    /// Weights parallel to `out`.
+    out_weights: Vec<Vec<f32>>,
+    /// In-neighbour lists: `inn[v]` holds the sources of edges entering `v`.
+    inn: Vec<Vec<VertexId>>,
+    /// Weights parallel to `inn`.
+    in_weights: Vec<Vec<f32>>,
+    /// Dense `n x f` vertex feature table.
+    features: Matrix,
+    /// Number of directed edges currently in the graph.
+    num_edges: usize,
+}
+
+impl DynamicGraph {
+    /// Creates a graph with `num_vertices` isolated vertices and zeroed
+    /// features of width `feature_dim`.
+    pub fn new(num_vertices: usize, feature_dim: usize) -> Self {
+        DynamicGraph {
+            out: vec![Vec::new(); num_vertices],
+            out_weights: vec![Vec::new(); num_vertices],
+            inn: vec![Vec::new(); num_vertices],
+            in_weights: vec![Vec::new(); num_vertices],
+            features: Matrix::zeros(num_vertices, feature_dim),
+            num_edges: 0,
+        }
+    }
+
+    /// Creates a graph from an edge list. Duplicate edges are silently
+    /// ignored (the first occurrence wins), mirroring how the synthetic
+    /// generators deduplicate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownVertex`] if an edge references a vertex
+    /// `>= num_vertices`.
+    pub fn from_edges(
+        num_vertices: usize,
+        feature_dim: usize,
+        edges: &[(VertexId, VertexId)],
+    ) -> Result<Self> {
+        let mut g = DynamicGraph::new(num_vertices, feature_dim);
+        for &(src, dst) in edges {
+            match g.add_edge(src, dst, 1.0) {
+                Ok(()) | Err(GraphError::DuplicateEdge { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(g)
+    }
+
+    /// Creates a graph from an edge list with explicit per-edge weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownVertex`] if an edge references a vertex
+    /// `>= num_vertices`.
+    pub fn from_weighted_edges(
+        num_vertices: usize,
+        feature_dim: usize,
+        edges: &[(VertexId, VertexId, f32)],
+    ) -> Result<Self> {
+        let mut g = DynamicGraph::new(num_vertices, feature_dim);
+        for &(src, dst, w) in edges {
+            match g.add_edge(src, dst, w) {
+                Ok(()) | Err(GraphError::DuplicateEdge { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(g)
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Width of the vertex feature vectors.
+    pub fn feature_dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Returns `true` if `v` is a valid vertex id for this graph.
+    pub fn contains_vertex(&self, v: VertexId) -> bool {
+        v.index() < self.num_vertices()
+    }
+
+    fn check_vertex(&self, v: VertexId) -> Result<()> {
+        if !self.contains_vertex(v) {
+            return Err(GraphError::UnknownVertex {
+                vertex: v,
+                num_vertices: self.num_vertices(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Out-neighbours of `u` (sinks of edges leaving `u`), in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is not a vertex of the graph.
+    pub fn out_neighbors(&self, u: VertexId) -> &[VertexId] {
+        &self.out[u.index()]
+    }
+
+    /// Weights of the out-edges of `u`, parallel to [`Self::out_neighbors`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is not a vertex of the graph.
+    pub fn out_weights(&self, u: VertexId) -> &[f32] {
+        &self.out_weights[u.index()]
+    }
+
+    /// In-neighbours of `v` (sources of edges entering `v`), in insertion
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a vertex of the graph.
+    pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.inn[v.index()]
+    }
+
+    /// Weights of the in-edges of `v`, parallel to [`Self::in_neighbors`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a vertex of the graph.
+    pub fn in_weights(&self, v: VertexId) -> &[f32] {
+        &self.in_weights[v.index()]
+    }
+
+    /// In-degree of `v`.
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.inn[v.index()].len()
+    }
+
+    /// Out-degree of `u`.
+    pub fn out_degree(&self, u: VertexId) -> usize {
+        self.out[u.index()].len()
+    }
+
+    /// Returns `true` if the edge `u -> v` exists.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.contains_vertex(u) && self.out[u.index()].contains(&v)
+    }
+
+    /// Returns the weight of edge `u -> v`, if it exists.
+    pub fn edge_weight(&self, u: VertexId, v: VertexId) -> Option<f32> {
+        if !self.contains_vertex(u) {
+            return None;
+        }
+        self.out[u.index()]
+            .iter()
+            .position(|&x| x == v)
+            .map(|pos| self.out_weights[u.index()][pos])
+    }
+
+    /// Adds the directed edge `u -> v` with the given weight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownVertex`] if either endpoint does not
+    /// exist, or [`GraphError::DuplicateEdge`] if the edge is already present.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId, weight: f32) -> Result<()> {
+        self.check_vertex(u)?;
+        self.check_vertex(v)?;
+        if self.has_edge(u, v) {
+            return Err(GraphError::DuplicateEdge { src: u, dst: v });
+        }
+        self.out[u.index()].push(v);
+        self.out_weights[u.index()].push(weight);
+        self.inn[v.index()].push(u);
+        self.in_weights[v.index()].push(weight);
+        self.num_edges += 1;
+        Ok(())
+    }
+
+    /// Removes the directed edge `u -> v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownVertex`] if either endpoint does not
+    /// exist, or [`GraphError::MissingEdge`] if the edge is not present.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> Result<()> {
+        self.check_vertex(u)?;
+        self.check_vertex(v)?;
+        let out_pos = self.out[u.index()]
+            .iter()
+            .position(|&x| x == v)
+            .ok_or(GraphError::MissingEdge { src: u, dst: v })?;
+        self.out[u.index()].swap_remove(out_pos);
+        self.out_weights[u.index()].swap_remove(out_pos);
+        let in_pos = self.inn[v.index()]
+            .iter()
+            .position(|&x| x == u)
+            .expect("in/out adjacency lists out of sync");
+        self.inn[v.index()].swap_remove(in_pos);
+        self.in_weights[v.index()].swap_remove(in_pos);
+        self.num_edges -= 1;
+        Ok(())
+    }
+
+    /// Borrow of the whole feature table (`n x f`).
+    pub fn features(&self) -> &Matrix {
+        &self.features
+    }
+
+    /// Replaces the whole feature table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::FeatureWidthMismatch`] if the new table does not
+    /// have one row per vertex (width may differ, e.g. when re-featurising a
+    /// synthetic graph).
+    pub fn set_features(&mut self, features: Matrix) -> Result<()> {
+        if features.rows() != self.num_vertices() {
+            return Err(GraphError::FeatureWidthMismatch {
+                expected: self.num_vertices(),
+                found: features.rows(),
+            });
+        }
+        self.features = features;
+        Ok(())
+    }
+
+    /// Feature vector of one vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a vertex of the graph.
+    pub fn feature(&self, v: VertexId) -> &[f32] {
+        self.features.row(v.index())
+    }
+
+    /// Replaces the feature vector of one vertex.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownVertex`] if `v` does not exist or
+    /// [`GraphError::FeatureWidthMismatch`] if the width differs from the
+    /// graph's feature dimension.
+    pub fn set_feature(&mut self, v: VertexId, values: &[f32]) -> Result<()> {
+        self.check_vertex(v)?;
+        if values.len() != self.feature_dim() {
+            return Err(GraphError::FeatureWidthMismatch {
+                expected: self.feature_dim(),
+                found: values.len(),
+            });
+        }
+        self.features
+            .set_row(v.index(), values)
+            .expect("validated dimensions");
+        Ok(())
+    }
+
+    /// Applies a single streaming update to the topology/features.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same errors as [`Self::add_edge`], [`Self::remove_edge`]
+    /// and [`Self::set_feature`].
+    pub fn apply(&mut self, update: &GraphUpdate) -> Result<()> {
+        match update {
+            GraphUpdate::AddEdge { src, dst, weight } => self.add_edge(*src, *dst, *weight),
+            GraphUpdate::DeleteEdge { src, dst } => self.remove_edge(*src, *dst),
+            GraphUpdate::UpdateFeature { vertex, features } => self.set_feature(*vertex, features),
+        }
+    }
+
+    /// Applies every update in a batch, stopping at the first error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error from [`Self::apply`]; earlier updates in
+    /// the batch remain applied.
+    pub fn apply_batch(&mut self, batch: &UpdateBatch) -> Result<()> {
+        for update in batch {
+            self.apply(update)?;
+        }
+        Ok(())
+    }
+
+    /// Iterator over all directed edges as `(src, dst, weight)` triples.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (VertexId, VertexId, f32)> + '_ {
+        self.out.iter().enumerate().flat_map(move |(u, outs)| {
+            outs.iter()
+                .zip(self.out_weights[u].iter())
+                .map(move |(&v, &w)| (VertexId(u as u32), v, w))
+        })
+    }
+
+    /// Average in-degree (`|E| / |V|`), the key density statistic the paper
+    /// reports per dataset (Table 3).
+    pub fn avg_in_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            return 0.0;
+        }
+        self.num_edges as f64 / self.num_vertices() as f64
+    }
+
+    /// Builds an immutable CSR snapshot of the current topology.
+    pub fn to_csr(&self) -> CsrGraph {
+        CsrGraph::from_dynamic(self)
+    }
+
+    /// Estimated heap memory used by adjacency lists and features, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        let adj: usize = self
+            .out
+            .iter()
+            .chain(self.inn.iter())
+            .map(|v| v.capacity() * std::mem::size_of::<VertexId>())
+            .sum();
+        let w: usize = self
+            .out_weights
+            .iter()
+            .chain(self.in_weights.iter())
+            .map(|v| v.capacity() * std::mem::size_of::<f32>())
+            .sum();
+        adj + w + self.features.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> DynamicGraph {
+        let mut g = DynamicGraph::new(3, 2);
+        g.add_edge(VertexId(0), VertexId(1), 1.0).unwrap();
+        g.add_edge(VertexId(1), VertexId(2), 1.0).unwrap();
+        g.add_edge(VertexId(2), VertexId(0), 1.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn new_graph_is_empty() {
+        let g = DynamicGraph::new(5, 3);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.feature_dim(), 3);
+        assert_eq!(g.avg_in_degree(), 0.0);
+    }
+
+    #[test]
+    fn add_and_remove_edges_keeps_adjacency_consistent() {
+        let mut g = triangle();
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.has_edge(VertexId(0), VertexId(1)));
+        assert!(!g.has_edge(VertexId(1), VertexId(0)));
+        assert_eq!(g.in_neighbors(VertexId(1)), &[VertexId(0)]);
+        assert_eq!(g.out_neighbors(VertexId(1)), &[VertexId(2)]);
+
+        g.remove_edge(VertexId(0), VertexId(1)).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert!(!g.has_edge(VertexId(0), VertexId(1)));
+        assert!(g.in_neighbors(VertexId(1)).is_empty());
+    }
+
+    #[test]
+    fn duplicate_edge_rejected() {
+        let mut g = triangle();
+        let err = g.add_edge(VertexId(0), VertexId(1), 1.0).unwrap_err();
+        assert!(matches!(err, GraphError::DuplicateEdge { .. }));
+    }
+
+    #[test]
+    fn missing_edge_rejected() {
+        let mut g = triangle();
+        let err = g.remove_edge(VertexId(1), VertexId(0)).unwrap_err();
+        assert!(matches!(err, GraphError::MissingEdge { .. }));
+    }
+
+    #[test]
+    fn unknown_vertex_rejected() {
+        let mut g = triangle();
+        assert!(g.add_edge(VertexId(0), VertexId(9), 1.0).is_err());
+        assert!(g.remove_edge(VertexId(9), VertexId(0)).is_err());
+        assert!(g.set_feature(VertexId(9), &[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn edge_weights_are_tracked() {
+        let mut g = DynamicGraph::new(2, 1);
+        g.add_edge(VertexId(0), VertexId(1), 0.25).unwrap();
+        assert_eq!(g.edge_weight(VertexId(0), VertexId(1)), Some(0.25));
+        assert_eq!(g.edge_weight(VertexId(1), VertexId(0)), None);
+        assert_eq!(g.in_weights(VertexId(1)), &[0.25]);
+        assert_eq!(g.out_weights(VertexId(0)), &[0.25]);
+    }
+
+    #[test]
+    fn features_set_and_get() {
+        let mut g = DynamicGraph::new(2, 3);
+        g.set_feature(VertexId(1), &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(g.feature(VertexId(1)), &[1.0, 2.0, 3.0]);
+        assert!(g.set_feature(VertexId(1), &[1.0]).is_err());
+    }
+
+    #[test]
+    fn apply_updates() {
+        let mut g = DynamicGraph::new(3, 2);
+        let batch = UpdateBatch::from_updates(vec![
+            GraphUpdate::add_edge(VertexId(0), VertexId(1)),
+            GraphUpdate::add_edge(VertexId(1), VertexId(2)),
+            GraphUpdate::update_feature(VertexId(2), vec![5.0, 6.0]),
+            GraphUpdate::delete_edge(VertexId(0), VertexId(1)),
+        ]);
+        g.apply_batch(&batch).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.feature(VertexId(2)), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn from_edges_ignores_duplicates() {
+        let edges = vec![
+            (VertexId(0), VertexId(1)),
+            (VertexId(0), VertexId(1)),
+            (VertexId(1), VertexId(2)),
+        ];
+        let g = DynamicGraph::from_edges(3, 1, &edges).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn from_weighted_edges_keeps_weights() {
+        let g = DynamicGraph::from_weighted_edges(2, 1, &[(VertexId(0), VertexId(1), 2.5)]).unwrap();
+        assert_eq!(g.edge_weight(VertexId(0), VertexId(1)), Some(2.5));
+    }
+
+    #[test]
+    fn iter_edges_covers_everything() {
+        let g = triangle();
+        let edges: Vec<_> = g.iter_edges().collect();
+        assert_eq!(edges.len(), 3);
+        assert!(edges.contains(&(VertexId(2), VertexId(0), 1.0)));
+    }
+
+    #[test]
+    fn avg_in_degree_matches_edge_count() {
+        let g = triangle();
+        assert!((g.avg_in_degree() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn set_features_validates_row_count() {
+        let mut g = DynamicGraph::new(3, 2);
+        assert!(g.set_features(Matrix::zeros(2, 2)).is_err());
+        assert!(g.set_features(Matrix::zeros(3, 5)).is_ok());
+        assert_eq!(g.feature_dim(), 5);
+    }
+
+    #[test]
+    fn memory_bytes_nonzero_after_edges() {
+        let g = triangle();
+        assert!(g.memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Error type for graph operations.
+
+use crate::ids::VertexId;
+use std::fmt;
+
+/// Errors produced by graph construction, mutation and partitioning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A vertex id referenced by an operation does not exist in the graph.
+    UnknownVertex {
+        /// The offending vertex.
+        vertex: VertexId,
+        /// Current number of vertices.
+        num_vertices: usize,
+    },
+    /// An edge that was expected to exist (e.g. for deletion) was not found.
+    MissingEdge {
+        /// Source of the edge.
+        src: VertexId,
+        /// Destination of the edge.
+        dst: VertexId,
+    },
+    /// An edge that must not already exist (e.g. for addition) was found.
+    DuplicateEdge {
+        /// Source of the edge.
+        src: VertexId,
+        /// Destination of the edge.
+        dst: VertexId,
+    },
+    /// A feature vector had the wrong width for the graph's feature table.
+    FeatureWidthMismatch {
+        /// Expected width (graph feature dimension).
+        expected: usize,
+        /// Provided width.
+        found: usize,
+    },
+    /// A partitioning request was invalid (e.g. zero parts).
+    InvalidPartitioning(String),
+    /// A dataset/generator specification was invalid.
+    InvalidSpec(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownVertex { vertex, num_vertices } => {
+                write!(f, "unknown vertex {vertex} (graph has {num_vertices} vertices)")
+            }
+            GraphError::MissingEdge { src, dst } => {
+                write!(f, "edge {src} -> {dst} does not exist")
+            }
+            GraphError::DuplicateEdge { src, dst } => {
+                write!(f, "edge {src} -> {dst} already exists")
+            }
+            GraphError::FeatureWidthMismatch { expected, found } => {
+                write!(f, "feature width mismatch: expected {expected}, found {found}")
+            }
+            GraphError::InvalidPartitioning(msg) => write!(f, "invalid partitioning: {msg}"),
+            GraphError::InvalidSpec(msg) => write!(f, "invalid dataset spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_unknown_vertex() {
+        let e = GraphError::UnknownVertex { vertex: VertexId(9), num_vertices: 5 };
+        assert!(e.to_string().contains("v9"));
+        assert!(e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn display_edge_errors() {
+        let m = GraphError::MissingEdge { src: VertexId(1), dst: VertexId(2) };
+        assert!(m.to_string().contains("does not exist"));
+        let d = GraphError::DuplicateEdge { src: VertexId(1), dst: VertexId(2) };
+        assert!(d.to_string().contains("already exists"));
+    }
+
+    #[test]
+    fn display_feature_mismatch() {
+        let e = GraphError::FeatureWidthMismatch { expected: 8, found: 4 };
+        assert!(e.to_string().contains("expected 8"));
+    }
+
+    #[test]
+    fn display_invalid_partitioning_and_spec() {
+        assert!(GraphError::InvalidPartitioning("zero parts".into())
+            .to_string()
+            .contains("zero parts"));
+        assert!(GraphError::InvalidSpec("bad".into()).to_string().contains("bad"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

@@ -1,0 +1,59 @@
+//! Dynamic graph substrate for the Ripple streaming-GNN reproduction.
+//!
+//! The paper evaluates on OGB datasets (Arxiv, Reddit, Products, Papers)
+//! streamed as edge additions, edge deletions and vertex-feature updates.
+//! Those datasets and a METIS partitioner are not available here, so this
+//! crate provides everything the paper's pipeline needs, built from scratch:
+//!
+//! * [`DynamicGraph`] — an in-memory directed graph with per-vertex in/out
+//!   adjacency lists, optional edge weights and a dense feature table, able to
+//!   absorb streaming [`GraphUpdate`]s cheaply (the paper's "lightweight edge
+//!   list structures").
+//! * [`CsrGraph`] — an immutable CSR snapshot used by the full layer-wise
+//!   inference pass that bootstraps embeddings before updates start streaming.
+//! * [`synth`] — seeded power-law graph generators and [`synth::DatasetSpec`]s
+//!   that mimic the paper's datasets (same average in-degree, feature width
+//!   and class count, at a configurable scale).
+//! * [`stream`] — the experiment protocol of §7.1.2: hold out a fraction of
+//!   edges as future additions, pick deletions and feature updates, shuffle,
+//!   and batch.
+//! * [`partition`] — balanced edge-cut-minimising partitioners (hash, LDG
+//!   greedy, BFS region growing) plus halo-vertex computation, standing in
+//!   for METIS/DistDGL.
+//! * [`bfs`] — L-hop forward neighbourhoods used to reason about which
+//!   vertices an update can affect.
+//!
+//! # Example
+//!
+//! ```
+//! use ripple_graph::{DynamicGraph, GraphUpdate, VertexId};
+//!
+//! let mut g = DynamicGraph::new(4, 8);
+//! g.apply(&GraphUpdate::add_edge(VertexId(0), VertexId(1))).unwrap();
+//! g.apply(&GraphUpdate::add_edge(VertexId(2), VertexId(1))).unwrap();
+//! assert_eq!(g.in_degree(VertexId(1)), 2);
+//! assert_eq!(g.out_neighbors(VertexId(0)), &[VertexId(1)]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bfs;
+pub mod csr;
+pub mod degree;
+pub mod dynamic;
+pub mod error;
+pub mod ids;
+pub mod partition;
+pub mod stream;
+pub mod synth;
+pub mod update;
+
+pub use csr::CsrGraph;
+pub use dynamic::DynamicGraph;
+pub use error::GraphError;
+pub use ids::{PartitionId, VertexId};
+pub use update::{GraphUpdate, UpdateBatch, UpdateKind};
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, GraphError>;

@@ -1,0 +1,71 @@
+//! Hash (modulo) partitioner.
+
+use super::{validate_num_parts, Partitioner, Partitioning};
+use crate::dynamic::DynamicGraph;
+use crate::ids::PartitionId;
+use crate::Result;
+
+/// Assigns vertex `v` to partition `v mod k`.
+///
+/// Perfectly balanced but oblivious to the topology, so it cuts a large
+/// fraction of edges; the distributed experiments use it as the
+/// high-communication baseline against which the smarter partitioners are
+/// compared.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HashPartitioner;
+
+impl HashPartitioner {
+    /// Creates a new hash partitioner.
+    pub fn new() -> Self {
+        HashPartitioner
+    }
+}
+
+impl Partitioner for HashPartitioner {
+    fn partition(&self, graph: &DynamicGraph, num_parts: usize) -> Result<Partitioning> {
+        validate_num_parts(graph, num_parts)?;
+        let assignment = (0..graph.num_vertices())
+            .map(|v| PartitionId((v % num_parts) as u32))
+            .collect();
+        Partitioning::from_assignment(assignment, num_parts)
+    }
+
+    fn name(&self) -> &'static str {
+        "hash"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::VertexId;
+    use crate::synth::DatasetSpec;
+
+    #[test]
+    fn hash_partitioning_is_balanced() {
+        let g = DatasetSpec::custom(100, 4.0, 2, 2).generate(0).unwrap();
+        let p = HashPartitioner::new().partition(&g, 4).unwrap();
+        assert_eq!(p.part_sizes(), vec![25, 25, 25, 25]);
+        assert!(p.balance_factor() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn assignment_follows_modulo() {
+        let g = DatasetSpec::custom(10, 2.0, 2, 2).generate(0).unwrap();
+        let p = HashPartitioner::new().partition(&g, 3).unwrap();
+        assert_eq!(p.part_of(VertexId(7)), PartitionId(1));
+        assert_eq!(p.part_of(VertexId(9)), PartitionId(0));
+    }
+
+    #[test]
+    fn rejects_invalid_part_counts() {
+        let g = DatasetSpec::custom(5, 1.0, 2, 2).generate(0).unwrap();
+        assert!(HashPartitioner::new().partition(&g, 0).is_err());
+        assert!(HashPartitioner::new().partition(&g, 9).is_err());
+    }
+
+    #[test]
+    fn name_is_hash() {
+        assert_eq!(HashPartitioner::new().name(), "hash");
+    }
+}

@@ -1,0 +1,153 @@
+//! Linear Deterministic Greedy (LDG) streaming partitioner.
+
+use super::{validate_num_parts, Partitioner, Partitioning};
+use crate::dynamic::DynamicGraph;
+use crate::ids::{PartitionId, VertexId};
+use crate::Result;
+
+/// The LDG streaming partitioner (Stanton & Kliot).
+///
+/// Vertices are processed once in id order; each vertex is placed in the
+/// partition `p` maximising `|N(v) ∩ p| * (1 - size(p)/capacity)`, i.e. the
+/// partition that already holds most of its neighbours, discounted by how
+/// full that partition is. This gives METIS-like balance with substantially
+/// lower edge cut than hashing at a single linear pass — a reasonable
+/// stand-in for METIS in the distributed experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LdgPartitioner {
+    /// Capacity slack: each partition may hold up to
+    /// `slack * |V| / num_parts` vertices. METIS' default imbalance tolerance
+    /// is ~1.03; we default to 1.05.
+    pub slack: f64,
+}
+
+impl Default for LdgPartitioner {
+    fn default() -> Self {
+        LdgPartitioner { slack: 1.05 }
+    }
+}
+
+impl LdgPartitioner {
+    /// Creates an LDG partitioner with the default 5% capacity slack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an LDG partitioner with a custom capacity slack (must be
+    /// ≥ 1.0).
+    pub fn with_slack(slack: f64) -> Self {
+        LdgPartitioner { slack: slack.max(1.0) }
+    }
+}
+
+impl Partitioner for LdgPartitioner {
+    fn partition(&self, graph: &DynamicGraph, num_parts: usize) -> Result<Partitioning> {
+        validate_num_parts(graph, num_parts)?;
+        let n = graph.num_vertices();
+        let capacity = ((n as f64 / num_parts as f64) * self.slack).ceil().max(1.0);
+        let mut assignment: Vec<Option<PartitionId>> = vec![None; n];
+        let mut sizes = vec![0usize; num_parts];
+
+        for v in 0..n {
+            let vid = VertexId(v as u32);
+            // Count already-placed neighbours (both directions — communication
+            // crosses the cut both ways during propagation).
+            let mut neighbour_counts = vec![0usize; num_parts];
+            for &u in graph.in_neighbors(vid).iter().chain(graph.out_neighbors(vid)) {
+                if let Some(p) = assignment[u.index()] {
+                    neighbour_counts[p.index()] += 1;
+                }
+            }
+            let mut best_part = 0usize;
+            let mut best_score = f64::NEG_INFINITY;
+            for p in 0..num_parts {
+                if sizes[p] as f64 >= capacity {
+                    continue;
+                }
+                let score =
+                    neighbour_counts[p] as f64 * (1.0 - sizes[p] as f64 / capacity);
+                // Tie-break towards the emptiest partition to preserve balance.
+                let score = score - sizes[p] as f64 * 1e-9;
+                if score > best_score {
+                    best_score = score;
+                    best_part = p;
+                }
+            }
+            assignment[v] = Some(PartitionId(best_part as u32));
+            sizes[best_part] += 1;
+        }
+
+        let assignment: Vec<PartitionId> = assignment.into_iter().map(Option::unwrap).collect();
+        Partitioning::from_assignment(assignment, num_parts)
+    }
+
+    fn name(&self) -> &'static str {
+        "ldg"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use super::super::HashPartitioner;
+    use crate::synth::DatasetSpec;
+
+    #[test]
+    fn ldg_covers_all_vertices_and_respects_balance() {
+        let g = DatasetSpec::custom(400, 8.0, 2, 2).generate(3).unwrap();
+        let p = LdgPartitioner::new().partition(&g, 4).unwrap();
+        assert_eq!(p.num_vertices(), 400);
+        assert!(p.balance_factor() <= 1.06, "balance factor {}", p.balance_factor());
+        assert!(p.part_sizes().iter().all(|&s| s > 0));
+    }
+
+    #[test]
+    fn ldg_cuts_fewer_edges_than_hash_on_clustered_graph() {
+        // Two dense clusters joined by a single edge: LDG should find them.
+        let mut g = DynamicGraph::new(40, 1);
+        for i in 0..20u32 {
+            for j in 0..20u32 {
+                if i != j && (i + j) % 3 == 0 {
+                    let _ = g.add_edge(VertexId(i), VertexId(j), 1.0);
+                    let _ = g.add_edge(VertexId(20 + i), VertexId(20 + j), 1.0);
+                }
+            }
+        }
+        g.add_edge(VertexId(0), VertexId(20), 1.0).unwrap();
+        let ldg = LdgPartitioner::new().partition(&g, 2).unwrap();
+        let hash = HashPartitioner::new().partition(&g, 2).unwrap();
+        assert!(
+            ldg.edge_cut(&g) < hash.edge_cut(&g),
+            "ldg cut {} vs hash cut {}",
+            ldg.edge_cut(&g),
+            hash.edge_cut(&g)
+        );
+    }
+
+    use crate::dynamic::DynamicGraph;
+
+    #[test]
+    fn with_slack_clamps_below_one() {
+        assert_eq!(LdgPartitioner::with_slack(0.5).slack, 1.0);
+        assert_eq!(LdgPartitioner::with_slack(1.2).slack, 1.2);
+    }
+
+    #[test]
+    fn rejects_invalid_part_counts() {
+        let g = DatasetSpec::custom(10, 2.0, 2, 2).generate(0).unwrap();
+        assert!(LdgPartitioner::new().partition(&g, 0).is_err());
+    }
+
+    #[test]
+    fn single_partition_holds_everything() {
+        let g = DatasetSpec::custom(50, 3.0, 2, 2).generate(0).unwrap();
+        let p = LdgPartitioner::new().partition(&g, 1).unwrap();
+        assert_eq!(p.part_sizes(), vec![50]);
+        assert_eq!(p.edge_cut(&g), 0);
+    }
+
+    #[test]
+    fn name_is_ldg() {
+        assert_eq!(LdgPartitioner::new().name(), "ldg");
+    }
+}

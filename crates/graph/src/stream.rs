@@ -1,0 +1,265 @@
+//! The experiment's update-stream protocol (paper §7.1.2).
+//!
+//! Starting from a fully generated graph, a random fraction of edges is held
+//! out: the remaining graph is the *initial snapshot* on which embeddings are
+//! bootstrapped, and the held-out edges are streamed back as **edge
+//! additions**. Random snapshot edges are streamed as **deletions** and
+//! random vertices receive **feature updates**. The three kinds are produced
+//! in equal numbers (as in the paper's 90K-update streams) and shuffled into
+//! one arrival order, then grouped into fixed-size batches.
+
+use crate::dynamic::DynamicGraph;
+use crate::ids::VertexId;
+use crate::update::{GraphUpdate, UpdateBatch};
+use crate::{GraphError, Result};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the update-stream builder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamConfig {
+    /// Fraction of the full graph's edges held out of the snapshot and
+    /// streamed back as additions (the paper uses 0.10 for single-machine
+    /// datasets and 0.50 for Papers).
+    pub holdout_fraction: f64,
+    /// Total number of updates to generate across all three kinds.
+    pub total_updates: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            holdout_fraction: 0.10,
+            total_updates: 900,
+            seed: 0,
+        }
+    }
+}
+
+/// The output of the stream builder: the initial snapshot and the shuffled
+/// update stream to apply to it.
+#[derive(Debug, Clone)]
+pub struct StreamPlan {
+    /// The initial graph snapshot (full graph minus held-out edges) on which
+    /// embeddings are bootstrapped before streaming begins.
+    pub snapshot: DynamicGraph,
+    /// The shuffled stream of updates, applicable to `snapshot` in order.
+    pub updates: Vec<GraphUpdate>,
+}
+
+impl StreamPlan {
+    /// Groups the update stream into fixed-size batches (the last batch may
+    /// be smaller).
+    pub fn batches(&self, batch_size: usize) -> Vec<UpdateBatch> {
+        into_batches(&self.updates, batch_size)
+    }
+}
+
+/// Groups a slice of updates into fixed-size [`UpdateBatch`]es.
+///
+/// # Panics
+///
+/// Panics if `batch_size` is zero.
+pub fn into_batches(updates: &[GraphUpdate], batch_size: usize) -> Vec<UpdateBatch> {
+    assert!(batch_size > 0, "batch size must be positive");
+    updates
+        .chunks(batch_size)
+        .map(|chunk| UpdateBatch::from_updates(chunk.to_vec()))
+        .collect()
+}
+
+/// Builds the snapshot + update stream from a fully generated graph, per the
+/// paper's §7.1.2 protocol.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidSpec`] if the graph has no edges, if the
+/// holdout fraction is not in `[0, 1)`, or if more deletions are requested
+/// than snapshot edges exist.
+pub fn build_stream(full_graph: &DynamicGraph, config: &StreamConfig) -> Result<StreamPlan> {
+    if full_graph.num_edges() == 0 {
+        return Err(GraphError::InvalidSpec("graph has no edges to stream".to_string()));
+    }
+    if !(0.0..1.0).contains(&config.holdout_fraction) {
+        return Err(GraphError::InvalidSpec(format!(
+            "holdout fraction {} must be in [0, 1)",
+            config.holdout_fraction
+        )));
+    }
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+
+    // Partition the full edge set into held-out (future additions) and
+    // snapshot edges.
+    let mut all_edges: Vec<(VertexId, VertexId, f32)> = full_graph.iter_edges().collect();
+    all_edges.shuffle(&mut rng);
+    let holdout_count = ((all_edges.len() as f64) * config.holdout_fraction).round() as usize;
+    let (held_out, snapshot_edges) = all_edges.split_at(holdout_count);
+
+    let snapshot = DynamicGraph::from_weighted_edges(
+        full_graph.num_vertices(),
+        full_graph.feature_dim(),
+        snapshot_edges,
+    )?;
+    let mut snapshot = snapshot;
+    snapshot.set_features(full_graph.features().clone())?;
+
+    // Equal thirds of additions, deletions and feature updates, limited by
+    // what is available.
+    let per_kind = (config.total_updates / 3).max(1);
+    let additions: Vec<GraphUpdate> = held_out
+        .iter()
+        .take(per_kind)
+        .map(|&(s, d, w)| GraphUpdate::add_weighted_edge(s, d, w))
+        .collect();
+
+    let mut deletable: Vec<(VertexId, VertexId)> =
+        snapshot_edges.iter().map(|&(s, d, _)| (s, d)).collect();
+    deletable.shuffle(&mut rng);
+    let deletions: Vec<GraphUpdate> = deletable
+        .iter()
+        .take(per_kind)
+        .map(|&(s, d)| GraphUpdate::delete_edge(s, d))
+        .collect();
+
+    let feature_dim = full_graph.feature_dim();
+    let feature_updates: Vec<GraphUpdate> = (0..per_kind)
+        .map(|_| {
+            let v = VertexId(rng.gen_range(0..full_graph.num_vertices() as u32));
+            let features = ripple_tensor::init::feature_vector(feature_dim, rng.gen());
+            GraphUpdate::update_feature(v, features)
+        })
+        .collect();
+
+    let mut updates = Vec::with_capacity(additions.len() + deletions.len() + feature_updates.len());
+    updates.extend(additions);
+    updates.extend(deletions);
+    updates.extend(feature_updates);
+    updates.shuffle(&mut rng);
+
+    // The shuffled order may delete an edge before an earlier-scheduled
+    // deletion of the same edge would (duplicates are impossible because
+    // deletions are drawn without replacement), but a deletion could still be
+    // scheduled for an edge that an addition re-adds later. Both orders are
+    // applicable because additions only use held-out edges (not in the
+    // snapshot) and deletions only use snapshot edges.
+    Ok(StreamPlan { snapshot, updates })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::DatasetSpec;
+    use crate::update::UpdateKind;
+
+    fn small_graph() -> DynamicGraph {
+        DatasetSpec::custom(300, 6.0, 8, 4).generate(7).unwrap()
+    }
+
+    #[test]
+    fn stream_is_applicable_in_order() {
+        let full = small_graph();
+        let plan = build_stream(&full, &StreamConfig { total_updates: 90, ..Default::default() }).unwrap();
+        let mut g = plan.snapshot.clone();
+        for update in &plan.updates {
+            g.apply(update).unwrap();
+        }
+    }
+
+    #[test]
+    fn holdout_removes_edges_from_snapshot() {
+        let full = small_graph();
+        let plan = build_stream(
+            &full,
+            &StreamConfig { holdout_fraction: 0.2, total_updates: 30, seed: 3 },
+        )
+        .unwrap();
+        assert!(plan.snapshot.num_edges() < full.num_edges());
+        let expected = (full.num_edges() as f64 * 0.8).round() as usize;
+        assert!((plan.snapshot.num_edges() as i64 - expected as i64).abs() <= 1);
+    }
+
+    #[test]
+    fn update_kinds_are_balanced() {
+        let full = small_graph();
+        let plan = build_stream(&full, &StreamConfig { total_updates: 90, ..Default::default() }).unwrap();
+        let batch = UpdateBatch::from_updates(plan.updates.clone());
+        let (adds, dels, feats) = batch.kind_counts();
+        assert_eq!(adds, 30);
+        assert_eq!(dels, 30);
+        assert_eq!(feats, 30);
+    }
+
+    #[test]
+    fn additions_come_from_held_out_edges() {
+        let full = small_graph();
+        let plan = build_stream(&full, &StreamConfig { total_updates: 60, ..Default::default() }).unwrap();
+        for update in &plan.updates {
+            if update.kind() == UpdateKind::AddEdge {
+                if let GraphUpdate::AddEdge { src, dst, .. } = update {
+                    assert!(!plan.snapshot.has_edge(*src, *dst), "added edge already in snapshot");
+                    assert!(full.has_edge(*src, *dst), "added edge not part of the full graph");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deletions_come_from_snapshot_edges() {
+        let full = small_graph();
+        let plan = build_stream(&full, &StreamConfig { total_updates: 60, ..Default::default() }).unwrap();
+        for update in &plan.updates {
+            if let GraphUpdate::DeleteEdge { src, dst } = update {
+                assert!(plan.snapshot.has_edge(*src, *dst));
+            }
+        }
+    }
+
+    #[test]
+    fn feature_updates_match_width() {
+        let full = small_graph();
+        let plan = build_stream(&full, &StreamConfig { total_updates: 30, ..Default::default() }).unwrap();
+        for update in &plan.updates {
+            if let GraphUpdate::UpdateFeature { features, .. } = update {
+                assert_eq!(features.len(), full.feature_dim());
+            }
+        }
+    }
+
+    #[test]
+    fn batching_groups_updates() {
+        let full = small_graph();
+        let plan = build_stream(&full, &StreamConfig { total_updates: 90, ..Default::default() }).unwrap();
+        let batches = plan.batches(25);
+        assert_eq!(batches.len(), 4);
+        assert_eq!(batches[0].len(), 25);
+        assert_eq!(batches[3].len(), 15);
+        let total: usize = batches.iter().map(UpdateBatch::len).sum();
+        assert_eq!(total, 90);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_size_panics() {
+        into_batches(&[], 0);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let full = small_graph();
+        assert!(build_stream(&full, &StreamConfig { holdout_fraction: 1.5, ..Default::default() }).is_err());
+        let empty = DynamicGraph::new(10, 4);
+        assert!(build_stream(&empty, &StreamConfig::default()).is_err());
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let full = small_graph();
+        let cfg = StreamConfig { total_updates: 30, seed: 5, ..Default::default() };
+        let a = build_stream(&full, &cfg).unwrap();
+        let b = build_stream(&full, &cfg).unwrap();
+        assert_eq!(a.updates, b.updates);
+    }
+}

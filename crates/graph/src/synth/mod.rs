@@ -1,0 +1,27 @@
+//! Synthetic graph generators and dataset specifications.
+//!
+//! The paper evaluates on four OGB datasets (Table 3). Those datasets are not
+//! redistributable inside this reproduction, so this module generates
+//! synthetic graphs that preserve the properties the paper's results actually
+//! depend on:
+//!
+//! * **average in-degree** — governs how fast the affected neighbourhood of
+//!   an update grows per hop, which is the quantity behind every throughput
+//!   and latency trend in the evaluation;
+//! * **degree skew** — real graphs are power-law; hub vertices make worst-case
+//!   batches much more expensive than the average, which the generators
+//!   reproduce with a Chung-Lu style model (and an R-MAT alternative);
+//! * **feature width and class count** — set the constant per-vertex cost of
+//!   the aggregation and update steps.
+//!
+//! Absolute vertex counts are scaled down (configurable) so experiments run
+//! in minutes instead of hours; [`DatasetSpec`] records the paper-scale
+//! numbers alongside the generated ones for reporting.
+
+mod datasets;
+mod powerlaw;
+mod rmat;
+
+pub use datasets::{DatasetKind, DatasetSpec};
+pub use powerlaw::{powerlaw_edges, PowerLawConfig};
+pub use rmat::{rmat_edges, RmatConfig};

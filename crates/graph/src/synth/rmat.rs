@@ -1,0 +1,134 @@
+//! R-MAT recursive-matrix edge generator.
+//!
+//! The classic Kronecker-style generator used by Graph500: each edge is
+//! placed by recursively descending into one of four quadrants of the
+//! adjacency matrix with probabilities `(a, b, c, d)`. Provided as an
+//! alternative to the Chung-Lu generator for ablations — R-MAT produces
+//! strong community structure as well as skew, which stresses the
+//! partitioners differently.
+
+use crate::ids::VertexId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Configuration for the R-MAT generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RmatConfig {
+    /// log2 of the number of vertices (the generator works on `2^scale`
+    /// vertices).
+    pub scale: u32,
+    /// Target number of directed edges.
+    pub num_edges: usize,
+    /// Quadrant probabilities; must sum to ~1. The Graph500 defaults are
+    /// `(0.57, 0.19, 0.19, 0.05)`.
+    pub probabilities: (f64, f64, f64, f64),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RmatConfig {
+    fn default() -> Self {
+        RmatConfig {
+            scale: 10,
+            num_edges: 8192,
+            probabilities: (0.57, 0.19, 0.19, 0.05),
+            seed: 0,
+        }
+    }
+}
+
+impl RmatConfig {
+    /// Number of vertices (`2^scale`).
+    pub fn num_vertices(&self) -> usize {
+        1usize << self.scale
+    }
+}
+
+/// Generates a deduplicated, self-loop-free R-MAT edge list.
+pub fn rmat_edges(config: &RmatConfig) -> Vec<(VertexId, VertexId)> {
+    let (a, b, c, _d) = config.probabilities;
+    let n = config.num_vertices();
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut edges = Vec::with_capacity(config.num_edges);
+    let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(config.num_edges * 2);
+    let max_attempts = config.num_edges.saturating_mul(50).max(1000);
+    let mut attempts = 0;
+    while edges.len() < config.num_edges && attempts < max_attempts {
+        attempts += 1;
+        let mut row_lo = 0usize;
+        let mut col_lo = 0usize;
+        let mut size = n;
+        while size > 1 {
+            size /= 2;
+            let r: f64 = rng.gen();
+            if r < a {
+                // top-left quadrant: nothing to add
+            } else if r < a + b {
+                col_lo += size;
+            } else if r < a + b + c {
+                row_lo += size;
+            } else {
+                row_lo += size;
+                col_lo += size;
+            }
+        }
+        let (src, dst) = (row_lo as u32, col_lo as u32);
+        if src == dst {
+            continue;
+        }
+        if seen.insert((src, dst)) {
+            edges.push((VertexId(src), VertexId(dst)));
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_generates_edges() {
+        let cfg = RmatConfig { scale: 8, num_edges: 1000, ..Default::default() };
+        let edges = rmat_edges(&cfg);
+        assert!(edges.len() >= 900, "got {} edges", edges.len());
+        let n = cfg.num_vertices() as u32;
+        assert!(edges.iter().all(|(s, d)| s.0 < n && d.0 < n));
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let cfg = RmatConfig { scale: 7, num_edges: 500, ..Default::default() };
+        assert_eq!(rmat_edges(&cfg), rmat_edges(&cfg));
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicates() {
+        let cfg = RmatConfig { scale: 7, num_edges: 500, ..Default::default() };
+        let edges = rmat_edges(&cfg);
+        let mut seen = HashSet::new();
+        for (s, d) in &edges {
+            assert_ne!(s, d);
+            assert!(seen.insert((*s, *d)));
+        }
+    }
+
+    #[test]
+    fn skewed_probabilities_create_hubs() {
+        let cfg = RmatConfig { scale: 9, num_edges: 4000, ..Default::default() };
+        let edges = rmat_edges(&cfg);
+        let mut deg = vec![0usize; cfg.num_vertices()];
+        for (_, d) in &edges {
+            deg[d.index()] += 1;
+        }
+        let max = deg.iter().max().copied().unwrap();
+        let avg = 4000.0 / cfg.num_vertices() as f64;
+        assert!(max as f64 > avg * 5.0, "max {max} vs avg {avg}");
+    }
+
+    #[test]
+    fn num_vertices_is_power_of_two() {
+        assert_eq!(RmatConfig { scale: 5, ..Default::default() }.num_vertices(), 32);
+    }
+}

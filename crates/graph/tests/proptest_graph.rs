@@ -1,0 +1,121 @@
+//! Property-based tests of the dynamic graph substrate, CSR snapshots,
+//! partitioners and the update-stream protocol.
+
+use proptest::prelude::*;
+use ripple_graph::partition::{BfsPartitioner, HashPartitioner, LdgPartitioner, Partitioner};
+use ripple_graph::stream::{build_stream, StreamConfig};
+use ripple_graph::synth::{powerlaw_edges, DatasetSpec, PowerLawConfig};
+use ripple_graph::{DynamicGraph, GraphUpdate, VertexId};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Applying a random sequence of valid edge additions/removals keeps the
+    /// in/out adjacency lists mutually consistent.
+    #[test]
+    fn adjacency_stays_consistent(
+        n in 3usize..30,
+        ops in prop::collection::vec((any::<bool>(), 0u32..30, 0u32..30), 1..60),
+    ) {
+        let mut g = DynamicGraph::new(n, 2);
+        for (add, a, b) in ops {
+            let (src, dst) = (VertexId(a % n as u32), VertexId(b % n as u32));
+            if src == dst { continue; }
+            if add && !g.has_edge(src, dst) {
+                g.add_edge(src, dst, 1.0).unwrap();
+            } else if !add && g.has_edge(src, dst) {
+                g.remove_edge(src, dst).unwrap();
+            }
+        }
+        // Invariants: edge count equals the sum of out-degrees and the sum of
+        // in-degrees; every out-edge has a matching in-edge.
+        let out_sum: usize = (0..n).map(|v| g.out_degree(VertexId(v as u32))).sum();
+        let in_sum: usize = (0..n).map(|v| g.in_degree(VertexId(v as u32))).sum();
+        prop_assert_eq!(out_sum, g.num_edges());
+        prop_assert_eq!(in_sum, g.num_edges());
+        for (src, dst, _) in g.iter_edges() {
+            prop_assert!(g.in_neighbors(dst).contains(&src));
+        }
+    }
+
+    /// CSR snapshots preserve the adjacency structure exactly.
+    #[test]
+    fn csr_round_trip(seed in 0u64..500, n in 5usize..60, deg in 1.0f64..6.0) {
+        let g = DatasetSpec::custom(n, deg, 2, 2).generate(seed).unwrap();
+        let csr = g.to_csr();
+        prop_assert_eq!(csr.num_edges(), g.num_edges());
+        for v in csr.vertices() {
+            let mut a: Vec<_> = csr.in_neighbors(v).to_vec();
+            let mut b: Vec<_> = g.in_neighbors(v).to_vec();
+            a.sort(); b.sort();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Every partitioner assigns every vertex exactly once and keeps parts
+    /// non-pathological.
+    #[test]
+    fn partitioners_cover_all_vertices(
+        seed in 0u64..200,
+        n in 20usize..120,
+        parts in 2usize..6,
+    ) {
+        let g = DatasetSpec::custom(n, 4.0, 2, 2).generate(seed).unwrap();
+        for p in [
+            HashPartitioner::new().partition(&g, parts).unwrap(),
+            LdgPartitioner::new().partition(&g, parts).unwrap(),
+            BfsPartitioner::new().partition(&g, parts).unwrap(),
+        ] {
+            prop_assert_eq!(p.num_vertices(), n);
+            prop_assert_eq!(p.part_sizes().iter().sum::<usize>(), n);
+            prop_assert!(p.edge_cut(&g) <= g.num_edges());
+            prop_assert!(p.balance_factor() >= 1.0 - 1e-9);
+        }
+    }
+
+    /// The generated update stream is always applicable, in order, to its own
+    /// snapshot, and the post-stream edge count is consistent with the
+    /// add/delete counts.
+    #[test]
+    fn update_stream_is_applicable(seed in 0u64..200, total in 3usize..60) {
+        let full = DatasetSpec::custom(120, 5.0, 4, 2).generate(seed).unwrap();
+        let plan = build_stream(
+            &full,
+            &StreamConfig { holdout_fraction: 0.2, total_updates: total, seed },
+        ).unwrap();
+        let mut g = plan.snapshot.clone();
+        let mut adds = 0i64;
+        let mut dels = 0i64;
+        for u in &plan.updates {
+            match u {
+                GraphUpdate::AddEdge { .. } => adds += 1,
+                GraphUpdate::DeleteEdge { .. } => dels += 1,
+                GraphUpdate::UpdateFeature { .. } => {}
+            }
+            g.apply(u).unwrap();
+        }
+        prop_assert_eq!(
+            g.num_edges() as i64,
+            plan.snapshot.num_edges() as i64 + adds - dels
+        );
+    }
+
+    /// The power-law generator never emits self loops, duplicates or
+    /// out-of-range endpoints.
+    #[test]
+    fn powerlaw_edges_are_well_formed(
+        seed in 0u64..300,
+        n in 4usize..200,
+        edges in 1usize..400,
+        skew in 0.0f64..1.2,
+    ) {
+        let config = PowerLawConfig { num_vertices: n, num_edges: edges, skew, seed };
+        let generated = powerlaw_edges(&config);
+        let mut seen = std::collections::HashSet::new();
+        for (s, d) in &generated {
+            prop_assert!(s.index() < n && d.index() < n);
+            prop_assert_ne!(s, d);
+            prop_assert!(seen.insert((*s, *d)));
+        }
+    }
+}

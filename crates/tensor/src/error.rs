@@ -1,0 +1,98 @@
+//! Error type for tensor operations.
+
+use std::fmt;
+
+/// Errors produced by dense tensor operations.
+///
+/// All errors are shape or bounds violations: the operations themselves are
+/// total once their inputs are well-formed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two operands had incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left/first operand (rows, cols).
+        left: (usize, usize),
+        /// Shape of the right/second operand (rows, cols).
+        right: (usize, usize),
+    },
+    /// A row or element index was out of bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound the index must be below.
+        bound: usize,
+    },
+    /// A matrix was constructed from rows of inconsistent length.
+    RaggedRows {
+        /// Length of the first row, which sets the expected width.
+        expected: usize,
+        /// Length of the first row that disagreed.
+        found: usize,
+    },
+    /// An operation that requires a non-empty matrix received an empty one.
+    Empty,
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, left, right } => write!(
+                f,
+                "shape mismatch in {op}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            TensorError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds for dimension of size {bound}")
+            }
+            TensorError::RaggedRows { expected, found } => {
+                write!(f, "ragged rows: expected width {expected}, found {found}")
+            }
+            TensorError::Empty => write!(f, "operation requires a non-empty matrix"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = TensorError::ShapeMismatch {
+            op: "matmul",
+            left: (2, 3),
+            right: (4, 5),
+        };
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("2x3"));
+        assert!(s.contains("4x5"));
+    }
+
+    #[test]
+    fn display_index_out_of_bounds() {
+        let e = TensorError::IndexOutOfBounds { index: 7, bound: 5 };
+        assert_eq!(e.to_string(), "index 7 out of bounds for dimension of size 5");
+    }
+
+    #[test]
+    fn display_ragged_rows() {
+        let e = TensorError::RaggedRows { expected: 3, found: 2 };
+        assert!(e.to_string().contains("expected width 3"));
+    }
+
+    #[test]
+    fn display_empty() {
+        assert!(TensorError::Empty.to_string().contains("non-empty"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,282 @@
+//! Matrix-level operations: GEMM, row projections and reductions.
+//!
+//! The GNN `Update` step (Eqn. 2 of the paper) is a dense multiply of an
+//! aggregated embedding by a learned weight matrix; this module provides both
+//! the full-table variant used by layer-wise inference (`matmul`) and the
+//! single-row variant used when recomputing or incrementally updating one
+//! vertex (`row_matmul`).
+
+use crate::{Matrix, Result, TensorError};
+
+/// Dense matrix multiplication `A (m x k) * B (k x n) -> (m x n)`.
+///
+/// Uses a cache-friendly i-k-j loop order; good enough for the modest hidden
+/// dimensions (16–602 columns) used by the experiments.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `A.cols() != B.rows()`.
+///
+/// # Example
+///
+/// ```
+/// # use ripple_tensor::{Matrix, ops};
+/// # fn main() -> Result<(), ripple_tensor::TensorError> {
+/// let a = Matrix::eye(2, 2);
+/// let b = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]])?;
+/// assert_eq!(ops::matmul(&a, &b)?, b);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if a.cols() != b.rows() {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            left: a.shape(),
+            right: b.shape(),
+        });
+    }
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    let out_data = out.as_mut_slice();
+    for i in 0..m {
+        for p in 0..k {
+            let a_ip = a_data[i * k + p];
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b_data[p * n..(p + 1) * n];
+            let out_row = &mut out_data[i * n..(i + 1) * n];
+            for j in 0..n {
+                out_row[j] += a_ip * b_row[j];
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Multiplies a single row vector `x (1 x k)` by a matrix `W (k x n)`,
+/// returning a freshly allocated vector of length `n`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `x.len() != w.rows()`.
+pub fn row_matmul(x: &[f32], w: &Matrix) -> Result<Vec<f32>> {
+    if x.len() != w.rows() {
+        return Err(TensorError::ShapeMismatch {
+            op: "row_matmul",
+            left: (1, x.len()),
+            right: w.shape(),
+        });
+    }
+    let n = w.cols();
+    let mut out = vec![0.0f32; n];
+    let w_data = w.as_slice();
+    for (p, &xp) in x.iter().enumerate() {
+        if xp == 0.0 {
+            continue;
+        }
+        let w_row = &w_data[p * n..(p + 1) * n];
+        for j in 0..n {
+            out[j] += xp * w_row[j];
+        }
+    }
+    Ok(out)
+}
+
+/// Element-wise sum of two matrices of equal shape.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+pub fn add(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if a.shape() != b.shape() {
+        return Err(TensorError::ShapeMismatch {
+            op: "add",
+            left: a.shape(),
+            right: b.shape(),
+        });
+    }
+    let mut out = a.clone();
+    crate::vector::add_assign(out.as_mut_slice(), b.as_slice());
+    Ok(out)
+}
+
+/// Element-wise difference `a - b` of two matrices of equal shape.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+pub fn sub(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if a.shape() != b.shape() {
+        return Err(TensorError::ShapeMismatch {
+            op: "sub",
+            left: a.shape(),
+            right: b.shape(),
+        });
+    }
+    let mut out = a.clone();
+    crate::vector::sub_assign(out.as_mut_slice(), b.as_slice());
+    Ok(out)
+}
+
+/// Scales every element of the matrix by `alpha`, returning a new matrix.
+pub fn scale(a: &Matrix, alpha: f32) -> Matrix {
+    let mut out = a.clone();
+    crate::vector::scale(out.as_mut_slice(), alpha);
+    out
+}
+
+/// Sums a set of rows of `m` (selected by `indices`), returning a vector of
+/// width `m.cols()`. This is the `sum` aggregation over a neighbourhood.
+///
+/// # Errors
+///
+/// Returns [`TensorError::IndexOutOfBounds`] if any index is out of range.
+pub fn sum_rows(m: &Matrix, indices: &[usize]) -> Result<Vec<f32>> {
+    let mut acc = vec![0.0f32; m.cols()];
+    for &i in indices {
+        let row = m.try_row(i)?;
+        crate::vector::add_assign(&mut acc, row);
+    }
+    Ok(acc)
+}
+
+/// Mean of a set of rows of `m`. An empty index set yields the zero vector,
+/// mirroring the convention that a vertex with no in-neighbours aggregates to
+/// zero.
+///
+/// # Errors
+///
+/// Returns [`TensorError::IndexOutOfBounds`] if any index is out of range.
+pub fn mean_rows(m: &Matrix, indices: &[usize]) -> Result<Vec<f32>> {
+    let mut acc = sum_rows(m, indices)?;
+    if !indices.is_empty() {
+        crate::vector::scale(&mut acc, 1.0 / indices.len() as f32);
+    }
+    Ok(acc)
+}
+
+/// Weighted sum of a set of rows of `m`: `sum_i w_i * m[row_i]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::IndexOutOfBounds`] if any index is out of range and
+/// [`TensorError::ShapeMismatch`] if `indices.len() != weights.len()`.
+pub fn weighted_sum_rows(m: &Matrix, indices: &[usize], weights: &[f32]) -> Result<Vec<f32>> {
+    if indices.len() != weights.len() {
+        return Err(TensorError::ShapeMismatch {
+            op: "weighted_sum_rows",
+            left: (indices.len(), 1),
+            right: (weights.len(), 1),
+        });
+    }
+    let mut acc = vec![0.0f32; m.cols()];
+    for (&i, &w) in indices.iter().zip(weights.iter()) {
+        let row = m.try_row(i)?;
+        crate::vector::axpy(&mut acc, w, row);
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![3.0, 4.0],
+            vec![5.0, 6.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let m = sample();
+        let id = Matrix::eye(2, 2);
+        assert_eq!(matmul(&m, &id).unwrap(), m);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.row(0), &[19.0, 22.0]);
+        assert_eq!(c.row(1), &[43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn row_matmul_matches_matmul() {
+        let m = sample();
+        let w = Matrix::from_rows(&[vec![1.0, 0.0, 1.0], vec![0.0, 2.0, 1.0]]).unwrap();
+        let full = matmul(&m, &w).unwrap();
+        for r in 0..m.rows() {
+            let single = row_matmul(m.row(r), &w).unwrap();
+            assert_eq!(single.as_slice(), full.row(r));
+        }
+    }
+
+    #[test]
+    fn row_matmul_shape_mismatch() {
+        let w = Matrix::zeros(3, 2);
+        assert!(row_matmul(&[1.0, 2.0], &w).is_err());
+    }
+
+    #[test]
+    fn add_sub_round_trip() {
+        let a = sample();
+        let b = Matrix::filled(3, 2, 1.0);
+        let s = add(&a, &b).unwrap();
+        assert_eq!(s.row(0), &[2.0, 3.0]);
+        let d = sub(&s, &b).unwrap();
+        assert_eq!(d, a);
+        assert!(add(&a, &Matrix::zeros(1, 1)).is_err());
+        assert!(sub(&a, &Matrix::zeros(1, 1)).is_err());
+    }
+
+    #[test]
+    fn scale_matrix() {
+        let a = sample();
+        let s = scale(&a, 2.0);
+        assert_eq!(s.row(2), &[10.0, 12.0]);
+    }
+
+    #[test]
+    fn sum_rows_over_subset() {
+        let m = sample();
+        let s = sum_rows(&m, &[0, 2]).unwrap();
+        assert_eq!(s, vec![6.0, 8.0]);
+        assert_eq!(sum_rows(&m, &[]).unwrap(), vec![0.0, 0.0]);
+        assert!(sum_rows(&m, &[9]).is_err());
+    }
+
+    #[test]
+    fn mean_rows_over_subset() {
+        let m = sample();
+        let s = mean_rows(&m, &[0, 1]).unwrap();
+        assert_eq!(s, vec![2.0, 3.0]);
+        assert_eq!(mean_rows(&m, &[]).unwrap(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn weighted_sum_rows_with_weights() {
+        let m = sample();
+        let s = weighted_sum_rows(&m, &[0, 1], &[2.0, 0.5]).unwrap();
+        assert_eq!(s, vec![3.5, 6.0]);
+        assert!(weighted_sum_rows(&m, &[0], &[1.0, 2.0]).is_err());
+        assert!(weighted_sum_rows(&m, &[9], &[1.0]).is_err());
+    }
+}

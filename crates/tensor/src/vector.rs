@@ -1,0 +1,182 @@
+//! Free functions on `f32` slices used as embedding vectors.
+//!
+//! The incremental engine spends most of its time adding and subtracting
+//! embedding-sized vectors (applying delta messages to mailboxes and
+//! embeddings), so these helpers are the hottest code in the workspace. They
+//! operate on plain slices to avoid committing callers to a particular
+//! container.
+
+/// Element-wise `dst += src`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths; callers always pass
+/// embedding vectors of a fixed, model-determined width.
+///
+/// ```
+/// let mut dst = vec![1.0, 2.0];
+/// ripple_tensor::add_assign(&mut dst, &[0.5, 0.5]);
+/// assert_eq!(dst, vec![1.5, 2.5]);
+/// ```
+pub fn add_assign(dst: &mut [f32], src: &[f32]) {
+    assert_eq!(dst.len(), src.len(), "add_assign length mismatch");
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d += *s;
+    }
+}
+
+/// Element-wise `dst -= src`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn sub_assign(dst: &mut [f32], src: &[f32]) {
+    assert_eq!(dst.len(), src.len(), "sub_assign length mismatch");
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d -= *s;
+    }
+}
+
+/// Element-wise `dst += alpha * src` (the BLAS "axpy" primitive).
+///
+/// This is the single operation behind Ripple's delta messages for the
+/// `weighted sum` and `mean` aggregators: a message `m = alpha*(h_new - h_old)`
+/// is applied to a mailbox with one axpy.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(dst: &mut [f32], alpha: f32, src: &[f32]) {
+    assert_eq!(dst.len(), src.len(), "axpy length mismatch");
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d += alpha * *s;
+    }
+}
+
+/// Element-wise `dst *= alpha`.
+pub fn scale(dst: &mut [f32], alpha: f32) {
+    for d in dst.iter_mut() {
+        *d *= alpha;
+    }
+}
+
+/// Euclidean (L2) norm of a vector.
+pub fn l2_norm(v: &[f32]) -> f32 {
+    v.iter().map(|x| x * x).sum::<f32>().sqrt()
+}
+
+/// Largest absolute element-wise difference between two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "max_abs_diff length mismatch");
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f32, f32::max)
+}
+
+/// Dot product of two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// Returns the index of the largest element (argmax). Ties resolve to the
+/// first maximal index; returns `None` for an empty slice.
+///
+/// Used to turn a final-layer embedding (class logits) into a predicted label.
+pub fn argmax(v: &[f32]) -> Option<usize> {
+    if v.is_empty() {
+        return None;
+    }
+    let mut best = 0usize;
+    for (i, &x) in v.iter().enumerate() {
+        if x > v[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_sub_round_trip() {
+        let mut v = vec![1.0, 2.0, 3.0];
+        add_assign(&mut v, &[1.0, 1.0, 1.0]);
+        assert_eq!(v, vec![2.0, 3.0, 4.0]);
+        sub_assign(&mut v, &[1.0, 1.0, 1.0]);
+        assert_eq!(v, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn axpy_matches_manual() {
+        let mut v = vec![1.0, 2.0];
+        axpy(&mut v, 0.5, &[4.0, 8.0]);
+        assert_eq!(v, vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn axpy_with_zero_alpha_is_noop() {
+        let mut v = vec![1.0, 2.0];
+        axpy(&mut v, 0.0, &[100.0, 100.0]);
+        assert_eq!(v, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn scale_multiplies_every_element() {
+        let mut v = vec![1.0, -2.0, 3.0];
+        scale(&mut v, 2.0);
+        assert_eq!(v, vec![2.0, -4.0, 6.0]);
+    }
+
+    #[test]
+    fn l2_norm_of_3_4_is_5() {
+        assert!((l2_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn l2_norm_of_empty_is_zero() {
+        assert_eq!(l2_norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn max_abs_diff_finds_largest_gap() {
+        assert_eq!(max_abs_diff(&[1.0, 5.0], &[1.5, 4.0]), 1.0);
+        assert_eq!(max_abs_diff(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn argmax_behaviour() {
+        assert_eq!(argmax(&[1.0, 3.0, 2.0]), Some(1));
+        assert_eq!(argmax(&[2.0, 2.0]), Some(0), "ties resolve to first index");
+        assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn add_assign_length_mismatch_panics() {
+        let mut v = vec![1.0];
+        add_assign(&mut v, &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests of the dense linear-algebra substrate: the algebraic
+//! identities the incremental engine relies on (linearity, distributivity,
+//! inverse operations) must hold for arbitrary matrices within float
+//! tolerance.
+
+use proptest::prelude::*;
+use ripple_tensor::{ops, Matrix};
+
+fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_flat(rows, cols, data).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// `A·(B + C) == A·B + A·C` — the distributivity that makes delta
+    /// propagation through the (linear) Update function exact.
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in matrix_strategy(4, 3),
+        b in matrix_strategy(3, 5),
+        c in matrix_strategy(3, 5),
+    ) {
+        let lhs = ops::matmul(&a, &ops::add(&b, &c).unwrap()).unwrap();
+        let rhs = ops::add(&ops::matmul(&a, &b).unwrap(), &ops::matmul(&a, &c).unwrap()).unwrap();
+        prop_assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-3);
+    }
+
+    /// Adding and then subtracting the same matrix is the identity.
+    #[test]
+    fn add_then_sub_round_trips(
+        a in matrix_strategy(5, 4),
+        b in matrix_strategy(5, 4),
+    ) {
+        let back = ops::sub(&ops::add(&a, &b).unwrap(), &b).unwrap();
+        prop_assert!(back.max_abs_diff(&a).unwrap() < 1e-4);
+    }
+
+    /// Transposition is an involution.
+    #[test]
+    fn transpose_is_involutive(a in matrix_strategy(6, 3)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    /// `row_matmul` agrees with the full matrix product row by row.
+    #[test]
+    fn row_matmul_matches_matmul(
+        a in matrix_strategy(4, 3),
+        w in matrix_strategy(3, 4),
+    ) {
+        let full = ops::matmul(&a, &w).unwrap();
+        for r in 0..a.rows() {
+            let single = ops::row_matmul(a.row(r), &w).unwrap();
+            let diff = ripple_tensor::max_abs_diff(&single, full.row(r));
+            prop_assert!(diff < 1e-4);
+        }
+    }
+
+    /// Summing rows one by one equals summing them all at once (the mailbox
+    /// accumulation property at the matrix level).
+    #[test]
+    fn sum_rows_is_order_independent(
+        m in matrix_strategy(8, 4),
+        mut indices in prop::collection::vec(0usize..8, 1..8),
+    ) {
+        let forward = ops::sum_rows(&m, &indices).unwrap();
+        indices.reverse();
+        let backward = ops::sum_rows(&m, &indices).unwrap();
+        prop_assert!(ripple_tensor::max_abs_diff(&forward, &backward) < 1e-4);
+    }
+
+    /// `axpy` with alpha and then with -alpha restores the original vector.
+    #[test]
+    fn axpy_is_invertible(
+        base in prop::collection::vec(-5.0f32..5.0, 16),
+        delta in prop::collection::vec(-5.0f32..5.0, 16),
+        alpha in -3.0f32..3.0,
+    ) {
+        let mut v = base.clone();
+        ripple_tensor::axpy(&mut v, alpha, &delta);
+        ripple_tensor::axpy(&mut v, -alpha, &delta);
+        prop_assert!(ripple_tensor::max_abs_diff(&v, &base) < 1e-3);
+    }
+}

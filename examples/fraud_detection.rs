@@ -1,0 +1,76 @@
+//! Trigger-based fraud detection on a streaming transaction graph.
+//!
+//! ```bash
+//! cargo run --release --example fraud_detection
+//! ```
+//!
+//! The paper's motivating fintech scenario: accounts are vertices, transfers
+//! are directed edges, and account attributes (balances, activity counters)
+//! are vertex features. New transactions arrive continuously as edge
+//! additions and feature updates; the application must be *notified* whenever
+//! the predicted class (legitimate / suspicious / ...) of any account changes
+//! — the trigger-based serving model Ripple targets.
+
+use ripple::prelude::*;
+use std::collections::HashMap;
+
+fn main() {
+    // A scale-free "account" graph: most accounts transact with a few peers,
+    // a handful (merchants, exchanges) with thousands.
+    let spec = DatasetSpec::custom(3_000, 8.0, 24, 4);
+    let full = spec.generate(2024).expect("dataset generation");
+    let plan = build_stream(
+        &full,
+        &StreamConfig { holdout_fraction: 0.15, total_updates: 600, seed: 99 },
+    )
+    .expect("stream construction");
+
+    // A 2-layer GraphConv-with-sum classifier over 4 risk classes.
+    let model = Workload::GcS.build_model(24, 48, 4, 2, 5).expect("model");
+    let store = full_inference(&plan.snapshot, &model).expect("bootstrap");
+    let baseline_labels = store.predicted_labels();
+
+    let batches = plan.batches(20);
+    let mut engine =
+        RippleEngine::new(plan.snapshot, model, store, RippleConfig::default()).expect("engine");
+
+    // Process transactions in small batches (low latency matters more than
+    // throughput for fraud) and raise an alert whenever a vertex's predicted
+    // class flips into class 3 ("suspicious" in this synthetic labelling).
+    const SUSPICIOUS: usize = 3;
+    let mut alerts: HashMap<VertexId, usize> = HashMap::new();
+    let mut previous = baseline_labels;
+    for (i, batch) in batches.iter().enumerate() {
+        let stats = engine.process_batch(batch).expect("batch processing");
+        // Only the affected vertices can have changed — a real deployment
+        // would get exactly those from the engine; here we rescan labels to
+        // keep the example short.
+        let current = engine.store().predicted_labels();
+        let mut new_alerts = 0;
+        for (v, (&old, &new)) in previous.iter().zip(current.iter()).enumerate() {
+            if old != new && new == SUSPICIOUS {
+                *alerts.entry(VertexId(v as u32)).or_default() += 1;
+                new_alerts += 1;
+            }
+        }
+        previous = current;
+        println!(
+            "batch {i:>3}: {:>3} updates, {:>5} vertices refreshed in {:>8.3} ms, {new_alerts} new alerts",
+            stats.batch_size,
+            stats.affected_final,
+            stats.total_time().as_secs_f64() * 1e3
+        );
+    }
+
+    println!();
+    println!(
+        "{} accounts were flagged suspicious at least once while streaming {} transactions",
+        alerts.len(),
+        plan.updates.len()
+    );
+    let mut flagged: Vec<_> = alerts.into_iter().collect();
+    flagged.sort_by_key(|(_, count)| std::cmp::Reverse(*count));
+    for (account, count) in flagged.into_iter().take(5) {
+        println!("  account {account}: flipped to suspicious {count} time(s)");
+    }
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig 10: single-machine comparative performance of the five
+//! GNN workloads with 3 layers on the Products-like graph.
+
+use ripple::experiments::{print_header, single_machine_sweep, Scale};
+use ripple::graph::synth::DatasetKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    print_header("Fig 10: single-machine throughput/latency, 3-layer workloads (Products)", scale);
+    single_machine_sweep(scale, 3, &[DatasetKind::Products]);
+}

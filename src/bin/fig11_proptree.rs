@@ -1,0 +1,70 @@
+//! Regenerates Fig 11: batch latency versus the number of vertices in the
+//! propagation tree, for single-update batches on the Products-like graph
+//! (GC-S, 2 and 3 layers), comparing RC and Ripple.
+//!
+//! The paper plots a per-batch scatter; this harness buckets the propagation
+//! tree sizes and prints the median latency per bucket for both strategies,
+//! which shows the same correlation and the order-of-magnitude gap.
+
+use ripple::experiments::{prepare_stream, print_header, run_strategy_per_batch, Scale, Strategy};
+use ripple::graph::synth::DatasetKind;
+use ripple::prelude::*;
+
+fn main() {
+    let scale = Scale::from_env();
+    print_header("Fig 11: batch latency vs propagation-tree size (Products-like, GC-S, batch=1)", scale);
+    let spec = scale.dataset(DatasetKind::Products);
+    let num_batches = match scale {
+        Scale::Tiny => 20,
+        Scale::Small => 60,
+        Scale::Medium => 120,
+    };
+    for layers in [2usize, 3] {
+        println!("--- {layers}-layer model ---");
+        let prepared = prepare_stream(&spec, Workload::GcS, layers, 1, num_batches, 23);
+        let rc = run_strategy_per_batch(&prepared, Strategy::Rc);
+        let ripple = run_strategy_per_batch(&prepared, Strategy::Ripple);
+
+        // Bucket by propagation-tree size (using RC's tree, which equals
+        // Ripple's by construction) and report median latency per bucket.
+        let max_tree = rc.iter().map(|s| s.propagation_tree_size).max().unwrap_or(1).max(1);
+        let buckets = 6usize;
+        println!(
+            "{:>22} {:>10} {:>18} {:>18}",
+            "tree-size bucket", "batches", "RC median (ms)", "Ripple median (ms)"
+        );
+        for b in 0..buckets {
+            let lo = b * max_tree / buckets;
+            let hi = (b + 1) * max_tree / buckets;
+            let in_bucket: Vec<usize> = rc
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.propagation_tree_size > lo && s.propagation_tree_size <= hi)
+                .map(|(i, _)| i)
+                .collect();
+            if in_bucket.is_empty() {
+                continue;
+            }
+            let rc_med = median(in_bucket.iter().map(|&i| rc[i].total_time().as_secs_f64() * 1e3));
+            let rp_med =
+                median(in_bucket.iter().map(|&i| ripple[i].total_time().as_secs_f64() * 1e3));
+            println!(
+                "{:>12} - {:>7} {:>10} {:>18.3} {:>18.3}",
+                lo,
+                hi,
+                in_bucket.len(),
+                rc_med,
+                rp_med
+            );
+        }
+    }
+    println!();
+    println!("Expected shape (paper): latency correlates strongly with the propagation-tree size");
+    println!("for both strategies, and Ripple sits roughly an order of magnitude below RC.");
+}
+
+fn median(values: impl Iterator<Item = f64>) -> f64 {
+    let mut v: Vec<f64> = values.collect();
+    v.sort_by(f64::total_cmp);
+    v.get(v.len() / 2).copied().unwrap_or(0.0)
+}

@@ -1,0 +1,76 @@
+//! Regenerates Fig 12: distributed scaling of Ripple vs distributed RC on the
+//! Papers-like graph.
+//!
+//! * (a) throughput and median latency on 8 partitions for the 3-layer GC-S
+//!   and GC-M workloads across batch sizes;
+//! * (b) strong scaling of GC-S-3L with 4–16 partitions for three batch
+//!   sizes;
+//! * (c) the compute vs communication split for GC-S-3L, batch 1000, across
+//!   partition counts.
+
+use ripple::experiments::{
+    prepare_stream, print_header, run_distributed, DistStrategy, Scale,
+};
+use ripple::graph::synth::DatasetKind;
+use ripple::prelude::*;
+
+fn main() {
+    let scale = Scale::from_env();
+    print_header("Fig 12: distributed Ripple vs RC on Papers-like", scale);
+    let spec = scale.dataset(DatasetKind::Papers);
+
+    // (a) 8 partitions, GC-S and GC-M, 3 layers, batch sizes 10/100/1000.
+    println!("--- (a) throughput & latency on 8 partitions (3-layer) ---");
+    println!(
+        "{:<10} {:<8} {:>8} {:>14} {:>18}",
+        "workload", "strategy", "batch", "thpt (up/s)", "median lat (ms)"
+    );
+    for workload in [Workload::GcS, Workload::GcM] {
+        for batch_size in [10usize, 100, 1000] {
+            let num_batches = if batch_size >= 1000 { 2 } else { 3 };
+            let prepared = prepare_stream(&spec, workload, 3, batch_size, num_batches, 31);
+            for strategy in [DistStrategy::Rc, DistStrategy::Ripple] {
+                let summary = run_distributed(&prepared, strategy, 8);
+                println!(
+                    "{:<10} {:<8} {:>8} {:>14.1} {:>18.3}",
+                    workload.name(),
+                    strategy.name(),
+                    batch_size,
+                    summary.throughput,
+                    summary.median_latency.as_secs_f64() * 1e3
+                );
+            }
+        }
+    }
+
+    // (b) + (c): strong scaling of GC-S-3L across partition counts.
+    println!();
+    println!("--- (b)/(c) strong scaling of GC-S-3L (batch 1000): throughput, compute & comm ---");
+    println!(
+        "{:<8} {:>8} {:>14} {:>14} {:>14} {:>16} {:>14}",
+        "strategy", "parts", "thpt (up/s)", "compute (s)", "comm (s)", "bytes", "messages"
+    );
+    let prepared = prepare_stream(&spec, Workload::GcS, 3, 1000, 2, 37);
+    let part_counts: &[usize] = match scale {
+        Scale::Tiny => &[2, 4],
+        _ => &[4, 6, 8, 10, 12, 16],
+    };
+    for &parts in part_counts {
+        for strategy in [DistStrategy::Rc, DistStrategy::Ripple] {
+            let summary = run_distributed(&prepared, strategy, parts);
+            println!(
+                "{:<8} {:>8} {:>14.1} {:>14.3} {:>14.3} {:>16} {:>14}",
+                strategy.name(),
+                parts,
+                summary.throughput,
+                summary.total_compute_time.as_secs_f64(),
+                summary.total_comm_time.as_secs_f64(),
+                summary.total_bytes,
+                summary.total_messages
+            );
+        }
+    }
+    println!();
+    println!("Expected shape (paper): Ripple's throughput scales with partitions while RC's");
+    println!("stays flat because it communicates orders of magnitude more bytes per batch.");
+}

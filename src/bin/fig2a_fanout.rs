@@ -1,0 +1,69 @@
+//! Regenerates Fig 2a: the effect of neighbourhood-sampling fanout on
+//! vertex-wise inference accuracy and latency (Reddit graph, 3-layer
+//! GraphSAGE).
+//!
+//! "Accuracy" is measured as agreement with the deterministic
+//! full-neighbourhood prediction (the quantity the paper's determinism
+//! argument is about); latency is the mean per-vertex inference time.
+
+use ripple::experiments::{print_header, Scale, HIDDEN_DIM};
+use ripple::gnn::sampling::label_agreement;
+use ripple::gnn::vertex_wise::{infer_vertex, VertexWiseOptions};
+use ripple::graph::synth::DatasetKind;
+use ripple::prelude::*;
+use ripple::tensor::vector::argmax;
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_env();
+    print_header(
+        "Fig 2a: fanout vs. inference agreement and per-vertex latency (Reddit-like, 3-layer GS-S)",
+        scale,
+    );
+    let spec = scale.dataset(DatasetKind::Reddit);
+    let graph = spec.generate(7).expect("dataset generation");
+    let model = Workload::GsS
+        .build_model(spec.feature_dim, HIDDEN_DIM, spec.num_classes, 3, 11)
+        .expect("model");
+
+    // Reference: deterministic full-neighbourhood predictions.
+    let num_targets = match scale {
+        Scale::Tiny => 20,
+        Scale::Small => 40,
+        Scale::Medium => 100,
+    };
+    let targets: Vec<VertexId> = (0..graph.num_vertices())
+        .step_by((graph.num_vertices() / num_targets).max(1))
+        .take(num_targets)
+        .map(|v| VertexId(v as u32))
+        .collect();
+
+    let mut reference_labels = Vec::with_capacity(targets.len());
+    let full_start = Instant::now();
+    for &t in &targets {
+        let (emb, _) = infer_vertex(&graph, &model, t, &VertexWiseOptions::default()).expect("inference");
+        reference_labels.push(argmax(&emb).unwrap_or(0));
+    }
+    let full_latency = full_start.elapsed().as_secs_f64() * 1e3 / targets.len() as f64;
+
+    println!(
+        "{:<10} {:>14} {:>22}",
+        "fanout", "agreement (%)", "avg latency (ms/vertex)"
+    );
+    for fanout in [4usize, 8, 16, 32] {
+        let mut labels = Vec::with_capacity(targets.len());
+        let start = Instant::now();
+        for &t in &targets {
+            let opts = VertexWiseOptions { fanout: Some(fanout), seed: 99 };
+            let (emb, _) = infer_vertex(&graph, &model, t, &opts).expect("inference");
+            labels.push(argmax(&emb).unwrap_or(0));
+        }
+        let latency = start.elapsed().as_secs_f64() * 1e3 / targets.len() as f64;
+        let agreement = label_agreement(&reference_labels, &labels) * 100.0;
+        println!("{fanout:<10} {agreement:>14.1} {latency:>22.3}");
+    }
+    println!("{:<10} {:>14.1} {:>22.3}", "full", 100.0, full_latency);
+    println!();
+    println!("Expected shape (paper): agreement rises towards the deterministic full-neighbourhood");
+    println!("prediction as fanout grows, while per-vertex latency grows with fanout.");
+}

@@ -1,0 +1,54 @@
+//! Regenerates Fig 2b: fraction of affected vertices and per-batch latency
+//! for RC and Ripple as the update batch size grows (Arxiv vs Products,
+//! 3-layer model).
+
+use ripple::experiments::{prepare_stream, print_header, run_strategy_per_batch, Scale, Strategy};
+use ripple::graph::synth::DatasetKind;
+use ripple::prelude::*;
+
+fn main() {
+    let scale = Scale::from_env();
+    print_header(
+        "Fig 2b: % affected vertices and batch latency vs batch size (3-layer GC-S)",
+        scale,
+    );
+    for kind in [DatasetKind::Arxiv, DatasetKind::Products] {
+        let spec = scale.dataset(kind);
+        println!("--- {} (|V| = {}) ---", spec.name, spec.num_vertices);
+        println!(
+            "{:<12} {:>16} {:>18} {:>18}",
+            "batch size", "% affected", "RC latency (ms)", "Ripple latency (ms)"
+        );
+        for batch_size in [1usize, 10, 100] {
+            let prepared = prepare_stream(&spec, Workload::GcS, 3, batch_size, scale.batches_per_cell(), 5);
+            let rc = run_strategy_per_batch(&prepared, Strategy::Rc);
+            let ripple = run_strategy_per_batch(&prepared, Strategy::Ripple);
+            let pct_affected = mean(rc.iter().map(|s| {
+                100.0 * s.affected_final as f64 / prepared.snapshot.num_vertices() as f64
+            }));
+            let rc_latency = median_ms(&rc);
+            let rp_latency = median_ms(&ripple);
+            println!(
+                "{batch_size:<12} {pct_affected:>16.2} {rc_latency:>18.3} {rp_latency:>18.3}"
+            );
+        }
+    }
+    println!();
+    println!("Expected shape (paper): the affected fraction grows with batch size and is far");
+    println!("larger for the denser Products graph; RC latency grows with it, Ripple stays lower.");
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = values.collect();
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+fn median_ms(stats: &[BatchStats]) -> f64 {
+    let mut l: Vec<f64> = stats.iter().map(|s| s.total_time().as_secs_f64() * 1e3).collect();
+    l.sort_by(f64::total_cmp);
+    l.get(l.len() / 2).copied().unwrap_or(0.0)
+}

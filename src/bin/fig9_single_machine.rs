@@ -1,0 +1,16 @@
+//! Regenerates Fig 9: single-machine throughput and median batch latency of
+//! DRC, RC and Ripple for the five 2-layer GNN workloads over the Arxiv-,
+//! Reddit- and Products-like graphs, across batch sizes 1/10/100/1000.
+
+use ripple::experiments::{print_header, single_machine_sweep, Scale};
+use ripple::graph::synth::DatasetKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    print_header("Fig 9: single-machine throughput/latency, 2-layer workloads", scale);
+    single_machine_sweep(
+        scale,
+        2,
+        &[DatasetKind::Arxiv, DatasetKind::Products, DatasetKind::Reddit],
+    );
+}

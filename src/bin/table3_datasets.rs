@@ -1,0 +1,26 @@
+//! Regenerates Table 3: the datasets used in the experiments.
+//!
+//! Prints, for each of the paper's four datasets, the paper-scale statistics
+//! and the statistics of the synthetic stand-in generated at the current
+//! `RIPPLE_SCALE`.
+
+use ripple::experiments::{print_header, Scale};
+use ripple::graph::degree::DegreeStats;
+use ripple::graph::synth::DatasetKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    print_header("Table 3: graph datasets (paper vs. generated stand-ins)", scale);
+    for kind in [
+        DatasetKind::Arxiv,
+        DatasetKind::Reddit,
+        DatasetKind::Products,
+        DatasetKind::Papers,
+    ] {
+        let spec = scale.dataset(kind);
+        let graph = spec.generate(42).expect("dataset generation");
+        let stats = DegreeStats::compute(&graph);
+        println!("{}", spec.table3_row(Some(&graph)));
+        println!("    degree distribution: {stats}");
+    }
+}

@@ -1,0 +1,429 @@
+//! Shared plumbing for the experiment harness binaries (`src/bin/fig*.rs`,
+//! `src/bin/table3_datasets.rs`).
+//!
+//! Every binary regenerates one table or figure of the paper at a reduced,
+//! configurable scale. The scale is controlled by the `RIPPLE_SCALE`
+//! environment variable (`tiny`, `small`, `medium`); `small` is the default
+//! and keeps the full Fig 9 sweep under a few minutes on a laptop while
+//! preserving every qualitative trend. `EXPERIMENTS.md` records the output of
+//! a `small` run next to the paper's numbers.
+
+use crate::prelude::*;
+use ripple_graph::synth::DatasetKind;
+use std::time::Duration;
+
+/// Experiment scale, mapped from the `RIPPLE_SCALE` environment variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// A few hundred vertices — used by integration tests of the binaries.
+    Tiny,
+    /// Thousands of vertices (default) — minutes per figure.
+    Small,
+    /// Tens of thousands of vertices — closer to the paper's trends, tens of
+    /// minutes for the full sweep.
+    Medium,
+}
+
+impl Scale {
+    /// Reads the scale from `RIPPLE_SCALE` (defaults to [`Scale::Small`]).
+    pub fn from_env() -> Self {
+        match std::env::var("RIPPLE_SCALE").unwrap_or_default().to_lowercase().as_str() {
+            "tiny" => Scale::Tiny,
+            "medium" => Scale::Medium,
+            _ => Scale::Small,
+        }
+    }
+
+    /// Scaled vertex count and average in-degree for one of the paper's
+    /// datasets. Dense graphs (Reddit) have their in-degree reduced along
+    /// with the vertex count so that the affected-fraction behaviour is
+    /// preserved without hundreds of millions of edges.
+    pub fn dataset(self, kind: DatasetKind) -> DatasetSpec {
+        let base = match kind {
+            DatasetKind::Arxiv => DatasetSpec::arxiv_like(),
+            DatasetKind::Reddit => DatasetSpec::reddit_like(),
+            DatasetKind::Products => DatasetSpec::products_like(),
+            DatasetKind::Papers => DatasetSpec::papers_like(),
+            DatasetKind::Custom => DatasetSpec::custom(1000, 5.0, 32, 8),
+        };
+        match self {
+            Scale::Tiny => {
+                let (n, deg) = match kind {
+                    DatasetKind::Arxiv => (400, 6.9),
+                    DatasetKind::Reddit => (200, 20.0),
+                    DatasetKind::Products => (300, 12.0),
+                    DatasetKind::Papers => (500, 6.0),
+                    DatasetKind::Custom => (200, 4.0),
+                };
+                base.scaled_to(n).with_avg_in_degree(deg).with_feature_dim(16)
+            }
+            Scale::Small => {
+                // Vertex counts are chosen so that the L-hop neighbourhood of a
+                // small batch stays well below the whole graph (the paper's
+                // sparse-propagation regime); degrees of the two densest
+                // graphs are reduced along with their vertex counts.
+                let (n, deg, feats) = match kind {
+                    DatasetKind::Arxiv => (20_000, 6.9, 64),
+                    DatasetKind::Reddit => (3_000, 100.0, 64),
+                    DatasetKind::Products => (12_000, 20.0, 64),
+                    DatasetKind::Papers => (15_000, 10.0, 64),
+                    DatasetKind::Custom => (1000, 5.0, 32),
+                };
+                base.scaled_to(n).with_avg_in_degree(deg).with_feature_dim(feats)
+            }
+            Scale::Medium => {
+                let (n, deg) = match kind {
+                    DatasetKind::Arxiv => (20_000, 6.9),
+                    DatasetKind::Reddit => (2_000, 200.0),
+                    DatasetKind::Products => (10_000, 50.5),
+                    DatasetKind::Papers => (40_000, 14.5),
+                    DatasetKind::Custom => (5000, 6.0),
+                };
+                base.scaled_to(n).with_avg_in_degree(deg)
+            }
+        }
+    }
+
+    /// Number of update batches replayed per experiment cell.
+    pub fn batches_per_cell(self) -> usize {
+        match self {
+            Scale::Tiny => 3,
+            Scale::Small => 5,
+            Scale::Medium => 10,
+        }
+    }
+}
+
+/// Hidden width used by every harness model (the paper does not report its
+/// hidden width; 32 keeps the arithmetic light without changing any trend).
+pub const HIDDEN_DIM: usize = 32;
+
+/// One prepared experiment cell: a bootstrapped snapshot plus its update
+/// stream, ready to be replayed by any strategy.
+pub struct PreparedStream {
+    /// The dataset specification used.
+    pub spec: DatasetSpec,
+    /// The initial snapshot graph.
+    pub snapshot: DynamicGraph,
+    /// The trained (deterministically initialised) model.
+    pub model: GnnModel,
+    /// Bootstrap embeddings of the snapshot.
+    pub store: EmbeddingStore,
+    /// The update stream batched at the requested size.
+    pub batches: Vec<UpdateBatch>,
+}
+
+/// Prepares a snapshot + update stream + bootstrap embeddings for one
+/// (dataset, workload, layers, batch size) cell.
+///
+/// # Panics
+///
+/// Panics on generation or inference errors — the harness binaries treat any
+/// setup failure as fatal.
+pub fn prepare_stream(
+    spec: &DatasetSpec,
+    workload: Workload,
+    num_layers: usize,
+    batch_size: usize,
+    num_batches: usize,
+    seed: u64,
+) -> PreparedStream {
+    let full = spec
+        .generate_weighted(seed, workload.needs_edge_weights())
+        .expect("dataset generation");
+    let plan = build_stream(
+        &full,
+        &StreamConfig {
+            holdout_fraction: 0.10,
+            total_updates: batch_size * num_batches,
+            seed: seed ^ 0xabcd,
+        },
+    )
+    .expect("update stream");
+    let model = workload
+        .build_model(spec.feature_dim, HIDDEN_DIM, spec.num_classes, num_layers, seed ^ 0x77)
+        .expect("model construction");
+    let store = full_inference(&plan.snapshot, &model).expect("bootstrap inference");
+    let batches = plan.batches(batch_size);
+    PreparedStream { spec: spec.clone(), snapshot: plan.snapshot, model, store, batches }
+}
+
+/// The single-machine strategies compared throughout the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// DGL-style layer-wise recompute (per-batch graph rebuild overhead).
+    Drc,
+    /// The paper's lightweight layer-wise recompute baseline.
+    Rc,
+    /// The Ripple incremental engine.
+    Ripple,
+    /// Vertex-wise recompute (DNC-style), only used by Fig 8.
+    VertexWise,
+}
+
+impl Strategy {
+    /// Display name matching the paper's figure legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Drc => "DRC",
+            Strategy::Rc => "RC",
+            Strategy::Ripple => "Ripple",
+            Strategy::VertexWise => "DNC",
+        }
+    }
+}
+
+/// Replays a prepared stream through one strategy and returns its summary.
+///
+/// # Panics
+///
+/// Panics on engine errors — harness cells are expected to be valid.
+pub fn run_strategy(prepared: &PreparedStream, strategy: Strategy) -> StreamSummary {
+    let graph = prepared.snapshot.clone();
+    let model = prepared.model.clone();
+    let store = prepared.store.clone();
+    let mut engine: Box<dyn StreamingEngine> = match strategy {
+        Strategy::Drc => Box::new(
+            RecomputeEngine::new(graph, model, store, RecomputeConfig::drc()).expect("drc engine"),
+        ),
+        Strategy::Rc => Box::new(
+            RecomputeEngine::new(graph, model, store, RecomputeConfig::rc()).expect("rc engine"),
+        ),
+        Strategy::Ripple => Box::new(
+            RippleEngine::new(graph, model, store, RippleConfig::default()).expect("ripple engine"),
+        ),
+        Strategy::VertexWise => {
+            Box::new(ripple_core::batch::VertexWiseEngine::new(graph, model, store))
+        }
+    };
+    StreamRunner::run_to_summary(engine.as_mut(), &prepared.batches, strategy.name())
+        .expect("stream processing")
+}
+
+/// Per-batch statistics for one strategy over a prepared stream (used by the
+/// figures that need per-batch scatter rather than summaries, e.g. Fig 11).
+///
+/// # Panics
+///
+/// Panics on engine errors.
+pub fn run_strategy_per_batch(prepared: &PreparedStream, strategy: Strategy) -> Vec<BatchStats> {
+    let graph = prepared.snapshot.clone();
+    let model = prepared.model.clone();
+    let store = prepared.store.clone();
+    let mut runner = StreamRunner::new();
+    match strategy {
+        Strategy::Ripple => {
+            let mut e =
+                RippleEngine::new(graph, model, store, RippleConfig::default()).expect("engine");
+            runner.run(&mut e, &prepared.batches).expect("stream");
+        }
+        Strategy::Rc => {
+            let mut e = RecomputeEngine::new(graph, model, store, RecomputeConfig::rc())
+                .expect("engine");
+            runner.run(&mut e, &prepared.batches).expect("stream");
+        }
+        Strategy::Drc => {
+            let mut e = RecomputeEngine::new(graph, model, store, RecomputeConfig::drc())
+                .expect("engine");
+            runner.run(&mut e, &prepared.batches).expect("stream");
+        }
+        Strategy::VertexWise => {
+            let mut e = ripple_core::batch::VertexWiseEngine::new(graph, model, store);
+            runner.run(&mut e, &prepared.batches).expect("stream");
+        }
+    }
+    runner.batch_stats().to_vec()
+}
+
+/// Formats a duration as milliseconds with three decimals.
+pub fn fmt_ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+/// The shared sweep behind Fig 9 (2-layer, three graphs) and Fig 10 (3-layer,
+/// Products): for every workload, graph and batch size, replay the same
+/// stream through DRC, RC and Ripple and print throughput, median latency and
+/// Ripple's speed-up over RC.
+pub fn single_machine_sweep(scale: Scale, num_layers: usize, kinds: &[ripple_graph::synth::DatasetKind]) {
+    let batch_sizes = [1usize, 10, 100, 1000];
+    for &kind in kinds {
+        let spec = scale.dataset(kind);
+        println!("=== {} ({}-layer) ===", spec.name, num_layers);
+        for workload in Workload::all() {
+            println!("--- workload {workload} ---");
+            println!(
+                "{:<8} {:>10} {:>16} {:>18} {:>14}",
+                "strategy", "batch", "thpt (up/s)", "median lat (ms)", "speedup vs RC"
+            );
+            for &batch_size in &batch_sizes {
+                // Large batches are replayed over fewer batches to bound runtime.
+                let num_batches = if batch_size >= 1000 { 2 } else { scale.batches_per_cell() };
+                let prepared = prepare_stream(&spec, workload, num_layers, batch_size, num_batches, 17);
+                let mut rc_throughput = 0.0;
+                for strategy in [Strategy::Drc, Strategy::Rc, Strategy::Ripple] {
+                    let summary = run_strategy(&prepared, strategy);
+                    if strategy == Strategy::Rc {
+                        rc_throughput = summary.throughput;
+                    }
+                    let speedup = if strategy == Strategy::Ripple && rc_throughput > 0.0 {
+                        format!("{:.1}x", summary.throughput / rc_throughput)
+                    } else {
+                        "-".to_string()
+                    };
+                    println!(
+                        "{:<8} {:>10} {:>16.1} {:>18.3} {:>14}",
+                        strategy.name(),
+                        batch_size,
+                        summary.throughput,
+                        summary.median_latency.as_secs_f64() * 1e3,
+                        speedup
+                    );
+                }
+            }
+        }
+    }
+    println!();
+    println!("Expected shape (paper): Ripple > RC > DRC in throughput for every workload and");
+    println!("batch size; the gap is largest on the denser graphs and larger batches.");
+}
+
+/// Prints a standard experiment header with the scale in use.
+pub fn print_header(title: &str, scale: Scale) {
+    println!("==============================================================================");
+    println!("{title}");
+    println!("scale: {scale:?} (set RIPPLE_SCALE=tiny|small|medium to change)");
+    println!("==============================================================================");
+}
+
+/// The distributed strategies compared in Figs 12 and 13.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistStrategy {
+    /// Distributed layer-wise recompute.
+    Rc,
+    /// Distributed Ripple.
+    Ripple,
+}
+
+impl DistStrategy {
+    /// Display name matching the paper's figure legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            DistStrategy::Rc => "RC",
+            DistStrategy::Ripple => "Ripple",
+        }
+    }
+}
+
+/// Replays a prepared stream through a distributed strategy on
+/// `num_parts` partitions (LDG partitioning, 10 GbE network model) and
+/// returns the per-stream summary.
+///
+/// # Panics
+///
+/// Panics on partitioning or engine errors.
+pub fn run_distributed(
+    prepared: &PreparedStream,
+    strategy: DistStrategy,
+    num_parts: usize,
+) -> DistSummary {
+    let partitioning = LdgPartitioner::new()
+        .partition(&prepared.snapshot, num_parts)
+        .expect("partitioning");
+    let network = NetworkModel::ten_gbe();
+    let mut stats = Vec::with_capacity(prepared.batches.len());
+    match strategy {
+        DistStrategy::Ripple => {
+            let mut engine = DistRippleEngine::new(
+                &prepared.snapshot,
+                prepared.model.clone(),
+                &prepared.store,
+                partitioning,
+                network,
+            )
+            .expect("dist ripple engine");
+            for batch in &prepared.batches {
+                stats.push(engine.process_batch(batch).expect("batch"));
+            }
+        }
+        DistStrategy::Rc => {
+            let mut engine = DistRecomputeEngine::new(
+                &prepared.snapshot,
+                prepared.model.clone(),
+                &prepared.store,
+                partitioning,
+                network,
+            )
+            .expect("dist rc engine");
+            for batch in &prepared.batches {
+                stats.push(engine.process_batch(batch).expect("batch"));
+            }
+        }
+    }
+    DistSummary::from_stats(
+        format!("dist-{}", strategy.name().to_lowercase()),
+        num_parts,
+        &stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ripple_graph::synth::DatasetKind;
+
+    #[test]
+    fn distributed_helper_runs_both_strategies() {
+        let spec = Scale::Tiny.dataset(DatasetKind::Papers);
+        let prepared = prepare_stream(&spec, Workload::GcS, 2, 5, 2, 9);
+        let ripple = run_distributed(&prepared, DistStrategy::Ripple, 3);
+        let rc = run_distributed(&prepared, DistStrategy::Rc, 3);
+        assert_eq!(ripple.total_updates, rc.total_updates);
+        assert_eq!(ripple.num_parts, 3);
+        assert!(ripple.throughput > 0.0);
+        assert_eq!(DistStrategy::Rc.name(), "RC");
+        assert_eq!(DistStrategy::Ripple.name(), "Ripple");
+    }
+
+    #[test]
+    fn scale_from_env_defaults_to_small() {
+        // The test environment does not set RIPPLE_SCALE.
+        assert_eq!(Scale::from_env(), Scale::Small);
+    }
+
+    #[test]
+    fn tiny_datasets_are_tiny() {
+        let spec = Scale::Tiny.dataset(DatasetKind::Products);
+        assert!(spec.num_vertices <= 500);
+        assert!(spec.feature_dim <= 16);
+        assert_eq!(spec.kind, DatasetKind::Products);
+    }
+
+    #[test]
+    fn prepared_stream_is_consistent() {
+        let spec = Scale::Tiny.dataset(DatasetKind::Arxiv);
+        let prepared = prepare_stream(&spec, Workload::GcS, 2, 5, 2, 1);
+        assert_eq!(prepared.batches.len(), 2);
+        assert_eq!(prepared.model.num_layers(), 2);
+        assert_eq!(prepared.store.num_vertices(), prepared.snapshot.num_vertices());
+    }
+
+    #[test]
+    fn strategies_run_and_agree() {
+        let spec = Scale::Tiny.dataset(DatasetKind::Custom);
+        let prepared = prepare_stream(&spec, Workload::GcS, 2, 5, 2, 3);
+        let ripple = run_strategy(&prepared, Strategy::Ripple);
+        let rc = run_strategy(&prepared, Strategy::Rc);
+        assert_eq!(ripple.total_updates, rc.total_updates);
+        assert!(ripple.throughput > 0.0);
+        let per_batch = run_strategy_per_batch(&prepared, Strategy::Ripple);
+        assert_eq!(per_batch.len(), 2);
+    }
+
+    #[test]
+    fn strategy_names_match_paper() {
+        assert_eq!(Strategy::Drc.name(), "DRC");
+        assert_eq!(Strategy::Rc.name(), "RC");
+        assert_eq!(Strategy::Ripple.name(), "Ripple");
+        assert_eq!(Strategy::VertexWise.name(), "DNC");
+    }
+}

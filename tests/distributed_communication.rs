@@ -1,0 +1,126 @@
+//! Integration tests of the distributed runtime's communication accounting —
+//! the measurements behind the paper's Fig 12c (compute vs communication
+//! split) and its ~70x communication-reduction claim.
+
+use ripple::prelude::*;
+
+fn prepared(
+    num_vertices: usize,
+    batch_size: usize,
+    layers: usize,
+) -> (DynamicGraph, GnnModel, EmbeddingStore, Vec<UpdateBatch>) {
+    let spec = DatasetSpec::papers_like()
+        .scaled_to(num_vertices)
+        .with_avg_in_degree(6.0)
+        .with_feature_dim(16);
+    let full = spec.generate(21).unwrap();
+    let plan = build_stream(
+        &full,
+        &StreamConfig { holdout_fraction: 0.1, total_updates: batch_size * 3, seed: 8 },
+    )
+    .unwrap();
+    let model = Workload::GcS.build_model(16, 16, 8, layers, 2).unwrap();
+    let store = full_inference(&plan.snapshot, &model).unwrap();
+    let batches = plan.batches(batch_size);
+    (plan.snapshot, model, store, batches)
+}
+
+#[test]
+fn ripple_communicates_less_than_rc_in_the_sparse_regime() {
+    let (snapshot, model, store, batches) = prepared(2000, 5, 3);
+    let partitioning = LdgPartitioner::new().partition(&snapshot, 4).unwrap();
+    let network = NetworkModel::ten_gbe();
+    let mut ripple =
+        DistRippleEngine::new(&snapshot, model.clone(), &store, partitioning.clone(), network)
+            .unwrap();
+    let mut rc = DistRecomputeEngine::new(&snapshot, model, &store, partitioning, network).unwrap();
+
+    let mut ripple_bytes = 0usize;
+    let mut rc_bytes = 0usize;
+    for batch in &batches {
+        ripple_bytes += ripple.process_batch(batch).unwrap().comm.bytes;
+        rc_bytes += rc.process_batch(batch).unwrap().comm.bytes;
+    }
+    assert!(
+        rc_bytes > ripple_bytes,
+        "expected RC to move more bytes: rc={rc_bytes} ripple={ripple_bytes}"
+    );
+    // The two strategies still agree on the embeddings they own.
+    let diff = ripple
+        .gather_store()
+        .max_final_diff(&rc.gather_store())
+        .unwrap();
+    assert!(diff < 2e-3);
+}
+
+#[test]
+fn better_partitioning_reduces_halo_traffic() {
+    let (snapshot, model, store, batches) = prepared(1500, 10, 2);
+    let network = NetworkModel::ten_gbe();
+    let mut bytes_per_partitioner = Vec::new();
+    for (name, partitioning) in [
+        ("hash", HashPartitioner::new().partition(&snapshot, 4).unwrap()),
+        ("ldg", LdgPartitioner::new().partition(&snapshot, 4).unwrap()),
+    ] {
+        let cut = partitioning.edge_cut_fraction(&snapshot);
+        let mut engine =
+            DistRippleEngine::new(&snapshot, model.clone(), &store, partitioning, network).unwrap();
+        let mut bytes = 0usize;
+        for batch in &batches {
+            bytes += engine.process_batch(batch).unwrap().comm.bytes;
+        }
+        bytes_per_partitioner.push((name, cut, bytes));
+    }
+    let (_, hash_cut, hash_bytes) = bytes_per_partitioner[0];
+    let (_, ldg_cut, ldg_bytes) = bytes_per_partitioner[1];
+    assert!(ldg_cut < hash_cut, "LDG should cut fewer edges than hashing");
+    assert!(
+        ldg_bytes <= hash_bytes,
+        "a lower edge cut should not increase halo traffic: ldg={ldg_bytes} hash={hash_bytes}"
+    );
+}
+
+#[test]
+fn more_partitions_increase_communication_but_not_results() {
+    let (snapshot, model, store, batches) = prepared(1200, 10, 2);
+    let network = NetworkModel::ten_gbe();
+    let mut previous_store: Option<EmbeddingStore> = None;
+    let mut bytes_by_parts = Vec::new();
+    for parts in [2usize, 4, 8] {
+        let partitioning = LdgPartitioner::new().partition(&snapshot, parts).unwrap();
+        let mut engine =
+            DistRippleEngine::new(&snapshot, model.clone(), &store, partitioning, network).unwrap();
+        let mut bytes = 0usize;
+        for batch in &batches {
+            bytes += engine.process_batch(batch).unwrap().comm.bytes;
+        }
+        bytes_by_parts.push(bytes);
+        let gathered = engine.gather_store();
+        if let Some(prev) = &previous_store {
+            assert!(gathered.max_diff_all_layers(prev).unwrap() < 2e-3);
+        }
+        previous_store = Some(gathered);
+    }
+    assert!(
+        bytes_by_parts[0] <= bytes_by_parts[2],
+        "more partitions should not reduce halo traffic: {bytes_by_parts:?}"
+    );
+}
+
+#[test]
+fn network_model_converts_bytes_to_time() {
+    let (snapshot, model, store, batches) = prepared(800, 10, 2);
+    let partitioning = LdgPartitioner::new().partition(&snapshot, 4).unwrap();
+    // A deliberately slow network makes communication the dominant cost.
+    let slow = NetworkModel {
+        bandwidth_bytes_per_sec: 1e4,
+        latency: std::time::Duration::from_millis(5),
+    };
+    let mut engine =
+        DistRippleEngine::new(&snapshot, model, &store, partitioning, slow).unwrap();
+    let stats = engine.process_batch(&batches[0]).unwrap();
+    if stats.comm.bytes > 0 {
+        assert!(stats.comm_time > stats.compute_time);
+    }
+    assert!(stats.total_time() >= stats.comm_time);
+}

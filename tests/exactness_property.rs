@@ -1,0 +1,169 @@
+//! Property-based tests of the paper's central claim: Ripple's incremental
+//! embeddings are *exact* — identical (up to floating-point accumulation
+//! order) to full layer-wise re-inference on the updated graph — for every
+//! linear aggregation function, model family, layer count and any valid
+//! stream of edge additions, edge deletions and feature updates.
+
+use proptest::prelude::*;
+use ripple::prelude::*;
+
+/// Builds a random but valid update stream against `graph`: intents that are
+/// invalid in the current state (duplicate additions, deletions of missing
+/// edges) are skipped, so any generated intent list yields an applicable
+/// stream.
+fn realise_updates(
+    graph: &DynamicGraph,
+    intents: &[(u8, u32, u32, Vec<f32>)],
+) -> Vec<GraphUpdate> {
+    let n = graph.num_vertices() as u32;
+    let mut shadow = graph.clone();
+    let mut updates = Vec::new();
+    for (kind, a, b, feats) in intents {
+        let (src, dst) = (VertexId(a % n), VertexId(b % n));
+        match kind % 3 {
+            0 => {
+                if src != dst && !shadow.has_edge(src, dst) {
+                    shadow.add_edge(src, dst, 1.0).unwrap();
+                    updates.push(GraphUpdate::add_edge(src, dst));
+                }
+            }
+            1 => {
+                if shadow.has_edge(src, dst) {
+                    shadow.remove_edge(src, dst).unwrap();
+                    updates.push(GraphUpdate::delete_edge(src, dst));
+                }
+            }
+            _ => {
+                let mut f = feats.clone();
+                f.resize(graph.feature_dim(), 0.25);
+                shadow.set_feature(src, &f).unwrap();
+                updates.push(GraphUpdate::update_feature(src, f));
+            }
+        }
+    }
+    updates
+}
+
+fn workload_from_index(i: u8) -> Workload {
+    Workload::all()[(i % 5) as usize]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Incremental processing of any valid update stream matches full
+    /// re-inference for every workload and 1–3 layers.
+    #[test]
+    fn ripple_is_exact_for_random_streams(
+        seed in 0u64..1000,
+        workload_idx in 0u8..5,
+        num_layers in 1usize..4,
+        batch_size in 1usize..8,
+        intents in prop::collection::vec(
+            (0u8..3, 0u32..64, 0u32..64, prop::collection::vec(-1.0f32..1.0, 4)),
+            1..30,
+        ),
+    ) {
+        let workload = workload_from_index(workload_idx);
+        let spec = DatasetSpec::custom(40, 3.0, 4, 3);
+        let graph = spec
+            .generate_weighted(seed, workload.needs_edge_weights())
+            .unwrap();
+        let updates = realise_updates(&graph, &intents);
+        prop_assume!(!updates.is_empty());
+
+        let model = workload.build_model(4, 6, 3, num_layers, seed ^ 0xf00d).unwrap();
+        let store = full_inference(&graph, &model).unwrap();
+        let mut engine =
+            RippleEngine::new(graph.clone(), model.clone(), store, RippleConfig::default()).unwrap();
+
+        let mut reference_graph = graph;
+        for chunk in updates.chunks(batch_size) {
+            let batch = UpdateBatch::from_updates(chunk.to_vec());
+            engine.process_batch(&batch).unwrap();
+            reference_graph.apply_batch(&batch).unwrap();
+        }
+        let reference = full_inference(&reference_graph, &model).unwrap();
+        let diff = engine.store().max_diff_all_layers(&reference).unwrap();
+        prop_assert!(diff < 2e-3, "diff {diff} for workload {workload}, {num_layers} layers");
+    }
+
+    /// Batch composition is irrelevant: processing an update stream as one
+    /// large batch or as many single-update batches produces the same
+    /// embeddings (the commutativity/associativity property of the mailbox
+    /// accumulation, §4.3.1).
+    #[test]
+    fn batching_granularity_does_not_change_results(
+        seed in 0u64..500,
+        workload_idx in 0u8..5,
+        intents in prop::collection::vec(
+            (0u8..3, 0u32..48, 0u32..48, prop::collection::vec(-1.0f32..1.0, 4)),
+            2..20,
+        ),
+    ) {
+        let workload = workload_from_index(workload_idx);
+        let spec = DatasetSpec::custom(30, 3.0, 4, 3);
+        let graph = spec
+            .generate_weighted(seed, workload.needs_edge_weights())
+            .unwrap();
+        let updates = realise_updates(&graph, &intents);
+        prop_assume!(updates.len() >= 2);
+
+        let model = workload.build_model(4, 6, 3, 2, seed).unwrap();
+        let store = full_inference(&graph, &model).unwrap();
+
+        let mut one_batch =
+            RippleEngine::new(graph.clone(), model.clone(), store.clone(), RippleConfig::default())
+                .unwrap();
+        one_batch
+            .process_batch(&UpdateBatch::from_updates(updates.clone()))
+            .unwrap();
+
+        let mut single_updates =
+            RippleEngine::new(graph, model, store, RippleConfig::default()).unwrap();
+        for update in &updates {
+            single_updates
+                .process_batch(&UpdateBatch::from_updates(vec![update.clone()]))
+                .unwrap();
+        }
+
+        let diff = one_batch
+            .store()
+            .max_diff_all_layers(single_updates.store())
+            .unwrap();
+        prop_assert!(diff < 2e-3, "diff {diff}");
+    }
+
+    /// The recompute baseline and Ripple always agree — they are two
+    /// implementations of the same exact semantics.
+    #[test]
+    fn ripple_and_rc_agree(
+        seed in 0u64..500,
+        workload_idx in 0u8..5,
+        num_layers in 1usize..3,
+        intents in prop::collection::vec(
+            (0u8..3, 0u32..48, 0u32..48, prop::collection::vec(-1.0f32..1.0, 4)),
+            1..16,
+        ),
+    ) {
+        let workload = workload_from_index(workload_idx);
+        let spec = DatasetSpec::custom(32, 3.0, 4, 3);
+        let graph = spec
+            .generate_weighted(seed, workload.needs_edge_weights())
+            .unwrap();
+        let updates = realise_updates(&graph, &intents);
+        prop_assume!(!updates.is_empty());
+        let batch = UpdateBatch::from_updates(updates);
+
+        let model = workload.build_model(4, 6, 3, num_layers, seed ^ 0xbeef).unwrap();
+        let store = full_inference(&graph, &model).unwrap();
+        let mut ripple =
+            RippleEngine::new(graph.clone(), model.clone(), store.clone(), RippleConfig::default())
+                .unwrap();
+        let mut rc = RecomputeEngine::new(graph, model, store, RecomputeConfig::rc()).unwrap();
+        ripple.process_batch(&batch).unwrap();
+        rc.process_batch(&batch).unwrap();
+        let diff = ripple.store().max_diff_all_layers(rc.store()).unwrap();
+        prop_assert!(diff < 2e-3, "diff {diff}");
+    }
+}
