@@ -13,8 +13,7 @@ fn bench_batch_sizes(c: &mut Criterion) {
     group.sample_size(10);
     for (name, degree) in [("arxiv_like", 7.0f64), ("products_like", 25.0)] {
         for batch_size in [1usize, 10, 100] {
-            let scenario =
-                BenchScenario::new(1500, degree, 16, Workload::GcS, 3, batch_size, 1);
+            let scenario = BenchScenario::new(1500, degree, 16, Workload::GcS, 3, batch_size, 1);
             group.bench_with_input(
                 BenchmarkId::new(format!("{name}/rc"), batch_size),
                 &batch_size,

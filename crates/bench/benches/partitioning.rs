@@ -9,7 +9,9 @@ use std::hint::black_box;
 fn bench_partitioners(c: &mut Criterion) {
     let mut group = c.benchmark_group("partitioning");
     group.sample_size(10);
-    let graph = DatasetSpec::custom(5_000, 8.0, 4, 4).generate(5).expect("graph");
+    let graph = DatasetSpec::custom(5_000, 8.0, 4, 4)
+        .generate(5)
+        .expect("graph");
     for parts in [4usize, 16] {
         group.bench_with_input(BenchmarkId::new("hash", parts), &parts, |b, &p| {
             b.iter(|| black_box(HashPartitioner::new().partition(&graph, p).unwrap()))

@@ -60,7 +60,12 @@ impl BenchScenario {
             .expect("model");
         let store = full_inference(&plan.snapshot, &model).expect("bootstrap");
         let batches = plan.batches(batch_size);
-        BenchScenario { snapshot: plan.snapshot, model, store, batches }
+        BenchScenario {
+            snapshot: plan.snapshot,
+            model,
+            store,
+            batches,
+        }
     }
 
     /// A fresh Ripple engine over this scenario's bootstrap state.

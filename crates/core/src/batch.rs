@@ -87,7 +87,11 @@ pub struct VertexWiseEngine {
 impl VertexWiseEngine {
     /// Creates the vertex-wise strategy from bootstrapped state.
     pub fn new(graph: DynamicGraph, model: GnnModel, store: EmbeddingStore) -> Self {
-        VertexWiseEngine { graph, model, store }
+        VertexWiseEngine {
+            graph,
+            model,
+            store,
+        }
     }
 }
 
@@ -120,7 +124,9 @@ pub struct StreamRunner {
 impl StreamRunner {
     /// Creates an empty runner.
     pub fn new() -> Self {
-        StreamRunner { per_batch: Vec::new() }
+        StreamRunner {
+            per_batch: Vec::new(),
+        }
     }
 
     /// Processes every batch in order through `engine`, recording statistics.
@@ -182,7 +188,11 @@ mod tests {
         let full = DatasetSpec::custom(120, 5.0, 6, 4).generate(2).unwrap();
         let plan = build_stream(
             &full,
-            &StreamConfig { total_updates: 45, seed: 4, ..Default::default() },
+            &StreamConfig {
+                total_updates: 45,
+                seed: 4,
+                ..Default::default()
+            },
         )
         .unwrap();
         let model = Workload::GcS.build_model(6, 8, 4, 2, 1).unwrap();
@@ -220,16 +230,21 @@ mod tests {
             .max_final_diff(rc.current_store())
             .unwrap();
         assert!(final_diff < 2e-3, "ripple vs rc diff {final_diff}");
-        let dnc_diff = rc.current_store().max_final_diff(dnc.current_store()).unwrap();
+        let dnc_diff = rc
+            .current_store()
+            .max_final_diff(dnc.current_store())
+            .unwrap();
         assert!(dnc_diff < 2e-3, "rc vs dnc diff {dnc_diff}");
-        assert_eq!(ripple.current_graph().num_edges(), rc.current_graph().num_edges());
+        assert_eq!(
+            ripple.current_graph().num_edges(),
+            rc.current_graph().num_edges()
+        );
     }
 
     #[test]
     fn runner_collects_stats_and_summary() {
         let (graph, model, store, batches) = setup();
-        let mut ripple =
-            RippleEngine::new(graph, model, store, RippleConfig::default()).unwrap();
+        let mut ripple = RippleEngine::new(graph, model, store, RippleConfig::default()).unwrap();
         let mut runner = StreamRunner::new();
         runner.run(&mut ripple, &batches).unwrap();
         assert_eq!(runner.batch_stats().len(), batches.len());
@@ -249,9 +264,13 @@ mod tests {
             RippleConfig::default(),
         )
         .unwrap();
-        let rc =
-            RecomputeEngine::new(graph.clone(), model.clone(), store.clone(), RecomputeConfig::rc())
-                .unwrap();
+        let rc = RecomputeEngine::new(
+            graph.clone(),
+            model.clone(),
+            store.clone(),
+            RecomputeConfig::rc(),
+        )
+        .unwrap();
         let dnc = VertexWiseEngine::new(graph, model, store);
         assert_eq!(ripple.strategy_name(), "ripple");
         assert_eq!(rc.strategy_name(), "rc");
@@ -264,10 +283,9 @@ mod tests {
         let mut ripple =
             RippleEngine::new(graph.clone(), model, store, RippleConfig::default()).unwrap();
         let n = graph.num_vertices() as u32;
-        let bad = vec![UpdateBatch::from_updates(vec![ripple_graph::GraphUpdate::update_feature(
-            ripple_graph::VertexId(n + 1),
-            vec![0.0; 6],
-        )])];
+        let bad = vec![UpdateBatch::from_updates(vec![
+            ripple_graph::GraphUpdate::update_feature(ripple_graph::VertexId(n + 1), vec![0.0; 6]),
+        ])];
         let mut runner = StreamRunner::new();
         assert!(runner.run(&mut ripple, &bad).is_err());
         assert!(runner.batch_stats().is_empty());

@@ -40,7 +40,10 @@ pub struct RippleConfig {
 
 impl Default for RippleConfig {
     fn default() -> Self {
-        RippleConfig { skip_unchanged: false, prune_tolerance: 1e-7 }
+        RippleConfig {
+            skip_unchanged: false,
+            prune_tolerance: 1e-7,
+        }
     }
 }
 
@@ -52,7 +55,10 @@ impl RippleConfig {
 
     /// Ablation configuration that prunes numerically-unchanged vertices.
     pub fn pruning(tolerance: f32) -> Self {
-        RippleConfig { skip_unchanged: true, prune_tolerance: tolerance }
+        RippleConfig {
+            skip_unchanged: true,
+            prune_tolerance: tolerance,
+        }
     }
 }
 
@@ -114,7 +120,12 @@ impl RippleEngine {
                 model.input_dim()
             )));
         }
-        Ok(RippleEngine { graph, model, store, config })
+        Ok(RippleEngine {
+            graph,
+            model,
+            store,
+            config,
+        })
     }
 
     /// The current graph (reflecting every processed batch).
@@ -164,7 +175,10 @@ impl RippleEngine {
     pub fn process_batch(&mut self, batch: &UpdateBatch) -> Result<BatchStats> {
         let num_layers = self.model.num_layers();
         let mut mailboxes = MailboxSet::new(num_layers);
-        let mut stats = BatchStats { batch_size: batch.len(), ..BatchStats::default() };
+        let mut stats = BatchStats {
+            batch_size: batch.len(),
+            ..BatchStats::default()
+        };
 
         // ------------------------------------------------------------------
         // Phase 1 — the `update` operator (hop 0).
@@ -187,8 +201,11 @@ impl RippleEngine {
                         )));
                     }
                     let old = self.store.embedding(0, *vertex).to_vec();
-                    let delta: Vec<f32> =
-                        features.iter().zip(old.iter()).map(|(n, o)| n - o).collect();
+                    let delta: Vec<f32> = features
+                        .iter()
+                        .zip(old.iter())
+                        .map(|(n, o)| n - o)
+                        .collect();
                     // Deltas flow to the *current* out-neighbourhood, which
                     // reflects every earlier update in this batch.
                     for (&w, &weight) in self
@@ -210,7 +227,12 @@ impl RippleEngine {
                     let coeff = aggregator.edge_coefficient(*weight);
                     mailboxes.deposit(1, *dst, coeff, self.store.embedding(0, *src));
                     stats.aggregate_ops += 1;
-                    edge_changes.push(EdgeChange { source: *src, sink: *dst, sign: 1.0, coeff });
+                    edge_changes.push(EdgeChange {
+                        source: *src,
+                        sink: *dst,
+                        sign: 1.0,
+                        coeff,
+                    });
                 }
                 GraphUpdate::DeleteEdge { src, dst } => {
                     let weight = self.graph.edge_weight(*src, *dst).ok_or_else(|| {
@@ -221,7 +243,12 @@ impl RippleEngine {
                     let coeff = aggregator.edge_coefficient(weight);
                     mailboxes.deposit(1, *dst, -coeff, self.store.embedding(0, *src));
                     stats.aggregate_ops += 1;
-                    edge_changes.push(EdgeChange { source: *src, sink: *dst, sign: -1.0, coeff });
+                    edge_changes.push(EdgeChange {
+                        source: *src,
+                        sink: *dst,
+                        sign: -1.0,
+                        coeff,
+                    });
                 }
             }
         }
@@ -270,12 +297,13 @@ impl RippleEngine {
                 let self_prev = self.store.embedding(hop - 1, v).to_vec();
                 let new = layer.forward(&self_prev, &finalized)?;
                 let old = self.store.embedding(hop, v).to_vec();
-                let out_delta: Vec<f32> =
-                    new.iter().zip(old.iter()).map(|(n, o)| n - o).collect();
+                let out_delta: Vec<f32> = new.iter().zip(old.iter()).map(|(n, o)| n - o).collect();
                 self.store.set_embedding(hop, v, &new)?;
 
                 let effectively_unchanged = self.config.skip_unchanged
-                    && out_delta.iter().all(|d| d.abs() <= self.config.prune_tolerance);
+                    && out_delta
+                        .iter()
+                        .all(|d| d.abs() <= self.config.prune_tolerance);
                 if effectively_unchanged {
                     continue;
                 }
@@ -289,7 +317,12 @@ impl RippleEngine {
                         .iter()
                         .zip(self.graph.out_weights(v).iter())
                     {
-                        mailboxes.deposit(hop + 1, w, aggregator.edge_coefficient(weight), &out_delta);
+                        mailboxes.deposit(
+                            hop + 1,
+                            w,
+                            aggregator.edge_coefficient(weight),
+                            &out_delta,
+                        );
                         stats.aggregate_ops += 1;
                     }
                 }
@@ -334,14 +367,22 @@ mod tests {
             .unwrap();
         let plan = build_stream(
             &full,
-            &StreamConfig { total_updates: 90, seed: seed ^ 1, ..Default::default() },
+            &StreamConfig {
+                total_updates: 90,
+                seed: seed ^ 1,
+                ..Default::default()
+            },
         )
         .unwrap();
         let model = workload.build_model(6, 8, 4, layers, seed ^ 2).unwrap();
         let store = full_inference(&plan.snapshot, &model).unwrap();
-        let engine =
-            RippleEngine::new(plan.snapshot.clone(), model.clone(), store, RippleConfig::default())
-                .unwrap();
+        let engine = RippleEngine::new(
+            plan.snapshot.clone(),
+            model.clone(),
+            store,
+            RippleConfig::default(),
+        )
+        .unwrap();
         let batches = plan.batches(15);
         (engine, plan.snapshot, model, batches)
     }
@@ -431,7 +472,10 @@ mod tests {
         engine.process_batch(&add).unwrap();
         engine.process_batch(&del).unwrap();
         let diff = engine.store().max_diff_all_layers(&before).unwrap();
-        assert!(diff < 1e-3, "add followed by delete should restore embeddings, diff {diff}");
+        assert!(
+            diff < 1e-3,
+            "add followed by delete should restore embeddings, diff {diff}"
+        );
         assert_eq!(engine.graph().num_edges(), snapshot.num_edges());
     }
 
@@ -486,7 +530,10 @@ mod tests {
         let after: Vec<usize> = (0..engine.graph().num_vertices() as u32)
             .map(|v| engine.predicted_label(VertexId(v)))
             .collect();
-        assert_ne!(before, after, "streaming 90 updates should change at least one label");
+        assert_ne!(
+            before, after,
+            "streaming 90 updates should change at least one label"
+        );
     }
 
     #[test]
@@ -510,8 +557,10 @@ mod tests {
         let mut engine =
             RippleEngine::new(graph, model.clone(), store, RippleConfig::pruning(1e-6)).unwrap();
         let same_features = snapshot.feature(VertexId(4)).to_vec();
-        let batch =
-            UpdateBatch::from_updates(vec![GraphUpdate::update_feature(VertexId(4), same_features)]);
+        let batch = UpdateBatch::from_updates(vec![GraphUpdate::update_feature(
+            VertexId(4),
+            same_features,
+        )]);
         let stats = engine.process_batch(&batch).unwrap();
         let reference = full_inference(&snapshot, &model).unwrap();
         assert!(engine.store().max_diff_all_layers(&reference).unwrap() < 1e-4);
@@ -526,8 +575,10 @@ mod tests {
         // Vertex 0 -> 1 may or may not exist; craft a guaranteed-missing edge
         // by deleting twice.
         let n = engine.graph().num_vertices() as u32;
-        let unknown_vertex =
-            UpdateBatch::from_updates(vec![GraphUpdate::update_feature(VertexId(n + 5), vec![0.0; 6])]);
+        let unknown_vertex = UpdateBatch::from_updates(vec![GraphUpdate::update_feature(
+            VertexId(n + 5),
+            vec![0.0; 6],
+        )]);
         assert!(engine.process_batch(&unknown_vertex).is_err());
         let _ = missing_edge; // the unknown-vertex case above is the deterministic one
     }
@@ -539,8 +590,13 @@ mod tests {
         let model = Workload::GcS.build_model(6, 8, 4, 2, 0).unwrap();
         let other_model = Workload::GcS.build_model(6, 8, 4, 3, 0).unwrap();
         let store = full_inference(&graph, &model).unwrap();
-        assert!(RippleEngine::new(graph.clone(), other_model, store.clone(), RippleConfig::default())
-            .is_err());
+        assert!(RippleEngine::new(
+            graph.clone(),
+            other_model,
+            store.clone(),
+            RippleConfig::default()
+        )
+        .is_err());
         let wrong_width_model = Workload::GcS.build_model(9, 8, 4, 2, 0).unwrap();
         let wrong_store = EmbeddingStore::zeroed(&wrong_width_model, 50);
         assert!(RippleEngine::new(

@@ -65,8 +65,12 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(RippleError::Mismatch("x".into()).to_string().contains("mismatch"));
-        assert!(RippleError::InvalidUpdate("y".into()).to_string().contains("invalid update"));
+        assert!(RippleError::Mismatch("x".into())
+            .to_string()
+            .contains("mismatch"));
+        assert!(RippleError::InvalidUpdate("y".into())
+            .to_string()
+            .contains("invalid update"));
         let g: RippleError = ripple_graph::GraphError::InvalidSpec("s".into()).into();
         assert!(g.to_string().contains("graph error"));
         let t: RippleError = ripple_tensor::TensorError::Empty.into();

@@ -26,7 +26,9 @@ pub struct MailboxSet {
 impl MailboxSet {
     /// Creates mailboxes for an `L`-layer model.
     pub fn new(num_hops: usize) -> Self {
-        MailboxSet { boxes: vec![HashMap::new(); num_hops] }
+        MailboxSet {
+            boxes: vec![HashMap::new(); num_hops],
+        }
     }
 
     /// Number of hops covered.
@@ -42,7 +44,10 @@ impl MailboxSet {
     /// Panics if `hop` is 0 or greater than [`Self::num_hops`], or if a
     /// previous deposit for the same slot used a different width.
     pub fn deposit(&mut self, hop: usize, target: VertexId, coeff: f32, delta: &[f32]) {
-        assert!(hop >= 1 && hop <= self.boxes.len(), "hop {hop} out of range");
+        assert!(
+            hop >= 1 && hop <= self.boxes.len(),
+            "hop {hop} out of range"
+        );
         let slot = self.boxes[hop - 1]
             .entry(target)
             .or_insert_with(|| vec![0.0; delta.len()]);
@@ -112,7 +117,11 @@ mod tests {
 
     #[test]
     fn deposits_are_order_independent() {
-        let deltas = [(1.0, vec![1.0, -1.0]), (2.0, vec![0.5, 0.5]), (-1.0, vec![3.0, 0.0])];
+        let deltas = [
+            (1.0, vec![1.0, -1.0]),
+            (2.0, vec![0.5, 0.5]),
+            (-1.0, vec![3.0, 0.0]),
+        ];
         let mut forward = MailboxSet::new(1);
         let mut backward = MailboxSet::new(1);
         for (c, d) in &deltas {

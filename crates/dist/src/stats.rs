@@ -1,0 +1,183 @@
+//! Per-batch and per-stream statistics of the distributed engines.
+
+use crate::network::CommStats;
+use ripple_core::metrics::{median, percentile};
+use std::time::Duration;
+
+/// Cost and coverage statistics of one distributed batch.
+///
+/// `compute_time` is measured wall-clock time, taken as the *slowest worker*
+/// of each compute phase (workers run concurrently in a real deployment);
+/// `comm_time` is simulated from the [`crate::NetworkModel`] and the bytes
+/// each superstep put on the wire.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DistBatchStats {
+    /// Number of updates in the batch.
+    pub batch_size: usize,
+    /// Wall-clock compute time (slowest worker per superstep, summed over
+    /// supersteps).
+    pub compute_time: Duration,
+    /// Simulated network time across all supersteps.
+    pub comm_time: Duration,
+    /// Communication ledger (bytes/messages, with a breakdown).
+    pub comm: CommStats,
+    /// Number of distinct vertices whose final-layer embedding was refreshed.
+    pub affected_final: usize,
+    /// Number of BSP supersteps executed (one per GNN hop).
+    pub supersteps: usize,
+}
+
+impl DistBatchStats {
+    /// Total simulated batch latency: compute plus communication.
+    pub fn total_time(&self) -> Duration {
+        self.compute_time + self.comm_time
+    }
+
+    /// Updates processed per second of total batch latency.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.total_time().as_secs_f64();
+        if secs == 0.0 {
+            return f64::INFINITY;
+        }
+        self.batch_size as f64 / secs
+    }
+}
+
+/// Summary of a whole update stream processed by one distributed strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistSummary {
+    /// Strategy label (e.g. "dist-ripple", "dist-rc").
+    pub strategy: String,
+    /// Number of partitions (workers) the graph was split across.
+    pub num_parts: usize,
+    /// Number of batches processed.
+    pub num_batches: usize,
+    /// Total number of updates across all batches.
+    pub total_updates: usize,
+    /// Sum of all batch latencies (compute + simulated communication).
+    pub total_time: Duration,
+    /// Median batch latency.
+    pub median_latency: Duration,
+    /// 95th-percentile batch latency.
+    pub p95_latency: Duration,
+    /// Throughput in updates per second of total latency.
+    pub throughput: f64,
+    /// Total wall-clock compute time.
+    pub total_compute_time: Duration,
+    /// Total simulated network time.
+    pub total_comm_time: Duration,
+    /// Total bytes that crossed partition boundaries.
+    pub total_bytes: usize,
+    /// Total messages that crossed partition boundaries.
+    pub total_messages: usize,
+}
+
+impl DistSummary {
+    /// Builds a summary from per-batch statistics.
+    pub fn from_stats(
+        strategy: impl Into<String>,
+        num_parts: usize,
+        stats: &[DistBatchStats],
+    ) -> Self {
+        let latencies: Vec<Duration> = stats.iter().map(DistBatchStats::total_time).collect();
+        let total_time: Duration = latencies.iter().sum();
+        let total_updates: usize = stats.iter().map(|s| s.batch_size).sum();
+        let throughput = if total_time.is_zero() {
+            f64::INFINITY
+        } else {
+            total_updates as f64 / total_time.as_secs_f64()
+        };
+        DistSummary {
+            strategy: strategy.into(),
+            num_parts,
+            num_batches: stats.len(),
+            total_updates,
+            total_time,
+            median_latency: median(&latencies),
+            p95_latency: percentile(&latencies, 95.0),
+            throughput,
+            total_compute_time: stats.iter().map(|s| s.compute_time).sum(),
+            total_comm_time: stats.iter().map(|s| s.comm_time).sum(),
+            total_bytes: stats.iter().map(|s| s.comm.bytes).sum(),
+            total_messages: stats.iter().map(|s| s.comm.messages).sum(),
+        }
+    }
+
+    /// One line in the format used by the experiment harness tables.
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:<12} parts={:<3} updates={:<7} thpt={:>10.1} up/s  median={:>9.3} ms  compute={:>8.3} s  comm={:>8.3} s  bytes={:>10}  msgs={:>8}",
+            self.strategy,
+            self.num_parts,
+            self.total_updates,
+            self.throughput,
+            self.median_latency.as_secs_f64() * 1e3,
+            self.total_compute_time.as_secs_f64(),
+            self.total_comm_time.as_secs_f64(),
+            self.total_bytes,
+            self.total_messages,
+        )
+    }
+}
+
+impl std::fmt::Display for DistSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.table_row())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(compute_ms: u64, comm_ms: u64, batch: usize, bytes: usize) -> DistBatchStats {
+        DistBatchStats {
+            batch_size: batch,
+            compute_time: Duration::from_millis(compute_ms),
+            comm_time: Duration::from_millis(comm_ms),
+            comm: CommStats {
+                messages: 2,
+                bytes,
+                update_bytes: 0,
+                halo_bytes: bytes,
+            },
+            affected_final: 5,
+            supersteps: 2,
+        }
+    }
+
+    #[test]
+    fn batch_totals() {
+        let s = stats(3, 7, 10, 128);
+        assert_eq!(s.total_time(), Duration::from_millis(10));
+        assert!((s.throughput() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let all = vec![
+            stats(1, 9, 10, 100),
+            stats(2, 18, 10, 300),
+            stats(1, 4, 10, 50),
+        ];
+        let summary = DistSummary::from_stats("dist-ripple", 4, &all);
+        assert_eq!(summary.num_parts, 4);
+        assert_eq!(summary.num_batches, 3);
+        assert_eq!(summary.total_updates, 30);
+        assert_eq!(summary.total_time, Duration::from_millis(35));
+        assert_eq!(summary.median_latency, Duration::from_millis(10));
+        assert_eq!(summary.total_bytes, 450);
+        assert_eq!(summary.total_messages, 6);
+        assert_eq!(summary.total_compute_time, Duration::from_millis(4));
+        assert_eq!(summary.total_comm_time, Duration::from_millis(31));
+        assert!(summary.table_row().contains("dist-ripple"));
+        assert!(summary.to_string().contains("up/s"));
+    }
+
+    #[test]
+    fn empty_stream_summary() {
+        let summary = DistSummary::from_stats("dist-rc", 2, &[]);
+        assert_eq!(summary.total_updates, 0);
+        assert!(summary.throughput.is_infinite());
+    }
+}

@@ -76,7 +76,11 @@ impl Aggregator {
         neighbors: &[ripple_graph::VertexId],
         weights: &[f32],
     ) -> Vec<f32> {
-        assert_eq!(neighbors.len(), weights.len(), "neighbour/weight length mismatch");
+        assert_eq!(
+            neighbors.len(),
+            weights.len(),
+            "neighbour/weight length mismatch"
+        );
         let mut acc = vec![0.0f32; table.cols()];
         for (&u, &w) in neighbors.iter().zip(weights.iter()) {
             let coeff = self.edge_coefficient(w);
@@ -131,12 +135,7 @@ mod tests {
     use ripple_tensor::Matrix;
 
     fn table() -> Matrix {
-        Matrix::from_rows(&[
-            vec![1.0, 2.0],
-            vec![3.0, 4.0],
-            vec![5.0, 6.0],
-        ])
-        .unwrap()
+        Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap()
     }
 
     #[test]
@@ -159,8 +158,7 @@ mod tests {
     #[test]
     fn weighted_sum_uses_edge_weights() {
         let t = table();
-        let agg =
-            Aggregator::WeightedSum.aggregate(&t, &[VertexId(0), VertexId(1)], &[2.0, 0.5]);
+        let agg = Aggregator::WeightedSum.aggregate(&t, &[VertexId(0), VertexId(1)], &[2.0, 0.5]);
         assert_eq!(agg, vec![3.5, 6.0]);
     }
 

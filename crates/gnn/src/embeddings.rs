@@ -31,12 +31,18 @@ impl EmbeddingStore {
     /// vertices.
     pub fn zeroed(model: &GnnModel, num_vertices: usize) -> Self {
         let dims = model.dims();
-        let embeddings = dims.iter().map(|&d| Matrix::zeros(num_vertices, d)).collect();
+        let embeddings = dims
+            .iter()
+            .map(|&d| Matrix::zeros(num_vertices, d))
+            .collect();
         let aggregates = dims[..dims.len() - 1]
             .iter()
             .map(|&d| Matrix::zeros(num_vertices, d))
             .collect();
-        EmbeddingStore { embeddings, aggregates }
+        EmbeddingStore {
+            embeddings,
+            aggregates,
+        }
     }
 
     /// Number of GNN layers covered by the store.
@@ -82,7 +88,9 @@ impl EmbeddingStore {
     ///
     /// Returns a tensor error if the width or vertex index is invalid.
     pub fn set_embedding(&mut self, l: usize, v: VertexId, values: &[f32]) -> Result<()> {
-        self.embeddings[l].set_row(v.index(), values).map_err(GnnError::from)
+        self.embeddings[l]
+            .set_row(v.index(), values)
+            .map_err(GnnError::from)
     }
 
     /// Immutable borrow of the raw aggregate table feeding layer `l`
@@ -120,7 +128,9 @@ impl EmbeddingStore {
     ///
     /// Returns a tensor error if the width or vertex index is invalid.
     pub fn set_aggregate(&mut self, l: usize, v: VertexId, values: &[f32]) -> Result<()> {
-        self.aggregates[l - 1].set_row(v.index(), values).map_err(GnnError::from)
+        self.aggregates[l - 1]
+            .set_row(v.index(), values)
+            .map_err(GnnError::from)
     }
 
     /// The predicted class label of a vertex: the argmax of its final-layer
@@ -233,8 +243,12 @@ mod tests {
     #[test]
     fn predicted_label_is_argmax_of_final_layer() {
         let mut store = EmbeddingStore::zeroed(&model(), 2);
-        store.set_embedding(2, VertexId(0), &[0.1, 0.9, 0.2]).unwrap();
-        store.set_embedding(2, VertexId(1), &[1.5, 0.9, 0.2]).unwrap();
+        store
+            .set_embedding(2, VertexId(0), &[0.1, 0.9, 0.2])
+            .unwrap();
+        store
+            .set_embedding(2, VertexId(1), &[1.5, 0.9, 0.2])
+            .unwrap();
         assert_eq!(store.predicted_label(VertexId(0)), 1);
         assert_eq!(store.predicted_labels(), vec![1, 0]);
     }

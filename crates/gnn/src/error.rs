@@ -39,7 +39,10 @@ impl fmt::Display for GnnError {
                 "feature dimension mismatch: model expects {model}, graph provides {graph}"
             ),
             GnnError::LayerOutOfRange { layer, num_layers } => {
-                write!(f, "layer {layer} out of range for a {num_layers}-layer model")
+                write!(
+                    f,
+                    "layer {layer} out of range for a {num_layers}-layer model"
+                )
             }
             GnnError::StoreMismatch(msg) => write!(f, "embedding store mismatch: {msg}"),
             GnnError::Tensor(e) => write!(f, "tensor error: {e}"),
@@ -82,10 +85,15 @@ mod tests {
         assert!(GnnError::FeatureDimMismatch { model: 8, graph: 4 }
             .to_string()
             .contains("expects 8"));
-        assert!(GnnError::LayerOutOfRange { layer: 5, num_layers: 2 }
+        assert!(GnnError::LayerOutOfRange {
+            layer: 5,
+            num_layers: 2
+        }
+        .to_string()
+        .contains("5"));
+        assert!(GnnError::StoreMismatch("x".into())
             .to_string()
-            .contains("5"));
-        assert!(GnnError::StoreMismatch("x".into()).to_string().contains("store"));
+            .contains("store"));
     }
 
     #[test]

@@ -85,9 +85,14 @@ impl GnnLayer {
             LayerKind::Sage => Some(init::xavier_uniform(input_dim, output_dim, seed ^ 0x5eed)),
             LayerKind::GraphConv | LayerKind::Gin => None,
         };
-        let bias = init::uniform(1, output_dim, -0.05, 0.05, seed ^ 0xb1a5)
-            .into_flat();
-        Ok(GnnLayer { kind, w_neigh, w_self, bias, activation })
+        let bias = init::uniform(1, output_dim, -0.05, 0.05, seed ^ 0xb1a5).into_flat();
+        Ok(GnnLayer {
+            kind,
+            w_neigh,
+            w_self,
+            bias,
+            activation,
+        })
     }
 
     /// The model family of this layer.
@@ -138,7 +143,9 @@ impl GnnLayer {
                 let mut o = ops::row_matmul(aggregate, &self.w_neigh)?;
                 let self_part = ops::row_matmul(
                     self_prev,
-                    self.w_self.as_ref().expect("SAGE layer always has a self transform"),
+                    self.w_self
+                        .as_ref()
+                        .expect("SAGE layer always has a self transform"),
                 )?;
                 ripple_tensor::add_assign(&mut o, &self_part);
                 o

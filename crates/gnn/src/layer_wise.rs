@@ -76,7 +76,8 @@ pub fn recompute_vertices_at_hop(
     let mut ops = 0usize;
     for &vid in vertices {
         let neighbors = graph.in_neighbors(vid);
-        let raw = aggregator.raw_aggregate(store.embeddings(hop - 1), neighbors, graph.in_weights(vid));
+        let raw =
+            aggregator.raw_aggregate(store.embeddings(hop - 1), neighbors, graph.in_weights(vid));
         ops += aggregator.ops_for_neighbors(neighbors.len());
         let finalized = aggregator.finalize(&raw, neighbors.len());
         let self_prev = store.embedding(hop - 1, vid).to_vec();
@@ -138,7 +139,11 @@ mod tests {
         let model = GnnModel::new(LayerKind::GraphConv, Aggregator::Sum, &[2, 2], 5).unwrap();
         let store = full_inference(&g, &model).unwrap();
         assert_eq!(store.aggregate(1, VertexId(2)), &[4.0, 6.0]);
-        let manual = model.layer(1).unwrap().forward(&[0.0, 0.0], &[4.0, 6.0]).unwrap();
+        let manual = model
+            .layer(1)
+            .unwrap()
+            .forward(&[0.0, 0.0], &[4.0, 6.0])
+            .unwrap();
         assert_eq!(store.embedding(1, VertexId(2)), manual.as_slice());
         // Isolated vertex 0 aggregates nothing.
         assert_eq!(store.aggregate(1, VertexId(0)), &[0.0, 0.0]);
@@ -146,7 +151,9 @@ mod tests {
 
     #[test]
     fn all_workloads_run_end_to_end() {
-        let g = DatasetSpec::custom(40, 3.0, 5, 3).generate_weighted(2, true).unwrap();
+        let g = DatasetSpec::custom(40, 3.0, 5, 3)
+            .generate_weighted(2, true)
+            .unwrap();
         for workload in Workload::all() {
             let model = workload.build_model(5, 8, 3, 2, 11).unwrap();
             let store = full_inference(&g, &model).unwrap();
@@ -163,8 +170,8 @@ mod tests {
         // Corrupt a few rows, then recompute exactly those vertices.
         let victims = vec![VertexId(1), VertexId(5), VertexId(17)];
         for &v in &victims {
-            store.set_embedding(1, v, &vec![9.0; 8]).unwrap();
-            store.set_aggregate(1, v, &vec![9.0; 6]).unwrap();
+            store.set_embedding(1, v, &[9.0; 8]).unwrap();
+            store.set_aggregate(1, v, &[9.0; 6]).unwrap();
         }
         let ops = recompute_vertices_at_hop(&g, &model, &mut store, 1, &victims).unwrap();
         assert!(ops > 0);

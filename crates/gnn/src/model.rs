@@ -42,12 +42,7 @@ impl GnnModel {
     ///
     /// Returns [`GnnError::InvalidModelShape`] if fewer than two dimensions
     /// are given or any dimension is zero.
-    pub fn new(
-        kind: LayerKind,
-        aggregator: Aggregator,
-        dims: &[usize],
-        seed: u64,
-    ) -> Result<Self> {
+    pub fn new(kind: LayerKind, aggregator: Aggregator, dims: &[usize], seed: u64) -> Result<Self> {
         if dims.len() < 2 {
             return Err(GnnError::InvalidModelShape(format!(
                 "need at least input and output dimensions, got {} entries",
@@ -70,7 +65,11 @@ impl GnnModel {
                 seed.wrapping_add(l as u64).wrapping_mul(0x9e3779b97f4a7c15),
             )?);
         }
-        Ok(GnnModel { kind, aggregator, layers })
+        Ok(GnnModel {
+            kind,
+            aggregator,
+            layers,
+        })
     }
 
     /// The model family shared by every layer.
@@ -96,7 +95,10 @@ impl GnnModel {
     /// Output width of the final layer (number of classes for vertex
     /// classification).
     pub fn output_dim(&self) -> usize {
-        self.layers.last().expect("models have at least one layer").output_dim()
+        self.layers
+            .last()
+            .expect("models have at least one layer")
+            .output_dim()
     }
 
     /// The layer computing hop `l` embeddings, where `l` runs from 1 to
@@ -108,7 +110,10 @@ impl GnnModel {
     /// the number of layers.
     pub fn layer(&self, l: usize) -> Result<&GnnLayer> {
         if l == 0 || l > self.layers.len() {
-            return Err(GnnError::LayerOutOfRange { layer: l, num_layers: self.layers.len() });
+            return Err(GnnError::LayerOutOfRange {
+                layer: l,
+                num_layers: self.layers.len(),
+            });
         }
         Ok(&self.layers[l - 1])
     }
@@ -180,9 +185,11 @@ mod tests {
 
     #[test]
     fn depends_on_self_tracks_kind() {
-        assert!(!GnnModel::new(LayerKind::GraphConv, Aggregator::Sum, &[4, 4], 0)
-            .unwrap()
-            .depends_on_self());
+        assert!(
+            !GnnModel::new(LayerKind::GraphConv, Aggregator::Sum, &[4, 4], 0)
+                .unwrap()
+                .depends_on_self()
+        );
         assert!(GnnModel::new(LayerKind::Sage, Aggregator::Sum, &[4, 4], 0)
             .unwrap()
             .depends_on_self());

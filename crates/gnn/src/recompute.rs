@@ -37,12 +37,16 @@ pub struct RecomputeConfig {
 impl RecomputeConfig {
     /// The paper's lightweight RC baseline.
     pub fn rc() -> Self {
-        RecomputeConfig { rebuild_csr_per_batch: false }
+        RecomputeConfig {
+            rebuild_csr_per_batch: false,
+        }
     }
 
     /// The DRC-style baseline with per-batch graph rebuild overhead.
     pub fn drc() -> Self {
-        RecomputeConfig { rebuild_csr_per_batch: true }
+        RecomputeConfig {
+            rebuild_csr_per_batch: true,
+        }
     }
 }
 
@@ -117,7 +121,11 @@ pub fn affected_hops(
     let mut hops: Vec<HashSet<VertexId>> = Vec::with_capacity(model.num_layers());
     for l in 1..=model.num_layers() {
         let mut current: HashSet<VertexId> = edge_sinks.clone();
-        let previous: &HashSet<VertexId> = if l == 1 { &feature_sources } else { &hops[l - 2] };
+        let previous: &HashSet<VertexId> = if l == 1 {
+            &feature_sources
+        } else {
+            &hops[l - 2]
+        };
         for &u in previous {
             if !graph.contains_vertex(u) {
                 continue;
@@ -174,7 +182,12 @@ impl RecomputeEngine {
                 model.num_layers()
             )));
         }
-        Ok(RecomputeEngine { graph, model, store, config })
+        Ok(RecomputeEngine {
+            graph,
+            model,
+            store,
+            config,
+        })
     }
 
     /// The current graph (post all applied batches).
@@ -306,7 +319,15 @@ mod tests {
         let full = spec
             .generate_weighted(3, workload.needs_edge_weights())
             .unwrap();
-        let plan = build_stream(&full, &StreamConfig { total_updates: 60, seed: 1, ..Default::default() }).unwrap();
+        let plan = build_stream(
+            &full,
+            &StreamConfig {
+                total_updates: 60,
+                seed: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let model = workload.build_model(6, 8, 4, layers, 5).unwrap();
         let batches = plan.batches(10);
         (plan.snapshot, model, batches)
@@ -317,9 +338,13 @@ mod tests {
         for workload in Workload::all() {
             let (snapshot, model, batches) = setup(workload, 2);
             let store = full_inference(&snapshot, &model).unwrap();
-            let mut engine =
-                RecomputeEngine::new(snapshot.clone(), model.clone(), store, RecomputeConfig::rc())
-                    .unwrap();
+            let mut engine = RecomputeEngine::new(
+                snapshot.clone(),
+                model.clone(),
+                store,
+                RecomputeConfig::rc(),
+            )
+            .unwrap();
             let mut reference_graph = snapshot;
             for batch in &batches {
                 engine.process_batch(batch).unwrap();
@@ -335,8 +360,13 @@ mod tests {
     fn recompute_is_exact_for_three_layer_models() {
         let (snapshot, model, batches) = setup(Workload::GsS, 3);
         let store = full_inference(&snapshot, &model).unwrap();
-        let mut engine =
-            RecomputeEngine::new(snapshot.clone(), model.clone(), store, RecomputeConfig::rc()).unwrap();
+        let mut engine = RecomputeEngine::new(
+            snapshot.clone(),
+            model.clone(),
+            store,
+            RecomputeConfig::rc(),
+        )
+        .unwrap();
         let mut reference_graph = snapshot;
         for batch in &batches {
             engine.process_batch(batch).unwrap();
@@ -365,18 +395,24 @@ mod tests {
     fn drc_config_spends_more_update_time() {
         let (snapshot, model, batches) = setup(Workload::GcS, 2);
         let store = full_inference(&snapshot, &model).unwrap();
-        let mut rc =
-            RecomputeEngine::new(snapshot.clone(), model.clone(), store.clone(), RecomputeConfig::rc())
-                .unwrap();
-        let mut drc =
-            RecomputeEngine::new(snapshot, model, store, RecomputeConfig::drc()).unwrap();
+        let mut rc = RecomputeEngine::new(
+            snapshot.clone(),
+            model.clone(),
+            store.clone(),
+            RecomputeConfig::rc(),
+        )
+        .unwrap();
+        let mut drc = RecomputeEngine::new(snapshot, model, store, RecomputeConfig::drc()).unwrap();
         let mut rc_update = Duration::ZERO;
         let mut drc_update = Duration::ZERO;
         for batch in &batches {
             rc_update += rc.process_batch(batch).unwrap().update_time;
             drc_update += drc.process_batch(batch).unwrap().update_time;
         }
-        assert!(drc_update > rc_update, "drc {drc_update:?} vs rc {rc_update:?}");
+        assert!(
+            drc_update > rc_update,
+            "drc {drc_update:?} vs rc {rc_update:?}"
+        );
         // Both remain exact.
         assert!(rc.store().max_final_diff(drc.store()).unwrap() < 1e-4);
     }
@@ -389,10 +425,14 @@ mod tests {
         let model = Workload::GcS.build_model(2, 4, 2, 3, 0).unwrap();
         // A new edge 3 -> 1 is being added.
         g.add_edge(VertexId(3), VertexId(1), 1.0).unwrap();
-        let batch = UpdateBatch::from_updates(vec![GraphUpdate::add_edge(VertexId(3), VertexId(1))]);
+        let batch =
+            UpdateBatch::from_updates(vec![GraphUpdate::add_edge(VertexId(3), VertexId(1))]);
         let hops = affected_hops(&g, &model, &batch);
         assert!(hops[0].contains(&VertexId(1)));
-        assert!(hops[1].contains(&VertexId(1)), "sink re-affected at every hop");
+        assert!(
+            hops[1].contains(&VertexId(1)),
+            "sink re-affected at every hop"
+        );
         assert!(hops[1].contains(&VertexId(2)));
         assert!(hops[2].contains(&VertexId(1)));
     }
@@ -401,14 +441,22 @@ mod tests {
     fn affected_hops_feature_update_respects_self_dependency() {
         let mut g = DynamicGraph::new(3, 2);
         g.add_edge(VertexId(0), VertexId(1), 1.0).unwrap();
-        let batch =
-            UpdateBatch::from_updates(vec![GraphUpdate::update_feature(VertexId(0), vec![1.0, 1.0])]);
+        let batch = UpdateBatch::from_updates(vec![GraphUpdate::update_feature(
+            VertexId(0),
+            vec![1.0, 1.0],
+        )]);
         let gc = Workload::GcS.build_model(2, 4, 2, 2, 0).unwrap();
         let sage = Workload::GsS.build_model(2, 4, 2, 2, 0).unwrap();
         let gc_hops = affected_hops(&g, &gc, &batch);
         let sage_hops = affected_hops(&g, &sage, &batch);
-        assert!(!gc_hops[0].contains(&VertexId(0)), "GraphConv has no self dependency");
-        assert!(sage_hops[0].contains(&VertexId(0)), "SAGE re-embeds the updated vertex itself");
+        assert!(
+            !gc_hops[0].contains(&VertexId(0)),
+            "GraphConv has no self dependency"
+        );
+        assert!(
+            sage_hops[0].contains(&VertexId(0)),
+            "SAGE re-embeds the updated vertex itself"
+        );
         assert!(gc_hops[0].contains(&VertexId(1)));
     }
 
@@ -431,8 +479,13 @@ mod tests {
         let (snapshot, model, _) = setup(Workload::GcS, 2);
         let wrong_model = Workload::GcS.build_model(6, 8, 4, 3, 0).unwrap();
         let store = full_inference(&snapshot, &model).unwrap();
-        assert!(RecomputeEngine::new(snapshot.clone(), wrong_model, store.clone(), RecomputeConfig::rc())
-            .is_err());
+        assert!(RecomputeEngine::new(
+            snapshot.clone(),
+            wrong_model,
+            store.clone(),
+            RecomputeConfig::rc()
+        )
+        .is_err());
         let small_store = EmbeddingStore::zeroed(&model, 5);
         assert!(RecomputeEngine::new(snapshot, model, small_store, RecomputeConfig::rc()).is_err());
     }

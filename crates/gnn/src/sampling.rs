@@ -25,7 +25,11 @@ pub fn sample_neighbors(
     fanout: usize,
     rng: &mut SmallRng,
 ) -> (Vec<VertexId>, Vec<f32>) {
-    assert_eq!(neighbors.len(), weights.len(), "neighbour/weight length mismatch");
+    assert_eq!(
+        neighbors.len(),
+        weights.len(),
+        "neighbour/weight length mismatch"
+    );
     if neighbors.len() <= fanout {
         return (neighbors.to_vec(), weights.to_vec());
     }
@@ -54,7 +58,11 @@ pub fn sampling_rng(seed: u64) -> SmallRng {
 ///
 /// Panics if the slices have different lengths.
 pub fn label_agreement(reference: &[usize], predicted: &[usize]) -> f64 {
-    assert_eq!(reference.len(), predicted.len(), "label vector length mismatch");
+    assert_eq!(
+        reference.len(),
+        predicted.len(),
+        "label vector length mismatch"
+    );
     if reference.is_empty() {
         return 1.0;
     }
@@ -89,7 +97,10 @@ mod tests {
         assert_eq!(sn.len(), 10);
         assert_eq!(sw.len(), 10);
         for (n, w) in sn.iter().zip(sw.iter()) {
-            assert_eq!(n.0 as f32, *w, "weights must stay parallel to their neighbours");
+            assert_eq!(
+                n.0 as f32, *w,
+                "weights must stay parallel to their neighbours"
+            );
         }
         // No duplicates.
         let unique: std::collections::HashSet<_> = sn.iter().collect();

@@ -33,7 +33,7 @@ impl VertexWiseStats {
 }
 
 /// Options for vertex-wise inference.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct VertexWiseOptions {
     /// Cap on the number of in-neighbours aggregated per vertex per layer
     /// (`None` = use the full neighbourhood, which is what serving requires
@@ -41,12 +41,6 @@ pub struct VertexWiseOptions {
     pub fanout: Option<usize>,
     /// RNG seed used when `fanout` is set.
     pub seed: u64,
-}
-
-impl Default for VertexWiseOptions {
-    fn default() -> Self {
-        VertexWiseOptions { fanout: None, seed: 0 }
-    }
 }
 
 /// Computes the final-layer embedding of a single target vertex by expanding
@@ -74,7 +68,16 @@ pub fn infer_vertex(
     // graph only.
     let mut memo: Vec<HashMap<VertexId, Vec<f32>>> = vec![HashMap::new(); model.num_layers() + 1];
     let mut rng = SmallRng::seed_from_u64(options.seed ^ (u64::from(target.0) << 17));
-    let emb = compute(graph, model, target, model.num_layers(), options, &mut memo, &mut stats, &mut rng)?;
+    let emb = compute(
+        graph,
+        model,
+        target,
+        model.num_layers(),
+        options,
+        &mut memo,
+        &mut stats,
+        &mut rng,
+    )?;
     Ok((emb, stats))
 }
 
@@ -105,7 +108,11 @@ fn compute(
         None => (all_neighbors.to_vec(), all_weights.to_vec()),
     };
 
-    let width = if layer == 1 { model.input_dim() } else { model.layer(layer - 1)?.output_dim() };
+    let width = if layer == 1 {
+        model.input_dim()
+    } else {
+        model.layer(layer - 1)?.output_dim()
+    };
     let mut raw = vec![0.0f32; width];
     for (&u, &w) in neighbors.iter().zip(weights.iter()) {
         let h_u = compute(graph, model, u, layer - 1, options, memo, stats, rng)?;
@@ -166,7 +173,10 @@ mod tests {
                 let (emb, _) =
                     infer_vertex(&g, &model, VertexId(v), &VertexWiseOptions::default()).unwrap();
                 let diff = max_abs_diff(&emb, reference.embedding(2, VertexId(v)));
-                assert!(diff < 1e-4, "workload {workload}: vertex {v} differs by {diff}");
+                assert!(
+                    diff < 1e-4,
+                    "workload {workload}: vertex {v} differs by {diff}"
+                );
             }
         }
     }
@@ -187,7 +197,10 @@ mod tests {
         let g = DatasetSpec::custom(300, 20.0, 6, 4).generate(2).unwrap();
         let model = Workload::GcS.build_model(6, 16, 4, 2, 0).unwrap();
         let full_opts = VertexWiseOptions::default();
-        let sampled_opts = VertexWiseOptions { fanout: Some(4), seed: 1 };
+        let sampled_opts = VertexWiseOptions {
+            fanout: Some(4),
+            seed: 1,
+        };
         // Pick a reasonably high-in-degree target.
         let target = (0..300u32)
             .map(VertexId)
@@ -207,7 +220,10 @@ mod tests {
     fn sampled_inference_is_seed_deterministic() {
         let g = graph();
         let model = Workload::GcS.build_model(6, 8, 4, 2, 0).unwrap();
-        let opts = VertexWiseOptions { fanout: Some(2), seed: 9 };
+        let opts = VertexWiseOptions {
+            fanout: Some(2),
+            seed: 9,
+        };
         let (a, _) = infer_vertex(&g, &model, VertexId(3), &opts).unwrap();
         let (b, _) = infer_vertex(&g, &model, VertexId(3), &opts).unwrap();
         assert_eq!(a, b);

@@ -28,7 +28,13 @@ pub enum Workload {
 impl Workload {
     /// All five workloads in the order the paper's figures list them.
     pub fn all() -> [Workload; 5] {
-        [Workload::GcS, Workload::GsS, Workload::GcM, Workload::GiS, Workload::GcW]
+        [
+            Workload::GcS,
+            Workload::GsS,
+            Workload::GcM,
+            Workload::GiS,
+            Workload::GcW,
+        ]
     }
 
     /// The short name used in the paper's figures (e.g. `GC-S`).

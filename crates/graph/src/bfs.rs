@@ -58,11 +58,7 @@ pub fn forward_hops(
 /// the union of all hop sets. This is the set of vertices whose final-layer
 /// prediction may need refreshing after an update at the sources — the
 /// quantity plotted as "% affected nodes" in Fig 2b.
-pub fn affected_set(
-    graph: &DynamicGraph,
-    sources: &[VertexId],
-    hops: usize,
-) -> HashSet<VertexId> {
+pub fn affected_set(graph: &DynamicGraph, sources: &[VertexId], hops: usize) -> HashSet<VertexId> {
     let per_hop = forward_hops(graph, sources, hops);
     let mut all = HashSet::new();
     for hop in per_hop {
@@ -75,11 +71,7 @@ pub fn affected_set(
 /// visited when propagating an update for `hops` hops. A vertex affected at
 /// two different hops counts twice, matching the amount of work both RC and
 /// Ripple perform (Fig 11's x-axis).
-pub fn propagation_tree_size(
-    graph: &DynamicGraph,
-    sources: &[VertexId],
-    hops: usize,
-) -> usize {
+pub fn propagation_tree_size(graph: &DynamicGraph, sources: &[VertexId], hops: usize) -> usize {
     forward_hops(graph, sources, hops)
         .iter()
         .map(HashSet::len)
@@ -114,7 +106,10 @@ mod tests {
         let g = diamond();
         let set = affected_set(&g, &[VertexId(0)], 3);
         assert_eq!(set.len(), 4);
-        assert!(!set.contains(&VertexId(0)), "source itself is not forward-reachable");
+        assert!(
+            !set.contains(&VertexId(0)),
+            "source itself is not forward-reachable"
+        );
     }
 
     #[test]
@@ -126,7 +121,10 @@ mod tests {
         g.add_edge(VertexId(2), VertexId(1), 1.0).unwrap();
         let hops = forward_hops(&g, &[VertexId(0)], 3);
         assert!(hops[0].contains(&VertexId(1)));
-        assert!(hops[2].contains(&VertexId(1)), "cycle revisits vertex 1 at hop 3");
+        assert!(
+            hops[2].contains(&VertexId(1)),
+            "cycle revisits vertex 1 at hop 3"
+        );
         assert_eq!(propagation_tree_size(&g, &[VertexId(0)], 3), 3);
     }
 

@@ -143,7 +143,8 @@ impl CsrGraph {
         (self.in_offsets.capacity() + self.out_offsets.capacity()) * std::mem::size_of::<usize>()
             + (self.in_targets.capacity() + self.out_targets.capacity())
                 * std::mem::size_of::<VertexId>()
-            + (self.in_weights.capacity() + self.out_weights.capacity()) * std::mem::size_of::<f32>()
+            + (self.in_weights.capacity() + self.out_weights.capacity())
+                * std::mem::size_of::<f32>()
     }
 }
 

@@ -468,7 +468,8 @@ mod tests {
 
     #[test]
     fn from_weighted_edges_keeps_weights() {
-        let g = DynamicGraph::from_weighted_edges(2, 1, &[(VertexId(0), VertexId(1), 2.5)]).unwrap();
+        let g =
+            DynamicGraph::from_weighted_edges(2, 1, &[(VertexId(0), VertexId(1), 2.5)]).unwrap();
         assert_eq!(g.edge_weight(VertexId(0), VertexId(1)), Some(2.5));
     }
 

@@ -43,8 +43,14 @@ pub enum GraphError {
 impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GraphError::UnknownVertex { vertex, num_vertices } => {
-                write!(f, "unknown vertex {vertex} (graph has {num_vertices} vertices)")
+            GraphError::UnknownVertex {
+                vertex,
+                num_vertices,
+            } => {
+                write!(
+                    f,
+                    "unknown vertex {vertex} (graph has {num_vertices} vertices)"
+                )
             }
             GraphError::MissingEdge { src, dst } => {
                 write!(f, "edge {src} -> {dst} does not exist")
@@ -53,7 +59,10 @@ impl fmt::Display for GraphError {
                 write!(f, "edge {src} -> {dst} already exists")
             }
             GraphError::FeatureWidthMismatch { expected, found } => {
-                write!(f, "feature width mismatch: expected {expected}, found {found}")
+                write!(
+                    f,
+                    "feature width mismatch: expected {expected}, found {found}"
+                )
             }
             GraphError::InvalidPartitioning(msg) => write!(f, "invalid partitioning: {msg}"),
             GraphError::InvalidSpec(msg) => write!(f, "invalid dataset spec: {msg}"),
@@ -69,22 +78,34 @@ mod tests {
 
     #[test]
     fn display_unknown_vertex() {
-        let e = GraphError::UnknownVertex { vertex: VertexId(9), num_vertices: 5 };
+        let e = GraphError::UnknownVertex {
+            vertex: VertexId(9),
+            num_vertices: 5,
+        };
         assert!(e.to_string().contains("v9"));
         assert!(e.to_string().contains('5'));
     }
 
     #[test]
     fn display_edge_errors() {
-        let m = GraphError::MissingEdge { src: VertexId(1), dst: VertexId(2) };
+        let m = GraphError::MissingEdge {
+            src: VertexId(1),
+            dst: VertexId(2),
+        };
         assert!(m.to_string().contains("does not exist"));
-        let d = GraphError::DuplicateEdge { src: VertexId(1), dst: VertexId(2) };
+        let d = GraphError::DuplicateEdge {
+            src: VertexId(1),
+            dst: VertexId(2),
+        };
         assert!(d.to_string().contains("already exists"));
     }
 
     #[test]
     fn display_feature_mismatch() {
-        let e = GraphError::FeatureWidthMismatch { expected: 8, found: 4 };
+        let e = GraphError::FeatureWidthMismatch {
+            expected: 8,
+            found: 4,
+        };
         assert!(e.to_string().contains("expected 8"));
     }
 
@@ -93,7 +114,9 @@ mod tests {
         assert!(GraphError::InvalidPartitioning("zero parts".into())
             .to_string()
             .contains("zero parts"));
-        assert!(GraphError::InvalidSpec("bad".into()).to_string().contains("bad"));
+        assert!(GraphError::InvalidSpec("bad".into())
+            .to_string()
+            .contains("bad"));
     }
 
     #[test]

@@ -95,7 +95,9 @@ mod tests {
     #[test]
     fn ids_are_hashable() {
         use std::collections::HashSet;
-        let set: HashSet<VertexId> = [VertexId(1), VertexId(1), VertexId(2)].into_iter().collect();
+        let set: HashSet<VertexId> = [VertexId(1), VertexId(1), VertexId(2)]
+            .into_iter()
+            .collect();
         assert_eq!(set.len(), 2);
     }
 }

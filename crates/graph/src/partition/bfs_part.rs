@@ -31,8 +31,7 @@ impl Partitioner for BfsPartitioner {
         let base = n / num_parts;
         let remainder = n % num_parts;
         // Capacity of part p: base (+1 for the first `remainder` parts).
-        let capacity =
-            |p: usize| -> usize { base + usize::from(p < remainder) };
+        let capacity = |p: usize| -> usize { base + usize::from(p < remainder) };
 
         let mut assignment: Vec<Option<PartitionId>> = vec![None; n];
         let mut next_seed = 0usize;
@@ -58,7 +57,11 @@ impl Partitioner for BfsPartitioner {
                 assignment[v] = Some(PartitionId(p as u32));
                 claimed += 1;
                 let vid = VertexId(v as u32);
-                for &u in graph.out_neighbors(vid).iter().chain(graph.in_neighbors(vid)) {
+                for &u in graph
+                    .out_neighbors(vid)
+                    .iter()
+                    .chain(graph.in_neighbors(vid))
+                {
                     if assignment[u.index()].is_none() {
                         queue.push_back(u.index());
                     }
@@ -68,10 +71,8 @@ impl Partitioner for BfsPartitioner {
         // Any stragglers (possible when capacities are hit while queues still
         // hold unassigned vertices) go to the last partition.
         let last = PartitionId(num_parts as u32 - 1);
-        let assignment: Vec<PartitionId> = assignment
-            .into_iter()
-            .map(|a| a.unwrap_or(last))
-            .collect();
+        let assignment: Vec<PartitionId> =
+            assignment.into_iter().map(|a| a.unwrap_or(last)).collect();
         Partitioning::from_assignment(assignment, num_parts)
     }
 
@@ -82,8 +83,8 @@ impl Partitioner for BfsPartitioner {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use super::super::HashPartitioner;
+    use super::*;
     use crate::synth::DatasetSpec;
 
     #[test]
@@ -105,7 +106,10 @@ mod tests {
         let bfs = BfsPartitioner::new().partition(&g, 4).unwrap();
         let hash = HashPartitioner::new().partition(&g, 4).unwrap();
         assert!(bfs.edge_cut(&g) < hash.edge_cut(&g));
-        assert!(bfs.edge_cut(&g) <= 4, "line graph should cut only a few edges");
+        assert!(
+            bfs.edge_cut(&g) <= 4,
+            "line graph should cut only a few edges"
+        );
     }
 
     use crate::dynamic::DynamicGraph;
@@ -114,7 +118,11 @@ mod tests {
     fn balance_is_near_perfect() {
         let g = DatasetSpec::custom(101, 4.0, 2, 2).generate(2).unwrap();
         let p = BfsPartitioner::new().partition(&g, 4).unwrap();
-        assert!(p.balance_factor() < 1.1, "balance factor {}", p.balance_factor());
+        assert!(
+            p.balance_factor() < 1.1,
+            "balance factor {}",
+            p.balance_factor()
+        );
     }
 
     #[test]

@@ -28,8 +28,7 @@ impl HaloInfo {
     /// Computes halo sets for every partition.
     pub fn compute(graph: &DynamicGraph, partitioning: &Partitioning) -> Self {
         let k = partitioning.num_parts();
-        let mut outgoing: Vec<BTreeMap<PartitionId, BTreeSet<VertexId>>> =
-            vec![BTreeMap::new(); k];
+        let mut outgoing: Vec<BTreeMap<PartitionId, BTreeSet<VertexId>>> = vec![BTreeMap::new(); k];
         let mut incoming: Vec<BTreeSet<VertexId>> = vec![BTreeSet::new(); k];
         for (src, dst, _w) in graph.iter_edges() {
             let ps = partitioning.part_of(src);
@@ -83,7 +82,12 @@ mod tests {
             g.add_edge(VertexId(i), VertexId(i + 1), 1.0).unwrap();
         }
         let p = Partitioning::from_assignment(
-            vec![PartitionId(0), PartitionId(0), PartitionId(1), PartitionId(1)],
+            vec![
+                PartitionId(0),
+                PartitionId(0),
+                PartitionId(1),
+                PartitionId(1),
+            ],
             2,
         )
         .unwrap();

@@ -36,7 +36,9 @@ impl LdgPartitioner {
     /// Creates an LDG partitioner with a custom capacity slack (must be
     /// ≥ 1.0).
     pub fn with_slack(slack: f64) -> Self {
-        LdgPartitioner { slack: slack.max(1.0) }
+        LdgPartitioner {
+            slack: slack.max(1.0),
+        }
     }
 }
 
@@ -53,7 +55,11 @@ impl Partitioner for LdgPartitioner {
             // Count already-placed neighbours (both directions — communication
             // crosses the cut both ways during propagation).
             let mut neighbour_counts = vec![0usize; num_parts];
-            for &u in graph.in_neighbors(vid).iter().chain(graph.out_neighbors(vid)) {
+            for &u in graph
+                .in_neighbors(vid)
+                .iter()
+                .chain(graph.out_neighbors(vid))
+            {
                 if let Some(p) = assignment[u.index()] {
                     neighbour_counts[p.index()] += 1;
                 }
@@ -64,8 +70,7 @@ impl Partitioner for LdgPartitioner {
                 if sizes[p] as f64 >= capacity {
                     continue;
                 }
-                let score =
-                    neighbour_counts[p] as f64 * (1.0 - sizes[p] as f64 / capacity);
+                let score = neighbour_counts[p] as f64 * (1.0 - sizes[p] as f64 / capacity);
                 // Tie-break towards the emptiest partition to preserve balance.
                 let score = score - sizes[p] as f64 * 1e-9;
                 if score > best_score {
@@ -88,8 +93,8 @@ impl Partitioner for LdgPartitioner {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use super::super::HashPartitioner;
+    use super::*;
     use crate::synth::DatasetSpec;
 
     #[test]
@@ -97,7 +102,11 @@ mod tests {
         let g = DatasetSpec::custom(400, 8.0, 2, 2).generate(3).unwrap();
         let p = LdgPartitioner::new().partition(&g, 4).unwrap();
         assert_eq!(p.num_vertices(), 400);
-        assert!(p.balance_factor() <= 1.06, "balance factor {}", p.balance_factor());
+        assert!(
+            p.balance_factor() <= 1.06,
+            "balance factor {}",
+            p.balance_factor()
+        );
         assert!(p.part_sizes().iter().all(|&s| s > 0));
     }
 

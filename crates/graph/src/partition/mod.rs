@@ -49,14 +49,19 @@ impl Partitioning {
     /// any assigned partition id is out of range.
     pub fn from_assignment(assignment: Vec<PartitionId>, num_parts: usize) -> Result<Self> {
         if num_parts == 0 {
-            return Err(GraphError::InvalidPartitioning("zero partitions".to_string()));
+            return Err(GraphError::InvalidPartitioning(
+                "zero partitions".to_string(),
+            ));
         }
         if let Some(bad) = assignment.iter().find(|p| p.index() >= num_parts) {
             return Err(GraphError::InvalidPartitioning(format!(
                 "vertex assigned to partition {bad} but only {num_parts} partitions exist"
             )));
         }
-        Ok(Partitioning { assignment, num_parts })
+        Ok(Partitioning {
+            assignment,
+            num_parts,
+        })
     }
 
     /// Number of partitions.
@@ -149,7 +154,9 @@ pub trait Partitioner {
 
 pub(crate) fn validate_num_parts(graph: &DynamicGraph, num_parts: usize) -> Result<()> {
     if num_parts == 0 {
-        return Err(GraphError::InvalidPartitioning("zero partitions".to_string()));
+        return Err(GraphError::InvalidPartitioning(
+            "zero partitions".to_string(),
+        ));
     }
     if num_parts > graph.num_vertices().max(1) {
         return Err(GraphError::InvalidPartitioning(format!(
@@ -167,7 +174,8 @@ mod tests {
     fn line_graph(n: usize) -> DynamicGraph {
         let mut g = DynamicGraph::new(n, 1);
         for i in 0..n - 1 {
-            g.add_edge(VertexId(i as u32), VertexId(i as u32 + 1), 1.0).unwrap();
+            g.add_edge(VertexId(i as u32), VertexId(i as u32 + 1), 1.0)
+                .unwrap();
         }
         g
     }
@@ -183,13 +191,14 @@ mod tests {
 
     #[test]
     fn part_queries() {
-        let p = Partitioning::from_assignment(
-            vec![PartitionId(0), PartitionId(1), PartitionId(0)],
-            2,
-        )
-        .unwrap();
+        let p =
+            Partitioning::from_assignment(vec![PartitionId(0), PartitionId(1), PartitionId(0)], 2)
+                .unwrap();
         assert_eq!(p.part_of(VertexId(2)), PartitionId(0));
-        assert_eq!(p.vertices_in(PartitionId(0)), vec![VertexId(0), VertexId(2)]);
+        assert_eq!(
+            p.vertices_in(PartitionId(0)),
+            vec![VertexId(0), VertexId(2)]
+        );
         assert_eq!(p.part_sizes(), vec![2, 1]);
         assert!((p.balance_factor() - (2.0 / 1.5)).abs() < 1e-9);
     }
@@ -199,7 +208,12 @@ mod tests {
         let g = line_graph(4);
         // Split in the middle: 0,1 | 2,3 — only edge 1->2 is cut.
         let p = Partitioning::from_assignment(
-            vec![PartitionId(0), PartitionId(0), PartitionId(1), PartitionId(1)],
+            vec![
+                PartitionId(0),
+                PartitionId(0),
+                PartitionId(1),
+                PartitionId(1),
+            ],
             2,
         )
         .unwrap();

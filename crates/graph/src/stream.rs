@@ -81,7 +81,9 @@ pub fn into_batches(updates: &[GraphUpdate], batch_size: usize) -> Vec<UpdateBat
 /// than snapshot edges exist.
 pub fn build_stream(full_graph: &DynamicGraph, config: &StreamConfig) -> Result<StreamPlan> {
     if full_graph.num_edges() == 0 {
-        return Err(GraphError::InvalidSpec("graph has no edges to stream".to_string()));
+        return Err(GraphError::InvalidSpec(
+            "graph has no edges to stream".to_string(),
+        ));
     }
     if !(0.0..1.0).contains(&config.holdout_fraction) {
         return Err(GraphError::InvalidSpec(format!(
@@ -161,7 +163,14 @@ mod tests {
     #[test]
     fn stream_is_applicable_in_order() {
         let full = small_graph();
-        let plan = build_stream(&full, &StreamConfig { total_updates: 90, ..Default::default() }).unwrap();
+        let plan = build_stream(
+            &full,
+            &StreamConfig {
+                total_updates: 90,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let mut g = plan.snapshot.clone();
         for update in &plan.updates {
             g.apply(update).unwrap();
@@ -173,7 +182,11 @@ mod tests {
         let full = small_graph();
         let plan = build_stream(
             &full,
-            &StreamConfig { holdout_fraction: 0.2, total_updates: 30, seed: 3 },
+            &StreamConfig {
+                holdout_fraction: 0.2,
+                total_updates: 30,
+                seed: 3,
+            },
         )
         .unwrap();
         assert!(plan.snapshot.num_edges() < full.num_edges());
@@ -184,7 +197,14 @@ mod tests {
     #[test]
     fn update_kinds_are_balanced() {
         let full = small_graph();
-        let plan = build_stream(&full, &StreamConfig { total_updates: 90, ..Default::default() }).unwrap();
+        let plan = build_stream(
+            &full,
+            &StreamConfig {
+                total_updates: 90,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let batch = UpdateBatch::from_updates(plan.updates.clone());
         let (adds, dels, feats) = batch.kind_counts();
         assert_eq!(adds, 30);
@@ -195,12 +215,25 @@ mod tests {
     #[test]
     fn additions_come_from_held_out_edges() {
         let full = small_graph();
-        let plan = build_stream(&full, &StreamConfig { total_updates: 60, ..Default::default() }).unwrap();
+        let plan = build_stream(
+            &full,
+            &StreamConfig {
+                total_updates: 60,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         for update in &plan.updates {
             if update.kind() == UpdateKind::AddEdge {
                 if let GraphUpdate::AddEdge { src, dst, .. } = update {
-                    assert!(!plan.snapshot.has_edge(*src, *dst), "added edge already in snapshot");
-                    assert!(full.has_edge(*src, *dst), "added edge not part of the full graph");
+                    assert!(
+                        !plan.snapshot.has_edge(*src, *dst),
+                        "added edge already in snapshot"
+                    );
+                    assert!(
+                        full.has_edge(*src, *dst),
+                        "added edge not part of the full graph"
+                    );
                 }
             }
         }
@@ -209,7 +242,14 @@ mod tests {
     #[test]
     fn deletions_come_from_snapshot_edges() {
         let full = small_graph();
-        let plan = build_stream(&full, &StreamConfig { total_updates: 60, ..Default::default() }).unwrap();
+        let plan = build_stream(
+            &full,
+            &StreamConfig {
+                total_updates: 60,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         for update in &plan.updates {
             if let GraphUpdate::DeleteEdge { src, dst } = update {
                 assert!(plan.snapshot.has_edge(*src, *dst));
@@ -220,7 +260,14 @@ mod tests {
     #[test]
     fn feature_updates_match_width() {
         let full = small_graph();
-        let plan = build_stream(&full, &StreamConfig { total_updates: 30, ..Default::default() }).unwrap();
+        let plan = build_stream(
+            &full,
+            &StreamConfig {
+                total_updates: 30,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         for update in &plan.updates {
             if let GraphUpdate::UpdateFeature { features, .. } = update {
                 assert_eq!(features.len(), full.feature_dim());
@@ -231,7 +278,14 @@ mod tests {
     #[test]
     fn batching_groups_updates() {
         let full = small_graph();
-        let plan = build_stream(&full, &StreamConfig { total_updates: 90, ..Default::default() }).unwrap();
+        let plan = build_stream(
+            &full,
+            &StreamConfig {
+                total_updates: 90,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let batches = plan.batches(25);
         assert_eq!(batches.len(), 4);
         assert_eq!(batches[0].len(), 25);
@@ -249,7 +303,14 @@ mod tests {
     #[test]
     fn invalid_configs_rejected() {
         let full = small_graph();
-        assert!(build_stream(&full, &StreamConfig { holdout_fraction: 1.5, ..Default::default() }).is_err());
+        assert!(build_stream(
+            &full,
+            &StreamConfig {
+                holdout_fraction: 1.5,
+                ..Default::default()
+            }
+        )
+        .is_err());
         let empty = DynamicGraph::new(10, 4);
         assert!(build_stream(&empty, &StreamConfig::default()).is_err());
     }
@@ -257,7 +318,11 @@ mod tests {
     #[test]
     fn deterministic_for_same_seed() {
         let full = small_graph();
-        let cfg = StreamConfig { total_updates: 30, seed: 5, ..Default::default() };
+        let cfg = StreamConfig {
+            total_updates: 30,
+            seed: 5,
+            ..Default::default()
+        };
         let a = build_stream(&full, &cfg).unwrap();
         let b = build_stream(&full, &cfg).unwrap();
         assert_eq!(a.updates, b.updates);

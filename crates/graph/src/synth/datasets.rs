@@ -150,7 +150,12 @@ impl DatasetSpec {
     }
 
     /// A small custom dataset, convenient for unit tests.
-    pub fn custom(num_vertices: usize, avg_in_degree: f64, feature_dim: usize, num_classes: usize) -> Self {
+    pub fn custom(
+        num_vertices: usize,
+        avg_in_degree: f64,
+        feature_dim: usize,
+        num_classes: usize,
+    ) -> Self {
         DatasetSpec {
             kind: DatasetKind::Custom,
             name: format!("custom-{num_vertices}v"),
@@ -288,7 +293,11 @@ mod tests {
         let g = spec.generate(1).unwrap();
         assert_eq!(g.num_vertices(), 3000);
         // Within 20% of the target average in-degree.
-        assert!((g.avg_in_degree() - 6.9).abs() < 1.5, "avg in-degree {}", g.avg_in_degree());
+        assert!(
+            (g.avg_in_degree() - 6.9).abs() < 1.5,
+            "avg in-degree {}",
+            g.avg_in_degree()
+        );
         assert_eq!(g.feature_dim(), 128);
     }
 
@@ -331,7 +340,9 @@ mod tests {
 
     #[test]
     fn table3_row_mentions_paper_and_generated() {
-        let spec = DatasetSpec::arxiv_like().scaled_to(200).with_avg_in_degree(3.0);
+        let spec = DatasetSpec::arxiv_like()
+            .scaled_to(200)
+            .with_avg_in_degree(3.0);
         let g = spec.generate(0).unwrap();
         let row = spec.table3_row(Some(&g));
         assert!(row.contains("arxiv-like"));

@@ -90,7 +90,11 @@ mod tests {
 
     #[test]
     fn default_config_generates_edges() {
-        let cfg = RmatConfig { scale: 8, num_edges: 1000, ..Default::default() };
+        let cfg = RmatConfig {
+            scale: 8,
+            num_edges: 1000,
+            ..Default::default()
+        };
         let edges = rmat_edges(&cfg);
         assert!(edges.len() >= 900, "got {} edges", edges.len());
         let n = cfg.num_vertices() as u32;
@@ -99,13 +103,21 @@ mod tests {
 
     #[test]
     fn deterministic_for_same_seed() {
-        let cfg = RmatConfig { scale: 7, num_edges: 500, ..Default::default() };
+        let cfg = RmatConfig {
+            scale: 7,
+            num_edges: 500,
+            ..Default::default()
+        };
         assert_eq!(rmat_edges(&cfg), rmat_edges(&cfg));
     }
 
     #[test]
     fn no_self_loops_or_duplicates() {
-        let cfg = RmatConfig { scale: 7, num_edges: 500, ..Default::default() };
+        let cfg = RmatConfig {
+            scale: 7,
+            num_edges: 500,
+            ..Default::default()
+        };
         let edges = rmat_edges(&cfg);
         let mut seen = HashSet::new();
         for (s, d) in &edges {
@@ -116,7 +128,11 @@ mod tests {
 
     #[test]
     fn skewed_probabilities_create_hubs() {
-        let cfg = RmatConfig { scale: 9, num_edges: 4000, ..Default::default() };
+        let cfg = RmatConfig {
+            scale: 9,
+            num_edges: 4000,
+            ..Default::default()
+        };
         let edges = rmat_edges(&cfg);
         let mut deg = vec![0usize; cfg.num_vertices()];
         for (_, d) in &edges {
@@ -129,6 +145,13 @@ mod tests {
 
     #[test]
     fn num_vertices_is_power_of_two() {
-        assert_eq!(RmatConfig { scale: 5, ..Default::default() }.num_vertices(), 32);
+        assert_eq!(
+            RmatConfig {
+                scale: 5,
+                ..Default::default()
+            }
+            .num_vertices(),
+            32
+        );
     }
 }

@@ -62,7 +62,11 @@ pub enum GraphUpdate {
 impl GraphUpdate {
     /// Convenience constructor for an unweighted edge addition.
     pub fn add_edge(src: VertexId, dst: VertexId) -> Self {
-        GraphUpdate::AddEdge { src, dst, weight: 1.0 }
+        GraphUpdate::AddEdge {
+            src,
+            dst,
+            weight: 1.0,
+        }
     }
 
     /// Convenience constructor for a weighted edge addition.
@@ -147,7 +151,9 @@ pub struct UpdateBatch {
 impl UpdateBatch {
     /// Creates an empty batch.
     pub fn new() -> Self {
-        UpdateBatch { updates: Vec::new() }
+        UpdateBatch {
+            updates: Vec::new(),
+        }
     }
 
     /// Creates a batch from a vector of updates.
@@ -208,7 +214,9 @@ impl UpdateBatch {
 
 impl FromIterator<GraphUpdate> for UpdateBatch {
     fn from_iter<T: IntoIterator<Item = GraphUpdate>>(iter: T) -> Self {
-        UpdateBatch { updates: iter.into_iter().collect() }
+        UpdateBatch {
+            updates: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -1,0 +1,56 @@
+//! Collection strategies (subset of `proptest::collection`).
+
+use crate::{Strategy, TestRng};
+use std::ops::Range;
+
+/// A length specification for [`vec`]: an exact `usize` or a `Range<usize>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeRange {
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange {
+            min: exact,
+            max_exclusive: exact + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty size range");
+        SizeRange {
+            min: range.start,
+            max_exclusive: range.end,
+        }
+    }
+}
+
+/// The strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let span = self.size.max_exclusive - self.size.min;
+        let len = self.size.min + if span > 1 { rng.below(span) } else { 0 };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A strategy producing `Vec`s of values drawn from `element`, with a length
+/// drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}

@@ -1,0 +1,400 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The registry is unreachable in this build environment, so the real
+//! property-testing engine cannot be vendored. This shim keeps the
+//! `proptest!` test files compiling and *meaningfully running*: each property
+//! is executed for `ProptestConfig::cases` deterministically seeded random
+//! inputs. What it does **not** do is shrink failing cases or persist
+//! regressions — when the real crate becomes available it can replace this
+//! shim without touching the test files.
+//!
+//! Supported surface: `proptest! { #![proptest_config(..)] #[test] fn f(x in
+//! strategy, ..) {..} }`, integer/float range strategies, tuple strategies,
+//! `prop::collection::vec`, `any::<T>()`, `Strategy::prop_map`, and the
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`/`prop_assume!` macros.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+pub mod collection;
+
+/// Re-exports mirroring `proptest::prelude::prop`.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Runner configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Accepted for API compatibility; the shim never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 1024,
+        }
+    }
+}
+
+/// Deterministic test-input generator (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// The next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    #[inline]
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "cannot sample below zero");
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// Creates the deterministic RNG for one property, seeded from its name so
+/// different properties in one file explore different streams.
+pub fn test_rng(name: &str) -> TestRng {
+    // FNV-1a over the property name.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    TestRng { state: h }
+}
+
+/// A generator of random test inputs (subset of `proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (subset of `Strategy::prop_map`).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map {
+            strategy: self,
+            map: f,
+        }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    strategy: S,
+    map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.strategy.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u128) - (self.start as u128);
+                (self.start as u128 + (rng.next_u64() as u128 % span)) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.unit_f64() as f32 * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// Types with a canonical whole-domain strategy (subset of
+/// `proptest::arbitrary::Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.unit_f64()
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.unit_f64() as f32
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone)]
+pub struct Any<T> {
+    _marker: PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy over the whole domain of `T` (subset of `proptest::prelude::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: PhantomData,
+    }
+}
+
+/// Property-test entry macro (subset of `proptest::proptest!`).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns! { config = ($cfg); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( config = ($cfg:expr); ) => {};
+    (
+        config = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident( $($params:tt)* ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_rng(stringify!($name));
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $crate::__proptest_bind!(__rng; $($params)*);
+                $body
+            }
+        }
+        $crate::__proptest_fns! { config = ($cfg); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident; ) => {};
+    ($rng:ident; mut $pat:ident in $($rest:tt)*) => {
+        $crate::__proptest_strat!($rng; [mut] $pat; []; $($rest)*);
+    };
+    ($rng:ident; $pat:ident in $($rest:tt)*) => {
+        $crate::__proptest_strat!($rng; [] $pat; []; $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_strat {
+    ($rng:ident; [$($m:tt)?] $pat:ident; [$($acc:tt)*]; ) => {
+        let $($m)? $pat = $crate::Strategy::generate(&($($acc)*), &mut $rng);
+    };
+    ($rng:ident; [$($m:tt)?] $pat:ident; [$($acc:tt)*]; , $($rest:tt)*) => {
+        let $($m)? $pat = $crate::Strategy::generate(&($($acc)*), &mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; [$($m:tt)?] $pat:ident; [$($acc:tt)*]; $t:tt $($rest:tt)*) => {
+        $crate::__proptest_strat!($rng; [$($m)?] $pat; [$($acc)* $t]; $($rest)*);
+    };
+}
+
+/// Assertion inside a property (plain `assert!` in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion inside a property (plain `assert_eq!` in the shim).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assertion inside a property (plain `assert_ne!` in the shim).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn range_strategies_respect_bounds() {
+        let mut rng = crate::test_rng("range_strategies_respect_bounds");
+        for _ in 0..500 {
+            let x = (3u32..9).generate(&mut rng);
+            assert!((3..9).contains(&x));
+            let f = (-1.0f32..1.0).generate(&mut rng);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_and_tuple_strategies_compose() {
+        let mut rng = crate::test_rng("vec_and_tuple_strategies_compose");
+        let strat = prop::collection::vec((any::<bool>(), 0u32..10), 2..5);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|(_, x)| *x < 10));
+        }
+        let exact = prop::collection::vec(0usize..4, 7);
+        assert_eq!(exact.generate(&mut rng).len(), 7);
+    }
+
+    #[test]
+    fn prop_map_transforms_values() {
+        let mut rng = crate::test_rng("prop_map_transforms_values");
+        let strat = (0u32..5).prop_map(|x| x * 10);
+        for _ in 0..50 {
+            let v = strat.generate(&mut rng);
+            assert_eq!(v % 10, 0);
+            assert!(v < 50);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        /// The macro front-end binds multiple parameters, including `mut`.
+        #[test]
+        fn macro_front_end_works(
+            a in 0usize..10,
+            mut v in prop::collection::vec(0u8..3, 1..6),
+        ) {
+            prop_assume!(a != 9);
+            prop_assert!(a < 9);
+            v.reverse();
+            prop_assert!(v.len() < 6);
+            prop_assert_eq!(v.len(), v.capacity().min(v.len()));
+            prop_assert_ne!(v.len(), 0);
+        }
+    }
+}

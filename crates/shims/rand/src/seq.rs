@@ -1,0 +1,100 @@
+//! Sequence helpers (subset of `rand::seq`).
+
+use crate::rngs::SmallRng;
+use crate::Rng;
+
+/// Slice shuffling (subset of `rand::seq::SliceRandom`).
+pub trait SliceRandom {
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle(&mut self, rng: &mut SmallRng);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle(&mut self, rng: &mut SmallRng) {
+        for i in (1..self.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            self.swap(i, j);
+        }
+    }
+}
+
+/// Index sampling without replacement (subset of `rand::seq::index`).
+pub mod index {
+    use super::*;
+
+    /// A set of sampled indices (subset of `rand::seq::index::IndexVec`).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct IndexVec {
+        indices: Vec<usize>,
+    }
+
+    impl IndexVec {
+        /// Iterator over the sampled indices.
+        pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+            self.indices.iter().copied()
+        }
+
+        /// Number of sampled indices.
+        pub fn len(&self) -> usize {
+            self.indices.len()
+        }
+
+        /// Returns `true` if no indices were sampled.
+        pub fn is_empty(&self) -> bool {
+            self.indices.is_empty()
+        }
+
+        /// Consumes the set, returning the indices.
+        pub fn into_vec(self) -> Vec<usize> {
+            self.indices
+        }
+    }
+
+    /// Samples `amount` distinct indices uniformly from `0..length` using a
+    /// partial Fisher–Yates shuffle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amount > length`.
+    pub fn sample(rng: &mut SmallRng, length: usize, amount: usize) -> IndexVec {
+        assert!(
+            amount <= length,
+            "cannot sample {amount} of {length} indices"
+        );
+        let mut pool: Vec<usize> = (0..length).collect();
+        for i in 0..amount {
+            let j = i + (rng.next_u64() % (length - i) as u64) as usize;
+            pool.swap(i, j);
+        }
+        pool.truncate(amount);
+        IndexVec { indices: pool }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::SeedableRng;
+
+        #[test]
+        fn sample_is_distinct_and_in_range() {
+            let mut rng = SmallRng::seed_from_u64(5);
+            let picked = sample(&mut rng, 100, 10);
+            assert_eq!(picked.len(), 10);
+            assert!(!picked.is_empty());
+            let set: std::collections::HashSet<_> = picked.iter().collect();
+            assert_eq!(set.len(), 10);
+            assert!(picked.iter().all(|i| i < 100));
+            assert_eq!(picked.clone().into_vec().len(), 10);
+        }
+
+        #[test]
+        fn shuffle_is_a_permutation() {
+            let mut rng = SmallRng::seed_from_u64(9);
+            let mut v: Vec<u32> = (0..50).collect();
+            v.shuffle(&mut rng);
+            let mut sorted = v.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types to keep
+//! the wire-format door open, but no code path serialises anything yet. This
+//! shim provides the two marker traits and re-exports the no-op derive macros
+//! so `use serde::{Deserialize, Serialize}` plus `#[derive(...)]` compile
+//! unchanged in environments without a crates.io mirror.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the shim).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the shim).
+pub trait Deserialize<'de>: Sized {}

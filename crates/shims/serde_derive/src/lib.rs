@@ -1,0 +1,21 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! This workspace builds in environments without a crates.io mirror, so the
+//! real `serde` cannot be vendored. The workspace only ever *derives*
+//! `Serialize`/`Deserialize` (nothing serialises at runtime yet), so the
+//! derives can safely expand to nothing. When a real serialisation backend is
+//! introduced, this shim should be replaced by the genuine crates.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -44,7 +44,10 @@ impl fmt::Display for TensorError {
                 left.0, left.1, right.0, right.1
             ),
             TensorError::IndexOutOfBounds { index, bound } => {
-                write!(f, "index {index} out of bounds for dimension of size {bound}")
+                write!(
+                    f,
+                    "index {index} out of bounds for dimension of size {bound}"
+                )
             }
             TensorError::RaggedRows { expected, found } => {
                 write!(f, "ragged rows: expected width {expected}, found {found}")
@@ -76,12 +79,18 @@ mod tests {
     #[test]
     fn display_index_out_of_bounds() {
         let e = TensorError::IndexOutOfBounds { index: 7, bound: 5 };
-        assert_eq!(e.to_string(), "index 7 out of bounds for dimension of size 5");
+        assert_eq!(
+            e.to_string(),
+            "index 7 out of bounds for dimension of size 5"
+        );
     }
 
     #[test]
     fn display_ragged_rows() {
-        let e = TensorError::RaggedRows { expected: 3, found: 2 };
+        let e = TensorError::RaggedRows {
+            expected: 3,
+            found: 2,
+        };
         assert!(e.to_string().contains("expected width 3"));
     }
 

@@ -138,7 +138,11 @@ impl Matrix {
     /// Panics if `r >= self.rows()`. Use [`Matrix::try_row`] for a fallible
     /// variant.
     pub fn row(&self, r: usize) -> &[f32] {
-        assert!(r < self.rows, "row index {r} out of bounds ({} rows)", self.rows);
+        assert!(
+            r < self.rows,
+            "row index {r} out of bounds ({} rows)",
+            self.rows
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -148,7 +152,11 @@ impl Matrix {
     ///
     /// Panics if `r >= self.rows()`.
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
-        assert!(r < self.rows, "row index {r} out of bounds ({} rows)", self.rows);
+        assert!(
+            r < self.rows,
+            "row index {r} out of bounds ({} rows)",
+            self.rows
+        );
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -277,7 +285,8 @@ impl Matrix {
     /// Appends `extra` zero rows, growing the matrix in place. Used when new
     /// vertices are appended to a growing graph.
     pub fn grow_rows(&mut self, extra: usize) {
-        self.data.extend(std::iter::repeat(0.0).take(extra * self.cols));
+        self.data
+            .extend(std::iter::repeat_n(0.0, extra * self.cols));
         self.rows += extra;
     }
 
@@ -378,7 +387,13 @@ mod tests {
     #[test]
     fn from_rows_rejects_ragged() {
         let err = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0]]).unwrap_err();
-        assert!(matches!(err, TensorError::RaggedRows { expected: 2, found: 1 }));
+        assert!(matches!(
+            err,
+            TensorError::RaggedRows {
+                expected: 2,
+                found: 1
+            }
+        ));
     }
 
     #[test]

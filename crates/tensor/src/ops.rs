@@ -187,12 +187,7 @@ mod tests {
     use super::*;
 
     fn sample() -> Matrix {
-        Matrix::from_rows(&[
-            vec![1.0, 2.0],
-            vec![3.0, 4.0],
-            vec![5.0, 6.0],
-        ])
-        .unwrap()
+        Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap()
     }
 
     #[test]

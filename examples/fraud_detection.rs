@@ -21,7 +21,11 @@ fn main() {
     let full = spec.generate(2024).expect("dataset generation");
     let plan = build_stream(
         &full,
-        &StreamConfig { holdout_fraction: 0.15, total_updates: 600, seed: 99 },
+        &StreamConfig {
+            holdout_fraction: 0.15,
+            total_updates: 600,
+            seed: 99,
+        },
     )
     .expect("stream construction");
 

@@ -21,7 +21,11 @@ fn main() {
     // 2. Hold out 10% of edges as future additions; the rest is the snapshot.
     let plan = build_stream(
         &full_graph,
-        &StreamConfig { holdout_fraction: 0.10, total_updates: 300, seed: 7 },
+        &StreamConfig {
+            holdout_fraction: 0.10,
+            total_updates: 300,
+            seed: 7,
+        },
     )
     .expect("stream construction");
     println!(
@@ -43,11 +47,18 @@ fn main() {
     );
 
     // 4. Stream updates through the incremental engine in batches of 50.
-    let mut engine = RippleEngine::new(plan.snapshot.clone(), model.clone(), store, RippleConfig::default())
-        .expect("engine construction");
+    let mut engine = RippleEngine::new(
+        plan.snapshot.clone(),
+        model.clone(),
+        store,
+        RippleConfig::default(),
+    )
+    .expect("engine construction");
     let batches = plan.batches(50);
     let mut runner = StreamRunner::new();
-    runner.run(&mut engine, &batches).expect("stream processing");
+    runner
+        .run(&mut engine, &batches)
+        .expect("stream processing");
     let summary = runner.summary("ripple");
     println!("{summary}");
 

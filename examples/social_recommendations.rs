@@ -20,7 +20,11 @@ fn main() {
     let full = spec.generate(77).expect("dataset generation");
     let plan = build_stream(
         &full,
-        &StreamConfig { holdout_fraction: 0.10, total_updates: 400, seed: 3 },
+        &StreamConfig {
+            holdout_fraction: 0.10,
+            total_updates: 400,
+            seed: 3,
+        },
     )
     .expect("stream construction");
     let model = Workload::GcS.build_model(16, 32, 6, 2, 13).expect("model");

@@ -43,7 +43,11 @@ fn main() {
         }
         // Every 5 seconds a road closes; closed roads re-open a little later.
         if second % 5 == 0 {
-            if let Some((src, dst, w)) = engine.graph().iter_edges().nth(rng.gen_range(0..engine.graph().num_edges())) {
+            if let Some((src, dst, w)) = engine
+                .graph()
+                .iter_edges()
+                .nth(rng.gen_range(0..engine.graph().num_edges()))
+            {
                 batch.push(GraphUpdate::delete_edge(src, dst));
                 closed.push((src, dst, w));
             }

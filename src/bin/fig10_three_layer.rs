@@ -6,6 +6,9 @@ use ripple::graph::synth::DatasetKind;
 
 fn main() {
     let scale = Scale::from_env();
-    print_header("Fig 10: single-machine throughput/latency, 3-layer workloads (Products)", scale);
+    print_header(
+        "Fig 10: single-machine throughput/latency, 3-layer workloads (Products)",
+        scale,
+    );
     single_machine_sweep(scale, 3, &[DatasetKind::Products]);
 }

@@ -12,7 +12,10 @@ use ripple::prelude::*;
 
 fn main() {
     let scale = Scale::from_env();
-    print_header("Fig 11: batch latency vs propagation-tree size (Products-like, GC-S, batch=1)", scale);
+    print_header(
+        "Fig 11: batch latency vs propagation-tree size (Products-like, GC-S, batch=1)",
+        scale,
+    );
     let spec = scale.dataset(DatasetKind::Products);
     let num_batches = match scale {
         Scale::Tiny => 20,
@@ -27,7 +30,12 @@ fn main() {
 
         // Bucket by propagation-tree size (using RC's tree, which equals
         // Ripple's by construction) and report median latency per bucket.
-        let max_tree = rc.iter().map(|s| s.propagation_tree_size).max().unwrap_or(1).max(1);
+        let max_tree = rc
+            .iter()
+            .map(|s| s.propagation_tree_size)
+            .max()
+            .unwrap_or(1)
+            .max(1);
         let buckets = 6usize;
         println!(
             "{:>22} {:>10} {:>18} {:>18}",
@@ -45,9 +53,16 @@ fn main() {
             if in_bucket.is_empty() {
                 continue;
             }
-            let rc_med = median(in_bucket.iter().map(|&i| rc[i].total_time().as_secs_f64() * 1e3));
-            let rp_med =
-                median(in_bucket.iter().map(|&i| ripple[i].total_time().as_secs_f64() * 1e3));
+            let rc_med = median(
+                in_bucket
+                    .iter()
+                    .map(|&i| rc[i].total_time().as_secs_f64() * 1e3),
+            );
+            let rp_med = median(
+                in_bucket
+                    .iter()
+                    .map(|&i| ripple[i].total_time().as_secs_f64() * 1e3),
+            );
             println!(
                 "{:>12} - {:>7} {:>10} {:>18.3} {:>18.3}",
                 lo,

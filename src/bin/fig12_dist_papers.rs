@@ -8,9 +8,7 @@
 //! * (c) the compute vs communication split for GC-S-3L, batch 1000, across
 //!   partition counts.
 
-use ripple::experiments::{
-    prepare_stream, print_header, run_distributed, DistStrategy, Scale,
-};
+use ripple::experiments::{prepare_stream, print_header, run_distributed, DistStrategy, Scale};
 use ripple::graph::synth::DatasetKind;
 use ripple::prelude::*;
 

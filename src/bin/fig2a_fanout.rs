@@ -41,7 +41,8 @@ fn main() {
     let mut reference_labels = Vec::with_capacity(targets.len());
     let full_start = Instant::now();
     for &t in &targets {
-        let (emb, _) = infer_vertex(&graph, &model, t, &VertexWiseOptions::default()).expect("inference");
+        let (emb, _) =
+            infer_vertex(&graph, &model, t, &VertexWiseOptions::default()).expect("inference");
         reference_labels.push(argmax(&emb).unwrap_or(0));
     }
     let full_latency = full_start.elapsed().as_secs_f64() * 1e3 / targets.len() as f64;
@@ -54,7 +55,10 @@ fn main() {
         let mut labels = Vec::with_capacity(targets.len());
         let start = Instant::now();
         for &t in &targets {
-            let opts = VertexWiseOptions { fanout: Some(fanout), seed: 99 };
+            let opts = VertexWiseOptions {
+                fanout: Some(fanout),
+                seed: 99,
+            };
             let (emb, _) = infer_vertex(&graph, &model, t, &opts).expect("inference");
             labels.push(argmax(&emb).unwrap_or(0));
         }
@@ -64,6 +68,8 @@ fn main() {
     }
     println!("{:<10} {:>14.1} {:>22.3}", "full", 100.0, full_latency);
     println!();
-    println!("Expected shape (paper): agreement rises towards the deterministic full-neighbourhood");
+    println!(
+        "Expected shape (paper): agreement rises towards the deterministic full-neighbourhood"
+    );
     println!("prediction as fanout grows, while per-vertex latency grows with fanout.");
 }

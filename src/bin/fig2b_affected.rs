@@ -20,7 +20,14 @@ fn main() {
             "batch size", "% affected", "RC latency (ms)", "Ripple latency (ms)"
         );
         for batch_size in [1usize, 10, 100] {
-            let prepared = prepare_stream(&spec, Workload::GcS, 3, batch_size, scale.batches_per_cell(), 5);
+            let prepared = prepare_stream(
+                &spec,
+                Workload::GcS,
+                3,
+                batch_size,
+                scale.batches_per_cell(),
+                5,
+            );
             let rc = run_strategy_per_batch(&prepared, Strategy::Rc);
             let ripple = run_strategy_per_batch(&prepared, Strategy::Ripple);
             let pct_affected = mean(rc.iter().map(|s| {
@@ -28,9 +35,7 @@ fn main() {
             }));
             let rc_latency = median_ms(&rc);
             let rp_latency = median_ms(&ripple);
-            println!(
-                "{batch_size:<12} {pct_affected:>16.2} {rc_latency:>18.3} {rp_latency:>18.3}"
-            );
+            println!("{batch_size:<12} {pct_affected:>16.2} {rc_latency:>18.3} {rp_latency:>18.3}");
         }
     }
     println!();
@@ -48,7 +53,10 @@ fn mean(values: impl Iterator<Item = f64>) -> f64 {
 }
 
 fn median_ms(stats: &[BatchStats]) -> f64 {
-    let mut l: Vec<f64> = stats.iter().map(|s| s.total_time().as_secs_f64() * 1e3).collect();
+    let mut l: Vec<f64> = stats
+        .iter()
+        .map(|s| s.total_time().as_secs_f64() * 1e3)
+        .collect();
     l.sort_by(f64::total_cmp);
     l.get(l.len() / 2).copied().unwrap_or(0.0)
 }

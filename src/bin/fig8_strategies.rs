@@ -9,15 +9,16 @@
 //! recompute) and DRC for DGL layer-wise recompute (with per-batch graph
 //! rebuild overhead).
 
-use ripple::experiments::{
-    prepare_stream, print_header, run_strategy_per_batch, Scale, Strategy,
-};
+use ripple::experiments::{prepare_stream, print_header, run_strategy_per_batch, Scale, Strategy};
 use ripple::graph::synth::DatasetKind;
 use ripple::prelude::*;
 
 fn main() {
     let scale = Scale::from_env();
-    print_header("Fig 8: strategy comparison, batch size 10, 3-layer GC-S", scale);
+    print_header(
+        "Fig 8: strategy comparison, batch size 10, 3-layer GC-S",
+        scale,
+    );
     for kind in [DatasetKind::Arxiv, DatasetKind::Products] {
         // Vertex-wise inference (DNC) re-expands the full L-hop neighbourhood
         // of every affected vertex, so its cost explodes with graph size —
@@ -36,15 +37,29 @@ fn main() {
             "strategy", "update (ms)", "propagate (ms)", "total (ms)"
         );
         let prepared = prepare_stream(&spec, Workload::GcS, 3, 10, scale.batches_per_cell(), 21);
-        for strategy in [Strategy::VertexWise, Strategy::Drc, Strategy::Rc, Strategy::Ripple] {
+        for strategy in [
+            Strategy::VertexWise,
+            Strategy::Drc,
+            Strategy::Rc,
+            Strategy::Ripple,
+        ] {
             let stats = run_strategy_per_batch(&prepared, strategy);
             let update = median(stats.iter().map(|s| s.update_time.as_secs_f64() * 1e3));
             let propagate = median(stats.iter().map(|s| s.propagate_time.as_secs_f64() * 1e3));
             let total = median(stats.iter().map(|s| s.total_time().as_secs_f64() * 1e3));
-            println!("{:<8} {update:>20.3} {propagate:>20.3} {total:>20.3}", strategy.name());
+            println!(
+                "{:<8} {update:>20.3} {propagate:>20.3} {total:>20.3}",
+                strategy.name()
+            );
         }
-        println!("{:<8} {:>20} {:>20} {:>20}", "DNG", "n/a (no GPU)", "n/a", "n/a");
-        println!("{:<8} {:>20} {:>20} {:>20}", "DRG", "n/a (no GPU)", "n/a", "n/a");
+        println!(
+            "{:<8} {:>20} {:>20} {:>20}",
+            "DNG", "n/a (no GPU)", "n/a", "n/a"
+        );
+        println!(
+            "{:<8} {:>20} {:>20} {:>20}",
+            "DRG", "n/a (no GPU)", "n/a", "n/a"
+        );
     }
     println!();
     println!("Expected shape (paper): DNC slowest, DRC pays a large update cost, RC cuts the");

@@ -7,10 +7,17 @@ use ripple::graph::synth::DatasetKind;
 
 fn main() {
     let scale = Scale::from_env();
-    print_header("Fig 9: single-machine throughput/latency, 2-layer workloads", scale);
+    print_header(
+        "Fig 9: single-machine throughput/latency, 2-layer workloads",
+        scale,
+    );
     single_machine_sweep(
         scale,
         2,
-        &[DatasetKind::Arxiv, DatasetKind::Products, DatasetKind::Reddit],
+        &[
+            DatasetKind::Arxiv,
+            DatasetKind::Products,
+            DatasetKind::Reddit,
+        ],
     );
 }

@@ -10,7 +10,10 @@ use ripple::graph::synth::DatasetKind;
 
 fn main() {
     let scale = Scale::from_env();
-    print_header("Table 3: graph datasets (paper vs. generated stand-ins)", scale);
+    print_header(
+        "Table 3: graph datasets (paper vs. generated stand-ins)",
+        scale,
+    );
     for kind in [
         DatasetKind::Arxiv,
         DatasetKind::Reddit,

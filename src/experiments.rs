@@ -27,7 +27,11 @@ pub enum Scale {
 impl Scale {
     /// Reads the scale from `RIPPLE_SCALE` (defaults to [`Scale::Small`]).
     pub fn from_env() -> Self {
-        match std::env::var("RIPPLE_SCALE").unwrap_or_default().to_lowercase().as_str() {
+        match std::env::var("RIPPLE_SCALE")
+            .unwrap_or_default()
+            .to_lowercase()
+            .as_str()
+        {
             "tiny" => Scale::Tiny,
             "medium" => Scale::Medium,
             _ => Scale::Small,
@@ -55,7 +59,9 @@ impl Scale {
                     DatasetKind::Papers => (500, 6.0),
                     DatasetKind::Custom => (200, 4.0),
                 };
-                base.scaled_to(n).with_avg_in_degree(deg).with_feature_dim(16)
+                base.scaled_to(n)
+                    .with_avg_in_degree(deg)
+                    .with_feature_dim(16)
             }
             Scale::Small => {
                 // Vertex counts are chosen so that the L-hop neighbourhood of a
@@ -69,7 +75,9 @@ impl Scale {
                     DatasetKind::Papers => (15_000, 10.0, 64),
                     DatasetKind::Custom => (1000, 5.0, 32),
                 };
-                base.scaled_to(n).with_avg_in_degree(deg).with_feature_dim(feats)
+                base.scaled_to(n)
+                    .with_avg_in_degree(deg)
+                    .with_feature_dim(feats)
             }
             Scale::Medium => {
                 let (n, deg) = match kind {
@@ -141,11 +149,23 @@ pub fn prepare_stream(
     )
     .expect("update stream");
     let model = workload
-        .build_model(spec.feature_dim, HIDDEN_DIM, spec.num_classes, num_layers, seed ^ 0x77)
+        .build_model(
+            spec.feature_dim,
+            HIDDEN_DIM,
+            spec.num_classes,
+            num_layers,
+            seed ^ 0x77,
+        )
         .expect("model construction");
     let store = full_inference(&plan.snapshot, &model).expect("bootstrap inference");
     let batches = plan.batches(batch_size);
-    PreparedStream { spec: spec.clone(), snapshot: plan.snapshot, model, store, batches }
+    PreparedStream {
+        spec: spec.clone(),
+        snapshot: plan.snapshot,
+        model,
+        store,
+        batches,
+    }
 }
 
 /// The single-machine strategies compared throughout the evaluation.
@@ -192,9 +212,9 @@ pub fn run_strategy(prepared: &PreparedStream, strategy: Strategy) -> StreamSumm
         Strategy::Ripple => Box::new(
             RippleEngine::new(graph, model, store, RippleConfig::default()).expect("ripple engine"),
         ),
-        Strategy::VertexWise => {
-            Box::new(ripple_core::batch::VertexWiseEngine::new(graph, model, store))
-        }
+        Strategy::VertexWise => Box::new(ripple_core::batch::VertexWiseEngine::new(
+            graph, model, store,
+        )),
     };
     StreamRunner::run_to_summary(engine.as_mut(), &prepared.batches, strategy.name())
         .expect("stream processing")
@@ -218,13 +238,13 @@ pub fn run_strategy_per_batch(prepared: &PreparedStream, strategy: Strategy) -> 
             runner.run(&mut e, &prepared.batches).expect("stream");
         }
         Strategy::Rc => {
-            let mut e = RecomputeEngine::new(graph, model, store, RecomputeConfig::rc())
-                .expect("engine");
+            let mut e =
+                RecomputeEngine::new(graph, model, store, RecomputeConfig::rc()).expect("engine");
             runner.run(&mut e, &prepared.batches).expect("stream");
         }
         Strategy::Drc => {
-            let mut e = RecomputeEngine::new(graph, model, store, RecomputeConfig::drc())
-                .expect("engine");
+            let mut e =
+                RecomputeEngine::new(graph, model, store, RecomputeConfig::drc()).expect("engine");
             runner.run(&mut e, &prepared.batches).expect("stream");
         }
         Strategy::VertexWise => {
@@ -244,7 +264,11 @@ pub fn fmt_ms(d: Duration) -> String {
 /// Products): for every workload, graph and batch size, replay the same
 /// stream through DRC, RC and Ripple and print throughput, median latency and
 /// Ripple's speed-up over RC.
-pub fn single_machine_sweep(scale: Scale, num_layers: usize, kinds: &[ripple_graph::synth::DatasetKind]) {
+pub fn single_machine_sweep(
+    scale: Scale,
+    num_layers: usize,
+    kinds: &[ripple_graph::synth::DatasetKind],
+) {
     let batch_sizes = [1usize, 10, 100, 1000];
     for &kind in kinds {
         let spec = scale.dataset(kind);
@@ -257,8 +281,13 @@ pub fn single_machine_sweep(scale: Scale, num_layers: usize, kinds: &[ripple_gra
             );
             for &batch_size in &batch_sizes {
                 // Large batches are replayed over fewer batches to bound runtime.
-                let num_batches = if batch_size >= 1000 { 2 } else { scale.batches_per_cell() };
-                let prepared = prepare_stream(&spec, workload, num_layers, batch_size, num_batches, 17);
+                let num_batches = if batch_size >= 1000 {
+                    2
+                } else {
+                    scale.batches_per_cell()
+                };
+                let prepared =
+                    prepare_stream(&spec, workload, num_layers, batch_size, num_batches, 17);
                 let mut rc_throughput = 0.0;
                 for strategy in [Strategy::Drc, Strategy::Rc, Strategy::Ripple] {
                     let summary = run_strategy(&prepared, strategy);
@@ -404,7 +433,10 @@ mod tests {
         let prepared = prepare_stream(&spec, Workload::GcS, 2, 5, 2, 1);
         assert_eq!(prepared.batches.len(), 2);
         assert_eq!(prepared.model.num_layers(), 2);
-        assert_eq!(prepared.store.num_vertices(), prepared.snapshot.num_vertices());
+        assert_eq!(
+            prepared.store.num_vertices(),
+            prepared.snapshot.num_vertices()
+        );
     }
 
     #[test]

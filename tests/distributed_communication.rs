@@ -16,7 +16,11 @@ fn prepared(
     let full = spec.generate(21).unwrap();
     let plan = build_stream(
         &full,
-        &StreamConfig { holdout_fraction: 0.1, total_updates: batch_size * 3, seed: 8 },
+        &StreamConfig {
+            holdout_fraction: 0.1,
+            total_updates: batch_size * 3,
+            seed: 8,
+        },
     )
     .unwrap();
     let model = Workload::GcS.build_model(16, 16, 8, layers, 2).unwrap();
@@ -30,9 +34,14 @@ fn ripple_communicates_less_than_rc_in_the_sparse_regime() {
     let (snapshot, model, store, batches) = prepared(2000, 5, 3);
     let partitioning = LdgPartitioner::new().partition(&snapshot, 4).unwrap();
     let network = NetworkModel::ten_gbe();
-    let mut ripple =
-        DistRippleEngine::new(&snapshot, model.clone(), &store, partitioning.clone(), network)
-            .unwrap();
+    let mut ripple = DistRippleEngine::new(
+        &snapshot,
+        model.clone(),
+        &store,
+        partitioning.clone(),
+        network,
+    )
+    .unwrap();
     let mut rc = DistRecomputeEngine::new(&snapshot, model, &store, partitioning, network).unwrap();
 
     let mut ripple_bytes = 0usize;
@@ -59,8 +68,14 @@ fn better_partitioning_reduces_halo_traffic() {
     let network = NetworkModel::ten_gbe();
     let mut bytes_per_partitioner = Vec::new();
     for (name, partitioning) in [
-        ("hash", HashPartitioner::new().partition(&snapshot, 4).unwrap()),
-        ("ldg", LdgPartitioner::new().partition(&snapshot, 4).unwrap()),
+        (
+            "hash",
+            HashPartitioner::new().partition(&snapshot, 4).unwrap(),
+        ),
+        (
+            "ldg",
+            LdgPartitioner::new().partition(&snapshot, 4).unwrap(),
+        ),
     ] {
         let cut = partitioning.edge_cut_fraction(&snapshot);
         let mut engine =
@@ -73,7 +88,10 @@ fn better_partitioning_reduces_halo_traffic() {
     }
     let (_, hash_cut, hash_bytes) = bytes_per_partitioner[0];
     let (_, ldg_cut, ldg_bytes) = bytes_per_partitioner[1];
-    assert!(ldg_cut < hash_cut, "LDG should cut fewer edges than hashing");
+    assert!(
+        ldg_cut < hash_cut,
+        "LDG should cut fewer edges than hashing"
+    );
     assert!(
         ldg_bytes <= hash_bytes,
         "a lower edge cut should not increase halo traffic: ldg={ldg_bytes} hash={hash_bytes}"
@@ -116,8 +134,7 @@ fn network_model_converts_bytes_to_time() {
         bandwidth_bytes_per_sec: 1e4,
         latency: std::time::Duration::from_millis(5),
     };
-    let mut engine =
-        DistRippleEngine::new(&snapshot, model, &store, partitioning, slow).unwrap();
+    let mut engine = DistRippleEngine::new(&snapshot, model, &store, partitioning, slow).unwrap();
     let stats = engine.process_batch(&batches[0]).unwrap();
     if stats.comm.bytes > 0 {
         assert!(stats.comm_time > stats.compute_time);

@@ -15,7 +15,11 @@ fn pipeline(workload: Workload, layers: usize) -> (StreamPlan, GnnModel, Embeddi
         .unwrap();
     let plan = build_stream(
         &full,
-        &StreamConfig { holdout_fraction: 0.1, total_updates: 120, seed: 5 },
+        &StreamConfig {
+            holdout_fraction: 0.1,
+            total_updates: 120,
+            seed: 5,
+        },
     )
     .unwrap();
     let model = workload
@@ -82,7 +86,10 @@ fn every_strategy_yields_identical_predictions_end_to_end() {
 
         // Predicted labels — what a serving application actually reads — must
         // agree exactly.
-        assert_eq!(ripple.store().predicted_labels(), reference.predicted_labels());
+        assert_eq!(
+            ripple.store().predicted_labels(),
+            reference.predicted_labels()
+        );
     }
 }
 
@@ -140,9 +147,18 @@ fn partitioners_produce_valid_partitions_on_generated_datasets() {
         .unwrap();
     for parts in [2usize, 4, 7] {
         for (name, partitioning) in [
-            ("hash", HashPartitioner::new().partition(&graph, parts).unwrap()),
-            ("ldg", LdgPartitioner::new().partition(&graph, parts).unwrap()),
-            ("bfs", BfsPartitioner::new().partition(&graph, parts).unwrap()),
+            (
+                "hash",
+                HashPartitioner::new().partition(&graph, parts).unwrap(),
+            ),
+            (
+                "ldg",
+                LdgPartitioner::new().partition(&graph, parts).unwrap(),
+            ),
+            (
+                "bfs",
+                BfsPartitioner::new().partition(&graph, parts).unwrap(),
+            ),
         ] {
             assert_eq!(partitioning.num_vertices(), graph.num_vertices(), "{name}");
             assert_eq!(partitioning.num_parts(), parts, "{name}");
@@ -154,7 +170,10 @@ fn partitioners_produce_valid_partitions_on_generated_datasets() {
                 partitioning.balance_factor()
             );
             let halos = ripple::graph::partition::HaloInfo::compute(&graph, &partitioning);
-            assert!(halos.total_halo_replicas() <= partitioning.edge_cut(&graph), "{name}");
+            assert!(
+                halos.total_halo_replicas() <= partitioning.edge_cut(&graph),
+                "{name}"
+            );
         }
     }
 }

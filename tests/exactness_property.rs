@@ -11,10 +11,7 @@ use ripple::prelude::*;
 /// invalid in the current state (duplicate additions, deletions of missing
 /// edges) are skipped, so any generated intent list yields an applicable
 /// stream.
-fn realise_updates(
-    graph: &DynamicGraph,
-    intents: &[(u8, u32, u32, Vec<f32>)],
-) -> Vec<GraphUpdate> {
+fn realise_updates(graph: &DynamicGraph, intents: &[(u8, u32, u32, Vec<f32>)]) -> Vec<GraphUpdate> {
     let n = graph.num_vertices() as u32;
     let mut shadow = graph.clone();
     let mut updates = Vec::new();
