@@ -8,6 +8,7 @@
 
 use crate::engine::RippleEngine;
 use crate::metrics::StreamSummary;
+use crate::parallel::ParallelRippleEngine;
 use crate::{Result, RippleError};
 use ripple_gnn::recompute::{vertex_wise_recompute_batch, BatchStats, RecomputeEngine};
 use ripple_gnn::{EmbeddingStore, GnnModel};
@@ -40,6 +41,24 @@ impl StreamingEngine for RippleEngine {
 
     fn strategy_name(&self) -> &'static str {
         "ripple"
+    }
+
+    fn current_store(&self) -> &EmbeddingStore {
+        self.store()
+    }
+
+    fn current_graph(&self) -> &DynamicGraph {
+        self.graph()
+    }
+}
+
+impl StreamingEngine for ParallelRippleEngine {
+    fn process_batch(&mut self, batch: &UpdateBatch) -> Result<BatchStats> {
+        ParallelRippleEngine::process_batch(self, batch)
+    }
+
+    fn strategy_name(&self) -> &'static str {
+        "ripple-par"
     }
 
     fn current_store(&self) -> &EmbeddingStore {

@@ -18,8 +18,9 @@
 
 use crate::mailbox::MailboxSet;
 use crate::{Result, RippleError};
+use ripple_gnn::layer_wise::reevaluate_slice;
 use ripple_gnn::recompute::BatchStats;
-use ripple_gnn::{EmbeddingStore, GnnModel};
+use ripple_gnn::{Aggregator, EmbeddingStore, GnnModel};
 use ripple_graph::{DynamicGraph, GraphUpdate, UpdateBatch, VertexId};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
@@ -65,7 +66,7 @@ impl RippleConfig {
 /// Records one topology change of the current batch so its per-hop aggregate
 /// contributions can be injected during propagation.
 #[derive(Debug, Clone)]
-struct EdgeChange {
+pub(crate) struct EdgeChange {
     source: VertexId,
     sink: VertexId,
     /// +1 for addition, -1 for deletion.
@@ -73,6 +74,266 @@ struct EdgeChange {
     /// Aggregator edge coefficient (1 for sum/mean, the edge weight for
     /// weighted sum).
     coeff: f32,
+}
+
+/// Validates that a graph, model and bootstrap store fit together, shared by
+/// the serial and parallel engine constructors.
+pub(crate) fn validate_parts(
+    graph: &DynamicGraph,
+    model: &GnnModel,
+    store: &EmbeddingStore,
+) -> Result<()> {
+    if store.num_vertices() != graph.num_vertices() {
+        return Err(RippleError::Mismatch(format!(
+            "store covers {} vertices, graph has {}",
+            store.num_vertices(),
+            graph.num_vertices()
+        )));
+    }
+    if store.num_layers() != model.num_layers() {
+        return Err(RippleError::Mismatch(format!(
+            "store has {} layers, model has {}",
+            store.num_layers(),
+            model.num_layers()
+        )));
+    }
+    if graph.feature_dim() != model.input_dim() {
+        return Err(RippleError::Mismatch(format!(
+            "graph features are {}-wide, model expects {}",
+            graph.feature_dim(),
+            model.input_dim()
+        )));
+    }
+    Ok(())
+}
+
+/// Output of the hop-0 `update` operator: the state propagation starts from.
+pub(crate) struct UpdatePhase {
+    /// Per-hop mailboxes, with the hop-1 deltas already deposited.
+    pub mailboxes: MailboxSet,
+    /// Pre-batch embeddings (layers 1..L-1) of every edge-update source.
+    pub source_snapshots: HashMap<VertexId, Vec<Vec<f32>>>,
+    /// Topology changes of the batch, for per-hop contribution injection.
+    pub edge_changes: Vec<EdgeChange>,
+    /// Vertices whose hop-0 embedding (feature vector) changed.
+    pub changed_prev: HashSet<VertexId>,
+}
+
+/// Runs the `update` operator (hop 0) **sequentially** over the batch —
+/// interleaved feature updates and edge additions/deletions touching the same
+/// vertices must never double-count a contribution, so this phase is shared
+/// verbatim by the serial and parallel engines.
+pub(crate) fn run_update_operator(
+    graph: &mut DynamicGraph,
+    store: &mut EmbeddingStore,
+    model: &GnnModel,
+    batch: &UpdateBatch,
+    stats: &mut BatchStats,
+) -> Result<UpdatePhase> {
+    let aggregator = model.aggregator();
+    let mut mailboxes = MailboxSet::new(model.num_layers());
+    let mut source_snapshots: HashMap<VertexId, Vec<Vec<f32>>> = HashMap::new();
+    let mut edge_changes: Vec<EdgeChange> = Vec::new();
+    let mut changed_prev: HashSet<VertexId> = HashSet::new();
+
+    for update in batch {
+        match update {
+            GraphUpdate::UpdateFeature { vertex, features } => {
+                if !graph.contains_vertex(*vertex) {
+                    return Err(RippleError::InvalidUpdate(format!(
+                        "feature update for unknown vertex {vertex}"
+                    )));
+                }
+                let old = store.embedding(0, *vertex).to_vec();
+                let delta: Vec<f32> = features
+                    .iter()
+                    .zip(old.iter())
+                    .map(|(n, o)| n - o)
+                    .collect();
+                // Deltas flow to the *current* out-neighbourhood, which
+                // reflects every earlier update in this batch.
+                for (&w, &weight) in graph
+                    .out_neighbors(*vertex)
+                    .iter()
+                    .zip(graph.out_weights(*vertex).iter())
+                {
+                    mailboxes.deposit(1, w, aggregator.edge_coefficient(weight), &delta);
+                    stats.aggregate_ops += 1;
+                }
+                graph.set_feature(*vertex, features)?;
+                store.set_embedding(0, *vertex, features)?;
+                changed_prev.insert(*vertex);
+            }
+            GraphUpdate::AddEdge { src, dst, weight } => {
+                snapshot_source(store, model, &mut source_snapshots, *src);
+                graph.add_edge(*src, *dst, *weight)?;
+                let coeff = aggregator.edge_coefficient(*weight);
+                mailboxes.deposit(1, *dst, coeff, store.embedding(0, *src));
+                stats.aggregate_ops += 1;
+                edge_changes.push(EdgeChange {
+                    source: *src,
+                    sink: *dst,
+                    sign: 1.0,
+                    coeff,
+                });
+            }
+            GraphUpdate::DeleteEdge { src, dst } => {
+                let weight = graph.edge_weight(*src, *dst).ok_or_else(|| {
+                    RippleError::InvalidUpdate(format!("deleting missing edge {src} -> {dst}"))
+                })?;
+                snapshot_source(store, model, &mut source_snapshots, *src);
+                graph.remove_edge(*src, *dst)?;
+                let coeff = aggregator.edge_coefficient(weight);
+                mailboxes.deposit(1, *dst, -coeff, store.embedding(0, *src));
+                stats.aggregate_ops += 1;
+                edge_changes.push(EdgeChange {
+                    source: *src,
+                    sink: *dst,
+                    sign: -1.0,
+                    coeff,
+                });
+            }
+        }
+    }
+    Ok(UpdatePhase {
+        mailboxes,
+        source_snapshots,
+        edge_changes,
+        changed_prev,
+    })
+}
+
+/// Captures the pre-batch embeddings (layers 1..L-1) of an edge-update
+/// source vertex, once per batch.
+fn snapshot_source(
+    store: &EmbeddingStore,
+    model: &GnnModel,
+    snapshots: &mut HashMap<VertexId, Vec<Vec<f32>>>,
+    source: VertexId,
+) {
+    if snapshots.contains_key(&source) {
+        return;
+    }
+    let upto = model.num_layers().saturating_sub(1);
+    let mut layers = Vec::with_capacity(upto);
+    for l in 1..=upto {
+        layers.push(store.embedding(l, source).to_vec());
+    }
+    snapshots.insert(source, layers);
+}
+
+/// Injects the hop-`hop` aggregate contribution of every topology change of
+/// the batch (hop 1 is handled sequentially by the update operator). A new
+/// (deleted) edge contributes (removes) the source's *pre-batch* embedding at
+/// each layer; the in-batch change, if any, arrives separately via the
+/// source's own delta message, so the two always sum to exactly the new
+/// value.
+pub(crate) fn inject_edge_changes(
+    mailboxes: &mut MailboxSet,
+    hop: usize,
+    edge_changes: &[EdgeChange],
+    source_snapshots: &HashMap<VertexId, Vec<Vec<f32>>>,
+    stats: &mut BatchStats,
+) {
+    for change in edge_changes {
+        let snapshot = &source_snapshots[&change.source];
+        let pre_batch = &snapshot[hop - 2];
+        mailboxes.deposit(hop, change.sink, change.sign * change.coeff, pre_batch);
+        stats.aggregate_ops += 1;
+    }
+}
+
+/// The hop-`hop` affected frontier in ascending vertex order: every vertex
+/// with pending mail, plus — when the layer reads its own previous-layer
+/// embedding — every vertex that changed at the previous hop.
+///
+/// Sorting pins the per-hop processing (and therefore float accumulation)
+/// order, which makes serial runs reproducible across processes and gives the
+/// parallel engine a canonical order to shard and merge against.
+pub(crate) fn sorted_affected(
+    mail: &HashMap<VertexId, Vec<f32>>,
+    changed_prev: &HashSet<VertexId>,
+    depends_on_self: bool,
+) -> Vec<VertexId> {
+    let mut affected: Vec<VertexId> = mail.keys().copied().collect();
+    if depends_on_self {
+        affected.extend(changed_prev.iter().copied());
+        affected.sort_unstable();
+        affected.dedup();
+    } else {
+        affected.sort_unstable();
+    }
+    affected
+}
+
+/// Apply phase: folds every pending hop-`hop` mail delta into the stored raw
+/// aggregate **in place**. Each delta targets its own store row, so the
+/// iteration order across vertices cannot affect any result bit; the engines
+/// run this on the owner thread before (possibly parallel) re-evaluation.
+pub(crate) fn apply_mail(
+    store: &mut EmbeddingStore,
+    hop: usize,
+    mail: &HashMap<VertexId, Vec<f32>>,
+    stats: &mut BatchStats,
+) {
+    for (&v, delta) in mail {
+        ripple_tensor::add_assign(store.aggregate_mut(hop, v), delta);
+        stats.aggregate_ops += 1;
+    }
+}
+
+/// Commits one hop's evaluation results in frontier order: writes the new
+/// embeddings back and forwards delta messages to the next hop's mailboxes.
+/// Because deposits replay in the same vertex order the serial engine uses,
+/// the resulting mailbox contents are bit-identical no matter how many
+/// workers produced `new_embeddings`.
+///
+/// Returns the set of vertices whose hop-`hop` embedding actually changed
+/// (everything, unless `config.skip_unchanged` prunes).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn commit_hop(
+    graph: &DynamicGraph,
+    store: &mut EmbeddingStore,
+    config: RippleConfig,
+    aggregator: Aggregator,
+    mailboxes: &mut MailboxSet,
+    hop: usize,
+    num_layers: usize,
+    affected: &[VertexId],
+    new_embeddings: Vec<Vec<f32>>,
+    stats: &mut BatchStats,
+) -> Result<HashSet<VertexId>> {
+    debug_assert_eq!(affected.len(), new_embeddings.len());
+    let mut changed_now: HashSet<VertexId> = HashSet::with_capacity(affected.len());
+    for (&v, new_embedding) in affected.iter().zip(new_embeddings) {
+        let old = store.embedding(hop, v);
+        let out_delta: Vec<f32> = new_embedding
+            .iter()
+            .zip(old.iter())
+            .map(|(n, o)| n - o)
+            .collect();
+        store.set_embedding(hop, v, &new_embedding)?;
+
+        let effectively_unchanged =
+            config.skip_unchanged && out_delta.iter().all(|d| d.abs() <= config.prune_tolerance);
+        if effectively_unchanged {
+            continue;
+        }
+        changed_now.insert(v);
+
+        // Forward messages to the next hop's mailboxes.
+        if hop < num_layers {
+            for (&w, &weight) in graph
+                .out_neighbors(v)
+                .iter()
+                .zip(graph.out_weights(v).iter())
+            {
+                mailboxes.deposit(hop + 1, w, aggregator.edge_coefficient(weight), &out_delta);
+                stats.aggregate_ops += 1;
+            }
+        }
+    }
+    Ok(changed_now)
 }
 
 /// The single-machine incremental inference engine.
@@ -99,27 +360,7 @@ impl RippleEngine {
         store: EmbeddingStore,
         config: RippleConfig,
     ) -> Result<Self> {
-        if store.num_vertices() != graph.num_vertices() {
-            return Err(RippleError::Mismatch(format!(
-                "store covers {} vertices, graph has {}",
-                store.num_vertices(),
-                graph.num_vertices()
-            )));
-        }
-        if store.num_layers() != model.num_layers() {
-            return Err(RippleError::Mismatch(format!(
-                "store has {} layers, model has {}",
-                store.num_layers(),
-                model.num_layers()
-            )));
-        }
-        if graph.feature_dim() != model.input_dim() {
-            return Err(RippleError::Mismatch(format!(
-                "graph features are {}-wide, model expects {}",
-                graph.feature_dim(),
-                model.input_dim()
-            )));
-        }
+        validate_parts(&graph, &model, &store)?;
         Ok(RippleEngine {
             graph,
             model,
@@ -174,84 +415,23 @@ impl RippleEngine {
     /// errors. The engine should be considered poisoned after an error.
     pub fn process_batch(&mut self, batch: &UpdateBatch) -> Result<BatchStats> {
         let num_layers = self.model.num_layers();
-        let mut mailboxes = MailboxSet::new(num_layers);
+        let aggregator = self.model.aggregator();
         let mut stats = BatchStats {
             batch_size: batch.len(),
             ..BatchStats::default()
         };
 
         // ------------------------------------------------------------------
-        // Phase 1 — the `update` operator (hop 0).
+        // Phase 1 — the `update` operator (hop 0), sequential over the batch.
         // ------------------------------------------------------------------
         let update_start = Instant::now();
-        let aggregator = self.model.aggregator();
-        // Pre-batch embeddings (layers 1..L-1) of every edge-update source,
-        // captured lazily before propagation mutates them.
-        let mut source_snapshots: HashMap<VertexId, Vec<Vec<f32>>> = HashMap::new();
-        let mut edge_changes: Vec<EdgeChange> = Vec::new();
-        // Vertices whose hop-0 embedding (feature vector) changed.
-        let mut changed_prev: HashSet<VertexId> = HashSet::new();
-
-        for update in batch {
-            match update {
-                GraphUpdate::UpdateFeature { vertex, features } => {
-                    if !self.graph.contains_vertex(*vertex) {
-                        return Err(RippleError::InvalidUpdate(format!(
-                            "feature update for unknown vertex {vertex}"
-                        )));
-                    }
-                    let old = self.store.embedding(0, *vertex).to_vec();
-                    let delta: Vec<f32> = features
-                        .iter()
-                        .zip(old.iter())
-                        .map(|(n, o)| n - o)
-                        .collect();
-                    // Deltas flow to the *current* out-neighbourhood, which
-                    // reflects every earlier update in this batch.
-                    for (&w, &weight) in self
-                        .graph
-                        .out_neighbors(*vertex)
-                        .iter()
-                        .zip(self.graph.out_weights(*vertex).iter())
-                    {
-                        mailboxes.deposit(1, w, aggregator.edge_coefficient(weight), &delta);
-                        stats.aggregate_ops += 1;
-                    }
-                    self.graph.set_feature(*vertex, features)?;
-                    self.store.set_embedding(0, *vertex, features)?;
-                    changed_prev.insert(*vertex);
-                }
-                GraphUpdate::AddEdge { src, dst, weight } => {
-                    self.snapshot_source(&mut source_snapshots, *src);
-                    self.graph.add_edge(*src, *dst, *weight)?;
-                    let coeff = aggregator.edge_coefficient(*weight);
-                    mailboxes.deposit(1, *dst, coeff, self.store.embedding(0, *src));
-                    stats.aggregate_ops += 1;
-                    edge_changes.push(EdgeChange {
-                        source: *src,
-                        sink: *dst,
-                        sign: 1.0,
-                        coeff,
-                    });
-                }
-                GraphUpdate::DeleteEdge { src, dst } => {
-                    let weight = self.graph.edge_weight(*src, *dst).ok_or_else(|| {
-                        RippleError::InvalidUpdate(format!("deleting missing edge {src} -> {dst}"))
-                    })?;
-                    self.snapshot_source(&mut source_snapshots, *src);
-                    self.graph.remove_edge(*src, *dst)?;
-                    let coeff = aggregator.edge_coefficient(weight);
-                    mailboxes.deposit(1, *dst, -coeff, self.store.embedding(0, *src));
-                    stats.aggregate_ops += 1;
-                    edge_changes.push(EdgeChange {
-                        source: *src,
-                        sink: *dst,
-                        sign: -1.0,
-                        coeff,
-                    });
-                }
-            }
-        }
+        let mut phase = run_update_operator(
+            &mut self.graph,
+            &mut self.store,
+            &self.model,
+            batch,
+            &mut stats,
+        )?;
         stats.update_time = update_start.elapsed();
 
         // ------------------------------------------------------------------
@@ -262,20 +442,18 @@ impl RippleEngine {
             // Inject the per-layer contribution of topology changes. Hop 1
             // was already handled sequentially above.
             if hop >= 2 {
-                for change in &edge_changes {
-                    let snapshot = &source_snapshots[&change.source];
-                    let pre_batch = &snapshot[hop - 2];
-                    mailboxes.deposit(hop, change.sink, change.sign * change.coeff, pre_batch);
-                    stats.aggregate_ops += 1;
-                }
+                inject_edge_changes(
+                    &mut phase.mailboxes,
+                    hop,
+                    &phase.edge_changes,
+                    &phase.source_snapshots,
+                    &mut stats,
+                );
             }
 
             let layer = self.model.layer(hop)?;
-            let mail = mailboxes.take_hop(hop);
-            let mut affected: HashSet<VertexId> = mail.keys().copied().collect();
-            if layer.depends_on_self() {
-                affected.extend(changed_prev.iter().copied());
-            }
+            let mail = phase.mailboxes.take_hop(hop);
+            let affected = sorted_affected(&mail, &phase.changed_prev, layer.depends_on_self());
 
             stats.affected_per_hop.push(affected.len());
             stats.propagation_tree_size += affected.len();
@@ -283,68 +461,25 @@ impl RippleEngine {
                 stats.affected_final = affected.len();
             }
 
-            let mut changed_now: HashSet<VertexId> = HashSet::with_capacity(affected.len());
-            for v in affected {
-                // Apply phase: fold the accumulated delta into the stored raw
-                // aggregate.
-                if let Some(delta) = mail.get(&v) {
-                    ripple_tensor::add_assign(self.store.aggregate_mut(hop, v), delta);
-                    stats.aggregate_ops += 1;
-                }
-                // Compute phase: re-evaluate the layer for this vertex.
-                let finalized =
-                    aggregator.finalize(self.store.aggregate(hop, v), self.graph.in_degree(v));
-                let self_prev = self.store.embedding(hop - 1, v).to_vec();
-                let new = layer.forward(&self_prev, &finalized)?;
-                let old = self.store.embedding(hop, v).to_vec();
-                let out_delta: Vec<f32> = new.iter().zip(old.iter()).map(|(n, o)| n - o).collect();
-                self.store.set_embedding(hop, v, &new)?;
-
-                let effectively_unchanged = self.config.skip_unchanged
-                    && out_delta
-                        .iter()
-                        .all(|d| d.abs() <= self.config.prune_tolerance);
-                if effectively_unchanged {
-                    continue;
-                }
-                changed_now.insert(v);
-
-                // Forward messages to the next hop's mailboxes.
-                if hop < num_layers {
-                    for (&w, &weight) in self
-                        .graph
-                        .out_neighbors(v)
-                        .iter()
-                        .zip(self.graph.out_weights(v).iter())
-                    {
-                        mailboxes.deposit(
-                            hop + 1,
-                            w,
-                            aggregator.edge_coefficient(weight),
-                            &out_delta,
-                        );
-                        stats.aggregate_ops += 1;
-                    }
-                }
-            }
-            changed_prev = changed_now;
+            // Apply phase in place, compute phase over the frontier, commit.
+            apply_mail(&mut self.store, hop, &mail, &mut stats);
+            let new_embeddings =
+                reevaluate_slice(&self.graph, &self.model, &self.store, hop, &affected)?;
+            phase.changed_prev = commit_hop(
+                &self.graph,
+                &mut self.store,
+                self.config,
+                aggregator,
+                &mut phase.mailboxes,
+                hop,
+                num_layers,
+                &affected,
+                new_embeddings,
+                &mut stats,
+            )?;
         }
         stats.propagate_time = propagate_start.elapsed();
         Ok(stats)
-    }
-
-    /// Captures the pre-batch embeddings (layers 1..L-1) of an edge-update
-    /// source vertex, once per batch.
-    fn snapshot_source(&self, snapshots: &mut HashMap<VertexId, Vec<Vec<f32>>>, source: VertexId) {
-        if snapshots.contains_key(&source) {
-            return;
-        }
-        let upto = self.model.num_layers().saturating_sub(1);
-        let mut layers = Vec::with_capacity(upto);
-        for l in 1..=upto {
-            layers.push(self.store.embedding(l, source).to_vec());
-        }
-        snapshots.insert(source, layers);
     }
 }
 

@@ -53,6 +53,8 @@ pub mod error;
 pub mod mailbox;
 pub mod message;
 pub mod metrics;
+pub mod parallel;
+pub mod pool;
 
 pub use batch::{StreamRunner, StreamingEngine};
 pub use engine::{RippleConfig, RippleEngine};
@@ -60,6 +62,8 @@ pub use error::RippleError;
 pub use mailbox::MailboxSet;
 pub use message::DeltaMessage;
 pub use metrics::StreamSummary;
+pub use parallel::{evaluate_frontier, ParallelRippleEngine};
+pub use pool::WorkerPool;
 
 /// Re-export of the per-batch statistics shared with the recompute baselines.
 pub use ripple_gnn::recompute::BatchStats;

@@ -1,0 +1,385 @@
+//! The multi-threaded single-machine Ripple engine.
+//!
+//! Delta propagation is embarrassingly parallel *within* a hop: every
+//! affected vertex folds its accumulated delta and re-evaluates its layer
+//! against state that no other vertex of the same hop touches. The parallel
+//! engine exploits exactly that:
+//!
+//! 1. the hop-0 `update` operator runs sequentially over the batch (shared
+//!    verbatim with [`crate::RippleEngine`] — interleaved updates must never
+//!    double-count);
+//! 2. the owner thread folds each hop's pending mailbox deltas into the
+//!    stored aggregates in place, then the affected frontier — sorted into
+//!    the serial engine's canonical vertex order — is sharded into
+//!    contiguous chunks and evaluated by [`WorkerPool`] workers through the
+//!    lock-free [`ripple_gnn::layer_wise::reevaluate_slice`] primitive;
+//!    workers only *read* the graph, model and store;
+//! 3. the owner thread merges the per-chunk results in chunk order
+//!    (= ascending vertex order) and replays the embedding writes and
+//!    next-hop mailbox deposits exactly as the serial engine would.
+//!
+//! Because linear aggregators make every per-vertex computation independent
+//! and the ordered reduction replays float operations in the serial order,
+//! the engine's embeddings are **bit-identical** to [`crate::RippleEngine`]'s for
+//! any thread count — asserted by this module's tests and by the
+//! `parallel_determinism` property suite.
+
+use crate::engine::{
+    apply_mail, commit_hop, inject_edge_changes, run_update_operator, sorted_affected,
+    validate_parts, RippleConfig,
+};
+use crate::pool::WorkerPool;
+use crate::Result;
+use ripple_gnn::layer_wise::reevaluate_slice;
+use ripple_gnn::recompute::BatchStats;
+use ripple_gnn::{EmbeddingStore, GnnModel};
+use ripple_graph::{DynamicGraph, UpdateBatch, VertexId};
+use std::time::Instant;
+
+/// Frontiers smaller than this are evaluated inline: the per-hop spawn cost
+/// of scoped workers would dominate the handful of layer evaluations.
+const MIN_PARALLEL_FRONTIER: usize = 64;
+
+/// Evaluates a hop frontier against an immutable store (all pending deltas
+/// already folded in by the owner thread), sharding it across `pool` when it
+/// is large enough to amortise the spawn cost (small frontiers, or a
+/// 1-thread pool, run inline). New embeddings come back in frontier order
+/// regardless of the thread count. Shared by [`ParallelRippleEngine`] and
+/// the distributed engine's intra-worker parallelism.
+///
+/// # Errors
+///
+/// Propagates layer lookup and tensor shape errors from any shard.
+pub fn evaluate_frontier(
+    pool: &WorkerPool,
+    graph: &DynamicGraph,
+    model: &GnnModel,
+    store: &EmbeddingStore,
+    hop: usize,
+    vertices: &[VertexId],
+) -> ripple_gnn::Result<Vec<Vec<f32>>> {
+    if pool.threads() == 1 || vertices.len() < MIN_PARALLEL_FRONTIER {
+        return reevaluate_slice(graph, model, store, hop, vertices);
+    }
+    let chunk_size = pool.suggested_chunk_size(vertices.len());
+    let chunks = pool.map_chunks(vertices.len(), chunk_size, |range| {
+        reevaluate_slice(graph, model, store, hop, &vertices[range])
+    });
+    let mut evals = Vec::with_capacity(vertices.len());
+    for chunk in chunks {
+        evals.extend(chunk?);
+    }
+    Ok(evals)
+}
+
+/// The multi-threaded single-machine incremental inference engine.
+///
+/// Behaves exactly like [`crate::RippleEngine`] — same configuration knobs, same
+/// statistics, bit-identical embeddings — but shards each hop's affected
+/// frontier across a fixed [`WorkerPool`].
+#[derive(Debug, Clone)]
+pub struct ParallelRippleEngine {
+    graph: DynamicGraph,
+    model: GnnModel,
+    store: EmbeddingStore,
+    config: RippleConfig,
+    pool: WorkerPool,
+}
+
+impl ParallelRippleEngine {
+    /// Creates an engine from bootstrapped state, with `threads` workers
+    /// (clamped to at least 1; 1 behaves like the serial engine).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::RippleError::Mismatch`] under the same conditions as
+    /// [`crate::RippleEngine::new`].
+    pub fn new(
+        graph: DynamicGraph,
+        model: GnnModel,
+        store: EmbeddingStore,
+        config: RippleConfig,
+        threads: usize,
+    ) -> Result<Self> {
+        validate_parts(&graph, &model, &store)?;
+        Ok(ParallelRippleEngine {
+            graph,
+            model,
+            store,
+            config,
+            pool: WorkerPool::new(threads),
+        })
+    }
+
+    /// Number of worker threads used per hop.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// The current graph (reflecting every processed batch).
+    pub fn graph(&self) -> &DynamicGraph {
+        &self.graph
+    }
+
+    /// The current embedding store.
+    pub fn store(&self) -> &EmbeddingStore {
+        &self.store
+    }
+
+    /// The model used for inference.
+    pub fn model(&self) -> &GnnModel {
+        &self.model
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> RippleConfig {
+        self.config
+    }
+
+    /// Predicted label of a vertex from the current final-layer embeddings.
+    pub fn predicted_label(&self, v: VertexId) -> usize {
+        self.store.predicted_label(v)
+    }
+
+    /// Consumes the engine, returning the graph and store.
+    pub fn into_parts(self) -> (DynamicGraph, EmbeddingStore) {
+        (self.graph, self.store)
+    }
+
+    /// Memory overhead of the additional state Ripple keeps relative to the
+    /// recompute baseline (the aggregate tables), in bytes.
+    pub fn incremental_state_bytes(&self) -> usize {
+        self.store.aggregate_memory_bytes()
+    }
+
+    /// Applies a batch of updates and incrementally refreshes every affected
+    /// embedding, sharding each hop's frontier across the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph and tensor errors, exactly like
+    /// [`crate::RippleEngine::process_batch`]. The engine should be considered
+    /// poisoned after an error.
+    pub fn process_batch(&mut self, batch: &UpdateBatch) -> Result<BatchStats> {
+        let ParallelRippleEngine {
+            graph,
+            model,
+            store,
+            config,
+            pool,
+        } = self;
+        let num_layers = model.num_layers();
+        let aggregator = model.aggregator();
+        let mut stats = BatchStats {
+            batch_size: batch.len(),
+            ..BatchStats::default()
+        };
+
+        // Phase 1 — the `update` operator (hop 0), sequential over the batch.
+        let update_start = Instant::now();
+        let mut phase = run_update_operator(graph, store, model, batch, &mut stats)?;
+        stats.update_time = update_start.elapsed();
+
+        // Phase 2 — the `propagate` operator, hop by hop, frontier-parallel.
+        let propagate_start = Instant::now();
+        for hop in 1..=num_layers {
+            if hop >= 2 {
+                inject_edge_changes(
+                    &mut phase.mailboxes,
+                    hop,
+                    &phase.edge_changes,
+                    &phase.source_snapshots,
+                    &mut stats,
+                );
+            }
+
+            let layer = model.layer(hop)?;
+            let mail = phase.mailboxes.take_hop(hop);
+            let affected = sorted_affected(&mail, &phase.changed_prev, layer.depends_on_self());
+
+            stats.affected_per_hop.push(affected.len());
+            stats.propagation_tree_size += affected.len();
+            if hop == num_layers {
+                stats.affected_final = affected.len();
+            }
+
+            // Apply phase in place on the owner thread, then compute phase:
+            // workers re-evaluate disjoint, contiguous shards of the
+            // frontier against the (now immutable) store.
+            apply_mail(store, hop, &mail, &mut stats);
+            let new_embeddings = evaluate_frontier(pool, graph, model, store, hop, &affected)?;
+
+            // Owner-ordered reduction: commit store writes and next-hop
+            // deposits in ascending vertex order, exactly as the serial
+            // engine does.
+            phase.changed_prev = commit_hop(
+                graph,
+                store,
+                *config,
+                aggregator,
+                &mut phase.mailboxes,
+                hop,
+                num_layers,
+                &affected,
+                new_embeddings,
+                &mut stats,
+            )?;
+        }
+        stats.propagate_time = propagate_start.elapsed();
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::RippleEngine;
+    use ripple_gnn::layer_wise::full_inference;
+    use ripple_gnn::Workload;
+    use ripple_graph::stream::{build_stream, StreamConfig};
+    use ripple_graph::synth::DatasetSpec;
+
+    fn bootstrap(
+        workload: Workload,
+        layers: usize,
+        seed: u64,
+    ) -> (DynamicGraph, GnnModel, EmbeddingStore, Vec<UpdateBatch>) {
+        let full = DatasetSpec::custom(180, 5.0, 6, 4)
+            .generate_weighted(seed, workload.needs_edge_weights())
+            .unwrap();
+        let plan = build_stream(
+            &full,
+            &StreamConfig {
+                total_updates: 80,
+                seed: seed ^ 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let model = workload.build_model(6, 8, 4, layers, seed ^ 2).unwrap();
+        let store = full_inference(&plan.snapshot, &model).unwrap();
+        let batches = plan.batches(16);
+        (plan.snapshot, model, store, batches)
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_serial_for_all_workloads() {
+        for workload in Workload::all() {
+            let (snapshot, model, store, batches) = bootstrap(workload, 2, 5);
+            let mut serial = RippleEngine::new(
+                snapshot.clone(),
+                model.clone(),
+                store.clone(),
+                RippleConfig::default(),
+            )
+            .unwrap();
+            for threads in [1, 2, 4, 8] {
+                let mut parallel = ParallelRippleEngine::new(
+                    snapshot.clone(),
+                    model.clone(),
+                    store.clone(),
+                    RippleConfig::default(),
+                    threads,
+                )
+                .unwrap();
+                for batch in &batches {
+                    parallel.process_batch(batch).unwrap();
+                }
+                if threads == 1 {
+                    for batch in &batches {
+                        serial.process_batch(batch).unwrap();
+                    }
+                }
+                assert!(
+                    parallel.store() == serial.store(),
+                    "workload {workload}, {threads} threads: stores differ"
+                );
+                assert_eq!(parallel.graph().num_edges(), serial.graph().num_edges());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_stats_match_serial_stats() {
+        let (snapshot, model, store, batches) = bootstrap(Workload::GcS, 3, 11);
+        let mut serial = RippleEngine::new(
+            snapshot.clone(),
+            model.clone(),
+            store.clone(),
+            RippleConfig::default(),
+        )
+        .unwrap();
+        let mut parallel =
+            ParallelRippleEngine::new(snapshot, model, store, RippleConfig::default(), 4).unwrap();
+        for batch in &batches {
+            let s = serial.process_batch(batch).unwrap();
+            let p = parallel.process_batch(batch).unwrap();
+            assert_eq!(s.affected_per_hop, p.affected_per_hop);
+            assert_eq!(s.affected_final, p.affected_final);
+            assert_eq!(s.propagation_tree_size, p.propagation_tree_size);
+            assert_eq!(s.aggregate_ops, p.aggregate_ops);
+            assert_eq!(s.batch_size, p.batch_size);
+        }
+    }
+
+    #[test]
+    fn pruning_config_is_respected() {
+        let (snapshot, model, store, batches) = bootstrap(Workload::GcS, 2, 13);
+        let mut exact = ParallelRippleEngine::new(
+            snapshot.clone(),
+            model.clone(),
+            store.clone(),
+            RippleConfig::default(),
+            2,
+        )
+        .unwrap();
+        let mut pruning =
+            ParallelRippleEngine::new(snapshot, model, store, RippleConfig::pruning(1e-6), 2)
+                .unwrap();
+        for batch in &batches {
+            exact.process_batch(batch).unwrap();
+            pruning.process_batch(batch).unwrap();
+        }
+        // Pruning only skips numerically unchanged vertices, so the final
+        // embeddings stay within tolerance of the exact configuration.
+        let diff = exact.store().max_diff_all_layers(pruning.store()).unwrap();
+        assert!(diff < 1e-3, "pruning drifted: {diff}");
+        assert_eq!(pruning.config(), RippleConfig::pruning(1e-6));
+    }
+
+    #[test]
+    fn constructor_validates_shapes_and_clamps_threads() {
+        let (snapshot, model, store, _) = bootstrap(Workload::GcS, 2, 17);
+        let wrong_model = Workload::GcS.build_model(6, 8, 4, 3, 0).unwrap();
+        assert!(ParallelRippleEngine::new(
+            snapshot.clone(),
+            wrong_model,
+            store.clone(),
+            RippleConfig::default(),
+            4
+        )
+        .is_err());
+        let engine =
+            ParallelRippleEngine::new(snapshot, model, store, RippleConfig::default(), 0).unwrap();
+        assert_eq!(engine.threads(), 1);
+        assert!(engine.incremental_state_bytes() > 0);
+        let n = engine.graph().num_vertices();
+        assert!(engine.predicted_label(VertexId(0)) < engine.model().output_dim());
+        let (graph, store) = engine.into_parts();
+        assert_eq!(graph.num_vertices(), store.num_vertices());
+        assert_eq!(graph.num_vertices(), n);
+    }
+
+    #[test]
+    fn invalid_updates_are_reported() {
+        let (snapshot, model, store, _) = bootstrap(Workload::GcS, 2, 19);
+        let n = snapshot.num_vertices() as u32;
+        let mut engine =
+            ParallelRippleEngine::new(snapshot, model, store, RippleConfig::default(), 2).unwrap();
+        let bad = UpdateBatch::from_updates(vec![ripple_graph::GraphUpdate::update_feature(
+            VertexId(n + 2),
+            vec![0.0; 6],
+        )]);
+        assert!(engine.process_batch(&bad).is_err());
+    }
+}

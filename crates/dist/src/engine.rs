@@ -15,7 +15,7 @@ use crate::network::{CommStats, NetworkModel};
 use crate::stats::DistBatchStats;
 use crate::worker::{gather_store, group_by_part, validate_shapes};
 use crate::{DistError, Result};
-use ripple_core::{DeltaMessage, MailboxSet};
+use ripple_core::{evaluate_frontier, DeltaMessage, MailboxSet, WorkerPool};
 use ripple_gnn::{EmbeddingStore, GnnModel};
 use ripple_graph::partition::Partitioning;
 use ripple_graph::{DynamicGraph, GraphUpdate, UpdateBatch, VertexId};
@@ -116,6 +116,7 @@ pub struct DistRippleEngine {
     partitioning: Partitioning,
     network: NetworkModel,
     stores: Vec<EmbeddingStore>,
+    pool: WorkerPool,
 }
 
 impl DistRippleEngine {
@@ -143,7 +144,23 @@ impl DistRippleEngine {
             partitioning,
             network,
             stores,
+            pool: WorkerPool::default(),
         })
+    }
+
+    /// Enables intra-worker parallelism: each simulated worker shards its
+    /// per-superstep frontier across `threads` pool workers (clamped to at
+    /// least 1). Results are bit-identical for any thread count — the
+    /// per-part commit replays in the same sorted vertex order either way.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.pool = WorkerPool::new(threads);
+        self
+    }
+
+    /// Number of pool threads each simulated worker uses during a superstep.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
     }
 
     /// Number of workers.
@@ -190,6 +207,7 @@ impl DistRippleEngine {
             partitioning,
             network,
             stores,
+            pool,
         } = self;
         let num_layers = model.num_layers();
         let num_parts = partitioning.num_parts();
@@ -324,22 +342,28 @@ impl DistRippleEngine {
                     continue;
                 }
                 let worker_start = Instant::now();
+
+                // Apply phase: fold the deltas addressed to this part's
+                // vertices into its store in place, then the compute phase
+                // runs intra-worker parallel — pool workers re-evaluate
+                // disjoint contiguous shards of the frontier without writing.
                 for &v in vertices {
-                    // Apply phase: fold the accumulated delta into the
-                    // stored raw aggregate.
                     if let Some(delta) = mail.get(&v) {
                         ripple_tensor::add_assign(stores[part].aggregate_mut(hop, v), delta);
                     }
-                    // Compute phase: re-evaluate the layer for this vertex.
-                    let finalized =
-                        aggregator.finalize(stores[part].aggregate(hop, v), graph.in_degree(v));
-                    let new = layer.forward(stores[part].embedding(hop - 1, v), &finalized)?;
-                    let out_delta: Vec<f32> = new
+                }
+                let new_embeddings =
+                    evaluate_frontier(pool, graph, model, &stores[part], hop, vertices)?;
+
+                // Commit in sorted vertex order (identical to the inline
+                // order), writing back and routing next-hop messages.
+                for (&v, new_embedding) in vertices.iter().zip(new_embeddings) {
+                    let out_delta: Vec<f32> = new_embedding
                         .iter()
                         .zip(stores[part].embedding(hop, v).iter())
                         .map(|(n, o)| n - o)
                         .collect();
-                    stores[part].set_embedding(hop, v, &new)?;
+                    stores[part].set_embedding(hop, v, &new_embedding)?;
                     changed_now.insert(v);
 
                     // Forward messages to the next hop's mailboxes.
@@ -449,6 +473,39 @@ mod tests {
                 .unwrap();
             assert!(diff < 2e-3, "{workload}: diff {diff}");
         }
+    }
+
+    #[test]
+    fn intra_worker_threads_are_bit_identical_and_charge_same_bytes() {
+        let (snapshot, model, store, batches) = bootstrap(Workload::GcS, 2, 23);
+        let partitioning = LdgPartitioner::new().partition(&snapshot, 3).unwrap();
+        let mut serial = DistRippleEngine::new(
+            &snapshot,
+            model.clone(),
+            &store,
+            partitioning.clone(),
+            NetworkModel::ten_gbe(),
+        )
+        .unwrap();
+        assert_eq!(serial.threads(), 1);
+        let mut threaded = DistRippleEngine::new(
+            &snapshot,
+            model,
+            &store,
+            partitioning,
+            NetworkModel::ten_gbe(),
+        )
+        .unwrap()
+        .with_threads(4);
+        assert_eq!(threaded.threads(), 4);
+        for batch in &batches {
+            let a = serial.process_batch(batch).unwrap();
+            let b = threaded.process_batch(batch).unwrap();
+            assert_eq!(a.comm.bytes, b.comm.bytes);
+            assert_eq!(a.comm.messages, b.comm.messages);
+            assert_eq!(a.affected_final, b.affected_final);
+        }
+        assert!(serial.gather_store() == threaded.gather_store());
     }
 
     #[test]

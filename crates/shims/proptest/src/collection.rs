@@ -3,7 +3,7 @@
 use crate::{Strategy, TestRng};
 use std::ops::Range;
 
-/// A length specification for [`vec`]: an exact `usize` or a `Range<usize>`.
+/// A length specification for [`vec()`]: an exact `usize` or a `Range<usize>`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SizeRange {
     min: usize,
@@ -29,7 +29,7 @@ impl From<Range<usize>> for SizeRange {
     }
 }
 
-/// The strategy returned by [`vec`].
+/// The strategy returned by [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,

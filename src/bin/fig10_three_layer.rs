@@ -1,14 +1,14 @@
 //! Regenerates Fig 10: single-machine comparative performance of the five
 //! GNN workloads with 3 layers on the Products-like graph.
 
-use ripple::experiments::{print_header, single_machine_sweep, Scale};
+use ripple::experiments::{print_header, single_machine_sweep, HarnessConfig};
 use ripple::graph::synth::DatasetKind;
 
 fn main() {
-    let scale = Scale::from_env();
+    let config = HarnessConfig::from_env();
     print_header(
         "Fig 10: single-machine throughput/latency, 3-layer workloads (Products)",
-        scale,
+        config.scale,
     );
-    single_machine_sweep(scale, 3, &[DatasetKind::Products]);
+    single_machine_sweep(config, 3, &[DatasetKind::Products]);
 }

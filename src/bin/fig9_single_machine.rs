@@ -1,23 +1,67 @@
 //! Regenerates Fig 9: single-machine throughput and median batch latency of
 //! DRC, RC and Ripple for the five 2-layer GNN workloads over the Arxiv-,
-//! Reddit- and Products-like graphs, across batch sizes 1/10/100/1000.
+//! Reddit- and Products-like graphs, across batch sizes 1/10/100/1000 —
+//! followed by the thread-scaling sweep of the parallel engine (1/2/4/8
+//! workers on the medium synthetic workload).
+//!
+//! Flags:
+//!
+//! * `--json <path>` — additionally writes the thread-scaling rows as a JSON
+//!   artifact (`BENCH_parallel.json` in CI).
+//! * `--scaling-only` — skips the strategy sweep and runs only the
+//!   thread-scaling part (CI runs the full binary; the flag is for quick
+//!   local scaling checks).
 
-use ripple::experiments::{print_header, single_machine_sweep, Scale};
+use ripple::experiments::{
+    parallel_scaling_sweep, print_header, print_scaling_rows, scaling_rows_to_json,
+    single_machine_sweep, HarnessConfig,
+};
 use ripple::graph::synth::DatasetKind;
 
+/// Thread counts swept by the Fig 9 scaling experiment.
+const SWEEP_THREADS: [usize; 4] = [1, 2, 4, 8];
+
 fn main() {
-    let scale = Scale::from_env();
+    let mut json_path: Option<String> = None;
+    let mut scaling_only = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => {
+                json_path = Some(args.next().expect("--json requires a file path"));
+            }
+            "--scaling-only" => scaling_only = true,
+            other => panic!("unknown flag {other} (expected --json <path> or --scaling-only)"),
+        }
+    }
+
+    let config = HarnessConfig::from_env();
     print_header(
         "Fig 9: single-machine throughput/latency, 2-layer workloads",
-        scale,
+        config.scale,
     );
-    single_machine_sweep(
-        scale,
-        2,
-        &[
-            DatasetKind::Arxiv,
-            DatasetKind::Products,
-            DatasetKind::Reddit,
-        ],
-    );
+    if !scaling_only {
+        single_machine_sweep(
+            config,
+            2,
+            &[
+                DatasetKind::Arxiv,
+                DatasetKind::Products,
+                DatasetKind::Reddit,
+            ],
+        );
+    }
+
+    println!("=== parallel engine thread scaling (GC-S, medium synthetic graph) ===");
+    let rows = parallel_scaling_sweep(config.scale, &SWEEP_THREADS);
+    print_scaling_rows(&rows);
+    println!();
+    println!("Expected shape: near-linear batches/sec scaling while the per-hop frontier");
+    println!("is large compared to the worker count; embeddings stay bit-identical.");
+
+    if let Some(path) = json_path {
+        let json = scaling_rows_to_json(config.scale, &rows);
+        std::fs::write(&path, json).expect("writing scaling JSON");
+        println!("wrote thread-scaling rows to {path}");
+    }
 }

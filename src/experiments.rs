@@ -102,6 +102,38 @@ impl Scale {
     }
 }
 
+/// Worker-thread count for the incremental engines, read from
+/// `RIPPLE_THREADS`: a number, or `auto` for the host's available
+/// parallelism (defaults to 1 = the serial engine).
+pub fn threads_from_env() -> usize {
+    match std::env::var("RIPPLE_THREADS").as_deref() {
+        Ok("auto") => ripple_core::WorkerPool::host_sized().threads(),
+        Ok(value) => value.parse::<usize>().ok().filter(|&t| t >= 1).unwrap_or(1),
+        Err(_) => 1,
+    }
+}
+
+/// Full harness configuration: the experiment scale plus the engine thread
+/// count used for the Ripple rows of the single-machine sweeps (Figs 9/10;
+/// the remaining figures run single-threaded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HarnessConfig {
+    /// Experiment scale (`RIPPLE_SCALE`).
+    pub scale: Scale,
+    /// Ripple engine worker threads (`RIPPLE_THREADS`, default 1).
+    pub threads: usize,
+}
+
+impl HarnessConfig {
+    /// Reads scale and thread count from the environment.
+    pub fn from_env() -> Self {
+        HarnessConfig {
+            scale: Scale::from_env(),
+            threads: threads_from_env(),
+        }
+    }
+}
+
 /// Hidden width used by every harness model (the paper does not report its
 /// hidden width; 32 keeps the arithmetic light without changing any trend).
 pub const HIDDEN_DIM: usize = 32;
@@ -199,6 +231,21 @@ impl Strategy {
 ///
 /// Panics on engine errors — harness cells are expected to be valid.
 pub fn run_strategy(prepared: &PreparedStream, strategy: Strategy) -> StreamSummary {
+    run_strategy_with_threads(prepared, strategy, 1)
+}
+
+/// Like [`run_strategy`], but the Ripple strategy runs on
+/// [`ParallelRippleEngine`] when `threads > 1` (the other strategies have no
+/// parallel variant and ignore the knob).
+///
+/// # Panics
+///
+/// Panics on engine errors — harness cells are expected to be valid.
+pub fn run_strategy_with_threads(
+    prepared: &PreparedStream,
+    strategy: Strategy,
+    threads: usize,
+) -> StreamSummary {
     let graph = prepared.snapshot.clone();
     let model = prepared.model.clone();
     let store = prepared.store.clone();
@@ -208,6 +255,10 @@ pub fn run_strategy(prepared: &PreparedStream, strategy: Strategy) -> StreamSumm
         ),
         Strategy::Rc => Box::new(
             RecomputeEngine::new(graph, model, store, RecomputeConfig::rc()).expect("rc engine"),
+        ),
+        Strategy::Ripple if threads > 1 => Box::new(
+            ParallelRippleEngine::new(graph, model, store, RippleConfig::default(), threads)
+                .expect("parallel ripple engine"),
         ),
         Strategy::Ripple => Box::new(
             RippleEngine::new(graph, model, store, RippleConfig::default()).expect("ripple engine"),
@@ -263,12 +314,13 @@ pub fn fmt_ms(d: Duration) -> String {
 /// The shared sweep behind Fig 9 (2-layer, three graphs) and Fig 10 (3-layer,
 /// Products): for every workload, graph and batch size, replay the same
 /// stream through DRC, RC and Ripple and print throughput, median latency and
-/// Ripple's speed-up over RC.
+/// Ripple's speed-up over RC. The Ripple rows use `config.threads` workers.
 pub fn single_machine_sweep(
-    scale: Scale,
+    config: HarnessConfig,
     num_layers: usize,
     kinds: &[ripple_graph::synth::DatasetKind],
 ) {
+    let scale = config.scale;
     let batch_sizes = [1usize, 10, 100, 1000];
     for &kind in kinds {
         let spec = scale.dataset(kind);
@@ -290,7 +342,7 @@ pub fn single_machine_sweep(
                     prepare_stream(&spec, workload, num_layers, batch_size, num_batches, 17);
                 let mut rc_throughput = 0.0;
                 for strategy in [Strategy::Drc, Strategy::Rc, Strategy::Ripple] {
-                    let summary = run_strategy(&prepared, strategy);
+                    let summary = run_strategy_with_threads(&prepared, strategy, config.threads);
                     if strategy == Strategy::Rc {
                         rc_throughput = summary.throughput;
                     }
@@ -314,6 +366,99 @@ pub fn single_machine_sweep(
     println!();
     println!("Expected shape (paper): Ripple > RC > DRC in throughput for every workload and");
     println!("batch size; the gap is largest on the denser graphs and larger batches.");
+}
+
+/// One row of the Fig 9 thread-scaling sweep: the parallel engine's
+/// throughput at one thread count, normalised against the serial engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingRow {
+    /// Worker threads used by [`ParallelRippleEngine`].
+    pub threads: usize,
+    /// Batches processed per second.
+    pub batches_per_sec: f64,
+    /// Updates processed per second.
+    pub updates_per_sec: f64,
+    /// Throughput relative to the serial [`RippleEngine`] on the same stream.
+    pub speedup_vs_serial: f64,
+}
+
+/// The medium synthetic workload cell used by the thread-scaling sweep and
+/// the `parallel_scaling` Criterion bench: a power-law graph large enough
+/// that per-hop frontiers dwarf the pool's spawn cost.
+pub fn scaling_cell(scale: Scale) -> PreparedStream {
+    let (n, deg, feats, batch, num_batches) = match scale {
+        Scale::Tiny => (400, 5.0, 16, 50, 2),
+        Scale::Small => (5_000, 8.0, 32, 200, 4),
+        Scale::Medium => (20_000, 10.0, 32, 500, 5),
+    };
+    let spec = DatasetSpec::custom(n, deg, feats, 8);
+    prepare_stream(&spec, Workload::GcS, 2, batch, num_batches, 29)
+}
+
+/// Replays the scaling cell through the serial engine once (the baseline)
+/// and then through [`ParallelRippleEngine`] at every requested thread
+/// count, returning one row per count.
+///
+/// # Panics
+///
+/// Panics on engine errors.
+pub fn parallel_scaling_sweep(scale: Scale, thread_counts: &[usize]) -> Vec<ScalingRow> {
+    let prepared = scaling_cell(scale);
+    let num_batches = prepared.batches.len() as f64;
+    let serial = run_strategy(&prepared, Strategy::Ripple);
+    thread_counts
+        .iter()
+        .map(|&threads| {
+            // The serial baseline doubles as the 1-thread row, so that row's
+            // speedup is exactly 1.0 rather than run-to-run timing jitter.
+            let summary = if threads <= 1 {
+                serial.clone()
+            } else {
+                run_strategy_with_threads(&prepared, Strategy::Ripple, threads)
+            };
+            ScalingRow {
+                threads,
+                batches_per_sec: num_batches / summary.total_time.as_secs_f64(),
+                updates_per_sec: summary.throughput,
+                speedup_vs_serial: summary.throughput / serial.throughput,
+            }
+        })
+        .collect()
+}
+
+/// Prints the thread-scaling table in the harness format.
+pub fn print_scaling_rows(rows: &[ScalingRow]) {
+    println!(
+        "{:<8} {:>16} {:>16} {:>18}",
+        "threads", "batches/s", "thpt (up/s)", "speedup vs serial"
+    );
+    for row in rows {
+        println!(
+            "{:<8} {:>16.2} {:>16.1} {:>17.2}x",
+            row.threads, row.batches_per_sec, row.updates_per_sec, row.speedup_vs_serial
+        );
+    }
+}
+
+/// Serialises the thread-scaling rows as the `BENCH_parallel.json` artifact
+/// consumed by CI (hand-rolled: the offline serde shim has no serialiser).
+pub fn scaling_rows_to_json(scale: Scale, rows: &[ScalingRow]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"fig9_parallel_scaling\",\n");
+    out.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
+    out.push_str("  \"workload\": \"GC-S\",\n  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"threads\": {}, \"batches_per_sec\": {:.3}, \"updates_per_sec\": {:.3}, \"speedup_vs_serial\": {:.4}}}{}\n",
+            row.threads,
+            row.batches_per_sec,
+            row.updates_per_sec,
+            row.speedup_vs_serial,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// Prints a standard experiment header with the scale in use.
@@ -449,6 +594,47 @@ mod tests {
         assert!(ripple.throughput > 0.0);
         let per_batch = run_strategy_per_batch(&prepared, Strategy::Ripple);
         assert_eq!(per_batch.len(), 2);
+    }
+
+    #[test]
+    fn parallel_ripple_strategy_agrees_with_serial() {
+        let spec = Scale::Tiny.dataset(DatasetKind::Custom);
+        let prepared = prepare_stream(&spec, Workload::GcS, 2, 5, 2, 3);
+        let serial = run_strategy(&prepared, Strategy::Ripple);
+        let parallel = run_strategy_with_threads(&prepared, Strategy::Ripple, 4);
+        assert_eq!(serial.total_updates, parallel.total_updates);
+        assert_eq!(serial.mean_affected_final, parallel.mean_affected_final);
+        assert_eq!(serial.total_aggregate_ops, parallel.total_aggregate_ops);
+    }
+
+    #[test]
+    fn scaling_sweep_produces_one_row_per_thread_count() {
+        let rows = parallel_scaling_sweep(Scale::Tiny, &[1, 2]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].threads, 1);
+        assert_eq!(rows[1].threads, 2);
+        for row in &rows {
+            assert!(row.batches_per_sec > 0.0);
+            assert!(row.updates_per_sec > 0.0);
+            assert!(row.speedup_vs_serial > 0.0);
+        }
+        let json = scaling_rows_to_json(Scale::Tiny, &rows);
+        assert!(json.contains("\"experiment\": \"fig9_parallel_scaling\""));
+        assert!(json.contains("\"scale\": \"Tiny\""));
+        assert!(json.contains("\"threads\": 2"));
+        print_scaling_rows(&rows);
+    }
+
+    #[test]
+    fn harness_config_mirrors_env_readers() {
+        let config = HarnessConfig::from_env();
+        assert_eq!(config.scale, Scale::from_env());
+        assert_eq!(config.threads, threads_from_env());
+        // Only assert the default when the knob is genuinely unset, so the
+        // suite stays green under `RIPPLE_THREADS=n cargo test`.
+        if std::env::var("RIPPLE_THREADS").is_err() {
+            assert_eq!(config.threads, 1);
+        }
     }
 
     #[test]

@@ -48,7 +48,8 @@ pub mod experiments;
 /// The most commonly used items, re-exported for `use ripple::prelude::*`.
 pub mod prelude {
     pub use ripple_core::{
-        BatchStats, RippleConfig, RippleEngine, StreamRunner, StreamSummary, StreamingEngine,
+        BatchStats, ParallelRippleEngine, RippleConfig, RippleEngine, StreamRunner, StreamSummary,
+        StreamingEngine, WorkerPool,
     };
     pub use ripple_dist::{
         DistBatchStats, DistRecomputeEngine, DistRippleEngine, DistSummary, NetworkModel,
