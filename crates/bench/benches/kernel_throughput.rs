@@ -1,0 +1,162 @@
+//! Throughput of the batched compute kernels against the per-vertex path:
+//! register-blocked `gemm_into` vs a row-at-a-time matvec loop, and batched
+//! `full_inference` vs the `full_inference_per_vertex` reference, swept over
+//! hidden dimensions 16/64/256. The two paths are bit-identical
+//! (`tests/kernel_parity.rs`), so this bench isolates the pure throughput
+//! effect of batching: register-tile operand reuse and the removal of
+//! per-vertex dispatch overhead.
+//!
+//! When the `RIPPLE_KERNEL_JSON` environment variable names a file, the
+//! bench additionally times the `full_inference` and GEMM comparisons with
+//! plain wall-clock repetitions and writes the rows (including the
+//! batched-over-per-vertex speedup) as the `BENCH_kernels.json` artifact CI
+//! uploads next to `BENCH_parallel.json`.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use ripple_gnn::layer_wise::{full_inference, full_inference_per_vertex};
+use ripple_gnn::{Aggregator, GnnModel, LayerKind};
+use ripple_graph::synth::DatasetSpec;
+use ripple_graph::DynamicGraph;
+use ripple_tensor::{init, ops, Matrix};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Hidden widths swept by both comparisons (the paper's models span 16–602).
+const HIDDEN_DIMS: [usize; 3] = [16, 64, 256];
+
+/// Rows of the GEMM operand sweep (a mid-sized frontier).
+const GEMM_ROWS: usize = 512;
+
+/// A bootstrap-shaped scenario: power-law graph plus a 2-layer GraphConv/sum
+/// model with the requested hidden width.
+fn scenario(hidden_dim: usize) -> (DynamicGraph, GnnModel) {
+    let graph = DatasetSpec::custom(2_000, 8.0, 16, 8)
+        .generate(42)
+        .expect("dataset");
+    let model = GnnModel::new(
+        LayerKind::GraphConv,
+        Aggregator::Sum,
+        &[16, hidden_dim, 8],
+        7,
+    )
+    .expect("model");
+    (graph, model)
+}
+
+fn bench_gemm_vs_matvec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_vs_matvec_512rows");
+    group.sample_size(10);
+    for dim in HIDDEN_DIMS {
+        let a = init::uniform(GEMM_ROWS, dim, -1.0, 1.0, 1);
+        let w = init::uniform(dim, dim, -1.0, 1.0, 2);
+        group.bench_with_input(BenchmarkId::new("matvec_per_row", dim), &dim, |b, _| {
+            let mut out = vec![0.0f32; dim];
+            b.iter(|| {
+                for i in 0..GEMM_ROWS {
+                    ops::row_matmul_into(a.row(i), &w, &mut out).unwrap();
+                }
+                black_box(out[0])
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("gemm_batched", dim), &dim, |b, _| {
+            let mut out = Matrix::default();
+            b.iter(|| {
+                ops::gemm_into(&a, &w, &mut out).unwrap();
+                black_box(out.as_slice()[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_inference_2k_vertices");
+    group.sample_size(10);
+    for dim in HIDDEN_DIMS {
+        let (graph, model) = scenario(dim);
+        group.bench_with_input(BenchmarkId::new("per_vertex", dim), &dim, |b, _| {
+            b.iter(|| black_box(full_inference_per_vertex(&graph, &model).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("batched", dim), &dim, |b, _| {
+            b.iter(|| black_box(full_inference(&graph, &model).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm_vs_matvec, bench_full_inference);
+
+/// Mean wall-clock seconds of `f` over `reps` timed repetitions (after one
+/// warm-up run).
+fn time_mean(reps: u32, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut total = Duration::ZERO;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        total += start.elapsed();
+    }
+    total.as_secs_f64() / f64::from(reps)
+}
+
+/// Writes the `BENCH_kernels.json` artifact (hand-rolled: the offline serde
+/// shim has no serialiser).
+fn write_kernels_json(path: &str) {
+    let mut rows = Vec::new();
+    for dim in HIDDEN_DIMS {
+        let (graph, model) = scenario(dim);
+        let per_vertex = time_mean(5, || {
+            drop(black_box(
+                full_inference_per_vertex(&graph, &model).unwrap(),
+            ))
+        });
+        let batched = time_mean(5, || {
+            drop(black_box(full_inference(&graph, &model).unwrap()))
+        });
+        rows.push(format!(
+            "    {{\"section\": \"full_inference\", \"hidden_dim\": {dim}, \
+             \"per_vertex_ms\": {:.4}, \"batched_ms\": {:.4}, \"speedup\": {:.3}}}",
+            per_vertex * 1e3,
+            batched * 1e3,
+            per_vertex / batched
+        ));
+    }
+    for dim in HIDDEN_DIMS {
+        let a = init::uniform(GEMM_ROWS, dim, -1.0, 1.0, 1);
+        let w = init::uniform(dim, dim, -1.0, 1.0, 2);
+        let mut row_out = vec![0.0f32; dim];
+        let matvec = time_mean(20, || {
+            for i in 0..GEMM_ROWS {
+                ops::row_matmul_into(a.row(i), &w, &mut row_out).unwrap();
+            }
+            black_box(row_out[0]);
+        });
+        let mut out = Matrix::default();
+        let gemm = time_mean(20, || {
+            ops::gemm_into(&a, &w, &mut out).unwrap();
+            black_box(out.as_slice()[0]);
+        });
+        rows.push(format!(
+            "    {{\"section\": \"gemm_vs_matvec\", \"hidden_dim\": {dim}, \
+             \"matvec_ms\": {:.4}, \"gemm_ms\": {:.4}, \"speedup\": {:.3}}}",
+            matvec * 1e3,
+            gemm * 1e3,
+            matvec / gemm
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"kernel_throughput\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(path, &json).expect("writing kernel JSON");
+    println!("wrote {path}:\n{json}");
+}
+
+fn main() {
+    benches();
+    if let Ok(path) = std::env::var("RIPPLE_KERNEL_JSON") {
+        if !path.is_empty() {
+            write_kernels_json(&path);
+        }
+    }
+}

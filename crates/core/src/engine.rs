@@ -18,10 +18,11 @@
 
 use crate::mailbox::MailboxSet;
 use crate::{Result, RippleError};
-use ripple_gnn::layer_wise::reevaluate_slice;
+use ripple_gnn::layer_wise::reevaluate_slice_into;
 use ripple_gnn::recompute::BatchStats;
 use ripple_gnn::{Aggregator, EmbeddingStore, GnnModel};
 use ripple_graph::{DynamicGraph, GraphUpdate, UpdateBatch, VertexId};
+use ripple_tensor::{Matrix, Scratch};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
@@ -288,8 +289,12 @@ pub(crate) fn apply_mail(
 /// the resulting mailbox contents are bit-identical no matter how many
 /// workers produced `new_embeddings`.
 ///
-/// Returns the set of vertices whose hop-`hop` embedding actually changed
-/// (everything, unless `config.skip_unchanged` prunes).
+/// `new_embeddings` is a flat row-major block, one row per entry of
+/// `affected` (the layout [`reevaluate_slice_into`] leaves in a scratch
+/// arena); `delta` is a reusable buffer for the per-vertex output delta.
+/// Vertices whose hop-`hop` embedding actually changed (everything, unless
+/// `config.skip_unchanged` prunes) are inserted into `changed_now`, so a
+/// frontier split across several scratch blocks commits via several calls.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn commit_hop(
     graph: &DynamicGraph,
@@ -300,22 +305,20 @@ pub(crate) fn commit_hop(
     hop: usize,
     num_layers: usize,
     affected: &[VertexId],
-    new_embeddings: Vec<Vec<f32>>,
+    new_embeddings: &Matrix,
+    delta: &mut Vec<f32>,
+    changed_now: &mut HashSet<VertexId>,
     stats: &mut BatchStats,
-) -> Result<HashSet<VertexId>> {
-    debug_assert_eq!(affected.len(), new_embeddings.len());
-    let mut changed_now: HashSet<VertexId> = HashSet::with_capacity(affected.len());
-    for (&v, new_embedding) in affected.iter().zip(new_embeddings) {
+) -> Result<()> {
+    debug_assert_eq!(affected.len(), new_embeddings.rows());
+    for (&v, new_embedding) in affected.iter().zip(new_embeddings.iter_rows()) {
         let old = store.embedding(hop, v);
-        let out_delta: Vec<f32> = new_embedding
-            .iter()
-            .zip(old.iter())
-            .map(|(n, o)| n - o)
-            .collect();
-        store.set_embedding(hop, v, &new_embedding)?;
+        delta.clear();
+        delta.extend(new_embedding.iter().zip(old.iter()).map(|(n, o)| n - o));
+        store.set_embedding(hop, v, new_embedding)?;
 
         let effectively_unchanged =
-            config.skip_unchanged && out_delta.iter().all(|d| d.abs() <= config.prune_tolerance);
+            config.skip_unchanged && delta.iter().all(|d| d.abs() <= config.prune_tolerance);
         if effectively_unchanged {
             continue;
         }
@@ -328,12 +331,12 @@ pub(crate) fn commit_hop(
                 .iter()
                 .zip(graph.out_weights(v).iter())
             {
-                mailboxes.deposit(hop + 1, w, aggregator.edge_coefficient(weight), &out_delta);
+                mailboxes.deposit(hop + 1, w, aggregator.edge_coefficient(weight), delta);
                 stats.aggregate_ops += 1;
             }
         }
     }
-    Ok(changed_now)
+    Ok(())
 }
 
 /// The single-machine incremental inference engine.
@@ -343,6 +346,12 @@ pub struct RippleEngine {
     model: GnnModel,
     store: EmbeddingStore,
     config: RippleConfig,
+    /// Persistent workspace of the compute phase: once its buffers reach the
+    /// steady-state frontier size, batch propagation re-evaluates every hop
+    /// without heap allocation.
+    scratch: Scratch,
+    /// Reusable buffer for the per-vertex output delta of the commit phase.
+    commit_delta: Vec<f32>,
 }
 
 impl RippleEngine {
@@ -366,6 +375,8 @@ impl RippleEngine {
             model,
             store,
             config,
+            scratch: Scratch::new(),
+            commit_delta: Vec::new(),
         })
     }
 
@@ -401,9 +412,10 @@ impl RippleEngine {
     }
 
     /// Memory overhead of the additional state Ripple keeps relative to the
-    /// recompute baseline (the aggregate tables), in bytes.
+    /// recompute baseline (the aggregate tables plus the scratch arena), in
+    /// bytes.
     pub fn incremental_state_bytes(&self) -> usize {
-        self.store.aggregate_memory_bytes()
+        self.store.aggregate_memory_bytes() + self.scratch.memory_bytes()
     }
 
     /// Applies a batch of updates and incrementally refreshes every affected
@@ -414,8 +426,6 @@ impl RippleEngine {
     /// Propagates graph errors (e.g. deleting a non-existent edge) and tensor
     /// errors. The engine should be considered poisoned after an error.
     pub fn process_batch(&mut self, batch: &UpdateBatch) -> Result<BatchStats> {
-        let num_layers = self.model.num_layers();
-        let aggregator = self.model.aggregator();
         let mut stats = BatchStats {
             batch_size: batch.len(),
             ..BatchStats::default()
@@ -438,20 +448,40 @@ impl RippleEngine {
         // Phase 2 — the `propagate` operator, hop by hop.
         // ------------------------------------------------------------------
         let propagate_start = Instant::now();
+        self.propagate_batch(&mut phase, &mut stats)?;
+        stats.propagate_time = propagate_start.elapsed();
+        Ok(stats)
+    }
+
+    /// The `propagate` operator: walks the hops, applying mail, re-evaluating
+    /// each affected frontier as one batched block in the engine's scratch
+    /// arena (the **compute phase** — allocation-free in steady state) and
+    /// committing results in canonical vertex order.
+    fn propagate_batch(&mut self, phase: &mut UpdatePhase, stats: &mut BatchStats) -> Result<()> {
+        let RippleEngine {
+            graph,
+            model,
+            store,
+            config,
+            scratch,
+            commit_delta,
+        } = self;
+        let num_layers = model.num_layers();
+        let aggregator = model.aggregator();
         for hop in 1..=num_layers {
             // Inject the per-layer contribution of topology changes. Hop 1
-            // was already handled sequentially above.
+            // was already handled sequentially by the update operator.
             if hop >= 2 {
                 inject_edge_changes(
                     &mut phase.mailboxes,
                     hop,
                     &phase.edge_changes,
                     &phase.source_snapshots,
-                    &mut stats,
+                    stats,
                 );
             }
 
-            let layer = self.model.layer(hop)?;
+            let layer = model.layer(hop)?;
             let mail = phase.mailboxes.take_hop(hop);
             let affected = sorted_affected(&mail, &phase.changed_prev, layer.depends_on_self());
 
@@ -462,24 +492,26 @@ impl RippleEngine {
             }
 
             // Apply phase in place, compute phase over the frontier, commit.
-            apply_mail(&mut self.store, hop, &mail, &mut stats);
-            let new_embeddings =
-                reevaluate_slice(&self.graph, &self.model, &self.store, hop, &affected)?;
-            phase.changed_prev = commit_hop(
-                &self.graph,
-                &mut self.store,
-                self.config,
+            apply_mail(store, hop, &mail, stats);
+            reevaluate_slice_into(graph, model, store, hop, &affected, scratch)?;
+            let mut changed_now = HashSet::with_capacity(affected.len());
+            commit_hop(
+                graph,
+                store,
+                *config,
                 aggregator,
                 &mut phase.mailboxes,
                 hop,
                 num_layers,
                 &affected,
-                new_embeddings,
-                &mut stats,
+                &scratch.out,
+                commit_delta,
+                &mut changed_now,
+                stats,
             )?;
+            phase.changed_prev = changed_now;
         }
-        stats.propagate_time = propagate_start.elapsed();
-        Ok(stats)
+        Ok(())
     }
 }
 

@@ -54,7 +54,6 @@ pub mod mailbox;
 pub mod message;
 pub mod metrics;
 pub mod parallel;
-pub mod pool;
 
 pub use batch::{StreamRunner, StreamingEngine};
 pub use engine::{RippleConfig, RippleEngine};
@@ -62,8 +61,10 @@ pub use error::RippleError;
 pub use mailbox::MailboxSet;
 pub use message::DeltaMessage;
 pub use metrics::StreamSummary;
-pub use parallel::{evaluate_frontier, ParallelRippleEngine};
-pub use pool::WorkerPool;
+pub use parallel::{evaluate_frontier, evaluate_frontier_into, ParallelRippleEngine};
+/// Re-export of the worker pool, which now lives at the bottom of the
+/// compute stack so batched inference can shard over it too.
+pub use ripple_tensor::{pool, Scratch, WorkerPool};
 
 /// Re-export of the per-batch statistics shared with the recompute baselines.
 pub use ripple_gnn::recompute::BatchStats;

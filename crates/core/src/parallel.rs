@@ -10,11 +10,13 @@
 //!    double-count);
 //! 2. the owner thread folds each hop's pending mailbox deltas into the
 //!    stored aggregates in place, then the affected frontier — sorted into
-//!    the serial engine's canonical vertex order — is sharded into
-//!    contiguous chunks and evaluated by [`WorkerPool`] workers through the
-//!    lock-free [`ripple_gnn::layer_wise::reevaluate_slice`] primitive;
-//!    workers only *read* the graph, model and store;
-//! 3. the owner thread merges the per-chunk results in chunk order
+//!    the serial engine's canonical vertex order — is split into one
+//!    contiguous range per [`WorkerPool`] worker and evaluated through the
+//!    lock-free, batched
+//!    [`ripple_gnn::layer_wise::reevaluate_slice_into`] primitive into that
+//!    worker's persistent scratch arena (allocation-free once warm); workers
+//!    only *read* the graph, model and store;
+//! 3. the owner thread commits the per-worker blocks in range order
 //!    (= ascending vertex order) and replays the embedding writes and
 //!    next-hop mailbox deposits exactly as the serial engine would.
 //!
@@ -30,10 +32,13 @@ use crate::engine::{
 };
 use crate::pool::WorkerPool;
 use crate::Result;
-use ripple_gnn::layer_wise::reevaluate_slice;
+use ripple_gnn::layer_wise::reevaluate_slice_into;
 use ripple_gnn::recompute::BatchStats;
 use ripple_gnn::{EmbeddingStore, GnnModel};
 use ripple_graph::{DynamicGraph, UpdateBatch, VertexId};
+use ripple_tensor::Scratch;
+use std::collections::HashSet;
+use std::ops::Range;
 use std::time::Instant;
 
 /// Frontiers smaller than this are evaluated inline: the per-hop spawn cost
@@ -41,11 +46,64 @@ use std::time::Instant;
 const MIN_PARALLEL_FRONTIER: usize = 64;
 
 /// Evaluates a hop frontier against an immutable store (all pending deltas
-/// already folded in by the owner thread), sharding it across `pool` when it
-/// is large enough to amortise the spawn cost (small frontiers, or a
-/// 1-thread pool, run inline). New embeddings come back in frontier order
-/// regardless of the thread count. Shared by [`ParallelRippleEngine`] and
+/// already folded in by the owner thread) into per-worker scratch arenas:
+/// the frontier is split into one contiguous range per arena (small
+/// frontiers, or a 1-thread pool, collapse onto `scratches[0]` inline) and
+/// each worker leaves its block's embeddings in its own `scratch.out`.
+/// Returns the ranges, index-aligned with `scratches`, so the caller can
+/// commit block after block in frontier order. Per-vertex evaluation cost is
+/// uniform at a given hop, so static ranges stay load-balanced.
+///
+/// Once every arena has reached steady-state capacity, the per-worker
+/// evaluation kernels perform **zero heap allocations**; the orchestration
+/// around them (range bookkeeping, scoped-thread spawns) still costs a few
+/// small allocations per hop — it is the serial engine's inline path that
+/// is allocation-free end to end. Shared by [`ParallelRippleEngine`] and
 /// the distributed engine's intra-worker parallelism.
+///
+/// # Errors
+///
+/// Propagates layer lookup and tensor shape errors from any shard.
+///
+/// # Panics
+///
+/// Panics if `scratches` is empty.
+pub fn evaluate_frontier_into(
+    pool: &WorkerPool,
+    graph: &DynamicGraph,
+    model: &GnnModel,
+    store: &EmbeddingStore,
+    hop: usize,
+    vertices: &[VertexId],
+    scratches: &mut [Scratch],
+) -> ripple_gnn::Result<Vec<Range<usize>>> {
+    assert!(!scratches.is_empty(), "need at least one scratch arena");
+    let arenas = if pool.threads() == 1 || vertices.len() < MIN_PARALLEL_FRONTIER {
+        1
+    } else {
+        scratches.len().min(pool.threads())
+    };
+    let mut ranges = Vec::with_capacity(arenas);
+    let results = pool.map_ranges(
+        &mut scratches[..arenas],
+        vertices.len(),
+        |scratch, range| {
+            let result =
+                reevaluate_slice_into(graph, model, store, hop, &vertices[range.clone()], scratch);
+            (range, result)
+        },
+    );
+    for (range, result) in results {
+        result?;
+        ranges.push(range);
+    }
+    Ok(ranges)
+}
+
+/// Evaluates a hop frontier against an immutable store, returning one
+/// freshly allocated embedding per vertex in frontier order regardless of
+/// the thread count. Thin wrapper over [`evaluate_frontier_into`] for
+/// callers outside the steady-state hot path.
 ///
 /// # Errors
 ///
@@ -58,16 +116,12 @@ pub fn evaluate_frontier(
     hop: usize,
     vertices: &[VertexId],
 ) -> ripple_gnn::Result<Vec<Vec<f32>>> {
-    if pool.threads() == 1 || vertices.len() < MIN_PARALLEL_FRONTIER {
-        return reevaluate_slice(graph, model, store, hop, vertices);
-    }
-    let chunk_size = pool.suggested_chunk_size(vertices.len());
-    let chunks = pool.map_chunks(vertices.len(), chunk_size, |range| {
-        reevaluate_slice(graph, model, store, hop, &vertices[range])
-    });
+    let mut scratches = vec![Scratch::new(); pool.threads()];
+    let ranges = evaluate_frontier_into(pool, graph, model, store, hop, vertices, &mut scratches)?;
     let mut evals = Vec::with_capacity(vertices.len());
-    for chunk in chunks {
-        evals.extend(chunk?);
+    for (scratch, range) in scratches.iter().zip(ranges) {
+        debug_assert_eq!(scratch.out.rows(), range.len());
+        evals.extend(scratch.out.iter_rows().map(<[f32]>::to_vec));
     }
     Ok(evals)
 }
@@ -84,6 +138,12 @@ pub struct ParallelRippleEngine {
     store: EmbeddingStore,
     config: RippleConfig,
     pool: WorkerPool,
+    /// One persistent scratch arena per pool worker: once each arena reaches
+    /// its steady-state frontier-shard size, the compute phase of every hop
+    /// runs without heap allocation.
+    scratches: Vec<Scratch>,
+    /// Reusable buffer for the per-vertex output delta of the commit phase.
+    commit_delta: Vec<f32>,
 }
 
 impl ParallelRippleEngine {
@@ -102,12 +162,16 @@ impl ParallelRippleEngine {
         threads: usize,
     ) -> Result<Self> {
         validate_parts(&graph, &model, &store)?;
+        let pool = WorkerPool::new(threads);
+        let scratches = vec![Scratch::new(); pool.threads()];
         Ok(ParallelRippleEngine {
             graph,
             model,
             store,
             config,
-            pool: WorkerPool::new(threads),
+            pool,
+            scratches,
+            commit_delta: Vec::new(),
         })
     }
 
@@ -147,9 +211,15 @@ impl ParallelRippleEngine {
     }
 
     /// Memory overhead of the additional state Ripple keeps relative to the
-    /// recompute baseline (the aggregate tables), in bytes.
+    /// recompute baseline (the aggregate tables plus the per-worker scratch
+    /// arenas), in bytes.
     pub fn incremental_state_bytes(&self) -> usize {
         self.store.aggregate_memory_bytes()
+            + self
+                .scratches
+                .iter()
+                .map(Scratch::memory_bytes)
+                .sum::<usize>()
     }
 
     /// Applies a batch of updates and incrementally refreshes every affected
@@ -167,6 +237,8 @@ impl ParallelRippleEngine {
             store,
             config,
             pool,
+            scratches,
+            commit_delta,
         } = self;
         let num_layers = model.num_layers();
         let aggregator = model.aggregator();
@@ -205,25 +277,33 @@ impl ParallelRippleEngine {
 
             // Apply phase in place on the owner thread, then compute phase:
             // workers re-evaluate disjoint, contiguous shards of the
-            // frontier against the (now immutable) store.
+            // frontier into their own scratch arenas — allocation-free once
+            // the arenas are warm.
             apply_mail(store, hop, &mail, &mut stats);
-            let new_embeddings = evaluate_frontier(pool, graph, model, store, hop, &affected)?;
+            let ranges =
+                evaluate_frontier_into(pool, graph, model, store, hop, &affected, scratches)?;
 
             // Owner-ordered reduction: commit store writes and next-hop
-            // deposits in ascending vertex order, exactly as the serial
-            // engine does.
-            phase.changed_prev = commit_hop(
-                graph,
-                store,
-                *config,
-                aggregator,
-                &mut phase.mailboxes,
-                hop,
-                num_layers,
-                &affected,
-                new_embeddings,
-                &mut stats,
-            )?;
+            // deposits block after block in ascending vertex order, exactly
+            // as the serial engine does.
+            let mut changed_now = HashSet::with_capacity(affected.len());
+            for (scratch, range) in scratches.iter().zip(ranges) {
+                commit_hop(
+                    graph,
+                    store,
+                    *config,
+                    aggregator,
+                    &mut phase.mailboxes,
+                    hop,
+                    num_layers,
+                    &affected[range],
+                    &scratch.out,
+                    commit_delta,
+                    &mut changed_now,
+                    &mut stats,
+                )?;
+            }
+            phase.changed_prev = changed_now;
         }
         stats.propagate_time = propagate_start.elapsed();
         Ok(stats)

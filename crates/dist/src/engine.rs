@@ -15,7 +15,7 @@ use crate::network::{CommStats, NetworkModel};
 use crate::stats::DistBatchStats;
 use crate::worker::{gather_store, group_by_part, validate_shapes};
 use crate::{DistError, Result};
-use ripple_core::{evaluate_frontier, DeltaMessage, MailboxSet, WorkerPool};
+use ripple_core::{evaluate_frontier_into, DeltaMessage, MailboxSet, Scratch, WorkerPool};
 use ripple_gnn::{EmbeddingStore, GnnModel};
 use ripple_graph::partition::Partitioning;
 use ripple_graph::{DynamicGraph, GraphUpdate, UpdateBatch, VertexId};
@@ -117,6 +117,12 @@ pub struct DistRippleEngine {
     network: NetworkModel,
     stores: Vec<EmbeddingStore>,
     pool: WorkerPool,
+    /// One persistent scratch arena per pool worker, shared across the
+    /// simulated workers' compute phases (they run one after another in this
+    /// simulation); steady-state frontier evaluation is allocation-free.
+    scratches: Vec<Scratch>,
+    /// Reusable buffer for the per-vertex output delta of the commit phase.
+    commit_delta: Vec<f32>,
 }
 
 impl DistRippleEngine {
@@ -145,6 +151,8 @@ impl DistRippleEngine {
             network,
             stores,
             pool: WorkerPool::default(),
+            scratches: vec![Scratch::new()],
+            commit_delta: Vec::new(),
         })
     }
 
@@ -155,6 +163,7 @@ impl DistRippleEngine {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.pool = WorkerPool::new(threads);
+        self.scratches = vec![Scratch::new(); self.pool.threads()];
         self
     }
 
@@ -208,6 +217,8 @@ impl DistRippleEngine {
             network,
             stores,
             pool,
+            scratches,
+            commit_delta,
         } = self;
         let num_layers = model.num_layers();
         let num_parts = partitioning.num_parts();
@@ -346,40 +357,54 @@ impl DistRippleEngine {
                 // Apply phase: fold the deltas addressed to this part's
                 // vertices into its store in place, then the compute phase
                 // runs intra-worker parallel — pool workers re-evaluate
-                // disjoint contiguous shards of the frontier without writing.
+                // disjoint contiguous shards of the frontier into their own
+                // scratch arenas (allocation-free once warm) without
+                // writing the store.
                 for &v in vertices {
                     if let Some(delta) = mail.get(&v) {
                         ripple_tensor::add_assign(stores[part].aggregate_mut(hop, v), delta);
                     }
                 }
-                let new_embeddings =
-                    evaluate_frontier(pool, graph, model, &stores[part], hop, vertices)?;
+                let ranges = evaluate_frontier_into(
+                    pool,
+                    graph,
+                    model,
+                    &stores[part],
+                    hop,
+                    vertices,
+                    scratches,
+                )?;
 
-                // Commit in sorted vertex order (identical to the inline
-                // order), writing back and routing next-hop messages.
-                for (&v, new_embedding) in vertices.iter().zip(new_embeddings) {
-                    let out_delta: Vec<f32> = new_embedding
-                        .iter()
-                        .zip(stores[part].embedding(hop, v).iter())
-                        .map(|(n, o)| n - o)
-                        .collect();
-                    stores[part].set_embedding(hop, v, &new_embedding)?;
-                    changed_now.insert(v);
+                // Commit block after block in sorted vertex order (identical
+                // to the inline order), writing back and routing next-hop
+                // messages.
+                for (scratch, range) in scratches.iter().zip(ranges) {
+                    for (&v, new_embedding) in vertices[range].iter().zip(scratch.out.iter_rows()) {
+                        commit_delta.clear();
+                        commit_delta.extend(
+                            new_embedding
+                                .iter()
+                                .zip(stores[part].embedding(hop, v).iter())
+                                .map(|(n, o)| n - o),
+                        );
+                        stores[part].set_embedding(hop, v, new_embedding)?;
+                        changed_now.insert(v);
 
-                    // Forward messages to the next hop's mailboxes.
-                    if hop < num_layers {
-                        for (&w, &weight) in graph
-                            .out_neighbors(v)
-                            .iter()
-                            .zip(graph.out_weights(v).iter())
-                        {
-                            router.deposit(
-                                hop + 1,
-                                part,
-                                w,
-                                aggregator.edge_coefficient(weight),
-                                &out_delta,
-                            );
+                        // Forward messages to the next hop's mailboxes.
+                        if hop < num_layers {
+                            for (&w, &weight) in graph
+                                .out_neighbors(v)
+                                .iter()
+                                .zip(graph.out_weights(v).iter())
+                            {
+                                router.deposit(
+                                    hop + 1,
+                                    part,
+                                    w,
+                                    aggregator.edge_coefficient(weight),
+                                    commit_delta,
+                                );
+                            }
                         }
                     }
                 }

@@ -45,26 +45,83 @@ impl Aggregator {
         }
     }
 
+    /// Whether [`Aggregator::finalize_into`] is the identity copy
+    /// (`Sum`/`WeightedSum`). Batched evaluators use this to feed raw
+    /// aggregate blocks to the layer directly, skipping the copy.
+    #[inline]
+    pub fn finalize_is_identity(self) -> bool {
+        matches!(self, Aggregator::Sum | Aggregator::WeightedSum)
+    }
+
     /// Converts a raw aggregate into the final aggregate fed to the layer's
-    /// `Update` function, given the sink vertex's current in-degree.
-    pub fn finalize(self, raw: &[f32], in_degree: usize) -> Vec<f32> {
+    /// `Update` function, **writing** into `out` (same length as `raw`).
+    /// Performs no heap allocation — the batched frontier evaluators call
+    /// this once per packed row of their scratch arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` and `out` have different lengths.
+    pub fn finalize_into(self, raw: &[f32], in_degree: usize, out: &mut [f32]) {
+        assert_eq!(raw.len(), out.len(), "finalize_into length mismatch");
         match self {
-            Aggregator::Sum | Aggregator::WeightedSum => raw.to_vec(),
+            Aggregator::Sum | Aggregator::WeightedSum => out.copy_from_slice(raw),
             Aggregator::Mean => {
                 if in_degree == 0 {
-                    return vec![0.0; raw.len()];
+                    out.fill(0.0);
+                    return;
                 }
                 let inv = 1.0 / in_degree as f32;
-                raw.iter().map(|x| x * inv).collect()
+                for (o, x) in out.iter_mut().zip(raw.iter()) {
+                    *o = x * inv;
+                }
             }
         }
     }
 
+    /// Converts a raw aggregate into the final aggregate fed to the layer's
+    /// `Update` function, given the sink vertex's current in-degree. Thin
+    /// allocating wrapper over [`Aggregator::finalize_into`].
+    pub fn finalize(self, raw: &[f32], in_degree: usize) -> Vec<f32> {
+        let mut out = vec![0.0; raw.len()];
+        self.finalize_into(raw, in_degree, &mut out);
+        out
+    }
+
     /// Computes the raw aggregate of a set of in-neighbour rows taken from an
-    /// embedding table.
+    /// embedding table, **overwriting** `out` (width `table.cols()`).
+    /// Performs no heap allocation.
     ///
     /// `neighbors` and `weights` must be parallel slices (weights are ignored
     /// for `Sum`/`Mean`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `neighbors` and `weights` have different lengths, if `out`
+    /// is not `table.cols()` wide, or if a neighbour index is out of bounds
+    /// for `table`.
+    pub fn raw_aggregate_into(
+        self,
+        table: &ripple_tensor::Matrix,
+        neighbors: &[ripple_graph::VertexId],
+        weights: &[f32],
+        out: &mut [f32],
+    ) {
+        assert_eq!(
+            neighbors.len(),
+            weights.len(),
+            "neighbour/weight length mismatch"
+        );
+        assert_eq!(out.len(), table.cols(), "raw_aggregate_into width mismatch");
+        out.fill(0.0);
+        for (&u, &w) in neighbors.iter().zip(weights.iter()) {
+            let coeff = self.edge_coefficient(w);
+            ripple_tensor::axpy(out, coeff, table.row(u.index()));
+        }
+    }
+
+    /// Computes the raw aggregate of a set of in-neighbour rows taken from an
+    /// embedding table. Thin allocating wrapper over
+    /// [`Aggregator::raw_aggregate_into`].
     ///
     /// # Panics
     ///
@@ -76,16 +133,8 @@ impl Aggregator {
         neighbors: &[ripple_graph::VertexId],
         weights: &[f32],
     ) -> Vec<f32> {
-        assert_eq!(
-            neighbors.len(),
-            weights.len(),
-            "neighbour/weight length mismatch"
-        );
         let mut acc = vec![0.0f32; table.cols()];
-        for (&u, &w) in neighbors.iter().zip(weights.iter()) {
-            let coeff = self.edge_coefficient(w);
-            ripple_tensor::axpy(&mut acc, coeff, table.row(u.index()));
-        }
+        self.raw_aggregate_into(table, neighbors, weights, &mut acc);
         acc
     }
 
@@ -205,5 +254,33 @@ mod tests {
     fn mismatched_weights_panic() {
         let t = table();
         let _ = Aggregator::Sum.raw_aggregate(&t, &[VertexId(0)], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn into_variants_overwrite_stale_contents() {
+        let t = table();
+        let mut out = vec![9.0f32; 2];
+        Aggregator::WeightedSum.raw_aggregate_into(
+            &t,
+            &[VertexId(0), VertexId(1)],
+            &[2.0, 0.5],
+            &mut out,
+        );
+        assert_eq!(out, vec![3.5, 6.0]);
+        let mut finalized = vec![9.0f32; 2];
+        Aggregator::Mean.finalize_into(&[4.0, 6.0], 2, &mut finalized);
+        assert_eq!(finalized, vec![2.0, 3.0]);
+        Aggregator::Mean.finalize_into(&[4.0, 6.0], 0, &mut finalized);
+        assert_eq!(finalized, vec![0.0, 0.0]);
+        Aggregator::Sum.finalize_into(&[1.0, 2.0], 7, &mut finalized);
+        assert_eq!(finalized, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn raw_aggregate_into_rejects_wrong_width() {
+        let t = table();
+        let mut out = vec![0.0f32; 3];
+        Aggregator::Sum.raw_aggregate_into(&t, &[VertexId(0)], &[1.0], &mut out);
     }
 }

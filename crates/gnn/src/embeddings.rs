@@ -133,6 +133,22 @@ impl EmbeddingStore {
             .map_err(GnnError::from)
     }
 
+    /// Disjoint borrows of the three tables one propagation hop touches:
+    /// the hop-`l-1` embeddings (read), the hop-`l` embeddings (written) and
+    /// the raw aggregates feeding layer `l` (written). Splitting the borrow
+    /// here is what lets the inference kernels read a vertex's own
+    /// previous-layer row while writing its current-layer rows **without
+    /// copying it out first**.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is 0 or greater than `L`.
+    pub fn propagation_views_mut(&mut self, l: usize) -> (&Matrix, &mut Matrix, &mut Matrix) {
+        assert!(l >= 1 && l <= self.num_layers(), "hop {l} out of range");
+        let (prev, rest) = self.embeddings.split_at_mut(l);
+        (&prev[l - 1], &mut rest[0], &mut self.aggregates[l - 1])
+    }
+
     /// The predicted class label of a vertex: the argmax of its final-layer
     /// embedding.
     ///
@@ -281,5 +297,28 @@ mod tests {
     fn aggregate_layer_zero_panics() {
         let store = EmbeddingStore::zeroed(&model(), 2);
         let _ = store.aggregate(0, VertexId(0));
+    }
+
+    #[test]
+    fn propagation_views_split_read_and_write_tables() {
+        let mut store = EmbeddingStore::zeroed(&model(), 3);
+        store.set_embedding(0, VertexId(1), &[1.0; 4]).unwrap();
+        let (prev, cur, agg) = store.propagation_views_mut(1);
+        assert_eq!(prev.shape(), (3, 4));
+        assert_eq!(cur.shape(), (3, 8));
+        assert_eq!(agg.shape(), (3, 4));
+        // Read prev while writing cur/agg — the borrow shape the kernels use.
+        let self_row = prev.row(1);
+        cur.row_mut(1)[0] = self_row[0] + 1.0;
+        agg.row_mut(1).copy_from_slice(self_row);
+        assert_eq!(store.embedding(1, VertexId(1))[0], 2.0);
+        assert_eq!(store.aggregate(1, VertexId(1)), &[1.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn propagation_views_reject_hop_zero() {
+        let mut store = EmbeddingStore::zeroed(&model(), 2);
+        let _ = store.propagation_views_mut(0);
     }
 }

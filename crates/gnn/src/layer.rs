@@ -126,45 +126,202 @@ impl GnnLayer {
         matches!(self.kind, LayerKind::Sage | LayerKind::Gin)
     }
 
-    /// Applies the layer's `Update` function to one vertex.
+    /// Applies the layer's `Update` function to one vertex, **writing** the
+    /// result into `out` (width [`Self::output_dim`]). `tmp` is a reusable
+    /// scratch vector (any initial length; resized as needed); steady-state
+    /// calls perform no heap allocation.
     ///
     /// `self_prev` is the vertex's own previous-layer embedding and
     /// `aggregate` is the finalized neighbourhood aggregate (see
-    /// [`crate::Aggregator::finalize`]); both must have width
+    /// [`crate::Aggregator::finalize_into`]); both must have width
     /// [`Self::input_dim`].
     ///
     /// # Errors
     ///
     /// Returns a tensor shape error if the widths do not match.
-    pub fn forward(&self, self_prev: &[f32], aggregate: &[f32]) -> Result<Vec<f32>> {
-        let mut out = match self.kind {
-            LayerKind::GraphConv => ops::row_matmul(aggregate, &self.w_neigh)?,
+    pub fn forward_into(
+        &self,
+        self_prev: &[f32],
+        aggregate: &[f32],
+        tmp: &mut Vec<f32>,
+        out: &mut [f32],
+    ) -> Result<()> {
+        match self.kind {
+            LayerKind::GraphConv => ops::row_matmul_into(aggregate, &self.w_neigh, out)?,
             LayerKind::Sage => {
-                let mut o = ops::row_matmul(aggregate, &self.w_neigh)?;
-                let self_part = ops::row_matmul(
+                ops::row_matmul_into(aggregate, &self.w_neigh, out)?;
+                tmp.clear();
+                tmp.resize(self.output_dim(), 0.0);
+                ops::row_matmul_into(
                     self_prev,
                     self.w_self
                         .as_ref()
                         .expect("SAGE layer always has a self transform"),
+                    tmp,
                 )?;
-                ripple_tensor::add_assign(&mut o, &self_part);
-                o
+                ripple_tensor::add_assign(out, tmp);
             }
             LayerKind::Gin => {
-                let mut combined = aggregate.to_vec();
-                ripple_tensor::axpy(&mut combined, 1.0 + GIN_EPSILON, self_prev);
-                ops::row_matmul(&combined, &self.w_neigh)?
+                if self_prev.len() != aggregate.len() {
+                    return Err(crate::GnnError::from(
+                        ripple_tensor::TensorError::ShapeMismatch {
+                            op: "forward_into",
+                            left: (1, self_prev.len()),
+                            right: (1, aggregate.len()),
+                        },
+                    ));
+                }
+                tmp.clear();
+                tmp.extend_from_slice(aggregate);
+                ripple_tensor::axpy(tmp, 1.0 + GIN_EPSILON, self_prev);
+                ops::row_matmul_into(tmp, &self.w_neigh, out)?;
             }
         };
-        ripple_tensor::add_assign(&mut out, &self.bias);
-        self.activation.apply(&mut out);
+        ripple_tensor::add_assign(out, &self.bias);
+        self.activation.apply(out);
+        Ok(())
+    }
+
+    /// Applies the layer's `Update` function to one vertex, allocating the
+    /// result. Thin wrapper over [`Self::forward_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor shape error if the widths do not match.
+    pub fn forward(&self, self_prev: &[f32], aggregate: &[f32]) -> Result<Vec<f32>> {
+        let mut out = vec![0.0f32; self.output_dim()];
+        let mut tmp = Vec::new();
+        self.forward_into(self_prev, aggregate, &mut tmp, &mut out)?;
         Ok(out)
     }
 
-    /// Estimated heap memory of this layer's parameters in bytes.
+    /// Applies the layer's `Update` function to a whole packed frontier of
+    /// `m` vertices in 1–2 GEMMs plus a fused bias/activation pass, over
+    /// **borrowed row blocks**: `agg_rows` is the `m x input_dim` row-major
+    /// block of finalized aggregates, `self_rows` the matching block of
+    /// previous-layer embeddings (required for SAGE/GIN, ignored — and
+    /// usually empty — for GraphConv), and the result lands in the
+    /// `m x output_dim` block `out`. Nothing is copied in or out, so callers
+    /// can evaluate straight from (and into) sub-blocks of larger tables;
+    /// steady-state calls perform no heap allocation (`tmp` is a reusable
+    /// scratch matrix).
+    ///
+    /// Per output element, the float-operation sequence is identical to
+    /// [`Self::forward_into`] on that row, so the batched and per-vertex
+    /// paths are **bit-identical** — the contract `tests/kernel_parity.rs`
+    /// pins for every `LayerKind x Aggregator` combination.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor shape error if any block size does not match `m` and
+    /// the layer dimensions.
+    pub fn forward_block(
+        &self,
+        self_rows: &[f32],
+        agg_rows: &[f32],
+        m: usize,
+        tmp: &mut Matrix,
+        out: &mut [f32],
+    ) -> Result<()> {
+        if agg_rows.len() != m * self.input_dim() {
+            return Err(crate::GnnError::from(
+                ripple_tensor::TensorError::ShapeMismatch {
+                    op: "forward_block",
+                    left: (m, agg_rows.len() / m.max(1)),
+                    right: (m, self.input_dim()),
+                },
+            ));
+        }
+        if self.depends_on_self() && self_rows.len() != agg_rows.len() {
+            return Err(crate::GnnError::from(
+                ripple_tensor::TensorError::ShapeMismatch {
+                    op: "forward_block",
+                    left: (m, self_rows.len() / m.max(1)),
+                    right: (m, agg_rows.len() / m.max(1)),
+                },
+            ));
+        }
+        match self.kind {
+            LayerKind::GraphConv => ops::gemm_block_into(agg_rows, m, &self.w_neigh, out)?,
+            LayerKind::Sage => {
+                ops::gemm_block_into(agg_rows, m, &self.w_neigh, out)?;
+                tmp.resize_reuse(m, self.output_dim());
+                ops::gemm_block_into(
+                    self_rows,
+                    m,
+                    self.w_self
+                        .as_ref()
+                        .expect("SAGE layer always has a self transform"),
+                    tmp.as_mut_slice(),
+                )?;
+                ripple_tensor::add_assign(out, tmp.as_slice());
+            }
+            LayerKind::Gin => {
+                tmp.resize_reuse(m, self.input_dim());
+                tmp.as_mut_slice().copy_from_slice(agg_rows);
+                ripple_tensor::axpy(tmp.as_mut_slice(), 1.0 + GIN_EPSILON, self_rows);
+                ops::gemm_block_into(tmp.as_slice(), m, &self.w_neigh, out)?;
+            }
+        }
+        // Fused bias + activation, row by row (same per-element order as the
+        // per-vertex path).
+        let n = self.output_dim();
+        for row in out.chunks_exact_mut(n.max(1)) {
+            ripple_tensor::add_assign(row, &self.bias);
+            self.activation.apply(row);
+        }
+        Ok(())
+    }
+
+    /// Applies the layer's `Update` function to a whole packed frontier in
+    /// 1–2 GEMMs plus a fused bias/activation pass, **writing** the result
+    /// block into `out` (resized, capacity-reusing, to
+    /// `aggregates.rows() x output_dim`). Thin wrapper over
+    /// [`Self::forward_block`]; steady-state calls perform no heap
+    /// allocation.
+    ///
+    /// Row `i` of `aggregates` is the finalized neighbourhood aggregate of
+    /// the `i`-th frontier vertex; for self-dependent layers (SAGE/GIN) row
+    /// `i` of `self_prev` must be that vertex's previous-layer embedding
+    /// (GraphConv ignores `self_prev`, which may be empty).
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor shape error if operand widths do not match, or if a
+    /// self-dependent layer receives fewer `self_prev` rows than aggregates.
+    pub fn forward_batch(
+        &self,
+        self_prev: &Matrix,
+        aggregates: &Matrix,
+        tmp: &mut Matrix,
+        out: &mut Matrix,
+    ) -> Result<()> {
+        if aggregates.cols() != self.input_dim() {
+            return Err(crate::GnnError::from(
+                ripple_tensor::TensorError::ShapeMismatch {
+                    op: "forward_batch",
+                    left: aggregates.shape(),
+                    right: (self.input_dim(), self.output_dim()),
+                },
+            ));
+        }
+        out.resize_reuse(aggregates.rows(), self.output_dim());
+        self.forward_block(
+            self_prev.as_slice(),
+            aggregates.as_slice(),
+            aggregates.rows(),
+            tmp,
+            out.as_mut_slice(),
+        )
+    }
+
+    /// Total memory attributable to this layer's parameters in bytes: the
+    /// inline struct plus the **capacity** (not length) of every owned
+    /// buffer, matching the [`Matrix::memory_bytes`] accounting convention.
     pub fn memory_bytes(&self) -> usize {
-        self.w_neigh.memory_bytes()
-            + self.w_self.as_ref().map_or(0, Matrix::memory_bytes)
+        std::mem::size_of::<Self>()
+            + self.w_neigh.heap_bytes()
+            + self.w_self.as_ref().map_or(0, Matrix::heap_bytes)
             + self.bias.capacity() * std::mem::size_of::<f32>()
     }
 }
@@ -265,6 +422,32 @@ mod tests {
     fn wrong_width_is_rejected() {
         let l = GnnLayer::new(LayerKind::GraphConv, 3, 2, Activation::Relu, 0).unwrap();
         assert!(l.forward(&[1.0, 2.0, 3.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn forward_block_rejects_wrong_widths_for_every_kind() {
+        for kind in [LayerKind::GraphConv, LayerKind::Sage, LayerKind::Gin] {
+            let l = GnnLayer::new(kind, 3, 2, Activation::Relu, 0).unwrap();
+            let mut tmp = Matrix::default();
+            let mut out = vec![0.0f32; 2 * 2];
+            // Blocks of equal but wrong width (m=2, input_dim=3 needs len 6)
+            // must come back as an error, never a panic.
+            let bad = vec![0.0f32; 8];
+            assert!(l.forward_block(&bad, &bad, 2, &mut tmp, &mut out).is_err());
+            // Mismatched self/aggregate blocks are rejected for
+            // self-dependent kinds.
+            let good = vec![0.0f32; 6];
+            let short = vec![0.0f32; 3];
+            if l.depends_on_self() {
+                assert!(l
+                    .forward_block(&short, &good, 2, &mut tmp, &mut out)
+                    .is_err());
+            } else {
+                assert!(l
+                    .forward_block(&short, &good, 2, &mut tmp, &mut out)
+                    .is_ok());
+            }
+        }
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Full-graph layer-wise inference.
+//! Full-graph layer-wise inference and frontier re-evaluation.
 //!
 //! This is the paper's basic (and bootstrap) inference strategy: compute the
 //! hop-1 embeddings for **all** vertices, then hop-2 from hop-1, and so on
@@ -6,26 +6,69 @@
 //! recomputation of vertex-wise inference, and it produces the
 //! [`EmbeddingStore`] that both the recompute baseline and the Ripple engine
 //! start from when updates begin streaming.
+//!
+//! # Execution model
+//!
+//! Each hop is evaluated **batched**: the per-vertex neighbourhood
+//! aggregation (inherently sparse) fills packed scratch matrices, and the
+//! dense `Update` step then runs as 1–2 register-blocked GEMMs over the whole
+//! block ([`crate::GnnLayer::forward_batch`]) instead of `|V|` independent
+//! matvecs. [`full_inference_with_pool`] additionally shards the vertex range
+//! over a [`WorkerPool`]. The batched path is **bit-identical** to the
+//! per-vertex reference ([`full_inference_per_vertex`]) because every kernel
+//! accumulates in the same per-element order — `tests/kernel_parity.rs` pins
+//! this for every `LayerKind x Aggregator` combination.
 
 use crate::embeddings::EmbeddingStore;
 use crate::model::GnnModel;
 use crate::{GnnError, Result};
 use ripple_graph::{DynamicGraph, VertexId};
+use ripple_tensor::{Scratch, WorkerPool};
 
-/// Runs full layer-wise inference over every vertex of the graph, returning a
-/// store with all layer embeddings and raw aggregates populated.
-///
-/// # Errors
-///
-/// Returns [`GnnError::FeatureDimMismatch`] if the graph's feature width does
-/// not match the model's input dimension.
-pub fn full_inference(graph: &DynamicGraph, model: &GnnModel) -> Result<EmbeddingStore> {
+/// Checks that the graph's feature width matches the model input width.
+fn validate_feature_dim(graph: &DynamicGraph, model: &GnnModel) -> Result<()> {
     if graph.feature_dim() != model.input_dim() {
         return Err(GnnError::FeatureDimMismatch {
             model: model.input_dim(),
             graph: graph.feature_dim(),
         });
     }
+    Ok(())
+}
+
+/// Runs full layer-wise inference over every vertex of the graph, returning a
+/// store with all layer embeddings and raw aggregates populated. Each hop is
+/// evaluated as batched GEMM blocks on the calling thread; use
+/// [`full_inference_with_pool`] to shard hops across workers.
+///
+/// # Errors
+///
+/// Returns [`GnnError::FeatureDimMismatch`] if the graph's feature width does
+/// not match the model's input dimension.
+pub fn full_inference(graph: &DynamicGraph, model: &GnnModel) -> Result<EmbeddingStore> {
+    full_inference_with_pool(graph, model, &WorkerPool::new(1))
+}
+
+/// Runs full layer-wise inference with each hop's vertex range sharded over
+/// `pool`: the hop's aggregate and embedding tables are pre-split into one
+/// contiguous row block per worker (via [`pool::split_ranges`], the same
+/// arithmetic [`WorkerPool::map_ranges`] shards with), and every worker
+/// aggregates and GEMM-evaluates its block **in place** — no chunk-local
+/// result buffers, no copy-back. The result is bit-identical for any thread
+/// count.
+///
+/// [`pool::split_ranges`]: ripple_tensor::pool::split_ranges
+///
+/// # Errors
+///
+/// Returns [`GnnError::FeatureDimMismatch`] if the graph's feature width does
+/// not match the model's input dimension.
+pub fn full_inference_with_pool(
+    graph: &DynamicGraph,
+    model: &GnnModel,
+    pool: &WorkerPool,
+) -> Result<EmbeddingStore> {
+    validate_feature_dim(graph, model)?;
     let n = graph.num_vertices();
     let mut store = EmbeddingStore::zeroed(model, n);
 
@@ -34,18 +77,106 @@ pub fn full_inference(graph: &DynamicGraph, model: &GnnModel) -> Result<Embeddin
 
     let aggregator = model.aggregator();
     for (hop, layer) in model.iter_layers() {
+        let (prev, cur_emb, cur_agg) = store.propagation_views_mut(hop);
+        let in_dim = layer.input_dim();
+        let out_dim = layer.output_dim();
+
+        // One contiguous vertex range — and the matching row blocks of the
+        // hop's tables — per worker.
+        let parts = pool.threads();
+        let ranges = ripple_tensor::pool::split_ranges(n, parts);
+        let mut states: Vec<(&mut [f32], &mut [f32], Scratch)> = Vec::with_capacity(parts);
+        {
+            let mut agg_rest = cur_agg.as_mut_slice();
+            let mut emb_rest = cur_emb.as_mut_slice();
+            for range in &ranges {
+                let (agg_block, agg_tail) = agg_rest.split_at_mut(range.len() * in_dim);
+                let (emb_block, emb_tail) = emb_rest.split_at_mut(range.len() * out_dim);
+                agg_rest = agg_tail;
+                emb_rest = emb_tail;
+                states.push((agg_block, emb_block, Scratch::new()));
+            }
+        }
+
+        let results = pool.map_ranges(&mut states, n, |state, range| -> Result<()> {
+            let (agg_block, emb_block, scratch) = state;
+            let m = range.len();
+            // Sparse phase: raw aggregates straight into the store block.
+            for (i, v) in range.clone().enumerate() {
+                let vid = VertexId(v as u32);
+                aggregator.raw_aggregate_into(
+                    prev,
+                    graph.in_neighbors(vid),
+                    graph.in_weights(vid),
+                    &mut agg_block[i * in_dim..(i + 1) * in_dim],
+                );
+            }
+            // Dense phase: finalize (a no-op view for sum/weighted-sum) and
+            // evaluate the whole block as 1–2 GEMMs, writing embeddings
+            // straight into the store block.
+            let agg_rows: &[f32] = if aggregator.finalize_is_identity() {
+                agg_block
+            } else {
+                scratch.lhs.resize_reuse(m, in_dim);
+                for (i, v) in range.clone().enumerate() {
+                    let vid = VertexId(v as u32);
+                    aggregator.finalize_into(
+                        &agg_block[i * in_dim..(i + 1) * in_dim],
+                        graph.in_degree(vid),
+                        scratch.lhs.row_mut(i),
+                    );
+                }
+                scratch.lhs.as_slice()
+            };
+            // A contiguous vertex range means the self operand is simply the
+            // matching block of the previous hop's table — zero-copy.
+            let self_rows: &[f32] = if layer.depends_on_self() {
+                &prev.as_slice()[range.start * in_dim..range.end * in_dim]
+            } else {
+                &[]
+            };
+            layer.forward_block(self_rows, agg_rows, m, &mut scratch.tmp, emb_block)
+        });
+        for result in results {
+            result?;
+        }
+    }
+    Ok(store)
+}
+
+/// The row-at-a-time reference implementation of [`full_inference`]: one
+/// matvec per vertex per hop, no batching, no sharding. Kept as the parity
+/// baseline (`tests/kernel_parity.rs` asserts the batched path is
+/// bit-identical to it) and as the "before" side of the kernel-throughput
+/// benchmark.
+///
+/// # Errors
+///
+/// Returns [`GnnError::FeatureDimMismatch`] if the graph's feature width does
+/// not match the model's input dimension.
+pub fn full_inference_per_vertex(graph: &DynamicGraph, model: &GnnModel) -> Result<EmbeddingStore> {
+    validate_feature_dim(graph, model)?;
+    let n = graph.num_vertices();
+    let mut store = EmbeddingStore::zeroed(model, n);
+    *store.embeddings_mut(0) = graph.features().clone();
+
+    let aggregator = model.aggregator();
+    let mut tmp = Vec::new();
+    for (hop, layer) in model.iter_layers() {
+        // Reading hop-1 while writing hop through split views avoids the
+        // row copy the old implementation paid per vertex.
+        let (prev, cur_emb, cur_agg) = store.propagation_views_mut(hop);
+        let mut finalized = vec![0.0f32; layer.input_dim()];
         for v in 0..n {
             let vid = VertexId(v as u32);
-            let raw = aggregator.raw_aggregate(
-                store.embeddings(hop - 1),
+            aggregator.raw_aggregate_into(
+                prev,
                 graph.in_neighbors(vid),
                 graph.in_weights(vid),
+                cur_agg.row_mut(v),
             );
-            let finalized = aggregator.finalize(&raw, graph.in_degree(vid));
-            let self_prev = store.embedding(hop - 1, vid).to_vec();
-            let out = layer.forward(&self_prev, &finalized)?;
-            store.set_aggregate(hop, vid, &raw)?;
-            store.set_embedding(hop, vid, &out)?;
+            aggregator.finalize_into(cur_agg.row(v), graph.in_degree(vid), &mut finalized);
+            layer.forward_into(prev.row(v), &finalized, &mut tmp, cur_emb.row_mut(v))?;
         }
     }
     Ok(store)
@@ -59,7 +190,8 @@ pub fn full_inference(graph: &DynamicGraph, model: &GnnModel) -> Result<Embeddin
 ///
 /// This is the building block of the layer-wise *recompute-on-update*
 /// baseline (RC): for each affected vertex it pulls **all** in-neighbours,
-/// regardless of how many of them actually changed.
+/// regardless of how many of them actually changed. The previous hop is read
+/// through a split borrow of the store, so no row is copied.
 ///
 /// # Errors
 ///
@@ -73,34 +205,92 @@ pub fn recompute_vertices_at_hop(
 ) -> Result<usize> {
     let layer = model.layer(hop)?;
     let aggregator = model.aggregator();
+    let (prev, cur_emb, cur_agg) = store.propagation_views_mut(hop);
+    let mut finalized = vec![0.0f32; layer.input_dim()];
+    let mut tmp = Vec::new();
     let mut ops = 0usize;
     for &vid in vertices {
         let neighbors = graph.in_neighbors(vid);
-        let raw =
-            aggregator.raw_aggregate(store.embeddings(hop - 1), neighbors, graph.in_weights(vid));
+        aggregator.raw_aggregate_into(
+            prev,
+            neighbors,
+            graph.in_weights(vid),
+            cur_agg.row_mut(vid.index()),
+        );
         ops += aggregator.ops_for_neighbors(neighbors.len());
-        let finalized = aggregator.finalize(&raw, neighbors.len());
-        let self_prev = store.embedding(hop - 1, vid).to_vec();
-        let out = layer.forward(&self_prev, &finalized)?;
-        store.set_aggregate(hop, vid, &raw)?;
-        store.set_embedding(hop, vid, &out)?;
+        aggregator.finalize_into(cur_agg.row(vid.index()), neighbors.len(), &mut finalized);
+        layer.forward_into(
+            prev.row(vid.index()),
+            &finalized,
+            &mut tmp,
+            cur_emb.row_mut(vid.index()),
+        )?;
     }
     Ok(ops)
 }
 
 /// Re-evaluates hop `hop` for a slice of vertices against an **immutable**
-/// store: each vertex's stored raw aggregate is finalized and pushed through
-/// the layer's `Update` function, and the new embeddings come back in input
-/// order. Nothing is written, so worker threads can evaluate disjoint slices
-/// of an affected frontier concurrently without locking — the incremental
-/// engines fold all pending mailbox deltas into the stored aggregates *before*
-/// calling this, then commit the returned embeddings in a deterministic
-/// order afterwards.
+/// store, leaving the new embeddings as the rows of `scratch.out` (a flat
+/// row-major `vertices.len() x output_dim` block, in input order). Nothing in
+/// the store is written, so worker threads can evaluate disjoint slices of an
+/// affected frontier concurrently without locking — the incremental engines
+/// fold all pending mailbox deltas into the stored aggregates *before*
+/// calling this, then commit the returned rows in a deterministic order
+/// afterwards.
 ///
-/// The arithmetic performed per vertex (finalize, forward) is
-/// operation-for-operation identical to the serial incremental engine's
-/// compute phase, which is what keeps parallel propagation bit-identical to
-/// serial propagation for linear aggregators.
+/// The whole slice is evaluated as one batched block: stored raw aggregates
+/// are finalized into `scratch.lhs`, self embeddings (for self-dependent
+/// layers) are gathered into `scratch.lhs2`, and the layer runs as 1–2 GEMMs
+/// plus a fused bias/activation pass. Per vertex, the float operations are
+/// identical to the serial per-vertex path, which is what keeps parallel
+/// propagation bit-identical to serial propagation for linear aggregators.
+/// Once the scratch buffers have reached steady-state capacity the call
+/// performs **zero heap allocations**.
+///
+/// # Errors
+///
+/// Propagates layer lookup and tensor shape errors.
+pub fn reevaluate_slice_into(
+    graph: &DynamicGraph,
+    model: &GnnModel,
+    store: &EmbeddingStore,
+    hop: usize,
+    vertices: &[VertexId],
+    scratch: &mut Scratch,
+) -> Result<()> {
+    let layer = model.layer(hop)?;
+    let aggregator = model.aggregator();
+    let in_dim = layer.input_dim();
+
+    scratch.lhs.resize_reuse(vertices.len(), in_dim);
+    for (i, &v) in vertices.iter().enumerate() {
+        aggregator.finalize_into(
+            store.aggregate(hop, v),
+            graph.in_degree(v),
+            scratch.lhs.row_mut(i),
+        );
+    }
+    if layer.depends_on_self() {
+        let prev = store.embeddings(hop - 1);
+        scratch.lhs2.resize_reuse(vertices.len(), in_dim);
+        for (i, &v) in vertices.iter().enumerate() {
+            scratch.lhs2.row_mut(i).copy_from_slice(prev.row(v.index()));
+        }
+    } else {
+        scratch.lhs2.resize_reuse(0, in_dim);
+    }
+    layer.forward_batch(
+        &scratch.lhs2,
+        &scratch.lhs,
+        &mut scratch.tmp,
+        &mut scratch.out,
+    )
+}
+
+/// Re-evaluates hop `hop` for a slice of vertices against an **immutable**
+/// store, returning one freshly allocated embedding per vertex in input
+/// order. Thin wrapper over [`reevaluate_slice_into`], kept for tests and
+/// callers outside the steady-state hot path.
 ///
 /// # Errors
 ///
@@ -112,14 +302,9 @@ pub fn reevaluate_slice(
     hop: usize,
     vertices: &[VertexId],
 ) -> Result<Vec<Vec<f32>>> {
-    let layer = model.layer(hop)?;
-    let aggregator = model.aggregator();
-    let mut out = Vec::with_capacity(vertices.len());
-    for &v in vertices {
-        let finalized = aggregator.finalize(store.aggregate(hop, v), graph.in_degree(v));
-        out.push(layer.forward(store.embedding(hop - 1, v), &finalized)?);
-    }
-    Ok(out)
+    let mut scratch = Scratch::new();
+    reevaluate_slice_into(graph, model, store, hop, vertices, &mut scratch)?;
+    Ok(scratch.out.iter_rows().map(<[f32]>::to_vec).collect())
 }
 
 #[cfg(test)]
@@ -154,6 +339,10 @@ mod tests {
         let model = GnnModel::new(LayerKind::GraphConv, Aggregator::Sum, &[9, 8, 4], 1).unwrap();
         assert!(matches!(
             full_inference(&g, &model),
+            Err(GnnError::FeatureDimMismatch { .. })
+        ));
+        assert!(matches!(
+            full_inference_per_vertex(&g, &model),
             Err(GnnError::FeatureDimMismatch { .. })
         ));
     }
@@ -192,6 +381,27 @@ mod tests {
             let model = workload.build_model(5, 8, 3, 2, 11).unwrap();
             let store = full_inference(&g, &model).unwrap();
             assert_eq!(store.num_layers(), 2);
+        }
+    }
+
+    /// The batched bootstrap path must be bit-identical to the per-vertex
+    /// reference for every workload and thread count.
+    #[test]
+    fn batched_full_inference_bitwise_matches_per_vertex_reference() {
+        let g = DatasetSpec::custom(90, 5.0, 6, 4)
+            .generate_weighted(7, true)
+            .unwrap();
+        for workload in Workload::all() {
+            let model = workload.build_model(6, 8, 4, 3, 13).unwrap();
+            let reference = full_inference_per_vertex(&g, &model).unwrap();
+            for threads in [1usize, 4] {
+                let batched =
+                    full_inference_with_pool(&g, &model, &WorkerPool::new(threads)).unwrap();
+                assert!(
+                    batched == reference,
+                    "workload {workload} at {threads} threads diverged from the reference"
+                );
+            }
         }
     }
 
@@ -268,6 +478,25 @@ mod tests {
         let mut split = reevaluate_slice(&g, &model, &store, 1, &vertices[..17]).unwrap();
         split.extend(reevaluate_slice(&g, &model, &store, 1, &vertices[17..]).unwrap());
         assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn reevaluate_slice_into_reuses_scratch_across_calls() {
+        let g = small_graph();
+        let model = GnnModel::new(LayerKind::Sage, Aggregator::Mean, &[6, 8, 4], 5).unwrap();
+        let store = full_inference(&g, &model).unwrap();
+        let vertices: Vec<VertexId> = (0..30).map(VertexId).collect();
+        let mut scratch = Scratch::new();
+        reevaluate_slice_into(&g, &model, &store, 1, &vertices, &mut scratch).unwrap();
+        assert_eq!(scratch.out.shape(), (30, 8));
+        let first = scratch.out.clone();
+        // A second call over a smaller slice reuses the buffers and yields
+        // the matching prefix rows.
+        reevaluate_slice_into(&g, &model, &store, 1, &vertices[..5], &mut scratch).unwrap();
+        assert_eq!(scratch.out.shape(), (5, 8));
+        for i in 0..5 {
+            assert_eq!(scratch.out.row(i), first.row(i));
+        }
     }
 
     #[test]

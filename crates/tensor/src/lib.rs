@@ -7,15 +7,21 @@
 //!
 //! * [`Matrix`] — a row-major `f32` matrix used for vertex feature tables,
 //!   per-layer embedding tables and GNN weight matrices.
-//! * [`ops`] — GEMM, row-wise axpy/accumulate helpers and reductions used by
-//!   the aggregation and update steps of a GNN layer.
+//! * [`ops`] — register-blocked GEMM and row-projection kernels in both
+//!   allocating and allocation-free `_into` forms, plus the reductions used
+//!   by the aggregation and update steps of a GNN layer.
+//! * [`Scratch`] — a reusable workspace so batched kernels run without
+//!   touching the allocator in steady state.
+//! * [`WorkerPool`] — scoped-thread sharding for chunked/ranged parallel
+//!   loops (the engines and batched inference build on it).
 //! * [`init`] — deterministic (seeded) Xavier/uniform initialisers so that
 //!   experiments are reproducible without trained weights.
 //! * [`activation`] — the element-wise non-linearities used by the models.
 //!
-//! Everything here is deliberately simple, allocation-predictable and
-//! single-threaded: the performance story of the paper lives in *how little*
-//! work the incremental engine does, not in how fast an individual GEMM is.
+//! The paper's performance story lives in *how little* work the incremental
+//! engine does; this crate's job is to make the work that remains
+//! hardware-shaped — batched, allocation-free and bit-reproducible across
+//! the serial, parallel and batched execution paths.
 //!
 //! # Example
 //!
@@ -38,10 +44,14 @@ pub mod error;
 pub mod init;
 pub mod matrix;
 pub mod ops;
+pub mod pool;
+pub mod scratch;
 pub mod vector;
 
 pub use error::TensorError;
 pub use matrix::Matrix;
+pub use pool::WorkerPool;
+pub use scratch::Scratch;
 pub use vector::{add_assign, axpy, l2_norm, max_abs_diff, scale, sub_assign};
 
 /// Convenience result alias used throughout the crate.

@@ -259,7 +259,9 @@ impl Matrix {
         self.data
     }
 
-    /// Iterator over rows as slices.
+    /// Iterator over rows as slices. A zero-width matrix still yields one
+    /// (empty) slice per row, so `iter_rows().count() == rows()` for every
+    /// shape.
     ///
     /// ```
     /// # use ripple_tensor::Matrix;
@@ -268,7 +270,7 @@ impl Matrix {
     /// assert_eq!(sums, vec![1.0, 1.0]);
     /// ```
     pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> + '_ {
-        self.data.chunks_exact(self.cols.max(1))
+        (0..self.rows).map(move |r| &self.data[r * self.cols..(r + 1) * self.cols])
     }
 
     /// Returns the transpose of the matrix.
@@ -293,6 +295,17 @@ impl Matrix {
     /// Fills the whole matrix with `value`.
     pub fn fill(&mut self, value: f32) {
         self.data.iter_mut().for_each(|x| *x = value);
+    }
+
+    /// Reshapes the matrix to `rows x cols`, zero-filled, **reusing the
+    /// existing buffer capacity**. Once the buffer has grown to the largest
+    /// shape a call site needs, subsequent calls perform no heap allocation —
+    /// this is the primitive behind the `_into` kernels' scratch reuse.
+    pub fn resize_reuse(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
     }
 
     /// Frobenius norm of the matrix (square root of the sum of squares).
@@ -332,11 +345,22 @@ impl Matrix {
         Ok(self.max_abs_diff(other)? <= tol)
     }
 
-    /// Estimated heap memory used by the matrix, in bytes. Used by the
-    /// experiment harness to report memory overheads (the paper reports a
-    /// ~4 GiB overhead for Ripple's extra per-layer state on Products).
-    pub fn memory_bytes(&self) -> usize {
+    /// Heap memory retained by the matrix's buffer, in bytes. Reports the
+    /// buffer **capacity**, not its current length, so scratch arenas that
+    /// shrank via [`Matrix::resize_reuse`] still account for the memory they
+    /// hold on to.
+    pub fn heap_bytes(&self) -> usize {
         self.data.capacity() * std::mem::size_of::<f32>()
+    }
+
+    /// Total memory attributable to the matrix, in bytes: the inline struct
+    /// (shape fields + `Vec` header) plus [`Matrix::heap_bytes`]. As with
+    /// `heap_bytes`, buffer **capacity** (not length) is what is counted.
+    /// Used by the experiment harness to report memory overheads (the paper
+    /// reports a ~4 GiB overhead for Ripple's extra per-layer state on
+    /// Products).
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.heap_bytes()
     }
 }
 
@@ -485,6 +509,36 @@ mod tests {
     }
 
     #[test]
+    fn iter_rows_zero_width_yields_one_empty_slice_per_row() {
+        // Regression: the old `chunks_exact(cols.max(1))` hack made a (3, 0)
+        // matrix yield 0 rows instead of 3 empty ones.
+        let m = Matrix::zeros(3, 0);
+        let rows: Vec<&[f32]> = m.iter_rows().collect();
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.is_empty()));
+        // And a zero-row matrix yields no rows regardless of width.
+        assert_eq!(Matrix::zeros(0, 4).iter_rows().count(), 0);
+        assert_eq!(Matrix::zeros(0, 0).iter_rows().count(), 0);
+    }
+
+    #[test]
+    fn resize_reuse_reshapes_and_zeroes_without_growing_needlessly() {
+        let mut m = Matrix::filled(4, 4, 7.0);
+        let capacity_before = m.heap_bytes();
+        m.resize_reuse(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+        assert_eq!(
+            m.heap_bytes(),
+            capacity_before,
+            "shrinking must keep the buffer"
+        );
+        m.resize_reuse(4, 4);
+        assert_eq!(m.shape(), (4, 4));
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
     fn fill_overwrites() {
         let mut m = Matrix::eye(2, 2);
         m.fill(2.0);
@@ -495,6 +549,23 @@ mod tests {
     fn memory_bytes_is_positive_for_nonempty() {
         let m = Matrix::zeros(10, 10);
         assert!(m.memory_bytes() >= 400);
+    }
+
+    /// Pins the accounting contract: `memory_bytes` = inline struct +
+    /// capacity-sized heap buffer, so scratch arenas stay visible in memory
+    /// reports even after shrinking.
+    #[test]
+    fn memory_accounting_counts_struct_and_capacity() {
+        let mut m = Matrix::zeros(10, 10);
+        assert_eq!(m.heap_bytes(), 400);
+        assert_eq!(
+            m.memory_bytes(),
+            std::mem::size_of::<Matrix>() + m.heap_bytes()
+        );
+        m.resize_reuse(1, 1);
+        assert_eq!(m.heap_bytes(), 400, "capacity, not len, is reported");
+        let empty = Matrix::default();
+        assert_eq!(empty.memory_bytes(), std::mem::size_of::<Matrix>());
     }
 
     #[test]

@@ -2,16 +2,164 @@
 //!
 //! The GNN `Update` step (Eqn. 2 of the paper) is a dense multiply of an
 //! aggregated embedding by a learned weight matrix; this module provides both
-//! the full-table variant used by layer-wise inference (`matmul`) and the
-//! single-row variant used when recomputing or incrementally updating one
-//! vertex (`row_matmul`).
+//! the full-table variant used by layer-wise inference ([`gemm_into`] /
+//! [`matmul`]) and the single-row variant used when recomputing or
+//! incrementally updating one vertex ([`row_matmul_into`] / [`row_matmul`]).
+//!
+//! # The `_into` convention
+//!
+//! Every hot kernel has an `_into` form that writes into caller-provided
+//! storage and performs **no heap allocation** once that storage has grown to
+//! its steady-state capacity; the allocating forms are thin wrappers kept for
+//! convenience and tests. All kernels accumulate each output element over the
+//! shared dimension in ascending index order from a zero accumulator, with no
+//! zero-skip branches, so the batched and row-at-a-time paths produce
+//! **bit-identical** results — the property the engines' parity tests pin.
 
 use crate::{Matrix, Result, TensorError};
 
-/// Dense matrix multiplication `A (m x k) * B (k x n) -> (m x n)`.
+/// Columns per register tile of the GEMM micro-kernel. Eight `f32`
+/// accumulators per output row fit comfortably in two SSE (or one AVX)
+/// register without spilling.
+const GEMM_NR: usize = 8;
+
+/// Rows per register tile of the GEMM micro-kernel: each loaded `B` tile row
+/// is reused across this many rows of `A`, quartering traffic on the shared
+/// operand.
+const GEMM_MR: usize = 4;
+
+/// Dense matrix multiplication over **borrowed row blocks**: multiplies the
+/// `m x B.rows()` row-major block `a_rows` by `B`, writing the `m x B.cols()`
+/// row-major block `out`. This is the zero-copy core of the batched compute
+/// path — callers GEMM directly from (and into) sub-blocks of larger tables
+/// without materialising `Matrix` operands. Performs no heap allocation.
 ///
-/// Uses a cache-friendly i-k-j loop order; good enough for the modest hidden
-/// dimensions (16–602 columns) used by the experiments.
+/// The kernel is register-blocked: output is produced in `4 x 8` tiles held
+/// in local accumulators, with scalar edge loops for the row/column tails.
+/// Every output element accumulates `A[i][p] * B[p][j]` for `p` ascending
+/// from a zero accumulator — the exact float-operation sequence of
+/// [`row_matmul_into`] — so full-table and row-at-a-time evaluation are
+/// bit-identical.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `a_rows.len() != m * B.rows()`
+/// or `out.len() != m * B.cols()`.
+pub fn gemm_block_into(a_rows: &[f32], m: usize, b: &Matrix, out: &mut [f32]) -> Result<()> {
+    let k = b.rows();
+    let n = b.cols();
+    if a_rows.len() != m * k {
+        return Err(TensorError::ShapeMismatch {
+            op: "gemm_block_into",
+            left: (m, a_rows.len() / m.max(1)),
+            right: b.shape(),
+        });
+    }
+    if out.len() != m * n {
+        return Err(TensorError::ShapeMismatch {
+            op: "gemm_block_into",
+            left: (m, out.len() / m.max(1)),
+            right: (m, n),
+        });
+    }
+    let a_data = a_rows;
+    let b_data = b.as_slice();
+    let out_data = out;
+
+    let mut i0 = 0;
+    while i0 + GEMM_MR <= m {
+        let mut j0 = 0;
+        while j0 + GEMM_NR <= n {
+            let mut acc = [[0.0f32; GEMM_NR]; GEMM_MR];
+            for p in 0..k {
+                let b_tile = &b_data[p * n + j0..p * n + j0 + GEMM_NR];
+                for (di, acc_row) in acc.iter_mut().enumerate() {
+                    let a_ip = a_data[(i0 + di) * k + p];
+                    for (jj, acc_cell) in acc_row.iter_mut().enumerate() {
+                        *acc_cell += a_ip * b_tile[jj];
+                    }
+                }
+            }
+            for (di, acc_row) in acc.iter().enumerate() {
+                out_data[(i0 + di) * n + j0..(i0 + di) * n + j0 + GEMM_NR].copy_from_slice(acc_row);
+            }
+            j0 += GEMM_NR;
+        }
+        for di in 0..GEMM_MR {
+            let i = i0 + di;
+            gemm_row_tail(
+                &a_data[i * k..(i + 1) * k],
+                b_data,
+                n,
+                j0,
+                &mut out_data[i * n..(i + 1) * n],
+            );
+        }
+        i0 += GEMM_MR;
+    }
+    for i in i0..m {
+        row_matmul_unchecked(
+            &a_data[i * k..(i + 1) * k],
+            b_data,
+            n,
+            &mut out_data[i * n..(i + 1) * n],
+        );
+    }
+    Ok(())
+}
+
+/// Dense matrix multiplication `A (m x k) * B (k x n)` written into `out`,
+/// which is resized (reusing its capacity) to `m x n`. Steady-state calls
+/// perform no heap allocation. Thin wrapper over [`gemm_block_into`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `A.cols() != B.rows()`.
+pub fn gemm_into(a: &Matrix, b: &Matrix, out: &mut Matrix) -> Result<()> {
+    if a.cols() != b.rows() {
+        return Err(TensorError::ShapeMismatch {
+            op: "gemm_into",
+            left: a.shape(),
+            right: b.shape(),
+        });
+    }
+    out.resize_reuse(a.rows(), b.cols());
+    gemm_block_into(a.as_slice(), a.rows(), b, out.as_mut_slice())
+}
+
+/// Scalar column tail of one GEMM output row: columns `j0..n`.
+#[inline]
+fn gemm_row_tail(a_row: &[f32], b_data: &[f32], n: usize, j0: usize, out_row: &mut [f32]) {
+    for (j, out_cell) in out_row.iter_mut().enumerate().skip(j0).take(n - j0) {
+        let mut acc = 0.0f32;
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            acc += a_ip * b_data[p * n + j];
+        }
+        *out_cell = acc;
+    }
+}
+
+/// One full output row, register-tiled over columns (the `m < 4` tail of
+/// [`gemm_into`] and the body of [`row_matmul_into`]).
+#[inline]
+fn row_matmul_unchecked(x: &[f32], w_data: &[f32], n: usize, out: &mut [f32]) {
+    let mut j0 = 0;
+    while j0 + GEMM_NR <= n {
+        let mut acc = [0.0f32; GEMM_NR];
+        for (p, &xp) in x.iter().enumerate() {
+            let w_tile = &w_data[p * n + j0..p * n + j0 + GEMM_NR];
+            for (jj, acc_cell) in acc.iter_mut().enumerate() {
+                *acc_cell += xp * w_tile[jj];
+            }
+        }
+        out[j0..j0 + GEMM_NR].copy_from_slice(&acc);
+        j0 += GEMM_NR;
+    }
+    gemm_row_tail(x, w_data, n, j0, out);
+}
+
+/// Dense matrix multiplication `A (m x k) * B (k x n) -> (m x n)`, allocating
+/// the result. Thin wrapper over [`gemm_into`].
 ///
 /// # Errors
 ///
@@ -29,62 +177,65 @@ use crate::{Matrix, Result, TensorError};
 /// # }
 /// ```
 pub fn matmul(a: &Matrix, b: &Matrix) -> Result<Matrix> {
-    if a.cols() != b.rows() {
-        return Err(TensorError::ShapeMismatch {
-            op: "matmul",
-            left: a.shape(),
-            right: b.shape(),
-        });
-    }
-    let (m, k) = a.shape();
-    let n = b.cols();
-    let mut out = Matrix::zeros(m, n);
-    let a_data = a.as_slice();
-    let b_data = b.as_slice();
-    let out_data = out.as_mut_slice();
-    for i in 0..m {
-        for p in 0..k {
-            let a_ip = a_data[i * k + p];
-            if a_ip == 0.0 {
-                continue;
-            }
-            let b_row = &b_data[p * n..(p + 1) * n];
-            let out_row = &mut out_data[i * n..(i + 1) * n];
-            for j in 0..n {
-                out_row[j] += a_ip * b_row[j];
-            }
-        }
-    }
+    let mut out = Matrix::default();
+    gemm_into(a, b, &mut out)?;
     Ok(out)
 }
 
 /// Multiplies a single row vector `x (1 x k)` by a matrix `W (k x n)`,
-/// returning a freshly allocated vector of length `n`.
+/// **overwriting** `out` (length `n`). Performs no heap allocation.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `x.len() != w.rows()` or
+/// `out.len() != w.cols()`.
+pub fn row_matmul_into(x: &[f32], w: &Matrix, out: &mut [f32]) -> Result<()> {
+    if x.len() != w.rows() {
+        return Err(TensorError::ShapeMismatch {
+            op: "row_matmul_into",
+            left: (1, x.len()),
+            right: w.shape(),
+        });
+    }
+    if out.len() != w.cols() {
+        return Err(TensorError::ShapeMismatch {
+            op: "row_matmul_into",
+            left: (1, out.len()),
+            right: (1, w.cols()),
+        });
+    }
+    row_matmul_unchecked(x, w.as_slice(), w.cols(), out);
+    Ok(())
+}
+
+/// Multiplies a single row vector `x (1 x k)` by a matrix `W (k x n)`,
+/// returning a freshly allocated vector of length `n`. Thin wrapper over
+/// [`row_matmul_into`].
 ///
 /// # Errors
 ///
 /// Returns [`TensorError::ShapeMismatch`] if `x.len() != w.rows()`.
 pub fn row_matmul(x: &[f32], w: &Matrix) -> Result<Vec<f32>> {
-    if x.len() != w.rows() {
-        return Err(TensorError::ShapeMismatch {
-            op: "row_matmul",
-            left: (1, x.len()),
-            right: w.shape(),
-        });
-    }
-    let n = w.cols();
-    let mut out = vec![0.0f32; n];
-    let w_data = w.as_slice();
-    for (p, &xp) in x.iter().enumerate() {
-        if xp == 0.0 {
-            continue;
-        }
-        let w_row = &w_data[p * n..(p + 1) * n];
-        for j in 0..n {
-            out[j] += xp * w_row[j];
-        }
-    }
+    let mut out = vec![0.0f32; w.cols()];
+    row_matmul_into(x, w, &mut out)?;
     Ok(out)
+}
+
+/// Packs the selected rows of `m` into `out` (resized, capacity-reusing, to
+/// `indices.len() x m.cols()`). This is the gather that batched frontier
+/// evaluation uses to build contiguous GEMM operands from scattered vertex
+/// rows; steady-state calls perform no heap allocation.
+///
+/// # Errors
+///
+/// Returns [`TensorError::IndexOutOfBounds`] if any index is out of range.
+pub fn gather_rows_into(m: &Matrix, indices: &[usize], out: &mut Matrix) -> Result<()> {
+    out.resize_reuse(indices.len(), m.cols());
+    for (slot, &i) in indices.iter().enumerate() {
+        let row = m.try_row(i)?;
+        out.row_mut(slot).copy_from_slice(row);
+    }
+    Ok(())
 }
 
 /// Element-wise sum of two matrices of equal shape.
@@ -228,6 +379,73 @@ mod tests {
     fn row_matmul_shape_mismatch() {
         let w = Matrix::zeros(3, 2);
         assert!(row_matmul(&[1.0, 2.0], &w).is_err());
+        let mut out = vec![0.0; 5];
+        assert!(row_matmul_into(&[1.0, 2.0, 3.0], &w, &mut out).is_err());
+    }
+
+    /// The register-tiled GEMM and the row kernel must be *bit*-identical for
+    /// every shape, including the `< 4` row and `< 8` column tails.
+    #[test]
+    fn gemm_into_bitwise_matches_row_matmul_for_all_tails() {
+        for (m, k, n) in [(1, 3, 2), (4, 5, 8), (7, 9, 11), (5, 16, 8), (9, 2, 19)] {
+            let a = crate::init::uniform(m, k, -2.0, 2.0, 11 + (m * n) as u64);
+            let b = crate::init::uniform(k, n, -2.0, 2.0, 23 + (k * n) as u64);
+            let mut out = Matrix::default();
+            gemm_into(&a, &b, &mut out).unwrap();
+            assert_eq!(out.shape(), (m, n));
+            let mut row_out = vec![0.0f32; n];
+            for i in 0..m {
+                row_matmul_into(a.row(i), &b, &mut row_out).unwrap();
+                for (x, y) in out.row(i).iter().zip(row_out.iter()) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "({m},{k},{n}) row {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_into_reuses_capacity_across_shapes() {
+        let a = Matrix::filled(6, 4, 1.0);
+        let b = Matrix::filled(4, 6, 2.0);
+        let mut out = Matrix::default();
+        gemm_into(&a, &b, &mut out).unwrap();
+        assert_eq!(out.row(0), &[8.0; 6]);
+        // Shrinking re-uses the buffer and yields correct values.
+        let small_a = Matrix::filled(2, 4, 1.0);
+        gemm_into(&small_a, &b, &mut out).unwrap();
+        assert_eq!(out.shape(), (2, 6));
+        assert_eq!(out.row(1), &[8.0; 6]);
+    }
+
+    #[test]
+    fn gemm_into_shape_mismatch() {
+        let mut out = Matrix::default();
+        assert!(gemm_into(&Matrix::zeros(2, 3), &Matrix::zeros(2, 3), &mut out).is_err());
+    }
+
+    #[test]
+    fn row_matmul_into_matches_allocating_form() {
+        let w = Matrix::from_rows(&[vec![1.0, 0.0, 1.0], vec![0.0, 2.0, 1.0]]).unwrap();
+        let x = [0.0f32, 3.0];
+        let alloc = row_matmul(&x, &w).unwrap();
+        let mut out = vec![9.0f32; 3];
+        row_matmul_into(&x, &w, &mut out).unwrap();
+        assert_eq!(alloc, out);
+        assert_eq!(out, vec![0.0, 6.0, 3.0]);
+    }
+
+    #[test]
+    fn gather_rows_into_packs_selected_rows() {
+        let m = sample();
+        let mut out = Matrix::default();
+        gather_rows_into(&m, &[2, 0, 2], &mut out).unwrap();
+        assert_eq!(out.shape(), (3, 2));
+        assert_eq!(out.row(0), &[5.0, 6.0]);
+        assert_eq!(out.row(1), &[1.0, 2.0]);
+        assert_eq!(out.row(2), &[5.0, 6.0]);
+        gather_rows_into(&m, &[], &mut out).unwrap();
+        assert_eq!(out.shape(), (0, 2));
+        assert!(gather_rows_into(&m, &[7], &mut out).is_err());
     }
 
     #[test]

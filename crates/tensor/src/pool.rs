@@ -1,18 +1,22 @@
 //! A fixed-size worker pool with channel-free range stealing.
 //!
-//! The parallel engines shard the affected frontier of each hop into
-//! contiguous chunks and let a fixed set of [`std::thread::scope`] workers
-//! steal chunks off one shared atomic cursor — no channels, no locks, no
-//! work queues. Each chunk's result is tagged with its chunk index, so the
-//! caller gets results back **in chunk order** regardless of which worker
-//! processed which chunk. That ordered reduction is what lets the parallel
-//! engines commit results in exactly the serial engine's vertex order and
-//! stay bit-identical to it.
+//! Callers shard a contiguous index range (a hop's affected frontier, a full
+//! vertex table) into chunks and let a fixed set of [`std::thread::scope`]
+//! workers steal chunks off one shared atomic cursor — no channels, no
+//! locks, no work queues. Each chunk's result is tagged with its chunk
+//! index, so the caller gets results back **in chunk order** regardless of
+//! which worker processed which chunk. That ordered reduction is what lets
+//! the parallel engines commit results in exactly the serial engine's vertex
+//! order and stay bit-identical to it.
 //!
 //! Scoped threads let the work closure borrow the caller's graph, model and
 //! embedding store directly; the per-call spawn cost (a few tens of
 //! microseconds per worker) is amortised over whole-hop frontiers, which is
 //! why the engines fall back to inline execution for small frontiers.
+//!
+//! The pool lives in the tensor crate — the bottom of the compute stack —
+//! so that both the GNN inference kernels and the engines above them can
+//! shard work over it.
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -111,11 +115,77 @@ impl WorkerPool {
         tagged.into_iter().map(|(_, t)| t).collect()
     }
 
+    /// Splits `0..num_items` into **one contiguous range per state** (near
+    /// equal sizes, earlier ranges at most one item longer) and runs
+    /// `work(state, range)` for each pair, returning the per-state results
+    /// index-aligned with `states`.
+    ///
+    /// This is the statically partitioned sibling of
+    /// [`WorkerPool::map_chunks`] for workloads whose per-item cost is
+    /// uniform (e.g. dense layer evaluation): each worker owns a mutable
+    /// per-worker state — a scratch arena — for its whole range, so the work
+    /// closure can be allocation-free. With a single state (or a 1-thread
+    /// pool) everything runs inline on the caller; empty ranges also run
+    /// inline, so results always align with `states`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` is empty, or propagates a panic from `work`.
+    pub fn map_ranges<S, T, F>(&self, states: &mut [S], num_items: usize, work: F) -> Vec<T>
+    where
+        S: Send,
+        T: Send,
+        F: Fn(&mut S, Range<usize>) -> T + Sync,
+    {
+        assert!(!states.is_empty(), "map_ranges needs at least one state");
+        let ranges = split_ranges(num_items, states.len());
+        if self.threads == 1 || states.len() == 1 || num_items == 0 {
+            return states
+                .iter_mut()
+                .zip(&ranges)
+                .map(|(state, range)| work(state, range.clone()))
+                .collect();
+        }
+        let work = &work;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = states
+                .iter_mut()
+                .zip(&ranges)
+                .map(|(state, range)| {
+                    let range = range.clone();
+                    scope.spawn(move || work(state, range))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pool worker panicked"))
+                .collect()
+        })
+    }
+
     /// A chunk size that splits `num_items` into a few chunks per worker
     /// (bounded below so tiny chunks never dominate on large frontiers).
     pub fn suggested_chunk_size(&self, num_items: usize) -> usize {
         num_items.div_ceil(self.threads * 4).max(16)
     }
+}
+
+/// `parts` contiguous, in-order, near-equal ranges covering `0..num_items`
+/// (the first `num_items % parts` ranges are one longer; trailing ranges may
+/// be empty when `parts > num_items`). Public because callers of
+/// [`WorkerPool::map_ranges`] that pre-split an output buffer into per-state
+/// blocks must partition with exactly the same arithmetic.
+pub fn split_ranges(num_items: usize, parts: usize) -> Vec<Range<usize>> {
+    let base = num_items / parts;
+    let extra = num_items % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
 }
 
 #[cfg(test)]
@@ -178,5 +248,41 @@ mod tests {
     #[should_panic(expected = "chunk_size must be positive")]
     fn zero_chunk_size_panics() {
         WorkerPool::new(2).map_chunks::<(), _>(10, 0, |_| ());
+    }
+
+    #[test]
+    fn map_ranges_covers_items_and_aligns_with_states() {
+        for threads in [1, 2, 4] {
+            let pool = WorkerPool::new(threads);
+            let mut states = vec![0usize; 3];
+            let ranges: Vec<Range<usize>> = pool.map_ranges(&mut states, 10, |state, range| {
+                *state += range.len();
+                range
+            });
+            assert_eq!(ranges, vec![0..4, 4..7, 7..10]);
+            assert_eq!(states, vec![4, 3, 3], "each state saw its own range");
+        }
+    }
+
+    #[test]
+    fn map_ranges_with_more_states_than_items_gets_empty_tails() {
+        let pool = WorkerPool::new(4);
+        let mut states = vec![(); 5];
+        let ranges: Vec<Range<usize>> = pool.map_ranges(&mut states, 3, |_, r| r);
+        assert_eq!(ranges, vec![0..1, 1..2, 2..3, 3..3, 3..3]);
+    }
+
+    #[test]
+    fn map_ranges_zero_items_runs_inline() {
+        let pool = WorkerPool::new(4);
+        let mut states = vec![0u32; 2];
+        let lens: Vec<usize> = pool.map_ranges(&mut states, 0, |_, r| r.len());
+        assert_eq!(lens, vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one state")]
+    fn map_ranges_empty_states_panics() {
+        WorkerPool::new(2).map_ranges::<(), (), _>(&mut [], 4, |_, _| ());
     }
 }

@@ -1,0 +1,81 @@
+//! Reusable workspaces for the allocation-free batched kernels.
+//!
+//! The batched compute path (`gemm_into`, `gather_rows_into`,
+//! `forward_batch` in the GNN crate) needs a handful of intermediate
+//! matrices per evaluation: packed input rows, a secondary operand, a
+//! temporary product and the output block. [`Scratch`] bundles them so an
+//! engine can keep **one arena per worker** and re-evaluate arbitrarily many
+//! frontiers without touching the allocator once each buffer has grown to
+//! its steady-state capacity (see [`crate::Matrix::resize_reuse`]).
+//!
+//! The fields are deliberately plain `pub` matrices: kernels borrow the
+//! slots they need disjointly (e.g. `&scratch.lhs` together with
+//! `&mut scratch.out`), which the borrow checker permits at field
+//! granularity.
+
+use crate::Matrix;
+
+/// A reusable workspace of scratch matrices for batched `_into` kernels.
+///
+/// What each slot holds is a convention between the kernels that share the
+/// arena; the GNN frontier evaluators use:
+///
+/// * [`Scratch::lhs`] — packed finalized aggregates (frontier × input dim);
+/// * [`Scratch::lhs2`] — packed self embeddings for self-dependent layers;
+/// * [`Scratch::tmp`] — the secondary GEMM product / combined GIN operand;
+/// * [`Scratch::out`] — the evaluated embeddings (frontier × output dim).
+///
+/// All buffers start empty and grow on first use; steady-state reuse is
+/// allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct Scratch {
+    /// Primary packed left-hand operand.
+    pub lhs: Matrix,
+    /// Secondary packed left-hand operand.
+    pub lhs2: Matrix,
+    /// Intermediate product / combination buffer.
+    pub tmp: Matrix,
+    /// Output block of the batched evaluation.
+    pub out: Matrix,
+}
+
+impl Scratch {
+    /// A fresh, empty workspace.
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+
+    /// Total memory retained by the workspace (inline fields plus the
+    /// capacity of every buffer), so scratch arenas show up in the
+    /// harness's memory-overhead reports alongside the embedding tables.
+    pub fn memory_bytes(&self) -> usize {
+        self.lhs.memory_bytes()
+            + self.lhs2.memory_bytes()
+            + self.tmp.memory_bytes()
+            + self.out.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_empty_and_tracks_memory() {
+        let mut s = Scratch::new();
+        let baseline = s.memory_bytes();
+        assert_eq!(baseline, 4 * std::mem::size_of::<Matrix>());
+        s.out.resize_reuse(8, 8);
+        assert!(s.memory_bytes() >= baseline + 8 * 8 * 4);
+    }
+
+    #[test]
+    fn slots_borrow_disjointly() {
+        let mut s = Scratch::new();
+        s.lhs.resize_reuse(2, 2);
+        s.lhs.fill(1.0);
+        let w = Matrix::eye(2, 2);
+        crate::ops::gemm_into(&s.lhs, &w, &mut s.out).unwrap();
+        assert_eq!(s.out.row(0), &[1.0, 1.0]);
+    }
+}

@@ -1,0 +1,83 @@
+//! Scratch profiling harness for the batched bootstrap path (not shipped in
+//! docs; run with `cargo run --release --example kernel_profile`).
+use ripple::gnn::layer_wise::{full_inference, full_inference_per_vertex};
+use ripple::prelude::*;
+use std::time::Instant;
+
+fn time(label: &str, reps: u32, mut f: impl FnMut()) {
+    f();
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    println!(
+        "{label}: {:.3} ms",
+        start.elapsed().as_secs_f64() * 1e3 / f64::from(reps)
+    );
+}
+
+fn main() {
+    for dim in [64usize, 256] {
+        let graph = DatasetSpec::custom(2_000, 8.0, 16, 8).generate(42).unwrap();
+        let model = GnnModel::new(LayerKind::GraphConv, Aggregator::Sum, &[16, dim, 8], 7).unwrap();
+        println!("--- hidden {dim} ---");
+        time("per_vertex", 20, || {
+            let _ = std::hint::black_box(full_inference_per_vertex(&graph, &model).unwrap());
+        });
+        time("batched   ", 20, || {
+            let _ = std::hint::black_box(full_inference(&graph, &model).unwrap());
+        });
+        // aggregation-only cost: model with 1-wide output? approximate by timing raw aggregation loop
+        let store = full_inference(&graph, &model).unwrap();
+        time("agg_only h1", 20, || {
+            let mut acc = vec![0.0f32; 16];
+            for v in 0..2000u32 {
+                let vid = VertexId(v);
+                Aggregator::Sum.raw_aggregate_into(
+                    store.embeddings(0),
+                    graph.in_neighbors(vid),
+                    graph.in_weights(vid),
+                    &mut acc,
+                );
+            }
+            std::hint::black_box(acc[0]);
+        });
+        time("agg_only h2", 20, || {
+            let mut acc = vec![0.0f32; dim];
+            for v in 0..2000u32 {
+                let vid = VertexId(v);
+                Aggregator::Sum.raw_aggregate_into(
+                    store.embeddings(1),
+                    graph.in_neighbors(vid),
+                    graph.in_weights(vid),
+                    &mut acc,
+                );
+            }
+            std::hint::black_box(acc[0]);
+        });
+        let w1 = ripple::tensor::init::uniform(16, dim, -1.0, 1.0, 3);
+        let w2 = ripple::tensor::init::uniform(dim, 8, -1.0, 1.0, 4);
+        let mut out = ripple::tensor::Matrix::default();
+        time("gemm h1   ", 20, || {
+            ripple::tensor::ops::gemm_into(store.embeddings(0), &w1, &mut out).unwrap();
+        });
+        let mut out2 = ripple::tensor::Matrix::default();
+        time("gemm h2   ", 20, || {
+            ripple::tensor::ops::gemm_into(store.embeddings(1), &w2, &mut out2).unwrap();
+        });
+        let mut rout = vec![0.0f32; dim];
+        time("matvec h1 ", 20, || {
+            for v in 0..2000 {
+                ripple::tensor::ops::row_matmul_into(store.embeddings(0).row(v), &w1, &mut rout)
+                    .unwrap();
+            }
+        });
+        let mut rout2 = vec![0.0f32; 8];
+        time("matvec h2 ", 20, || {
+            for v in 0..2000 {
+                ripple::tensor::ops::row_matmul_into(store.embeddings(1).row(v), &w2, &mut rout2)
+                    .unwrap();
+            }
+        });
+    }
+}
