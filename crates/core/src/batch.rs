@@ -34,6 +34,24 @@ pub trait StreamingEngine {
     fn current_graph(&self) -> &DynamicGraph;
 }
 
+impl<T: StreamingEngine + ?Sized> StreamingEngine for Box<T> {
+    fn process_batch(&mut self, batch: &UpdateBatch) -> Result<BatchStats> {
+        (**self).process_batch(batch)
+    }
+
+    fn strategy_name(&self) -> &'static str {
+        (**self).strategy_name()
+    }
+
+    fn current_store(&self) -> &EmbeddingStore {
+        (**self).current_store()
+    }
+
+    fn current_graph(&self) -> &DynamicGraph {
+        (**self).current_graph()
+    }
+}
+
 impl StreamingEngine for RippleEngine {
     fn process_batch(&mut self, batch: &UpdateBatch) -> Result<BatchStats> {
         RippleEngine::process_batch(self, batch)

@@ -16,7 +16,7 @@
 //!   only divided by the in-degree when the layer is evaluated, so degree
 //!   changes caused by edge updates re-normalise for free.
 
-use crate::mailbox::MailboxSet;
+use crate::mailbox::{MailArena, MailboxSet};
 use crate::{Result, RippleError};
 use ripple_gnn::layer_wise::reevaluate_slice_into;
 use ripple_gnn::recompute::BatchStats;
@@ -245,33 +245,49 @@ pub(crate) fn inject_edge_changes(
 }
 
 /// The hop-`hop` affected frontier in ascending vertex order: every vertex
-/// with pending mail, plus — when the layer reads its own previous-layer
-/// embedding — every vertex that changed at the previous hop.
+/// with pending mail (already sorted by the arena drain), plus — when the
+/// layer reads its own previous-layer embedding — every vertex that changed
+/// at the previous hop.
 ///
 /// Sorting pins the per-hop processing (and therefore float accumulation)
 /// order, which makes serial runs reproducible across processes and gives the
 /// parallel engine a canonical order to shard and merge against.
 pub(crate) fn sorted_affected(
-    mail: &HashMap<VertexId, Vec<f32>>,
+    mail_ids: &[VertexId],
     changed_prev: &HashSet<VertexId>,
     depends_on_self: bool,
 ) -> Vec<VertexId> {
-    let mut affected: Vec<VertexId> = mail.keys().copied().collect();
+    let mut affected: Vec<VertexId> = mail_ids.to_vec();
     if depends_on_self {
         affected.extend(changed_prev.iter().copied());
         affected.sort_unstable();
         affected.dedup();
-    } else {
-        affected.sort_unstable();
     }
     affected
 }
 
 /// Apply phase: folds every pending hop-`hop` mail delta into the stored raw
-/// aggregate **in place**. Each delta targets its own store row, so the
-/// iteration order across vertices cannot affect any result bit; the engines
-/// run this on the owner thread before (possibly parallel) re-evaluation.
+/// aggregate **in place**, walking the flat sorted arena — two contiguous
+/// arrays, no hash lookups, zero allocations. Each delta targets its own
+/// store row, so the result is bit-identical to the historical `HashMap`
+/// walk ([`apply_mail_map`]) for any order; the engines run this on the
+/// owner thread before (possibly parallel) re-evaluation.
 pub(crate) fn apply_mail(
+    store: &mut EmbeddingStore,
+    hop: usize,
+    mail: &MailArena,
+    stats: &mut BatchStats,
+) {
+    for (v, delta) in mail.iter() {
+        ripple_tensor::add_assign(store.aggregate_mut(hop, v), delta);
+        stats.aggregate_ops += 1;
+    }
+}
+
+/// The historical apply phase over the drained `HashMap`, kept as the
+/// reference implementation that the arena path is parity-tested against
+/// (`tests/mailbox_parity.rs`).
+pub fn apply_mail_map(
     store: &mut EmbeddingStore,
     hop: usize,
     mail: &HashMap<VertexId, Vec<f32>>,
@@ -350,6 +366,9 @@ pub struct RippleEngine {
     /// steady-state frontier size, batch propagation re-evaluates every hop
     /// without heap allocation.
     scratch: Scratch,
+    /// Persistent flat arena the per-hop mailboxes drain into: the apply
+    /// phase walks sorted contiguous rows instead of a hash map.
+    mail: MailArena,
     /// Reusable buffer for the per-vertex output delta of the commit phase.
     commit_delta: Vec<f32>,
 }
@@ -376,6 +395,7 @@ impl RippleEngine {
             store,
             config,
             scratch: Scratch::new(),
+            mail: MailArena::new(),
             commit_delta: Vec::new(),
         })
     }
@@ -415,7 +435,7 @@ impl RippleEngine {
     /// recompute baseline (the aggregate tables plus the scratch arena), in
     /// bytes.
     pub fn incremental_state_bytes(&self) -> usize {
-        self.store.aggregate_memory_bytes() + self.scratch.memory_bytes()
+        self.store.aggregate_memory_bytes() + self.scratch.memory_bytes() + self.mail.memory_bytes()
     }
 
     /// Applies a batch of updates and incrementally refreshes every affected
@@ -464,6 +484,7 @@ impl RippleEngine {
             store,
             config,
             scratch,
+            mail,
             commit_delta,
         } = self;
         let num_layers = model.num_layers();
@@ -482,8 +503,9 @@ impl RippleEngine {
             }
 
             let layer = model.layer(hop)?;
-            let mail = phase.mailboxes.take_hop(hop);
-            let affected = sorted_affected(&mail, &phase.changed_prev, layer.depends_on_self());
+            phase.mailboxes.drain_hop_sorted_into(hop, mail);
+            let affected =
+                sorted_affected(mail.ids(), &phase.changed_prev, layer.depends_on_self());
 
             stats.affected_per_hop.push(affected.len());
             stats.propagation_tree_size += affected.len();
@@ -492,7 +514,7 @@ impl RippleEngine {
             }
 
             // Apply phase in place, compute phase over the frontier, commit.
-            apply_mail(store, hop, &mail, stats);
+            apply_mail(store, hop, mail, stats);
             reevaluate_slice_into(graph, model, store, hop, &affected, scratch)?;
             let mut changed_now = HashSet::with_capacity(affected.len());
             commit_hop(

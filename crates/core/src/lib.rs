@@ -58,7 +58,7 @@ pub mod parallel;
 pub use batch::{StreamRunner, StreamingEngine};
 pub use engine::{RippleConfig, RippleEngine};
 pub use error::RippleError;
-pub use mailbox::MailboxSet;
+pub use mailbox::{MailArena, MailboxSet};
 pub use message::DeltaMessage;
 pub use metrics::StreamSummary;
 pub use parallel::{evaluate_frontier, evaluate_frontier_into, ParallelRippleEngine};

@@ -15,12 +15,97 @@ use ripple_graph::VertexId;
 use ripple_tensor::axpy;
 use std::collections::HashMap;
 
+/// A flat, sorted `(vertex, delta-row)` arena holding one hop's drained mail.
+///
+/// [`MailboxSet::drain_hop_sorted_into`] leaves the per-hop deltas here in
+/// ascending vertex order as one contiguous row-major buffer, so the apply
+/// phase becomes a branch-free walk over two flat arrays (vectorisable adds,
+/// no hash lookups) and — once the buffers have reached their steady-state
+/// capacity — performs **zero heap allocations**.
+#[derive(Debug, Clone, Default)]
+pub struct MailArena {
+    /// Target vertices in ascending order, one per row of `rows`.
+    ids: Vec<VertexId>,
+    /// Row-major delta rows, `width` floats per entry of `ids`.
+    rows: Vec<f32>,
+    /// Width of every delta row (0 while the arena is empty).
+    width: usize,
+}
+
+impl MailArena {
+    /// A fresh, empty arena.
+    pub fn new() -> Self {
+        MailArena::default()
+    }
+
+    /// Number of `(vertex, delta)` entries currently held.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Returns `true` if the arena holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Width of every delta row (0 while the arena is empty).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The target vertices in ascending order.
+    pub fn ids(&self) -> &[VertexId] {
+        &self.ids
+    }
+
+    /// The `i`-th delta row (paired with `ids()[i]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.rows[i * self.width..(i + 1) * self.width]
+    }
+
+    /// Iterator over `(vertex, delta-row)` pairs in ascending vertex order.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, &[f32])> + '_ {
+        self.ids
+            .iter()
+            .copied()
+            .zip(self.rows.chunks_exact(self.width.max(1)))
+    }
+
+    /// Empties the arena, retaining both buffers' capacity.
+    pub fn clear(&mut self) {
+        self.ids.clear();
+        self.rows.clear();
+        self.width = 0;
+    }
+
+    /// Heap memory retained by the arena (buffer capacities), in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.ids.capacity() * std::mem::size_of::<VertexId>()
+            + self.rows.capacity() * std::mem::size_of::<f32>()
+    }
+}
+
 /// The set of per-hop mailboxes used while processing one batch.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct MailboxSet {
     /// `boxes[l-1]` maps a vertex to the accumulated delta for its hop-`l`
     /// aggregate.
     boxes: Vec<HashMap<VertexId, Vec<f32>>>,
+    /// Drained-but-kept maps recycled into [`MailboxSet::take_hop`]
+    /// replacements, so repeated take/refill cycles reuse the grown table
+    /// allocation instead of rebuilding from a capacity-less `HashMap::new()`.
+    spare: Vec<HashMap<VertexId, Vec<f32>>>,
+}
+
+impl PartialEq for MailboxSet {
+    fn eq(&self, other: &Self) -> bool {
+        // The spare pool is an allocation cache, not observable state.
+        self.boxes == other.boxes
+    }
 }
 
 impl MailboxSet {
@@ -28,6 +113,7 @@ impl MailboxSet {
     pub fn new(num_hops: usize) -> Self {
         MailboxSet {
             boxes: vec![HashMap::new(); num_hops],
+            spare: Vec::new(),
         }
     }
 
@@ -81,11 +167,56 @@ impl MailboxSet {
 
     /// Drains and returns the hop-`hop` mailbox contents, leaving it empty.
     ///
+    /// The replacement map comes from the [`MailboxSet::recycle`] pool when
+    /// one is available, so callers that hand drained maps back keep the
+    /// grown table allocation across take/refill cycles instead of regrowing
+    /// a capacity-less `HashMap::new()` every batch.
+    ///
     /// # Panics
     ///
     /// Panics if `hop` is out of range.
     pub fn take_hop(&mut self, hop: usize) -> HashMap<VertexId, Vec<f32>> {
-        std::mem::take(&mut self.boxes[hop - 1])
+        let replacement = self.spare.pop().unwrap_or_default();
+        std::mem::replace(&mut self.boxes[hop - 1], replacement)
+    }
+
+    /// Returns a map obtained from [`MailboxSet::take_hop`] to the recycle
+    /// pool. The map is cleared (retaining its capacity) and handed back out
+    /// by the next `take_hop` call.
+    pub fn recycle(&mut self, mut map: HashMap<VertexId, Vec<f32>>) {
+        map.clear();
+        self.spare.push(map);
+    }
+
+    /// Drains the hop-`hop` mailbox into `arena` as a flat, **ascending-
+    /// vertex-order** `(vertex, delta-row)` block, leaving the mailbox empty
+    /// while retaining its table capacity for the next batch.
+    ///
+    /// The per-slot accumulated values are moved verbatim, so applying the
+    /// arena rows is bit-identical to walking the hash map (each delta
+    /// targets its own store row; only the iteration order changes, and the
+    /// sorted order is exactly the canonical order the engines commit in).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hop` is out of range, or if the slots of this hop disagree
+    /// on their delta width (the deposit API already enforces agreement).
+    pub fn drain_hop_sorted_into(&mut self, hop: usize, arena: &mut MailArena) {
+        let map = &mut self.boxes[hop - 1];
+        arena.clear();
+        arena.ids.extend(map.keys().copied());
+        arena.ids.sort_unstable();
+        if let Some(first) = arena.ids.first() {
+            arena.width = map[first].len();
+        }
+        arena.rows.reserve(arena.ids.len() * arena.width);
+        for v in &arena.ids {
+            let delta = &map[v];
+            assert_eq!(delta.len(), arena.width, "ragged mailbox rows at hop {hop}");
+            arena.rows.extend_from_slice(delta);
+        }
+        // `clear` (not `take`) keeps the grown table capacity for refills.
+        map.clear();
     }
 
     /// Clears every mailbox.
@@ -159,6 +290,111 @@ mod tests {
     #[test]
     fn num_hops_reported() {
         assert_eq!(MailboxSet::new(4).num_hops(), 4);
+    }
+
+    #[test]
+    fn drain_sorted_moves_accumulated_values_in_vertex_order() {
+        let mut m = MailboxSet::new(2);
+        m.deposit(1, VertexId(9), 1.0, &[1.0, 0.0]);
+        m.deposit(1, VertexId(2), 1.0, &[2.0, 2.0]);
+        m.deposit(1, VertexId(9), 0.5, &[2.0, 2.0]);
+        let mut arena = MailArena::new();
+        m.drain_hop_sorted_into(1, &mut arena);
+        assert!(m.is_empty());
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.width(), 2);
+        assert_eq!(arena.ids(), &[VertexId(2), VertexId(9)]);
+        assert_eq!(arena.row(0), &[2.0, 2.0]);
+        assert_eq!(arena.row(1), &[2.0, 1.0]);
+        let pairs: Vec<(VertexId, Vec<f32>)> = arena.iter().map(|(v, d)| (v, d.to_vec())).collect();
+        assert_eq!(pairs[0], (VertexId(2), vec![2.0, 2.0]));
+        assert!(arena.memory_bytes() > 0);
+    }
+
+    /// Bit-parity of the two apply paths: folding the sorted arena rows into
+    /// per-vertex accumulators yields exactly the values the `HashMap` walk
+    /// produced — each delta targets its own slot, so only the (irrelevant)
+    /// iteration order differs.
+    #[test]
+    fn drained_arena_is_bit_identical_to_taken_map() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(71);
+        let mut a = MailboxSet::new(1);
+        let mut b = MailboxSet::new(1);
+        for _ in 0..200 {
+            let v = VertexId(rng.gen_range(0u32..40));
+            let coeff = rng.gen_range(-2.0f32..2.0);
+            let delta: Vec<f32> = (0..3).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            a.deposit(1, v, coeff, &delta);
+            b.deposit(1, v, coeff, &delta);
+        }
+        let map = a.take_hop(1);
+        let mut arena = MailArena::new();
+        b.drain_hop_sorted_into(1, &mut arena);
+        assert_eq!(arena.len(), map.len());
+        for (v, row) in arena.iter() {
+            assert_eq!(row, map[&v].as_slice(), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn drain_empty_hop_leaves_empty_arena() {
+        let mut m = MailboxSet::new(1);
+        let mut arena = MailArena::new();
+        // Pre-fill the arena to verify it is cleared.
+        m.deposit(1, VertexId(0), 1.0, &[1.0]);
+        m.drain_hop_sorted_into(1, &mut arena);
+        m.drain_hop_sorted_into(1, &mut arena);
+        assert!(arena.is_empty());
+        assert_eq!(arena.width(), 0);
+        assert_eq!(arena.iter().count(), 0);
+    }
+
+    #[test]
+    fn drain_retains_map_capacity_across_cycles() {
+        let mut m = MailboxSet::new(1);
+        let mut arena = MailArena::new();
+        for v in 0..64u32 {
+            m.deposit(1, VertexId(v), 1.0, &[1.0]);
+        }
+        m.drain_hop_sorted_into(1, &mut arena);
+        let capacity_after_drain = m.boxes[0].capacity();
+        assert!(
+            capacity_after_drain >= 64,
+            "drain must keep the grown table, got capacity {capacity_after_drain}"
+        );
+        // Refill: no rehash growth needed for the same population.
+        for v in 0..64u32 {
+            m.deposit(1, VertexId(v), 1.0, &[1.0]);
+        }
+        assert_eq!(m.boxes[0].capacity(), capacity_after_drain);
+    }
+
+    #[test]
+    fn recycled_map_allocation_is_reused_by_take_hop() {
+        let mut m = MailboxSet::new(1);
+        for v in 0..64u32 {
+            m.deposit(1, VertexId(v), 1.0, &[1.0]);
+        }
+        let taken = m.take_hop(1);
+        let grown_capacity = taken.capacity();
+        assert!(grown_capacity >= 64);
+        m.recycle(taken);
+        // The next take hands the recycled (cleared, still-grown) map back
+        // out as the replacement slot.
+        let empty = m.take_hop(1);
+        assert!(empty.is_empty());
+        assert_eq!(m.boxes[0].capacity(), grown_capacity);
+    }
+
+    #[test]
+    fn equality_ignores_the_spare_pool() {
+        let mut a = MailboxSet::new(1);
+        let b = MailboxSet::new(1);
+        a.deposit(1, VertexId(0), 1.0, &[1.0]);
+        let map = a.take_hop(1);
+        a.recycle(map);
+        assert_eq!(a, b, "spare maps are a cache, not observable state");
     }
 
     #[test]

@@ -30,6 +30,7 @@ use crate::engine::{
     apply_mail, commit_hop, inject_edge_changes, run_update_operator, sorted_affected,
     validate_parts, RippleConfig,
 };
+use crate::mailbox::MailArena;
 use crate::pool::WorkerPool;
 use crate::Result;
 use ripple_gnn::layer_wise::reevaluate_slice_into;
@@ -142,6 +143,9 @@ pub struct ParallelRippleEngine {
     /// its steady-state frontier-shard size, the compute phase of every hop
     /// runs without heap allocation.
     scratches: Vec<Scratch>,
+    /// Persistent flat arena the per-hop mailboxes drain into: the apply
+    /// phase walks sorted contiguous rows instead of a hash map.
+    mail: MailArena,
     /// Reusable buffer for the per-vertex output delta of the commit phase.
     commit_delta: Vec<f32>,
 }
@@ -171,6 +175,7 @@ impl ParallelRippleEngine {
             config,
             pool,
             scratches,
+            mail: MailArena::new(),
             commit_delta: Vec::new(),
         })
     }
@@ -215,6 +220,7 @@ impl ParallelRippleEngine {
     /// arenas), in bytes.
     pub fn incremental_state_bytes(&self) -> usize {
         self.store.aggregate_memory_bytes()
+            + self.mail.memory_bytes()
             + self
                 .scratches
                 .iter()
@@ -238,6 +244,7 @@ impl ParallelRippleEngine {
             config,
             pool,
             scratches,
+            mail,
             commit_delta,
         } = self;
         let num_layers = model.num_layers();
@@ -266,8 +273,9 @@ impl ParallelRippleEngine {
             }
 
             let layer = model.layer(hop)?;
-            let mail = phase.mailboxes.take_hop(hop);
-            let affected = sorted_affected(&mail, &phase.changed_prev, layer.depends_on_self());
+            phase.mailboxes.drain_hop_sorted_into(hop, mail);
+            let affected =
+                sorted_affected(mail.ids(), &phase.changed_prev, layer.depends_on_self());
 
             stats.affected_per_hop.push(affected.len());
             stats.propagation_tree_size += affected.len();
@@ -279,7 +287,7 @@ impl ParallelRippleEngine {
             // workers re-evaluate disjoint, contiguous shards of the
             // frontier into their own scratch arenas — allocation-free once
             // the arenas are warm.
-            apply_mail(store, hop, &mail, &mut stats);
+            apply_mail(store, hop, mail, &mut stats);
             let ranges =
                 evaluate_frontier_into(pool, graph, model, store, hop, &affected, scratches)?;
 

@@ -100,6 +100,12 @@ impl<'a> MessageRouter<'a> {
     fn take_hop(&mut self, hop: usize) -> HashMap<VertexId, Vec<f32>> {
         self.mailboxes.take_hop(hop)
     }
+
+    /// Returns a drained map so its grown table allocation is reused by the
+    /// next superstep's `take_hop` instead of regrowing from empty.
+    fn recycle(&mut self, map: HashMap<VertexId, Vec<f32>>) {
+        self.mailboxes.recycle(map);
+    }
 }
 
 /// The distributed incremental (Ripple) engine.
@@ -410,6 +416,7 @@ impl DistRippleEngine {
                 }
                 slowest_worker = slowest_worker.max(worker_start.elapsed());
             }
+            router.recycle(mail);
             stats.compute_time += slowest_worker;
             changed_prev = changed_now;
         }

@@ -149,6 +149,24 @@ impl EmbeddingStore {
         (&prev[l - 1], &mut rest[0], &mut self.aggregates[l - 1])
     }
 
+    /// Overwrites this store with the shape and contents of `other`,
+    /// **reusing every table's buffer capacity** (see [`Matrix::copy_from`]).
+    /// This is the resize-free refresh behind the serving layer's epoch
+    /// snapshots: once a double buffer has been through one refresh, later
+    /// refreshes of an unchanged-shape store perform no heap allocation.
+    pub fn copy_from(&mut self, other: &EmbeddingStore) {
+        self.embeddings
+            .resize_with(other.embeddings.len(), Matrix::default);
+        for (dst, src) in self.embeddings.iter_mut().zip(other.embeddings.iter()) {
+            dst.copy_from(src);
+        }
+        self.aggregates
+            .resize_with(other.aggregates.len(), Matrix::default);
+        for (dst, src) in self.aggregates.iter_mut().zip(other.aggregates.iter()) {
+            dst.copy_from(src);
+        }
+    }
+
     /// The predicted class label of a vertex: the argmax of its final-layer
     /// embedding.
     ///
@@ -283,6 +301,22 @@ mod tests {
         let c = EmbeddingStore::zeroed(&m, 5);
         assert!(a.max_final_diff(&c).is_err());
         assert!(a.max_diff_all_layers(&c).is_err());
+    }
+
+    #[test]
+    fn copy_from_matches_source_exactly() {
+        let m = model();
+        let mut src = EmbeddingStore::zeroed(&m, 5);
+        src.set_embedding(1, VertexId(3), &[0.25; 8]).unwrap();
+        src.set_aggregate(2, VertexId(1), &[1.5; 8]).unwrap();
+        // Refresh a differently-shaped store: it must converge to `src`.
+        let mut dst = EmbeddingStore::zeroed(&m, 9);
+        dst.copy_from(&src);
+        assert!(dst == src, "copy_from must produce a bit-identical store");
+        // Steady state: refreshing again after a mutation tracks the source.
+        src.set_embedding(0, VertexId(0), &[7.0; 4]).unwrap();
+        dst.copy_from(&src);
+        assert!(dst == src);
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! Online serving for the Ripple incremental engine.
+//!
+//! The engines in `ripple-core` keep embeddings fresh under streamed graph
+//! updates, but they own their store exclusively — nothing can *query* while
+//! a batch propagates. This crate adds the read/update separation a serving
+//! deployment needs:
+//!
+//! * [`VersionedStore`] — epoch-versioned [`ripple_gnn::EmbeddingStore`]
+//!   snapshots behind an `Arc` swap. Readers hold a cheap cached
+//!   [`SnapshotReader`] handle whose hot path is **one atomic load**; the
+//!   publisher double-buffers so steady-state epoch publication reuses the
+//!   retired snapshot's buffers instead of allocating a full store copy.
+//! * [`UpdateScheduler`] internals behind [`spawn`] — an MPSC update queue
+//!   with size- and time-window coalescing, same-edge churn dedup and
+//!   bounded-queue backpressure ([`BackpressurePolicy::Block`] or
+//!   [`BackpressurePolicy::Shed`]), driving any
+//!   [`ripple_core::StreamingEngine`] on a dedicated scheduler thread and
+//!   publishing a new epoch after each flushed batch.
+//! * [`QueryService`] — point embedding lookups, predicted labels and
+//!   batched top-k by embedding dot product, each stamped with the epoch and
+//!   staleness (updates enqueued but not yet visible) it was served at.
+//! * [`ServeMetrics`] and a closed-loop [`loadgen`] — read-latency
+//!   percentiles, update-visibility lag and epochs/sec, deterministic via
+//!   the workspace's seeded `rand` shim.
+//!
+//! # Example
+//!
+//! ```
+//! use ripple_core::{RippleConfig, RippleEngine};
+//! use ripple_gnn::{layer_wise::full_inference, Workload};
+//! use ripple_graph::synth::DatasetSpec;
+//! use ripple_graph::{GraphUpdate, VertexId};
+//! use ripple_serve::{spawn, ServeConfig};
+//!
+//! let graph = DatasetSpec::custom(100, 4.0, 8, 4).generate(1).unwrap();
+//! let model = Workload::GcS.build_model(8, 16, 4, 2, 7).unwrap();
+//! let store = full_inference(&graph, &model).unwrap();
+//! let engine = RippleEngine::new(graph, model, store, RippleConfig::default()).unwrap();
+//!
+//! let handle = spawn(engine, ServeConfig::default());
+//! let client = handle.client();
+//! let mut queries = handle.query_service();
+//!
+//! client.submit(GraphUpdate::add_edge(VertexId(3), VertexId(10)));
+//! handle.flush(); // force the window closed (normally size/time-triggered)
+//!
+//! let label = queries.predicted_label(VertexId(10)).unwrap();
+//! assert!(label.epoch >= 1);
+//! handle.shutdown().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod loadgen;
+pub mod metrics;
+pub mod query;
+pub mod scheduler;
+pub mod versioned;
+
+pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
+pub use metrics::{MetricsReport, ServeMetrics};
+pub use query::{QueryService, Stamped};
+pub use scheduler::{
+    spawn, BackpressurePolicy, FlushRecord, ServeConfig, ServeError, ServeHandle, Submission,
+    UpdateClient, UpdateScheduler,
+};
+pub use versioned::{EpochSnapshot, SnapshotPublisher, SnapshotReader, VersionedStore};
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ServeError>;

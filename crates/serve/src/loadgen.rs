@@ -1,0 +1,578 @@
+//! Closed-loop load generator for the serving subsystem.
+//!
+//! One writer thread streams a pre-generated, always-valid update sequence
+//! through an [`UpdateClient`] while `N` reader threads hammer
+//! [`QueryService`] handles with a configurable read mix (point embeddings,
+//! predicted labels, top-k similarity). Everything operates closed-loop: the
+//! writer is paced by queue backpressure, readers issue the next query as
+//! soon as the previous one returns.
+//!
+//! The op *sequence* is deterministic (seeded via the workspace's
+//! deterministic `rand` shim); wall-clock timings of course are not. The
+//! report carries the serving-side headline numbers: p50/p95/p99 read
+//! latency, update-visibility lag (enqueue → published epoch), epochs/sec —
+//! and the safety counters the acceptance tests key on (epoch monotonicity
+//! violations must be zero; every response is stamped).
+//!
+//! Configuration comes from `RIPPLE_SCALE`, `RIPPLE_THREADS` and the
+//! `RIPPLE_SERVE_*` environment knobs (see [`LoadgenConfig::from_env`]); the
+//! `serve_loadgen` binary is the CLI front end and emits the
+//! `BENCH_serve.json` artifact in CI.
+
+use crate::metrics::MetricsReport;
+use crate::scheduler::{spawn, BackpressurePolicy, ServeConfig, Submission};
+use crate::QueryService;
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use ripple_core::metrics::percentile;
+use ripple_core::{ParallelRippleEngine, RippleConfig, RippleEngine, StreamingEngine};
+use ripple_gnn::layer_wise::full_inference;
+use ripple_gnn::Workload;
+use ripple_graph::stream::{build_stream, StreamConfig};
+use ripple_graph::synth::DatasetSpec;
+use ripple_graph::{GraphUpdate, UpdateBatch, VertexId};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[cfg(doc)]
+use crate::scheduler::UpdateClient;
+
+/// Configuration of one load-generator run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadgenConfig {
+    /// Vertices of the synthetic power-law graph.
+    pub vertices: usize,
+    /// Average in-degree of the graph.
+    pub avg_degree: f64,
+    /// Feature width.
+    pub feature_dim: usize,
+    /// Output classes (= final embedding width).
+    pub classes: usize,
+    /// GNN layers.
+    pub layers: usize,
+    /// Hidden width.
+    pub hidden_dim: usize,
+    /// Raw updates the writer streams.
+    pub updates: usize,
+    /// Concurrent reader threads.
+    pub readers: usize,
+    /// Worker threads of the driven engine (1 = serial [`RippleEngine`]).
+    pub engine_threads: usize,
+    /// `k` of the top-k read op.
+    pub top_k: usize,
+    /// Scheduler configuration.
+    pub serve: ServeConfig,
+    /// Seed for graph, stream and reader op sequences.
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            vertices: 2_000,
+            avg_degree: 6.0,
+            feature_dim: 16,
+            classes: 8,
+            layers: 2,
+            hidden_dim: 32,
+            updates: 2_000,
+            readers: 4,
+            engine_threads: 1,
+            top_k: 10,
+            serve: ServeConfig::default(),
+            seed: 42,
+        }
+    }
+}
+
+impl LoadgenConfig {
+    /// Builds a configuration from the environment:
+    ///
+    /// | knob | meaning | default |
+    /// |------|---------|---------|
+    /// | `RIPPLE_SCALE` | `tiny`/`small`/`medium` graph & stream sizes | `small` |
+    /// | `RIPPLE_THREADS` | engine worker threads (`auto` = host cores) | 1 |
+    /// | `RIPPLE_SERVE_READERS` | reader threads | 4 |
+    /// | `RIPPLE_SERVE_UPDATES` | raw updates streamed | scale-dependent |
+    /// | `RIPPLE_SERVE_BATCH` | coalescing size window | 64 |
+    /// | `RIPPLE_SERVE_DELAY_MS` | coalescing time window (ms) | 2 |
+    /// | `RIPPLE_SERVE_QUEUE` | bounded queue capacity | 1024 |
+    /// | `RIPPLE_SERVE_POLICY` | `block` or `shed` backpressure | `block` |
+    pub fn from_env() -> Self {
+        let scale = std::env::var("RIPPLE_SCALE").unwrap_or_default();
+        let (vertices, avg_degree, feature_dim, updates) = match scale.to_lowercase().as_str() {
+            "tiny" => (300, 4.0, 8, 300),
+            "medium" => (10_000, 8.0, 32, 10_000),
+            _ => (2_000, 6.0, 16, 2_000),
+        };
+        let mut config = LoadgenConfig {
+            vertices,
+            avg_degree,
+            feature_dim,
+            updates,
+            ..Default::default()
+        };
+        config.engine_threads = match std::env::var("RIPPLE_THREADS").as_deref() {
+            Ok("auto") => ripple_core::WorkerPool::host_sized().threads(),
+            Ok(value) => value.parse().ok().filter(|&t| t >= 1).unwrap_or(1),
+            Err(_) => 1,
+        };
+        if let Some(readers) = env_usize("RIPPLE_SERVE_READERS") {
+            config.readers = readers.max(1);
+        }
+        if let Some(updates) = env_usize("RIPPLE_SERVE_UPDATES") {
+            config.updates = updates;
+        }
+        if let Some(batch) = env_usize("RIPPLE_SERVE_BATCH") {
+            config.serve.max_batch = batch.max(1);
+        }
+        if let Some(delay) = env_usize("RIPPLE_SERVE_DELAY_MS") {
+            config.serve.max_delay = Duration::from_millis(delay as u64);
+        }
+        if let Some(capacity) = env_usize("RIPPLE_SERVE_QUEUE") {
+            config.serve.queue_capacity = capacity.max(1);
+        }
+        if let Ok(policy) = std::env::var("RIPPLE_SERVE_POLICY") {
+            config.serve.policy = match policy.to_lowercase().as_str() {
+                "shed" => BackpressurePolicy::Shed,
+                _ => BackpressurePolicy::Block,
+            };
+        }
+        config
+    }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
+/// What one reader thread measured.
+struct ReaderStats {
+    latencies: Vec<Duration>,
+    reads_during_updates: u64,
+    epoch_violations: u64,
+    unstamped_responses: u64,
+    max_staleness: u64,
+    final_epoch: u64,
+}
+
+/// Result of one load-generator run.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Reader threads used.
+    pub readers: usize,
+    /// Engine worker threads used.
+    pub engine_threads: usize,
+    /// Raw updates the writer offered.
+    pub updates_offered: usize,
+    /// Wall-clock of the measured phase (first submit → drain).
+    pub elapsed: Duration,
+    /// Epochs published during the run.
+    pub epochs: u64,
+    /// Epochs per wall-clock second.
+    pub epochs_per_sec: f64,
+    /// Total reads served across all readers.
+    pub reads: u64,
+    /// Reads served **while the writer was still streaming** — the
+    /// concurrent-read evidence the acceptance criteria ask for.
+    pub reads_during_updates: u64,
+    /// Reads per wall-clock second.
+    pub reads_per_sec: f64,
+    /// Median read latency.
+    pub read_p50: Duration,
+    /// 95th-percentile read latency.
+    pub read_p95: Duration,
+    /// 99th-percentile read latency.
+    pub read_p99: Duration,
+    /// Largest staleness stamp any reader observed.
+    pub max_staleness: u64,
+    /// Epoch-went-backwards observations (must be 0: epochs are monotonic
+    /// per reader handle).
+    pub epoch_violations: u64,
+    /// Responses missing a stamp (must be 0: every in-range query is
+    /// stamped).
+    pub unstamped_responses: u64,
+    /// Scheduler/engine counters at the end of the run.
+    pub metrics: MetricsReport,
+}
+
+impl LoadgenReport {
+    /// `true` when the run upheld the serving contract: no epoch ever moved
+    /// backwards for a reader, every response was stamped, no engine error.
+    pub fn contract_upheld(&self) -> bool {
+        self.epoch_violations == 0
+            && self.unstamped_responses == 0
+            && self.metrics.engine_errors == 0
+    }
+
+    /// The `BENCH_serve.json` artifact (hand-rolled: the offline serde shim
+    /// has no serialiser).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"experiment\": \"serve_loadgen\",\n");
+        out.push_str(&format!("  \"readers\": {},\n", self.readers));
+        out.push_str(&format!("  \"engine_threads\": {},\n", self.engine_threads));
+        out.push_str(&format!(
+            "  \"updates_offered\": {},\n",
+            self.updates_offered
+        ));
+        out.push_str(&format!(
+            "  \"elapsed_ms\": {:.3},\n",
+            self.elapsed.as_secs_f64() * 1e3
+        ));
+        out.push_str(&format!("  \"epochs\": {},\n", self.epochs));
+        out.push_str(&format!(
+            "  \"epochs_per_sec\": {:.3},\n",
+            self.epochs_per_sec
+        ));
+        out.push_str(&format!("  \"reads\": {},\n", self.reads));
+        out.push_str(&format!(
+            "  \"reads_during_updates\": {},\n",
+            self.reads_during_updates
+        ));
+        out.push_str(&format!(
+            "  \"reads_per_sec\": {:.3},\n",
+            self.reads_per_sec
+        ));
+        out.push_str(&format!(
+            "  \"read_p50_us\": {:.3},\n",
+            self.read_p50.as_secs_f64() * 1e6
+        ));
+        out.push_str(&format!(
+            "  \"read_p95_us\": {:.3},\n",
+            self.read_p95.as_secs_f64() * 1e6
+        ));
+        out.push_str(&format!(
+            "  \"read_p99_us\": {:.3},\n",
+            self.read_p99.as_secs_f64() * 1e6
+        ));
+        out.push_str(&format!(
+            "  \"mean_visibility_lag_us\": {:.3},\n",
+            self.metrics.mean_visibility_lag.as_secs_f64() * 1e6
+        ));
+        out.push_str(&format!(
+            "  \"max_visibility_lag_us\": {:.3},\n",
+            self.metrics.max_visibility_lag.as_secs_f64() * 1e6
+        ));
+        out.push_str(&format!("  \"max_staleness\": {},\n", self.max_staleness));
+        out.push_str(&format!("  \"enqueued\": {},\n", self.metrics.enqueued));
+        out.push_str(&format!("  \"shed\": {},\n", self.metrics.shed));
+        out.push_str(&format!("  \"coalesced\": {},\n", self.metrics.coalesced));
+        out.push_str(&format!("  \"batches\": {},\n", self.metrics.batches));
+        out.push_str(&format!(
+            "  \"epoch_violations\": {},\n",
+            self.epoch_violations
+        ));
+        out.push_str(&format!(
+            "  \"unstamped_responses\": {},\n",
+            self.unstamped_responses
+        ));
+        out.push_str(&format!(
+            "  \"contract_upheld\": {}\n",
+            self.contract_upheld()
+        ));
+        out.push('}');
+        out.push('\n');
+        out
+    }
+}
+
+impl std::fmt::Display for LoadgenReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:<10} {:>8} {:>10} {:>12} {:>12} {:>12} {:>12}",
+            "readers", "epochs", "epochs/s", "reads/s", "p50 us", "p95 us", "p99 us"
+        )?;
+        writeln!(
+            f,
+            "{:<10} {:>8} {:>10.2} {:>12.1} {:>12.2} {:>12.2} {:>12.2}",
+            self.readers,
+            self.epochs,
+            self.epochs_per_sec,
+            self.reads_per_sec,
+            self.read_p50.as_secs_f64() * 1e6,
+            self.read_p95.as_secs_f64() * 1e6,
+            self.read_p99.as_secs_f64() * 1e6
+        )?;
+        writeln!(
+            f,
+            "visibility lag: mean {:.3} ms, max {:.3} ms; max staleness {}; \
+             reads during updates {}; coalesced {}; shed {}",
+            self.metrics.mean_visibility_lag.as_secs_f64() * 1e3,
+            self.metrics.max_visibility_lag.as_secs_f64() * 1e3,
+            self.max_staleness,
+            self.reads_during_updates,
+            self.metrics.coalesced,
+            self.metrics.shed
+        )?;
+        write!(
+            f,
+            "contract: epoch monotonic per reader ({} violations), stamped responses ({} missing), \
+             engine errors {}",
+            self.epoch_violations, self.unstamped_responses, self.metrics.engine_errors
+        )
+    }
+}
+
+/// Runs one closed-loop serving session and reports what it measured.
+///
+/// # Panics
+///
+/// Panics on setup failures (dataset generation, bootstrap inference) and if
+/// the scheduler fails to drain within a generous timeout — the load
+/// generator treats those as fatal harness errors.
+pub fn run_loadgen(config: &LoadgenConfig) -> LoadgenReport {
+    // ------------------------------------------------------------------
+    // Setup: synthetic graph, valid update stream, bootstrapped engine.
+    // ------------------------------------------------------------------
+    let spec = DatasetSpec::custom(
+        config.vertices,
+        config.avg_degree,
+        config.feature_dim,
+        config.classes,
+    );
+    let full = spec.generate(config.seed).expect("dataset generation");
+    let plan = build_stream(
+        &full,
+        &StreamConfig {
+            total_updates: config.updates,
+            seed: config.seed ^ 0x5eed,
+            ..Default::default()
+        },
+    )
+    .expect("update stream");
+    let model = Workload::GcS
+        .build_model(
+            config.feature_dim,
+            config.hidden_dim,
+            config.classes,
+            config.layers,
+            config.seed ^ 0x77,
+        )
+        .expect("model construction");
+    let store = full_inference(&plan.snapshot, &model).expect("bootstrap inference");
+    let stream: Vec<GraphUpdate> = plan
+        .batches(1)
+        .into_iter()
+        .flat_map(UpdateBatch::into_updates)
+        .collect();
+    let engine: Box<dyn StreamingEngine + Send> = if config.engine_threads > 1 {
+        Box::new(
+            ParallelRippleEngine::new(
+                plan.snapshot,
+                model,
+                store,
+                RippleConfig::default(),
+                config.engine_threads,
+            )
+            .expect("parallel engine"),
+        )
+    } else {
+        Box::new(
+            RippleEngine::new(plan.snapshot, model, store, RippleConfig::default())
+                .expect("serial engine"),
+        )
+    };
+
+    // ------------------------------------------------------------------
+    // Serve: one scheduler thread, N closed-loop readers, one writer.
+    // ------------------------------------------------------------------
+    let handle = spawn(engine, config.serve);
+    let metrics = handle.metrics();
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer_active = Arc::new(AtomicBool::new(true));
+    let started = Instant::now();
+
+    let readers: Vec<_> = (0..config.readers.max(1))
+        .map(|r| {
+            let mut queries: QueryService = handle.query_service();
+            let stop = Arc::clone(&stop);
+            let writer_active = Arc::clone(&writer_active);
+            let seed = config.seed ^ (0x9e37_79b9_u64.wrapping_mul(r as u64 + 1));
+            let num_vertices = config.vertices as u32;
+            let classes = config.classes;
+            let top_k = config.top_k;
+            std::thread::Builder::new()
+                .name(format!("ripple-serve-reader-{r}"))
+                .spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(seed);
+                    let mut stats = ReaderStats {
+                        latencies: Vec::new(),
+                        reads_during_updates: 0,
+                        epoch_violations: 0,
+                        unstamped_responses: 0,
+                        max_staleness: 0,
+                        final_epoch: 0,
+                    };
+                    let mut query_vec = vec![0.0f32; classes];
+                    while !stop.load(Ordering::Relaxed) {
+                        let v = VertexId(rng.gen_range(0u32..num_vertices));
+                        let start = Instant::now();
+                        // Read mix: 10% top-k, 30% embedding, 60% label.
+                        let stamp = match rng.gen_range(0u32..10) {
+                            0 => {
+                                for x in query_vec.iter_mut() {
+                                    *x = rng.gen_range(-1.0f32..1.0);
+                                }
+                                queries
+                                    .top_k_by_dot(&query_vec, top_k)
+                                    .map(|s| (s.epoch, s.staleness))
+                            }
+                            1..=3 => queries.embedding(v).map(|s| (s.epoch, s.staleness)),
+                            _ => queries.predicted_label(v).map(|s| (s.epoch, s.staleness)),
+                        };
+                        stats.latencies.push(start.elapsed());
+                        match stamp {
+                            Some((epoch, staleness)) => {
+                                if epoch < stats.final_epoch {
+                                    stats.epoch_violations += 1;
+                                }
+                                stats.final_epoch = epoch;
+                                stats.max_staleness = stats.max_staleness.max(staleness);
+                            }
+                            // Every generated query is in range; a missing
+                            // stamp would be a serving bug.
+                            None => stats.unstamped_responses += 1,
+                        }
+                        if writer_active.load(Ordering::Relaxed) {
+                            stats.reads_during_updates += 1;
+                        }
+                    }
+                    stats
+                })
+                .expect("spawning reader thread")
+        })
+        .collect();
+
+    // The writer: closed-loop submission paced by queue backpressure.
+    let client = handle.client();
+    let mut offered = 0usize;
+    for update in stream {
+        offered += 1;
+        if client.submit(update) == Submission::Closed {
+            break;
+        }
+    }
+    // Close any pending window, then wait for every accepted update to
+    // become visible.
+    handle.flush();
+    let drain_deadline = Instant::now() + Duration::from_secs(120);
+    while metrics.applied() < metrics.enqueued() {
+        assert!(
+            Instant::now() < drain_deadline,
+            "scheduler failed to drain: applied {} of {}",
+            metrics.applied(),
+            metrics.enqueued()
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    writer_active.store(false, Ordering::Relaxed);
+    let elapsed = started.elapsed();
+
+    stop.store(true, Ordering::Relaxed);
+    let reader_stats: Vec<ReaderStats> = readers
+        .into_iter()
+        .map(|t| t.join().expect("reader thread panicked"))
+        .collect();
+    handle.shutdown().expect("serving session failed");
+
+    // ------------------------------------------------------------------
+    // Aggregate.
+    // ------------------------------------------------------------------
+    let mut latencies: Vec<Duration> = Vec::new();
+    let mut reads_during_updates = 0;
+    let mut epoch_violations = 0;
+    let mut unstamped_responses = 0;
+    let mut max_staleness = 0;
+    for stats in &reader_stats {
+        latencies.extend_from_slice(&stats.latencies);
+        reads_during_updates += stats.reads_during_updates;
+        epoch_violations += stats.epoch_violations;
+        unstamped_responses += stats.unstamped_responses;
+        max_staleness = max_staleness.max(stats.max_staleness);
+    }
+    // One shared sort; `percentile` would re-clone and re-sort per call,
+    // which matters at millions of samples. Nearest-rank on sorted data is
+    // exactly what `ripple_core::metrics::percentile` computes.
+    latencies.sort_unstable();
+    let rank = |p: f64| -> Duration {
+        if latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let idx = ((p / 100.0) * (latencies.len() as f64 - 1.0)).round() as usize;
+        latencies[idx]
+    };
+    debug_assert_eq!(rank(50.0), percentile(&latencies, 50.0));
+    let report = metrics.report();
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    LoadgenReport {
+        readers: config.readers.max(1),
+        engine_threads: config.engine_threads,
+        updates_offered: offered,
+        elapsed,
+        epochs: report.epochs,
+        epochs_per_sec: report.epochs as f64 / secs,
+        reads: latencies.len() as u64,
+        reads_during_updates,
+        reads_per_sec: latencies.len() as f64 / secs,
+        read_p50: rank(50.0),
+        read_p95: rank(95.0),
+        read_p99: rank(99.0),
+        max_staleness,
+        epoch_violations,
+        unstamped_responses,
+        metrics: report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> LoadgenConfig {
+        LoadgenConfig {
+            vertices: 150,
+            avg_degree: 4.0,
+            feature_dim: 6,
+            classes: 4,
+            updates: 40,
+            readers: 2,
+            serve: ServeConfig {
+                max_batch: 8,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn tiny_run_upholds_the_serving_contract() {
+        let report = run_loadgen(&tiny_config());
+        assert!(report.contract_upheld(), "{report}");
+        // The stream builder may produce slightly fewer updates than asked;
+        // every offered update must have been accepted and applied.
+        assert!(report.updates_offered >= 30);
+        assert_eq!(report.metrics.applied, report.updates_offered as u64);
+        assert!(report.epochs >= 1);
+        assert!(report.reads > 0, "readers must have been served");
+        assert!(report.read_p99 >= report.read_p50);
+        let json = report.to_json();
+        assert!(json.contains("\"experiment\": \"serve_loadgen\""));
+        assert!(json.contains("\"contract_upheld\": true"));
+        assert!(report.to_string().contains("contract"));
+    }
+
+    #[test]
+    fn parallel_engine_runs_behind_the_scheduler() {
+        let config = LoadgenConfig {
+            engine_threads: 2,
+            updates: 24,
+            ..tiny_config()
+        };
+        let report = run_loadgen(&config);
+        assert!(report.contract_upheld(), "{report}");
+        assert_eq!(report.engine_threads, 2);
+        assert_eq!(report.metrics.applied, report.updates_offered as u64);
+    }
+}

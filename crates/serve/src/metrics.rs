@@ -1,0 +1,233 @@
+//! Shared serving counters, updated lock-free from every thread.
+//!
+//! One [`ServeMetrics`] instance is shared (via `Arc`) between the update
+//! clients, the scheduler thread and every [`crate::QueryService`] handle.
+//! All fields are relaxed atomics — the counters are monotonic and only read
+//! for reporting, so no ordering beyond atomicity is needed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Lock-free counters describing a serving session.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    enqueued: AtomicU64,
+    shed: AtomicU64,
+    coalesced: AtomicU64,
+    applied: AtomicU64,
+    batches: AtomicU64,
+    epochs: AtomicU64,
+    engine_errors: AtomicU64,
+    lag_nanos_sum: AtomicU64,
+    lag_nanos_max: AtomicU64,
+    lag_count: AtomicU64,
+    reads: AtomicU64,
+    read_nanos_sum: AtomicU64,
+}
+
+impl ServeMetrics {
+    /// A fresh, all-zero metrics block.
+    pub fn new() -> Self {
+        ServeMetrics::default()
+    }
+
+    pub(crate) fn record_enqueued(&self) {
+        self.enqueued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_coalesced(&self, n: u64) {
+        self.coalesced.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_flush(&self, raw_applied: u64, ran_engine: bool) {
+        self.applied.fetch_add(raw_applied, Ordering::Relaxed);
+        if ran_engine {
+            self.batches.fetch_add(1, Ordering::Relaxed);
+        }
+        self.epochs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_engine_error(&self) {
+        self.engine_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one update's enqueue→published-epoch visibility lag.
+    pub(crate) fn record_visibility_lag(&self, lag: Duration) {
+        let nanos = lag.as_nanos().min(u64::MAX as u128) as u64;
+        self.lag_nanos_sum.fetch_add(nanos, Ordering::Relaxed);
+        self.lag_nanos_max.fetch_max(nanos, Ordering::Relaxed);
+        self.lag_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one served read and its latency.
+    pub(crate) fn record_read(&self, latency: Duration) {
+        let nanos = latency.as_nanos().min(u64::MAX as u128) as u64;
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.read_nanos_sum.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Raw updates accepted into the queue so far.
+    pub fn enqueued(&self) -> u64 {
+        self.enqueued.load(Ordering::Relaxed)
+    }
+
+    /// Updates rejected by the [`crate::BackpressurePolicy::Shed`] policy.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Updates removed by window coalescing (merged feature rewrites and
+    /// cancelled add/delete churn) before the engine saw them.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Raw updates covered by published epochs (counts coalesced-away ones).
+    pub fn applied(&self) -> u64 {
+        self.applied.load(Ordering::Relaxed)
+    }
+
+    /// Non-empty batches handed to the engine.
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Epochs published.
+    pub fn epochs(&self) -> u64 {
+        self.epochs.load(Ordering::Relaxed)
+    }
+
+    /// Engine failures observed by the scheduler (the engine is poisoned
+    /// after the first).
+    pub fn engine_errors(&self) -> u64 {
+        self.engine_errors.load(Ordering::Relaxed)
+    }
+
+    /// Reads served by all query handles.
+    pub fn reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough point-in-time copy of every counter.
+    pub fn report(&self) -> MetricsReport {
+        let lag_count = self.lag_count.load(Ordering::Relaxed);
+        let reads = self.reads.load(Ordering::Relaxed);
+        MetricsReport {
+            enqueued: self.enqueued(),
+            shed: self.shed(),
+            coalesced: self.coalesced(),
+            applied: self.applied(),
+            batches: self.batches(),
+            epochs: self.epochs(),
+            engine_errors: self.engine_errors(),
+            reads,
+            mean_read_latency: mean_duration(self.read_nanos_sum.load(Ordering::Relaxed), reads),
+            mean_visibility_lag: mean_duration(
+                self.lag_nanos_sum.load(Ordering::Relaxed),
+                lag_count,
+            ),
+            max_visibility_lag: Duration::from_nanos(self.lag_nanos_max.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+fn mean_duration(nanos_sum: u64, count: u64) -> Duration {
+    nanos_sum
+        .checked_div(count)
+        .map_or(Duration::ZERO, Duration::from_nanos)
+}
+
+/// Plain-data snapshot of [`ServeMetrics`], for reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsReport {
+    /// Raw updates accepted into the queue.
+    pub enqueued: u64,
+    /// Updates rejected under the shed policy.
+    pub shed: u64,
+    /// Updates removed by window coalescing.
+    pub coalesced: u64,
+    /// Raw updates covered by published epochs.
+    pub applied: u64,
+    /// Non-empty batches handed to the engine.
+    pub batches: u64,
+    /// Epochs published.
+    pub epochs: u64,
+    /// Engine failures observed by the scheduler.
+    pub engine_errors: u64,
+    /// Reads served.
+    pub reads: u64,
+    /// Mean read latency across all served reads.
+    pub mean_read_latency: Duration,
+    /// Mean enqueue→published-epoch lag across applied updates.
+    pub mean_visibility_lag: Duration,
+    /// Worst enqueue→published-epoch lag.
+    pub max_visibility_lag: Duration,
+}
+
+impl std::fmt::Display for MetricsReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "enqueued={} shed={} coalesced={} applied={} batches={} epochs={} errors={} \
+             reads={} mean_read={:.3}ms mean_lag={:.3}ms max_lag={:.3}ms",
+            self.enqueued,
+            self.shed,
+            self.coalesced,
+            self.applied,
+            self.batches,
+            self.epochs,
+            self.engine_errors,
+            self.reads,
+            self.mean_read_latency.as_secs_f64() * 1e3,
+            self.mean_visibility_lag.as_secs_f64() * 1e3,
+            self.max_visibility_lag.as_secs_f64() * 1e3,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_report() {
+        let m = ServeMetrics::new();
+        m.record_enqueued();
+        m.record_enqueued();
+        m.record_shed();
+        m.record_coalesced(2);
+        m.record_flush(2, true);
+        m.record_flush(1, false);
+        m.record_engine_error();
+        m.record_visibility_lag(Duration::from_millis(2));
+        m.record_visibility_lag(Duration::from_millis(4));
+        m.record_read(Duration::from_micros(10));
+
+        let r = m.report();
+        assert_eq!(r.enqueued, 2);
+        assert_eq!(r.shed, 1);
+        assert_eq!(r.coalesced, 2);
+        assert_eq!(r.applied, 3);
+        assert_eq!(r.batches, 1);
+        assert_eq!(r.epochs, 2);
+        assert_eq!(r.engine_errors, 1);
+        assert_eq!(r.reads, 1);
+        assert_eq!(r.mean_visibility_lag, Duration::from_millis(3));
+        assert_eq!(r.max_visibility_lag, Duration::from_millis(4));
+        assert!(r.mean_read_latency >= Duration::from_micros(10));
+        let line = r.to_string();
+        assert!(line.contains("epochs=2"));
+        assert!(line.contains("mean_lag"));
+    }
+
+    #[test]
+    fn empty_report_has_zero_means() {
+        let r = ServeMetrics::new().report();
+        assert_eq!(r.mean_read_latency, Duration::ZERO);
+        assert_eq!(r.mean_visibility_lag, Duration::ZERO);
+    }
+}

@@ -1,0 +1,253 @@
+//! Read-side query API over published epoch snapshots.
+//!
+//! A [`QueryService`] is a per-thread handle: it owns a cached
+//! [`SnapshotReader`], so the hot path of every query is one atomic epoch
+//! check plus reads against an immutable snapshot — no locks shared with the
+//! engine, no blocking on in-flight propagation. Every response is stamped
+//! with the epoch it was served at and the **staleness** at read time: how
+//! many accepted updates were not yet visible in that epoch.
+
+use crate::metrics::ServeMetrics;
+use crate::versioned::SnapshotReader;
+use ripple_graph::VertexId;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A query response together with its consistency stamp.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stamped<T> {
+    /// The response payload.
+    pub value: T,
+    /// Epoch of the snapshot that served this query.
+    pub epoch: u64,
+    /// Accepted raw updates reflected in that snapshot.
+    pub applied_seq: u64,
+    /// Accepted updates not yet visible at read time (enqueued − applied).
+    pub staleness: u64,
+}
+
+impl<T> Stamped<T> {
+    /// Maps the payload, keeping the stamp.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Stamped<U> {
+        Stamped {
+            value: f(self.value),
+            epoch: self.epoch,
+            applied_seq: self.applied_seq,
+            staleness: self.staleness,
+        }
+    }
+}
+
+/// Per-thread query handle over the latest published snapshot.
+#[derive(Debug, Clone)]
+pub struct QueryService {
+    reader: SnapshotReader,
+    submitted: Arc<AtomicU64>,
+    metrics: Arc<ServeMetrics>,
+}
+
+impl QueryService {
+    pub(crate) fn new(
+        reader: SnapshotReader,
+        submitted: Arc<AtomicU64>,
+        metrics: Arc<ServeMetrics>,
+    ) -> Self {
+        QueryService {
+            reader,
+            submitted,
+            metrics,
+        }
+    }
+
+    /// The epoch this handle currently serves (refreshing first).
+    pub fn epoch(&mut self) -> u64 {
+        self.reader.epoch()
+    }
+
+    /// The final-layer embedding of `v`, or `None` if `v` is out of range.
+    pub fn embedding(&mut self, v: VertexId) -> Option<Stamped<Vec<f32>>> {
+        let start = Instant::now();
+        let submitted = self.submitted.load(Ordering::Relaxed);
+        let snapshot = self.reader.snapshot();
+        let store = snapshot.store();
+        if v.index() >= store.num_vertices() {
+            return None;
+        }
+        let value = store.embedding(store.num_layers(), v).to_vec();
+        let stamped = Stamped {
+            value,
+            epoch: snapshot.epoch(),
+            applied_seq: snapshot.applied_seq(),
+            staleness: submitted.saturating_sub(snapshot.applied_seq()),
+        };
+        self.metrics.record_read(start.elapsed());
+        Some(stamped)
+    }
+
+    /// The predicted class label of `v` (argmax of its final-layer
+    /// embedding), or `None` if `v` is out of range.
+    pub fn predicted_label(&mut self, v: VertexId) -> Option<Stamped<usize>> {
+        let start = Instant::now();
+        let submitted = self.submitted.load(Ordering::Relaxed);
+        let snapshot = self.reader.snapshot();
+        let store = snapshot.store();
+        if v.index() >= store.num_vertices() {
+            return None;
+        }
+        let stamped = Stamped {
+            value: store.predicted_label(v),
+            epoch: snapshot.epoch(),
+            applied_seq: snapshot.applied_seq(),
+            staleness: submitted.saturating_sub(snapshot.applied_seq()),
+        };
+        self.metrics.record_read(start.elapsed());
+        Some(stamped)
+    }
+
+    /// The `k` vertices whose final-layer embeddings have the largest dot
+    /// product with `query` — the batched similarity lookup of a
+    /// recommendation read path. Ties break towards the smaller vertex id,
+    /// so results are deterministic. Returns `None` if `query`'s width does
+    /// not match the embedding width.
+    pub fn top_k_by_dot(
+        &mut self,
+        query: &[f32],
+        k: usize,
+    ) -> Option<Stamped<Vec<(VertexId, f32)>>> {
+        let start = Instant::now();
+        let submitted = self.submitted.load(Ordering::Relaxed);
+        let snapshot = self.reader.snapshot();
+        let store = snapshot.store();
+        let table = store.embeddings(store.num_layers());
+        if table.cols() != query.len() {
+            return None;
+        }
+        // One pass over the flat table; scored[(v)] = <h_v, query>.
+        let mut scored: Vec<(f32, u32)> = table
+            .iter_rows()
+            .enumerate()
+            .map(|(v, row)| {
+                let dot: f32 = row.iter().zip(query.iter()).map(|(a, b)| a * b).sum();
+                (dot, v as u32)
+            })
+            .collect();
+        let k = k.min(scored.len());
+        // Highest score first, smaller id on ties; NaN-free inputs are the
+        // caller's contract — total_cmp keeps the order deterministic anyway.
+        // Partial selection: O(|V| + k log k) instead of sorting all |V|.
+        let order = |a: &(f32, u32), b: &(f32, u32)| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1));
+        if k < scored.len() {
+            if k > 0 {
+                scored.select_nth_unstable_by(k - 1, order);
+            }
+            scored.truncate(k);
+        }
+        scored.sort_unstable_by(order);
+        let value = scored
+            .into_iter()
+            .map(|(score, v)| (VertexId(v), score))
+            .collect();
+        let stamped = Stamped {
+            value,
+            epoch: snapshot.epoch(),
+            applied_seq: snapshot.applied_seq(),
+            staleness: submitted.saturating_sub(snapshot.applied_seq()),
+        };
+        self.metrics.record_read(start.elapsed());
+        Some(stamped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::versioned::VersionedStore;
+    use ripple_gnn::{Aggregator, EmbeddingStore, GnnModel, LayerKind};
+
+    fn service(store: &EmbeddingStore, submitted: u64) -> (QueryService, crate::SnapshotPublisher) {
+        let (publisher, reader) = VersionedStore::bootstrap(store);
+        let counter = Arc::new(AtomicU64::new(submitted));
+        let metrics = Arc::new(ServeMetrics::new());
+        (QueryService::new(reader, counter, metrics), publisher)
+    }
+
+    fn store() -> EmbeddingStore {
+        let model = GnnModel::new(LayerKind::GraphConv, Aggregator::Sum, &[4, 8, 3], 0).unwrap();
+        let mut s = EmbeddingStore::zeroed(&model, 4);
+        s.set_embedding(2, VertexId(0), &[0.0, 1.0, 0.0]).unwrap();
+        s.set_embedding(2, VertexId(1), &[2.0, 0.0, 0.0]).unwrap();
+        s.set_embedding(2, VertexId(2), &[1.0, 1.0, 1.0]).unwrap();
+        s.set_embedding(2, VertexId(3), &[2.0, 0.0, 0.0]).unwrap();
+        s
+    }
+
+    #[test]
+    fn embedding_and_label_are_stamped() {
+        let (mut q, _publisher) = service(&store(), 7);
+        let e = q.embedding(VertexId(0)).unwrap();
+        assert_eq!(e.value, vec![0.0, 1.0, 0.0]);
+        assert_eq!(e.epoch, 0);
+        assert_eq!(e.applied_seq, 0);
+        assert_eq!(e.staleness, 7, "7 accepted updates not yet visible");
+        let l = q.predicted_label(VertexId(0)).unwrap();
+        assert_eq!(l.value, 1);
+        assert_eq!(q.epoch(), 0);
+        // Out-of-range vertices are rejected, not panicking.
+        assert!(q.embedding(VertexId(99)).is_none());
+        assert!(q.predicted_label(VertexId(99)).is_none());
+    }
+
+    #[test]
+    fn top_k_ranks_by_dot_product_with_deterministic_ties() {
+        let (mut q, _publisher) = service(&store(), 0);
+        let top = q.top_k_by_dot(&[1.0, 0.0, 0.0], 3).unwrap();
+        assert_eq!(top.value.len(), 3);
+        // Vertices 1 and 3 tie at 2.0; the smaller id wins.
+        assert_eq!(top.value[0], (VertexId(1), 2.0));
+        assert_eq!(top.value[1], (VertexId(3), 2.0));
+        assert_eq!(top.value[2], (VertexId(2), 1.0));
+        // k larger than |V| clamps, k = 0 is empty; mismatched width is
+        // rejected.
+        assert_eq!(q.top_k_by_dot(&[1.0, 0.0, 0.0], 10).unwrap().value.len(), 4);
+        assert!(q
+            .top_k_by_dot(&[1.0, 0.0, 0.0], 0)
+            .unwrap()
+            .value
+            .is_empty());
+        assert!(q.top_k_by_dot(&[1.0, 0.0], 2).is_none());
+    }
+
+    #[test]
+    fn queries_follow_published_epochs() {
+        let base = store();
+        let (mut q, mut publisher) = service(&base, 3);
+        let mut updated = base.clone();
+        updated
+            .set_embedding(2, VertexId(0), &[9.0, 0.0, 0.0])
+            .unwrap();
+        publisher.publish(&updated, 3);
+        let e = q.embedding(VertexId(0)).unwrap();
+        assert_eq!(e.epoch, 1);
+        assert_eq!(e.applied_seq, 3);
+        assert_eq!(e.staleness, 0);
+        assert_eq!(e.value[0], 9.0);
+        let l = q.predicted_label(VertexId(0)).unwrap();
+        assert_eq!(l.value, 0);
+    }
+
+    #[test]
+    fn map_preserves_the_stamp() {
+        let stamped = Stamped {
+            value: vec![1.0f32, 2.0],
+            epoch: 4,
+            applied_seq: 9,
+            staleness: 1,
+        };
+        let len = stamped.map(|v| v.len());
+        assert_eq!(len.value, 2);
+        assert_eq!(len.epoch, 4);
+        assert_eq!(len.applied_seq, 9);
+        assert_eq!(len.staleness, 1);
+    }
+}

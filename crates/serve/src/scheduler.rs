@@ -1,0 +1,894 @@
+//! The update-coalescing scheduler: an MPSC queue in front of any
+//! [`StreamingEngine`].
+//!
+//! Producers submit [`GraphUpdate`]s through cloneable [`UpdateClient`]
+//! handles into a **bounded** queue (backpressure: block or shed). A
+//! dedicated scheduler thread drains the queue into a coalescing window and
+//! flushes it into the engine when either window closes:
+//!
+//! * **size window** — the window holds [`ServeConfig::max_batch`] raw
+//!   updates;
+//! * **time window** — the oldest raw update in the window is older than
+//!   [`ServeConfig::max_delay`].
+//!
+//! Within a window, same-key churn is deduplicated *exactly*: repeated
+//! feature rewrites of one vertex keep only the last value, and an edge
+//! addition cancelled by a later deletion of the same edge is dropped
+//! entirely. Both rewrites preserve the final graph and feature state, and
+//! the engines are exact with respect to that state (pinned by the
+//! workspace's exactness suites), so the coalesced batch commits the same
+//! embeddings as replaying the raw window.
+//!
+//! After each flush the scheduler publishes a new [`EpochSnapshot`] through
+//! the [`SnapshotPublisher`], which is what makes the batch visible to
+//! readers — queries never touch the engine's working store.
+
+use crate::metrics::ServeMetrics;
+use crate::versioned::{SnapshotPublisher, SnapshotReader, VersionedStore};
+use ripple_core::{RippleError, StreamingEngine};
+use ripple_graph::{GraphUpdate, UpdateBatch, VertexId};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+#[cfg(doc)]
+use crate::versioned::EpochSnapshot;
+
+/// What a full queue does to the next submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackpressurePolicy {
+    /// Block the submitting thread until the scheduler drains a slot — the
+    /// closed-loop default: producers slow down to the engine's pace.
+    #[default]
+    Block,
+    /// Reject the update immediately ([`Submission::Shed`]) and count it —
+    /// the load-shedding mode for latency-sensitive ingest paths.
+    Shed,
+}
+
+/// Configuration of the serving scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Bounded queue capacity between producers and the scheduler thread.
+    pub queue_capacity: usize,
+    /// Size window: flush once this many raw updates are pending.
+    pub max_batch: usize,
+    /// Time window: flush once the oldest pending update is this old.
+    pub max_delay: Duration,
+    /// Reaction to a full queue.
+    pub policy: BackpressurePolicy,
+    /// Record every flushed batch (with its raw-update count and epoch) for
+    /// post-hoc inspection — used by the linearizability tests; off in
+    /// production to avoid unbounded growth.
+    pub record_batches: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity: 1024,
+            max_batch: 64,
+            max_delay: Duration::from_millis(2),
+            policy: BackpressurePolicy::Block,
+            record_batches: false,
+        }
+    }
+}
+
+/// Outcome of [`UpdateClient::submit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Submission {
+    /// Accepted; `seq` is the accepted-update counter after this submission
+    /// (with a single producer this is the update's 1-based stream position).
+    Enqueued {
+        /// Accepted-update counter value after this submission.
+        seq: u64,
+    },
+    /// Rejected by the [`BackpressurePolicy::Shed`] policy: the queue was
+    /// full.
+    Shed,
+    /// The scheduler has shut down (or its engine failed); no further
+    /// updates are accepted.
+    Closed,
+}
+
+/// Errors surfaced by the serving layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The driven engine failed while applying a flushed batch; the engine
+    /// is poisoned and the scheduler has stopped.
+    Engine(RippleError),
+    /// The scheduler thread terminated abnormally (panic).
+    SchedulerPanicked,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Engine(e) => write!(f, "serving engine error: {e}"),
+            ServeError::SchedulerPanicked => f.write_str("scheduler thread panicked"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Engine(e) => Some(e),
+            ServeError::SchedulerPanicked => None,
+        }
+    }
+}
+
+impl From<RippleError> for ServeError {
+    fn from(e: RippleError) -> Self {
+        ServeError::Engine(e)
+    }
+}
+
+/// One update travelling through the queue.
+#[derive(Debug)]
+struct QueuedUpdate {
+    update: GraphUpdate,
+    enqueued: Instant,
+}
+
+/// Queue protocol between clients and the scheduler thread.
+enum Msg {
+    Update(QueuedUpdate),
+    /// Force the current window closed; replies with the epoch after flush.
+    Flush(mpsc::Sender<u64>),
+    /// Flush, then exit the scheduler loop.
+    Stop,
+}
+
+/// Cloneable producer handle submitting updates into the scheduler queue.
+#[derive(Debug, Clone)]
+pub struct UpdateClient {
+    tx: SyncSender<Msg>,
+    submitted: Arc<AtomicU64>,
+    metrics: Arc<ServeMetrics>,
+    policy: BackpressurePolicy,
+}
+
+impl UpdateClient {
+    /// Submits one update, honouring the configured backpressure policy.
+    pub fn submit(&self, update: GraphUpdate) -> Submission {
+        let queued = QueuedUpdate {
+            update,
+            enqueued: Instant::now(),
+        };
+        let sent = match self.policy {
+            BackpressurePolicy::Block => self.tx.send(Msg::Update(queued)).map_err(|_| false),
+            BackpressurePolicy::Shed => {
+                self.tx.try_send(Msg::Update(queued)).map_err(|e| match e {
+                    TrySendError::Full(_) => true,
+                    TrySendError::Disconnected(_) => false,
+                })
+            }
+        };
+        match sent {
+            Ok(()) => {
+                let seq = self.submitted.fetch_add(1, Ordering::Relaxed) + 1;
+                self.metrics.record_enqueued();
+                Submission::Enqueued { seq }
+            }
+            Err(true) => {
+                self.metrics.record_shed();
+                Submission::Shed
+            }
+            Err(false) => Submission::Closed,
+        }
+    }
+
+    /// Submits every update of a batch in order; stops at the first
+    /// non-enqueued outcome and returns it together with the number of
+    /// accepted updates.
+    pub fn submit_all<I: IntoIterator<Item = GraphUpdate>>(
+        &self,
+        updates: I,
+    ) -> (usize, Submission) {
+        let mut accepted = 0;
+        let mut last = Submission::Enqueued { seq: 0 };
+        for update in updates {
+            last = self.submit(update);
+            match last {
+                Submission::Enqueued { .. } => accepted += 1,
+                _ => return (accepted, last),
+            }
+        }
+        (accepted, last)
+    }
+}
+
+/// One flushed window, as recorded when [`ServeConfig::record_batches`] is
+/// set: the coalesced batch the engine processed, the number of raw updates
+/// the window covered, and the epoch the result was published at.
+#[derive(Debug, Clone)]
+pub struct FlushRecord {
+    /// The coalesced batch handed to the engine (possibly empty if the
+    /// whole window cancelled out).
+    pub batch: UpdateBatch,
+    /// Raw accepted updates covered by this window.
+    pub raw: u64,
+    /// Epoch the post-batch store was published at.
+    pub epoch: u64,
+    /// Cumulative raw updates applied up to and including this window.
+    pub applied_seq: u64,
+}
+
+/// The coalescing window: pending updates with same-key churn deduplicated.
+#[derive(Debug, Default)]
+struct Coalescer {
+    /// Pending updates in arrival order; cancelled slots are `None`.
+    items: Vec<Option<GraphUpdate>>,
+    /// Enqueue instant of every raw update of the window (for lag stats).
+    enqueues: Vec<Instant>,
+    /// Position of the pending feature rewrite per vertex.
+    feature_idx: HashMap<VertexId, usize>,
+    /// Position of the pending (uncancelled) addition per edge.
+    added_idx: HashMap<(VertexId, VertexId), usize>,
+    /// Raw updates absorbed since the last flush.
+    raw: u64,
+    /// Enqueue instant of the window's first raw update.
+    oldest: Option<Instant>,
+}
+
+impl Coalescer {
+    /// Absorbs one raw update, deduplicating against the pending window.
+    fn push(&mut self, queued: QueuedUpdate, metrics: &ServeMetrics) {
+        self.raw += 1;
+        self.oldest.get_or_insert(queued.enqueued);
+        self.enqueues.push(queued.enqueued);
+        match queued.update {
+            GraphUpdate::UpdateFeature { vertex, .. } => {
+                if let Some(&i) = self.feature_idx.get(&vertex) {
+                    // Keep-last: only the final value is observable, and the
+                    // engines are exact w.r.t. final features.
+                    self.items[i] = Some(queued.update);
+                    metrics.record_coalesced(1);
+                } else {
+                    self.feature_idx.insert(vertex, self.items.len());
+                    self.items.push(Some(queued.update));
+                }
+            }
+            GraphUpdate::AddEdge { src, dst, .. } => {
+                self.added_idx.insert((src, dst), self.items.len());
+                self.items.push(Some(queued.update));
+            }
+            GraphUpdate::DeleteEdge { src, dst } => {
+                if let Some(i) = self.added_idx.remove(&(src, dst)) {
+                    // In-window add → delete churn: in any stream that is
+                    // valid update-by-update the edge did not exist before
+                    // the addition, so the pair is a no-op and both sides
+                    // are dropped.
+                    self.items[i] = None;
+                    metrics.record_coalesced(2);
+                } else {
+                    self.items.push(Some(queued.update));
+                }
+            }
+        }
+    }
+
+    /// Raw updates pending (including coalesced-away ones).
+    fn raw_len(&self) -> u64 {
+        self.raw
+    }
+
+    /// The instant at which the time window closes, if anything is pending.
+    fn deadline(&self, max_delay: Duration) -> Option<Instant> {
+        self.oldest.map(|t| t + max_delay)
+    }
+
+    /// Empties the window, returning the coalesced batch, the raw count and
+    /// the enqueue instants of every covered raw update.
+    fn drain(&mut self) -> (UpdateBatch, u64, Vec<Instant>) {
+        let updates: Vec<GraphUpdate> = self.items.drain(..).flatten().collect();
+        self.feature_idx.clear();
+        self.added_idx.clear();
+        self.oldest = None;
+        let raw = std::mem::take(&mut self.raw);
+        let enqueues = std::mem::take(&mut self.enqueues);
+        (UpdateBatch::from_updates(updates), raw, enqueues)
+    }
+}
+
+/// The scheduler state machine: owns the engine, the snapshot publisher and
+/// the coalescing window. [`spawn`] runs it on a dedicated thread; tests can
+/// drive it synchronously via [`UpdateScheduler::absorb`] /
+/// [`UpdateScheduler::flush`].
+#[derive(Debug)]
+pub struct UpdateScheduler<E> {
+    engine: E,
+    publisher: SnapshotPublisher,
+    config: ServeConfig,
+    metrics: Arc<ServeMetrics>,
+    window: Coalescer,
+    applied_seq: u64,
+    flush_log: Option<Arc<Mutex<Vec<FlushRecord>>>>,
+}
+
+impl<E: StreamingEngine> UpdateScheduler<E> {
+    /// Wraps an engine, publishing its bootstrap store as epoch 0.
+    pub fn new(
+        engine: E,
+        config: ServeConfig,
+        metrics: Arc<ServeMetrics>,
+    ) -> (Self, SnapshotReader) {
+        let (publisher, reader) = VersionedStore::bootstrap(engine.current_store());
+        let flush_log = config
+            .record_batches
+            .then(|| Arc::new(Mutex::new(Vec::new())));
+        (
+            UpdateScheduler {
+                engine,
+                publisher,
+                config,
+                metrics,
+                window: Coalescer::default(),
+                applied_seq: 0,
+                flush_log,
+            },
+            reader,
+        )
+    }
+
+    /// The shared flush log (present iff [`ServeConfig::record_batches`]).
+    pub fn flush_log(&self) -> Option<Arc<Mutex<Vec<FlushRecord>>>> {
+        self.flush_log.clone()
+    }
+
+    /// Absorbs one update into the coalescing window and flushes if the
+    /// size window closed. Returns the published epoch if a flush happened.
+    pub fn absorb(&mut self, update: GraphUpdate, enqueued: Instant) -> crate::Result<Option<u64>> {
+        self.window
+            .push(QueuedUpdate { update, enqueued }, &self.metrics);
+        if self.window.raw_len() >= self.config.max_batch as u64 {
+            return self.flush().map(Some);
+        }
+        Ok(None)
+    }
+
+    /// Flushes the pending window: applies the coalesced batch through the
+    /// engine, publishes the next epoch and records metrics. With an empty
+    /// window this publishes nothing and returns the current epoch.
+    pub fn flush(&mut self) -> crate::Result<u64> {
+        if self.window.raw_len() == 0 {
+            return Ok(self.publisher.epoch());
+        }
+        let (batch, raw, enqueues) = self.window.drain();
+        let ran_engine = !batch.is_empty();
+        if ran_engine {
+            if let Err(e) = self.engine.process_batch(&batch) {
+                self.metrics.record_engine_error();
+                return Err(ServeError::Engine(e));
+            }
+        }
+        self.applied_seq += raw;
+        let epoch = self
+            .publisher
+            .publish(self.engine.current_store(), self.applied_seq);
+        let published_at = Instant::now();
+        for enqueued in enqueues {
+            self.metrics
+                .record_visibility_lag(published_at.saturating_duration_since(enqueued));
+        }
+        self.metrics.record_flush(raw, ran_engine);
+        if let Some(log) = &self.flush_log {
+            log.lock().expect("flush log poisoned").push(FlushRecord {
+                batch,
+                raw,
+                epoch,
+                applied_seq: self.applied_seq,
+            });
+        }
+        Ok(epoch)
+    }
+
+    /// Consumes the scheduler, returning the engine.
+    pub fn into_engine(self) -> E {
+        self.engine
+    }
+
+    /// Drains the queue until every client hangs up or a stop message
+    /// arrives, flushing on the size and time windows.
+    fn run(mut self, rx: Receiver<Msg>) -> Result<E, ServeError> {
+        loop {
+            let wake = match self.window.deadline(self.config.max_delay) {
+                Some(deadline) => {
+                    let budget = deadline.saturating_duration_since(Instant::now());
+                    match rx.recv_timeout(budget) {
+                        Ok(msg) => Some(msg),
+                        Err(RecvTimeoutError::Timeout) => None,
+                        Err(RecvTimeoutError::Disconnected) => {
+                            self.flush()?;
+                            return Ok(self.engine);
+                        }
+                    }
+                }
+                None => match rx.recv() {
+                    Ok(msg) => Some(msg),
+                    Err(_) => return Ok(self.engine),
+                },
+            };
+            match wake {
+                Some(Msg::Update(queued)) => {
+                    let enqueued = queued.enqueued;
+                    self.absorb(queued.update, enqueued)?;
+                }
+                Some(Msg::Flush(ack)) => {
+                    let epoch = self.flush()?;
+                    // The caller may have given up waiting; ignore that.
+                    let _ = ack.send(epoch);
+                }
+                Some(Msg::Stop) => {
+                    self.flush()?;
+                    return Ok(self.engine);
+                }
+                // Time window expired.
+                None => {
+                    self.flush()?;
+                }
+            }
+        }
+    }
+}
+
+/// Handle onto a running serving session: produces clients and query
+/// services, exposes metrics, and shuts the scheduler down.
+#[derive(Debug)]
+pub struct ServeHandle<E> {
+    tx: SyncSender<Msg>,
+    submitted: Arc<AtomicU64>,
+    metrics: Arc<ServeMetrics>,
+    reader: SnapshotReader,
+    policy: BackpressurePolicy,
+    flush_log: Option<Arc<Mutex<Vec<FlushRecord>>>>,
+    join: JoinHandle<Result<E, ServeError>>,
+}
+
+impl<E> ServeHandle<E> {
+    /// A new producer handle.
+    pub fn client(&self) -> UpdateClient {
+        UpdateClient {
+            tx: self.tx.clone(),
+            submitted: Arc::clone(&self.submitted),
+            metrics: Arc::clone(&self.metrics),
+            policy: self.policy,
+        }
+    }
+
+    /// A new query handle (each reader thread should own one).
+    pub fn query_service(&self) -> crate::QueryService {
+        crate::QueryService::new(
+            self.reader.clone(),
+            Arc::clone(&self.submitted),
+            Arc::clone(&self.metrics),
+        )
+    }
+
+    /// The shared serving metrics.
+    pub fn metrics(&self) -> Arc<ServeMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Forces the current window closed and waits for the resulting epoch
+    /// (the current epoch if nothing was pending). Returns `None` once the
+    /// scheduler has stopped.
+    pub fn flush(&self) -> Option<u64> {
+        let (ack_tx, ack_rx) = mpsc::channel();
+        self.tx.send(Msg::Flush(ack_tx)).ok()?;
+        ack_rx.recv().ok()
+    }
+
+    /// The flush log (present iff [`ServeConfig::record_batches`]); cloned
+    /// so it stays readable after [`ServeHandle::shutdown`].
+    pub fn flush_log(&self) -> Option<Arc<Mutex<Vec<FlushRecord>>>> {
+        self.flush_log.clone()
+    }
+
+    /// Flushes the remaining window, stops the scheduler thread and returns
+    /// the engine (with every accepted update applied).
+    pub fn shutdown(self) -> Result<E, ServeError> {
+        // The scheduler may already be gone (engine error); join either way.
+        let _ = self.tx.send(Msg::Stop);
+        match self.join.join() {
+            Ok(result) => result,
+            Err(_) => Err(ServeError::SchedulerPanicked),
+        }
+    }
+}
+
+/// Spawns the serving scheduler for `engine` on a dedicated thread and
+/// returns the session handle. The engine's current store is published as
+/// epoch 0, so queries work immediately.
+pub fn spawn<E>(engine: E, config: ServeConfig) -> ServeHandle<E>
+where
+    E: StreamingEngine + Send + 'static,
+{
+    let metrics = Arc::new(ServeMetrics::new());
+    let submitted = Arc::new(AtomicU64::new(0));
+    let (scheduler, reader) = UpdateScheduler::new(engine, config, Arc::clone(&metrics));
+    let flush_log = scheduler.flush_log();
+    let (tx, rx) = mpsc::sync_channel(config.queue_capacity.max(1));
+    let join = std::thread::Builder::new()
+        .name("ripple-serve-scheduler".to_string())
+        .spawn(move || scheduler.run(rx))
+        .expect("spawning the scheduler thread");
+    ServeHandle {
+        tx,
+        submitted,
+        metrics,
+        reader,
+        policy: config.policy,
+        flush_log,
+        join,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ripple_core::{RippleConfig, RippleEngine};
+    use ripple_gnn::layer_wise::full_inference;
+    use ripple_gnn::{EmbeddingStore, GnnModel, Workload};
+    use ripple_graph::stream::{build_stream, StreamConfig};
+    use ripple_graph::synth::DatasetSpec;
+    use ripple_graph::DynamicGraph;
+
+    fn bootstrap(seed: u64) -> (DynamicGraph, GnnModel, EmbeddingStore, Vec<GraphUpdate>) {
+        let full = DatasetSpec::custom(120, 4.0, 6, 4).generate(seed).unwrap();
+        let plan = build_stream(
+            &full,
+            &StreamConfig {
+                total_updates: 40,
+                seed: seed ^ 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let model = Workload::GcS.build_model(6, 8, 4, 2, seed ^ 2).unwrap();
+        let store = full_inference(&plan.snapshot, &model).unwrap();
+        let updates = plan
+            .batches(1)
+            .into_iter()
+            .flat_map(UpdateBatch::into_updates)
+            .collect();
+        (plan.snapshot, model, store, updates)
+    }
+
+    fn engine(graph: DynamicGraph, model: GnnModel, store: EmbeddingStore) -> RippleEngine {
+        RippleEngine::new(graph, model, store, RippleConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn coalescer_keeps_last_feature_rewrite_in_place() {
+        let metrics = ServeMetrics::new();
+        let mut w = Coalescer::default();
+        let now = Instant::now();
+        let push = |w: &mut Coalescer, u: GraphUpdate| {
+            w.push(
+                QueuedUpdate {
+                    update: u,
+                    enqueued: now,
+                },
+                &metrics,
+            )
+        };
+        push(&mut w, GraphUpdate::update_feature(VertexId(1), vec![1.0]));
+        push(&mut w, GraphUpdate::add_edge(VertexId(1), VertexId(2)));
+        push(&mut w, GraphUpdate::update_feature(VertexId(1), vec![2.0]));
+        let (batch, raw, enqueues) = w.drain();
+        assert_eq!(raw, 3);
+        assert_eq!(enqueues.len(), 3);
+        assert_eq!(batch.len(), 2, "two rewrites collapse to one");
+        assert_eq!(
+            batch.updates()[0],
+            GraphUpdate::update_feature(VertexId(1), vec![2.0]),
+            "the surviving rewrite keeps the first occurrence's position"
+        );
+        assert_eq!(metrics.coalesced(), 1);
+    }
+
+    #[test]
+    fn coalescer_cancels_add_then_delete_churn() {
+        let metrics = ServeMetrics::new();
+        let mut w = Coalescer::default();
+        let now = Instant::now();
+        let mut push = |u: GraphUpdate| {
+            w.push(
+                QueuedUpdate {
+                    update: u,
+                    enqueued: now,
+                },
+                &metrics,
+            )
+        };
+        push(GraphUpdate::add_edge(VertexId(0), VertexId(1)));
+        push(GraphUpdate::delete_edge(VertexId(0), VertexId(1)));
+        // Delete of an edge that predates the window must survive.
+        push(GraphUpdate::delete_edge(VertexId(2), VertexId(3)));
+        // Add after the cancelled pair is an independent new addition.
+        push(GraphUpdate::add_edge(VertexId(0), VertexId(1)));
+        let (batch, raw, _) = w.drain();
+        assert_eq!(raw, 4);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(
+            batch.updates()[0],
+            GraphUpdate::delete_edge(VertexId(2), VertexId(3))
+        );
+        assert_eq!(
+            batch.updates()[1],
+            GraphUpdate::add_edge(VertexId(0), VertexId(1))
+        );
+        assert_eq!(metrics.coalesced(), 2);
+    }
+
+    #[test]
+    fn coalesced_window_commits_the_same_embeddings_as_the_raw_stream() {
+        let (graph, model, store, _) = bootstrap(3);
+        // A churn-heavy window: feature rewrites and add/delete pairs.
+        let raw = vec![
+            GraphUpdate::update_feature(VertexId(4), vec![0.5; 6]),
+            GraphUpdate::add_edge(VertexId(4), VertexId(90)),
+            GraphUpdate::update_feature(VertexId(4), vec![1.0; 6]),
+            GraphUpdate::add_edge(VertexId(5), VertexId(91)),
+            GraphUpdate::delete_edge(VertexId(5), VertexId(91)),
+            GraphUpdate::update_feature(VertexId(7), vec![0.25; 6]),
+        ];
+
+        // Reference: the raw window applied verbatim.
+        let mut reference = engine(graph.clone(), model.clone(), store.clone());
+        reference
+            .process_batch(&UpdateBatch::from_updates(raw.clone()))
+            .unwrap();
+
+        // Serve path: the same window absorbed through the coalescer.
+        let metrics = Arc::new(ServeMetrics::new());
+        let (mut scheduler, _reader) = UpdateScheduler::new(
+            engine(graph, model, store),
+            ServeConfig {
+                max_batch: 100,
+                ..Default::default()
+            },
+            Arc::clone(&metrics),
+        );
+        let now = Instant::now();
+        for u in raw {
+            scheduler.absorb(u, now).unwrap();
+        }
+        let epoch = scheduler.flush().unwrap();
+        assert_eq!(epoch, 1);
+        assert!(metrics.coalesced() >= 3);
+        let served = scheduler.into_engine();
+        let diff = served
+            .store()
+            .max_diff_all_layers(reference.store())
+            .unwrap();
+        assert!(
+            diff < 1e-5,
+            "coalescing drifted from the raw stream: {diff}"
+        );
+    }
+
+    #[test]
+    fn size_window_triggers_flush_inside_absorb() {
+        let (graph, model, store, updates) = bootstrap(5);
+        let metrics = Arc::new(ServeMetrics::new());
+        let (mut scheduler, mut reader) = UpdateScheduler::new(
+            engine(graph, model, store),
+            ServeConfig {
+                max_batch: 4,
+                ..Default::default()
+            },
+            Arc::clone(&metrics),
+        );
+        let now = Instant::now();
+        let mut flushes = 0;
+        for u in updates.iter().take(12).cloned() {
+            if scheduler.absorb(u, now).unwrap().is_some() {
+                flushes += 1;
+            }
+        }
+        assert_eq!(flushes, 3, "12 updates at max_batch=4");
+        assert_eq!(metrics.epochs(), 3);
+        assert_eq!(metrics.applied(), 12);
+        assert_eq!(reader.epoch(), 3);
+        assert_eq!(reader.snapshot().applied_seq(), 12);
+    }
+
+    #[test]
+    fn fully_cancelled_window_still_publishes_an_epoch() {
+        let (graph, model, store, _) = bootstrap(7);
+        let metrics = Arc::new(ServeMetrics::new());
+        let (mut scheduler, mut reader) = UpdateScheduler::new(
+            engine(graph, model, store),
+            ServeConfig {
+                max_batch: 100,
+                ..Default::default()
+            },
+            Arc::clone(&metrics),
+        );
+        let now = Instant::now();
+        scheduler
+            .absorb(GraphUpdate::add_edge(VertexId(0), VertexId(99)), now)
+            .unwrap();
+        scheduler
+            .absorb(GraphUpdate::delete_edge(VertexId(0), VertexId(99)), now)
+            .unwrap();
+        let epoch = scheduler.flush().unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(metrics.batches(), 0, "no engine work for a no-op window");
+        assert_eq!(metrics.applied(), 2, "raw updates still count as applied");
+        assert_eq!(reader.snapshot().applied_seq(), 2);
+        // Flushing an empty window is a no-op that reports the epoch.
+        assert_eq!(scheduler.flush().unwrap(), 1);
+    }
+
+    #[test]
+    fn spawned_scheduler_serves_submitted_updates() {
+        let (graph, model, store, updates) = bootstrap(9);
+        let reference_updates = updates.clone();
+        let handle = spawn(
+            engine(graph.clone(), model.clone(), store.clone()),
+            ServeConfig {
+                max_batch: 8,
+                record_batches: true,
+                ..Default::default()
+            },
+        );
+        let client = handle.client();
+        let offered = updates.len();
+        assert!(offered > 0);
+        let (accepted, last) = client.submit_all(updates);
+        assert_eq!(accepted, offered);
+        assert!(matches!(last, Submission::Enqueued { .. }));
+        let epoch = handle.flush().expect("scheduler alive");
+        assert!(epoch >= 1);
+
+        let mut queries = handle.query_service();
+        let stamped = queries.predicted_label(VertexId(0)).unwrap();
+        assert!(stamped.epoch >= 1);
+
+        let log = handle.flush_log().expect("recording enabled");
+        let served = handle.shutdown().unwrap();
+
+        // Metrics add up: every accepted update was applied.
+        assert_eq!(served.graph().num_vertices(), graph.num_vertices());
+        let records = log.lock().unwrap();
+        let raw_total: u64 = records.iter().map(|r| r.raw).sum();
+        assert_eq!(raw_total, offered as u64);
+        assert_eq!(records.last().unwrap().applied_seq, offered as u64);
+
+        // The served engine matches a reference that replayed the same
+        // flushed batches bit-for-bit…
+        let mut reference = engine(graph.clone(), model.clone(), store.clone());
+        for record in records.iter() {
+            if !record.batch.is_empty() {
+                reference.process_batch(&record.batch).unwrap();
+            }
+        }
+        assert!(
+            served.store() == reference.store(),
+            "stores must be bit-identical"
+        );
+
+        // …and stays within float tolerance of the raw stream applied
+        // update-by-update (window boundaries change accumulation order).
+        let mut raw_reference = engine(graph, model, store);
+        for update in reference_updates {
+            raw_reference
+                .process_batch(&UpdateBatch::from_updates(vec![update]))
+                .unwrap();
+        }
+        let diff = served
+            .store()
+            .max_diff_all_layers(raw_reference.store())
+            .unwrap();
+        assert!(
+            diff < 2e-3,
+            "served state drifted from the raw stream: {diff}"
+        );
+    }
+
+    #[test]
+    fn engine_error_poisons_the_session() {
+        let (graph, model, store, _) = bootstrap(11);
+        let n = graph.num_vertices() as u32;
+        let handle = spawn(
+            engine(graph, model, store),
+            ServeConfig {
+                max_batch: 1,
+                ..Default::default()
+            },
+        );
+        let client = handle.client();
+        let metrics = handle.metrics();
+        // An update for a vertex outside the graph fails inside the engine.
+        client.submit(GraphUpdate::update_feature(VertexId(n + 7), vec![0.0; 6]));
+        // The scheduler stops; later submissions observe the closed queue.
+        let mut closed = false;
+        for _ in 0..200 {
+            match client.submit(GraphUpdate::add_edge(VertexId(0), VertexId(1))) {
+                Submission::Closed => {
+                    closed = true;
+                    break;
+                }
+                _ => std::thread::sleep(Duration::from_millis(1)),
+            }
+        }
+        assert!(closed, "submissions must observe the stopped scheduler");
+        assert!(matches!(handle.shutdown(), Err(ServeError::Engine(_))));
+        assert_eq!(metrics.engine_errors(), 1);
+    }
+
+    #[test]
+    fn shed_policy_rejects_when_the_queue_is_full() {
+        // Build a client over a queue with no consumer: capacity 2, shed.
+        let metrics = Arc::new(ServeMetrics::new());
+        let (tx, _rx) = mpsc::sync_channel(2);
+        let client = UpdateClient {
+            tx,
+            submitted: Arc::new(AtomicU64::new(0)),
+            metrics: Arc::clone(&metrics),
+            policy: BackpressurePolicy::Shed,
+        };
+        let u = || GraphUpdate::add_edge(VertexId(0), VertexId(1));
+        assert!(matches!(
+            client.submit(u()),
+            Submission::Enqueued { seq: 1 }
+        ));
+        assert!(matches!(
+            client.submit(u()),
+            Submission::Enqueued { seq: 2 }
+        ));
+        assert_eq!(client.submit(u()), Submission::Shed);
+        assert_eq!(client.submit(u()), Submission::Shed);
+        assert_eq!(metrics.shed(), 2);
+        assert_eq!(metrics.enqueued(), 2);
+    }
+
+    #[test]
+    fn submissions_after_shutdown_are_closed() {
+        let (graph, model, store, _) = bootstrap(13);
+        let handle = spawn(engine(graph, model, store), ServeConfig::default());
+        let client = handle.client();
+        handle.shutdown().unwrap();
+        assert_eq!(
+            client.submit(GraphUpdate::add_edge(VertexId(0), VertexId(1))),
+            Submission::Closed
+        );
+    }
+
+    #[test]
+    fn time_window_flushes_without_further_traffic() {
+        let (graph, model, store, updates) = bootstrap(15);
+        let handle = spawn(
+            engine(graph, model, store),
+            ServeConfig {
+                max_batch: 1000, // size window never closes
+                max_delay: Duration::from_millis(5),
+                ..Default::default()
+            },
+        );
+        let client = handle.client();
+        client.submit(updates[0].clone());
+        let metrics = handle.metrics();
+        let mut applied = 0;
+        for _ in 0..500 {
+            applied = metrics.applied();
+            if applied == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(applied, 1, "time window must flush the lone update");
+        assert!(metrics.report().max_visibility_lag >= Duration::from_millis(4));
+        handle.shutdown().unwrap();
+    }
+}

@@ -1,0 +1,295 @@
+//! Epoch-versioned embedding-store snapshots behind an `Arc` swap.
+//!
+//! The serving layer separates one **publisher** (the scheduler thread, which
+//! owns the engine) from many **readers** (query threads). After every
+//! committed batch the publisher refreshes a snapshot of the engine's store
+//! and publishes it under the next epoch number; readers resolve queries
+//! against whichever published snapshot their handle currently caches and
+//! never observe a half-propagated store.
+//!
+//! # Read path
+//!
+//! [`SnapshotReader::snapshot`] is **lock-free in steady state**: it performs
+//! one atomic epoch load and, only when a newer epoch was published since the
+//! last call, re-clones the current `Arc` under a mutex whose critical
+//! section is a pointer swap (the publisher never holds it while the engine
+//! propagates). Readers therefore never block on the engine, and a reader
+//! that does nothing keeps serving its cached epoch indefinitely.
+//!
+//! # Publish path (double buffering)
+//!
+//! Publishing epoch `n+1` retires the epoch-`n` snapshot. The publisher keeps
+//! the retired `Arc`; by the time epoch `n+2` is published, steady-state
+//! readers have moved off epoch `n`, so [`Arc::try_unwrap`] reclaims its
+//! buffers and [`ripple_gnn::EmbeddingStore::copy_from`] refreshes them
+//! **without allocating** — a slow reader still holding the old epoch simply
+//! forces one fresh copy for that publication.
+
+use ripple_gnn::EmbeddingStore;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One published, immutable snapshot of the embedding store.
+#[derive(Debug)]
+pub struct EpochSnapshot {
+    epoch: u64,
+    applied_seq: u64,
+    store: EmbeddingStore,
+}
+
+impl EpochSnapshot {
+    /// The epoch this snapshot was published at (0 = the bootstrap store).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of accepted raw updates reflected in this snapshot, counting
+    /// updates that coalescing merged or cancelled before the engine saw
+    /// them.
+    pub fn applied_seq(&self) -> u64 {
+        self.applied_seq
+    }
+
+    /// The embeddings as of this epoch.
+    pub fn store(&self) -> &EmbeddingStore {
+        &self.store
+    }
+}
+
+/// Shared state between the publisher and every reader handle.
+#[derive(Debug)]
+pub struct VersionedStore {
+    /// Mirror of `current`'s epoch, so readers detect staleness of their
+    /// cached handle with a single atomic load.
+    epoch: AtomicU64,
+    /// The latest published snapshot. The mutex guards only the `Arc` clone
+    /// / swap (a pointer operation), never the store contents.
+    current: Mutex<Arc<EpochSnapshot>>,
+}
+
+impl VersionedStore {
+    /// Publishes `bootstrap` as epoch 0 and returns the (unique) publisher
+    /// plus a first reader handle; further readers are cloned from either.
+    pub fn bootstrap(bootstrap: &EmbeddingStore) -> (SnapshotPublisher, SnapshotReader) {
+        let initial = Arc::new(EpochSnapshot {
+            epoch: 0,
+            applied_seq: 0,
+            store: bootstrap.clone(),
+        });
+        let shared = Arc::new(VersionedStore {
+            epoch: AtomicU64::new(0),
+            current: Mutex::new(Arc::clone(&initial)),
+        });
+        let publisher = SnapshotPublisher {
+            shared: Arc::clone(&shared),
+            retired: None,
+            reclaimed: 0,
+            copied: 0,
+        };
+        let reader = SnapshotReader {
+            shared,
+            cached: initial,
+        };
+        (publisher, reader)
+    }
+}
+
+/// The single writer side: publishes new epochs, recycling retired buffers.
+#[derive(Debug)]
+pub struct SnapshotPublisher {
+    shared: Arc<VersionedStore>,
+    /// The snapshot retired by the previous publication, kept so its buffers
+    /// can be reclaimed once every reader has moved on.
+    retired: Option<Arc<EpochSnapshot>>,
+    reclaimed: u64,
+    copied: u64,
+}
+
+impl SnapshotPublisher {
+    /// Publishes `store` as the next epoch, stamped with `applied_seq`
+    /// accepted raw updates, and returns the new epoch number.
+    ///
+    /// Steady state performs no store allocation: the double buffer retired
+    /// two publications ago is refreshed in place via
+    /// [`EmbeddingStore::copy_from`]. Only when a reader still holds that
+    /// snapshot does this fall back to a fresh clone.
+    pub fn publish(&mut self, store: &EmbeddingStore, applied_seq: u64) -> u64 {
+        let epoch = self.shared.epoch.load(Ordering::Relaxed) + 1;
+        let snapshot = match self.retired.take().map(Arc::try_unwrap) {
+            Some(Ok(mut reusable)) => {
+                reusable.store.copy_from(store);
+                reusable.epoch = epoch;
+                reusable.applied_seq = applied_seq;
+                self.reclaimed += 1;
+                Arc::new(reusable)
+            }
+            still_shared => {
+                // A reader still holds the retired snapshot (or this is one
+                // of the first two publications): release our reference and
+                // pay for one full copy.
+                drop(still_shared);
+                self.copied += 1;
+                Arc::new(EpochSnapshot {
+                    epoch,
+                    applied_seq,
+                    store: store.clone(),
+                })
+            }
+        };
+        let previous = {
+            let mut current = self.shared.current.lock().expect("snapshot lock poisoned");
+            std::mem::replace(&mut *current, snapshot)
+        };
+        // Readers check this counter first; Release pairs with their Acquire
+        // load so the swapped pointer is visible once the epoch is.
+        self.shared.epoch.store(epoch, Ordering::Release);
+        self.retired = Some(previous);
+        epoch
+    }
+
+    /// The epoch of the most recent publication (0 before any).
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::Acquire)
+    }
+
+    /// How many publications reclaimed the retired double buffer vs. paid
+    /// for a fresh store copy — the double-buffering effectiveness metric.
+    pub fn buffer_stats(&self) -> (u64, u64) {
+        (self.reclaimed, self.copied)
+    }
+
+    /// A new reader handle starting at the current epoch.
+    pub fn reader(&self) -> SnapshotReader {
+        let cached = self
+            .shared
+            .current
+            .lock()
+            .expect("snapshot lock poisoned")
+            .clone();
+        SnapshotReader {
+            shared: Arc::clone(&self.shared),
+            cached,
+        }
+    }
+}
+
+/// A reader's cached handle onto the latest published snapshot.
+///
+/// Cheap to clone (two `Arc` clones); every reader thread owns its handle
+/// and refreshes it lazily on access.
+#[derive(Debug, Clone)]
+pub struct SnapshotReader {
+    shared: Arc<VersionedStore>,
+    cached: Arc<EpochSnapshot>,
+}
+
+impl SnapshotReader {
+    /// The freshest published snapshot.
+    ///
+    /// Hot path: one atomic load; the cached `Arc` is returned untouched
+    /// while no newer epoch exists. When one does, the handle re-clones the
+    /// current snapshot under the pointer-swap mutex — it never waits for
+    /// the engine, which publishes only between batches.
+    pub fn snapshot(&mut self) -> &Arc<EpochSnapshot> {
+        if self.shared.epoch.load(Ordering::Acquire) != self.cached.epoch {
+            self.cached = self
+                .shared
+                .current
+                .lock()
+                .expect("snapshot lock poisoned")
+                .clone();
+        }
+        &self.cached
+    }
+
+    /// The snapshot this handle currently caches, without refreshing.
+    pub fn cached(&self) -> &Arc<EpochSnapshot> {
+        &self.cached
+    }
+
+    /// Refreshes and returns the current epoch.
+    pub fn epoch(&mut self) -> u64 {
+        self.snapshot().epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ripple_gnn::{Aggregator, GnnModel, LayerKind};
+    use ripple_graph::VertexId;
+
+    fn store(value: f32) -> EmbeddingStore {
+        let model = GnnModel::new(LayerKind::GraphConv, Aggregator::Sum, &[4, 8, 3], 0).unwrap();
+        let mut s = EmbeddingStore::zeroed(&model, 6);
+        s.set_embedding(2, VertexId(1), &[value, 0.0, 0.0]).unwrap();
+        s
+    }
+
+    #[test]
+    fn bootstrap_is_epoch_zero() {
+        let (publisher, mut reader) = VersionedStore::bootstrap(&store(1.0));
+        assert_eq!(publisher.epoch(), 0);
+        assert_eq!(reader.epoch(), 0);
+        assert_eq!(reader.snapshot().applied_seq(), 0);
+        assert_eq!(reader.snapshot().store().embedding(2, VertexId(1))[0], 1.0);
+    }
+
+    #[test]
+    fn publish_advances_epoch_and_readers_refresh_lazily() {
+        let (mut publisher, mut reader) = VersionedStore::bootstrap(&store(1.0));
+        let mut stale = reader.clone();
+        assert_eq!(publisher.publish(&store(2.0), 5), 1);
+        assert_eq!(publisher.publish(&store(3.0), 9), 2);
+
+        // A reader that refreshes sees the latest epoch…
+        let snap = reader.snapshot();
+        assert_eq!(snap.epoch(), 2);
+        assert_eq!(snap.applied_seq(), 9);
+        assert_eq!(snap.store().embedding(2, VertexId(1))[0], 3.0);
+
+        // …while a handle that never refreshes keeps serving its cache.
+        assert_eq!(stale.cached().epoch(), 0);
+        assert_eq!(stale.cached().store().embedding(2, VertexId(1))[0], 1.0);
+        assert_eq!(stale.epoch(), 2);
+    }
+
+    #[test]
+    fn steady_state_publication_reclaims_the_double_buffer() {
+        let (mut publisher, mut reader) = VersionedStore::bootstrap(&store(0.0));
+        for i in 0..10 {
+            publisher.publish(&store(i as f32), i);
+            // The only reader promptly moves to the new epoch, freeing the
+            // retired snapshot for reuse.
+            reader.snapshot();
+        }
+        let (reclaimed, copied) = publisher.buffer_stats();
+        assert_eq!(reclaimed + copied, 10);
+        assert!(
+            reclaimed >= 7,
+            "steady-state publishing should reuse retired buffers, got {reclaimed} reclaims / {copied} copies"
+        );
+    }
+
+    #[test]
+    fn slow_reader_forces_a_copy_but_keeps_its_snapshot_valid() {
+        let (mut publisher, reader) = VersionedStore::bootstrap(&store(0.0));
+        let hold = reader.clone(); // never refreshes, pins epoch 0
+        for i in 0..5 {
+            publisher.publish(&store(i as f32), i);
+        }
+        assert_eq!(hold.cached().epoch(), 0);
+        assert_eq!(hold.cached().store().embedding(2, VertexId(1))[0], 0.0);
+        let (_, copied) = publisher.buffer_stats();
+        assert!(copied >= 1);
+    }
+
+    #[test]
+    fn publisher_spawns_fresh_readers_at_the_current_epoch() {
+        let (mut publisher, _reader) = VersionedStore::bootstrap(&store(0.0));
+        publisher.publish(&store(4.0), 2);
+        let mut fresh = publisher.reader();
+        assert_eq!(fresh.epoch(), 1);
+        assert_eq!(fresh.snapshot().store().embedding(2, VertexId(1))[0], 4.0);
+    }
+}

@@ -308,6 +308,17 @@ impl Matrix {
         self.data.resize(rows * cols, 0.0);
     }
 
+    /// Overwrites this matrix with the shape and contents of `other`,
+    /// **reusing the existing buffer capacity**. Once the buffer has grown to
+    /// `other`'s size, repeated refreshes perform no heap allocation — the
+    /// primitive behind epoch-snapshot double buffering in the serving layer.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
     /// Frobenius norm of the matrix (square root of the sum of squares).
     pub fn frobenius_norm(&self) -> f32 {
         self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
@@ -536,6 +547,24 @@ mod tests {
         m.resize_reuse(4, 4);
         assert_eq!(m.shape(), (4, 4));
         assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn copy_from_matches_source_and_reuses_capacity() {
+        let src = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let mut dst = Matrix::filled(8, 8, 9.0);
+        let capacity_before = dst.heap_bytes();
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        assert_eq!(
+            dst.heap_bytes(),
+            capacity_before,
+            "refresh into a larger buffer must not reallocate"
+        );
+        // Growing past the capacity still produces an exact copy.
+        let big = Matrix::filled(16, 16, 0.5);
+        dst.copy_from(&big);
+        assert_eq!(dst, big);
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! Online serving walkthrough: queries against versioned snapshots while a
+//! stream of graph updates propagates through the incremental engine.
+//!
+//! A fraud-detection-style deployment: account vertices with transaction
+//! edges stream in continuously; dashboards and checkout flows read risk
+//! labels concurrently and must never block on (or observe half of) an
+//! in-flight propagation.
+//!
+//! Run with `cargo run --release --example online_serving`.
+
+use ripple::prelude::*;
+use ripple::serve::ServeError;
+
+fn main() -> Result<(), ServeError> {
+    // Bootstrap: synthetic transaction graph + pre-computed embeddings.
+    let spec = DatasetSpec::custom(1_500, 6.0, 16, 4);
+    let full = spec.generate(11).expect("dataset");
+    let plan = build_stream(
+        &full,
+        &StreamConfig {
+            total_updates: 600,
+            seed: 13,
+            ..Default::default()
+        },
+    )
+    .expect("stream");
+    let model = Workload::GcS.build_model(16, 32, 4, 2, 7).expect("model");
+    let store = full_inference(&plan.snapshot, &model).expect("bootstrap");
+    let updates: Vec<GraphUpdate> = plan
+        .batches(1)
+        .into_iter()
+        .flat_map(UpdateBatch::into_updates)
+        .collect();
+    let engine =
+        RippleEngine::new(plan.snapshot, model, store, RippleConfig::default()).expect("engine");
+
+    // Serve: scheduler thread owns the engine; we keep a client + queries.
+    let handle = spawn_serve(
+        engine,
+        ServeConfig {
+            max_batch: 32,
+            ..Default::default()
+        },
+    );
+    let client = handle.client();
+    let mut queries = handle.query_service();
+
+    let watched = VertexId(7);
+    let before = queries.predicted_label(watched).expect("in range");
+    println!(
+        "epoch {:>3}  vertex {watched}: label {} (staleness {})",
+        before.epoch, before.value, before.staleness
+    );
+
+    // Stream updates while reading: each chunk is coalesced into batches by
+    // the scheduler; reads keep flowing against the latest published epoch.
+    for chunk in updates.chunks(100) {
+        for update in chunk {
+            match client.submit(update.clone()) {
+                Submission::Enqueued { .. } => {}
+                other => panic!("submission failed: {other:?}"),
+            }
+        }
+        handle.flush(); // close the window so the chunk becomes visible
+        let stamped = queries.predicted_label(watched).expect("in range");
+        println!(
+            "epoch {:>3}  vertex {watched}: label {} (applied {} updates, staleness {})",
+            stamped.epoch, stamped.value, stamped.applied_seq, stamped.staleness
+        );
+    }
+
+    // A similarity read: top-5 vertices by dot product with a probe vector.
+    let probe = vec![1.0, 0.0, 0.0, 0.0];
+    let top = queries.top_k_by_dot(&probe, 5).expect("probe width");
+    println!("top-5 by <h, probe> at epoch {}:", top.epoch);
+    for (v, score) in &top.value {
+        println!("  {v}: {score:.4}");
+    }
+
+    let metrics = handle.metrics().report();
+    println!("serving session: {metrics}");
+    let engine = handle.shutdown()?;
+    println!(
+        "scheduler returned the engine: {} vertices, {} edges after the stream",
+        engine.graph().num_vertices(),
+        engine.graph().num_edges()
+    );
+    Ok(())
+}

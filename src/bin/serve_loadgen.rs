@@ -1,0 +1,67 @@
+//! Closed-loop serving load generator: one writer streams graph updates
+//! through the coalescing scheduler while `N` reader threads issue point
+//! lookups, label reads and top-k similarity queries against versioned
+//! snapshots. Reports p50/p95/p99 read latency, update-visibility lag
+//! (enqueue → published epoch) and epochs/sec, plus the serving-contract
+//! counters (epoch monotonicity per reader, stamped responses).
+//!
+//! Configuration comes from `RIPPLE_SCALE`, `RIPPLE_THREADS` and the
+//! `RIPPLE_SERVE_*` environment knobs (see the README's "Serving" section).
+//!
+//! Flags:
+//!
+//! * `--json <path>` — additionally writes the report as a JSON artifact
+//!   (`BENCH_serve.json` in CI).
+
+use ripple::experiments::{print_header, Scale};
+use ripple::serve::{run_loadgen, LoadgenConfig};
+
+fn main() {
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => {
+                json_path = Some(args.next().expect("--json requires a file path"));
+            }
+            other => panic!("unknown flag {other} (expected --json <path>)"),
+        }
+    }
+
+    let config = LoadgenConfig::from_env();
+    print_header(
+        "Serving load generator: concurrent reads during incremental propagation",
+        Scale::from_env(),
+    );
+    println!(
+        "graph: {} vertices, avg degree {:.1}; stream: {} updates; \
+         {} readers, {} engine thread(s); window: {} updates / {:?}; queue {} ({:?})",
+        config.vertices,
+        config.avg_degree,
+        config.updates,
+        config.readers,
+        config.engine_threads,
+        config.serve.max_batch,
+        config.serve.max_delay,
+        config.serve.queue_capacity,
+        config.serve.policy,
+    );
+    println!();
+
+    let report = run_loadgen(&config);
+    println!("{report}");
+    println!();
+    println!("Expected shape: readers never block on the engine (reads flow while updates");
+    println!("propagate), every response stamped with its epoch + staleness, zero epoch");
+    println!("monotonicity violations.");
+
+    assert!(
+        report.contract_upheld(),
+        "serving contract violated: {report}"
+    );
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, report.to_json()).expect("writing serve JSON");
+        println!("wrote serving report to {path}");
+    }
+}

@@ -14,6 +14,7 @@
 //! | [`gnn`] | `ripple-gnn` | GNN models, aggregators, layer-wise/vertex-wise inference, RC baselines |
 //! | [`core`] | `ripple-core` | the Ripple incremental engine, mailboxes, metrics |
 //! | [`dist`] | `ripple-dist` | distributed (BSP, simulated-network) Ripple and RC |
+//! | [`serve`] | `ripple-serve` | online serving: versioned snapshots, update-coalescing scheduler |
 //!
 //! # Quickstart
 //!
@@ -41,6 +42,7 @@ pub use ripple_core as core;
 pub use ripple_dist as dist;
 pub use ripple_gnn as gnn;
 pub use ripple_graph as graph;
+pub use ripple_serve as serve;
 pub use ripple_tensor as tensor;
 
 pub mod experiments;
@@ -63,4 +65,8 @@ pub mod prelude {
     pub use ripple_graph::stream::{build_stream, StreamConfig, StreamPlan};
     pub use ripple_graph::synth::DatasetSpec;
     pub use ripple_graph::{DynamicGraph, GraphUpdate, UpdateBatch, VertexId};
+    pub use ripple_serve::{
+        spawn as spawn_serve, BackpressurePolicy, QueryService, ServeConfig, ServeHandle,
+        ServeMetrics, Stamped, Submission, UpdateClient,
+    };
 }

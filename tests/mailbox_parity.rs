@@ -1,0 +1,121 @@
+//! Property suite for the batched mailbox apply path: draining a hop into
+//! the flat sorted [`MailArena`] and folding its rows into the aggregate
+//! tables must be **bit-identical** — not merely within tolerance — to the
+//! historical `HashMap` walk ([`ripple::core::engine::apply_mail_map`]), for
+//! any deposit pattern. Each delta targets its own store row, so only the
+//! iteration order differs between the paths, and addition into disjoint
+//! rows is order-insensitive at the bit level; these tests pin that
+//! contract, in the same style as `tests/kernel_parity.rs` pins the GEMM
+//! kernels.
+
+use proptest::prelude::*;
+use ripple::core::engine::apply_mail_map;
+use ripple::core::{BatchStats, MailArena, MailboxSet};
+use ripple::prelude::*;
+use ripple::tensor::add_assign;
+
+/// Asserts two equal-length f32 slices are identical bit for bit.
+fn assert_bits_eq(a: &[f32], b: &[f32], context: &str) {
+    assert_eq!(a.len(), b.len(), "{context}: width mismatch");
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{context}: element {i} differs ({x} vs {y})"
+        );
+    }
+}
+
+fn zeroed_store(num_vertices: usize, width: usize) -> EmbeddingStore {
+    let model = Workload::GcS
+        .build_model(width, width, width, 2, 1)
+        .unwrap();
+    EmbeddingStore::zeroed(&model, num_vertices)
+}
+
+/// Replays one deposit pattern through both apply paths and asserts the
+/// resulting aggregate tables are bit-identical.
+fn check_parity(deposits: &[(u32, f32, Vec<f32>)], num_vertices: usize, width: usize) {
+    let mut map_boxes = MailboxSet::new(2);
+    let mut arena_boxes = MailboxSet::new(2);
+    for (v, coeff, delta) in deposits {
+        map_boxes.deposit(1, VertexId(*v), *coeff, delta);
+        arena_boxes.deposit(1, VertexId(*v), *coeff, delta);
+    }
+
+    // Historical path: drained map, per-slot HashMap walk.
+    let mut map_store = zeroed_store(num_vertices, width);
+    let mut map_stats = BatchStats::default();
+    let taken = map_boxes.take_hop(1);
+    apply_mail_map(&mut map_store, 1, &taken, &mut map_stats);
+
+    // Batched path: flat sorted arena walk.
+    let mut arena_store = zeroed_store(num_vertices, width);
+    let mut arena_stats = BatchStats::default();
+    let mut arena = MailArena::new();
+    arena_boxes.drain_hop_sorted_into(1, &mut arena);
+    assert!(
+        arena.ids().windows(2).all(|w| w[0] < w[1]),
+        "sorted, deduped"
+    );
+    for (v, row) in arena.iter() {
+        add_assign(arena_store.aggregate_mut(1, v), row);
+        arena_stats.aggregate_ops += 1;
+    }
+
+    assert_eq!(map_stats.aggregate_ops, arena_stats.aggregate_ops);
+    assert_bits_eq(
+        arena_store.aggregates(1).as_slice(),
+        map_store.aggregates(1).as_slice(),
+        "hop-1 aggregates",
+    );
+}
+
+#[test]
+fn arena_apply_matches_map_apply_on_a_fixed_churn_pattern() {
+    // Repeated slots, negative coefficients, a mix of magnitudes.
+    let deposits = vec![
+        (3u32, 1.0f32, vec![1.0, 2.0, -3.0, 0.5]),
+        (0, -0.5, vec![4.0, 0.0, 1.0, 1.0]),
+        (3, 0.25, vec![-8.0, 1e-3, 7.5, 2.0]),
+        (7, 1.0, vec![0.1, 0.2, 0.3, 0.4]),
+        (0, 2.0, vec![1e6, -1e6, 3.0, 0.125]),
+        (5, -1.0, vec![0.0, 0.0, 0.0, 0.0]),
+    ];
+    check_parity(&deposits, 10, 4);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Randomized deposit patterns: arbitrary target churn, coefficients and
+    /// delta values never let the two apply paths diverge by a single bit.
+    #[test]
+    fn arena_apply_matches_map_apply_on_random_deposits(
+        seed in 0u64..1_000,
+        num_deposits in 1usize..120,
+    ) {
+        // Derive the deposit pattern from a SplitMix-style walk so each
+        // proptest case is fully determined by its drawn seed.
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        let mut next = || {
+            state ^= state >> 30;
+            state = state.wrapping_mul(0xbf58476d1ce4e5b9);
+            state ^= state >> 27;
+            state
+        };
+        let width = 3;
+        let num_vertices = 24;
+        let deposits: Vec<(u32, f32, Vec<f32>)> = (0..num_deposits)
+            .map(|_| {
+                let v = (next() % num_vertices as u64) as u32;
+                let coeff = ((next() % 2000) as f32 - 1000.0) / 256.0;
+                let delta: Vec<f32> = (0..width)
+                    .map(|_| ((next() % 2000) as f32 - 1000.0) / 128.0)
+                    .collect();
+                (v, coeff, delta)
+            })
+            .collect();
+        check_parity(&deposits, num_vertices, width);
+    }
+}

@@ -1,0 +1,257 @@
+//! Snapshot-consistency property tests for the serving subsystem.
+//!
+//! The serving contract under test (the "linearizable epoch" property): a
+//! reader hammering [`ripple::serve::QueryService`] while a randomized
+//! update stream flows through the scheduler must only ever observe
+//! embeddings **bit-identical to some serial-engine prefix of the stream**
+//! of flushed windows — never a torn or half-propagated state — and every
+//! response must be stamped with the epoch of exactly that prefix.
+//!
+//! The scheduler records each flushed window (`record_batches`); after the
+//! run, a serial [`RippleEngine`] replays the recorded windows one by one,
+//! cloning the store after each, which yields the ground-truth store for
+//! every epoch. Every observation any reader made is then checked against
+//! the store of its stamped epoch, bit for bit.
+
+use ripple::prelude::*;
+use ripple::serve::ServeConfig;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One reader observation: the stamp and the embedding bytes it was served.
+struct Observation {
+    epoch: u64,
+    applied_seq: u64,
+    vertex: VertexId,
+    embedding: Vec<f32>,
+}
+
+fn bootstrap(seed: u64) -> (DynamicGraph, GnnModel, EmbeddingStore, Vec<GraphUpdate>) {
+    let full = DatasetSpec::custom(150, 5.0, 6, 4).generate(seed).unwrap();
+    let plan = build_stream(
+        &full,
+        &StreamConfig {
+            total_updates: 60,
+            seed: seed ^ 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let model = Workload::GcS.build_model(6, 8, 4, 2, seed ^ 2).unwrap();
+    let store = full_inference(&plan.snapshot, &model).unwrap();
+    let updates = plan
+        .batches(1)
+        .into_iter()
+        .flat_map(UpdateBatch::into_updates)
+        .collect();
+    (plan.snapshot, model, store, updates)
+}
+
+/// Runs one serving session with `reader_threads` concurrent readers and
+/// verifies every observation against the serial-engine prefix states.
+fn linearizable_epoch_scenario(reader_threads: usize, seed: u64) {
+    let (graph, model, store, updates) = bootstrap(seed);
+    let engine = RippleEngine::new(
+        graph.clone(),
+        model.clone(),
+        store.clone(),
+        RippleConfig::default(),
+    )
+    .unwrap();
+    let handle = ripple::serve::spawn(
+        engine,
+        ServeConfig {
+            max_batch: 5,
+            max_delay: Duration::from_millis(1),
+            record_batches: true,
+            ..Default::default()
+        },
+    );
+    let metrics = handle.metrics();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Readers: hammer point-embedding reads against rotating vertices,
+    // recording the stamp and the served bytes.
+    let num_vertices = graph.num_vertices() as u32;
+    let readers: Vec<_> = (0..reader_threads)
+        .map(|r| {
+            let mut queries = handle.query_service();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut observations: Vec<Observation> = Vec::new();
+                let mut v = (r as u32 * 17) % num_vertices;
+                while !stop.load(Ordering::Relaxed) {
+                    let vertex = VertexId(v);
+                    v = (v + 13) % num_vertices;
+                    let stamped = queries.embedding(vertex).expect("vertex in range");
+                    if observations.len() < 50_000 {
+                        observations.push(Observation {
+                            epoch: stamped.epoch,
+                            applied_seq: stamped.applied_seq,
+                            vertex,
+                            embedding: stamped.value,
+                        });
+                    }
+                }
+                observations
+            })
+        })
+        .collect();
+
+    // Writer: stream the updates in small pulses so many windows flush
+    // while the readers run.
+    let client = handle.client();
+    let offered = updates.len() as u64;
+    for chunk in updates.chunks(5) {
+        for update in chunk {
+            assert!(matches!(
+                client.submit(update.clone()),
+                Submission::Enqueued { .. }
+            ));
+        }
+        std::thread::sleep(Duration::from_micros(300));
+    }
+    handle.flush().expect("scheduler alive");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while metrics.applied() < offered {
+        assert!(Instant::now() < deadline, "scheduler failed to drain");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    stop.store(true, Ordering::Relaxed);
+    let observations: Vec<Vec<Observation>> = readers
+        .into_iter()
+        .map(|t| t.join().expect("reader panicked"))
+        .collect();
+
+    let log = handle.flush_log().expect("recording enabled");
+    let served = handle.shutdown().expect("session failed");
+    let records = Arc::try_unwrap(log)
+        .expect("log uniquely held after shutdown")
+        .into_inner()
+        .unwrap();
+
+    // Ground truth: replay the recorded windows through a fresh serial
+    // engine, cloning the store after each — states[e] is the exact store
+    // of epoch e.
+    let mut reference = RippleEngine::new(graph, model, store, RippleConfig::default()).unwrap();
+    let mut states: Vec<EmbeddingStore> = vec![reference.store().clone()];
+    for (i, record) in records.iter().enumerate() {
+        assert_eq!(record.epoch, i as u64 + 1, "epochs are dense and ordered");
+        if !record.batch.is_empty() {
+            reference.process_batch(&record.batch).unwrap();
+        }
+        states.push(reference.store().clone());
+    }
+    let raw_total: u64 = records.iter().map(|r| r.raw).sum();
+    assert_eq!(raw_total, offered, "every accepted update is covered");
+    assert!(
+        served.store() == reference.store(),
+        "served engine must end bit-identical to the replayed windows"
+    );
+
+    // The property: every observation matches the state of its epoch,
+    // bit for bit, and carries that epoch's applied_seq stamp.
+    let num_layers = states[0].num_layers();
+    let mut checked = 0u64;
+    let mut epochs_seen: Vec<u64> = Vec::new();
+    for reader in &observations {
+        for obs in reader {
+            let state = states.get(obs.epoch as usize).unwrap_or_else(|| {
+                panic!(
+                    "observed epoch {} beyond {} published",
+                    obs.epoch,
+                    records.len()
+                )
+            });
+            assert_eq!(
+                obs.embedding.as_slice(),
+                state.embedding(num_layers, obs.vertex),
+                "epoch {} vertex {}: observed embedding is not the serial prefix state",
+                obs.epoch,
+                obs.vertex
+            );
+            let expected_applied = if obs.epoch == 0 {
+                0
+            } else {
+                records[obs.epoch as usize - 1].applied_seq
+            };
+            assert_eq!(obs.applied_seq, expected_applied, "epoch {}", obs.epoch);
+            epochs_seen.push(obs.epoch);
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "readers must have observed something");
+    epochs_seen.sort_unstable();
+    epochs_seen.dedup();
+    assert!(
+        !records.is_empty() && metrics.epochs() as usize == records.len(),
+        "every flush published exactly one epoch"
+    );
+    // Per-reader epochs are monotone because each handle caches at most the
+    // latest snapshot; across the run readers should have caught the stream
+    // in flight (more than one distinct epoch observed).
+    assert!(
+        epochs_seen.len() >= 2,
+        "readers only saw epochs {epochs_seen:?} of {} published — no concurrency exercised",
+        records.len()
+    );
+}
+
+#[test]
+fn readers_observe_only_serial_prefix_states_2_threads() {
+    linearizable_epoch_scenario(2, 101);
+}
+
+#[test]
+fn readers_observe_only_serial_prefix_states_4_threads() {
+    linearizable_epoch_scenario(4, 103);
+}
+
+#[test]
+fn readers_observe_only_serial_prefix_states_8_threads() {
+    linearizable_epoch_scenario(8, 107);
+}
+
+/// The serving path must agree (within float tolerance — window boundaries
+/// permute float accumulation order) with the raw stream replayed
+/// update-by-update through a serial engine, coalescing included.
+#[test]
+fn served_endstate_matches_raw_stream_replay() {
+    let (graph, model, store, updates) = bootstrap(211);
+    let engine = RippleEngine::new(
+        graph.clone(),
+        model.clone(),
+        store.clone(),
+        RippleConfig::default(),
+    )
+    .unwrap();
+    let handle = ripple::serve::spawn(
+        engine,
+        ServeConfig {
+            max_batch: 7,
+            ..Default::default()
+        },
+    );
+    let client = handle.client();
+    let (accepted, _) = client.submit_all(updates.clone());
+    assert_eq!(accepted, updates.len());
+    handle.flush().expect("alive");
+    let served = handle.shutdown().expect("session failed");
+
+    let mut reference = RippleEngine::new(graph, model, store, RippleConfig::default()).unwrap();
+    for update in updates {
+        reference
+            .process_batch(&UpdateBatch::from_updates(vec![update]))
+            .unwrap();
+    }
+    let diff = served
+        .store()
+        .max_diff_all_layers(reference.store())
+        .unwrap();
+    assert!(
+        diff < 2e-3,
+        "served endstate drifted from raw replay: {diff}"
+    );
+    assert_eq!(served.graph().num_edges(), reference.graph().num_edges());
+}
