@@ -1,0 +1,174 @@
+//! Sparse-phase throughput: the Vec-list neighbour walk vs the CSR stream.
+//!
+//! The aggregation phase of bootstrap inference (and of every frontier
+//! re-evaluation) pulls each vertex's in-neighbour ids and weights and folds
+//! the matching embedding rows into an accumulator. With [`DynamicGraph`]
+//! each vertex's lists are separate heap `Vec`s (two dependent pointer loads
+//! per vertex before the stream starts); a CSR view serves the same slices
+//! out of two flat arrays, so consecutive vertices read consecutive memory —
+//! the layout DistDGL-style systems use for their sparse throughput. The
+//! two walks are bit-identical (`tests/csr_parity.rs`), so this bench
+//! isolates the pure layout effect at mean degrees 4/16/64.
+//!
+//! When the `RIPPLE_CSR_JSON` environment variable names a file, the bench
+//! re-times both walks with plain wall-clock repetitions and writes the rows
+//! (including the CSR-over-Vec speedup) as the `BENCH_csr.json` artifact CI
+//! uploads next to `BENCH_kernels.json` and `BENCH_serve.json`.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use ripple_gnn::Aggregator;
+use ripple_graph::synth::DatasetSpec;
+use ripple_graph::{CsrGraph, DynamicGraph, GraphView, VertexId};
+use ripple_tensor::{init, Matrix};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Mean in-degrees swept (the paper's datasets span ~3–60).
+const DEGREES: [usize; 3] = [4, 16, 64];
+/// Vertices per scenario graph.
+const VERTICES: usize = 2_000;
+/// Embedding width of the aggregated table.
+const DIM: usize = 8;
+
+/// The streaming steady state the engines actually compare: a dynamic graph
+/// that has absorbed churn (its per-vertex `Vec`s reallocated and reordered
+/// by `push`/`swap_remove`, fragmenting the heap the way any real update
+/// stream does) versus the compacted CSR snapshot of the same topology. A
+/// freshly generated graph's `Vec`s happen to sit almost sequentially in
+/// the heap, which would flatter the list walk.
+fn scenario(degree: usize) -> (DynamicGraph, CsrGraph, Matrix) {
+    let mut graph = DatasetSpec::custom(VERTICES, degree as f64, 8, 4)
+        .generate_weighted(1729 + degree as u64, true)
+        .expect("dataset");
+    // Churn ~30% of the edge count: delete existing edges, add fresh ones.
+    let mut state = 0x2545f4914f6cdd1du64 ^ degree as u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let churn = graph.num_edges() * 3 / 10;
+    for _ in 0..churn {
+        let u = VertexId((next() % VERTICES as u64) as u32);
+        let v = VertexId((next() % VERTICES as u64) as u32);
+        if u == v {
+            continue;
+        }
+        if graph.has_edge(u, v) {
+            graph.remove_edge(u, v).expect("edge exists");
+        } else {
+            let w = (next() % 5) as f32 * 0.5 + 0.5;
+            graph.add_edge(u, v, w).expect("vertices exist");
+        }
+    }
+    let csr = graph.to_csr();
+    let table = init::uniform(VERTICES, DIM, -1.0, 1.0, 7);
+    (graph, csr, table)
+}
+
+/// One full sparse phase: the raw aggregate of every vertex, streamed
+/// through `view`'s adjacency slices.
+fn sparse_phase<G: GraphView>(view: &G, table: &Matrix, out: &mut [f32]) -> f32 {
+    let aggregator = Aggregator::WeightedSum;
+    let mut checksum = 0.0f32;
+    for v in 0..view.num_vertices() as u32 {
+        let (neighbors, weights) = view.in_adjacency(VertexId(v));
+        aggregator.raw_aggregate_into(table, neighbors, weights, out);
+        checksum += out[0];
+    }
+    checksum
+}
+
+fn bench_csr_aggregate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_aggregate_2k_vertices");
+    group.sample_size(10);
+    for degree in DEGREES {
+        let (graph, csr, table) = scenario(degree);
+        group.bench_with_input(
+            BenchmarkId::new("vec_list_walk", degree),
+            &degree,
+            |b, _| {
+                let mut out = vec![0.0f32; DIM];
+                b.iter(|| black_box(sparse_phase(&graph, &table, &mut out)))
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("csr_stream", degree), &degree, |b, _| {
+            let mut out = vec![0.0f32; DIM];
+            b.iter(|| black_box(sparse_phase(&csr, &table, &mut out)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_csr_aggregate);
+
+/// Interleaved A/B timing: alternates one pass of each side per round so
+/// machine noise (a noisy shared core, frequency drift) hits both equally,
+/// then reports the per-side **median** round, which shrugs off outliers
+/// that a mean would absorb. Returns `(a_seconds, b_seconds)`.
+fn time_interleaved(rounds: usize, mut a: impl FnMut(), mut b: impl FnMut()) -> (f64, f64) {
+    a();
+    b(); // warm-up
+    let mut a_times = Vec::with_capacity(rounds);
+    let mut b_times = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let start = Instant::now();
+        a();
+        a_times.push(start.elapsed());
+        let start = Instant::now();
+        b();
+        b_times.push(start.elapsed());
+    }
+    let median = |times: &mut Vec<Duration>| {
+        times.sort_unstable();
+        times[times.len() / 2].as_secs_f64()
+    };
+    (median(&mut a_times), median(&mut b_times))
+}
+
+/// Writes the `BENCH_csr.json` artifact (hand-rolled: the offline serde shim
+/// has no serialiser).
+fn write_csr_json(path: &str) {
+    let mut rows = Vec::new();
+    for degree in DEGREES {
+        let (graph, csr, table) = scenario(degree);
+        let mut out_a = vec![0.0f32; DIM];
+        let mut out_b = vec![0.0f32; DIM];
+        // More rounds at low degree, where a single pass is fast and noisy.
+        let rounds = (512 / degree.max(1)).clamp(15, 60);
+        let (vec_walk, csr_stream) = time_interleaved(
+            rounds,
+            || {
+                black_box(sparse_phase(&graph, &table, &mut out_a));
+            },
+            || {
+                black_box(sparse_phase(&csr, &table, &mut out_b));
+            },
+        );
+        rows.push(format!(
+            "    {{\"section\": \"sparse_aggregate\", \"mean_degree\": {degree}, \
+             \"vertices\": {VERTICES}, \"dim\": {DIM}, \"edges\": {}, \
+             \"vec_list_ms\": {:.4}, \"csr_stream_ms\": {:.4}, \"speedup\": {:.3}}}",
+            csr.num_edges(),
+            vec_walk * 1e3,
+            csr_stream * 1e3,
+            vec_walk / csr_stream
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"csr_aggregate\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(path, &json).expect("writing CSR JSON");
+    println!("wrote {path}:\n{json}");
+}
+
+fn main() {
+    benches();
+    if let Ok(path) = std::env::var("RIPPLE_CSR_JSON") {
+        if !path.is_empty() {
+            write_csr_json(&path);
+        }
+    }
+}

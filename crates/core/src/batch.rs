@@ -32,6 +32,22 @@ pub trait StreamingEngine {
 
     /// The current graph (after all processed batches).
     fn current_graph(&self) -> &DynamicGraph;
+
+    /// The engine's topology epoch: how many update batches its topology
+    /// snapshot has absorbed. Engines without an epoch-versioned snapshot
+    /// (the recompute baselines) report 0; the serving layer publishes this
+    /// next to the embedding epoch so readers can expose topology staleness.
+    fn topology_epoch(&self) -> u64 {
+        0
+    }
+
+    /// The vertices whose store rows changed in the last processed batch
+    /// (sorted, deduplicated), or `None` when the engine does not track
+    /// them. The serving layer uses this for O(affected) dirty-row epoch
+    /// publication; `None` falls back to a full-store refresh.
+    fn dirty_rows(&self) -> Option<&[ripple_graph::VertexId]> {
+        None
+    }
 }
 
 impl<T: StreamingEngine + ?Sized> StreamingEngine for Box<T> {
@@ -49,6 +65,14 @@ impl<T: StreamingEngine + ?Sized> StreamingEngine for Box<T> {
 
     fn current_graph(&self) -> &DynamicGraph {
         (**self).current_graph()
+    }
+
+    fn topology_epoch(&self) -> u64 {
+        (**self).topology_epoch()
+    }
+
+    fn dirty_rows(&self) -> Option<&[ripple_graph::VertexId]> {
+        (**self).dirty_rows()
     }
 }
 
@@ -68,6 +92,14 @@ impl StreamingEngine for RippleEngine {
     fn current_graph(&self) -> &DynamicGraph {
         self.graph()
     }
+
+    fn topology_epoch(&self) -> u64 {
+        RippleEngine::topology_epoch(self)
+    }
+
+    fn dirty_rows(&self) -> Option<&[ripple_graph::VertexId]> {
+        Some(RippleEngine::dirty_rows(self))
+    }
 }
 
 impl StreamingEngine for ParallelRippleEngine {
@@ -85,6 +117,14 @@ impl StreamingEngine for ParallelRippleEngine {
 
     fn current_graph(&self) -> &DynamicGraph {
         self.graph()
+    }
+
+    fn topology_epoch(&self) -> u64 {
+        ParallelRippleEngine::topology_epoch(self)
+    }
+
+    fn dirty_rows(&self) -> Option<&[ripple_graph::VertexId]> {
+        Some(ParallelRippleEngine::dirty_rows(self))
     }
 }
 

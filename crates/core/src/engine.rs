@@ -21,7 +21,7 @@ use crate::{Result, RippleError};
 use ripple_gnn::layer_wise::reevaluate_slice_into;
 use ripple_gnn::recompute::BatchStats;
 use ripple_gnn::{Aggregator, EmbeddingStore, GnnModel};
-use ripple_graph::{DynamicGraph, GraphUpdate, UpdateBatch, VertexId};
+use ripple_graph::{CsrSnapshot, DynamicGraph, GraphUpdate, GraphView, UpdateBatch, VertexId};
 use ripple_tensor::{Matrix, Scratch};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
@@ -124,8 +124,14 @@ pub(crate) struct UpdatePhase {
 /// interleaved feature updates and edge additions/deletions touching the same
 /// vertices must never double-count a contribution, so this phase is shared
 /// verbatim by the serial and parallel engines.
+///
+/// Topology mutations are applied to the dynamic graph **and** the engine's
+/// persistent [`CsrSnapshot`] in lockstep (the snapshot replays the exact
+/// same push/`swap_remove` semantics, so the two stay bit-identical per
+/// vertex); fanout reads stream the snapshot's contiguous rows.
 pub(crate) fn run_update_operator(
     graph: &mut DynamicGraph,
+    topo: &mut CsrSnapshot,
     store: &mut EmbeddingStore,
     model: &GnnModel,
     batch: &UpdateBatch,
@@ -153,11 +159,8 @@ pub(crate) fn run_update_operator(
                     .collect();
                 // Deltas flow to the *current* out-neighbourhood, which
                 // reflects every earlier update in this batch.
-                for (&w, &weight) in graph
-                    .out_neighbors(*vertex)
-                    .iter()
-                    .zip(graph.out_weights(*vertex).iter())
-                {
+                let (sinks, weights) = GraphView::out_adjacency(topo, *vertex);
+                for (&w, &weight) in sinks.iter().zip(weights.iter()) {
                     mailboxes.deposit(1, w, aggregator.edge_coefficient(weight), &delta);
                     stats.aggregate_ops += 1;
                 }
@@ -168,6 +171,8 @@ pub(crate) fn run_update_operator(
             GraphUpdate::AddEdge { src, dst, weight } => {
                 snapshot_source(store, model, &mut source_snapshots, *src);
                 graph.add_edge(*src, *dst, *weight)?;
+                topo.add_edge(*src, *dst, *weight)
+                    .expect("topology snapshot out of sync with graph");
                 let coeff = aggregator.edge_coefficient(*weight);
                 mailboxes.deposit(1, *dst, coeff, store.embedding(0, *src));
                 stats.aggregate_ops += 1;
@@ -184,6 +189,8 @@ pub(crate) fn run_update_operator(
                 })?;
                 snapshot_source(store, model, &mut source_snapshots, *src);
                 graph.remove_edge(*src, *dst)?;
+                topo.remove_edge(*src, *dst)
+                    .expect("topology snapshot out of sync with graph");
                 let coeff = aggregator.edge_coefficient(weight);
                 mailboxes.deposit(1, *dst, -coeff, store.embedding(0, *src));
                 stats.aggregate_ops += 1;
@@ -312,8 +319,8 @@ pub fn apply_mail_map(
 /// `config.skip_unchanged` prunes) are inserted into `changed_now`, so a
 /// frontier split across several scratch blocks commits via several calls.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn commit_hop(
-    graph: &DynamicGraph,
+pub(crate) fn commit_hop<G: GraphView + ?Sized>(
+    view: &G,
     store: &mut EmbeddingStore,
     config: RippleConfig,
     aggregator: Aggregator,
@@ -340,13 +347,11 @@ pub(crate) fn commit_hop(
         }
         changed_now.insert(v);
 
-        // Forward messages to the next hop's mailboxes.
+        // Forward messages to the next hop's mailboxes, streaming the
+        // view's contiguous out-neighbour/weight slices.
         if hop < num_layers {
-            for (&w, &weight) in graph
-                .out_neighbors(v)
-                .iter()
-                .zip(graph.out_weights(v).iter())
-            {
+            let (sinks, weights) = view.out_adjacency(v);
+            for (&w, &weight) in sinks.iter().zip(weights.iter()) {
                 mailboxes.deposit(hop + 1, w, aggregator.edge_coefficient(weight), delta);
                 stats.aggregate_ops += 1;
             }
@@ -362,6 +367,12 @@ pub struct RippleEngine {
     model: GnnModel,
     store: EmbeddingStore,
     config: RippleConfig,
+    /// Persistent epoch-versioned CSR snapshot of the topology: the hot
+    /// propagation paths (aggregation degrees, message fanout) stream its
+    /// contiguous rows; the update operator keeps it in lockstep with
+    /// `graph` through the delta overlay, and a policy-triggered incremental
+    /// compaction folds the overlay back after enough churn.
+    topo: CsrSnapshot,
     /// Persistent workspace of the compute phase: once its buffers reach the
     /// steady-state frontier size, batch propagation re-evaluates every hop
     /// without heap allocation.
@@ -371,6 +382,11 @@ pub struct RippleEngine {
     mail: MailArena,
     /// Reusable buffer for the per-vertex output delta of the commit phase.
     commit_delta: Vec<f32>,
+    /// Vertices whose store rows (any layer: features, aggregates or
+    /// embeddings) changed during the last processed batch, sorted and
+    /// deduplicated. The serving layer threads this into dirty-row epoch
+    /// publication.
+    dirty: Vec<VertexId>,
 }
 
 impl RippleEngine {
@@ -389,20 +405,41 @@ impl RippleEngine {
         config: RippleConfig,
     ) -> Result<Self> {
         validate_parts(&graph, &model, &store)?;
+        let topo = CsrSnapshot::from_dynamic(&graph);
         Ok(RippleEngine {
             graph,
             model,
             store,
             config,
+            topo,
             scratch: Scratch::new(),
             mail: MailArena::new(),
             commit_delta: Vec::new(),
+            dirty: Vec::new(),
         })
     }
 
     /// The current graph (reflecting every processed batch).
     pub fn graph(&self) -> &DynamicGraph {
         &self.graph
+    }
+
+    /// The engine's persistent topology snapshot (in lockstep with
+    /// [`RippleEngine::graph`]).
+    pub fn topology(&self) -> &CsrSnapshot {
+        &self.topo
+    }
+
+    /// The topology epoch: how many update batches the snapshot has
+    /// absorbed.
+    pub fn topology_epoch(&self) -> u64 {
+        self.topo.epoch()
+    }
+
+    /// The sorted, deduplicated set of vertices whose store rows changed in
+    /// the last processed batch (empty before the first batch).
+    pub fn dirty_rows(&self) -> &[VertexId] {
+        &self.dirty
     }
 
     /// The current embedding store.
@@ -432,10 +469,13 @@ impl RippleEngine {
     }
 
     /// Memory overhead of the additional state Ripple keeps relative to the
-    /// recompute baseline (the aggregate tables plus the scratch arena), in
-    /// bytes.
+    /// recompute baseline (the aggregate tables, the scratch arena and the
+    /// CSR topology snapshot), in bytes.
     pub fn incremental_state_bytes(&self) -> usize {
-        self.store.aggregate_memory_bytes() + self.scratch.memory_bytes() + self.mail.memory_bytes()
+        self.store.aggregate_memory_bytes()
+            + self.scratch.memory_bytes()
+            + self.mail.memory_bytes()
+            + self.topo.heap_bytes()
     }
 
     /// Applies a batch of updates and incrementally refreshes every affected
@@ -455,8 +495,10 @@ impl RippleEngine {
         // Phase 1 — the `update` operator (hop 0), sequential over the batch.
         // ------------------------------------------------------------------
         let update_start = Instant::now();
+        self.dirty.clear();
         let mut phase = run_update_operator(
             &mut self.graph,
+            &mut self.topo,
             &mut self.store,
             &self.model,
             batch,
@@ -470,6 +512,11 @@ impl RippleEngine {
         let propagate_start = Instant::now();
         self.propagate_batch(&mut phase, &mut stats)?;
         stats.propagate_time = propagate_start.elapsed();
+
+        // Batch absorbed: bump the topology epoch and let the snapshot fold
+        // its overlay back once enough churn has accumulated.
+        self.topo.advance_epoch();
+        self.topo.maybe_compact();
         Ok(stats)
     }
 
@@ -479,16 +526,20 @@ impl RippleEngine {
     /// committing results in canonical vertex order.
     fn propagate_batch(&mut self, phase: &mut UpdatePhase, stats: &mut BatchStats) -> Result<()> {
         let RippleEngine {
-            graph,
+            graph: _,
             model,
             store,
             config,
+            topo,
             scratch,
             mail,
             commit_delta,
+            dirty,
         } = self;
         let num_layers = model.num_layers();
         let aggregator = model.aggregator();
+        // Feature-updated vertices rewrote their layer-0 rows.
+        dirty.extend(phase.changed_prev.iter().copied());
         for hop in 1..=num_layers {
             // Inject the per-layer contribution of topology changes. Hop 1
             // was already handled sequentially by the update operator.
@@ -512,13 +563,14 @@ impl RippleEngine {
             if hop == num_layers {
                 stats.affected_final = affected.len();
             }
+            dirty.extend_from_slice(&affected);
 
             // Apply phase in place, compute phase over the frontier, commit.
             apply_mail(store, hop, mail, stats);
-            reevaluate_slice_into(graph, model, store, hop, &affected, scratch)?;
+            reevaluate_slice_into(topo, model, store, hop, &affected, scratch)?;
             let mut changed_now = HashSet::with_capacity(affected.len());
             commit_hop(
-                graph,
+                topo,
                 store,
                 *config,
                 aggregator,
@@ -533,6 +585,8 @@ impl RippleEngine {
             )?;
             phase.changed_prev = changed_now;
         }
+        dirty.sort_unstable();
+        dirty.dedup();
         Ok(())
     }
 }
@@ -799,7 +853,61 @@ mod tests {
         assert!(RippleEngine::new(graph, model, small_store, RippleConfig::default()).is_err());
     }
 
+    #[test]
+    fn topology_snapshot_stays_in_lockstep_with_the_graph() {
+        let (mut engine, _snapshot, _model, batches) = bootstrap(Workload::GcS, 2, 43);
+        for batch in &batches {
+            engine.process_batch(batch).unwrap();
+        }
+        assert_eq!(engine.topology_epoch(), batches.len() as u64);
+        let graph = engine.graph();
+        let topo = engine.topology();
+        assert_eq!(GraphView::num_edges(topo), graph.num_edges());
+        for v in 0..graph.num_vertices() as u32 {
+            let vid = VertexId(v);
+            assert_eq!(topo.in_neighbors(vid), graph.in_neighbors(vid));
+            assert_eq!(topo.in_weights(vid), graph.in_weights(vid));
+            assert_eq!(topo.out_neighbors(vid), graph.out_neighbors(vid));
+            assert_eq!(topo.out_weights(vid), graph.out_weights(vid));
+        }
+    }
+
+    #[test]
+    fn dirty_rows_cover_every_changed_store_row() {
+        let (mut engine, _snapshot, _model, batches) = bootstrap(Workload::GcS, 2, 47);
+        let before = engine.store().clone();
+        assert!(engine.dirty_rows().is_empty(), "clean before any batch");
+        engine.process_batch(&batches[0]).unwrap();
+        let dirty = engine.dirty_rows().to_vec();
+        assert!(!dirty.is_empty());
+        assert!(dirty.windows(2).all(|w| w[0] < w[1]), "sorted and deduped");
+        // Completeness: any vertex with a changed row at any layer must be
+        // in the dirty set.
+        let after = engine.store();
+        for v in 0..after.num_vertices() as u32 {
+            let vid = VertexId(v);
+            let changed = (0..=after.num_layers())
+                .any(|l| after.embedding(l, vid) != before.embedding(l, vid))
+                || (1..=after.num_layers())
+                    .any(|l| after.aggregate(l, vid) != before.aggregate(l, vid));
+            if changed {
+                assert!(
+                    dirty.binary_search(&vid).is_ok(),
+                    "changed vertex {vid} missing from dirty rows"
+                );
+            }
+        }
+        // The set resets per batch.
+        engine
+            .process_batch(&UpdateBatch::from_updates(vec![
+                GraphUpdate::update_feature(VertexId(0), vec![0.5; 6]),
+            ]))
+            .unwrap();
+        assert!(engine.dirty_rows().binary_search(&VertexId(0)).is_ok());
+    }
+
     use ripple_gnn::EmbeddingStore;
+    use ripple_graph::GraphView;
 
     #[test]
     fn incremental_state_overhead_is_reported() {

@@ -36,7 +36,7 @@ use crate::Result;
 use ripple_gnn::layer_wise::reevaluate_slice_into;
 use ripple_gnn::recompute::BatchStats;
 use ripple_gnn::{EmbeddingStore, GnnModel};
-use ripple_graph::{DynamicGraph, UpdateBatch, VertexId};
+use ripple_graph::{CsrSnapshot, DynamicGraph, GraphView, UpdateBatch, VertexId};
 use ripple_tensor::Scratch;
 use std::collections::HashSet;
 use std::ops::Range;
@@ -69,9 +69,9 @@ const MIN_PARALLEL_FRONTIER: usize = 64;
 /// # Panics
 ///
 /// Panics if `scratches` is empty.
-pub fn evaluate_frontier_into(
+pub fn evaluate_frontier_into<G: GraphView + Sync + ?Sized>(
     pool: &WorkerPool,
-    graph: &DynamicGraph,
+    graph: &G,
     model: &GnnModel,
     store: &EmbeddingStore,
     hop: usize,
@@ -109,9 +109,9 @@ pub fn evaluate_frontier_into(
 /// # Errors
 ///
 /// Propagates layer lookup and tensor shape errors from any shard.
-pub fn evaluate_frontier(
+pub fn evaluate_frontier<G: GraphView + Sync + ?Sized>(
     pool: &WorkerPool,
-    graph: &DynamicGraph,
+    graph: &G,
     model: &GnnModel,
     store: &EmbeddingStore,
     hop: usize,
@@ -139,6 +139,10 @@ pub struct ParallelRippleEngine {
     store: EmbeddingStore,
     config: RippleConfig,
     pool: WorkerPool,
+    /// Persistent epoch-versioned CSR snapshot of the topology, kept in
+    /// lockstep with `graph` by the update operator; workers stream its
+    /// contiguous rows during frontier evaluation.
+    topo: CsrSnapshot,
     /// One persistent scratch arena per pool worker: once each arena reaches
     /// its steady-state frontier-shard size, the compute phase of every hop
     /// runs without heap allocation.
@@ -148,6 +152,9 @@ pub struct ParallelRippleEngine {
     mail: MailArena,
     /// Reusable buffer for the per-vertex output delta of the commit phase.
     commit_delta: Vec<f32>,
+    /// Vertices whose store rows changed during the last processed batch
+    /// (sorted, deduplicated) — see [`crate::RippleEngine::dirty_rows`].
+    dirty: Vec<VertexId>,
 }
 
 impl ParallelRippleEngine {
@@ -168,15 +175,18 @@ impl ParallelRippleEngine {
         validate_parts(&graph, &model, &store)?;
         let pool = WorkerPool::new(threads);
         let scratches = vec![Scratch::new(); pool.threads()];
+        let topo = CsrSnapshot::from_dynamic(&graph);
         Ok(ParallelRippleEngine {
             graph,
             model,
             store,
             config,
             pool,
+            topo,
             scratches,
             mail: MailArena::new(),
             commit_delta: Vec::new(),
+            dirty: Vec::new(),
         })
     }
 
@@ -188,6 +198,24 @@ impl ParallelRippleEngine {
     /// The current graph (reflecting every processed batch).
     pub fn graph(&self) -> &DynamicGraph {
         &self.graph
+    }
+
+    /// The engine's persistent topology snapshot (in lockstep with
+    /// [`ParallelRippleEngine::graph`]).
+    pub fn topology(&self) -> &CsrSnapshot {
+        &self.topo
+    }
+
+    /// The topology epoch: how many update batches the snapshot has
+    /// absorbed.
+    pub fn topology_epoch(&self) -> u64 {
+        self.topo.epoch()
+    }
+
+    /// The sorted, deduplicated set of vertices whose store rows changed in
+    /// the last processed batch (empty before the first batch).
+    pub fn dirty_rows(&self) -> &[VertexId] {
+        &self.dirty
     }
 
     /// The current embedding store.
@@ -216,11 +244,12 @@ impl ParallelRippleEngine {
     }
 
     /// Memory overhead of the additional state Ripple keeps relative to the
-    /// recompute baseline (the aggregate tables plus the per-worker scratch
-    /// arenas), in bytes.
+    /// recompute baseline (the aggregate tables, the per-worker scratch
+    /// arenas and the CSR topology snapshot), in bytes.
     pub fn incremental_state_bytes(&self) -> usize {
         self.store.aggregate_memory_bytes()
             + self.mail.memory_bytes()
+            + self.topo.heap_bytes()
             + self
                 .scratches
                 .iter()
@@ -243,9 +272,11 @@ impl ParallelRippleEngine {
             store,
             config,
             pool,
+            topo,
             scratches,
             mail,
             commit_delta,
+            dirty,
         } = self;
         let num_layers = model.num_layers();
         let aggregator = model.aggregator();
@@ -256,11 +287,13 @@ impl ParallelRippleEngine {
 
         // Phase 1 — the `update` operator (hop 0), sequential over the batch.
         let update_start = Instant::now();
-        let mut phase = run_update_operator(graph, store, model, batch, &mut stats)?;
+        dirty.clear();
+        let mut phase = run_update_operator(graph, topo, store, model, batch, &mut stats)?;
         stats.update_time = update_start.elapsed();
 
         // Phase 2 — the `propagate` operator, hop by hop, frontier-parallel.
         let propagate_start = Instant::now();
+        dirty.extend(phase.changed_prev.iter().copied());
         for hop in 1..=num_layers {
             if hop >= 2 {
                 inject_edge_changes(
@@ -282,14 +315,15 @@ impl ParallelRippleEngine {
             if hop == num_layers {
                 stats.affected_final = affected.len();
             }
+            dirty.extend_from_slice(&affected);
 
             // Apply phase in place on the owner thread, then compute phase:
             // workers re-evaluate disjoint, contiguous shards of the
             // frontier into their own scratch arenas — allocation-free once
-            // the arenas are warm.
+            // the arenas are warm — streaming the snapshot's CSR rows.
             apply_mail(store, hop, mail, &mut stats);
             let ranges =
-                evaluate_frontier_into(pool, graph, model, store, hop, &affected, scratches)?;
+                evaluate_frontier_into(pool, topo, model, store, hop, &affected, scratches)?;
 
             // Owner-ordered reduction: commit store writes and next-hop
             // deposits block after block in ascending vertex order, exactly
@@ -297,7 +331,7 @@ impl ParallelRippleEngine {
             let mut changed_now = HashSet::with_capacity(affected.len());
             for (scratch, range) in scratches.iter().zip(ranges) {
                 commit_hop(
-                    graph,
+                    topo,
                     store,
                     *config,
                     aggregator,
@@ -313,7 +347,13 @@ impl ParallelRippleEngine {
             }
             phase.changed_prev = changed_now;
         }
+        dirty.sort_unstable();
+        dirty.dedup();
         stats.propagate_time = propagate_start.elapsed();
+
+        // Batch absorbed: bump the topology epoch and compact if due.
+        topo.advance_epoch();
+        topo.maybe_compact();
         Ok(stats)
     }
 }

@@ -18,7 +18,7 @@ use crate::{DistError, Result};
 use ripple_core::{evaluate_frontier_into, DeltaMessage, MailboxSet, Scratch, WorkerPool};
 use ripple_gnn::{EmbeddingStore, GnnModel};
 use ripple_graph::partition::Partitioning;
-use ripple_graph::{DynamicGraph, GraphUpdate, UpdateBatch, VertexId};
+use ripple_graph::{CsrSnapshot, DynamicGraph, GraphUpdate, GraphView, UpdateBatch, VertexId};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::time::{Duration, Instant};
 
@@ -123,6 +123,12 @@ pub struct DistRippleEngine {
     network: NetworkModel,
     stores: Vec<EmbeddingStore>,
     pool: WorkerPool,
+    /// Persistent epoch-versioned CSR snapshot of the replicated topology
+    /// (DistDGL-style halo replication makes every worker's local topology
+    /// complete, so one snapshot simulates all replicas). The update
+    /// operator keeps it in lockstep with `graph`; every worker's compute
+    /// phase and message fanout stream its contiguous rows.
+    topo: CsrSnapshot,
     /// One persistent scratch arena per pool worker, shared across the
     /// simulated workers' compute phases (they run one after another in this
     /// simulation); steady-state frontier evaluation is allocation-free.
@@ -157,6 +163,7 @@ impl DistRippleEngine {
             network,
             stores,
             pool: WorkerPool::default(),
+            topo: CsrSnapshot::from_dynamic(graph),
             scratches: vec![Scratch::new()],
             commit_delta: Vec::new(),
         })
@@ -186,6 +193,18 @@ impl DistRippleEngine {
     /// The replicated topology (reflecting every processed batch).
     pub fn graph(&self) -> &DynamicGraph {
         &self.graph
+    }
+
+    /// The engine's persistent topology snapshot (in lockstep with
+    /// [`DistRippleEngine::graph`]).
+    pub fn topology(&self) -> &CsrSnapshot {
+        &self.topo
+    }
+
+    /// The topology epoch: how many update batches the snapshot has
+    /// absorbed.
+    pub fn topology_epoch(&self) -> u64 {
+        self.topo.epoch()
     }
 
     /// The model used for inference.
@@ -223,6 +242,7 @@ impl DistRippleEngine {
             network,
             stores,
             pool,
+            topo,
             scratches,
             commit_delta,
         } = self;
@@ -265,11 +285,8 @@ impl DistRippleEngine {
                         .zip(stores[owner].embedding(0, *vertex).iter())
                         .map(|(n, o)| n - o)
                         .collect();
-                    for (&w, &weight) in graph
-                        .out_neighbors(*vertex)
-                        .iter()
-                        .zip(graph.out_weights(*vertex).iter())
-                    {
+                    let (sinks, weights) = GraphView::out_adjacency(topo, *vertex);
+                    for (&w, &weight) in sinks.iter().zip(weights.iter()) {
                         router.deposit(1, owner, w, aggregator.edge_coefficient(weight), &delta);
                     }
                     graph.set_feature(*vertex, features)?;
@@ -279,6 +296,8 @@ impl DistRippleEngine {
                 GraphUpdate::AddEdge { src, dst, weight } => {
                     snapshot_source(stores, partitioning, model, &mut source_snapshots, *src);
                     graph.add_edge(*src, *dst, *weight)?;
+                    topo.add_edge(*src, *dst, *weight)
+                        .expect("topology snapshot out of sync with graph");
                     let owner = partitioning.part_of(*src).index();
                     let coeff = aggregator.edge_coefficient(*weight);
                     router.deposit(1, owner, *dst, coeff, stores[owner].embedding(0, *src));
@@ -295,6 +314,8 @@ impl DistRippleEngine {
                     })?;
                     snapshot_source(stores, partitioning, model, &mut source_snapshots, *src);
                     graph.remove_edge(*src, *dst)?;
+                    topo.remove_edge(*src, *dst)
+                        .expect("topology snapshot out of sync with graph");
                     let owner = partitioning.part_of(*src).index();
                     let coeff = aggregator.edge_coefficient(weight);
                     router.deposit(1, owner, *dst, -coeff, stores[owner].embedding(0, *src));
@@ -373,7 +394,7 @@ impl DistRippleEngine {
                 }
                 let ranges = evaluate_frontier_into(
                     pool,
-                    graph,
+                    &*topo,
                     model,
                     &stores[part],
                     hop,
@@ -396,13 +417,11 @@ impl DistRippleEngine {
                         stores[part].set_embedding(hop, v, new_embedding)?;
                         changed_now.insert(v);
 
-                        // Forward messages to the next hop's mailboxes.
+                        // Forward messages to the next hop's mailboxes,
+                        // streaming the snapshot's contiguous out-rows.
                         if hop < num_layers {
-                            for (&w, &weight) in graph
-                                .out_neighbors(v)
-                                .iter()
-                                .zip(graph.out_weights(v).iter())
-                            {
+                            let (sinks, weights) = GraphView::out_adjacency(&*topo, v);
+                            for (&w, &weight) in sinks.iter().zip(weights.iter()) {
                                 router.deposit(
                                     hop + 1,
                                     part,
@@ -420,6 +439,10 @@ impl DistRippleEngine {
             stats.compute_time += slowest_worker;
             changed_prev = changed_now;
         }
+
+        // Batch absorbed: bump the topology epoch and compact if due.
+        topo.advance_epoch();
+        topo.maybe_compact();
         Ok(stats)
     }
 }
@@ -623,6 +646,33 @@ mod tests {
             bytes[0],
             bytes[1]
         );
+    }
+
+    #[test]
+    fn topology_snapshot_tracks_the_replicated_graph() {
+        let (snapshot, model, store, batches) = bootstrap(Workload::GcS, 2, 29);
+        let partitioning = LdgPartitioner::new().partition(&snapshot, 3).unwrap();
+        let mut engine = DistRippleEngine::new(
+            &snapshot,
+            model,
+            &store,
+            partitioning,
+            NetworkModel::ten_gbe(),
+        )
+        .unwrap();
+        assert_eq!(engine.topology_epoch(), 0);
+        for batch in &batches {
+            engine.process_batch(batch).unwrap();
+        }
+        assert_eq!(engine.topology_epoch(), batches.len() as u64);
+        let graph = engine.graph();
+        let topo = engine.topology();
+        assert_eq!(GraphView::num_edges(topo), graph.num_edges());
+        for v in 0..graph.num_vertices() as u32 {
+            let vid = VertexId(v);
+            assert_eq!(topo.in_neighbors(vid), graph.in_neighbors(vid));
+            assert_eq!(topo.out_neighbors(vid), graph.out_neighbors(vid));
+        }
     }
 
     #[test]

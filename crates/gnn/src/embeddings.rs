@@ -167,6 +167,48 @@ impl EmbeddingStore {
         }
     }
 
+    /// Refreshes only the given vertices' rows (every embedding layer and
+    /// every aggregate table) from `other`, leaving all other rows untouched.
+    /// This is the O(affected) epoch refresh behind the serving layer's
+    /// dirty-row snapshot publication: when the caller knows which rows
+    /// changed between two stores of identical shape, copying just those
+    /// rows replaces the full-table memcpy of [`EmbeddingStore::copy_from`].
+    ///
+    /// Returns `false` without touching anything if the two stores have
+    /// different shapes (the caller should fall back to a full copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a vertex id is out of range for the stores.
+    pub fn copy_rows_from(&mut self, other: &EmbeddingStore, rows: &[VertexId]) -> bool {
+        let same_shape = self.embeddings.len() == other.embeddings.len()
+            && self.aggregates.len() == other.aggregates.len()
+            && self
+                .embeddings
+                .iter()
+                .zip(other.embeddings.iter())
+                .all(|(a, b)| a.shape() == b.shape())
+            && self
+                .aggregates
+                .iter()
+                .zip(other.aggregates.iter())
+                .all(|(a, b)| a.shape() == b.shape());
+        if !same_shape {
+            return false;
+        }
+        for (dst, src) in self
+            .embeddings
+            .iter_mut()
+            .zip(other.embeddings.iter())
+            .chain(self.aggregates.iter_mut().zip(other.aggregates.iter()))
+        {
+            for &v in rows {
+                dst.row_mut(v.index()).copy_from_slice(src.row(v.index()));
+            }
+        }
+        true
+    }
+
     /// The predicted class label of a vertex: the argmax of its final-layer
     /// embedding.
     ///
@@ -317,6 +359,28 @@ mod tests {
         src.set_embedding(0, VertexId(0), &[7.0; 4]).unwrap();
         dst.copy_from(&src);
         assert!(dst == src);
+    }
+
+    #[test]
+    fn copy_rows_from_refreshes_only_the_given_rows() {
+        let m = model();
+        let mut src = EmbeddingStore::zeroed(&m, 6);
+        src.set_embedding(2, VertexId(1), &[1.0; 3]).unwrap();
+        src.set_embedding(2, VertexId(4), &[2.0; 3]).unwrap();
+        src.set_aggregate(1, VertexId(1), &[3.0; 4]).unwrap();
+        let mut dst = EmbeddingStore::zeroed(&m, 6);
+        assert!(dst.copy_rows_from(&src, &[VertexId(1)]));
+        assert_eq!(dst.embedding(2, VertexId(1)), &[1.0; 3]);
+        assert_eq!(dst.aggregate(1, VertexId(1)), &[3.0; 4]);
+        // Row 4 was not in the dirty set: untouched.
+        assert_eq!(dst.embedding(2, VertexId(4)), &[0.0; 3]);
+        // After copying the remaining dirty row the stores converge.
+        assert!(dst.copy_rows_from(&src, &[VertexId(4)]));
+        assert!(dst == src);
+        // Shape mismatch is refused, not half-applied.
+        let mut small = EmbeddingStore::zeroed(&m, 3);
+        assert!(!small.copy_rows_from(&src, &[VertexId(1)]));
+        assert_eq!(small.embedding(2, VertexId(1)), &[0.0; 3]);
     }
 
     #[test]

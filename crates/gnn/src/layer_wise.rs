@@ -18,19 +18,31 @@
 //! per-vertex reference ([`full_inference_per_vertex`]) because every kernel
 //! accumulates in the same per-element order — `tests/kernel_parity.rs` pins
 //! this for every `LayerKind x Aggregator` combination.
+//!
+//! # Topology access
+//!
+//! Every evaluator reads adjacency through the [`GraphView`] trait, so the
+//! same kernels run against [`DynamicGraph`]'s `Vec` lists, an immutable
+//! [`ripple_graph::CsrGraph`], or the engines' incrementally maintained
+//! [`ripple_graph::CsrSnapshot`]. The bootstrap pass
+//! ([`full_inference_with_pool`]) snapshots the graph into CSR form once and
+//! streams one contiguous index/weight slice per vertex — the sparse phase
+//! walks two flat arrays instead of chasing per-vertex heap allocations.
+//! Because a CSR snapshot preserves the dynamic lists' per-vertex neighbour
+//! order, the streamed result is bit-identical to the dynamic-list walk.
 
 use crate::embeddings::EmbeddingStore;
 use crate::model::GnnModel;
 use crate::{GnnError, Result};
-use ripple_graph::{DynamicGraph, VertexId};
-use ripple_tensor::{Scratch, WorkerPool};
+use ripple_graph::{DynamicGraph, GraphView, VertexId};
+use ripple_tensor::{Matrix, Scratch, WorkerPool};
 
-/// Checks that the graph's feature width matches the model input width.
-fn validate_feature_dim(graph: &DynamicGraph, model: &GnnModel) -> Result<()> {
-    if graph.feature_dim() != model.input_dim() {
+/// Checks that a feature width matches the model input width.
+fn validate_feature_dim(feature_dim: usize, model: &GnnModel) -> Result<()> {
+    if feature_dim != model.input_dim() {
         return Err(GnnError::FeatureDimMismatch {
             model: model.input_dim(),
-            graph: graph.feature_dim(),
+            graph: feature_dim,
         });
     }
     Ok(())
@@ -50,14 +62,9 @@ pub fn full_inference(graph: &DynamicGraph, model: &GnnModel) -> Result<Embeddin
 }
 
 /// Runs full layer-wise inference with each hop's vertex range sharded over
-/// `pool`: the hop's aggregate and embedding tables are pre-split into one
-/// contiguous row block per worker (via [`pool::split_ranges`], the same
-/// arithmetic [`WorkerPool::map_ranges`] shards with), and every worker
-/// aggregates and GEMM-evaluates its block **in place** — no chunk-local
-/// result buffers, no copy-back. The result is bit-identical for any thread
-/// count.
-///
-/// [`pool::split_ranges`]: ripple_tensor::pool::split_ranges
+/// `pool`. The graph is snapshotted into CSR form once and every hop streams
+/// contiguous index/weight slices from it; see [`full_inference_on`] for the
+/// view-generic evaluator underneath.
 ///
 /// # Errors
 ///
@@ -68,12 +75,45 @@ pub fn full_inference_with_pool(
     model: &GnnModel,
     pool: &WorkerPool,
 ) -> Result<EmbeddingStore> {
-    validate_feature_dim(graph, model)?;
-    let n = graph.num_vertices();
+    validate_feature_dim(graph.feature_dim(), model)?;
+    let csr = graph.to_csr();
+    full_inference_on(&csr, graph.features(), model, pool)
+}
+
+/// Runs full layer-wise inference against any [`GraphView`], taking the
+/// layer-0 embeddings from `features` (one row per vertex): the hop's
+/// aggregate and embedding tables are pre-split into one contiguous row
+/// block per worker (via [`pool::split_ranges`], the same arithmetic
+/// [`WorkerPool::map_ranges`] shards with), and every worker aggregates and
+/// GEMM-evaluates its block **in place** — no chunk-local result buffers, no
+/// copy-back. The result is bit-identical for any thread count and for any
+/// view presenting the same per-vertex neighbour order.
+///
+/// [`pool::split_ranges`]: ripple_tensor::pool::split_ranges
+///
+/// # Errors
+///
+/// Returns [`GnnError::FeatureDimMismatch`] if the feature width does not
+/// match the model's input dimension, or [`GnnError::StoreMismatch`] if
+/// `features` does not cover the view's vertices.
+pub fn full_inference_on<G: GraphView + Sync>(
+    view: &G,
+    features: &Matrix,
+    model: &GnnModel,
+    pool: &WorkerPool,
+) -> Result<EmbeddingStore> {
+    validate_feature_dim(features.cols(), model)?;
+    let n = view.num_vertices();
+    if features.rows() != n {
+        return Err(GnnError::StoreMismatch(format!(
+            "feature table covers {} vertices, view has {n}",
+            features.rows()
+        )));
+    }
     let mut store = EmbeddingStore::zeroed(model, n);
 
     // Layer 0 embeddings are the input features.
-    *store.embeddings_mut(0) = graph.features().clone();
+    *store.embeddings_mut(0) = features.clone();
 
     let aggregator = model.aggregator();
     for (hop, layer) in model.iter_layers() {
@@ -101,13 +141,15 @@ pub fn full_inference_with_pool(
         let results = pool.map_ranges(&mut states, n, |state, range| -> Result<()> {
             let (agg_block, emb_block, scratch) = state;
             let m = range.len();
-            // Sparse phase: raw aggregates straight into the store block.
+            // Sparse phase: raw aggregates straight into the store block,
+            // streaming one contiguous index/weight slice per vertex.
             for (i, v) in range.clone().enumerate() {
                 let vid = VertexId(v as u32);
+                let (neighbors, weights) = view.in_adjacency(vid);
                 aggregator.raw_aggregate_into(
                     prev,
-                    graph.in_neighbors(vid),
-                    graph.in_weights(vid),
+                    neighbors,
+                    weights,
                     &mut agg_block[i * in_dim..(i + 1) * in_dim],
                 );
             }
@@ -122,7 +164,7 @@ pub fn full_inference_with_pool(
                     let vid = VertexId(v as u32);
                     aggregator.finalize_into(
                         &agg_block[i * in_dim..(i + 1) * in_dim],
-                        graph.in_degree(vid),
+                        view.in_degree(vid),
                         scratch.lhs.row_mut(i),
                     );
                 }
@@ -155,7 +197,7 @@ pub fn full_inference_with_pool(
 /// Returns [`GnnError::FeatureDimMismatch`] if the graph's feature width does
 /// not match the model's input dimension.
 pub fn full_inference_per_vertex(graph: &DynamicGraph, model: &GnnModel) -> Result<EmbeddingStore> {
-    validate_feature_dim(graph, model)?;
+    validate_feature_dim(graph.feature_dim(), model)?;
     let n = graph.num_vertices();
     let mut store = EmbeddingStore::zeroed(model, n);
     *store.embeddings_mut(0) = graph.features().clone();
@@ -196,8 +238,8 @@ pub fn full_inference_per_vertex(graph: &DynamicGraph, model: &GnnModel) -> Resu
 /// # Errors
 ///
 /// Propagates tensor shape errors if the store does not match the model.
-pub fn recompute_vertices_at_hop(
-    graph: &DynamicGraph,
+pub fn recompute_vertices_at_hop<G: GraphView + ?Sized>(
+    graph: &G,
     model: &GnnModel,
     store: &mut EmbeddingStore,
     hop: usize,
@@ -250,8 +292,8 @@ pub fn recompute_vertices_at_hop(
 /// # Errors
 ///
 /// Propagates layer lookup and tensor shape errors.
-pub fn reevaluate_slice_into(
-    graph: &DynamicGraph,
+pub fn reevaluate_slice_into<G: GraphView + ?Sized>(
+    graph: &G,
     model: &GnnModel,
     store: &EmbeddingStore,
     hop: usize,
@@ -295,8 +337,8 @@ pub fn reevaluate_slice_into(
 /// # Errors
 ///
 /// Propagates layer lookup and tensor shape errors.
-pub fn reevaluate_slice(
-    graph: &DynamicGraph,
+pub fn reevaluate_slice<G: GraphView + ?Sized>(
+    graph: &G,
     model: &GnnModel,
     store: &EmbeddingStore,
     hop: usize,
@@ -403,6 +445,44 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Every topology view — dynamic lists, immutable CSR, CSR snapshot
+    /// with a live overlay — must evaluate to bit-identical stores, since
+    /// all of them present the same per-vertex neighbour order.
+    #[test]
+    fn full_inference_on_any_view_is_bit_identical() {
+        use ripple_graph::{CsrSnapshot, GraphUpdate};
+        let mut g = DatasetSpec::custom(70, 5.0, 6, 4)
+            .generate_weighted(11, true)
+            .unwrap();
+        let model = GnnModel::new(LayerKind::Sage, Aggregator::Mean, &[6, 8, 4], 5).unwrap();
+        let mut snap = CsrSnapshot::from_dynamic(&g);
+        // Dirty the overlay so reads mix base slices and overlay rows.
+        let updates = vec![
+            GraphUpdate::add_weighted_edge(VertexId(0), VertexId(42), 0.75),
+            GraphUpdate::add_weighted_edge(VertexId(3), VertexId(42), 1.25),
+            GraphUpdate::delete_edge(VertexId(0), VertexId(42)),
+        ];
+        for u in &updates {
+            g.apply(u).unwrap();
+            snap.apply(u).unwrap();
+        }
+        let pool = WorkerPool::new(2);
+        let via_dynamic = full_inference_on(&g, g.features(), &model, &pool).unwrap();
+        let via_csr = full_inference_on(&g.to_csr(), g.features(), &model, &pool).unwrap();
+        let via_snapshot = full_inference_on(&snap, g.features(), &model, &pool).unwrap();
+        assert!(via_dynamic == via_csr, "CSR view diverged");
+        assert!(via_dynamic == via_snapshot, "snapshot view diverged");
+        // And the snapshot keeps agreeing after a compaction.
+        snap.compact();
+        let compacted = full_inference_on(&snap, g.features(), &model, &pool).unwrap();
+        assert!(via_dynamic == compacted, "compacted snapshot diverged");
+        // A feature table that does not cover the view is rejected.
+        assert!(matches!(
+            full_inference_on(&snap, &Matrix::zeros(3, 6), &model, &pool),
+            Err(GnnError::StoreMismatch(_))
+        ));
     }
 
     #[test]

@@ -99,8 +99,8 @@ impl BatchStats {
 /// * hop `l` — out-neighbours of hop `l-1`, plus edge-update sinks again
 ///   (a new/deleted edge changes the sink's aggregate at *every* layer), plus
 ///   hop `l-1` itself for self-dependent models.
-pub fn affected_hops(
-    graph: &DynamicGraph,
+pub fn affected_hops<G: ripple_graph::GraphView + ?Sized>(
+    graph: &G,
     model: &GnnModel,
     batch: &UpdateBatch,
 ) -> Vec<HashSet<VertexId>> {

@@ -27,23 +27,29 @@ use crate::ids::VertexId;
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct CsrGraph {
-    num_vertices: usize,
-    num_edges: usize,
-    in_offsets: Vec<usize>,
-    in_targets: Vec<VertexId>,
-    in_weights: Vec<f32>,
-    out_offsets: Vec<usize>,
-    out_targets: Vec<VertexId>,
-    out_weights: Vec<f32>,
+    pub(crate) num_vertices: usize,
+    pub(crate) num_edges: usize,
+    pub(crate) in_offsets: Vec<usize>,
+    pub(crate) in_targets: Vec<VertexId>,
+    pub(crate) in_weights: Vec<f32>,
+    pub(crate) out_offsets: Vec<usize>,
+    pub(crate) out_targets: Vec<VertexId>,
+    pub(crate) out_weights: Vec<f32>,
 }
 
 impl CsrGraph {
     /// Builds a CSR snapshot from a dynamic graph's current topology.
+    ///
+    /// Every array is pre-reserved to its exact final size from
+    /// [`DynamicGraph::num_edges`], so the `|V|` `extend_from_slice` calls
+    /// below append into already-allocated storage and never trigger a
+    /// reallocation mid-build.
     pub fn from_dynamic(g: &DynamicGraph) -> Self {
         let n = g.num_vertices();
+        let edges = g.num_edges();
         let mut in_offsets = Vec::with_capacity(n + 1);
-        let mut in_targets = Vec::with_capacity(g.num_edges());
-        let mut in_weights = Vec::with_capacity(g.num_edges());
+        let mut in_targets: Vec<VertexId> = Vec::with_capacity(edges);
+        let mut in_weights: Vec<f32> = Vec::with_capacity(edges);
         in_offsets.push(0);
         for v in 0..n {
             let vid = VertexId(v as u32);
@@ -52,8 +58,8 @@ impl CsrGraph {
             in_offsets.push(in_targets.len());
         }
         let mut out_offsets = Vec::with_capacity(n + 1);
-        let mut out_targets = Vec::with_capacity(g.num_edges());
-        let mut out_weights = Vec::with_capacity(g.num_edges());
+        let mut out_targets: Vec<VertexId> = Vec::with_capacity(edges);
+        let mut out_weights: Vec<f32> = Vec::with_capacity(edges);
         out_offsets.push(0);
         for v in 0..n {
             let vid = VertexId(v as u32);
@@ -61,9 +67,11 @@ impl CsrGraph {
             out_weights.extend_from_slice(g.out_weights(vid));
             out_offsets.push(out_targets.len());
         }
+        debug_assert_eq!(in_targets.len(), edges, "in-CSR must cover every edge");
+        debug_assert_eq!(out_targets.len(), edges, "out-CSR must cover every edge");
         CsrGraph {
             num_vertices: n,
-            num_edges: g.num_edges(),
+            num_edges: edges,
             in_offsets,
             in_targets,
             in_weights,
@@ -123,6 +131,30 @@ impl CsrGraph {
         &self.out_weights[self.out_offsets[i]..self.out_offsets[i + 1]]
     }
 
+    /// Both in-edge slices of `v` with a single pair of offset loads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a vertex of the graph.
+    #[inline]
+    pub fn in_adjacency(&self, v: VertexId) -> (&[VertexId], &[f32]) {
+        let i = v.index();
+        let (start, end) = (self.in_offsets[i], self.in_offsets[i + 1]);
+        (&self.in_targets[start..end], &self.in_weights[start..end])
+    }
+
+    /// Both out-edge slices of `u` with a single pair of offset loads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is not a vertex of the graph.
+    #[inline]
+    pub fn out_adjacency(&self, u: VertexId) -> (&[VertexId], &[f32]) {
+        let i = u.index();
+        let (start, end) = (self.out_offsets[i], self.out_offsets[i + 1]);
+        (&self.out_targets[start..end], &self.out_weights[start..end])
+    }
+
     /// In-degree of `v`.
     pub fn in_degree(&self, v: VertexId) -> usize {
         self.in_neighbors(v).len()
@@ -145,6 +177,14 @@ impl CsrGraph {
                 * std::mem::size_of::<VertexId>()
             + (self.in_weights.capacity() + self.out_weights.capacity())
                 * std::mem::size_of::<f32>()
+    }
+
+    /// Heap bytes held by the CSR arrays — the same accounting surface as
+    /// [`DynamicGraph::memory_bytes`], so the two representations can be
+    /// compared head to head (the CSR form carries no per-vertex `Vec`
+    /// headers and no features table).
+    pub fn heap_bytes(&self) -> usize {
+        self.memory_bytes()
     }
 }
 

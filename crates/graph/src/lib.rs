@@ -11,6 +11,10 @@
 //!   list structures").
 //! * [`CsrGraph`] — an immutable CSR snapshot used by the full layer-wise
 //!   inference pass that bootstraps embeddings before updates start streaming.
+//! * [`GraphView`] / [`CsrSnapshot`] — the read-only adjacency trait the
+//!   whole compute spine streams through, and the epoch-versioned CSR + delta
+//!   overlay (with incremental compaction) the engines keep hot instead of
+//!   walking the dynamic lists per batch.
 //! * [`synth`] — seeded power-law graph generators and [`synth::DatasetSpec`]s
 //!   that mimic the paper's datasets (same average in-degree, feature width
 //!   and class count, at a configurable scale).
@@ -45,15 +49,19 @@ pub mod dynamic;
 pub mod error;
 pub mod ids;
 pub mod partition;
+pub mod snapshot;
 pub mod stream;
 pub mod synth;
 pub mod update;
+pub mod view;
 
 pub use csr::CsrGraph;
 pub use dynamic::DynamicGraph;
 pub use error::GraphError;
 pub use ids::{PartitionId, VertexId};
+pub use snapshot::{CompactionPolicy, CompactionStats, CsrSnapshot};
 pub use update::{GraphUpdate, UpdateBatch, UpdateKind};
+pub use view::GraphView;
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, GraphError>;

@@ -1,0 +1,250 @@
+//! Read-only topology access shared by every representation of a graph.
+//!
+//! The compute spine (batched bootstrap inference, the incremental engines'
+//! frontier re-evaluation and message fanout) only ever *reads* adjacency:
+//! in-neighbours and their weights for aggregation, out-neighbours and their
+//! weights for delta fanout, degrees for mean normalisation. [`GraphView`]
+//! abstracts exactly that surface so the same kernels run against
+//! [`DynamicGraph`]'s per-vertex `Vec` lists, an immutable [`CsrGraph`]
+//! snapshot, or the incrementally maintained [`CsrSnapshot`] overlay.
+//!
+//! # Bit-parity contract
+//!
+//! Every implementation must present each vertex's neighbour/weight slices
+//! **in the same per-vertex order** as the [`DynamicGraph`] they mirror
+//! (insertion order, with [`DynamicGraph::remove_edge`]'s `swap_remove`
+//! reordering applied identically). Neighbour order fixes the float
+//! accumulation order of the aggregation kernels, so preserving it is what
+//! keeps the serial, parallel, distributed and serving paths bit-identical
+//! no matter which view they stream.
+//!
+//! [`CsrSnapshot`]: crate::snapshot::CsrSnapshot
+
+use crate::csr::CsrGraph;
+use crate::dynamic::DynamicGraph;
+use crate::ids::VertexId;
+
+/// Read-only adjacency view over a directed, weighted graph with dense
+/// vertex ids `0..n`.
+pub trait GraphView {
+    /// Number of vertices.
+    fn num_vertices(&self) -> usize;
+
+    /// Number of directed edges.
+    fn num_edges(&self) -> usize;
+
+    /// In-neighbours of `v` (sources of edges entering `v`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a vertex of the graph.
+    fn in_neighbors(&self, v: VertexId) -> &[VertexId];
+
+    /// Weights of the in-edges of `v`, parallel to
+    /// [`GraphView::in_neighbors`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a vertex of the graph.
+    fn in_weights(&self, v: VertexId) -> &[f32];
+
+    /// Out-neighbours of `u` (sinks of edges leaving `u`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is not a vertex of the graph.
+    fn out_neighbors(&self, u: VertexId) -> &[VertexId];
+
+    /// Weights of the out-edges of `u`, parallel to
+    /// [`GraphView::out_neighbors`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is not a vertex of the graph.
+    fn out_weights(&self, u: VertexId) -> &[f32];
+
+    /// Both in-edge slices of `v` in one call — the hot aggregation loop
+    /// uses this so implementations can resolve the row lookup (CSR offset
+    /// loads, overlay probes) once instead of twice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a vertex of the graph.
+    fn in_adjacency(&self, v: VertexId) -> (&[VertexId], &[f32]) {
+        (self.in_neighbors(v), self.in_weights(v))
+    }
+
+    /// Both out-edge slices of `u` in one call — the message-fanout loops
+    /// use this; same single-lookup rationale as
+    /// [`GraphView::in_adjacency`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is not a vertex of the graph.
+    fn out_adjacency(&self, u: VertexId) -> (&[VertexId], &[f32]) {
+        (self.out_neighbors(u), self.out_weights(u))
+    }
+
+    /// In-degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a vertex of the graph.
+    fn in_degree(&self, v: VertexId) -> usize {
+        self.in_neighbors(v).len()
+    }
+
+    /// Out-degree of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is not a vertex of the graph.
+    fn out_degree(&self, u: VertexId) -> usize {
+        self.out_neighbors(u).len()
+    }
+
+    /// Returns `true` if `v` is a valid vertex id for this view.
+    fn contains_vertex(&self, v: VertexId) -> bool {
+        v.index() < self.num_vertices()
+    }
+}
+
+impl GraphView for DynamicGraph {
+    fn num_vertices(&self) -> usize {
+        DynamicGraph::num_vertices(self)
+    }
+
+    fn num_edges(&self) -> usize {
+        DynamicGraph::num_edges(self)
+    }
+
+    fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        DynamicGraph::in_neighbors(self, v)
+    }
+
+    fn in_weights(&self, v: VertexId) -> &[f32] {
+        DynamicGraph::in_weights(self, v)
+    }
+
+    fn out_neighbors(&self, u: VertexId) -> &[VertexId] {
+        DynamicGraph::out_neighbors(self, u)
+    }
+
+    fn out_weights(&self, u: VertexId) -> &[f32] {
+        DynamicGraph::out_weights(self, u)
+    }
+}
+
+impl GraphView for CsrGraph {
+    fn num_vertices(&self) -> usize {
+        CsrGraph::num_vertices(self)
+    }
+
+    fn num_edges(&self) -> usize {
+        CsrGraph::num_edges(self)
+    }
+
+    fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        CsrGraph::in_neighbors(self, v)
+    }
+
+    fn in_weights(&self, v: VertexId) -> &[f32] {
+        CsrGraph::in_edge_weights(self, v)
+    }
+
+    fn out_neighbors(&self, u: VertexId) -> &[VertexId] {
+        CsrGraph::out_neighbors(self, u)
+    }
+
+    fn out_weights(&self, u: VertexId) -> &[f32] {
+        CsrGraph::out_edge_weights(self, u)
+    }
+
+    fn in_adjacency(&self, v: VertexId) -> (&[VertexId], &[f32]) {
+        CsrGraph::in_adjacency(self, v)
+    }
+
+    fn out_adjacency(&self, u: VertexId) -> (&[VertexId], &[f32]) {
+        CsrGraph::out_adjacency(self, u)
+    }
+}
+
+impl<G: GraphView + ?Sized> GraphView for &G {
+    fn num_vertices(&self) -> usize {
+        (**self).num_vertices()
+    }
+
+    fn num_edges(&self) -> usize {
+        (**self).num_edges()
+    }
+
+    fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        (**self).in_neighbors(v)
+    }
+
+    fn in_weights(&self, v: VertexId) -> &[f32] {
+        (**self).in_weights(v)
+    }
+
+    fn out_neighbors(&self, u: VertexId) -> &[VertexId] {
+        (**self).out_neighbors(u)
+    }
+
+    fn out_weights(&self, u: VertexId) -> &[f32] {
+        (**self).out_weights(u)
+    }
+
+    fn in_adjacency(&self, v: VertexId) -> (&[VertexId], &[f32]) {
+        (**self).in_adjacency(v)
+    }
+
+    fn out_adjacency(&self, u: VertexId) -> (&[VertexId], &[f32]) {
+        (**self).out_adjacency(u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DynamicGraph {
+        let mut g = DynamicGraph::new(4, 1);
+        g.add_edge(VertexId(0), VertexId(1), 1.0).unwrap();
+        g.add_edge(VertexId(0), VertexId(2), 2.0).unwrap();
+        g.add_edge(VertexId(3), VertexId(2), 3.0).unwrap();
+        g
+    }
+
+    /// A generic consumer sees identical adjacency through every view.
+    fn total_weight<G: GraphView>(view: &G) -> f32 {
+        (0..view.num_vertices() as u32)
+            .map(VertexId)
+            .flat_map(|v| view.in_weights(v).to_vec())
+            .sum()
+    }
+
+    #[test]
+    fn dynamic_and_csr_views_agree() {
+        let g = sample();
+        let csr = g.to_csr();
+        assert_eq!(GraphView::num_edges(&g), GraphView::num_edges(&csr));
+        assert_eq!(total_weight(&g), total_weight(&csr));
+        for v in 0..4u32 {
+            let vid = VertexId(v);
+            assert_eq!(GraphView::in_neighbors(&g, vid), csr.in_neighbors(vid));
+            assert_eq!(GraphView::out_neighbors(&g, vid), csr.out_neighbors(vid));
+            assert_eq!(
+                GraphView::in_degree(&g, vid),
+                GraphView::in_degree(&csr, vid)
+            );
+            assert_eq!(
+                GraphView::out_degree(&g, vid),
+                GraphView::out_degree(&csr, vid)
+            );
+        }
+        assert!(GraphView::contains_vertex(&g, VertexId(3)));
+        assert!(!GraphView::contains_vertex(&g, VertexId(4)));
+        // A borrowed view forwards.
+        assert_eq!(total_weight(&&g), total_weight(&g));
+    }
+}

@@ -1,0 +1,247 @@
+//! Bounded HDR-style latency histogram for the load generator.
+//!
+//! The original loadgen kept every read latency in an in-memory `Vec` and
+//! sorted it at the end — fine for short smoke runs, but memory grows
+//! linearly with read count, which rules out multi-minute soak runs at
+//! millions of reads per minute. [`LatencyHistogram`] replaces it with the
+//! classic HDR bucketing scheme: exponential magnitude buckets, each split
+//! into `2^PRECISION_BITS` linear sub-buckets, giving a fixed ~16 KiB
+//! footprint, O(1) recording and a bounded relative quantile error of
+//! `2^-PRECISION_BITS` (≈3%) — far below the run-to-run noise of any
+//! wall-clock latency measurement.
+
+use std::time::Duration;
+
+/// Sub-bucket resolution: each power-of-two magnitude splits into
+/// `2^PRECISION_BITS` linear sub-buckets, bounding the relative quantile
+/// error at `2^-PRECISION_BITS`.
+const PRECISION_BITS: u32 = 5;
+const SUB_BUCKETS: usize = 1 << PRECISION_BITS; // 32
+/// Magnitudes 0..64 cover the full u64 nanosecond range (≈584 years).
+const MAGNITUDES: usize = 64;
+const BUCKETS: usize = MAGNITUDES * SUB_BUCKETS;
+
+/// A constant-memory latency histogram with bounded relative error.
+///
+/// # Example
+///
+/// ```
+/// use ripple_serve::histogram::LatencyHistogram;
+/// use std::time::Duration;
+///
+/// let mut h = LatencyHistogram::new();
+/// for us in [10u64, 20, 30, 40, 1000] {
+///     h.record(Duration::from_micros(us));
+/// }
+/// assert_eq!(h.len(), 5);
+/// let p50 = h.percentile(50.0);
+/// assert!(p50 >= Duration::from_micros(29) && p50 <= Duration::from_micros(31));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: Box<[u64; BUCKETS]>,
+    total: u64,
+    /// Exact maximum, so the top percentiles never under-report the tail.
+    max_nanos: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+/// The bucket index of a nanosecond value.
+#[inline]
+fn bucket_of(nanos: u64) -> usize {
+    if nanos < SUB_BUCKETS as u64 {
+        // Values below 2^PRECISION_BITS are exact: one bucket per value.
+        return nanos as usize;
+    }
+    let magnitude = 63 - nanos.leading_zeros(); // >= PRECISION_BITS
+    let sub = (nanos >> (magnitude - PRECISION_BITS)) as usize & (SUB_BUCKETS - 1);
+    ((magnitude - PRECISION_BITS + 1) as usize) * SUB_BUCKETS + sub
+}
+
+/// The largest nanosecond value a bucket covers (its inclusive upper edge),
+/// so percentiles report conservative (never under-estimated) latencies.
+#[inline]
+fn bucket_upper_edge(bucket: usize) -> u64 {
+    if bucket < SUB_BUCKETS {
+        return bucket as u64;
+    }
+    let magnitude = (bucket / SUB_BUCKETS - 1) as u32 + PRECISION_BITS;
+    let sub = (bucket % SUB_BUCKETS) as u64;
+    let base = 1u64 << magnitude;
+    let step = 1u64 << (magnitude - PRECISION_BITS);
+    base + (sub + 1) * step - 1
+}
+
+impl LatencyHistogram {
+    /// An empty histogram. Allocates its fixed bucket table once; recording
+    /// never allocates.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: Box::new([0u64; BUCKETS]),
+            total: 0,
+            max_nanos: 0,
+        }
+    }
+
+    /// Records one sample in O(1), constant memory.
+    pub fn record(&mut self, latency: Duration) {
+        let nanos = latency.as_nanos().min(u64::MAX as u128) as u64;
+        self.counts[bucket_of(nanos)] += 1;
+        self.total += 1;
+        self.max_nanos = self.max_nanos.max(nanos);
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The exact maximum recorded latency.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_nanos)
+    }
+
+    /// Folds another histogram into this one (used to merge per-reader
+    /// histograms into the run total).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (dst, src) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *dst += src;
+        }
+        self.total += other.total;
+        self.max_nanos = self.max_nanos.max(other.max_nanos);
+    }
+
+    /// The nearest-rank `p`-th percentile (0–100), within the histogram's
+    /// relative error bound; the 100th percentile reports the exact
+    /// maximum. [`Duration::ZERO`] when empty.
+    pub fn percentile(&self, p: f64) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        // The same nearest-rank arithmetic the Vec-based sampler used:
+        // index round(p/100 * (n-1)) of the sorted samples.
+        let rank = ((p.clamp(0.0, 100.0) / 100.0) * (self.total as f64 - 1.0)).round() as u64;
+        let mut seen = 0u64;
+        for (bucket, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen > rank {
+                // The top bucket's edge may overshoot the true maximum;
+                // clamp so no percentile exceeds an observed value.
+                return Duration::from_nanos(bucket_upper_edge(bucket).min(self.max_nanos));
+            }
+        }
+        self.max()
+    }
+
+    /// Heap bytes held by the bucket table — constant for the histogram's
+    /// lifetime, regardless of how many samples are recorded.
+    pub fn memory_bytes(&self) -> usize {
+        BUCKETS * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for n in 0..SUB_BUCKETS as u64 {
+            h.record(Duration::from_nanos(n));
+        }
+        assert_eq!(h.len(), SUB_BUCKETS as u64);
+        assert_eq!(h.percentile(0.0), Duration::from_nanos(0));
+        assert_eq!(h.percentile(100.0), Duration::from_nanos(31));
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        // Any single recorded value must be reported within the 2^-5
+        // relative error bound at every percentile.
+        for &nanos in &[100u64, 999, 12_345, 1_000_000, 87_654_321] {
+            let mut h = LatencyHistogram::new();
+            h.record(Duration::from_nanos(nanos));
+            for p in [0.0, 50.0, 99.0, 100.0] {
+                let reported = h.percentile(p).as_nanos() as u64;
+                assert!(
+                    reported >= nanos && reported as f64 <= nanos as f64 * (1.0 + 1.0 / 32.0),
+                    "value {nanos} reported as {reported} at p{p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_match_nearest_rank() {
+        let mut h = LatencyHistogram::new();
+        let mut exact: Vec<u64> = Vec::new();
+        // A mixed distribution: microseconds with a millisecond tail.
+        for i in 0..1000u64 {
+            let nanos = 1_000 + i * 37;
+            h.record(Duration::from_nanos(nanos));
+            exact.push(nanos);
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_millis(5));
+        }
+        exact.extend(std::iter::repeat_n(5_000_000u64, 10));
+        exact.sort_unstable();
+        let mut last = Duration::ZERO;
+        for p in [10.0, 50.0, 90.0, 95.0, 99.0, 99.9, 100.0] {
+            let got = h.percentile(p);
+            assert!(got >= last, "percentiles must be monotone");
+            last = got;
+            let rank = ((p / 100.0) * (exact.len() as f64 - 1.0)).round() as usize;
+            let want = exact[rank] as f64;
+            let got_ns = got.as_nanos() as f64;
+            assert!(
+                got_ns >= want * (1.0 - 1.0 / 32.0) && got_ns <= want * (1.0 + 1.0 / 32.0),
+                "p{p}: got {got_ns}, exact {want}"
+            );
+        }
+        assert_eq!(h.percentile(100.0), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn merge_combines_counts_and_max() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(Duration::from_micros(10));
+        b.record(Duration::from_micros(1000));
+        b.record(Duration::from_micros(1000));
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.max(), Duration::from_micros(1000));
+        assert!(a.percentile(50.0) >= Duration::from_micros(969));
+    }
+
+    #[test]
+    fn memory_is_constant() {
+        let mut h = LatencyHistogram::new();
+        let before = h.memory_bytes();
+        for i in 0..100_000u64 {
+            h.record(Duration::from_nanos(i * 13));
+        }
+        assert_eq!(h.memory_bytes(), before, "recording must not grow memory");
+        assert!(before <= 32 * 1024, "footprint stays bounded: {before}");
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(50.0), Duration::ZERO);
+        assert_eq!(h.max(), Duration::ZERO);
+    }
+}

@@ -52,12 +52,14 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod histogram;
 pub mod loadgen;
 pub mod metrics;
 pub mod query;
 pub mod scheduler;
 pub mod versioned;
 
+pub use histogram::LatencyHistogram;
 pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
 pub use metrics::{MetricsReport, ServeMetrics};
 pub use query::{QueryService, Stamped};
@@ -65,7 +67,9 @@ pub use scheduler::{
     spawn, BackpressurePolicy, FlushRecord, ServeConfig, ServeError, ServeHandle, Submission,
     UpdateClient, UpdateScheduler,
 };
-pub use versioned::{EpochSnapshot, SnapshotPublisher, SnapshotReader, VersionedStore};
+pub use versioned::{
+    BufferStats, EpochSnapshot, SnapshotPublisher, SnapshotReader, VersionedStore,
+};
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, ServeError>;

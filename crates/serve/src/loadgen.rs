@@ -19,11 +19,11 @@
 //! `serve_loadgen` binary is the CLI front end and emits the
 //! `BENCH_serve.json` artifact in CI.
 
+use crate::histogram::LatencyHistogram;
 use crate::metrics::MetricsReport;
 use crate::scheduler::{spawn, BackpressurePolicy, ServeConfig, Submission};
 use crate::QueryService;
 use rand::{rngs::SmallRng, Rng, SeedableRng};
-use ripple_core::metrics::percentile;
 use ripple_core::{ParallelRippleEngine, RippleConfig, RippleEngine, StreamingEngine};
 use ripple_gnn::layer_wise::full_inference;
 use ripple_gnn::Workload;
@@ -146,9 +146,11 @@ fn env_usize(name: &str) -> Option<usize> {
     std::env::var(name).ok()?.parse().ok()
 }
 
-/// What one reader thread measured.
+/// What one reader thread measured. Latencies go into a bounded HDR-style
+/// histogram (constant memory), so soak runs of any length keep the reader
+/// threads' footprint flat.
 struct ReaderStats {
-    latencies: Vec<Duration>,
+    latencies: LatencyHistogram,
     reads_during_updates: u64,
     epoch_violations: u64,
     unstamped_responses: u64,
@@ -398,7 +400,7 @@ pub fn run_loadgen(config: &LoadgenConfig) -> LoadgenReport {
                 .spawn(move || {
                     let mut rng = SmallRng::seed_from_u64(seed);
                     let mut stats = ReaderStats {
-                        latencies: Vec::new(),
+                        latencies: LatencyHistogram::new(),
                         reads_during_updates: 0,
                         epoch_violations: 0,
                         unstamped_responses: 0,
@@ -422,7 +424,7 @@ pub fn run_loadgen(config: &LoadgenConfig) -> LoadgenReport {
                             1..=3 => queries.embedding(v).map(|s| (s.epoch, s.staleness)),
                             _ => queries.predicted_label(v).map(|s| (s.epoch, s.staleness)),
                         };
-                        stats.latencies.push(start.elapsed());
+                        stats.latencies.record(start.elapsed());
                         match stamp {
                             Some((epoch, staleness)) => {
                                 if epoch < stats.final_epoch {
@@ -468,8 +470,19 @@ pub fn run_loadgen(config: &LoadgenConfig) -> LoadgenReport {
         std::thread::sleep(Duration::from_millis(1));
     }
     writer_active.store(false, Ordering::Relaxed);
-    let elapsed = started.elapsed();
 
+    // On a single-core host the writer can drain before the reader threads
+    // ever get scheduled; give them a bounded window to serve at least one
+    // read so the report (and the contract assertions) are meaningful.
+    let read_deadline = Instant::now() + Duration::from_secs(10);
+    while metrics.reads() == 0 && Instant::now() < read_deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // The measured span closes where reading stops: reads served during the
+    // grace window above must count against the time that produced them, or
+    // reads/sec would be inflated by up to the window length.
+    let elapsed = started.elapsed();
     stop.store(true, Ordering::Relaxed);
     let reader_stats: Vec<ReaderStats> = readers
         .into_iter()
@@ -478,32 +491,21 @@ pub fn run_loadgen(config: &LoadgenConfig) -> LoadgenReport {
     handle.shutdown().expect("serving session failed");
 
     // ------------------------------------------------------------------
-    // Aggregate.
+    // Aggregate: merge the per-reader histograms — O(buckets) per reader,
+    // no sample vector to sort no matter how long the run was.
     // ------------------------------------------------------------------
-    let mut latencies: Vec<Duration> = Vec::new();
+    let mut latencies = LatencyHistogram::new();
     let mut reads_during_updates = 0;
     let mut epoch_violations = 0;
     let mut unstamped_responses = 0;
     let mut max_staleness = 0;
     for stats in &reader_stats {
-        latencies.extend_from_slice(&stats.latencies);
+        latencies.merge(&stats.latencies);
         reads_during_updates += stats.reads_during_updates;
         epoch_violations += stats.epoch_violations;
         unstamped_responses += stats.unstamped_responses;
         max_staleness = max_staleness.max(stats.max_staleness);
     }
-    // One shared sort; `percentile` would re-clone and re-sort per call,
-    // which matters at millions of samples. Nearest-rank on sorted data is
-    // exactly what `ripple_core::metrics::percentile` computes.
-    latencies.sort_unstable();
-    let rank = |p: f64| -> Duration {
-        if latencies.is_empty() {
-            return Duration::ZERO;
-        }
-        let idx = ((p / 100.0) * (latencies.len() as f64 - 1.0)).round() as usize;
-        latencies[idx]
-    };
-    debug_assert_eq!(rank(50.0), percentile(&latencies, 50.0));
     let report = metrics.report();
     let secs = elapsed.as_secs_f64().max(1e-9);
     LoadgenReport {
@@ -513,12 +515,12 @@ pub fn run_loadgen(config: &LoadgenConfig) -> LoadgenReport {
         elapsed,
         epochs: report.epochs,
         epochs_per_sec: report.epochs as f64 / secs,
-        reads: latencies.len() as u64,
+        reads: latencies.len(),
         reads_during_updates,
         reads_per_sec: latencies.len() as f64 / secs,
-        read_p50: rank(50.0),
-        read_p95: rank(95.0),
-        read_p99: rank(99.0),
+        read_p50: latencies.percentile(50.0),
+        read_p95: latencies.percentile(95.0),
+        read_p99: latencies.percentile(99.0),
         max_staleness,
         epoch_violations,
         unstamped_responses,

@@ -25,6 +25,11 @@ pub struct Stamped<T> {
     pub applied_seq: u64,
     /// Accepted updates not yet visible at read time (enqueued − applied).
     pub staleness: u64,
+    /// The engine's topology epoch (update batches absorbed by its CSR
+    /// topology snapshot) behind the serving snapshot — lets callers see
+    /// how fresh the *structure* behind the answer is, independently of the
+    /// embedding epoch.
+    pub topology_epoch: u64,
 }
 
 impl<T> Stamped<T> {
@@ -35,6 +40,7 @@ impl<T> Stamped<T> {
             epoch: self.epoch,
             applied_seq: self.applied_seq,
             staleness: self.staleness,
+            topology_epoch: self.topology_epoch,
         }
     }
 }
@@ -80,6 +86,7 @@ impl QueryService {
             epoch: snapshot.epoch(),
             applied_seq: snapshot.applied_seq(),
             staleness: submitted.saturating_sub(snapshot.applied_seq()),
+            topology_epoch: snapshot.topology_epoch(),
         };
         self.metrics.record_read(start.elapsed());
         Some(stamped)
@@ -100,6 +107,7 @@ impl QueryService {
             epoch: snapshot.epoch(),
             applied_seq: snapshot.applied_seq(),
             staleness: submitted.saturating_sub(snapshot.applied_seq()),
+            topology_epoch: snapshot.topology_epoch(),
         };
         self.metrics.record_read(start.elapsed());
         Some(stamped)
@@ -153,6 +161,7 @@ impl QueryService {
             epoch: snapshot.epoch(),
             applied_seq: snapshot.applied_seq(),
             staleness: submitted.saturating_sub(snapshot.applied_seq()),
+            topology_epoch: snapshot.topology_epoch(),
         };
         self.metrics.record_read(start.elapsed());
         Some(stamped)
@@ -226,11 +235,12 @@ mod tests {
         updated
             .set_embedding(2, VertexId(0), &[9.0, 0.0, 0.0])
             .unwrap();
-        publisher.publish(&updated, 3);
+        publisher.publish(&updated, 3, 2);
         let e = q.embedding(VertexId(0)).unwrap();
         assert_eq!(e.epoch, 1);
         assert_eq!(e.applied_seq, 3);
         assert_eq!(e.staleness, 0);
+        assert_eq!(e.topology_epoch, 2);
         assert_eq!(e.value[0], 9.0);
         let l = q.predicted_label(VertexId(0)).unwrap();
         assert_eq!(l.value, 0);
@@ -243,11 +253,13 @@ mod tests {
             epoch: 4,
             applied_seq: 9,
             staleness: 1,
+            topology_epoch: 3,
         };
         let len = stamped.map(|v| v.len());
         assert_eq!(len.value, 2);
         assert_eq!(len.epoch, 4);
         assert_eq!(len.applied_seq, 9);
         assert_eq!(len.staleness, 1);
+        assert_eq!(len.topology_epoch, 3);
     }
 }

@@ -219,6 +219,8 @@ pub struct FlushRecord {
     pub epoch: u64,
     /// Cumulative raw updates applied up to and including this window.
     pub applied_seq: u64,
+    /// The engine's topology epoch as of this publication.
+    pub topology_epoch: u64,
 }
 
 /// The coalescing window: pending updates with same-key churn deduplicated.
@@ -357,6 +359,11 @@ impl<E: StreamingEngine> UpdateScheduler<E> {
     /// Flushes the pending window: applies the coalesced batch through the
     /// engine, publishes the next epoch and records metrics. With an empty
     /// window this publishes nothing and returns the current epoch.
+    ///
+    /// Publication threads the flush window's affected set (the engine's
+    /// per-batch dirty rows) into the publisher, so steady-state epoch
+    /// refreshes copy O(affected) rows instead of the full store; a window
+    /// that cancelled out entirely publishes with an empty dirty set.
     pub fn flush(&mut self) -> crate::Result<u64> {
         if self.window.raw_len() == 0 {
             return Ok(self.publisher.epoch());
@@ -370,9 +377,19 @@ impl<E: StreamingEngine> UpdateScheduler<E> {
             }
         }
         self.applied_seq += raw;
-        let epoch = self
-            .publisher
-            .publish(self.engine.current_store(), self.applied_seq);
+        let topology_epoch = self.engine.topology_epoch();
+        let dirty: Option<&[VertexId]> = if ran_engine {
+            self.engine.dirty_rows()
+        } else {
+            // Nothing reached the engine: the store is unchanged.
+            Some(&[])
+        };
+        let epoch = self.publisher.publish_rows(
+            self.engine.current_store(),
+            self.applied_seq,
+            topology_epoch,
+            dirty,
+        );
         let published_at = Instant::now();
         for enqueued in enqueues {
             self.metrics
@@ -385,6 +402,7 @@ impl<E: StreamingEngine> UpdateScheduler<E> {
                 raw,
                 epoch,
                 applied_seq: self.applied_seq,
+                topology_epoch,
             });
         }
         Ok(epoch)

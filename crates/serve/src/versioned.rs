@@ -16,16 +16,22 @@
 //! propagates). Readers therefore never block on the engine, and a reader
 //! that does nothing keeps serving its cached epoch indefinitely.
 //!
-//! # Publish path (double buffering)
+//! # Publish path (double buffering + dirty rows)
 //!
 //! Publishing epoch `n+1` retires the epoch-`n` snapshot. The publisher keeps
 //! the retired `Arc`; by the time epoch `n+2` is published, steady-state
 //! readers have moved off epoch `n`, so [`Arc::try_unwrap`] reclaims its
-//! buffers and [`ripple_gnn::EmbeddingStore::copy_from`] refreshes them
-//! **without allocating** — a slow reader still holding the old epoch simply
-//! forces one fresh copy for that publication.
+//! buffers. When the caller supplies the batch's **dirty rows** (the engines
+//! track them per batch), the reclaimed buffer — exactly two epochs stale —
+//! is refreshed by copying only the rows of the last two dirty sets via
+//! [`ripple_gnn::EmbeddingStore::copy_rows_from`]: O(affected) instead of the
+//! O(|V|·D) full-table [`ripple_gnn::EmbeddingStore::copy_from`] memcpy.
+//! A slow reader still holding the old epoch, or a publication without a
+//! dirty set, falls back to the full refresh/copy for that publication.
+//! [`SnapshotPublisher::buffer_stats`] reports rows copied per epoch.
 
 use ripple_gnn::EmbeddingStore;
+use ripple_graph::VertexId;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -34,6 +40,7 @@ use std::sync::{Arc, Mutex};
 pub struct EpochSnapshot {
     epoch: u64,
     applied_seq: u64,
+    topology_epoch: u64,
     store: EmbeddingStore,
 }
 
@@ -50,10 +57,34 @@ impl EpochSnapshot {
         self.applied_seq
     }
 
+    /// The engine's topology epoch (update batches absorbed by its CSR
+    /// topology snapshot) as of this publication — published next to the
+    /// embedding epoch so queries can expose topology staleness.
+    pub fn topology_epoch(&self) -> u64 {
+        self.topology_epoch
+    }
+
     /// The embeddings as of this epoch.
     pub fn store(&self) -> &EmbeddingStore {
         &self.store
     }
+}
+
+/// Double-buffering and dirty-row effectiveness counters of a
+/// [`SnapshotPublisher`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Publications that reclaimed the retired double buffer.
+    pub reclaimed: u64,
+    /// Publications that fell back to a fresh full-store clone (a reader
+    /// still held the retired snapshot, or one of the first publications).
+    pub copied: u64,
+    /// Store rows copied by dirty-row refreshes across all reclaimed
+    /// publications (full refreshes count every row).
+    pub rows_copied: u64,
+    /// Reclaimed publications that refreshed via dirty rows instead of the
+    /// full-table copy.
+    pub dirty_refreshes: u64,
 }
 
 /// Shared state between the publisher and every reader handle.
@@ -74,6 +105,7 @@ impl VersionedStore {
         let initial = Arc::new(EpochSnapshot {
             epoch: 0,
             applied_seq: 0,
+            topology_epoch: 0,
             store: bootstrap.clone(),
         });
         let shared = Arc::new(VersionedStore {
@@ -83,8 +115,8 @@ impl VersionedStore {
         let publisher = SnapshotPublisher {
             shared: Arc::clone(&shared),
             retired: None,
-            reclaimed: 0,
-            copied: 0,
+            prev_dirty: None,
+            stats: BufferStats::default(),
         };
         let reader = SnapshotReader {
             shared,
@@ -101,26 +133,78 @@ pub struct SnapshotPublisher {
     /// The snapshot retired by the previous publication, kept so its buffers
     /// can be reclaimed once every reader has moved on.
     retired: Option<Arc<EpochSnapshot>>,
-    reclaimed: u64,
-    copied: u64,
+    /// The dirty rows of the previous publication (`None` when that
+    /// publication had no dirty set). The retired buffer is two epochs
+    /// stale, so refreshing it needs the union of the last two dirty sets.
+    prev_dirty: Option<Vec<VertexId>>,
+    stats: BufferStats,
 }
 
 impl SnapshotPublisher {
     /// Publishes `store` as the next epoch, stamped with `applied_seq`
-    /// accepted raw updates, and returns the new epoch number.
+    /// accepted raw updates and the engine's `topology_epoch`, and returns
+    /// the new epoch number. Equivalent to [`SnapshotPublisher::publish_rows`]
+    /// without a dirty set (the refresh copies the full store).
+    pub fn publish(
+        &mut self,
+        store: &EmbeddingStore,
+        applied_seq: u64,
+        topology_epoch: u64,
+    ) -> u64 {
+        self.publish_rows(store, applied_seq, topology_epoch, None)
+    }
+
+    /// Publishes `store` as the next epoch. `dirty` names the store rows
+    /// changed since the previous publication (sorted or not — only
+    /// membership matters); `None` means unknown.
     ///
     /// Steady state performs no store allocation: the double buffer retired
-    /// two publications ago is refreshed in place via
-    /// [`EmbeddingStore::copy_from`]. Only when a reader still holds that
-    /// snapshot does this fall back to a fresh clone.
-    pub fn publish(&mut self, store: &EmbeddingStore, applied_seq: u64) -> u64 {
+    /// two publications ago is reclaimed and — when this and the previous
+    /// publication both carried dirty sets — refreshed by copying only the
+    /// union of those rows ([`EmbeddingStore::copy_rows_from`]), making
+    /// epoch publication O(affected) instead of O(|V|·D). Without dirty
+    /// sets the reclaimed buffer is refreshed with the full-table
+    /// [`EmbeddingStore::copy_from`]; only when a reader still holds the
+    /// retired snapshot does this fall back to a fresh clone.
+    pub fn publish_rows(
+        &mut self,
+        store: &EmbeddingStore,
+        applied_seq: u64,
+        topology_epoch: u64,
+        dirty: Option<&[VertexId]>,
+    ) -> u64 {
         let epoch = self.shared.epoch.load(Ordering::Relaxed) + 1;
         let snapshot = match self.retired.take().map(Arc::try_unwrap) {
             Some(Ok(mut reusable)) => {
-                reusable.store.copy_from(store);
+                // The reclaimed buffer missed the previous publication's
+                // changes and this one's; both dirty sets must be known to
+                // take the O(affected) path — and the path only pays off
+                // while the union is sparse. Past half the table, per-row
+                // copies (random order, overlaps copied twice) lose to the
+                // contiguous full-table memcpy, so dense epochs fall back.
+                // `copy_rows_from` refuses (and touches nothing) on a shape
+                // mismatch, in which case the full refresh below takes over.
+                let refreshed = match (dirty, &self.prev_dirty) {
+                    (Some(d), Some(p)) if p.len() + d.len() <= store.num_vertices() / 2 => {
+                        let ok = reusable.store.copy_rows_from(store, p)
+                            && reusable.store.copy_rows_from(store, d);
+                        if ok {
+                            self.stats.rows_copied += (p.len() + d.len()) as u64;
+                        }
+                        ok
+                    }
+                    _ => false,
+                };
+                if refreshed {
+                    self.stats.dirty_refreshes += 1;
+                } else {
+                    reusable.store.copy_from(store);
+                    self.stats.rows_copied += store.num_vertices() as u64;
+                }
                 reusable.epoch = epoch;
                 reusable.applied_seq = applied_seq;
-                self.reclaimed += 1;
+                reusable.topology_epoch = topology_epoch;
+                self.stats.reclaimed += 1;
                 Arc::new(reusable)
             }
             still_shared => {
@@ -128,14 +212,26 @@ impl SnapshotPublisher {
                 // of the first two publications): release our reference and
                 // pay for one full copy.
                 drop(still_shared);
-                self.copied += 1;
+                self.stats.copied += 1;
+                self.stats.rows_copied += store.num_vertices() as u64;
                 Arc::new(EpochSnapshot {
                     epoch,
                     applied_seq,
+                    topology_epoch,
                     store: store.clone(),
                 })
             }
         };
+        // Remember this publication's dirty set for the next reclaim,
+        // reusing the buffer capacity.
+        match (dirty, &mut self.prev_dirty) {
+            (Some(d), Some(buf)) => {
+                buf.clear();
+                buf.extend_from_slice(d);
+            }
+            (Some(d), slot @ None) => *slot = Some(d.to_vec()),
+            (None, slot) => *slot = None,
+        }
         let previous = {
             let mut current = self.shared.current.lock().expect("snapshot lock poisoned");
             std::mem::replace(&mut *current, snapshot)
@@ -152,10 +248,10 @@ impl SnapshotPublisher {
         self.shared.epoch.load(Ordering::Acquire)
     }
 
-    /// How many publications reclaimed the retired double buffer vs. paid
-    /// for a fresh store copy — the double-buffering effectiveness metric.
-    pub fn buffer_stats(&self) -> (u64, u64) {
-        (self.reclaimed, self.copied)
+    /// Double-buffering and dirty-row effectiveness counters: reclaims vs.
+    /// full clones, and rows copied per epoch.
+    pub fn buffer_stats(&self) -> BufferStats {
+        self.stats
     }
 
     /// A new reader handle starting at the current epoch.
@@ -232,6 +328,7 @@ mod tests {
         assert_eq!(publisher.epoch(), 0);
         assert_eq!(reader.epoch(), 0);
         assert_eq!(reader.snapshot().applied_seq(), 0);
+        assert_eq!(reader.snapshot().topology_epoch(), 0);
         assert_eq!(reader.snapshot().store().embedding(2, VertexId(1))[0], 1.0);
     }
 
@@ -239,13 +336,14 @@ mod tests {
     fn publish_advances_epoch_and_readers_refresh_lazily() {
         let (mut publisher, mut reader) = VersionedStore::bootstrap(&store(1.0));
         let mut stale = reader.clone();
-        assert_eq!(publisher.publish(&store(2.0), 5), 1);
-        assert_eq!(publisher.publish(&store(3.0), 9), 2);
+        assert_eq!(publisher.publish(&store(2.0), 5, 1), 1);
+        assert_eq!(publisher.publish(&store(3.0), 9, 2), 2);
 
         // A reader that refreshes sees the latest epoch…
         let snap = reader.snapshot();
         assert_eq!(snap.epoch(), 2);
         assert_eq!(snap.applied_seq(), 9);
+        assert_eq!(snap.topology_epoch(), 2);
         assert_eq!(snap.store().embedding(2, VertexId(1))[0], 3.0);
 
         // …while a handle that never refreshes keeps serving its cache.
@@ -258,12 +356,14 @@ mod tests {
     fn steady_state_publication_reclaims_the_double_buffer() {
         let (mut publisher, mut reader) = VersionedStore::bootstrap(&store(0.0));
         for i in 0..10 {
-            publisher.publish(&store(i as f32), i);
+            publisher.publish(&store(i as f32), i, i);
             // The only reader promptly moves to the new epoch, freeing the
             // retired snapshot for reuse.
             reader.snapshot();
         }
-        let (reclaimed, copied) = publisher.buffer_stats();
+        let BufferStats {
+            reclaimed, copied, ..
+        } = publisher.buffer_stats();
         assert_eq!(reclaimed + copied, 10);
         assert!(
             reclaimed >= 7,
@@ -272,24 +372,76 @@ mod tests {
     }
 
     #[test]
+    fn dirty_row_publication_copies_only_affected_rows() {
+        let (mut publisher, mut reader) = VersionedStore::bootstrap(&store(0.0));
+        let mut source = store(0.0);
+        let mut expected_rows = 0u64;
+        for i in 1..=10u64 {
+            // One row changes per "batch".
+            let v = VertexId((i % 4) as u32);
+            source.set_embedding(2, v, &[i as f32, 0.0, 0.0]).unwrap();
+            let stats_before = publisher.buffer_stats();
+            publisher.publish_rows(&source, i, i, Some(&[v]));
+            reader.snapshot();
+            let stats = publisher.buffer_stats();
+            if stats.dirty_refreshes > stats_before.dirty_refreshes {
+                // A dirty refresh copies the union of the last two dirty
+                // sets: two single-row sets here.
+                expected_rows += 2;
+            } else {
+                expected_rows += source.num_vertices() as u64;
+            }
+            assert_eq!(stats.rows_copied, expected_rows);
+            // The published snapshot is complete regardless of refresh path.
+            assert!(reader.snapshot().store() == &source, "epoch {i} diverged");
+        }
+        let stats = publisher.buffer_stats();
+        assert!(
+            stats.dirty_refreshes >= 7,
+            "steady state should refresh via dirty rows, got {stats:?}"
+        );
+        // Dirty publication is O(affected): far fewer rows copied than 10
+        // full 6-vertex refreshes.
+        assert!(stats.rows_copied < 10 * 6);
+    }
+
+    #[test]
+    fn missing_dirty_set_falls_back_to_full_refresh() {
+        let (mut publisher, mut reader) = VersionedStore::bootstrap(&store(0.0));
+        for i in 1..=4u64 {
+            // Alternate between known and unknown dirty sets; correctness
+            // must not depend on the path taken.
+            let dirty: Option<&[VertexId]> = if i % 2 == 0 { Some(&[]) } else { None };
+            publisher.publish_rows(&store(i as f32), i, i, dirty);
+            assert_eq!(
+                reader.snapshot().store().embedding(2, VertexId(1))[0],
+                i as f32
+            );
+        }
+        // A publication after a `None` never dirty-refreshes (the reclaimed
+        // buffer's staleness is unknown), so every reclaim was a full copy.
+        assert_eq!(publisher.buffer_stats().dirty_refreshes, 0);
+    }
+
+    #[test]
     fn slow_reader_forces_a_copy_but_keeps_its_snapshot_valid() {
         let (mut publisher, reader) = VersionedStore::bootstrap(&store(0.0));
         let hold = reader.clone(); // never refreshes, pins epoch 0
         for i in 0..5 {
-            publisher.publish(&store(i as f32), i);
+            publisher.publish(&store(i as f32), i, i);
         }
         assert_eq!(hold.cached().epoch(), 0);
         assert_eq!(hold.cached().store().embedding(2, VertexId(1))[0], 0.0);
-        let (_, copied) = publisher.buffer_stats();
-        assert!(copied >= 1);
+        assert!(publisher.buffer_stats().copied >= 1);
     }
 
     #[test]
     fn publisher_spawns_fresh_readers_at_the_current_epoch() {
         let (mut publisher, _reader) = VersionedStore::bootstrap(&store(0.0));
-        publisher.publish(&store(4.0), 2);
+        publisher.publish(&store(4.0), 2, 1);
         let mut fresh = publisher.reader();
         assert_eq!(fresh.epoch(), 1);
+        assert_eq!(fresh.snapshot().topology_epoch(), 1);
         assert_eq!(fresh.snapshot().store().embedding(2, VertexId(1))[0], 4.0);
     }
 }

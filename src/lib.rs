@@ -64,7 +64,9 @@ pub mod prelude {
     };
     pub use ripple_graph::stream::{build_stream, StreamConfig, StreamPlan};
     pub use ripple_graph::synth::DatasetSpec;
-    pub use ripple_graph::{DynamicGraph, GraphUpdate, UpdateBatch, VertexId};
+    pub use ripple_graph::{
+        CsrGraph, CsrSnapshot, DynamicGraph, GraphUpdate, GraphView, UpdateBatch, VertexId,
+    };
     pub use ripple_serve::{
         spawn as spawn_serve, BackpressurePolicy, QueryService, ServeConfig, ServeHandle,
         ServeMetrics, Stamped, Submission, UpdateClient,
