@@ -8,8 +8,9 @@
 //! aggregate. Edge additions are the special case `h_old = 0`; deletions the
 //! special case `h_new = 0`.
 
-use ripple_graph::VertexId;
+use ripple_graph::{PartitionId, VertexId};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// A delta message destined for one vertex's hop-`hop` mailbox.
 ///
@@ -76,9 +77,135 @@ impl DeltaMessage {
     }
 }
 
+/// Pre-accumulated outgoing halo deltas, grouped per partition.
+///
+/// The unit of cross-partition communication shared by the simulated
+/// distributed runtime (`ripple-dist`) and the threaded sharded serving
+/// tier (`ripple-serve`): a deposit whose target lives on the depositing
+/// worker goes straight into its own [`crate::MailboxSet`]; anything else
+/// accumulates here — one slot per (partition, hop, target) — until a
+/// superstep or flush-window boundary drains the slots as one
+/// [`DeltaMessage`] each. Accumulation is a scaled add (`slot += coeff *
+/// delta`), which is lossless for every linear aggregator, and slots are
+/// kept in `BTreeMap` order so drains (and therefore downstream float
+/// accumulation) are deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct HaloStubs {
+    /// `parts[p]` holds the pending stubs of partition slot `p`, keyed by
+    /// (hop, target). Callers choose whether the slot indexes the *sender*
+    /// (dist: per-worker outgoing stubs, shipped to wherever each target
+    /// lives) or the *receiver* (serve: per-destination-shard outboxes).
+    parts: Vec<BTreeMap<(usize, VertexId), Vec<f32>>>,
+}
+
+impl HaloStubs {
+    /// A stub pool with `num_parts` partition slots.
+    pub fn new(num_parts: usize) -> Self {
+        HaloStubs {
+            parts: vec![BTreeMap::new(); num_parts],
+        }
+    }
+
+    /// Number of partition slots.
+    pub fn num_parts(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Accumulates `coeff * delta` into partition `part`'s stub for
+    /// (`hop`, `target`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `part` is out of range.
+    pub fn deposit(
+        &mut self,
+        part: PartitionId,
+        hop: usize,
+        target: VertexId,
+        coeff: f32,
+        delta: &[f32],
+    ) {
+        let slot = self.parts[part.index()]
+            .entry((hop, target))
+            .or_insert_with(|| vec![0.0; delta.len()]);
+        ripple_tensor::axpy(slot, coeff, delta);
+    }
+
+    /// Total pending stubs across all partition slots.
+    pub fn pending(&self) -> usize {
+        self.parts.iter().map(|p| p.len()).sum()
+    }
+
+    /// `true` when no stub is pending anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.parts.iter().all(|p| p.is_empty())
+    }
+
+    /// Drains partition `part`'s pending stubs as messages in (hop, target)
+    /// order.
+    pub fn drain_part(&mut self, part: PartitionId) -> Vec<DeltaMessage> {
+        std::mem::take(&mut self.parts[part.index()])
+            .into_iter()
+            .map(|((hop, target), delta)| DeltaMessage { target, hop, delta })
+            .collect()
+    }
+
+    /// Drains every pending stub, partition-major then (hop, target) order.
+    pub fn drain(&mut self) -> Vec<(PartitionId, DeltaMessage)> {
+        let mut out = Vec::new();
+        for p in 0..self.parts.len() {
+            let part = PartitionId(p as u32);
+            for message in self.drain_part(part) {
+                out.push((part, message));
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn halo_stubs_accumulate_and_drain_in_order() {
+        let mut stubs = HaloStubs::new(2);
+        assert!(stubs.is_empty());
+        stubs.deposit(PartitionId(1), 2, VertexId(9), 1.0, &[1.0, 0.0]);
+        stubs.deposit(PartitionId(1), 1, VertexId(3), 2.0, &[0.5, 0.5]);
+        stubs.deposit(PartitionId(1), 2, VertexId(9), -1.0, &[0.0, 2.0]);
+        stubs.deposit(PartitionId(0), 1, VertexId(7), 1.0, &[4.0]);
+        assert_eq!(stubs.pending(), 3);
+
+        let drained = stubs.drain();
+        assert!(stubs.is_empty());
+        assert_eq!(drained.len(), 3);
+        // Partition-major, then (hop, target) ascending.
+        assert_eq!(drained[0].0, PartitionId(0));
+        assert_eq!(drained[0].1, DeltaMessage::new(VertexId(7), 1, vec![4.0]));
+        assert_eq!(drained[1].0, PartitionId(1));
+        assert_eq!(
+            drained[1].1,
+            DeltaMessage::new(VertexId(3), 1, vec![1.0, 1.0])
+        );
+        // Same (hop, target) slot accumulated with coefficients applied.
+        assert_eq!(
+            drained[2].1,
+            DeltaMessage::new(VertexId(9), 2, vec![1.0, -2.0])
+        );
+    }
+
+    #[test]
+    fn halo_stubs_drain_part_leaves_other_parts_pending() {
+        let mut stubs = HaloStubs::new(3);
+        stubs.deposit(PartitionId(0), 1, VertexId(1), 1.0, &[1.0]);
+        stubs.deposit(PartitionId(2), 1, VertexId(2), 1.0, &[1.0]);
+        let part0 = stubs.drain_part(PartitionId(0));
+        assert_eq!(part0.len(), 1);
+        assert_eq!(stubs.pending(), 1);
+        assert!(!stubs.is_empty());
+        assert!(stubs.drain_part(PartitionId(0)).is_empty());
+    }
 
     #[test]
     fn replacing_encodes_difference() {

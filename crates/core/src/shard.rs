@@ -1,0 +1,811 @@
+//! The per-shard incremental engine of the sharded serving tier.
+//!
+//! A [`ShardEngine`] is a [`crate::RippleEngine`] specialised for owning one
+//! partition of the vertex space. Its graph keeps the **full vertex-id
+//! space** but only the edges incident to at least one owned vertex (the
+//! halo-restricted topology): owned vertices therefore see their complete
+//! in-adjacency (so mean-aggregator in-degrees are exact) and complete
+//! out-adjacency (so fanout reaches every sink), while edges entirely
+//! between foreign vertices are absent — their propagation happens on the
+//! shards that own them.
+//!
+//! Cross-shard effects travel as [`DeltaMessage`]s, exactly like the halo
+//! stubs of the simulated distributed engine (`ripple-dist`):
+//!
+//! * a commit-phase delta whose sink is foreign accumulates in a
+//!   [`HaloStubs`] outbox slot instead of a local mailbox, and
+//!   [`ShardEngine::process_window`] returns the drained outbox so the
+//!   caller can ship it;
+//! * incoming messages from peer shards are handed to the next
+//!   `process_window` call and deposited into the local mailboxes before
+//!   propagation.
+//!
+//! Linearity of the aggregators makes this exact at quiescence: deltas sum
+//! in any window order, and a forwarded delta is the `new − old` of an
+//! actual re-evaluation, so once every in-flight message has been applied
+//! the union of the shards' owned rows equals the single-engine state (up to
+//! float accumulation order) — pinned by the parity tests below and by
+//! `tests/serve_consistency.rs`.
+
+use crate::engine::{apply_mail, sorted_affected, validate_parts, RippleConfig};
+use crate::mailbox::{MailArena, MailboxSet};
+use crate::message::{DeltaMessage, HaloStubs};
+use crate::{Result, RippleError};
+use ripple_gnn::layer_wise::reevaluate_slice_into;
+use ripple_gnn::recompute::BatchStats;
+use ripple_gnn::{EmbeddingStore, GnnModel};
+use ripple_graph::partition::Partitioning;
+use ripple_graph::{
+    CsrSnapshot, DynamicGraph, GraphUpdate, GraphView, PartitionId, UpdateBatch, VertexId,
+};
+use ripple_tensor::Scratch;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One topology change of the current window, recorded by the shard that
+/// owns its source so the per-hop aggregate contributions can be injected
+/// during propagation (mirrors the single-engine bookkeeping).
+#[derive(Debug, Clone)]
+struct ShardEdgeChange {
+    source: VertexId,
+    sink: VertexId,
+    /// +1 for addition, -1 for deletion.
+    sign: f32,
+    /// Aggregator edge coefficient of the changed edge.
+    coeff: f32,
+}
+
+/// Hop-0 output of one window: the state propagation starts from.
+struct ShardPhase {
+    mailboxes: MailboxSet,
+    source_snapshots: HashMap<VertexId, Vec<Vec<f32>>>,
+    edge_changes: Vec<ShardEdgeChange>,
+    changed_prev: HashSet<VertexId>,
+}
+
+/// Deposits `coeff * delta` for `target`'s hop-`hop` mailbox, routed by
+/// ownership: locally owned sinks go straight into the shard's mailboxes,
+/// foreign sinks accumulate in the outbox slot of their owning shard.
+#[allow(clippy::too_many_arguments)]
+fn route_deposit(
+    partitioning: &Partitioning,
+    part: PartitionId,
+    mailboxes: &mut MailboxSet,
+    outbox: &mut HaloStubs,
+    hop: usize,
+    target: VertexId,
+    coeff: f32,
+    delta: &[f32],
+    stats: &mut BatchStats,
+) {
+    let owner = partitioning.part_of(target);
+    if owner == part {
+        mailboxes.deposit(hop, target, coeff, delta);
+    } else {
+        outbox.deposit(owner, hop, target, coeff, delta);
+    }
+    stats.aggregate_ops += 1;
+}
+
+/// Captures the pre-window embeddings (layers 1..L-1) of an edge-update
+/// source vertex, once per window.
+fn snapshot_source(
+    store: &EmbeddingStore,
+    model: &GnnModel,
+    snapshots: &mut HashMap<VertexId, Vec<Vec<f32>>>,
+    source: VertexId,
+) {
+    if snapshots.contains_key(&source) {
+        return;
+    }
+    let upto = model.num_layers().saturating_sub(1);
+    let mut layers = Vec::with_capacity(upto);
+    for l in 1..=upto {
+        layers.push(store.embedding(l, source).to_vec());
+    }
+    snapshots.insert(source, layers);
+}
+
+/// The incremental engine of one shard: owns the halo-restricted topology
+/// and is authoritative for the store rows of the vertices its partition
+/// owns. Foreign rows exist (same dense id space) but are never read or
+/// re-evaluated — they stay at their bootstrap values.
+#[derive(Debug, Clone)]
+pub struct ShardEngine {
+    part: PartitionId,
+    partitioning: Arc<Partitioning>,
+    graph: DynamicGraph,
+    model: GnnModel,
+    store: EmbeddingStore,
+    config: RippleConfig,
+    /// Persistent epoch-versioned CSR snapshot of the halo-restricted
+    /// topology, compacted independently of every other shard.
+    topo: CsrSnapshot,
+    scratch: Scratch,
+    mail: MailArena,
+    commit_delta: Vec<f32>,
+    /// Owned vertices whose store rows changed in the last window (sorted,
+    /// deduplicated) — threaded into dirty-row epoch publication.
+    dirty: Vec<VertexId>,
+    /// Pending outgoing cross-shard deltas, drained at each window boundary.
+    outbox: HaloStubs,
+    /// The shard's owned vertices, ascending.
+    owned: Vec<VertexId>,
+}
+
+impl ShardEngine {
+    /// Builds the shard engine for partition `part` of `partitioning` from
+    /// the full bootstrapped state: the shard graph keeps every vertex (and
+    /// its features) but only the edges incident to at least one owned
+    /// endpoint; the store starts as a full copy, of which only the owned
+    /// rows will be maintained.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RippleError::Mismatch`] if the partitioning does not cover
+    /// the graph's vertices, `part` is out of range, or graph/model/store
+    /// shapes do not fit together.
+    pub fn new(
+        full_graph: &DynamicGraph,
+        model: GnnModel,
+        store: EmbeddingStore,
+        config: RippleConfig,
+        partitioning: Arc<Partitioning>,
+        part: PartitionId,
+    ) -> Result<Self> {
+        if partitioning.num_vertices() != full_graph.num_vertices() {
+            return Err(RippleError::Mismatch(format!(
+                "partitioning covers {} vertices, graph has {}",
+                partitioning.num_vertices(),
+                full_graph.num_vertices()
+            )));
+        }
+        if part.index() >= partitioning.num_parts() {
+            return Err(RippleError::Mismatch(format!(
+                "shard {part} out of range for {} partitions",
+                partitioning.num_parts()
+            )));
+        }
+        validate_parts(full_graph, &model, &store)?;
+        let mut graph = DynamicGraph::new(full_graph.num_vertices(), full_graph.feature_dim());
+        graph.set_features(full_graph.features().clone())?;
+        for (src, dst, weight) in full_graph.iter_edges() {
+            if partitioning.part_of(src) == part || partitioning.part_of(dst) == part {
+                graph.add_edge(src, dst, weight)?;
+            }
+        }
+        let topo = CsrSnapshot::from_dynamic(&graph);
+        let owned = partitioning.vertices_in(part);
+        let num_parts = partitioning.num_parts();
+        Ok(ShardEngine {
+            part,
+            partitioning,
+            graph,
+            model,
+            store,
+            config,
+            topo,
+            scratch: Scratch::new(),
+            mail: MailArena::new(),
+            commit_delta: Vec::new(),
+            dirty: Vec::new(),
+            outbox: HaloStubs::new(num_parts),
+            owned,
+        })
+    }
+
+    /// The partition this shard owns.
+    pub fn part(&self) -> PartitionId {
+        self.part
+    }
+
+    /// The partitioning shared by every shard of the tier.
+    pub fn partitioning(&self) -> &Arc<Partitioning> {
+        &self.partitioning
+    }
+
+    /// The shard's owned vertices, ascending.
+    pub fn owned_vertices(&self) -> &[VertexId] {
+        &self.owned
+    }
+
+    /// The halo-restricted graph (full vertex space, incident edges only).
+    pub fn graph(&self) -> &DynamicGraph {
+        &self.graph
+    }
+
+    /// The model used for inference.
+    pub fn model(&self) -> &GnnModel {
+        &self.model
+    }
+
+    /// The shard store. Only the owned rows are maintained; foreign rows
+    /// keep their bootstrap values.
+    pub fn store(&self) -> &EmbeddingStore {
+        &self.store
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> RippleConfig {
+        self.config
+    }
+
+    /// The shard topology epoch: how many windows this shard has absorbed.
+    pub fn topology_epoch(&self) -> u64 {
+        self.topo.epoch()
+    }
+
+    /// The owned vertices whose store rows changed in the last processed
+    /// window (sorted, deduplicated; empty before the first window).
+    pub fn dirty_rows(&self) -> &[VertexId] {
+        &self.dirty
+    }
+
+    /// Copies this shard's owned rows (all layers and aggregates) into
+    /// `target`; `false` on shape mismatch. Gathering every shard into one
+    /// store assembles the authoritative global state.
+    pub fn gather_into(&self, target: &mut EmbeddingStore) -> bool {
+        target.copy_rows_from(&self.store, &self.owned)
+    }
+
+    /// Applies one flush window — a coalesced batch of updates routed to
+    /// this shard plus the halo deltas received from peers since the last
+    /// window — and returns the batch statistics together with the outgoing
+    /// cross-shard messages this window produced (in deterministic
+    /// partition-major, (hop, target) order).
+    ///
+    /// Routing contract (enforced, violations are
+    /// [`RippleError::InvalidUpdate`]): feature updates target owned
+    /// vertices only; edge updates have at least one owned endpoint (both
+    /// owners apply the topology change, only the source's owner emits value
+    /// deltas); halo messages target owned vertices at hops `1..=L`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph and tensor errors; the shard should be considered
+    /// poisoned after an error.
+    pub fn process_window(
+        &mut self,
+        batch: &UpdateBatch,
+        halos: &[DeltaMessage],
+    ) -> Result<(BatchStats, Vec<(PartitionId, DeltaMessage)>)> {
+        let mut stats = BatchStats {
+            batch_size: batch.len(),
+            ..BatchStats::default()
+        };
+
+        let update_start = Instant::now();
+        self.dirty.clear();
+        let mut phase = self.run_update_operator(batch, &mut stats)?;
+        self.absorb_halos(&mut phase, halos, &mut stats)?;
+        stats.update_time = update_start.elapsed();
+
+        let propagate_start = Instant::now();
+        self.propagate_window(&mut phase, &mut stats)?;
+        stats.propagate_time = propagate_start.elapsed();
+
+        self.topo.advance_epoch();
+        self.topo.maybe_compact();
+        Ok((stats, self.outbox.drain()))
+    }
+
+    /// The hop-0 `update` operator, sequential over the window's batch, with
+    /// every deposit routed by sink ownership.
+    fn run_update_operator(
+        &mut self,
+        batch: &UpdateBatch,
+        stats: &mut BatchStats,
+    ) -> Result<ShardPhase> {
+        let ShardEngine {
+            part,
+            partitioning,
+            graph,
+            model,
+            store,
+            topo,
+            outbox,
+            ..
+        } = self;
+        let part = *part;
+        let aggregator = model.aggregator();
+        let mut mailboxes = MailboxSet::new(model.num_layers());
+        let mut source_snapshots: HashMap<VertexId, Vec<Vec<f32>>> = HashMap::new();
+        let mut edge_changes: Vec<ShardEdgeChange> = Vec::new();
+        let mut changed_prev: HashSet<VertexId> = HashSet::new();
+
+        for update in batch {
+            match update {
+                GraphUpdate::UpdateFeature { vertex, features } => {
+                    if !graph.contains_vertex(*vertex) {
+                        return Err(RippleError::InvalidUpdate(format!(
+                            "feature update for unknown vertex {vertex}"
+                        )));
+                    }
+                    if partitioning.part_of(*vertex) != part {
+                        return Err(RippleError::InvalidUpdate(format!(
+                            "feature update for {vertex} routed to non-owning shard {part}"
+                        )));
+                    }
+                    let old = store.embedding(0, *vertex).to_vec();
+                    let delta: Vec<f32> = features
+                        .iter()
+                        .zip(old.iter())
+                        .map(|(n, o)| n - o)
+                        .collect();
+                    // The owned vertex's out-adjacency is complete in the
+                    // halo-restricted topology, so fanout reaches every
+                    // sink; foreign sinks route to the outbox.
+                    let (sinks, weights) = GraphView::out_adjacency(topo, *vertex);
+                    for (&w, &weight) in sinks.iter().zip(weights.iter()) {
+                        route_deposit(
+                            partitioning,
+                            part,
+                            &mut mailboxes,
+                            outbox,
+                            1,
+                            w,
+                            aggregator.edge_coefficient(weight),
+                            &delta,
+                            stats,
+                        );
+                    }
+                    graph.set_feature(*vertex, features)?;
+                    store.set_embedding(0, *vertex, features)?;
+                    changed_prev.insert(*vertex);
+                }
+                GraphUpdate::AddEdge { src, dst, weight } => {
+                    let (src_owned, _) =
+                        Self::edge_roles(partitioning, part, graph, *src, *dst, "adding")?;
+                    if src_owned {
+                        snapshot_source(store, model, &mut source_snapshots, *src);
+                    }
+                    graph.add_edge(*src, *dst, *weight)?;
+                    topo.add_edge(*src, *dst, *weight)
+                        .expect("topology snapshot out of sync with graph");
+                    if src_owned {
+                        let coeff = aggregator.edge_coefficient(*weight);
+                        route_deposit(
+                            partitioning,
+                            part,
+                            &mut mailboxes,
+                            outbox,
+                            1,
+                            *dst,
+                            coeff,
+                            store.embedding(0, *src),
+                            stats,
+                        );
+                        edge_changes.push(ShardEdgeChange {
+                            source: *src,
+                            sink: *dst,
+                            sign: 1.0,
+                            coeff,
+                        });
+                    }
+                }
+                GraphUpdate::DeleteEdge { src, dst } => {
+                    let (src_owned, _) =
+                        Self::edge_roles(partitioning, part, graph, *src, *dst, "deleting")?;
+                    let weight = graph.edge_weight(*src, *dst).ok_or_else(|| {
+                        RippleError::InvalidUpdate(format!("deleting missing edge {src} -> {dst}"))
+                    })?;
+                    if src_owned {
+                        snapshot_source(store, model, &mut source_snapshots, *src);
+                    }
+                    graph.remove_edge(*src, *dst)?;
+                    topo.remove_edge(*src, *dst)
+                        .expect("topology snapshot out of sync with graph");
+                    if src_owned {
+                        let coeff = aggregator.edge_coefficient(weight);
+                        route_deposit(
+                            partitioning,
+                            part,
+                            &mut mailboxes,
+                            outbox,
+                            1,
+                            *dst,
+                            -coeff,
+                            store.embedding(0, *src),
+                            stats,
+                        );
+                        edge_changes.push(ShardEdgeChange {
+                            source: *src,
+                            sink: *dst,
+                            sign: -1.0,
+                            coeff,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(ShardPhase {
+            mailboxes,
+            source_snapshots,
+            edge_changes,
+            changed_prev,
+        })
+    }
+
+    /// Validates an edge update against the routing contract and reports
+    /// whether this shard owns the source (and therefore emits the value
+    /// deltas) and/or the sink.
+    fn edge_roles(
+        partitioning: &Partitioning,
+        part: PartitionId,
+        graph: &DynamicGraph,
+        src: VertexId,
+        dst: VertexId,
+        verb: &str,
+    ) -> Result<(bool, bool)> {
+        if !graph.contains_vertex(src) || !graph.contains_vertex(dst) {
+            return Err(RippleError::InvalidUpdate(format!(
+                "{verb} edge {src} -> {dst} with unknown endpoint"
+            )));
+        }
+        let src_owned = partitioning.part_of(src) == part;
+        let dst_owned = partitioning.part_of(dst) == part;
+        if !src_owned && !dst_owned {
+            return Err(RippleError::InvalidUpdate(format!(
+                "edge {src} -> {dst} routed to shard {part} owning neither endpoint"
+            )));
+        }
+        Ok((src_owned, dst_owned))
+    }
+
+    /// Deposits the halo deltas received from peer shards into the local
+    /// mailboxes; propagation then treats them exactly like locally
+    /// generated mail.
+    fn absorb_halos(
+        &self,
+        phase: &mut ShardPhase,
+        halos: &[DeltaMessage],
+        stats: &mut BatchStats,
+    ) -> Result<()> {
+        let num_layers = self.model.num_layers();
+        for message in halos {
+            if message.hop == 0 || message.hop > num_layers {
+                return Err(RippleError::InvalidUpdate(format!(
+                    "halo delta for {} at hop {} outside 1..={num_layers}",
+                    message.target, message.hop
+                )));
+            }
+            if self.partitioning.part_of(message.target) != self.part {
+                return Err(RippleError::InvalidUpdate(format!(
+                    "halo delta for foreign vertex {} delivered to shard {}",
+                    message.target, self.part
+                )));
+            }
+            phase
+                .mailboxes
+                .deposit(message.hop, message.target, 1.0, &message.delta);
+            stats.aggregate_ops += 1;
+        }
+        Ok(())
+    }
+
+    /// The `propagate` operator: identical hop loop to the single-machine
+    /// engine, except the commit-phase fanout routes each delta by sink
+    /// ownership (local mailbox vs outbox).
+    fn propagate_window(&mut self, phase: &mut ShardPhase, stats: &mut BatchStats) -> Result<()> {
+        let ShardEngine {
+            part,
+            partitioning,
+            model,
+            store,
+            config,
+            topo,
+            scratch,
+            mail,
+            commit_delta,
+            dirty,
+            outbox,
+            ..
+        } = self;
+        let part = *part;
+        let num_layers = model.num_layers();
+        let aggregator = model.aggregator();
+        dirty.extend(phase.changed_prev.iter().copied());
+        for hop in 1..=num_layers {
+            // Inject the per-layer contribution of this window's topology
+            // changes (hop 1 was handled sequentially by the update
+            // operator); foreign sinks route to the outbox.
+            if hop >= 2 {
+                for change in &phase.edge_changes {
+                    let snapshot = &phase.source_snapshots[&change.source];
+                    let pre_window = &snapshot[hop - 2];
+                    route_deposit(
+                        partitioning,
+                        part,
+                        &mut phase.mailboxes,
+                        outbox,
+                        hop,
+                        change.sink,
+                        change.sign * change.coeff,
+                        pre_window,
+                        stats,
+                    );
+                }
+            }
+
+            let layer = model.layer(hop)?;
+            phase.mailboxes.drain_hop_sorted_into(hop, mail);
+            let affected =
+                sorted_affected(mail.ids(), &phase.changed_prev, layer.depends_on_self());
+
+            stats.affected_per_hop.push(affected.len());
+            stats.propagation_tree_size += affected.len();
+            if hop == num_layers {
+                stats.affected_final = affected.len();
+            }
+            dirty.extend_from_slice(&affected);
+
+            apply_mail(store, hop, mail, stats);
+            reevaluate_slice_into(topo, model, store, hop, &affected, scratch)?;
+
+            let mut changed_now = HashSet::with_capacity(affected.len());
+            for (&v, new_embedding) in affected.iter().zip(scratch.out.iter_rows()) {
+                let old = store.embedding(hop, v);
+                commit_delta.clear();
+                commit_delta.extend(new_embedding.iter().zip(old.iter()).map(|(n, o)| n - o));
+                store.set_embedding(hop, v, new_embedding)?;
+
+                let effectively_unchanged = config.skip_unchanged
+                    && commit_delta
+                        .iter()
+                        .all(|d| d.abs() <= config.prune_tolerance);
+                if effectively_unchanged {
+                    continue;
+                }
+                changed_now.insert(v);
+
+                if hop < num_layers {
+                    let (sinks, weights) = GraphView::out_adjacency(topo, v);
+                    for (&w, &weight) in sinks.iter().zip(weights.iter()) {
+                        route_deposit(
+                            partitioning,
+                            part,
+                            &mut phase.mailboxes,
+                            outbox,
+                            hop + 1,
+                            w,
+                            aggregator.edge_coefficient(weight),
+                            commit_delta,
+                            stats,
+                        );
+                    }
+                }
+            }
+            phase.changed_prev = changed_now;
+        }
+        dirty.sort_unstable();
+        dirty.dedup();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RippleEngine;
+    use ripple_gnn::layer_wise::full_inference;
+    use ripple_gnn::Workload;
+    use ripple_graph::partition::{HashPartitioner, Partitioner};
+    use ripple_graph::stream::{build_stream, StreamConfig};
+    use ripple_graph::synth::DatasetSpec;
+
+    fn bootstrap(
+        seed: u64,
+        layers: usize,
+    ) -> (DynamicGraph, GnnModel, EmbeddingStore, Vec<UpdateBatch>) {
+        let full = DatasetSpec::custom(150, 5.0, 6, 4).generate(seed).unwrap();
+        let plan = build_stream(
+            &full,
+            &StreamConfig {
+                total_updates: 90,
+                seed: seed ^ 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let model = Workload::GcS
+            .build_model(6, 8, 4, layers, seed ^ 2)
+            .unwrap();
+        let store = full_inference(&plan.snapshot, &model).unwrap();
+        let batches = plan.batches(15);
+        (plan.snapshot, model, store, batches)
+    }
+
+    fn make_shards(
+        graph: &DynamicGraph,
+        model: &GnnModel,
+        store: &EmbeddingStore,
+        num_parts: usize,
+    ) -> Vec<ShardEngine> {
+        let partitioning = Arc::new(HashPartitioner.partition(graph, num_parts).unwrap());
+        (0..num_parts)
+            .map(|p| {
+                ShardEngine::new(
+                    graph,
+                    model.clone(),
+                    store.clone(),
+                    RippleConfig::default(),
+                    Arc::clone(&partitioning),
+                    PartitionId(p as u32),
+                )
+                .unwrap()
+            })
+            .collect()
+    }
+
+    /// Splits a batch into per-shard sub-batches following the router's
+    /// rules: feature updates to the owner, edge updates to both endpoint
+    /// owners (deduplicated).
+    fn split_batch(batch: &UpdateBatch, partitioning: &Partitioning) -> Vec<Vec<GraphUpdate>> {
+        let mut per_shard = vec![Vec::new(); partitioning.num_parts()];
+        for update in batch {
+            match update {
+                GraphUpdate::UpdateFeature { vertex, .. } => {
+                    per_shard[partitioning.part_of(*vertex).index()].push(update.clone());
+                }
+                GraphUpdate::AddEdge { src, dst, .. } | GraphUpdate::DeleteEdge { src, dst } => {
+                    let a = partitioning.part_of(*src);
+                    let b = partitioning.part_of(*dst);
+                    per_shard[a.index()].push(update.clone());
+                    if b != a {
+                        per_shard[b.index()].push(update.clone());
+                    }
+                }
+            }
+        }
+        per_shard
+    }
+
+    /// Processes one batch across every shard, then pumps halo messages
+    /// until the mesh quiesces.
+    fn process_and_quiesce(shards: &mut [ShardEngine], batch: &UpdateBatch) {
+        let partitioning = Arc::clone(shards[0].partitioning());
+        let per_shard = split_batch(batch, &partitioning);
+        let mut pending: Vec<Vec<DeltaMessage>> = vec![Vec::new(); shards.len()];
+        for (shard, updates) in shards.iter_mut().zip(per_shard) {
+            let (_, out) = shard
+                .process_window(&UpdateBatch::from_updates(updates), &[])
+                .unwrap();
+            for (p, m) in out {
+                pending[p.index()].push(m);
+            }
+        }
+        // Messages only ever move to strictly higher hops, so this drains
+        // within num_layers rounds.
+        while pending.iter().any(|p| !p.is_empty()) {
+            let mut next: Vec<Vec<DeltaMessage>> = vec![Vec::new(); shards.len()];
+            for (i, shard) in shards.iter_mut().enumerate() {
+                let halos = std::mem::take(&mut pending[i]);
+                if halos.is_empty() {
+                    continue;
+                }
+                let (_, out) = shard
+                    .process_window(&UpdateBatch::from_updates(Vec::new()), &halos)
+                    .unwrap();
+                for (p, m) in out {
+                    next[p.index()].push(m);
+                }
+            }
+            pending = next;
+        }
+    }
+
+    fn gather(shards: &[ShardEngine]) -> EmbeddingStore {
+        let mut global = shards[0].store().clone();
+        for shard in &shards[1..] {
+            assert!(shard.gather_into(&mut global), "shard store shapes agree");
+        }
+        global
+    }
+
+    fn sharded_matches_serial(num_parts: usize, layers: usize, seed: u64) {
+        let (graph, model, store, batches) = bootstrap(seed, layers);
+        let mut serial = RippleEngine::new(
+            graph.clone(),
+            model.clone(),
+            store.clone(),
+            RippleConfig::default(),
+        )
+        .unwrap();
+        let mut shards = make_shards(&graph, &model, &store, num_parts);
+        for batch in &batches {
+            serial.process_batch(batch).unwrap();
+            process_and_quiesce(&mut shards, batch);
+        }
+        let gathered = gather(&shards);
+        let diff = gathered.max_diff_all_layers(serial.store()).unwrap();
+        assert!(
+            diff < 2e-3,
+            "{num_parts}-shard gathered state drifted from serial engine: {diff}"
+        );
+        // Edge counts add up: every edge lives on 1 or 2 shards, cut edges
+        // on exactly 2.
+        let partitioning = Arc::clone(shards[0].partitioning());
+        let cut = partitioning.edge_cut(serial.graph());
+        let shard_edges: usize = shards.iter().map(|s| s.graph().num_edges()).sum();
+        assert_eq!(shard_edges, serial.graph().num_edges() + cut);
+    }
+
+    #[test]
+    fn two_shards_match_serial_engine_at_quiescence() {
+        sharded_matches_serial(2, 2, 3);
+    }
+
+    #[test]
+    fn four_shards_match_serial_engine_at_quiescence() {
+        sharded_matches_serial(4, 2, 5);
+    }
+
+    #[test]
+    fn three_layer_model_quiesces_and_matches() {
+        sharded_matches_serial(2, 3, 7);
+    }
+
+    #[test]
+    fn misrouted_updates_are_rejected() {
+        let (graph, model, store, _) = bootstrap(11, 2);
+        let mut shards = make_shards(&graph, &model, &store, 2);
+        let partitioning = Arc::clone(shards[0].partitioning());
+        // A vertex owned by shard 1, submitted to shard 0.
+        let foreign = (0..graph.num_vertices() as u32)
+            .map(VertexId)
+            .find(|v| partitioning.part_of(*v) == PartitionId(1))
+            .unwrap();
+        let batch =
+            UpdateBatch::from_updates(vec![GraphUpdate::update_feature(foreign, vec![0.0; 6])]);
+        assert!(shards[0].process_window(&batch, &[]).is_err());
+        // A halo for a foreign vertex is rejected too.
+        let halo = DeltaMessage::new(foreign, 1, vec![0.0; 6]);
+        assert!(shards[0]
+            .process_window(&UpdateBatch::from_updates(Vec::new()), &[halo])
+            .is_err());
+        // As is a halo at an out-of-range hop.
+        let owned = shards[1].owned_vertices()[0];
+        let bad_hop = DeltaMessage::new(owned, 9, vec![0.0; 6]);
+        assert!(shards[1]
+            .process_window(&UpdateBatch::from_updates(Vec::new()), &[bad_hop])
+            .is_err());
+    }
+
+    #[test]
+    fn constructor_validates_partitioning_shape() {
+        let (graph, model, store, _) = bootstrap(13, 2);
+        let small = DatasetSpec::custom(50, 3.0, 6, 4).generate(1).unwrap();
+        let wrong = Arc::new(HashPartitioner.partition(&small, 2).unwrap());
+        assert!(ShardEngine::new(
+            &graph,
+            model.clone(),
+            store.clone(),
+            RippleConfig::default(),
+            wrong,
+            PartitionId(0),
+        )
+        .is_err());
+        let partitioning = Arc::new(HashPartitioner.partition(&graph, 2).unwrap());
+        assert!(ShardEngine::new(
+            &graph,
+            model,
+            store,
+            RippleConfig::default(),
+            partitioning,
+            PartitionId(7),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn dirty_rows_are_owned_sorted_and_reset_per_window() {
+        let (graph, model, store, batches) = bootstrap(17, 2);
+        let mut shards = make_shards(&graph, &model, &store, 2);
+        process_and_quiesce(&mut shards, &batches[0]);
+        for shard in &shards {
+            let dirty = shard.dirty_rows();
+            assert!(dirty.windows(2).all(|w| w[0] < w[1]), "sorted and deduped");
+        }
+    }
+}

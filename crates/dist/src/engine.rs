@@ -7,7 +7,7 @@
 //! hop's mailbox; messages to remote sinks are pre-accumulated in per-target
 //! **halo stubs** (the outgoing-halo machinery of
 //! [`ripple_graph::partition::halo`]) and shipped at the next superstep
-//! boundary as one [`DeltaMessage`] per (worker, target) pair. Linearity of
+//! boundary as one [`ripple_core::DeltaMessage`] per (worker, target) pair. Linearity of
 //! the aggregators makes stub pre-accumulation lossless, which is why the
 //! distributed result matches the single-machine engine.
 
@@ -15,11 +15,13 @@ use crate::network::{CommStats, NetworkModel};
 use crate::stats::DistBatchStats;
 use crate::worker::{gather_store, group_by_part, validate_shapes};
 use crate::{DistError, Result};
-use ripple_core::{evaluate_frontier_into, DeltaMessage, MailboxSet, Scratch, WorkerPool};
+use ripple_core::{evaluate_frontier_into, HaloStubs, MailboxSet, Scratch, WorkerPool};
 use ripple_gnn::{EmbeddingStore, GnnModel};
 use ripple_graph::partition::Partitioning;
-use ripple_graph::{CsrSnapshot, DynamicGraph, GraphUpdate, GraphView, UpdateBatch, VertexId};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use ripple_graph::{
+    CsrSnapshot, DynamicGraph, GraphUpdate, GraphView, PartitionId, UpdateBatch, VertexId,
+};
+use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
 /// One topology change of the current batch, recorded so its per-hop
@@ -40,14 +42,17 @@ struct EdgeChange {
 /// Owns the per-hop mailboxes plus the outgoing halo stubs of every worker:
 /// a deposit whose target lives on the sending worker goes straight into the
 /// mailbox, anything else is pre-accumulated in the sender's per-target stub
-/// until the next superstep boundary ships it as one [`DeltaMessage`] per
+/// until the next superstep boundary ships it as one [`ripple_core::DeltaMessage`] per
 /// (worker, target) pair. Stubs are kept ordered and workers process their
 /// vertices in sorted order, so float accumulation — and therefore a whole
 /// run — is reproducible.
 struct MessageRouter<'a> {
     partitioning: &'a Partitioning,
     mailboxes: MailboxSet,
-    stubs: Vec<BTreeMap<VertexId, Vec<f32>>>,
+    /// Outgoing halo stubs, one slot per **sending** worker (the shared
+    /// [`HaloStubs`] pool also backs the threaded serving tier, where slots
+    /// index the receiver instead).
+    stubs: HaloStubs,
 }
 
 impl<'a> MessageRouter<'a> {
@@ -55,7 +60,7 @@ impl<'a> MessageRouter<'a> {
         MessageRouter {
             partitioning,
             mailboxes: MailboxSet::new(num_hops),
-            stubs: vec![BTreeMap::new(); partitioning.num_parts()],
+            stubs: HaloStubs::new(partitioning.num_parts()),
         }
     }
 
@@ -72,21 +77,19 @@ impl<'a> MessageRouter<'a> {
         if self.partitioning.part_of(target).index() == source_part {
             self.mailboxes.deposit(hop, target, coeff, delta);
         } else {
-            let slot = self.stubs[source_part]
-                .entry(target)
-                .or_insert_with(|| vec![0.0; delta.len()]);
-            ripple_tensor::axpy(slot, coeff, delta);
+            self.stubs
+                .deposit(PartitionId(source_part as u32), hop, target, coeff, delta);
         }
     }
 
     /// Superstep boundary: ships every pending halo stub as a
-    /// [`DeltaMessage`] for `hop`, depositing it into the receiving workers'
+    /// [`ripple_core::DeltaMessage`] for `hop`, depositing it into the receiving workers'
     /// mailboxes and charging the ledger. Returns the bytes put on the wire.
     fn flush(&mut self, hop: usize, comm: &mut CommStats) -> usize {
         let mut superstep_bytes = 0usize;
-        for stub in self.stubs.iter_mut() {
-            for (target, delta) in std::mem::take(stub) {
-                let message = DeltaMessage::new(target, hop, delta);
+        for part in 0..self.stubs.num_parts() {
+            for message in self.stubs.drain_part(PartitionId(part as u32)) {
+                debug_assert_eq!(message.hop, hop, "stubs only span one superstep");
                 let wire = message.wire_bytes();
                 comm.record_halo_message(wire);
                 superstep_bytes += wire;
@@ -478,7 +481,6 @@ mod tests {
     use ripple_graph::partition::{LdgPartitioner, Partitioner};
     use ripple_graph::stream::{build_stream, StreamConfig};
     use ripple_graph::synth::DatasetSpec;
-    use ripple_graph::PartitionId;
 
     fn bootstrap(
         workload: Workload,

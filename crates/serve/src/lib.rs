@@ -22,6 +22,13 @@
 //! * [`ServeMetrics`] and a closed-loop [`loadgen`] — read-latency
 //!   percentiles, update-visibility lag and epochs/sec, deterministic via
 //!   the workspace's seeded `rand` shim.
+//! * A **sharded serving tier** behind the same API — [`spawn_sharded`]
+//!   hash-partitions the graph into [`ripple_core::ShardEngine`]s, each on
+//!   its own scheduler thread with its own epoch sequence; a
+//!   [`ShardRouter`] hash-routes updates and the shards exchange halo
+//!   delta messages like the distributed engine's halo stubs. The
+//!   [`ServeFrontend`] trait abstracts over both topologies, so load
+//!   generators and consistency suites run unchanged against either.
 //!
 //! # Example
 //!
@@ -52,24 +59,33 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod frontend;
 pub mod histogram;
 pub mod loadgen;
 pub mod metrics;
 pub mod query;
+pub mod router;
 pub mod scheduler;
+pub mod shard;
 pub mod versioned;
 
+pub use frontend::{ServeClient, ServeFrontend};
 pub use histogram::LatencyHistogram;
 pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
 pub use metrics::{MetricsReport, ServeMetrics};
 pub use query::{QueryService, Stamped};
+pub use router::ShardRouter;
 pub use scheduler::{
-    spawn, BackpressurePolicy, FlushRecord, ServeConfig, ServeError, ServeHandle, Submission,
-    UpdateClient, UpdateScheduler,
+    spawn, BackpressurePolicy, FlushLog, FlushRecord, ServeConfig, ServeConfigBuilder, ServeError,
+    ServeHandle, Submission, UpdateClient, UpdateScheduler,
 };
+pub use shard::{spawn_sharded, ShardedEngines, ShardedServeHandle};
 pub use versioned::{
     BufferStats, EpochSnapshot, SnapshotPublisher, SnapshotReader, VersionedStore,
 };
+
+/// Re-export of the partition id shards and query stamps are keyed by.
+pub use ripple_graph::PartitionId;
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, ServeError>;

@@ -1,15 +1,28 @@
 //! Read-side query API over published epoch snapshots.
 //!
-//! A [`QueryService`] is a per-thread handle: it owns a cached
-//! [`SnapshotReader`], so the hot path of every query is one atomic epoch
+//! A [`QueryService`] is a per-thread handle: it owns cached
+//! [`SnapshotReader`]s, so the hot path of every query is one atomic epoch
 //! check plus reads against an immutable snapshot — no locks shared with the
 //! engine, no blocking on in-flight propagation. Every response is stamped
 //! with the epoch it was served at and the **staleness** at read time: how
 //! many accepted updates were not yet visible in that epoch.
+//!
+//! # Sharded sessions
+//!
+//! Against a sharded session ([`crate::spawn_sharded`]) the service owns one
+//! reader per shard and epochs form a **vector clock**: each shard publishes
+//! its own epoch sequence. A point read resolves the owning shard from the
+//! partitioning and is stamped with that shard's scalar epoch (plus
+//! [`Stamped::shard`]); a whole-graph read such as
+//! [`QueryService::top_k_by_dot`] touches every shard and is stamped with
+//! the *minimum* epoch across shards plus the full per-shard vector in
+//! [`Stamped::epochs`]. Staleness for whole-graph reads sums the per-shard
+//! backlogs.
 
 use crate::metrics::ServeMetrics;
-use crate::versioned::SnapshotReader;
-use ripple_graph::VertexId;
+use crate::versioned::{EpochSnapshot, SnapshotReader};
+use ripple_graph::partition::Partitioning;
+use ripple_graph::{PartitionId, VertexId};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -19,17 +32,27 @@ use std::time::Instant;
 pub struct Stamped<T> {
     /// The response payload.
     pub value: T,
-    /// Epoch of the snapshot that served this query.
+    /// Epoch of the snapshot that served this query. For a sharded
+    /// whole-graph read this is the minimum epoch across the shards read.
     pub epoch: u64,
-    /// Accepted raw updates reflected in that snapshot.
+    /// Accepted raw updates reflected in that snapshot (summed across
+    /// shards for a sharded whole-graph read).
     pub applied_seq: u64,
-    /// Accepted updates not yet visible at read time (enqueued − applied).
+    /// Accepted updates not yet visible at read time (enqueued − applied;
+    /// summed across shards for a sharded whole-graph read).
     pub staleness: u64,
     /// The engine's topology epoch (update batches absorbed by its CSR
     /// topology snapshot) behind the serving snapshot — lets callers see
     /// how fresh the *structure* behind the answer is, independently of the
-    /// embedding epoch.
+    /// embedding epoch. Minimum across shards for a whole-graph read.
     pub topology_epoch: u64,
+    /// The shard that served a point read against a sharded session;
+    /// `None` for single-engine sessions and for whole-graph reads.
+    pub shard: Option<PartitionId>,
+    /// The per-shard epoch vector of a whole-graph read against a sharded
+    /// session (`epochs[p]` is shard `p`'s epoch at read time); `None` for
+    /// single-engine sessions and point reads.
+    pub epochs: Option<Vec<u64>>,
 }
 
 impl<T> Stamped<T> {
@@ -41,15 +64,50 @@ impl<T> Stamped<T> {
             applied_seq: self.applied_seq,
             staleness: self.staleness,
             topology_epoch: self.topology_epoch,
+            shard: self.shard,
+            epochs: self.epochs,
         }
     }
 }
 
-/// Per-thread query handle over the latest published snapshot.
+fn stamp<T>(
+    value: T,
+    snap: &EpochSnapshot,
+    submitted: u64,
+    shard: Option<PartitionId>,
+) -> Stamped<T> {
+    Stamped {
+        value,
+        epoch: snap.epoch(),
+        applied_seq: snap.applied_seq(),
+        staleness: submitted.saturating_sub(snap.applied_seq()),
+        topology_epoch: snap.topology_epoch(),
+        shard,
+        epochs: None,
+    }
+}
+
+/// Which serving topology a [`QueryService`] reads from: one engine behind
+/// one publisher, or one publisher per shard.
+#[derive(Debug, Clone)]
+enum ServeTopology {
+    Single {
+        reader: SnapshotReader,
+        submitted: Arc<AtomicU64>,
+    },
+    Sharded {
+        /// One reader per shard, indexed by [`PartitionId`].
+        readers: Vec<SnapshotReader>,
+        /// Per-shard accepted-update counters, indexed like `readers`.
+        submitted: Vec<Arc<AtomicU64>>,
+        partitioning: Arc<Partitioning>,
+    },
+}
+
+/// Per-thread query handle over the latest published snapshot(s).
 #[derive(Debug, Clone)]
 pub struct QueryService {
-    reader: SnapshotReader,
-    submitted: Arc<AtomicU64>,
+    topology: ServeTopology,
     metrics: Arc<ServeMetrics>,
 }
 
@@ -60,34 +118,90 @@ impl QueryService {
         metrics: Arc<ServeMetrics>,
     ) -> Self {
         QueryService {
-            reader,
-            submitted,
+            topology: ServeTopology::Single { reader, submitted },
             metrics,
         }
     }
 
-    /// The epoch this handle currently serves (refreshing first).
+    pub(crate) fn new_sharded(
+        readers: Vec<SnapshotReader>,
+        submitted: Vec<Arc<AtomicU64>>,
+        partitioning: Arc<Partitioning>,
+        metrics: Arc<ServeMetrics>,
+    ) -> Self {
+        debug_assert_eq!(readers.len(), submitted.len());
+        QueryService {
+            topology: ServeTopology::Sharded {
+                readers,
+                submitted,
+                partitioning,
+            },
+            metrics,
+        }
+    }
+
+    /// The owning shard's snapshot, submitted counter and id for `v`;
+    /// `None` if `v` is outside the partitioned id space.
+    fn point_view(
+        &mut self,
+        v: VertexId,
+    ) -> Option<(Arc<EpochSnapshot>, u64, Option<PartitionId>)> {
+        match &mut self.topology {
+            ServeTopology::Single { reader, submitted } => {
+                let pending = submitted.load(Ordering::Relaxed);
+                Some((Arc::clone(reader.snapshot()), pending, None))
+            }
+            ServeTopology::Sharded {
+                readers,
+                submitted,
+                partitioning,
+            } => {
+                let part = *partitioning.assignment().get(v.index())?;
+                let pending = submitted[part.index()].load(Ordering::Relaxed);
+                Some((
+                    Arc::clone(readers[part.index()].snapshot()),
+                    pending,
+                    Some(part),
+                ))
+            }
+        }
+    }
+
+    /// The epoch this handle currently serves (refreshing first). For a
+    /// sharded session this is the minimum epoch across shards — the epoch
+    /// every shard has reached.
     pub fn epoch(&mut self) -> u64 {
-        self.reader.epoch()
+        match &mut self.topology {
+            ServeTopology::Single { reader, .. } => reader.epoch(),
+            ServeTopology::Sharded { readers, .. } => readers
+                .iter_mut()
+                .map(SnapshotReader::epoch)
+                .min()
+                .unwrap_or(0),
+        }
+    }
+
+    /// The per-shard epoch vector (refreshing first); a single-engine
+    /// session reports one entry.
+    pub fn epoch_vector(&mut self) -> Vec<u64> {
+        match &mut self.topology {
+            ServeTopology::Single { reader, .. } => vec![reader.epoch()],
+            ServeTopology::Sharded { readers, .. } => {
+                readers.iter_mut().map(SnapshotReader::epoch).collect()
+            }
+        }
     }
 
     /// The final-layer embedding of `v`, or `None` if `v` is out of range.
     pub fn embedding(&mut self, v: VertexId) -> Option<Stamped<Vec<f32>>> {
         let start = Instant::now();
-        let submitted = self.submitted.load(Ordering::Relaxed);
-        let snapshot = self.reader.snapshot();
+        let (snapshot, submitted, shard) = self.point_view(v)?;
         let store = snapshot.store();
         if v.index() >= store.num_vertices() {
             return None;
         }
         let value = store.embedding(store.num_layers(), v).to_vec();
-        let stamped = Stamped {
-            value,
-            epoch: snapshot.epoch(),
-            applied_seq: snapshot.applied_seq(),
-            staleness: submitted.saturating_sub(snapshot.applied_seq()),
-            topology_epoch: snapshot.topology_epoch(),
-        };
+        let stamped = stamp(value, &snapshot, submitted, shard);
         self.metrics.record_read(start.elapsed());
         Some(stamped)
     }
@@ -96,19 +210,12 @@ impl QueryService {
     /// embedding), or `None` if `v` is out of range.
     pub fn predicted_label(&mut self, v: VertexId) -> Option<Stamped<usize>> {
         let start = Instant::now();
-        let submitted = self.submitted.load(Ordering::Relaxed);
-        let snapshot = self.reader.snapshot();
+        let (snapshot, submitted, shard) = self.point_view(v)?;
         let store = snapshot.store();
         if v.index() >= store.num_vertices() {
             return None;
         }
-        let stamped = Stamped {
-            value: store.predicted_label(v),
-            epoch: snapshot.epoch(),
-            applied_seq: snapshot.applied_seq(),
-            staleness: submitted.saturating_sub(snapshot.applied_seq()),
-            topology_epoch: snapshot.topology_epoch(),
-        };
+        let stamped = stamp(store.predicted_label(v), &snapshot, submitted, shard);
         self.metrics.record_read(start.elapsed());
         Some(stamped)
     }
@@ -118,28 +225,91 @@ impl QueryService {
     /// recommendation read path. Ties break towards the smaller vertex id,
     /// so results are deterministic. Returns `None` if `query`'s width does
     /// not match the embedding width.
+    ///
+    /// Against a sharded session every vertex is scored from its owning
+    /// shard's snapshot, and the stamp carries the per-shard epoch vector
+    /// ([`Stamped::epochs`]) with [`Stamped::epoch`] set to its minimum.
     pub fn top_k_by_dot(
         &mut self,
         query: &[f32],
         k: usize,
     ) -> Option<Stamped<Vec<(VertexId, f32)>>> {
         let start = Instant::now();
-        let submitted = self.submitted.load(Ordering::Relaxed);
-        let snapshot = self.reader.snapshot();
-        let store = snapshot.store();
-        let table = store.embeddings(store.num_layers());
-        if table.cols() != query.len() {
-            return None;
-        }
-        // One pass over the flat table; scored[(v)] = <h_v, query>.
-        let mut scored: Vec<(f32, u32)> = table
-            .iter_rows()
-            .enumerate()
-            .map(|(v, row)| {
-                let dot: f32 = row.iter().zip(query.iter()).map(|(a, b)| a * b).sum();
-                (dot, v as u32)
-            })
-            .collect();
+        let mut scored: Vec<(f32, u32)>;
+        let stamped_parts = match &mut self.topology {
+            ServeTopology::Single { reader, submitted } => {
+                let pending = submitted.load(Ordering::Relaxed);
+                let snapshot = Arc::clone(reader.snapshot());
+                let store = snapshot.store();
+                let table = store.embeddings(store.num_layers());
+                if table.cols() != query.len() {
+                    return None;
+                }
+                // One pass over the flat table; scored[(v)] = <h_v, query>.
+                scored = table
+                    .iter_rows()
+                    .enumerate()
+                    .map(|(v, row)| (dot(row, query), v as u32))
+                    .collect();
+                (
+                    snapshot.epoch(),
+                    snapshot.applied_seq(),
+                    pending.saturating_sub(snapshot.applied_seq()),
+                    snapshot.topology_epoch(),
+                    None,
+                )
+            }
+            ServeTopology::Sharded {
+                readers,
+                submitted,
+                partitioning,
+            } => {
+                let snapshots: Vec<Arc<EpochSnapshot>> = readers
+                    .iter_mut()
+                    .map(|r| Arc::clone(r.snapshot()))
+                    .collect();
+                let num_layers = snapshots[0].store().num_layers();
+                if snapshots[0].store().embeddings(num_layers).cols() != query.len() {
+                    return None;
+                }
+                // Score each vertex against its owning shard's snapshot —
+                // only the owner's rows are authoritative.
+                scored = partitioning
+                    .assignment()
+                    .iter()
+                    .enumerate()
+                    .map(|(v, part)| {
+                        let row = snapshots[part.index()]
+                            .store()
+                            .embedding(num_layers, VertexId(v as u32));
+                        (dot(row, query), v as u32)
+                    })
+                    .collect();
+                let epochs: Vec<u64> = snapshots.iter().map(|s| s.epoch()).collect();
+                let applied: u64 = snapshots.iter().map(|s| s.applied_seq()).sum();
+                let staleness: u64 = snapshots
+                    .iter()
+                    .zip(submitted.iter())
+                    .map(|(s, counter)| {
+                        counter
+                            .load(Ordering::Relaxed)
+                            .saturating_sub(s.applied_seq())
+                    })
+                    .sum();
+                let topology_epoch = snapshots
+                    .iter()
+                    .map(|s| s.topology_epoch())
+                    .min()
+                    .unwrap_or(0);
+                (
+                    epochs.iter().copied().min().unwrap_or(0),
+                    applied,
+                    staleness,
+                    topology_epoch,
+                    Some(epochs),
+                )
+            }
+        };
         let k = k.min(scored.len());
         // Highest score first, smaller id on ties; NaN-free inputs are the
         // caller's contract — total_cmp keeps the order deterministic anyway.
@@ -156,16 +326,23 @@ impl QueryService {
             .into_iter()
             .map(|(score, v)| (VertexId(v), score))
             .collect();
+        let (epoch, applied_seq, staleness, topology_epoch, epochs) = stamped_parts;
         let stamped = Stamped {
             value,
-            epoch: snapshot.epoch(),
-            applied_seq: snapshot.applied_seq(),
-            staleness: submitted.saturating_sub(snapshot.applied_seq()),
-            topology_epoch: snapshot.topology_epoch(),
+            epoch,
+            applied_seq,
+            staleness,
+            topology_epoch,
+            shard: None,
+            epochs,
         };
         self.metrics.record_read(start.elapsed());
         Some(stamped)
     }
+}
+
+fn dot(row: &[f32], query: &[f32]) -> f32 {
+    row.iter().zip(query.iter()).map(|(a, b)| a * b).sum()
 }
 
 #[cfg(test)]
@@ -199,9 +376,12 @@ mod tests {
         assert_eq!(e.epoch, 0);
         assert_eq!(e.applied_seq, 0);
         assert_eq!(e.staleness, 7, "7 accepted updates not yet visible");
+        assert_eq!(e.shard, None);
+        assert_eq!(e.epochs, None);
         let l = q.predicted_label(VertexId(0)).unwrap();
         assert_eq!(l.value, 1);
         assert_eq!(q.epoch(), 0);
+        assert_eq!(q.epoch_vector(), vec![0]);
         // Out-of-range vertices are rejected, not panicking.
         assert!(q.embedding(VertexId(99)).is_none());
         assert!(q.predicted_label(VertexId(99)).is_none());
@@ -254,6 +434,8 @@ mod tests {
             applied_seq: 9,
             staleness: 1,
             topology_epoch: 3,
+            shard: Some(PartitionId(1)),
+            epochs: Some(vec![4, 6]),
         };
         let len = stamped.map(|v| v.len());
         assert_eq!(len.value, 2);
@@ -261,5 +443,71 @@ mod tests {
         assert_eq!(len.applied_seq, 9);
         assert_eq!(len.staleness, 1);
         assert_eq!(len.topology_epoch, 3);
+        assert_eq!(len.shard, Some(PartitionId(1)));
+        assert_eq!(len.epochs, Some(vec![4, 6]));
+    }
+
+    #[test]
+    fn sharded_reads_resolve_the_owning_shard_and_merge_epoch_vectors() {
+        // Shard 0 owns vertices 0–1, shard 1 owns 2–3; each shard's store is
+        // authoritative only for its owned rows.
+        let base = store();
+        let (mut publisher0, reader0) = VersionedStore::bootstrap(&base);
+        let (publisher1, reader1) = VersionedStore::bootstrap(&base);
+        let partitioning = Arc::new(
+            Partitioning::from_assignment(
+                vec![
+                    PartitionId(0),
+                    PartitionId(0),
+                    PartitionId(1),
+                    PartitionId(1),
+                ],
+                2,
+            )
+            .unwrap(),
+        );
+        let submitted = vec![Arc::new(AtomicU64::new(5)), Arc::new(AtomicU64::new(2))];
+        let metrics = Arc::new(ServeMetrics::new());
+        let mut q = QueryService::new_sharded(
+            vec![reader0, reader1],
+            submitted,
+            Arc::clone(&partitioning),
+            Arc::clone(&metrics),
+        );
+
+        // Shard 0 publishes twice; shard 1 stays at its bootstrap epoch.
+        let mut updated = base.clone();
+        updated
+            .set_embedding(2, VertexId(0), &[9.0, 0.0, 0.0])
+            .unwrap();
+        publisher0.publish(&updated, 3, 1);
+        publisher0.publish(&updated, 5, 2);
+
+        let e = q.embedding(VertexId(0)).unwrap();
+        assert_eq!(e.value[0], 9.0);
+        assert_eq!(e.shard, Some(PartitionId(0)));
+        assert_eq!(e.epoch, 2, "point reads use the owning shard's epoch");
+        assert_eq!(e.staleness, 0);
+        let e = q.embedding(VertexId(2)).unwrap();
+        assert_eq!(e.shard, Some(PartitionId(1)));
+        assert_eq!(e.epoch, 0);
+        assert_eq!(e.staleness, 2, "shard 1 has 2 accepted updates pending");
+        // Out of the partitioned id space: rejected, not panicking.
+        assert!(q.embedding(VertexId(99)).is_none());
+
+        // The session epoch is the slowest shard; the vector shows both.
+        assert_eq!(q.epoch(), 0);
+        assert_eq!(q.epoch_vector(), vec![2, 0]);
+
+        // Whole-graph reads score every vertex from its owner and stamp the
+        // epoch vector (vertex 0's new value comes from shard 0's epoch 2).
+        let top = q.top_k_by_dot(&[1.0, 0.0, 0.0], 1).unwrap();
+        assert_eq!(top.value[0], (VertexId(0), 9.0));
+        assert_eq!(top.epoch, 0);
+        assert_eq!(top.epochs, Some(vec![2, 0]));
+        assert_eq!(top.shard, None);
+        assert_eq!(top.applied_seq, 5, "applied sums across shards");
+        assert_eq!(top.staleness, 2, "per-shard backlogs sum");
+        drop(publisher1);
     }
 }

@@ -1,0 +1,176 @@
+//! The router client of the sharded serving tier: hash-routes updates to
+//! their owning shards' queues.
+//!
+//! A [`ShardRouter`] is the sharded counterpart of [`crate::UpdateClient`].
+//! Feature updates go to the owner of the rewritten vertex; edge updates go
+//! to the owner of **both** endpoints (once, when one shard owns both) —
+//! each owner applies the topology change to its halo-restricted graph, and
+//! only the source's owner emits the resulting value deltas, mirroring how
+//! the distributed engine routes halo stubs.
+//!
+//! Shard queues are unbounded (halo sends between workers must never
+//! block), so producer backpressure lives here: every shard carries a depth
+//! counter, and a submission first clears [`ServeConfig::queue_capacity`]
+//! on *every* route — blocking or shedding per the configured policy —
+//! before enqueueing anywhere. A cross-shard edge update is therefore
+//! accepted by all of its owners or by none.
+
+use crate::metrics::ServeMetrics;
+use crate::scheduler::{BackpressurePolicy, QueuedUpdate, Submission};
+use crate::shard::ShardMsg;
+use ripple_graph::partition::Partitioning;
+use ripple_graph::{GraphUpdate, PartitionId, VertexId};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[cfg(doc)]
+use crate::scheduler::ServeConfig;
+
+/// How long a blocked submission sleeps between depth re-checks.
+const BLOCK_BACKOFF: Duration = Duration::from_micros(50);
+
+/// Cloneable producer handle hash-routing updates into a sharded session.
+#[derive(Debug, Clone)]
+pub struct ShardRouter {
+    txs: Vec<Sender<ShardMsg>>,
+    depths: Vec<Arc<AtomicUsize>>,
+    alive: Vec<Arc<AtomicBool>>,
+    /// Per-shard accepted-update counters (an update counts at every shard
+    /// it routes to — the staleness denominator of that shard's reads).
+    submitted: Vec<Arc<AtomicU64>>,
+    /// Raw accepted submissions across the tier (each counted once).
+    total_submitted: Arc<AtomicU64>,
+    partitioning: Arc<Partitioning>,
+    metrics: Arc<ServeMetrics>,
+    policy: BackpressurePolicy,
+    queue_capacity: usize,
+}
+
+impl ShardRouter {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        txs: Vec<Sender<ShardMsg>>,
+        depths: Vec<Arc<AtomicUsize>>,
+        alive: Vec<Arc<AtomicBool>>,
+        submitted: Vec<Arc<AtomicU64>>,
+        total_submitted: Arc<AtomicU64>,
+        partitioning: Arc<Partitioning>,
+        metrics: Arc<ServeMetrics>,
+        policy: BackpressurePolicy,
+        queue_capacity: usize,
+    ) -> Self {
+        ShardRouter {
+            txs,
+            depths,
+            alive,
+            submitted,
+            total_submitted,
+            partitioning,
+            metrics,
+            policy,
+            queue_capacity,
+        }
+    }
+
+    /// Number of shards this router fans out over.
+    pub fn num_shards(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// The owning shard of `v`. A vertex beyond the partitioned id space
+    /// (e.g. an invalid update) is routed by hash so the owning engine
+    /// reports the error exactly like the single-engine path would.
+    fn owner(&self, v: VertexId) -> PartitionId {
+        let num_parts = self.txs.len();
+        self.partitioning
+            .assignment()
+            .get(v.index())
+            .copied()
+            .unwrap_or(PartitionId((v.index() % num_parts) as u32))
+    }
+
+    /// The shards `update` must reach: feature rewrites go to the vertex
+    /// owner; edge changes to both endpoint owners (deduplicated).
+    fn routes(&self, update: &GraphUpdate) -> (PartitionId, Option<PartitionId>) {
+        match update {
+            GraphUpdate::UpdateFeature { vertex, .. } => (self.owner(*vertex), None),
+            GraphUpdate::AddEdge { src, dst, .. } | GraphUpdate::DeleteEdge { src, dst } => {
+                let a = self.owner(*src);
+                let b = self.owner(*dst);
+                (a, (b != a).then_some(b))
+            }
+        }
+    }
+
+    /// Submits one update, honouring the configured backpressure policy
+    /// across every shard it routes to.
+    pub fn submit(&self, update: GraphUpdate) -> Submission {
+        let (first, second) = self.routes(&update);
+        let targets = [Some(first), second];
+        // Clear backpressure on every route before enqueueing anywhere, so
+        // a cross-shard update is accepted by all owners or by none.
+        for part in targets.iter().flatten() {
+            let i = part.index();
+            match self.policy {
+                BackpressurePolicy::Shed => {
+                    if !self.alive[i].load(Ordering::Acquire) {
+                        return Submission::Closed;
+                    }
+                    if self.depths[i].load(Ordering::Acquire) >= self.queue_capacity {
+                        self.metrics.record_shed();
+                        return Submission::Shed;
+                    }
+                }
+                BackpressurePolicy::Block => loop {
+                    if !self.alive[i].load(Ordering::Acquire) {
+                        return Submission::Closed;
+                    }
+                    if self.depths[i].load(Ordering::Acquire) < self.queue_capacity {
+                        break;
+                    }
+                    std::thread::sleep(BLOCK_BACKOFF);
+                },
+            }
+        }
+        let enqueued = Instant::now();
+        for part in targets.iter().flatten() {
+            let i = part.index();
+            let queued = QueuedUpdate {
+                update: update.clone(),
+                enqueued,
+            };
+            // Count the slot before sending: the worker decrements as it
+            // dequeues, and the counter must never underflow.
+            self.depths[i].fetch_add(1, Ordering::AcqRel);
+            if self.txs[i].send(ShardMsg::Update(queued)).is_err() {
+                self.depths[i].fetch_sub(1, Ordering::AcqRel);
+                return Submission::Closed;
+            }
+            self.submitted[i].fetch_add(1, Ordering::Relaxed);
+            self.metrics.record_enqueued();
+        }
+        let seq = self.total_submitted.fetch_add(1, Ordering::Relaxed) + 1;
+        Submission::Enqueued { seq }
+    }
+
+    /// Submits every update of a batch in order; stops at the first
+    /// non-enqueued outcome and returns it together with the number of
+    /// accepted updates.
+    pub fn submit_all<I: IntoIterator<Item = GraphUpdate>>(
+        &self,
+        updates: I,
+    ) -> (usize, Submission) {
+        let mut accepted = 0;
+        let mut last = Submission::Enqueued { seq: 0 };
+        for update in updates {
+            last = self.submit(update);
+            match last {
+                Submission::Enqueued { .. } => accepted += 1,
+                _ => return (accepted, last),
+            }
+        }
+        (accepted, last)
+    }
+}

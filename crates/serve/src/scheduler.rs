@@ -25,7 +25,7 @@
 
 use crate::metrics::ServeMetrics;
 use crate::versioned::{SnapshotPublisher, SnapshotReader, VersionedStore};
-use ripple_core::{RippleError, StreamingEngine};
+use ripple_core::{DeltaMessage, RippleError, StreamingEngine};
 use ripple_graph::{GraphUpdate, UpdateBatch, VertexId};
 use std::collections::HashMap;
 use std::fmt;
@@ -51,7 +51,14 @@ pub enum BackpressurePolicy {
 }
 
 /// Configuration of the serving scheduler.
+///
+/// Construct it through [`ServeConfig::builder`] (or take
+/// [`ServeConfig::default`]): the builder validates the knobs once up front
+/// so a session can never start with a queue or window it cannot service.
+/// The struct is `#[non_exhaustive]` — downstream crates read the fields
+/// freely but cannot assemble unvalidated literals.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct ServeConfig {
     /// Bounded queue capacity between producers and the scheduler thread.
     pub queue_capacity: usize,
@@ -67,6 +74,20 @@ pub struct ServeConfig {
     pub record_batches: bool,
 }
 
+impl ServeConfig {
+    /// Upper bound the builder clamps [`ServeConfig::max_delay`] to; a time
+    /// window beyond this just turns the serving tier into an offline batch
+    /// job.
+    pub const MAX_DELAY: Duration = Duration::from_secs(5);
+
+    /// Starts a builder seeded with the default configuration.
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            config: ServeConfig::default(),
+        }
+    }
+}
+
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
@@ -76,6 +97,88 @@ impl Default for ServeConfig {
             policy: BackpressurePolicy::Block,
             record_batches: false,
         }
+    }
+}
+
+/// Validating builder for [`ServeConfig`] — the only way to assemble a
+/// non-default configuration outside this crate.
+///
+/// # Example
+///
+/// ```
+/// use ripple_serve::ServeConfig;
+///
+/// let config = ServeConfig::builder()
+///     .max_batch(16)
+///     .queue_capacity(256)
+///     .build()
+///     .unwrap();
+/// assert_eq!(config.max_batch, 16);
+/// assert!(ServeConfig::builder().max_batch(0).build().is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    config: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Sets the bounded queue capacity (must be non-zero).
+    #[must_use]
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the size window (must be non-zero).
+    #[must_use]
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.config.max_batch = max_batch;
+        self
+    }
+
+    /// Sets the time window; clamped to [`ServeConfig::MAX_DELAY`] at build
+    /// time.
+    #[must_use]
+    pub fn max_delay(mut self, max_delay: Duration) -> Self {
+        self.config.max_delay = max_delay;
+        self
+    }
+
+    /// Sets the backpressure policy.
+    #[must_use]
+    pub fn policy(mut self, policy: BackpressurePolicy) -> Self {
+        self.config.policy = policy;
+        self
+    }
+
+    /// Enables or disables flush-window recording.
+    #[must_use]
+    pub fn record_batches(mut self, record: bool) -> Self {
+        self.config.record_batches = record;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] if `queue_capacity` or
+    /// `max_batch` is zero. `max_delay` is clamped, not rejected.
+    pub fn build(self) -> crate::Result<ServeConfig> {
+        let mut config = self.config;
+        if config.queue_capacity == 0 {
+            return Err(ServeError::InvalidConfig(
+                "queue_capacity must be non-zero (every session needs at least one queue slot)"
+                    .to_string(),
+            ));
+        }
+        if config.max_batch == 0 {
+            return Err(ServeError::InvalidConfig(
+                "max_batch must be non-zero (the size window could never close)".to_string(),
+            ));
+        }
+        config.max_delay = config.max_delay.min(ServeConfig::MAX_DELAY);
+        Ok(config)
     }
 }
 
@@ -104,6 +207,9 @@ pub enum ServeError {
     Engine(RippleError),
     /// The scheduler thread terminated abnormally (panic).
     SchedulerPanicked,
+    /// A [`ServeConfigBuilder`] or sharded-session parameter failed
+    /// validation; the message names the offending knob.
+    InvalidConfig(String),
 }
 
 impl fmt::Display for ServeError {
@@ -111,6 +217,7 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::Engine(e) => write!(f, "serving engine error: {e}"),
             ServeError::SchedulerPanicked => f.write_str("scheduler thread panicked"),
+            ServeError::InvalidConfig(why) => write!(f, "invalid serving configuration: {why}"),
         }
     }
 }
@@ -119,7 +226,7 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Engine(e) => Some(e),
-            ServeError::SchedulerPanicked => None,
+            ServeError::SchedulerPanicked | ServeError::InvalidConfig(_) => None,
         }
     }
 }
@@ -132,13 +239,13 @@ impl From<RippleError> for ServeError {
 
 /// One update travelling through the queue.
 #[derive(Debug)]
-struct QueuedUpdate {
-    update: GraphUpdate,
-    enqueued: Instant,
+pub(crate) struct QueuedUpdate {
+    pub(crate) update: GraphUpdate,
+    pub(crate) enqueued: Instant,
 }
 
 /// Queue protocol between clients and the scheduler thread.
-enum Msg {
+pub(crate) enum Msg {
     Update(QueuedUpdate),
     /// Force the current window closed; replies with the epoch after flush.
     Flush(mpsc::Sender<u64>),
@@ -213,6 +320,10 @@ pub struct FlushRecord {
     /// The coalesced batch handed to the engine (possibly empty if the
     /// whole window cancelled out).
     pub batch: UpdateBatch,
+    /// Halo deltas received from peer shards and absorbed in this window
+    /// (always empty for a single-engine session). Replaying `batch` and
+    /// `halos` together reproduces the shard's published store bit for bit.
+    pub halos: Vec<DeltaMessage>,
     /// Raw accepted updates covered by this window.
     pub raw: u64,
     /// Epoch the post-batch store was published at.
@@ -223,9 +334,58 @@ pub struct FlushRecord {
     pub topology_epoch: u64,
 }
 
+/// Shared handle onto a session's recorded flush windows (present iff
+/// [`ServeConfig::record_batches`] is set).
+///
+/// The handle is cheap to clone and stays readable after the session shuts
+/// down, which is how the consistency suites replay a serving run: take the
+/// [`FlushLog::snapshot`], feed every record's batch (and, for a shard, its
+/// halos) through a fresh engine, and compare stores bit for bit.
+#[derive(Debug, Clone, Default)]
+pub struct FlushLog {
+    records: Arc<Mutex<Vec<FlushRecord>>>,
+}
+
+impl FlushLog {
+    pub(crate) fn new() -> Self {
+        FlushLog::default()
+    }
+
+    pub(crate) fn push(&self, record: FlushRecord) {
+        self.records
+            .lock()
+            .expect("flush log poisoned")
+            .push(record);
+    }
+
+    /// A point-in-time copy of every recorded flush window, in flush order.
+    pub fn snapshot(&self) -> Vec<FlushRecord> {
+        self.records.lock().expect("flush log poisoned").clone()
+    }
+
+    /// Number of recorded flush windows so far.
+    pub fn len(&self) -> usize {
+        self.records.lock().expect("flush log poisoned").len()
+    }
+
+    /// Whether nothing has been flushed (or recording produced no windows).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The raw shared vector behind this log.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `FlushLog::snapshot` or `FlushLog::len` instead"
+    )]
+    pub fn into_arc(self) -> Arc<Mutex<Vec<FlushRecord>>> {
+        self.records
+    }
+}
+
 /// The coalescing window: pending updates with same-key churn deduplicated.
 #[derive(Debug, Default)]
-struct Coalescer {
+pub(crate) struct Coalescer {
     /// Pending updates in arrival order; cancelled slots are `None`.
     items: Vec<Option<GraphUpdate>>,
     /// Enqueue instant of every raw update of the window (for lag stats).
@@ -242,7 +402,7 @@ struct Coalescer {
 
 impl Coalescer {
     /// Absorbs one raw update, deduplicating against the pending window.
-    fn push(&mut self, queued: QueuedUpdate, metrics: &ServeMetrics) {
+    pub(crate) fn push(&mut self, queued: QueuedUpdate, metrics: &ServeMetrics) {
         self.raw += 1;
         self.oldest.get_or_insert(queued.enqueued);
         self.enqueues.push(queued.enqueued);
@@ -278,18 +438,18 @@ impl Coalescer {
     }
 
     /// Raw updates pending (including coalesced-away ones).
-    fn raw_len(&self) -> u64 {
+    pub(crate) fn raw_len(&self) -> u64 {
         self.raw
     }
 
     /// The instant at which the time window closes, if anything is pending.
-    fn deadline(&self, max_delay: Duration) -> Option<Instant> {
+    pub(crate) fn deadline(&self, max_delay: Duration) -> Option<Instant> {
         self.oldest.map(|t| t + max_delay)
     }
 
     /// Empties the window, returning the coalesced batch, the raw count and
     /// the enqueue instants of every covered raw update.
-    fn drain(&mut self) -> (UpdateBatch, u64, Vec<Instant>) {
+    pub(crate) fn drain(&mut self) -> (UpdateBatch, u64, Vec<Instant>) {
         let updates: Vec<GraphUpdate> = self.items.drain(..).flatten().collect();
         self.feature_idx.clear();
         self.added_idx.clear();
@@ -312,7 +472,7 @@ pub struct UpdateScheduler<E> {
     metrics: Arc<ServeMetrics>,
     window: Coalescer,
     applied_seq: u64,
-    flush_log: Option<Arc<Mutex<Vec<FlushRecord>>>>,
+    flush_log: Option<FlushLog>,
 }
 
 impl<E: StreamingEngine> UpdateScheduler<E> {
@@ -323,9 +483,7 @@ impl<E: StreamingEngine> UpdateScheduler<E> {
         metrics: Arc<ServeMetrics>,
     ) -> (Self, SnapshotReader) {
         let (publisher, reader) = VersionedStore::bootstrap(engine.current_store());
-        let flush_log = config
-            .record_batches
-            .then(|| Arc::new(Mutex::new(Vec::new())));
+        let flush_log = config.record_batches.then(FlushLog::new);
         (
             UpdateScheduler {
                 engine,
@@ -341,7 +499,7 @@ impl<E: StreamingEngine> UpdateScheduler<E> {
     }
 
     /// The shared flush log (present iff [`ServeConfig::record_batches`]).
-    pub fn flush_log(&self) -> Option<Arc<Mutex<Vec<FlushRecord>>>> {
+    pub fn flush_log(&self) -> Option<FlushLog> {
         self.flush_log.clone()
     }
 
@@ -397,8 +555,9 @@ impl<E: StreamingEngine> UpdateScheduler<E> {
         }
         self.metrics.record_flush(raw, ran_engine);
         if let Some(log) = &self.flush_log {
-            log.lock().expect("flush log poisoned").push(FlushRecord {
+            log.push(FlushRecord {
                 batch,
+                halos: Vec::new(),
                 raw,
                 epoch,
                 applied_seq: self.applied_seq,
@@ -466,7 +625,7 @@ pub struct ServeHandle<E> {
     metrics: Arc<ServeMetrics>,
     reader: SnapshotReader,
     policy: BackpressurePolicy,
-    flush_log: Option<Arc<Mutex<Vec<FlushRecord>>>>,
+    flush_log: Option<FlushLog>,
     join: JoinHandle<Result<E, ServeError>>,
 }
 
@@ -506,8 +665,15 @@ impl<E> ServeHandle<E> {
 
     /// The flush log (present iff [`ServeConfig::record_batches`]); cloned
     /// so it stays readable after [`ServeHandle::shutdown`].
-    pub fn flush_log(&self) -> Option<Arc<Mutex<Vec<FlushRecord>>>> {
+    pub fn flush_log(&self) -> Option<FlushLog> {
         self.flush_log.clone()
+    }
+
+    /// The flush log as its raw shared vector.
+    #[deprecated(since = "0.1.0", note = "use `ServeHandle::flush_log` instead")]
+    pub fn flush_log_arc(&self) -> Option<Arc<Mutex<Vec<FlushRecord>>>> {
+        #[allow(deprecated)]
+        self.flush_log.clone().map(FlushLog::into_arc)
     }
 
     /// Flushes the remaining window, stops the scheduler thread and returns
@@ -778,7 +944,7 @@ mod tests {
 
         // Metrics add up: every accepted update was applied.
         assert_eq!(served.graph().num_vertices(), graph.num_vertices());
-        let records = log.lock().unwrap();
+        let records = log.snapshot();
         let raw_total: u64 = records.iter().map(|r| r.raw).sum();
         assert_eq!(raw_total, offered as u64);
         assert_eq!(records.last().unwrap().applied_seq, offered as u64);
@@ -869,6 +1035,31 @@ mod tests {
         assert_eq!(client.submit(u()), Submission::Shed);
         assert_eq!(metrics.shed(), 2);
         assert_eq!(metrics.enqueued(), 2);
+    }
+
+    #[test]
+    fn builder_validates_and_clamps() {
+        assert!(matches!(
+            ServeConfig::builder().queue_capacity(0).build(),
+            Err(ServeError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            ServeConfig::builder().max_batch(0).build(),
+            Err(ServeError::InvalidConfig(_))
+        ));
+        let config = ServeConfig::builder()
+            .max_delay(Duration::from_secs(3600))
+            .policy(BackpressurePolicy::Shed)
+            .record_batches(true)
+            .build()
+            .unwrap();
+        assert_eq!(config.max_delay, ServeConfig::MAX_DELAY, "delay is clamped");
+        assert_eq!(config.policy, BackpressurePolicy::Shed);
+        assert!(config.record_batches);
+        assert_eq!(
+            ServeConfig::builder().build().unwrap(),
+            ServeConfig::default()
+        );
     }
 
     #[test]

@@ -1,0 +1,691 @@
+//! The sharded serving tier: hash-partitioned [`ShardEngine`]s, each behind
+//! its own scheduler thread and snapshot publisher.
+//!
+//! [`spawn_sharded`] partitions the bootstrap graph with the workspace's
+//! [`HashPartitioner`], builds one halo-restricted [`ShardEngine`] per
+//! partition, and runs each on a dedicated worker thread
+//! (`ripple-serve-shard-{p}`). Every worker owns the full single-engine
+//! serving pipeline for its shard: an update-coalescing window, an
+//! epoch-versioned [`SnapshotPublisher`], and — new to this tier — a halo
+//! mailbox of delta messages received from peer shards. A flush closes the
+//! window, applies the coalesced batch *and* the pending halos through the
+//! shard engine, publishes the shard's next epoch, and ships the outgoing
+//! cross-shard deltas the window produced to their owners' mailboxes.
+//!
+//! Epochs therefore form a per-shard **vector clock**, surfaced to readers
+//! through [`crate::QueryService`] stamps. At quiescence
+//! ([`ShardedServeHandle::quiesce`]) the gathered shard stores match the
+//! unsharded engine within float tolerance — the same linearity argument
+//! that makes the BSP distributed engine exact, run asynchronously.
+//!
+//! Shard workers drain **unbounded** channels so halo sends between peers
+//! can never deadlock; producer backpressure is enforced at the
+//! [`crate::ShardRouter`] against per-shard depth counters instead.
+
+use crate::metrics::ServeMetrics;
+use crate::router::ShardRouter;
+use crate::scheduler::{Coalescer, FlushLog, FlushRecord, ServeConfig, ServeError};
+use crate::versioned::{SnapshotPublisher, SnapshotReader, VersionedStore};
+use ripple_core::{DeltaMessage, RippleConfig, ShardEngine};
+use ripple_gnn::{EmbeddingStore, GnnModel};
+use ripple_graph::partition::halo::HaloInfo;
+use ripple_graph::partition::{HashPartitioner, Partitioner, Partitioning};
+use ripple_graph::{DynamicGraph, PartitionId, VertexId};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+pub(crate) use crate::scheduler::QueuedUpdate;
+
+/// Queue protocol between the router/handle and one shard worker.
+pub(crate) enum ShardMsg {
+    /// One raw update routed to this shard.
+    Update(QueuedUpdate),
+    /// A batch of halo deltas shipped by a peer shard's flush.
+    Halos(Vec<DeltaMessage>),
+    /// Force the current window closed; replies with the epoch after flush.
+    Flush(mpsc::Sender<u64>),
+    /// Flush, then exit the worker loop.
+    Stop,
+}
+
+/// One shard's scheduler state machine (the sharded analogue of
+/// [`crate::UpdateScheduler`]).
+struct ShardWorker {
+    engine: ShardEngine,
+    publisher: SnapshotPublisher,
+    config: ServeConfig,
+    metrics: Arc<ServeMetrics>,
+    window: Coalescer,
+    /// Halo deltas received from peers since the last flush.
+    pending_halos: Vec<DeltaMessage>,
+    /// Number of [`ShardMsg::Halos`] batches behind `pending_halos` —
+    /// the in-flight counter is decremented per batch once applied.
+    pending_halo_batches: u64,
+    /// Arrival instant of the oldest unapplied halo batch, so halo-only
+    /// windows still close on the time window.
+    halo_oldest: Option<Instant>,
+    applied_seq: u64,
+    flush_log: Option<FlushLog>,
+    /// This shard's queue-depth counter (decremented as updates are
+    /// absorbed; the router enforces backpressure against it).
+    depth: Arc<AtomicUsize>,
+    /// Tier-wide count of halo batches sent but not yet applied.
+    halo_in_flight: Arc<AtomicU64>,
+    /// Senders to every shard of the tier, indexed by [`PartitionId`].
+    peers: Vec<Sender<ShardMsg>>,
+}
+
+impl ShardWorker {
+    /// Flushes the pending window: applies the coalesced batch plus the
+    /// received halos through the shard engine, publishes the shard's next
+    /// epoch, and ships outgoing cross-shard deltas. A window holding only
+    /// halos still runs the engine and publishes.
+    fn flush(&mut self) -> crate::Result<u64> {
+        if self.window.raw_len() == 0 && self.pending_halos.is_empty() {
+            return Ok(self.publisher.epoch());
+        }
+        let (batch, raw, enqueues) = self.window.drain();
+        let halos = std::mem::take(&mut self.pending_halos);
+        let halo_batches = std::mem::take(&mut self.pending_halo_batches);
+        self.halo_oldest = None;
+        let ran_engine = !batch.is_empty() || !halos.is_empty();
+        let mut outgoing = Vec::new();
+        if ran_engine {
+            match self.engine.process_window(&batch, &halos) {
+                Ok((_stats, shipped)) => outgoing = shipped,
+                Err(e) => {
+                    self.metrics.record_engine_error();
+                    // The worker is about to exit; release the in-flight
+                    // accounting so peers' quiesce loops can observe the
+                    // failure instead of spinning.
+                    if halo_batches > 0 {
+                        self.halo_in_flight
+                            .fetch_sub(halo_batches, Ordering::AcqRel);
+                    }
+                    return Err(ServeError::Engine(e));
+                }
+            }
+        }
+        self.applied_seq += raw;
+        let topology_epoch = self.engine.topology_epoch();
+        let dirty: Option<&[VertexId]> = if ran_engine {
+            Some(self.engine.dirty_rows())
+        } else {
+            Some(&[])
+        };
+        let epoch = self.publisher.publish_rows(
+            self.engine.store(),
+            self.applied_seq,
+            topology_epoch,
+            dirty,
+        );
+        let published_at = Instant::now();
+        for enqueued in enqueues {
+            self.metrics
+                .record_visibility_lag(published_at.saturating_duration_since(enqueued));
+        }
+        self.metrics.record_flush(raw, ran_engine);
+        if let Some(log) = &self.flush_log {
+            log.push(FlushRecord {
+                batch,
+                halos,
+                raw,
+                epoch,
+                applied_seq: self.applied_seq,
+                topology_epoch,
+            });
+        }
+        // Ship before releasing the incoming accounting: the in-flight
+        // counter must never read 0 while this window's follow-on messages
+        // are still unsent, or a concurrent quiesce would end early.
+        self.ship(outgoing);
+        if halo_batches > 0 {
+            self.halo_in_flight
+                .fetch_sub(halo_batches, Ordering::AcqRel);
+        }
+        Ok(epoch)
+    }
+
+    /// Delivers one window's outgoing deltas, one [`ShardMsg::Halos`] batch
+    /// per destination shard.
+    fn ship(&self, outgoing: Vec<(PartitionId, DeltaMessage)>) {
+        let mut per_part: Vec<Vec<DeltaMessage>> = vec![Vec::new(); self.peers.len()];
+        for (part, message) in outgoing {
+            per_part[part.index()].push(message);
+        }
+        for (part, messages) in per_part.into_iter().enumerate() {
+            if messages.is_empty() {
+                continue;
+            }
+            self.halo_in_flight.fetch_add(1, Ordering::AcqRel);
+            if self.peers[part].send(ShardMsg::Halos(messages)).is_err() {
+                // The peer already exited (engine error / shutdown): the
+                // batch is lost, undo its accounting.
+                self.halo_in_flight.fetch_sub(1, Ordering::AcqRel);
+            }
+        }
+    }
+
+    /// Drains the shard queue until every sender hangs up or a stop message
+    /// arrives, flushing on the size and time windows.
+    fn run(mut self, rx: Receiver<ShardMsg>) -> Result<ShardEngine, ServeError> {
+        loop {
+            let window_deadline = self.window.deadline(self.config.max_delay);
+            let halo_deadline = self.halo_oldest.map(|t| t + self.config.max_delay);
+            let deadline = match (window_deadline, halo_deadline) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            let wake = match deadline {
+                Some(deadline) => {
+                    let budget = deadline.saturating_duration_since(Instant::now());
+                    match rx.recv_timeout(budget) {
+                        Ok(msg) => Some(msg),
+                        Err(RecvTimeoutError::Timeout) => None,
+                        Err(RecvTimeoutError::Disconnected) => {
+                            self.flush()?;
+                            return Ok(self.engine);
+                        }
+                    }
+                }
+                None => match rx.recv() {
+                    Ok(msg) => Some(msg),
+                    Err(_) => return Ok(self.engine),
+                },
+            };
+            match wake {
+                Some(ShardMsg::Update(queued)) => {
+                    self.depth.fetch_sub(1, Ordering::AcqRel);
+                    self.window.push(queued, &self.metrics);
+                    if self.window.raw_len() >= self.config.max_batch as u64 {
+                        self.flush()?;
+                    }
+                }
+                Some(ShardMsg::Halos(messages)) => {
+                    self.halo_oldest.get_or_insert_with(Instant::now);
+                    self.pending_halos.extend(messages);
+                    self.pending_halo_batches += 1;
+                    // Heavy cross-shard traffic closes the size window too,
+                    // so the halo mailbox cannot buffer unboundedly.
+                    if self.pending_halos.len() >= self.config.max_batch {
+                        self.flush()?;
+                    }
+                }
+                Some(ShardMsg::Flush(ack)) => {
+                    let epoch = self.flush()?;
+                    // The caller may have given up waiting; ignore that.
+                    let _ = ack.send(epoch);
+                }
+                Some(ShardMsg::Stop) => {
+                    self.flush()?;
+                    return Ok(self.engine);
+                }
+                // Time window expired.
+                None => {
+                    self.flush()?;
+                }
+            }
+        }
+    }
+}
+
+/// The per-shard engines recovered by [`ShardedServeHandle::shutdown`].
+#[derive(Debug)]
+pub struct ShardedEngines {
+    engines: Vec<ShardEngine>,
+    partitioning: Arc<Partitioning>,
+}
+
+impl ShardedEngines {
+    /// The shard engines, indexed by [`PartitionId`].
+    pub fn engines(&self) -> &[ShardEngine] {
+        &self.engines
+    }
+
+    /// Consumes the handle, yielding the shard engines.
+    pub fn into_engines(self) -> Vec<ShardEngine> {
+        self.engines
+    }
+
+    /// The partitioning the tier served under.
+    pub fn partitioning(&self) -> &Arc<Partitioning> {
+        &self.partitioning
+    }
+
+    /// Assembles the authoritative global store by gathering every shard's
+    /// owned rows.
+    pub fn gather_store(&self) -> EmbeddingStore {
+        let mut out = self.engines[0].store().clone();
+        for engine in &self.engines {
+            engine.gather_into(&mut out);
+        }
+        out
+    }
+}
+
+/// Handle onto a running sharded serving session (see [`spawn_sharded`]).
+///
+/// The sharded counterpart of [`crate::ServeHandle`]; both implement
+/// [`crate::ServeFrontend`], so load generators and consistency suites run
+/// unchanged against either topology.
+#[derive(Debug)]
+pub struct ShardedServeHandle {
+    txs: Vec<Sender<ShardMsg>>,
+    depths: Vec<Arc<AtomicUsize>>,
+    alive: Vec<Arc<AtomicBool>>,
+    submitted: Vec<Arc<AtomicU64>>,
+    total_submitted: Arc<AtomicU64>,
+    halo_in_flight: Arc<AtomicU64>,
+    metrics: Arc<ServeMetrics>,
+    readers: Vec<SnapshotReader>,
+    partitioning: Arc<Partitioning>,
+    flush_logs: Vec<FlushLog>,
+    halo_replicas: usize,
+    config: ServeConfig,
+    joins: Vec<JoinHandle<Result<ShardEngine, ServeError>>>,
+}
+
+impl ShardedServeHandle {
+    /// A new producer handle that hash-routes updates to their owners.
+    pub fn client(&self) -> ShardRouter {
+        ShardRouter::new(
+            self.txs.clone(),
+            self.depths.clone(),
+            self.alive.clone(),
+            self.submitted.clone(),
+            Arc::clone(&self.total_submitted),
+            Arc::clone(&self.partitioning),
+            Arc::clone(&self.metrics),
+            self.config.policy,
+            self.config.queue_capacity,
+        )
+    }
+
+    /// A new query handle reading every shard's epoch sequence (each reader
+    /// thread should own one).
+    pub fn query_service(&self) -> crate::QueryService {
+        crate::QueryService::new_sharded(
+            self.readers.clone(),
+            self.submitted.clone(),
+            Arc::clone(&self.partitioning),
+            Arc::clone(&self.metrics),
+        )
+    }
+
+    /// The shared serving metrics (aggregated across shards).
+    pub fn metrics(&self) -> Arc<ServeMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Number of shards behind this session.
+    pub fn num_shards(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// The partitioning updates are routed by.
+    pub fn partitioning(&self) -> &Arc<Partitioning> {
+        &self.partitioning
+    }
+
+    /// Halo replicas of the bootstrap partitioning — vertices visible from
+    /// a shard that does not own them (the cross-shard coupling the tier
+    /// pays delta messages for).
+    pub fn halo_replicas(&self) -> usize {
+        self.halo_replicas
+    }
+
+    /// One flush round: forces every shard's window closed and returns the
+    /// minimum per-shard epoch afterwards. Returns `None` once any shard
+    /// has stopped. Cross-shard deltas produced by these flushes may still
+    /// be in flight afterwards — use [`ShardedServeHandle::quiesce`] to
+    /// drain them.
+    pub fn flush(&self) -> Option<u64> {
+        let mut acks = Vec::with_capacity(self.txs.len());
+        for tx in &self.txs {
+            let (ack_tx, ack_rx) = mpsc::channel();
+            tx.send(ShardMsg::Flush(ack_tx)).ok()?;
+            acks.push(ack_rx);
+        }
+        let mut min_epoch = u64::MAX;
+        for ack in acks {
+            min_epoch = min_epoch.min(ack.recv().ok()?);
+        }
+        Some(min_epoch)
+    }
+
+    /// Flushes repeatedly until no cross-shard delta is in flight and every
+    /// shard queue is empty, then returns the minimum per-shard epoch.
+    /// Converges in at most `num_layers` rounds once producers stop
+    /// (messages only move to strictly higher hops). Returns `None` once
+    /// any shard has stopped.
+    pub fn quiesce(&self) -> Option<u64> {
+        loop {
+            let epoch = self.flush()?;
+            if self.halo_in_flight.load(Ordering::Acquire) == 0
+                && self.depths.iter().all(|d| d.load(Ordering::Acquire) == 0)
+            {
+                return Some(epoch);
+            }
+        }
+    }
+
+    /// The per-shard flush logs, indexed by [`PartitionId`] (empty unless
+    /// [`ServeConfig::record_batches`] is set); cloned so they stay
+    /// readable after [`ShardedServeHandle::shutdown`].
+    pub fn flush_logs(&self) -> Vec<FlushLog> {
+        self.flush_logs.clone()
+    }
+
+    /// Quiesces the tier, stops every shard worker and returns the shard
+    /// engines (with every accepted update and cross-shard delta applied).
+    pub fn shutdown(self) -> Result<ShardedEngines, ServeError> {
+        // Drain in-flight halos first so the recovered engines are at
+        // quiescence; a dead shard aborts the drain and surfaces its error
+        // from the join below.
+        let _ = self.quiesce();
+        for tx in &self.txs {
+            let _ = tx.send(ShardMsg::Stop);
+        }
+        let mut engines = Vec::with_capacity(self.joins.len());
+        for join in self.joins {
+            match join.join() {
+                Ok(Ok(engine)) => engines.push(engine),
+                Ok(Err(e)) => return Err(e),
+                Err(_) => return Err(ServeError::SchedulerPanicked),
+            }
+        }
+        Ok(ShardedEngines {
+            engines,
+            partitioning: self.partitioning,
+        })
+    }
+}
+
+/// Spawns a sharded serving session: hash-partitions `graph` into `shards`
+/// parts, builds one halo-restricted [`ShardEngine`] per part from the
+/// bootstrapped `store`, and runs each behind its own scheduler thread and
+/// snapshot publisher. Every shard's bootstrap store is published as its
+/// epoch 0, so queries work immediately.
+///
+/// # Errors
+///
+/// Returns [`ServeError::InvalidConfig`] if `shards` is zero or exceeds the
+/// vertex count, and [`ServeError::Engine`] if graph/model/store shapes do
+/// not fit together.
+pub fn spawn_sharded(
+    graph: &DynamicGraph,
+    model: &GnnModel,
+    store: &EmbeddingStore,
+    engine_config: RippleConfig,
+    config: ServeConfig,
+    shards: usize,
+) -> crate::Result<ShardedServeHandle> {
+    if shards == 0 {
+        return Err(ServeError::InvalidConfig(
+            "a sharded session needs at least one shard".to_string(),
+        ));
+    }
+    let partitioning = Arc::new(
+        HashPartitioner::new()
+            .partition(graph, shards)
+            .map_err(|e| ServeError::InvalidConfig(format!("partitioning failed: {e}")))?,
+    );
+    let halo_replicas = HaloInfo::compute(graph, &partitioning).total_halo_replicas();
+
+    let metrics = Arc::new(ServeMetrics::new());
+    let total_submitted = Arc::new(AtomicU64::new(0));
+    let halo_in_flight = Arc::new(AtomicU64::new(0));
+    let mut txs = Vec::with_capacity(shards);
+    let mut rxs = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let (tx, rx) = mpsc::channel();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+
+    let mut depths = Vec::with_capacity(shards);
+    let mut alive = Vec::with_capacity(shards);
+    let mut submitted = Vec::with_capacity(shards);
+    let mut readers = Vec::with_capacity(shards);
+    let mut flush_logs = Vec::new();
+    let mut joins = Vec::with_capacity(shards);
+
+    for (p, rx) in rxs.into_iter().enumerate() {
+        let part = PartitionId(p as u32);
+        let engine = ShardEngine::new(
+            graph,
+            model.clone(),
+            store.clone(),
+            engine_config,
+            Arc::clone(&partitioning),
+            part,
+        )?;
+        let (publisher, reader) = VersionedStore::bootstrap(engine.store());
+        readers.push(reader);
+        let flush_log = config.record_batches.then(FlushLog::new);
+        if let Some(log) = &flush_log {
+            flush_logs.push(log.clone());
+        }
+        let depth = Arc::new(AtomicUsize::new(0));
+        depths.push(Arc::clone(&depth));
+        let alive_flag = Arc::new(AtomicBool::new(true));
+        alive.push(Arc::clone(&alive_flag));
+        submitted.push(Arc::new(AtomicU64::new(0)));
+        let worker = ShardWorker {
+            engine,
+            publisher,
+            config,
+            metrics: Arc::clone(&metrics),
+            window: Coalescer::default(),
+            pending_halos: Vec::new(),
+            pending_halo_batches: 0,
+            halo_oldest: None,
+            applied_seq: 0,
+            flush_log,
+            depth,
+            halo_in_flight: Arc::clone(&halo_in_flight),
+            peers: txs.clone(),
+        };
+        let join = std::thread::Builder::new()
+            .name(format!("ripple-serve-shard-{p}"))
+            .spawn(move || {
+                // Clear the liveness flag on any exit — clean, engine error
+                // or panic — so blocked routers observe the dead shard.
+                struct AliveGuard(Arc<AtomicBool>);
+                impl Drop for AliveGuard {
+                    fn drop(&mut self) {
+                        self.0.store(false, Ordering::Release);
+                    }
+                }
+                let _guard = AliveGuard(alive_flag);
+                worker.run(rx)
+            })
+            .expect("spawning a shard worker thread");
+        joins.push(join);
+    }
+
+    Ok(ShardedServeHandle {
+        txs,
+        depths,
+        alive,
+        submitted,
+        total_submitted,
+        halo_in_flight,
+        metrics,
+        readers,
+        partitioning,
+        flush_logs,
+        halo_replicas,
+        config,
+        joins,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ServeFrontend, Submission};
+    use ripple_core::RippleEngine;
+    use ripple_gnn::layer_wise::full_inference;
+    use ripple_gnn::Workload;
+    use ripple_graph::stream::{build_stream, StreamConfig};
+    use ripple_graph::synth::DatasetSpec;
+    use ripple_graph::{GraphUpdate, UpdateBatch};
+
+    fn bootstrap(seed: u64) -> (DynamicGraph, GnnModel, EmbeddingStore, Vec<GraphUpdate>) {
+        let full = DatasetSpec::custom(150, 5.0, 6, 4).generate(seed).unwrap();
+        let plan = build_stream(
+            &full,
+            &StreamConfig {
+                total_updates: 60,
+                seed: seed ^ 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let model = Workload::GcS.build_model(6, 8, 4, 2, seed ^ 2).unwrap();
+        let store = full_inference(&plan.snapshot, &model).unwrap();
+        let updates = plan
+            .batches(1)
+            .into_iter()
+            .flat_map(UpdateBatch::into_updates)
+            .collect();
+        (plan.snapshot, model, store, updates)
+    }
+
+    #[test]
+    fn sharded_session_matches_the_serial_engine_at_quiescence() {
+        let (graph, model, store, updates) = bootstrap(21);
+        let config = ServeConfig::builder().max_batch(8).build().unwrap();
+        let handle =
+            spawn_sharded(&graph, &model, &store, RippleConfig::default(), config, 2).unwrap();
+        assert_eq!(handle.num_shards(), 2);
+        let client = handle.client();
+        let (accepted, last) = client.submit_all(updates.clone());
+        assert_eq!(accepted, updates.len());
+        assert!(matches!(last, Submission::Enqueued { .. }));
+        let epoch = handle.quiesce().expect("tier alive");
+        assert!(epoch >= 1);
+        let metrics = handle.metrics();
+        assert_eq!(
+            metrics.applied(),
+            metrics.enqueued(),
+            "quiesce drains every routed update"
+        );
+        let engines = handle.shutdown().unwrap();
+        let gathered = engines.gather_store();
+
+        let mut serial = RippleEngine::new(graph, model, store, RippleConfig::default()).unwrap();
+        for update in updates {
+            serial
+                .process_batch(&UpdateBatch::from_updates(vec![update]))
+                .unwrap();
+        }
+        let diff = gathered.max_diff_all_layers(serial.store()).unwrap();
+        assert!(
+            diff < 2e-3,
+            "sharded tier drifted from serial replay: {diff}"
+        );
+    }
+
+    #[test]
+    fn sharded_queries_carry_shard_and_epoch_vector_stamps() {
+        let (graph, model, store, updates) = bootstrap(23);
+        let config = ServeConfig::builder()
+            .max_batch(4)
+            .record_batches(true)
+            .build()
+            .unwrap();
+        let handle =
+            spawn_sharded(&graph, &model, &store, RippleConfig::default(), config, 4).unwrap();
+        assert_eq!(handle.flush_logs().len(), 4, "one flush log per shard");
+        let client = handle.client();
+        let (accepted, _) = client.submit_all(updates.into_iter().take(20));
+        assert_eq!(accepted, 20);
+        handle.quiesce().unwrap();
+
+        let mut queries = handle.query_service();
+        let owner = handle.partitioning().part_of(VertexId(0));
+        let e = queries.embedding(VertexId(0)).unwrap();
+        assert_eq!(e.shard, Some(owner), "point reads name the owning shard");
+        assert!(e.epochs.is_none());
+        assert_eq!(queries.epoch_vector().len(), 4);
+        let top = queries.top_k_by_dot(&[1.0, 0.0, 0.0, 0.0], 3).unwrap();
+        assert_eq!(top.shard, None);
+        assert_eq!(top.epochs.as_ref().map(Vec::len), Some(4));
+        assert_eq!(
+            top.epoch,
+            top.epochs.as_ref().unwrap().iter().copied().min().unwrap()
+        );
+
+        let logs = handle.flush_logs();
+        let applied = handle.metrics().applied();
+        let engines = handle.shutdown().unwrap();
+        assert_eq!(engines.engines().len(), 4);
+        let recorded: u64 = logs
+            .iter()
+            .flat_map(|log| log.snapshot())
+            .map(|record| record.raw)
+            .sum();
+        assert_eq!(recorded, applied, "flush logs cover every routed update");
+    }
+
+    #[test]
+    fn zero_shards_is_rejected() {
+        let (graph, model, store, _) = bootstrap(25);
+        let result = spawn_sharded(
+            &graph,
+            &model,
+            &store,
+            RippleConfig::default(),
+            ServeConfig::default(),
+            0,
+        );
+        assert!(
+            matches!(result, Err(ServeError::InvalidConfig(_))),
+            "zero shards must be rejected"
+        );
+    }
+
+    #[test]
+    fn frontend_trait_is_object_safe_enough_for_generic_drivers() {
+        fn drive<F: ServeFrontend>(frontend: &F) -> (u64, usize) {
+            let client = frontend.client();
+            client.submit(GraphUpdate::add_edge(VertexId(1), VertexId(2)));
+            let epoch = frontend.quiesce().unwrap();
+            (epoch, frontend.num_shards())
+        }
+        let (graph, model, store, _) = bootstrap(27);
+        let single = crate::spawn(
+            RippleEngine::new(
+                graph.clone(),
+                model.clone(),
+                store.clone(),
+                RippleConfig::default(),
+            )
+            .unwrap(),
+            ServeConfig::default(),
+        );
+        let (epoch, shards) = drive(&single);
+        assert!(epoch >= 1);
+        assert_eq!(shards, 1);
+        single.shutdown().unwrap();
+
+        let sharded = spawn_sharded(
+            &graph,
+            &model,
+            &store,
+            RippleConfig::default(),
+            ServeConfig::default(),
+            2,
+        )
+        .unwrap();
+        let (epoch, shards) = drive(&sharded);
+        assert!(epoch >= 1);
+        assert_eq!(shards, 2);
+        sharded.shutdown().unwrap();
+    }
+}

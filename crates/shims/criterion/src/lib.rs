@@ -1,0 +1,275 @@
+//! Offline stand-in for the subset of the `criterion` benchmarking API this
+//! workspace's bench targets use.
+//!
+//! The container builds without network access, so the real crates.io
+//! `criterion` cannot be vendored. This shim keeps the bench targets
+//! compiling and runnable: each benchmark executes a small fixed number of
+//! timed iterations and prints a single mean-time line per benchmark id.
+//! It makes no statistical claims — the workspace's JSON artifacts come from
+//! the experiment binaries, not from these bench targets.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Iterations each benchmark routine runs (after one untimed warm-up).
+const SHIM_ITERS: u32 = 3;
+
+/// How work per iteration is reported, mirroring criterion's enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch-size hint for [`Bencher::iter_batched`]; the shim runs every batch
+/// size identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input (fresh setup per iteration).
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id labelled `name/parameter`.
+    pub fn new<S: Into<String>, P: Display>(name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(value: &str) -> Self {
+        BenchmarkId { id: value.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(value: String) -> Self {
+        BenchmarkId { id: value }
+    }
+}
+
+/// Drives one benchmark routine.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    /// Times `routine` over the shim's fixed iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let _ = routine(); // warm-up, untimed
+        let start = Instant::now();
+        for _ in 0..SHIM_ITERS {
+            let _ = routine();
+        }
+        self.elapsed += start.elapsed();
+        self.iters += SHIM_ITERS;
+    }
+
+    /// Times `routine` over fresh inputs built by `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let _ = routine(setup()); // warm-up, untimed
+        for _ in 0..SHIM_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            let _ = routine(input);
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`] but hands the routine a mutable
+    /// reference to the input.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let mut warm = setup();
+        let _ = routine(&mut warm); // warm-up, untimed
+        for _ in 0..SHIM_ITERS {
+            let mut input = setup();
+            let start = Instant::now();
+            let _ = routine(&mut input);
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        let mean = if self.iters == 0 {
+            Duration::ZERO
+        } else {
+            self.elapsed / self.iters
+        };
+        println!(
+            "bench {group}/{id}: mean {mean:?} over {} iters",
+            self.iters
+        );
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample-size hint; the shim ignores it.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Measurement-time hint; the shim ignores it.
+    pub fn measurement_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Declares the per-iteration throughput; the shim ignores it.
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<ID: Into<BenchmarkId>, R>(&mut self, id: ID, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new();
+        routine(&mut bencher);
+        bencher.report(&self.name, &id.id);
+        self
+    }
+
+    /// Runs one parameterised benchmark.
+    pub fn bench_with_input<ID: Into<BenchmarkId>, I: ?Sized, R>(
+        &mut self,
+        id: ID,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new();
+        routine(&mut bencher, input);
+        bencher.report(&self.name, &id.id);
+        self
+    }
+
+    /// Ends the group (no-op beyond parity with criterion's API).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<R>(&mut self, id: &str, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new();
+        routine(&mut bencher);
+        bencher.report("", id);
+        self
+    }
+}
+
+/// Re-export of the standard opaque-value hint, for parity with criterion's
+/// `black_box`.
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_routines_and_counts_iters() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        let mut calls = 0u32;
+        group.sample_size(10).throughput(Throughput::Elements(4));
+        group.bench_function("counting", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, SHIM_ITERS + 1);
+        let mut batched = 0u32;
+        group.bench_with_input(BenchmarkId::new("param", 8), &8usize, |b, &_n| {
+            b.iter_batched(|| 1u32, |x| batched += x, BatchSize::LargeInput)
+        });
+        group.finish();
+        assert_eq!(batched, SHIM_ITERS + 1);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("agg", 42).id, "agg/42");
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+        assert_eq!(BenchmarkId::from("plain").id, "plain");
+    }
+}

@@ -35,13 +35,9 @@ fn main() -> Result<(), ServeError> {
         RippleEngine::new(plan.snapshot, model, store, RippleConfig::default()).expect("engine");
 
     // Serve: scheduler thread owns the engine; we keep a client + queries.
-    let handle = spawn_serve(
-        engine,
-        ServeConfig {
-            max_batch: 32,
-            ..Default::default()
-        },
-    );
+    // `ServeConfig::builder()` validates the window/queue knobs up front.
+    let serve_config = ServeConfig::builder().max_batch(32).build()?;
+    let handle = spawn_serve(engine, serve_config);
     let client = handle.client();
     let mut queries = handle.query_service();
 
@@ -85,5 +81,38 @@ fn main() -> Result<(), ServeError> {
         engine.graph().num_vertices(),
         engine.graph().num_edges()
     );
+
+    // ------------------------------------------------------------------
+    // The same workload on the sharded tier: two hash-partitioned shard
+    // engines behind the identical `ServeFrontend` surface. Point reads now
+    // carry the owning shard; whole-graph reads carry the epoch vector.
+    // ------------------------------------------------------------------
+    println!();
+    println!("-- sharded tier (2 shards) --");
+    let graph = engine.graph().clone();
+    let model = engine.model().clone();
+    let store = engine.store().clone();
+    let sharded = spawn_sharded(
+        &graph,
+        &model,
+        &store,
+        RippleConfig::default(),
+        ServeConfig::builder().max_batch(32).build()?,
+        2,
+    )?;
+    let router = sharded.client();
+    router.submit(GraphUpdate::add_edge(VertexId(3), VertexId(42)));
+    sharded.quiesce();
+    let mut queries = sharded.query_service();
+    let stamped = queries.predicted_label(watched).expect("in range");
+    println!(
+        "vertex {watched}: label {} served by shard {:?} at epoch {} \
+         (tier epoch vector {:?})",
+        stamped.value,
+        stamped.shard,
+        stamped.epoch,
+        queries.epoch_vector()
+    );
+    sharded.shutdown()?;
     Ok(())
 }

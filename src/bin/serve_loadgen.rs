@@ -3,50 +3,84 @@
 //! lookups, label reads and top-k similarity queries against versioned
 //! snapshots. Reports p50/p95/p99 read latency, update-visibility lag
 //! (enqueue → published epoch) and epochs/sec, plus the serving-contract
-//! counters (epoch monotonicity per reader, stamped responses).
+//! counters (epoch monotonicity per reader per shard, stamped responses).
 //!
 //! Configuration comes from `RIPPLE_SCALE`, `RIPPLE_THREADS` and the
-//! `RIPPLE_SERVE_*` environment knobs (see the README's "Serving" section).
+//! `RIPPLE_SERVE_*` environment knobs (see the README's "Serving" section);
+//! `RIPPLE_SERVE_SHARDS` (or `--shards`) switches the run onto the
+//! hash-partitioned sharded tier.
 //!
 //! Flags:
 //!
 //! * `--json <path>` — additionally writes the report as a JSON artifact
 //!   (`BENCH_serve.json` in CI).
+//! * `--shards <n>` — overrides the shard count (`>1` drives the sharded
+//!   tier behind the same `ServeFrontend` surface).
+//! * `--shard-bench <path>` — runs the same workload unsharded and with two
+//!   shards, then writes a combined comparison artifact
+//!   (`BENCH_shard.json` in CI) with epochs/sec and p99 read latency per
+//!   topology.
 
 use ripple::experiments::{print_header, Scale};
-use ripple::serve::{run_loadgen, LoadgenConfig};
+use ripple::serve::{run_loadgen, LoadgenConfig, LoadgenReport};
 
 fn main() {
     let mut json_path: Option<String> = None;
+    let mut shard_bench_path: Option<String> = None;
+    let mut shards_override: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => {
                 json_path = Some(args.next().expect("--json requires a file path"));
             }
-            other => panic!("unknown flag {other} (expected --json <path>)"),
+            "--shards" => {
+                let value = args.next().expect("--shards requires a count");
+                shards_override = Some(
+                    value
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&s| s >= 1)
+                        .unwrap_or_else(|| panic!("--shards expects a positive integer, got {value}")),
+                );
+            }
+            "--shard-bench" => {
+                shard_bench_path = Some(args.next().expect("--shard-bench requires a file path"));
+            }
+            other => panic!(
+                "unknown flag {other} (expected --json <path>, --shards <n> or --shard-bench <path>)"
+            ),
         }
     }
 
-    let config = LoadgenConfig::from_env();
+    let mut config = LoadgenConfig::from_env();
+    if let Some(shards) = shards_override {
+        config.shards = shards;
+    }
     print_header(
         "Serving load generator: concurrent reads during incremental propagation",
         Scale::from_env(),
     );
     println!(
         "graph: {} vertices, avg degree {:.1}; stream: {} updates; \
-         {} readers, {} engine thread(s); window: {} updates / {:?}; queue {} ({:?})",
+         {} readers, {} engine thread(s), {} shard(s); window: {} updates / {:?}; queue {} ({:?})",
         config.vertices,
         config.avg_degree,
         config.updates,
         config.readers,
         config.engine_threads,
+        config.shards,
         config.serve.max_batch,
         config.serve.max_delay,
         config.serve.queue_capacity,
         config.serve.policy,
     );
     println!();
+
+    if let Some(path) = shard_bench_path {
+        run_shard_bench(&config, &path);
+        return;
+    }
 
     let report = run_loadgen(&config);
     println!("{report}");
@@ -64,4 +98,79 @@ fn main() {
         std::fs::write(&path, report.to_json()).expect("writing serve JSON");
         println!("wrote serving report to {path}");
     }
+}
+
+/// Runs the identical workload against one engine and against a two-shard
+/// tier, prints both reports, and writes the combined comparison artifact.
+fn run_shard_bench(base: &LoadgenConfig, path: &str) {
+    let mut unsharded = base.clone();
+    unsharded.shards = 1;
+    let mut sharded = base.clone();
+    sharded.shards = sharded.shards.max(2);
+
+    println!("== unsharded (1 engine) ==");
+    let single = run_loadgen(&unsharded);
+    println!("{single}");
+    println!();
+    println!("== sharded ({} engines) ==", sharded.shards);
+    let tiered = run_loadgen(&sharded);
+    println!("{tiered}");
+    println!();
+
+    assert!(
+        single.contract_upheld(),
+        "unsharded contract violated: {single}"
+    );
+    assert!(
+        tiered.contract_upheld(),
+        "sharded contract violated: {tiered}"
+    );
+
+    let json = shard_bench_json(&single, &tiered);
+    std::fs::write(path, json).expect("writing shard bench JSON");
+    println!("wrote shard comparison to {path}");
+}
+
+/// The `BENCH_shard.json` artifact (hand-rolled: the offline serde shim has
+/// no serialiser).
+fn shard_bench_json(single: &LoadgenReport, tiered: &LoadgenReport) -> String {
+    fn topology(out: &mut String, label: &str, report: &LoadgenReport, trailing_comma: bool) {
+        out.push_str(&format!("  \"{label}\": {{\n"));
+        out.push_str(&format!("    \"shards\": {},\n", report.shards));
+        out.push_str(&format!("    \"epochs\": {},\n", report.epochs));
+        out.push_str(&format!(
+            "    \"epochs_per_sec\": {:.3},\n",
+            report.epochs_per_sec
+        ));
+        out.push_str(&format!(
+            "    \"reads_per_sec\": {:.1},\n",
+            report.reads_per_sec
+        ));
+        out.push_str(&format!(
+            "    \"read_p50_us\": {:.3},\n",
+            report.read_p50.as_secs_f64() * 1e6
+        ));
+        out.push_str(&format!(
+            "    \"read_p99_us\": {:.3},\n",
+            report.read_p99.as_secs_f64() * 1e6
+        ));
+        out.push_str(&format!(
+            "    \"updates_offered\": {},\n",
+            report.updates_offered
+        ));
+        out.push_str(&format!("    \"applied\": {},\n", report.metrics.applied));
+        out.push_str(&format!(
+            "    \"contract_upheld\": {}\n",
+            report.contract_upheld()
+        ));
+        out.push_str(if trailing_comma { "  },\n" } else { "  }\n" });
+    }
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"serve_shard_bench\",\n");
+    out.push_str(&format!("  \"readers\": {},\n", single.readers));
+    topology(&mut out, "unsharded", single, true);
+    topology(&mut out, "sharded", tiered, false);
+    out.push('}');
+    out.push('\n');
+    out
 }

@@ -14,7 +14,7 @@
 //! | [`gnn`] | `ripple-gnn` | GNN models, aggregators, layer-wise/vertex-wise inference, RC baselines |
 //! | [`core`] | `ripple-core` | the Ripple incremental engine, mailboxes, metrics |
 //! | [`dist`] | `ripple-dist` | distributed (BSP, simulated-network) Ripple and RC |
-//! | [`serve`] | `ripple-serve` | online serving: versioned snapshots, update-coalescing scheduler |
+//! | [`serve`] | `ripple-serve` | online serving: versioned snapshots, update-coalescing scheduler, sharded tier |
 //!
 //! # Quickstart
 //!
@@ -68,7 +68,8 @@ pub mod prelude {
         CsrGraph, CsrSnapshot, DynamicGraph, GraphUpdate, GraphView, UpdateBatch, VertexId,
     };
     pub use ripple_serve::{
-        spawn as spawn_serve, BackpressurePolicy, QueryService, ServeConfig, ServeHandle,
-        ServeMetrics, Stamped, Submission, UpdateClient,
+        spawn as spawn_serve, spawn_sharded, BackpressurePolicy, FlushLog, QueryService,
+        ServeClient, ServeConfig, ServeFrontend, ServeHandle, ServeMetrics, ShardRouter,
+        ShardedServeHandle, Stamped, Submission, UpdateClient,
     };
 }
