@@ -21,6 +21,7 @@
 //!   a flush; for a sharded tier it loops flush rounds until no cross-shard
 //!   delta is in flight.
 
+use crate::index::IndexStats;
 use crate::metrics::ServeMetrics;
 use crate::query::QueryService;
 use crate::router::ShardRouter;
@@ -104,6 +105,11 @@ pub trait ServeFrontend {
     /// Number of engine shards serving this session (1 when unsharded).
     fn num_shards(&self) -> usize;
 
+    /// Maintenance counters of the session's IVF top-k index (summed across
+    /// shards), or `None` when the session was spawned with
+    /// [`crate::ServeConfigBuilder::no_index`].
+    fn index_stats(&self) -> Option<IndexStats>;
+
     /// Stops the session and recovers the engine state with every accepted
     /// update applied (sharded sessions quiesce first).
     ///
@@ -149,6 +155,10 @@ impl<E> ServeFrontend for ServeHandle<E> {
         1
     }
 
+    fn index_stats(&self) -> Option<IndexStats> {
+        ServeHandle::index_stats(self)
+    }
+
     fn shutdown(self) -> Result<E, ServeError> {
         ServeHandle::shutdown(self)
     }
@@ -183,6 +193,10 @@ impl ServeFrontend for ShardedServeHandle {
 
     fn num_shards(&self) -> usize {
         ShardedServeHandle::num_shards(self)
+    }
+
+    fn index_stats(&self) -> Option<IndexStats> {
+        ShardedServeHandle::index_stats(self)
     }
 
     fn shutdown(self) -> Result<ShardedEngines, ServeError> {

@@ -19,6 +19,14 @@
 //! * [`QueryService`] — point embedding lookups, predicted labels and
 //!   batched top-k by embedding dot product, each stamped with the epoch and
 //!   staleness (updates enqueued but not yet visible) it was served at.
+//!   Top-k goes through a validated [`TopKRequest`]: [`ReadMode::Exact`]
+//!   scans every row, [`ReadMode::Approx`] probes the session's IVF index.
+//! * An **epoch-repaired IVF index** ([`index`]) — k-means coarse centroids
+//!   over final-layer embeddings with per-cluster postings lists, published
+//!   behind the same `Arc`-swap discipline as the store. Each flush repairs
+//!   only the rows the engine dirtied (plus lazy split/merge of imbalanced
+//!   clusters), so approximate top-k stays sublinear while following every
+//!   epoch; [`IndexStats`] counts repairs vs rebuilds.
 //! * [`ServeMetrics`] and a closed-loop [`loadgen`] — read-latency
 //!   percentiles, update-visibility lag and epochs/sec, deterministic via
 //!   the workspace's seeded `rand` shim.
@@ -51,7 +59,7 @@
 //! client.submit(GraphUpdate::add_edge(VertexId(3), VertexId(10)));
 //! handle.flush(); // force the window closed (normally size/time-triggered)
 //!
-//! let label = queries.predicted_label(VertexId(10)).unwrap();
+//! let label = queries.read_label(VertexId(10)).unwrap();
 //! assert!(label.epoch >= 1);
 //! handle.shutdown().unwrap();
 //! ```
@@ -61,6 +69,7 @@
 
 pub mod frontend;
 pub mod histogram;
+pub mod index;
 pub mod loadgen;
 pub mod metrics;
 pub mod query;
@@ -71,9 +80,13 @@ pub mod versioned;
 
 pub use frontend::{ServeClient, ServeFrontend};
 pub use histogram::LatencyHistogram;
-pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
+pub use index::{IndexParams, IndexReader, IndexStats, TopKIndex};
+pub use loadgen::{
+    run_loadgen, run_topk_bench, LoadgenConfig, LoadgenReport, TopKBenchPoint, TopKBenchReport,
+    DEFAULT_NPROBE,
+};
 pub use metrics::{MetricsReport, ServeMetrics};
-pub use query::{QueryService, Stamped};
+pub use query::{QueryService, ReadMode, Stamped, TopKRequest};
 pub use router::ShardRouter;
 pub use scheduler::{
     spawn, BackpressurePolicy, FlushLog, FlushRecord, ServeConfig, ServeConfigBuilder, ServeError,

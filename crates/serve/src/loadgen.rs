@@ -27,7 +27,9 @@
 
 use crate::frontend::ServeFrontend;
 use crate::histogram::LatencyHistogram;
+use crate::index::IndexStats;
 use crate::metrics::MetricsReport;
+use crate::query::{ReadMode, TopKRequest};
 use crate::scheduler::{spawn, BackpressurePolicy, ServeConfig, Submission};
 use crate::shard::spawn_sharded;
 use crate::QueryService;
@@ -68,6 +70,9 @@ pub struct LoadgenConfig {
     pub shards: usize,
     /// `k` of the top-k read op.
     pub top_k: usize,
+    /// How top-k reads execute: [`ReadMode::Exact`] scans, or
+    /// [`ReadMode::Approx`] probes the session's IVF index.
+    pub read_mode: ReadMode,
     /// Scheduler configuration.
     pub serve: ServeConfig,
     /// Seed for graph, stream and reader op sequences.
@@ -88,6 +93,7 @@ impl Default for LoadgenConfig {
             engine_threads: 1,
             shards: 1,
             top_k: 10,
+            read_mode: ReadMode::Exact,
             serve: ServeConfig::default(),
             seed: 42,
         }
@@ -108,6 +114,8 @@ impl LoadgenConfig {
     /// | `RIPPLE_SERVE_DELAY_MS` | coalescing time window (ms) | 2 |
     /// | `RIPPLE_SERVE_QUEUE` | bounded queue capacity | 1024 |
     /// | `RIPPLE_SERVE_POLICY` | `block` or `shed` backpressure | `block` |
+    /// | `RIPPLE_SERVE_READ_MODE` | `exact` or `approx` top-k reads | `exact` |
+    /// | `RIPPLE_SERVE_NPROBE` | probed clusters of approx reads | 16 |
     pub fn from_env() -> Self {
         let scale = std::env::var("RIPPLE_SCALE").unwrap_or_default();
         let (vertices, avg_degree, feature_dim, updates) = match scale.to_lowercase().as_str() {
@@ -151,9 +159,26 @@ impl LoadgenConfig {
                 _ => BackpressurePolicy::Block,
             };
         }
+        if let Ok(mode) = std::env::var("RIPPLE_SERVE_READ_MODE") {
+            config.read_mode = match mode.to_lowercase().as_str() {
+                "approx" => ReadMode::Approx {
+                    nprobe: DEFAULT_NPROBE,
+                },
+                _ => ReadMode::Exact,
+            };
+        }
+        if let Some(nprobe) = env_usize("RIPPLE_SERVE_NPROBE") {
+            config.read_mode = ReadMode::Approx {
+                nprobe: nprobe.max(1),
+            };
+        }
         config
     }
 }
+
+/// Probed clusters when `RIPPLE_SERVE_READ_MODE=approx` does not name a
+/// count (also the top-k benchmark's operating point).
+pub const DEFAULT_NPROBE: usize = 16;
 
 fn env_usize(name: &str) -> Option<usize> {
     std::env::var(name).ok()?.parse().ok()
@@ -478,6 +503,7 @@ fn drive<F: ServeFrontend>(
             let num_vertices = config.vertices as u32;
             let classes = config.classes;
             let top_k = config.top_k;
+            let read_mode = config.read_mode;
             std::thread::Builder::new()
                 .name(format!("ripple-serve-reader-{r}"))
                 .spawn(move || {
@@ -500,15 +526,20 @@ fn drive<F: ServeFrontend>(
                                 for x in query_vec.iter_mut() {
                                     *x = rng.gen_range(-1.0f32..1.0);
                                 }
+                                let mut request = TopKRequest::new(query_vec.clone(), top_k);
+                                request.mode = read_mode;
                                 queries
-                                    .top_k_by_dot(&query_vec, top_k)
+                                    .top_k(&request)
+                                    .ok()
                                     .map(|s| (s.epoch, s.staleness, s.shard))
                             }
                             1..=3 => queries
-                                .embedding(v)
+                                .read_embedding(v)
+                                .ok()
                                 .map(|s| (s.epoch, s.staleness, s.shard)),
                             _ => queries
-                                .predicted_label(v)
+                                .read_label(v)
+                                .ok()
                                 .map(|s| (s.epoch, s.staleness, s.shard)),
                         };
                         stats.latencies.record(start.elapsed());
@@ -609,6 +640,294 @@ fn drive<F: ServeFrontend>(
     }
 }
 
+/// One measured size point of the exact-vs-approx top-k benchmark.
+#[derive(Debug, Clone)]
+pub struct TopKBenchPoint {
+    /// Vertices of the synthetic graph this point served.
+    pub vertices: usize,
+    /// Coarse clusters of the IVF index at this size.
+    pub clusters: usize,
+    /// Clusters probed per approximate query.
+    pub nprobe: usize,
+    /// Queries measured per mode.
+    pub queries: usize,
+    /// Median exact-scan latency.
+    pub exact_p50: Duration,
+    /// 99th-percentile exact-scan latency.
+    pub exact_p99: Duration,
+    /// Median approximate (IVF) latency.
+    pub approx_p50: Duration,
+    /// 99th-percentile approximate (IVF) latency.
+    pub approx_p99: Duration,
+    /// `exact_p50 / approx_p50` — the headline sublinearity evidence.
+    pub speedup_p50: f64,
+    /// Mean recall@10 of the approximate reads against the exact oracle.
+    pub recall_at_10: f64,
+    /// Index maintenance counters after warm-up + measurement.
+    pub index: IndexStats,
+}
+
+/// Result of [`run_topk_bench`]: one point per graph size.
+#[derive(Debug, Clone)]
+pub struct TopKBenchReport {
+    /// `k` used throughout (recall is recall@k).
+    pub k: usize,
+    /// The measured size points, in input order.
+    pub points: Vec<TopKBenchPoint>,
+}
+
+impl TopKBenchReport {
+    /// The `BENCH_topk.json` artifact (hand-rolled: the offline serde shim
+    /// has no serialiser).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"experiment\": \"serve_topk_bench\",\n");
+        out.push_str(&format!("  \"k\": {},\n", self.k));
+        out.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"vertices\": {},\n", p.vertices));
+            out.push_str(&format!("      \"clusters\": {},\n", p.clusters));
+            out.push_str(&format!("      \"nprobe\": {},\n", p.nprobe));
+            out.push_str(&format!("      \"queries\": {},\n", p.queries));
+            out.push_str(&format!(
+                "      \"exact_p50_us\": {:.3},\n",
+                p.exact_p50.as_secs_f64() * 1e6
+            ));
+            out.push_str(&format!(
+                "      \"exact_p99_us\": {:.3},\n",
+                p.exact_p99.as_secs_f64() * 1e6
+            ));
+            out.push_str(&format!(
+                "      \"approx_p50_us\": {:.3},\n",
+                p.approx_p50.as_secs_f64() * 1e6
+            ));
+            out.push_str(&format!(
+                "      \"approx_p99_us\": {:.3},\n",
+                p.approx_p99.as_secs_f64() * 1e6
+            ));
+            out.push_str(&format!("      \"speedup_p50\": {:.3},\n", p.speedup_p50));
+            out.push_str(&format!("      \"recall_at_10\": {:.4},\n", p.recall_at_10));
+            out.push_str(&format!("      \"index_builds\": {},\n", p.index.builds));
+            out.push_str(&format!(
+                "      \"index_rebuilds\": {},\n",
+                p.index.rebuilds
+            ));
+            out.push_str(&format!("      \"index_repairs\": {},\n", p.index.repairs));
+            out.push_str(&format!(
+                "      \"index_rows_repaired\": {},\n",
+                p.index.rows_repaired
+            ));
+            out.push_str(&format!("      \"index_splits\": {},\n", p.index.splits));
+            out.push_str(&format!("      \"index_merges\": {}\n", p.index.merges));
+            out.push_str(if i + 1 == self.points.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+impl std::fmt::Display for TopKBenchReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:>10} {:>9} {:>7} {:>13} {:>13} {:>9} {:>10} {:>9} {:>9}",
+            "|V|",
+            "clusters",
+            "nprobe",
+            "exact p50 us",
+            "approx p50 us",
+            "speedup",
+            "recall@10",
+            "repairs",
+            "rebuilds"
+        )?;
+        for p in &self.points {
+            writeln!(
+                f,
+                "{:>10} {:>9} {:>7} {:>13.2} {:>13.2} {:>8.1}x {:>10.4} {:>9} {:>9}",
+                p.vertices,
+                p.clusters,
+                p.nprobe,
+                p.exact_p50.as_secs_f64() * 1e6,
+                p.approx_p50.as_secs_f64() * 1e6,
+                p.speedup_p50,
+                p.recall_at_10,
+                p.index.repairs,
+                p.index.rebuilds
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Benchmarks exact-scan vs approximate (IVF) top-k on single-engine
+/// sessions of the given sizes: streams a warm-up update phase (so every
+/// epoch exercises the index's dirty repair), then measures both read modes
+/// over the same seeded query sequence and scores the approximate results
+/// against the exact oracle.
+///
+/// # Panics
+///
+/// Panics on setup failures, and when the serving contract behind the
+/// numbers is broken: any approximate score that is not bit-identical to
+/// the exact score of the same vertex, mean recall@10 below 0.95, or any
+/// post-bootstrap full index rebuild (repairs must carry every epoch).
+pub fn run_topk_bench(sizes: &[usize], seed: u64) -> TopKBenchReport {
+    const K: usize = 10;
+    let points = sizes
+        .iter()
+        .map(|&vertices| run_topk_point(vertices, K, seed))
+        .collect();
+    TopKBenchReport { k: K, points }
+}
+
+fn run_topk_point(vertices: usize, k: usize, seed: u64) -> TopKBenchPoint {
+    let feature_dim = 16;
+    let classes = 16;
+    let spec = DatasetSpec::custom(vertices, 6.0, feature_dim, classes);
+    let full = spec.generate(seed).expect("dataset generation");
+    let warmup_updates = (vertices / 10).clamp(200, 2_000);
+    let plan = build_stream(
+        &full,
+        &StreamConfig {
+            total_updates: warmup_updates,
+            seed: seed ^ 0x70_9c,
+            ..Default::default()
+        },
+    )
+    .expect("update stream");
+    let model = Workload::GcS
+        .build_model(feature_dim, 32, classes, 2, seed ^ 0x77)
+        .expect("model construction");
+    let store = full_inference(&plan.snapshot, &model).expect("bootstrap inference");
+    let stream: Vec<GraphUpdate> = plan
+        .batches(1)
+        .into_iter()
+        .flat_map(UpdateBatch::into_updates)
+        .collect();
+    let engine = RippleEngine::new(plan.snapshot, model, store, RippleConfig::default())
+        .expect("serial engine");
+    // The benchmark's operating point, tuned for dot-product retrieval over
+    // GNN embeddings: many small clusters probed by MIP bound beat few big
+    // ones at the same probed fraction (the probe ranking gets more to work
+    // with), so over-cluster relative to the √n default and probe a small
+    // fraction. Smaller graphs have a flatter recall-vs-fraction curve and
+    // need a larger fraction.
+    let mut params = crate::IndexParams::default();
+    let base = params.effective_clusters(vertices);
+    let (cluster_mult, probe_frac) = if vertices >= 20_000 {
+        (16, 0.04)
+    } else if vertices >= 5_000 {
+        (8, 0.12)
+    } else {
+        // Tiny graphs: postings average only a handful of rows, so the probe
+        // fraction has to be large for recall — there is no sublinear win to
+        // chase at this scale anyway, the point is exercising the same path.
+        (1, 0.80)
+    };
+    params.clusters = base * cluster_mult;
+    let clusters = params.effective_clusters(vertices);
+    let nprobe = ((clusters as f64 * probe_frac).ceil() as usize).max(DEFAULT_NPROBE);
+    let serve = ServeConfig::builder()
+        .max_batch(64)
+        .index(params)
+        .build()
+        .unwrap();
+    let handle = spawn(engine, serve);
+
+    // Warm-up: stream the updates and drain, so the measured index state is
+    // the product of per-epoch dirty repair, not the bootstrap build.
+    let client = handle.client();
+    for update in stream {
+        if client.submit(update) == Submission::Closed {
+            break;
+        }
+    }
+    let metrics = handle.metrics();
+    let drain_deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        handle.flush();
+        if metrics.applied() >= metrics.enqueued() {
+            break;
+        }
+        assert!(
+            Instant::now() < drain_deadline && metrics.engine_errors() == 0,
+            "warm-up failed to drain cleanly"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let warm = handle.index_stats().expect("benchmark sessions index");
+    assert_eq!(warm.builds, 1, "exactly the bootstrap build");
+    assert_eq!(
+        warm.rebuilds, 0,
+        "every warm-up epoch must repair, never rebuild: {warm:?}"
+    );
+    assert!(warm.repairs > 0, "warm-up published no repaired epochs");
+
+    // Measure: the same seeded query sequence through both read modes, each
+    // approximate read scored against the exact oracle answered on the same
+    // snapshot (the session is drained, so both modes see identical state).
+    let mut queries = handle.query_service();
+    let num_queries = 200;
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xbe9c);
+    let mut exact_lat = LatencyHistogram::new();
+    let mut approx_lat = LatencyHistogram::new();
+    let mut recall_sum = 0.0f64;
+    for _ in 0..num_queries {
+        let query: Vec<f32> = (0..classes).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let started = Instant::now();
+        let exact = queries
+            .top_k(&TopKRequest::new(query.clone(), k))
+            .expect("exact top-k");
+        exact_lat.record(started.elapsed());
+        let started = Instant::now();
+        let approx = queries
+            .top_k(&TopKRequest::new(query, k).approx(nprobe))
+            .expect("approx top-k");
+        approx_lat.record(started.elapsed());
+        let mut hits = 0usize;
+        for (v, score) in &approx.value {
+            if let Some((_, exact_score)) = exact.value.iter().find(|(ev, _)| ev == v) {
+                hits += 1;
+                assert_eq!(
+                    score.to_bits(),
+                    exact_score.to_bits(),
+                    "approx must score from the same snapshot as exact (vertex {v:?})"
+                );
+            }
+        }
+        recall_sum += hits as f64 / exact.value.len().max(1) as f64;
+    }
+    let recall_at_10 = recall_sum / num_queries as f64;
+    assert!(
+        recall_at_10 >= 0.95,
+        "recall@{k} {recall_at_10:.4} under the 0.95 floor at |V|={vertices} (nprobe {nprobe}/{clusters})"
+    );
+
+    let index = handle.index_stats().expect("benchmark sessions index");
+    handle.shutdown().expect("serving session failed");
+    let exact_p50 = exact_lat.percentile(50.0);
+    let approx_p50 = approx_lat.percentile(50.0);
+    TopKBenchPoint {
+        vertices,
+        clusters,
+        nprobe,
+        queries: num_queries,
+        exact_p50,
+        exact_p99: exact_lat.percentile(99.0),
+        approx_p50,
+        approx_p99: approx_lat.percentile(99.0),
+        speedup_p50: exact_p50.as_secs_f64() / approx_p50.as_secs_f64().max(1e-9),
+        recall_at_10,
+        index,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -654,6 +973,32 @@ mod tests {
         assert!(report.contract_upheld(), "{report}");
         assert_eq!(report.engine_threads, 2);
         assert_eq!(report.metrics.applied, report.updates_offered as u64);
+    }
+
+    #[test]
+    fn approx_read_mode_upholds_the_serving_contract() {
+        let config = LoadgenConfig {
+            read_mode: ReadMode::Approx { nprobe: 4 },
+            ..tiny_config()
+        };
+        let report = run_loadgen(&config);
+        assert!(report.contract_upheld(), "{report}");
+        assert!(report.reads > 0, "readers must have been served");
+    }
+
+    #[test]
+    fn tiny_topk_bench_measures_both_modes() {
+        let report = run_topk_bench(&[400], 7);
+        assert_eq!(report.points.len(), 1);
+        let p = &report.points[0];
+        assert_eq!(p.vertices, 400);
+        assert!(p.recall_at_10 >= 0.95);
+        assert_eq!(p.index.rebuilds, 0);
+        assert!(p.index.repairs > 0);
+        let json = report.to_json();
+        assert!(json.contains("\"experiment\": \"serve_topk_bench\""));
+        assert!(json.contains("\"recall_at_10\""));
+        assert!(report.to_string().contains("recall@10"));
     }
 
     #[test]

@@ -1,11 +1,27 @@
 //! Read-side query API over published epoch snapshots.
 //!
 //! A [`QueryService`] is a per-thread handle: it owns cached
-//! [`SnapshotReader`]s, so the hot path of every query is one atomic epoch
+//! [`SnapshotReader`]s (and, when the session maintains one, cached
+//! [`IndexReader`]s), so the hot path of every query is one atomic epoch
 //! check plus reads against an immutable snapshot — no locks shared with the
 //! engine, no blocking on in-flight propagation. Every response is stamped
 //! with the epoch it was served at and the **staleness** at read time: how
 //! many accepted updates were not yet visible in that epoch.
+//!
+//! # The top-k request surface
+//!
+//! Similarity lookups go through one validated entry point:
+//! [`QueryService::top_k`] executes a [`TopKRequest`], which names the
+//! query vector, `k`, a [`ReadMode`] — [`ReadMode::Exact`] scans every row,
+//! [`ReadMode::Approx`] probes the session's epoch-repaired IVF index
+//! (see [`crate::index`]) — and an optional epoch floor. Malformed requests
+//! (`k == 0`, zero probes, a query of the wrong width, an approximate read
+//! against a session serving without an index) fail up front with
+//! [`ServeError::InvalidQuery`]; an unmet epoch floor fails with
+//! [`ServeError::StaleRead`]. Approximate reads score candidates from the
+//! same store snapshot the exact scan reads, so every returned score is
+//! bit-identical to the exact scan's — approximation affects *which* rows
+//! are considered, never their scores.
 //!
 //! # Sharded sessions
 //!
@@ -13,13 +29,17 @@
 //! reader per shard and epochs form a **vector clock**: each shard publishes
 //! its own epoch sequence. A point read resolves the owning shard from the
 //! partitioning and is stamped with that shard's scalar epoch (plus
-//! [`Stamped::shard`]); a whole-graph read such as
-//! [`QueryService::top_k_by_dot`] touches every shard and is stamped with
-//! the *minimum* epoch across shards plus the full per-shard vector in
-//! [`Stamped::epochs`]. Staleness for whole-graph reads sums the per-shard
-//! backlogs.
+//! [`Stamped::shard`]); a whole-graph read such as [`QueryService::top_k`]
+//! touches every shard and is stamped with the *minimum* epoch across shards
+//! plus the full per-shard vector in [`Stamped::epochs`]. Staleness for
+//! whole-graph reads sums the per-shard backlogs, **deduplicated** by
+//! logical update: a cross-shard edge update is delivered to both endpoint
+//! owners, and the duplicate (secondary) deliveries pending at their shards
+//! are subtracted so one not-yet-visible update counts once.
 
+use crate::index::IndexReader;
 use crate::metrics::ServeMetrics;
+use crate::scheduler::ServeError;
 use crate::versioned::{EpochSnapshot, SnapshotReader};
 use ripple_graph::partition::Partitioning;
 use ripple_graph::{PartitionId, VertexId};
@@ -39,7 +59,8 @@ pub struct Stamped<T> {
     /// shards for a sharded whole-graph read).
     pub applied_seq: u64,
     /// Accepted updates not yet visible at read time (enqueued − applied;
-    /// summed across shards for a sharded whole-graph read).
+    /// summed across shards for a sharded whole-graph read, counting each
+    /// logical update once even when it routed to two shards).
     pub staleness: u64,
     /// The engine's topology epoch (update batches absorbed by its CSR
     /// topology snapshot) behind the serving snapshot — lets callers see
@@ -87,19 +108,114 @@ fn stamp<T>(
     }
 }
 
+/// How a [`TopKRequest`] trades recall for scan cost.
+///
+/// Marked `#[non_exhaustive]`: future read modes (e.g. a re-ranked or
+/// quantised path) may be added without a breaking change, so match with a
+/// wildcard arm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ReadMode {
+    /// Score every row of the snapshot — exact, `O(|V|)` per query.
+    Exact,
+    /// Probe the `nprobe` clusters of the session's IVF index whose
+    /// centroids best match the query, scoring only their postings —
+    /// sublinear when `nprobe` covers a fraction of the clusters. Scores
+    /// are read from the store snapshot, so they are bit-identical to
+    /// [`ReadMode::Exact`] for every returned vertex; only recall is
+    /// approximate. `nprobe` clamps to the cluster count, so
+    /// `usize::MAX` probes everything (and must then match the exact scan).
+    Approx {
+        /// How many clusters to probe (must be non-zero).
+        nprobe: usize,
+    },
+}
+
+/// A validated top-k similarity request, executed by
+/// [`QueryService::top_k`].
+///
+/// Built fluently — `TopKRequest::new(query, k)` is an exact read, and the
+/// builder methods opt into approximation or freshness floors:
+///
+/// ```
+/// use ripple_serve::{ReadMode, TopKRequest};
+///
+/// let request = TopKRequest::new(vec![1.0, 0.0, 0.5], 10)
+///     .approx(4)
+///     .min_epoch(2);
+/// assert_eq!(request.mode, ReadMode::Approx { nprobe: 4 });
+/// ```
+///
+/// Marked `#[non_exhaustive]` so future knobs (filters, re-ranking) extend
+/// the struct without breaking callers; construct via [`TopKRequest::new`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct TopKRequest {
+    /// The query vector; its width must match the final-layer embedding
+    /// width or the request fails with [`ServeError::InvalidQuery`].
+    pub query: Vec<f32>,
+    /// How many results to return (must be non-zero; clamps to `|V|`).
+    pub k: usize,
+    /// Exact scan or IVF probe; defaults to [`ReadMode::Exact`].
+    pub mode: ReadMode,
+    /// Freshness floor: the read fails with [`ServeError::StaleRead`]
+    /// unless it is served at an epoch `>=` this (for a sharded session,
+    /// unless *every* shard has reached it). `None` accepts any epoch.
+    pub min_epoch: Option<u64>,
+}
+
+impl TopKRequest {
+    /// An exact top-`k` request for `query`, with no freshness floor.
+    pub fn new(query: Vec<f32>, k: usize) -> TopKRequest {
+        TopKRequest {
+            query,
+            k,
+            mode: ReadMode::Exact,
+            min_epoch: None,
+        }
+    }
+
+    /// Switches to the approximate index path, probing `nprobe` clusters.
+    pub fn approx(mut self, nprobe: usize) -> TopKRequest {
+        self.mode = ReadMode::Approx { nprobe };
+        self
+    }
+
+    /// Switches (back) to the exact full-scan path.
+    pub fn exact(mut self) -> TopKRequest {
+        self.mode = ReadMode::Exact;
+        self
+    }
+
+    /// Requires the read to be served at epoch `epoch` or newer.
+    pub fn min_epoch(mut self, epoch: u64) -> TopKRequest {
+        self.min_epoch = Some(epoch);
+        self
+    }
+}
+
 /// Which serving topology a [`QueryService`] reads from: one engine behind
 /// one publisher, or one publisher per shard.
 #[derive(Debug, Clone)]
 enum ServeTopology {
     Single {
         reader: SnapshotReader,
+        /// The session's IVF index reader (`None` when spawned with
+        /// [`crate::ServeConfigBuilder::no_index`]).
+        index: Option<IndexReader>,
         submitted: Arc<AtomicU64>,
     },
     Sharded {
         /// One reader per shard, indexed by [`PartitionId`].
         readers: Vec<SnapshotReader>,
+        /// One IVF index reader per shard (each covering that shard's owned
+        /// rows), or `None` when the session serves without an index.
+        indexes: Option<Vec<IndexReader>>,
         /// Per-shard accepted-update counters, indexed like `readers`.
         submitted: Vec<Arc<AtomicU64>>,
+        /// Per-shard counts of *secondary* (duplicate) deliveries of
+        /// cross-shard edge updates, used to dedup merged staleness.
+        secondary_submitted: Vec<Arc<AtomicU64>>,
         partitioning: Arc<Partitioning>,
     },
 }
@@ -114,26 +230,39 @@ pub struct QueryService {
 impl QueryService {
     pub(crate) fn new(
         reader: SnapshotReader,
+        index: Option<IndexReader>,
         submitted: Arc<AtomicU64>,
         metrics: Arc<ServeMetrics>,
     ) -> Self {
         QueryService {
-            topology: ServeTopology::Single { reader, submitted },
+            topology: ServeTopology::Single {
+                reader,
+                index,
+                submitted,
+            },
             metrics,
         }
     }
 
     pub(crate) fn new_sharded(
         readers: Vec<SnapshotReader>,
+        indexes: Option<Vec<IndexReader>>,
         submitted: Vec<Arc<AtomicU64>>,
+        secondary_submitted: Vec<Arc<AtomicU64>>,
         partitioning: Arc<Partitioning>,
         metrics: Arc<ServeMetrics>,
     ) -> Self {
         debug_assert_eq!(readers.len(), submitted.len());
+        debug_assert_eq!(readers.len(), secondary_submitted.len());
+        if let Some(indexes) = &indexes {
+            debug_assert_eq!(readers.len(), indexes.len());
+        }
         QueryService {
             topology: ServeTopology::Sharded {
                 readers,
+                indexes,
                 submitted,
+                secondary_submitted,
                 partitioning,
             },
             metrics,
@@ -147,7 +276,9 @@ impl QueryService {
         v: VertexId,
     ) -> Option<(Arc<EpochSnapshot>, u64, Option<PartitionId>)> {
         match &mut self.topology {
-            ServeTopology::Single { reader, submitted } => {
+            ServeTopology::Single {
+                reader, submitted, ..
+            } => {
                 let pending = submitted.load(Ordering::Relaxed);
                 Some((Arc::clone(reader.snapshot()), pending, None))
             }
@@ -155,6 +286,7 @@ impl QueryService {
                 readers,
                 submitted,
                 partitioning,
+                ..
             } => {
                 let part = *partitioning.assignment().get(v.index())?;
                 let pending = submitted[part.index()].load(Ordering::Relaxed);
@@ -192,65 +324,184 @@ impl QueryService {
         }
     }
 
-    /// The final-layer embedding of `v`, or `None` if `v` is out of range.
-    pub fn embedding(&mut self, v: VertexId) -> Option<Stamped<Vec<f32>>> {
+    /// The final-layer embedding of `v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownVertex`] if `v` is outside the served
+    /// vertex space.
+    pub fn read_embedding(&mut self, v: VertexId) -> crate::Result<Stamped<Vec<f32>>> {
         let start = Instant::now();
-        let (snapshot, submitted, shard) = self.point_view(v)?;
+        let (snapshot, submitted, shard) =
+            self.point_view(v).ok_or(ServeError::UnknownVertex(v))?;
         let store = snapshot.store();
         if v.index() >= store.num_vertices() {
-            return None;
+            return Err(ServeError::UnknownVertex(v));
         }
         let value = store.embedding(store.num_layers(), v).to_vec();
         let stamped = stamp(value, &snapshot, submitted, shard);
         self.metrics.record_read(start.elapsed());
-        Some(stamped)
+        Ok(stamped)
+    }
+
+    /// The predicted class label of `v` (argmax of its final-layer
+    /// embedding).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownVertex`] if `v` is outside the served
+    /// vertex space.
+    pub fn read_label(&mut self, v: VertexId) -> crate::Result<Stamped<usize>> {
+        let start = Instant::now();
+        let (snapshot, submitted, shard) =
+            self.point_view(v).ok_or(ServeError::UnknownVertex(v))?;
+        let store = snapshot.store();
+        if v.index() >= store.num_vertices() {
+            return Err(ServeError::UnknownVertex(v));
+        }
+        let stamped = stamp(store.predicted_label(v), &snapshot, submitted, shard);
+        self.metrics.record_read(start.elapsed());
+        Ok(stamped)
+    }
+
+    /// The final-layer embedding of `v`, or `None` if `v` is out of range.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `QueryService::read_embedding`, which reports why a read failed"
+    )]
+    pub fn embedding(&mut self, v: VertexId) -> Option<Stamped<Vec<f32>>> {
+        self.read_embedding(v).ok()
     }
 
     /// The predicted class label of `v` (argmax of its final-layer
     /// embedding), or `None` if `v` is out of range.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `QueryService::read_label`, which reports why a read failed"
+    )]
     pub fn predicted_label(&mut self, v: VertexId) -> Option<Stamped<usize>> {
-        let start = Instant::now();
-        let (snapshot, submitted, shard) = self.point_view(v)?;
-        let store = snapshot.store();
-        if v.index() >= store.num_vertices() {
-            return None;
+        self.read_label(v).ok()
+    }
+
+    /// Executes a validated top-k similarity request (see [`TopKRequest`]).
+    ///
+    /// [`ReadMode::Exact`] scans every row of the snapshot;
+    /// [`ReadMode::Approx`] probes the session's IVF index and scores only
+    /// the matched postings, from the same snapshot — so every returned
+    /// score is bit-identical to the exact scan's. Ties break towards the
+    /// smaller vertex id, so results are deterministic. Against a sharded
+    /// session every vertex is scored from its owning shard's snapshot, and
+    /// the stamp carries the per-shard epoch vector ([`Stamped::epochs`])
+    /// with [`Stamped::epoch`] set to its minimum.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::InvalidQuery`] — `k == 0`, `nprobe == 0`, the query
+    ///   width does not match the embedding width, or an approximate read
+    ///   against a session spawned with
+    ///   [`crate::ServeConfigBuilder::no_index`].
+    /// * [`ServeError::StaleRead`] — the serving epoch (every shard's, for
+    ///   a sharded session) has not reached [`TopKRequest::min_epoch`].
+    pub fn top_k(&mut self, request: &TopKRequest) -> crate::Result<Stamped<Vec<(VertexId, f32)>>> {
+        if request.k == 0 {
+            return Err(ServeError::InvalidQuery(
+                "top-k requests need k > 0".to_string(),
+            ));
         }
-        let stamped = stamp(store.predicted_label(v), &snapshot, submitted, shard);
-        self.metrics.record_read(start.elapsed());
-        Some(stamped)
+        match request.mode {
+            ReadMode::Approx { nprobe: 0 } => {
+                return Err(ServeError::InvalidQuery(
+                    "approximate top-k requests need nprobe > 0".to_string(),
+                ));
+            }
+            ReadMode::Exact | ReadMode::Approx { .. } => {}
+        }
+        let stamped = self.top_k_impl(&request.query, request.k, request.mode)?;
+        if let Some(floor) = request.min_epoch {
+            if stamped.epoch < floor {
+                return Err(ServeError::StaleRead {
+                    floor,
+                    epoch: stamped.epoch,
+                });
+            }
+        }
+        Ok(stamped)
     }
 
     /// The `k` vertices whose final-layer embeddings have the largest dot
-    /// product with `query` — the batched similarity lookup of a
-    /// recommendation read path. Ties break towards the smaller vertex id,
-    /// so results are deterministic. Returns `None` if `query`'s width does
-    /// not match the embedding width.
-    ///
-    /// Against a sharded session every vertex is scored from its owning
-    /// shard's snapshot, and the stamp carries the per-shard epoch vector
-    /// ([`Stamped::epochs`]) with [`Stamped::epoch`] set to its minimum.
+    /// product with `query`, scanning exactly. Returns `None` if `query`'s
+    /// width does not match the embedding width.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `QueryService::top_k` with a `TopKRequest`, which also offers the \
+                approximate index path and typed errors"
+    )]
     pub fn top_k_by_dot(
         &mut self,
         query: &[f32],
         k: usize,
     ) -> Option<Stamped<Vec<(VertexId, f32)>>> {
+        self.top_k_impl(query, k, ReadMode::Exact).ok()
+    }
+
+    /// The unvalidated top-k engine behind [`QueryService::top_k`] and the
+    /// deprecated [`QueryService::top_k_by_dot`] shim (which is why, unlike
+    /// the public surface, it accepts `k == 0` and returns it empty).
+    fn top_k_impl(
+        &mut self,
+        query: &[f32],
+        k: usize,
+        mode: ReadMode,
+    ) -> crate::Result<Stamped<Vec<(VertexId, f32)>>> {
         let start = Instant::now();
+        let no_index = || {
+            ServeError::InvalidQuery(
+                "approximate top-k against a session serving without an index".to_string(),
+            )
+        };
+        let width_mismatch = |want: usize, got: usize| {
+            ServeError::InvalidQuery(format!(
+                "query width {got} does not match embedding width {want}"
+            ))
+        };
         let mut scored: Vec<(f32, u32)>;
         let stamped_parts = match &mut self.topology {
-            ServeTopology::Single { reader, submitted } => {
+            ServeTopology::Single {
+                reader,
+                index,
+                submitted,
+            } => {
                 let pending = submitted.load(Ordering::Relaxed);
                 let snapshot = Arc::clone(reader.snapshot());
                 let store = snapshot.store();
                 let table = store.embeddings(store.num_layers());
                 if table.cols() != query.len() {
-                    return None;
+                    return Err(width_mismatch(table.cols(), query.len()));
                 }
-                // One pass over the flat table; scored[(v)] = <h_v, query>.
-                scored = table
-                    .iter_rows()
-                    .enumerate()
-                    .map(|(v, row)| (dot(row, query), v as u32))
-                    .collect();
+                scored = match mode {
+                    // One pass over the flat table; scored[v] = <h_v, query>.
+                    ReadMode::Exact => table
+                        .iter_rows()
+                        .enumerate()
+                        .map(|(v, row)| (dot(row, query), v as u32))
+                        .collect(),
+                    ReadMode::Approx { nprobe } => {
+                        let index = index.as_mut().ok_or_else(no_index)?;
+                        // The index may run an epoch ahead of the snapshot
+                        // (it is published first); rows it knows that the
+                        // snapshot does not are skipped, costing recall only.
+                        // Gather in cluster-grouped order as returned — the
+                        // final (score desc, id asc) selection is a total
+                        // order over unique ids, so input order is free.
+                        index
+                            .index()
+                            .candidates(query, nprobe)
+                            .into_iter()
+                            .filter(|&v| (v as usize) < table.rows())
+                            .map(|v| (dot(table.row(v as usize), query), v))
+                            .collect()
+                    }
+                };
                 (
                     snapshot.epoch(),
                     snapshot.applied_seq(),
@@ -261,7 +512,9 @@ impl QueryService {
             }
             ServeTopology::Sharded {
                 readers,
+                indexes,
                 submitted,
+                secondary_submitted,
                 partitioning,
             } => {
                 let snapshots: Vec<Arc<EpochSnapshot>> = readers
@@ -269,31 +522,58 @@ impl QueryService {
                     .map(|r| Arc::clone(r.snapshot()))
                     .collect();
                 let num_layers = snapshots[0].store().num_layers();
-                if snapshots[0].store().embeddings(num_layers).cols() != query.len() {
-                    return None;
+                let width = snapshots[0].store().embeddings(num_layers).cols();
+                if width != query.len() {
+                    return Err(width_mismatch(width, query.len()));
                 }
-                // Score each vertex against its owning shard's snapshot —
-                // only the owner's rows are authoritative.
-                scored = partitioning
-                    .assignment()
-                    .iter()
-                    .enumerate()
-                    .map(|(v, part)| {
-                        let row = snapshots[part.index()]
-                            .store()
-                            .embedding(num_layers, VertexId(v as u32));
-                        (dot(row, query), v as u32)
-                    })
-                    .collect();
+                scored = match mode {
+                    // Score each vertex against its owning shard's snapshot
+                    // — only the owner's rows are authoritative.
+                    ReadMode::Exact => partitioning
+                        .assignment()
+                        .iter()
+                        .enumerate()
+                        .map(|(v, part)| {
+                            let row = snapshots[part.index()]
+                                .store()
+                                .embedding(num_layers, VertexId(v as u32));
+                            (dot(row, query), v as u32)
+                        })
+                        .collect(),
+                    ReadMode::Approx { nprobe } => {
+                        let indexes = indexes.as_mut().ok_or_else(no_index)?;
+                        // Each shard's index covers exactly its owned rows,
+                        // so the merged candidate set is duplicate-free and
+                        // scoring stays owner-authoritative.
+                        let mut merged = Vec::new();
+                        for (snapshot, index) in snapshots.iter().zip(indexes.iter_mut()) {
+                            let table = snapshot.store().embeddings(num_layers);
+                            merged.extend(
+                                index
+                                    .index()
+                                    .candidates(query, nprobe)
+                                    .into_iter()
+                                    .filter(|&v| (v as usize) < table.rows())
+                                    .map(|v| (dot(table.row(v as usize), query), v)),
+                            );
+                        }
+                        merged
+                    }
+                };
                 let epochs: Vec<u64> = snapshots.iter().map(|s| s.epoch()).collect();
                 let applied: u64 = snapshots.iter().map(|s| s.applied_seq()).sum();
+                // Dedup the merged backlog: an edge update owned by two
+                // shards is pending at both, but it is one logical update —
+                // subtract the pending *secondary* deliveries per shard.
                 let staleness: u64 = snapshots
                     .iter()
-                    .zip(submitted.iter())
-                    .map(|(s, counter)| {
-                        counter
+                    .zip(submitted.iter().zip(secondary_submitted.iter()))
+                    .map(|(s, (sub, sec))| {
+                        let pending = sub.load(Ordering::Relaxed).saturating_sub(s.applied_seq());
+                        let pending_secondary = sec
                             .load(Ordering::Relaxed)
-                            .saturating_sub(s.applied_seq())
+                            .saturating_sub(s.applied_secondary());
+                        pending.saturating_sub(pending_secondary)
                     })
                     .sum();
                 let topology_epoch = snapshots
@@ -313,7 +593,7 @@ impl QueryService {
         let k = k.min(scored.len());
         // Highest score first, smaller id on ties; NaN-free inputs are the
         // caller's contract — total_cmp keeps the order deterministic anyway.
-        // Partial selection: O(|V| + k log k) instead of sorting all |V|.
+        // Partial selection: O(candidates + k log k) instead of sorting all.
         let order = |a: &(f32, u32), b: &(f32, u32)| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1));
         if k < scored.len() {
             if k > 0 {
@@ -337,7 +617,7 @@ impl QueryService {
             epochs,
         };
         self.metrics.record_read(start.elapsed());
-        Some(stamped)
+        Ok(stamped)
     }
 }
 
@@ -348,14 +628,19 @@ fn dot(row: &[f32], query: &[f32]) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::index::{IndexMaintainer, IndexParams};
     use crate::versioned::VersionedStore;
     use ripple_gnn::{Aggregator, EmbeddingStore, GnnModel, LayerKind};
 
     fn service(store: &EmbeddingStore, submitted: u64) -> (QueryService, crate::SnapshotPublisher) {
         let (publisher, reader) = VersionedStore::bootstrap(store);
+        let (_maintainer, index) = IndexMaintainer::bootstrap(store, None, IndexParams::default());
         let counter = Arc::new(AtomicU64::new(submitted));
         let metrics = Arc::new(ServeMetrics::new());
-        (QueryService::new(reader, counter, metrics), publisher)
+        (
+            QueryService::new(reader, Some(index), counter, metrics),
+            publisher,
+        )
     }
 
     fn store() -> EmbeddingStore {
@@ -369,42 +654,119 @@ mod tests {
     }
 
     #[test]
-    fn embedding_and_label_are_stamped() {
+    fn point_reads_are_stamped_and_reject_unknown_vertices() {
         let (mut q, _publisher) = service(&store(), 7);
-        let e = q.embedding(VertexId(0)).unwrap();
+        let e = q.read_embedding(VertexId(0)).unwrap();
         assert_eq!(e.value, vec![0.0, 1.0, 0.0]);
         assert_eq!(e.epoch, 0);
         assert_eq!(e.applied_seq, 0);
         assert_eq!(e.staleness, 7, "7 accepted updates not yet visible");
         assert_eq!(e.shard, None);
         assert_eq!(e.epochs, None);
-        let l = q.predicted_label(VertexId(0)).unwrap();
+        let l = q.read_label(VertexId(0)).unwrap();
         assert_eq!(l.value, 1);
         assert_eq!(q.epoch(), 0);
         assert_eq!(q.epoch_vector(), vec![0]);
-        // Out-of-range vertices are rejected, not panicking.
-        assert!(q.embedding(VertexId(99)).is_none());
-        assert!(q.predicted_label(VertexId(99)).is_none());
+        // Out-of-range vertices are a typed error, not a panic.
+        assert!(matches!(
+            q.read_embedding(VertexId(99)),
+            Err(ServeError::UnknownVertex(VertexId(99)))
+        ));
+        assert!(matches!(
+            q.read_label(VertexId(99)),
+            Err(ServeError::UnknownVertex(VertexId(99)))
+        ));
     }
 
     #[test]
     fn top_k_ranks_by_dot_product_with_deterministic_ties() {
         let (mut q, _publisher) = service(&store(), 0);
-        let top = q.top_k_by_dot(&[1.0, 0.0, 0.0], 3).unwrap();
+        let top = q.top_k(&TopKRequest::new(vec![1.0, 0.0, 0.0], 3)).unwrap();
         assert_eq!(top.value.len(), 3);
         // Vertices 1 and 3 tie at 2.0; the smaller id wins.
         assert_eq!(top.value[0], (VertexId(1), 2.0));
         assert_eq!(top.value[1], (VertexId(3), 2.0));
         assert_eq!(top.value[2], (VertexId(2), 1.0));
-        // k larger than |V| clamps, k = 0 is empty; mismatched width is
-        // rejected.
-        assert_eq!(q.top_k_by_dot(&[1.0, 0.0, 0.0], 10).unwrap().value.len(), 4);
-        assert!(q
-            .top_k_by_dot(&[1.0, 0.0, 0.0], 0)
-            .unwrap()
-            .value
-            .is_empty());
-        assert!(q.top_k_by_dot(&[1.0, 0.0], 2).is_none());
+        // k larger than |V| clamps.
+        let all = q.top_k(&TopKRequest::new(vec![1.0, 0.0, 0.0], 10)).unwrap();
+        assert_eq!(all.value.len(), 4);
+    }
+
+    #[test]
+    fn malformed_requests_fail_with_invalid_query() {
+        let (mut q, _publisher) = service(&store(), 0);
+        assert!(matches!(
+            q.top_k(&TopKRequest::new(vec![1.0, 0.0, 0.0], 0)),
+            Err(ServeError::InvalidQuery(_))
+        ));
+        assert!(matches!(
+            q.top_k(&TopKRequest::new(vec![1.0, 0.0], 2)),
+            Err(ServeError::InvalidQuery(_))
+        ));
+        assert!(matches!(
+            q.top_k(&TopKRequest::new(vec![1.0, 0.0, 0.0], 2).approx(0)),
+            Err(ServeError::InvalidQuery(_))
+        ));
+        // Approximate reads against an index-less session are rejected too.
+        let (publisher, reader) = VersionedStore::bootstrap(&store());
+        let mut bare = QueryService::new(
+            reader,
+            None,
+            Arc::new(AtomicU64::new(0)),
+            Arc::new(ServeMetrics::new()),
+        );
+        assert!(matches!(
+            bare.top_k(&TopKRequest::new(vec![1.0, 0.0, 0.0], 2).approx(1)),
+            Err(ServeError::InvalidQuery(_))
+        ));
+        drop(publisher);
+    }
+
+    #[test]
+    fn full_probe_approx_matches_exact_with_identical_scores() {
+        let (mut q, _publisher) = service(&store(), 0);
+        let request = TopKRequest::new(vec![0.3, -1.0, 0.7], 4);
+        let exact = q.top_k(&request).unwrap();
+        let approx = q.top_k(&request.clone().approx(usize::MAX)).unwrap();
+        assert_eq!(exact.value, approx.value);
+        assert_eq!(exact.epoch, approx.epoch);
+    }
+
+    #[test]
+    fn min_epoch_floors_fail_as_stale_until_published() {
+        let base = store();
+        let (mut q, mut publisher) = service(&base, 1);
+        let request = TopKRequest::new(vec![1.0, 0.0, 0.0], 2).min_epoch(1);
+        assert!(matches!(
+            q.top_k(&request),
+            Err(ServeError::StaleRead { floor: 1, epoch: 0 })
+        ));
+        publisher.publish(&base, 1, 0);
+        let top = q.top_k(&request).unwrap();
+        assert_eq!(top.epoch, 1);
+    }
+
+    #[test]
+    fn deprecated_shims_still_answer_reads() {
+        // The pre-redesign surface must keep working for one deprecation
+        // cycle; it delegates to the new internals.
+        #[allow(deprecated)]
+        {
+            let (mut q, _publisher) = service(&store(), 0);
+            assert_eq!(q.embedding(VertexId(0)).unwrap().value, vec![0.0, 1.0, 0.0]);
+            assert!(q.embedding(VertexId(99)).is_none());
+            assert_eq!(q.predicted_label(VertexId(0)).unwrap().value, 1);
+            let top = q.top_k_by_dot(&[1.0, 0.0, 0.0], 3).unwrap();
+            assert_eq!(top.value[0], (VertexId(1), 2.0));
+            // The shim keeps the old lenient edges: k = 0 is an empty hit,
+            // a mismatched width is None.
+            assert!(q
+                .top_k_by_dot(&[1.0, 0.0, 0.0], 0)
+                .unwrap()
+                .value
+                .is_empty());
+            assert!(q.top_k_by_dot(&[1.0, 0.0], 2).is_none());
+        }
     }
 
     #[test]
@@ -416,13 +778,13 @@ mod tests {
             .set_embedding(2, VertexId(0), &[9.0, 0.0, 0.0])
             .unwrap();
         publisher.publish(&updated, 3, 2);
-        let e = q.embedding(VertexId(0)).unwrap();
+        let e = q.read_embedding(VertexId(0)).unwrap();
         assert_eq!(e.epoch, 1);
         assert_eq!(e.applied_seq, 3);
         assert_eq!(e.staleness, 0);
         assert_eq!(e.topology_epoch, 2);
         assert_eq!(e.value[0], 9.0);
-        let l = q.predicted_label(VertexId(0)).unwrap();
+        let l = q.read_label(VertexId(0)).unwrap();
         assert_eq!(l.value, 0);
     }
 
@@ -447,53 +809,76 @@ mod tests {
         assert_eq!(len.epochs, Some(vec![4, 6]));
     }
 
+    /// A two-shard harness over [`store`]: shard 0 owns vertices 0–1,
+    /// shard 1 owns 2–3.
+    fn sharded_service(
+        submitted: [u64; 2],
+        secondary: [u64; 2],
+    ) -> (
+        QueryService,
+        crate::SnapshotPublisher,
+        crate::SnapshotPublisher,
+    ) {
+        let base = store();
+        let (publisher0, reader0) = VersionedStore::bootstrap(&base);
+        let (publisher1, reader1) = VersionedStore::bootstrap(&base);
+        let assignment = vec![
+            PartitionId(0),
+            PartitionId(0),
+            PartitionId(1),
+            PartitionId(1),
+        ];
+        let partitioning = Arc::new(Partitioning::from_assignment(assignment.clone(), 2).unwrap());
+        let indexes = (0..2)
+            .map(|p| {
+                let owned: Vec<bool> = assignment.iter().map(|a| a.index() == p).collect();
+                IndexMaintainer::bootstrap(&base, Some(owned), IndexParams::default()).1
+            })
+            .collect();
+        let q = QueryService::new_sharded(
+            vec![reader0, reader1],
+            Some(indexes),
+            submitted
+                .iter()
+                .map(|&s| Arc::new(AtomicU64::new(s)))
+                .collect(),
+            secondary
+                .iter()
+                .map(|&s| Arc::new(AtomicU64::new(s)))
+                .collect(),
+            partitioning,
+            Arc::new(ServeMetrics::new()),
+        );
+        (q, publisher0, publisher1)
+    }
+
     #[test]
     fn sharded_reads_resolve_the_owning_shard_and_merge_epoch_vectors() {
-        // Shard 0 owns vertices 0–1, shard 1 owns 2–3; each shard's store is
-        // authoritative only for its owned rows.
-        let base = store();
-        let (mut publisher0, reader0) = VersionedStore::bootstrap(&base);
-        let (publisher1, reader1) = VersionedStore::bootstrap(&base);
-        let partitioning = Arc::new(
-            Partitioning::from_assignment(
-                vec![
-                    PartitionId(0),
-                    PartitionId(0),
-                    PartitionId(1),
-                    PartitionId(1),
-                ],
-                2,
-            )
-            .unwrap(),
-        );
-        let submitted = vec![Arc::new(AtomicU64::new(5)), Arc::new(AtomicU64::new(2))];
-        let metrics = Arc::new(ServeMetrics::new());
-        let mut q = QueryService::new_sharded(
-            vec![reader0, reader1],
-            submitted,
-            Arc::clone(&partitioning),
-            Arc::clone(&metrics),
-        );
+        // Each shard's store is authoritative only for its owned rows.
+        let (mut q, mut publisher0, publisher1) = sharded_service([5, 2], [0, 0]);
 
         // Shard 0 publishes twice; shard 1 stays at its bootstrap epoch.
-        let mut updated = base.clone();
+        let mut updated = store();
         updated
             .set_embedding(2, VertexId(0), &[9.0, 0.0, 0.0])
             .unwrap();
         publisher0.publish(&updated, 3, 1);
         publisher0.publish(&updated, 5, 2);
 
-        let e = q.embedding(VertexId(0)).unwrap();
+        let e = q.read_embedding(VertexId(0)).unwrap();
         assert_eq!(e.value[0], 9.0);
         assert_eq!(e.shard, Some(PartitionId(0)));
         assert_eq!(e.epoch, 2, "point reads use the owning shard's epoch");
         assert_eq!(e.staleness, 0);
-        let e = q.embedding(VertexId(2)).unwrap();
+        let e = q.read_embedding(VertexId(2)).unwrap();
         assert_eq!(e.shard, Some(PartitionId(1)));
         assert_eq!(e.epoch, 0);
         assert_eq!(e.staleness, 2, "shard 1 has 2 accepted updates pending");
-        // Out of the partitioned id space: rejected, not panicking.
-        assert!(q.embedding(VertexId(99)).is_none());
+        // Out of the partitioned id space: a typed error, not a panic.
+        assert!(matches!(
+            q.read_embedding(VertexId(99)),
+            Err(ServeError::UnknownVertex(VertexId(99)))
+        ));
 
         // The session epoch is the slowest shard; the vector shows both.
         assert_eq!(q.epoch(), 0);
@@ -501,13 +886,43 @@ mod tests {
 
         // Whole-graph reads score every vertex from its owner and stamp the
         // epoch vector (vertex 0's new value comes from shard 0's epoch 2).
-        let top = q.top_k_by_dot(&[1.0, 0.0, 0.0], 1).unwrap();
+        let top = q.top_k(&TopKRequest::new(vec![1.0, 0.0, 0.0], 1)).unwrap();
         assert_eq!(top.value[0], (VertexId(0), 9.0));
         assert_eq!(top.epoch, 0);
         assert_eq!(top.epochs, Some(vec![2, 0]));
         assert_eq!(top.shard, None);
         assert_eq!(top.applied_seq, 5, "applied sums across shards");
         assert_eq!(top.staleness, 2, "per-shard backlogs sum");
+
+        // A floor neither shard reached is stale; the reached one is not.
+        assert!(matches!(
+            q.top_k(&TopKRequest::new(vec![1.0, 0.0, 0.0], 1).min_epoch(1)),
+            Err(ServeError::StaleRead { floor: 1, epoch: 0 })
+        ));
         drop(publisher1);
+    }
+
+    #[test]
+    fn merged_staleness_counts_cross_shard_updates_once() {
+        // One logical edge update fanned out to both owners: each shard's
+        // counter sees one pending update (shard 1's marked secondary), but
+        // the merged read must report ONE not-yet-visible update, not two.
+        let (mut q, publisher0, publisher1) = sharded_service([1, 1], [0, 1]);
+        let top = q.top_k(&TopKRequest::new(vec![1.0, 0.0, 0.0], 1)).unwrap();
+        assert_eq!(
+            top.staleness, 1,
+            "duplicate secondary delivery must not double-count"
+        );
+        drop((publisher0, publisher1));
+    }
+
+    #[test]
+    fn sharded_full_probe_approx_merges_owner_candidates_exactly() {
+        let (mut q, publisher0, publisher1) = sharded_service([0, 0], [0, 0]);
+        let request = TopKRequest::new(vec![0.5, 0.5, -0.25], 4);
+        let exact = q.top_k(&request).unwrap();
+        let approx = q.top_k(&request.clone().approx(usize::MAX)).unwrap();
+        assert_eq!(exact.value, approx.value);
+        drop((publisher0, publisher1));
     }
 }

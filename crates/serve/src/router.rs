@@ -40,6 +40,11 @@ pub struct ShardRouter {
     /// Per-shard accepted-update counters (an update counts at every shard
     /// it routes to — the staleness denominator of that shard's reads).
     submitted: Vec<Arc<AtomicU64>>,
+    /// Per-shard count of **secondary** route copies: the second delivery
+    /// of a cross-shard edge update. Merged reads subtract these so one
+    /// logical update pending at both owners counts once in their
+    /// deduplicated staleness.
+    secondary_submitted: Vec<Arc<AtomicU64>>,
     /// Raw accepted submissions across the tier (each counted once).
     total_submitted: Arc<AtomicU64>,
     partitioning: Arc<Partitioning>,
@@ -55,6 +60,7 @@ impl ShardRouter {
         depths: Vec<Arc<AtomicUsize>>,
         alive: Vec<Arc<AtomicBool>>,
         submitted: Vec<Arc<AtomicU64>>,
+        secondary_submitted: Vec<Arc<AtomicU64>>,
         total_submitted: Arc<AtomicU64>,
         partitioning: Arc<Partitioning>,
         metrics: Arc<ServeMetrics>,
@@ -66,6 +72,7 @@ impl ShardRouter {
             depths,
             alive,
             submitted,
+            secondary_submitted,
             total_submitted,
             partitioning,
             metrics,
@@ -135,11 +142,16 @@ impl ShardRouter {
             }
         }
         let enqueued = Instant::now();
-        for part in targets.iter().flatten() {
+        for (route, part) in targets.iter().flatten().enumerate() {
             let i = part.index();
+            // The second route of an edge update is the duplicate delivery;
+            // mark it so flushes and staleness stamps can dedup by logical
+            // update.
+            let secondary = route == 1;
             let queued = QueuedUpdate {
                 update: update.clone(),
                 enqueued,
+                secondary,
             };
             // Count the slot before sending: the worker decrements as it
             // dequeues, and the counter must never underflow.
@@ -149,6 +161,9 @@ impl ShardRouter {
                 return Submission::Closed;
             }
             self.submitted[i].fetch_add(1, Ordering::Relaxed);
+            if secondary {
+                self.secondary_submitted[i].fetch_add(1, Ordering::Relaxed);
+            }
             self.metrics.record_enqueued();
         }
         let seq = self.total_submitted.fetch_add(1, Ordering::Relaxed) + 1;

@@ -23,6 +23,7 @@
 //! the [`SnapshotPublisher`], which is what makes the batch visible to
 //! readers — queries never touch the engine's working store.
 
+use crate::index::{IndexMaintainer, IndexParams, IndexReader, IndexStats, SharedIndexStats};
 use crate::metrics::ServeMetrics;
 use crate::versioned::{SnapshotPublisher, SnapshotReader, VersionedStore};
 use ripple_core::{DeltaMessage, RippleError, StreamingEngine};
@@ -72,6 +73,11 @@ pub struct ServeConfig {
     /// post-hoc inspection — used by the linearizability tests; off in
     /// production to avoid unbounded growth.
     pub record_batches: bool,
+    /// Parameters of the epoch-repaired IVF top-k index maintained next to
+    /// the snapshots ([`crate::ReadMode::Approx`] reads probe it). `None`
+    /// disables the index; approximate reads then fail with
+    /// [`ServeError::InvalidQuery`].
+    pub index: Option<IndexParams>,
 }
 
 impl ServeConfig {
@@ -96,6 +102,7 @@ impl Default for ServeConfig {
             max_delay: Duration::from_millis(2),
             policy: BackpressurePolicy::Block,
             record_batches: false,
+            index: Some(IndexParams::default()),
         }
     }
 }
@@ -158,6 +165,21 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Sets the IVF top-k index parameters (validated at build time).
+    #[must_use]
+    pub fn index(mut self, params: IndexParams) -> Self {
+        self.config.index = Some(params);
+        self
+    }
+
+    /// Disables the top-k index; [`crate::ReadMode::Approx`] reads against
+    /// the session will fail with [`ServeError::InvalidQuery`].
+    #[must_use]
+    pub fn no_index(mut self) -> Self {
+        self.config.index = None;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -176,6 +198,19 @@ impl ServeConfigBuilder {
             return Err(ServeError::InvalidConfig(
                 "max_batch must be non-zero (the size window could never close)".to_string(),
             ));
+        }
+        if let Some(index) = &config.index {
+            if index.kmeans_iters == 0 {
+                return Err(ServeError::InvalidConfig(
+                    "index.kmeans_iters must be non-zero (centroids would never refine)"
+                        .to_string(),
+                ));
+            }
+            if !(index.split_factor > 1.0 && index.split_factor.is_finite()) {
+                return Err(ServeError::InvalidConfig(
+                    "index.split_factor must be a finite factor > 1.0".to_string(),
+                ));
+            }
         }
         config.max_delay = config.max_delay.min(ServeConfig::MAX_DELAY);
         Ok(config)
@@ -210,6 +245,22 @@ pub enum ServeError {
     /// A [`ServeConfigBuilder`] or sharded-session parameter failed
     /// validation; the message names the offending knob.
     InvalidConfig(String),
+    /// A read request failed validation before touching any snapshot: zero
+    /// `k`, zero `nprobe`, a query vector whose width does not match the
+    /// embedding width, or an approximate read against a session without an
+    /// index. The message names the offending parameter.
+    InvalidQuery(String),
+    /// A point read named a vertex outside the served id space.
+    UnknownVertex(VertexId),
+    /// A read carried a [`crate::TopKRequest::min_epoch`] floor the
+    /// freshest published epoch has not reached yet; retry after the next
+    /// flush.
+    StaleRead {
+        /// The read-your-writes floor the caller demanded.
+        floor: u64,
+        /// The epoch actually served (minimum across shards when sharded).
+        epoch: u64,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -218,6 +269,14 @@ impl fmt::Display for ServeError {
             ServeError::Engine(e) => write!(f, "serving engine error: {e}"),
             ServeError::SchedulerPanicked => f.write_str("scheduler thread panicked"),
             ServeError::InvalidConfig(why) => write!(f, "invalid serving configuration: {why}"),
+            ServeError::InvalidQuery(why) => write!(f, "invalid query: {why}"),
+            ServeError::UnknownVertex(v) => {
+                write!(f, "vertex {} is outside the served id space", v.index())
+            }
+            ServeError::StaleRead { floor, epoch } => write!(
+                f,
+                "read floor not reached: min_epoch {floor} demanded, epoch {epoch} served"
+            ),
         }
     }
 }
@@ -226,7 +285,11 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Engine(e) => Some(e),
-            ServeError::SchedulerPanicked | ServeError::InvalidConfig(_) => None,
+            ServeError::SchedulerPanicked
+            | ServeError::InvalidConfig(_)
+            | ServeError::InvalidQuery(_)
+            | ServeError::UnknownVertex(_)
+            | ServeError::StaleRead { .. } => None,
         }
     }
 }
@@ -242,6 +305,10 @@ impl From<RippleError> for ServeError {
 pub(crate) struct QueuedUpdate {
     pub(crate) update: GraphUpdate,
     pub(crate) enqueued: Instant,
+    /// Whether this is the **second** routed copy of a cross-shard edge
+    /// update (always `false` on the single-engine path). Secondary copies
+    /// are excluded from the deduplicated staleness of merged reads.
+    pub(crate) secondary: bool,
 }
 
 /// Queue protocol between clients and the scheduler thread.
@@ -268,6 +335,7 @@ impl UpdateClient {
         let queued = QueuedUpdate {
             update,
             enqueued: Instant::now(),
+            secondary: false,
         };
         let sent = match self.policy {
             BackpressurePolicy::Block => self.tx.send(Msg::Update(queued)).map_err(|_| false),
@@ -396,6 +464,9 @@ pub(crate) struct Coalescer {
     added_idx: HashMap<(VertexId, VertexId), usize>,
     /// Raw updates absorbed since the last flush.
     raw: u64,
+    /// Of `raw`, how many were secondary route copies (see
+    /// [`QueuedUpdate::secondary`]).
+    secondary: u64,
     /// Enqueue instant of the window's first raw update.
     oldest: Option<Instant>,
 }
@@ -404,6 +475,7 @@ impl Coalescer {
     /// Absorbs one raw update, deduplicating against the pending window.
     pub(crate) fn push(&mut self, queued: QueuedUpdate, metrics: &ServeMetrics) {
         self.raw += 1;
+        self.secondary += u64::from(queued.secondary);
         self.oldest.get_or_insert(queued.enqueued);
         self.enqueues.push(queued.enqueued);
         match queued.update {
@@ -447,16 +519,18 @@ impl Coalescer {
         self.oldest.map(|t| t + max_delay)
     }
 
-    /// Empties the window, returning the coalesced batch, the raw count and
-    /// the enqueue instants of every covered raw update.
-    pub(crate) fn drain(&mut self) -> (UpdateBatch, u64, Vec<Instant>) {
+    /// Empties the window, returning the coalesced batch, the raw count,
+    /// the secondary-copy count within it and the enqueue instants of every
+    /// covered raw update.
+    pub(crate) fn drain(&mut self) -> (UpdateBatch, u64, u64, Vec<Instant>) {
         let updates: Vec<GraphUpdate> = self.items.drain(..).flatten().collect();
         self.feature_idx.clear();
         self.added_idx.clear();
         self.oldest = None;
         let raw = std::mem::take(&mut self.raw);
+        let secondary = std::mem::take(&mut self.secondary);
         let enqueues = std::mem::take(&mut self.enqueues);
-        (UpdateBatch::from_updates(updates), raw, enqueues)
+        (UpdateBatch::from_updates(updates), raw, secondary, enqueues)
     }
 }
 
@@ -468,6 +542,10 @@ impl Coalescer {
 pub struct UpdateScheduler<E> {
     engine: E,
     publisher: SnapshotPublisher,
+    /// The IVF top-k index maintained in lockstep with the snapshots
+    /// (present iff [`ServeConfig::index`]); published *before* the store
+    /// each flush so readers never pair a store epoch with an older index.
+    index: Option<IndexMaintainer>,
     config: ServeConfig,
     metrics: Arc<ServeMetrics>,
     window: Coalescer,
@@ -484,10 +562,14 @@ impl<E: StreamingEngine> UpdateScheduler<E> {
     ) -> (Self, SnapshotReader) {
         let (publisher, reader) = VersionedStore::bootstrap(engine.current_store());
         let flush_log = config.record_batches.then(FlushLog::new);
+        let index = config
+            .index
+            .map(|params| IndexMaintainer::bootstrap(engine.current_store(), None, params).0);
         (
             UpdateScheduler {
                 engine,
                 publisher,
+                index,
                 config,
                 metrics,
                 window: Coalescer::default(),
@@ -503,11 +585,29 @@ impl<E: StreamingEngine> UpdateScheduler<E> {
         self.flush_log.clone()
     }
 
+    /// A reader handle onto the maintained top-k index (present iff
+    /// [`ServeConfig::index`]).
+    pub fn index_reader(&self) -> Option<IndexReader> {
+        self.index.as_ref().map(IndexMaintainer::reader)
+    }
+
+    /// The shared index-maintenance counters (present iff
+    /// [`ServeConfig::index`]).
+    pub fn shared_index_stats(&self) -> Option<Arc<SharedIndexStats>> {
+        self.index.as_ref().map(IndexMaintainer::shared_stats)
+    }
+
     /// Absorbs one update into the coalescing window and flushes if the
     /// size window closed. Returns the published epoch if a flush happened.
     pub fn absorb(&mut self, update: GraphUpdate, enqueued: Instant) -> crate::Result<Option<u64>> {
-        self.window
-            .push(QueuedUpdate { update, enqueued }, &self.metrics);
+        self.window.push(
+            QueuedUpdate {
+                update,
+                enqueued,
+                secondary: false,
+            },
+            &self.metrics,
+        );
         if self.window.raw_len() >= self.config.max_batch as u64 {
             return self.flush().map(Some);
         }
@@ -526,7 +626,7 @@ impl<E: StreamingEngine> UpdateScheduler<E> {
         if self.window.raw_len() == 0 {
             return Ok(self.publisher.epoch());
         }
-        let (batch, raw, enqueues) = self.window.drain();
+        let (batch, raw, _secondary, enqueues) = self.window.drain();
         let ran_engine = !batch.is_empty();
         if ran_engine {
             if let Err(e) = self.engine.process_batch(&batch) {
@@ -542,6 +642,13 @@ impl<E: StreamingEngine> UpdateScheduler<E> {
             // Nothing reached the engine: the store is unchanged.
             Some(&[])
         };
+        // Index first, store second: a reader that pairs the freshest store
+        // with its cached index only ever sees an index *ahead* of the
+        // store, never behind — and scores always come from the store, so
+        // skew costs at most recall, never correctness.
+        if let Some(index) = &mut self.index {
+            index.publish(self.engine.current_store(), dirty);
+        }
         let epoch = self.publisher.publish_rows(
             self.engine.current_store(),
             self.applied_seq,
@@ -624,6 +731,8 @@ pub struct ServeHandle<E> {
     submitted: Arc<AtomicU64>,
     metrics: Arc<ServeMetrics>,
     reader: SnapshotReader,
+    index_reader: Option<IndexReader>,
+    index_stats: Option<Arc<SharedIndexStats>>,
     policy: BackpressurePolicy,
     flush_log: Option<FlushLog>,
     join: JoinHandle<Result<E, ServeError>>,
@@ -644,6 +753,7 @@ impl<E> ServeHandle<E> {
     pub fn query_service(&self) -> crate::QueryService {
         crate::QueryService::new(
             self.reader.clone(),
+            self.index_reader.clone(),
             Arc::clone(&self.submitted),
             Arc::clone(&self.metrics),
         )
@@ -652,6 +762,12 @@ impl<E> ServeHandle<E> {
     /// The shared serving metrics.
     pub fn metrics(&self) -> Arc<ServeMetrics> {
         Arc::clone(&self.metrics)
+    }
+
+    /// A snapshot of the index-maintenance counters (`None` when the
+    /// session runs without an index).
+    pub fn index_stats(&self) -> Option<IndexStats> {
+        self.index_stats.as_ref().map(|s| s.snapshot())
     }
 
     /// Forces the current window closed and waits for the resulting epoch
@@ -699,6 +815,8 @@ where
     let submitted = Arc::new(AtomicU64::new(0));
     let (scheduler, reader) = UpdateScheduler::new(engine, config, Arc::clone(&metrics));
     let flush_log = scheduler.flush_log();
+    let index_reader = scheduler.index_reader();
+    let index_stats = scheduler.shared_index_stats();
     let (tx, rx) = mpsc::sync_channel(config.queue_capacity.max(1));
     let join = std::thread::Builder::new()
         .name("ripple-serve-scheduler".to_string())
@@ -709,6 +827,8 @@ where
         submitted,
         metrics,
         reader,
+        index_reader,
+        index_stats,
         policy: config.policy,
         flush_log,
         join,
@@ -760,6 +880,7 @@ mod tests {
                 QueuedUpdate {
                     update: u,
                     enqueued: now,
+                    secondary: false,
                 },
                 &metrics,
             )
@@ -767,8 +888,9 @@ mod tests {
         push(&mut w, GraphUpdate::update_feature(VertexId(1), vec![1.0]));
         push(&mut w, GraphUpdate::add_edge(VertexId(1), VertexId(2)));
         push(&mut w, GraphUpdate::update_feature(VertexId(1), vec![2.0]));
-        let (batch, raw, enqueues) = w.drain();
+        let (batch, raw, secondary, enqueues) = w.drain();
         assert_eq!(raw, 3);
+        assert_eq!(secondary, 0);
         assert_eq!(enqueues.len(), 3);
         assert_eq!(batch.len(), 2, "two rewrites collapse to one");
         assert_eq!(
@@ -789,6 +911,7 @@ mod tests {
                 QueuedUpdate {
                     update: u,
                     enqueued: now,
+                    secondary: false,
                 },
                 &metrics,
             )
@@ -799,7 +922,7 @@ mod tests {
         push(GraphUpdate::delete_edge(VertexId(2), VertexId(3)));
         // Add after the cancelled pair is an independent new addition.
         push(GraphUpdate::add_edge(VertexId(0), VertexId(1)));
-        let (batch, raw, _) = w.drain();
+        let (batch, raw, _, _) = w.drain();
         assert_eq!(raw, 4);
         assert_eq!(batch.len(), 2);
         assert_eq!(
@@ -936,7 +1059,7 @@ mod tests {
         assert!(epoch >= 1);
 
         let mut queries = handle.query_service();
-        let stamped = queries.predicted_label(VertexId(0)).unwrap();
+        let stamped = queries.read_label(VertexId(0)).unwrap();
         assert!(stamped.epoch >= 1);
 
         let log = handle.flush_log().expect("recording enabled");

@@ -22,6 +22,7 @@
 //! can never deadlock; producer backpressure is enforced at the
 //! [`crate::ShardRouter`] against per-shard depth counters instead.
 
+use crate::index::{IndexMaintainer, IndexReader, IndexStats, SharedIndexStats};
 use crate::metrics::ServeMetrics;
 use crate::router::ShardRouter;
 use crate::scheduler::{Coalescer, FlushLog, FlushRecord, ServeConfig, ServeError};
@@ -56,6 +57,9 @@ pub(crate) enum ShardMsg {
 struct ShardWorker {
     engine: ShardEngine,
     publisher: SnapshotPublisher,
+    /// IVF top-k index over this shard's **owned** rows (present iff
+    /// [`ServeConfig::index`]); published before the store each flush.
+    index: Option<IndexMaintainer>,
     config: ServeConfig,
     metrics: Arc<ServeMetrics>,
     window: Coalescer,
@@ -68,6 +72,10 @@ struct ShardWorker {
     /// windows still close on the time window.
     halo_oldest: Option<Instant>,
     applied_seq: u64,
+    /// Of `applied_seq`, how many were secondary route copies of
+    /// cross-shard edge updates (see the staleness dedup in
+    /// [`crate::QueryService`]).
+    applied_secondary: u64,
     flush_log: Option<FlushLog>,
     /// This shard's queue-depth counter (decremented as updates are
     /// absorbed; the router enforces backpressure against it).
@@ -87,7 +95,7 @@ impl ShardWorker {
         if self.window.raw_len() == 0 && self.pending_halos.is_empty() {
             return Ok(self.publisher.epoch());
         }
-        let (batch, raw, enqueues) = self.window.drain();
+        let (batch, raw, secondary, enqueues) = self.window.drain();
         let halos = std::mem::take(&mut self.pending_halos);
         let halo_batches = std::mem::take(&mut self.pending_halo_batches);
         self.halo_oldest = None;
@@ -110,15 +118,22 @@ impl ShardWorker {
             }
         }
         self.applied_seq += raw;
+        self.applied_secondary += secondary;
         let topology_epoch = self.engine.topology_epoch();
         let dirty: Option<&[VertexId]> = if ran_engine {
             Some(self.engine.dirty_rows())
         } else {
             Some(&[])
         };
-        let epoch = self.publisher.publish_rows(
+        // Index before store, mirroring the single-engine scheduler: index
+        // skew can only cost recall, never scores.
+        if let Some(index) = &mut self.index {
+            index.publish(self.engine.store(), dirty);
+        }
+        let epoch = self.publisher.publish_stamped(
             self.engine.store(),
             self.applied_seq,
+            self.applied_secondary,
             topology_epoch,
             dirty,
         );
@@ -277,10 +292,17 @@ pub struct ShardedServeHandle {
     depths: Vec<Arc<AtomicUsize>>,
     alive: Vec<Arc<AtomicBool>>,
     submitted: Vec<Arc<AtomicU64>>,
+    /// Per-shard secondary (duplicate-delivery) submission counters,
+    /// paired with `submitted` for deduplicated staleness stamps.
+    secondary_submitted: Vec<Arc<AtomicU64>>,
     total_submitted: Arc<AtomicU64>,
     halo_in_flight: Arc<AtomicU64>,
     metrics: Arc<ServeMetrics>,
     readers: Vec<SnapshotReader>,
+    /// Per-shard IVF index readers (present iff [`ServeConfig::index`]).
+    index_readers: Option<Vec<IndexReader>>,
+    /// Per-shard index maintenance counters (empty when indexing is off).
+    index_stats: Vec<Arc<SharedIndexStats>>,
     partitioning: Arc<Partitioning>,
     flush_logs: Vec<FlushLog>,
     halo_replicas: usize,
@@ -296,6 +318,7 @@ impl ShardedServeHandle {
             self.depths.clone(),
             self.alive.clone(),
             self.submitted.clone(),
+            self.secondary_submitted.clone(),
             Arc::clone(&self.total_submitted),
             Arc::clone(&self.partitioning),
             Arc::clone(&self.metrics),
@@ -309,7 +332,9 @@ impl ShardedServeHandle {
     pub fn query_service(&self) -> crate::QueryService {
         crate::QueryService::new_sharded(
             self.readers.clone(),
+            self.index_readers.clone(),
             self.submitted.clone(),
+            self.secondary_submitted.clone(),
             Arc::clone(&self.partitioning),
             Arc::clone(&self.metrics),
         )
@@ -318,6 +343,20 @@ impl ShardedServeHandle {
     /// The shared serving metrics (aggregated across shards).
     pub fn metrics(&self) -> Arc<ServeMetrics> {
         Arc::clone(&self.metrics)
+    }
+
+    /// Index maintenance counters summed across shards, or `None` when the
+    /// session was spawned with [`crate::ServeConfigBuilder::no_index`].
+    pub fn index_stats(&self) -> Option<IndexStats> {
+        if self.index_stats.is_empty() {
+            return None;
+        }
+        Some(
+            self.index_stats
+                .iter()
+                .map(|s| s.snapshot())
+                .fold(IndexStats::default(), IndexStats::merged),
+        )
     }
 
     /// Number of shards behind this session.
@@ -449,7 +488,10 @@ pub fn spawn_sharded(
     let mut depths = Vec::with_capacity(shards);
     let mut alive = Vec::with_capacity(shards);
     let mut submitted = Vec::with_capacity(shards);
+    let mut secondary_submitted = Vec::with_capacity(shards);
     let mut readers = Vec::with_capacity(shards);
+    let mut index_readers = config.index.map(|_| Vec::with_capacity(shards));
+    let mut index_stats = Vec::new();
     let mut flush_logs = Vec::new();
     let mut joins = Vec::with_capacity(shards);
 
@@ -465,6 +507,23 @@ pub fn spawn_sharded(
         )?;
         let (publisher, reader) = VersionedStore::bootstrap(engine.store());
         readers.push(reader);
+        // Each shard indexes only the rows it owns: the merged approximate
+        // read scores every candidate from its owner's snapshot, exactly
+        // like the merged exact scan.
+        let index = config.index.map(|params| {
+            let owned: Vec<bool> = partitioning
+                .assignment()
+                .iter()
+                .map(|owner| *owner == part)
+                .collect();
+            let (maintainer, index_reader) =
+                IndexMaintainer::bootstrap(engine.store(), Some(owned), params);
+            if let Some(list) = &mut index_readers {
+                list.push(index_reader);
+            }
+            index_stats.push(maintainer.shared_stats());
+            maintainer
+        });
         let flush_log = config.record_batches.then(FlushLog::new);
         if let Some(log) = &flush_log {
             flush_logs.push(log.clone());
@@ -474,9 +533,11 @@ pub fn spawn_sharded(
         let alive_flag = Arc::new(AtomicBool::new(true));
         alive.push(Arc::clone(&alive_flag));
         submitted.push(Arc::new(AtomicU64::new(0)));
+        secondary_submitted.push(Arc::new(AtomicU64::new(0)));
         let worker = ShardWorker {
             engine,
             publisher,
+            index,
             config,
             metrics: Arc::clone(&metrics),
             window: Coalescer::default(),
@@ -484,6 +545,7 @@ pub fn spawn_sharded(
             pending_halo_batches: 0,
             halo_oldest: None,
             applied_seq: 0,
+            applied_secondary: 0,
             flush_log,
             depth,
             halo_in_flight: Arc::clone(&halo_in_flight),
@@ -512,10 +574,13 @@ pub fn spawn_sharded(
         depths,
         alive,
         submitted,
+        secondary_submitted,
         total_submitted,
         halo_in_flight,
         metrics,
         readers,
+        index_readers,
+        index_stats,
         partitioning,
         flush_logs,
         halo_replicas,
@@ -609,11 +674,13 @@ mod tests {
 
         let mut queries = handle.query_service();
         let owner = handle.partitioning().part_of(VertexId(0));
-        let e = queries.embedding(VertexId(0)).unwrap();
+        let e = queries.read_embedding(VertexId(0)).unwrap();
         assert_eq!(e.shard, Some(owner), "point reads name the owning shard");
         assert!(e.epochs.is_none());
         assert_eq!(queries.epoch_vector().len(), 4);
-        let top = queries.top_k_by_dot(&[1.0, 0.0, 0.0, 0.0], 3).unwrap();
+        let top = queries
+            .top_k(&crate::TopKRequest::new(vec![1.0, 0.0, 0.0, 0.0], 3))
+            .unwrap();
         assert_eq!(top.shard, None);
         assert_eq!(top.epochs.as_ref().map(Vec::len), Some(4));
         assert_eq!(
@@ -631,6 +698,33 @@ mod tests {
             .map(|record| record.raw)
             .sum();
         assert_eq!(recorded, applied, "flush logs cover every routed update");
+    }
+
+    #[test]
+    fn sharded_full_probe_approx_matches_the_exact_scan() {
+        let (graph, model, store, updates) = bootstrap(29);
+        let config = ServeConfig::builder().max_batch(8).build().unwrap();
+        let handle =
+            spawn_sharded(&graph, &model, &store, RippleConfig::default(), config, 3).unwrap();
+        let client = handle.client();
+        client.submit_all(updates.into_iter().take(30));
+        handle.quiesce().unwrap();
+
+        let mut queries = handle.query_service();
+        let query = vec![0.7, -0.4, 0.2, 0.9];
+        let exact = queries
+            .top_k(&crate::TopKRequest::new(query.clone(), 5))
+            .unwrap();
+        // Probing every cluster of every shard visits every owned row, so
+        // the merged approximate read must equal the merged exact scan.
+        let approx = queries
+            .top_k(&crate::TopKRequest::new(query, 5).approx(usize::MAX))
+            .unwrap();
+        assert_eq!(exact.value, approx.value);
+        let stats = handle.index_stats().expect("indexing defaults on");
+        assert_eq!(stats.builds, 3, "one bootstrap build per shard");
+        assert_eq!(stats.rebuilds, 0, "dirty repair never rebuilds");
+        assert!(stats.repairs > 0, "every flush repairs each shard index");
     }
 
     #[test]

@@ -40,6 +40,7 @@ use std::sync::{Arc, Mutex};
 pub struct EpochSnapshot {
     epoch: u64,
     applied_seq: u64,
+    applied_secondary: u64,
     topology_epoch: u64,
     store: EmbeddingStore,
 }
@@ -55,6 +56,16 @@ impl EpochSnapshot {
     /// them.
     pub fn applied_seq(&self) -> u64 {
         self.applied_seq
+    }
+
+    /// Of [`EpochSnapshot::applied_seq`], how many were **secondary** route
+    /// copies: the second delivery of a cross-shard edge update that fanned
+    /// out to both endpoint owners. Always 0 for single-engine sessions.
+    /// Merged whole-graph reads subtract the secondary backlog so one
+    /// logical update pending at two owners counts once in their staleness
+    /// stamp.
+    pub fn applied_secondary(&self) -> u64 {
+        self.applied_secondary
     }
 
     /// The engine's topology epoch (update batches absorbed by its CSR
@@ -105,6 +116,7 @@ impl VersionedStore {
         let initial = Arc::new(EpochSnapshot {
             epoch: 0,
             applied_seq: 0,
+            applied_secondary: 0,
             topology_epoch: 0,
             store: bootstrap.clone(),
         });
@@ -173,6 +185,21 @@ impl SnapshotPublisher {
         topology_epoch: u64,
         dirty: Option<&[VertexId]>,
     ) -> u64 {
+        self.publish_stamped(store, applied_seq, 0, topology_epoch, dirty)
+    }
+
+    /// [`SnapshotPublisher::publish_rows`] with an explicit
+    /// [`EpochSnapshot::applied_secondary`] count — used by shard workers,
+    /// which receive the second copy of cross-shard edge updates and must
+    /// report how many of their applied updates were such duplicates.
+    pub fn publish_stamped(
+        &mut self,
+        store: &EmbeddingStore,
+        applied_seq: u64,
+        applied_secondary: u64,
+        topology_epoch: u64,
+        dirty: Option<&[VertexId]>,
+    ) -> u64 {
         let epoch = self.shared.epoch.load(Ordering::Relaxed) + 1;
         let snapshot = match self.retired.take().map(Arc::try_unwrap) {
             Some(Ok(mut reusable)) => {
@@ -203,6 +230,7 @@ impl SnapshotPublisher {
                 }
                 reusable.epoch = epoch;
                 reusable.applied_seq = applied_seq;
+                reusable.applied_secondary = applied_secondary;
                 reusable.topology_epoch = topology_epoch;
                 self.stats.reclaimed += 1;
                 Arc::new(reusable)
@@ -217,6 +245,7 @@ impl SnapshotPublisher {
                 Arc::new(EpochSnapshot {
                     epoch,
                     applied_seq,
+                    applied_secondary,
                     topology_epoch,
                     store: store.clone(),
                 })

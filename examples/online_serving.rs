@@ -42,7 +42,7 @@ fn main() -> Result<(), ServeError> {
     let mut queries = handle.query_service();
 
     let watched = VertexId(7);
-    let before = queries.predicted_label(watched).expect("in range");
+    let before = queries.read_label(watched)?;
     println!(
         "epoch {:>3}  vertex {watched}: label {} (staleness {})",
         before.epoch, before.value, before.staleness
@@ -58,7 +58,7 @@ fn main() -> Result<(), ServeError> {
             }
         }
         handle.flush(); // close the window so the chunk becomes visible
-        let stamped = queries.predicted_label(watched).expect("in range");
+        let stamped = queries.read_label(watched)?;
         println!(
             "epoch {:>3}  vertex {watched}: label {} (applied {} updates, staleness {})",
             stamped.epoch, stamped.value, stamped.applied_seq, stamped.staleness
@@ -66,10 +66,20 @@ fn main() -> Result<(), ServeError> {
     }
 
     // A similarity read: top-5 vertices by dot product with a probe vector.
+    // The request names the mode explicitly — an exact scan here, then the
+    // same request again through the epoch-repaired IVF index.
     let probe = vec![1.0, 0.0, 0.0, 0.0];
-    let top = queries.top_k_by_dot(&probe, 5).expect("probe width");
+    let request = TopKRequest::new(probe, 5);
+    let top = queries.top_k(&request)?;
     println!("top-5 by <h, probe> at epoch {}:", top.epoch);
     for (v, score) in &top.value {
+        println!("  {v}: {score:.4}");
+    }
+    // Approximate: probe 4 of the index's clusters. Scores are read from
+    // the same snapshot, so any vertex both modes return is scored identically.
+    let approx = queries.top_k(&request.clone().approx(4))?;
+    println!("approx top-5 (nprobe 4) at epoch {}:", approx.epoch);
+    for (v, score) in &approx.value {
         println!("  {v}: {score:.4}");
     }
 
@@ -104,7 +114,7 @@ fn main() -> Result<(), ServeError> {
     router.submit(GraphUpdate::add_edge(VertexId(3), VertexId(42)));
     sharded.quiesce();
     let mut queries = sharded.query_service();
-    let stamped = queries.predicted_label(watched).expect("in range");
+    let stamped = queries.read_label(watched)?;
     println!(
         "vertex {watched}: label {} served by shard {:?} at epoch {} \
          (tier epoch vector {:?})",

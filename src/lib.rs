@@ -68,8 +68,9 @@ pub mod prelude {
         CsrGraph, CsrSnapshot, DynamicGraph, GraphUpdate, GraphView, UpdateBatch, VertexId,
     };
     pub use ripple_serve::{
-        spawn as spawn_serve, spawn_sharded, BackpressurePolicy, FlushLog, QueryService,
-        ServeClient, ServeConfig, ServeFrontend, ServeHandle, ServeMetrics, ShardRouter,
-        ShardedServeHandle, Stamped, Submission, UpdateClient,
+        spawn as spawn_serve, spawn_sharded, BackpressurePolicy, FlushLog, IndexParams, IndexStats,
+        QueryService, ReadMode, ServeClient, ServeConfig, ServeError, ServeFrontend, ServeHandle,
+        ServeMetrics, ShardRouter, ShardedServeHandle, Stamped, Submission, TopKRequest,
+        UpdateClient,
     };
 }

@@ -101,7 +101,7 @@ fn linearizable_epoch_scenario(reader_threads: usize, seed: u64) {
                 while !stop.load(Ordering::Relaxed) {
                     let vertex = VertexId(v);
                     v = (v + 13) % num_vertices;
-                    let stamped = queries.embedding(vertex).expect("vertex in range");
+                    let stamped = queries.read_embedding(vertex).expect("vertex in range");
                     if observations.len() < 50_000 {
                         observations.push(Observation {
                             epoch: stamped.epoch,
@@ -303,7 +303,7 @@ fn sharded_linearizable_epoch_scenario(shards: usize, reader_threads: usize, see
                 while !stop.load(Ordering::Relaxed) {
                     let vertex = VertexId(v);
                     v = (v + 13) % num_vertices;
-                    let stamped = queries.embedding(vertex).expect("vertex in range");
+                    let stamped = queries.read_embedding(vertex).expect("vertex in range");
                     if observations.len() < 50_000 {
                         observations.push(ShardObservation {
                             shard: stamped.shard.expect("sharded point reads carry a shard"),
