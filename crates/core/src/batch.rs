@@ -48,6 +48,28 @@ pub trait StreamingEngine {
     fn dirty_rows(&self) -> Option<&[ripple_graph::VertexId]> {
         None
     }
+
+    /// Replaces the engine's graph and embedding store with externally
+    /// restored state (a durability checkpoint) and resumes the topology
+    /// epoch at `topology_epoch`. Per-batch scratch state is reset; the
+    /// model and configuration are the ones the engine was built with.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the restored parts do not fit the engine's
+    /// model, or (the default) if the engine does not support restoration.
+    fn restore_state(
+        &mut self,
+        graph: DynamicGraph,
+        store: EmbeddingStore,
+        topology_epoch: u64,
+    ) -> Result<()> {
+        let _ = (graph, store, topology_epoch);
+        Err(RippleError::Mismatch(format!(
+            "the {} engine does not support checkpoint restore",
+            self.strategy_name()
+        )))
+    }
 }
 
 impl<T: StreamingEngine + ?Sized> StreamingEngine for Box<T> {
@@ -73,6 +95,15 @@ impl<T: StreamingEngine + ?Sized> StreamingEngine for Box<T> {
 
     fn dirty_rows(&self) -> Option<&[ripple_graph::VertexId]> {
         (**self).dirty_rows()
+    }
+
+    fn restore_state(
+        &mut self,
+        graph: DynamicGraph,
+        store: EmbeddingStore,
+        topology_epoch: u64,
+    ) -> Result<()> {
+        (**self).restore_state(graph, store, topology_epoch)
     }
 }
 
@@ -100,6 +131,15 @@ impl StreamingEngine for RippleEngine {
     fn dirty_rows(&self) -> Option<&[ripple_graph::VertexId]> {
         Some(RippleEngine::dirty_rows(self))
     }
+
+    fn restore_state(
+        &mut self,
+        graph: DynamicGraph,
+        store: EmbeddingStore,
+        topology_epoch: u64,
+    ) -> Result<()> {
+        RippleEngine::restore_state(self, graph, store, topology_epoch)
+    }
 }
 
 impl StreamingEngine for ParallelRippleEngine {
@@ -125,6 +165,15 @@ impl StreamingEngine for ParallelRippleEngine {
 
     fn dirty_rows(&self) -> Option<&[ripple_graph::VertexId]> {
         Some(ParallelRippleEngine::dirty_rows(self))
+    }
+
+    fn restore_state(
+        &mut self,
+        graph: DynamicGraph,
+        store: EmbeddingStore,
+        topology_epoch: u64,
+    ) -> Result<()> {
+        ParallelRippleEngine::restore_state(self, graph, store, topology_epoch)
     }
 }
 

@@ -419,6 +419,31 @@ impl RippleEngine {
         })
     }
 
+    /// Replaces the engine's graph and store with restored checkpoint state
+    /// and resumes the topology epoch at `topology_epoch`. The rebuilt CSR
+    /// snapshot reads bit-identically to one that reached the same graph
+    /// incrementally, and the scratch/mailbox/dirty state is per-batch, so
+    /// an engine restored here continues exactly as the checkpointed one
+    /// would have.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RippleError::Mismatch`] if the restored parts do not fit
+    /// the engine's model.
+    pub fn restore_state(
+        &mut self,
+        graph: DynamicGraph,
+        store: EmbeddingStore,
+        topology_epoch: u64,
+    ) -> Result<()> {
+        validate_parts(&graph, &self.model, &store)?;
+        self.topo = CsrSnapshot::from_dynamic_at(&graph, topology_epoch);
+        self.graph = graph;
+        self.store = store;
+        self.dirty.clear();
+        Ok(())
+    }
+
     /// The current graph (reflecting every processed batch).
     pub fn graph(&self) -> &DynamicGraph {
         &self.graph

@@ -190,6 +190,30 @@ impl ParallelRippleEngine {
         })
     }
 
+    /// Replaces the engine's graph and store with restored checkpoint state
+    /// and resumes the topology epoch at `topology_epoch` — see
+    /// [`crate::RippleEngine::restore_state`]. Bit-parity with the serial
+    /// engine is unaffected: the restored state is identical, and the
+    /// worker pool holds no cross-batch state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::RippleError::Mismatch`] if the restored parts do
+    /// not fit the engine's model.
+    pub fn restore_state(
+        &mut self,
+        graph: DynamicGraph,
+        store: EmbeddingStore,
+        topology_epoch: u64,
+    ) -> Result<()> {
+        validate_parts(&graph, &self.model, &store)?;
+        self.topo = CsrSnapshot::from_dynamic_at(&graph, topology_epoch);
+        self.graph = graph;
+        self.store = store;
+        self.dirty.clear();
+        Ok(())
+    }
+
     /// Number of worker threads used per hop.
     pub fn threads(&self) -> usize {
         self.pool.threads()

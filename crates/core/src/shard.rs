@@ -195,6 +195,33 @@ impl ShardEngine {
         })
     }
 
+    /// Replaces the shard's halo-restricted graph and store with restored
+    /// checkpoint state and resumes the topology epoch at `topology_epoch`.
+    /// The graph must already be the *shard-local* one (full vertex space,
+    /// incident edges only) — checkpoints store it verbatim because edge
+    /// replay cannot reproduce `swap_remove` adjacency order. Pending
+    /// outgoing halos are discarded: each window's outbox is drained at the
+    /// window boundary, and recovery replays whole windows only.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RippleError::Mismatch`] if the restored parts do not fit
+    /// the shard's model.
+    pub fn restore_state(
+        &mut self,
+        graph: DynamicGraph,
+        store: EmbeddingStore,
+        topology_epoch: u64,
+    ) -> Result<()> {
+        validate_parts(&graph, &self.model, &store)?;
+        self.topo = CsrSnapshot::from_dynamic_at(&graph, topology_epoch);
+        self.graph = graph;
+        self.store = store;
+        self.dirty.clear();
+        self.outbox = HaloStubs::new(self.partitioning.num_parts());
+        Ok(())
+    }
+
     /// The partition this shard owns.
     pub fn part(&self) -> PartitionId {
         self.part

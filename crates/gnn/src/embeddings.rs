@@ -45,6 +45,51 @@ impl EmbeddingStore {
         }
     }
 
+    /// Reassembles a store from its layer tables — the checkpoint-restore
+    /// constructor. `embeddings` holds `H^0..H^L`, `aggregates` holds
+    /// `X^1..X^L`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::StoreMismatch`] if the table counts disagree
+    /// (`L + 1` embeddings vs `L` aggregates), the row counts are not all
+    /// equal, or an aggregate's width differs from the embedding layer that
+    /// feeds it.
+    pub fn from_parts(embeddings: Vec<Matrix>, aggregates: Vec<Matrix>) -> Result<Self> {
+        if embeddings.len() != aggregates.len() + 1 {
+            return Err(GnnError::StoreMismatch(format!(
+                "{} embedding tables need {} aggregate tables, found {}",
+                embeddings.len(),
+                embeddings.len().saturating_sub(1),
+                aggregates.len()
+            )));
+        }
+        let rows = embeddings[0].rows();
+        for (l, m) in embeddings.iter().chain(aggregates.iter()).enumerate() {
+            if m.rows() != rows {
+                return Err(GnnError::StoreMismatch(format!(
+                    "table {l} covers {} vertices, expected {rows}",
+                    m.rows()
+                )));
+            }
+        }
+        for (l, agg) in aggregates.iter().enumerate() {
+            // X^{l+1} aggregates hop-l embeddings, so widths must match.
+            if agg.cols() != embeddings[l].cols() {
+                return Err(GnnError::StoreMismatch(format!(
+                    "aggregate {} is {} wide but layer {l} embeddings are {} wide",
+                    l + 1,
+                    agg.cols(),
+                    embeddings[l].cols()
+                )));
+            }
+        }
+        Ok(EmbeddingStore {
+            embeddings,
+            aggregates,
+        })
+    }
+
     /// Number of GNN layers covered by the store.
     pub fn num_layers(&self) -> usize {
         self.aggregates.len()

@@ -106,6 +106,105 @@ impl DynamicGraph {
         Ok(g)
     }
 
+    /// Reassembles a graph from exact per-vertex adjacency lists — the
+    /// checkpoint-restore constructor.
+    ///
+    /// Replaying `add_edge`/`remove_edge` cannot reproduce an arbitrary
+    /// graph state: `remove_edge` uses `swap_remove`, so the *order* of a
+    /// vertex's adjacency lists depends on the whole mutation history, and
+    /// that order determines float accumulation order downstream. Restoring
+    /// bit-identical state therefore requires both adjacency orders
+    /// verbatim, which is what this constructor accepts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidSpec`] if list lengths disagree,
+    /// [`GraphError::UnknownVertex`] if a neighbour id is out of range,
+    /// [`GraphError::DuplicateEdge`] if an out-list repeats a sink, or
+    /// [`GraphError::MissingEdge`] if the in- and out-lists do not describe
+    /// the same edge set (including weights, compared bit-for-bit).
+    pub fn from_adjacency(
+        out: Vec<Vec<VertexId>>,
+        out_weights: Vec<Vec<f32>>,
+        inn: Vec<Vec<VertexId>>,
+        in_weights: Vec<Vec<f32>>,
+        features: Matrix,
+    ) -> Result<Self> {
+        let n = out.len();
+        if out_weights.len() != n || inn.len() != n || in_weights.len() != n {
+            return Err(GraphError::InvalidSpec(format!(
+                "adjacency table lengths disagree: out {n}, out_weights {}, in {}, in_weights {}",
+                out_weights.len(),
+                inn.len(),
+                in_weights.len()
+            )));
+        }
+        if features.rows() != n {
+            return Err(GraphError::FeatureWidthMismatch {
+                expected: n,
+                found: features.rows(),
+            });
+        }
+        let check_lists = |ids: &[Vec<VertexId>], ws: &[Vec<f32>]| -> Result<usize> {
+            let mut edges = 0;
+            for (u, (vs, weights)) in ids.iter().zip(ws).enumerate() {
+                if vs.len() != weights.len() {
+                    return Err(GraphError::InvalidSpec(format!(
+                        "vertex {u}: {} neighbours but {} weights",
+                        vs.len(),
+                        weights.len()
+                    )));
+                }
+                for (i, &v) in vs.iter().enumerate() {
+                    if v.index() >= n {
+                        return Err(GraphError::UnknownVertex {
+                            vertex: v,
+                            num_vertices: n,
+                        });
+                    }
+                    if vs[..i].contains(&v) {
+                        return Err(GraphError::DuplicateEdge {
+                            src: VertexId(u as u32),
+                            dst: v,
+                        });
+                    }
+                }
+                edges += vs.len();
+            }
+            Ok(edges)
+        };
+        let num_edges = check_lists(&out, &out_weights)?;
+        let in_edges = check_lists(&inn, &in_weights)?;
+        if in_edges != num_edges {
+            return Err(GraphError::InvalidSpec(format!(
+                "out lists hold {num_edges} edges but in lists hold {in_edges}"
+            )));
+        }
+        // Cross-check: every out-edge u -> v must appear in v's in-list with
+        // a bit-identical weight (and the counts already match, so the edge
+        // sets are equal).
+        for (u, (vs, weights)) in out.iter().zip(&out_weights).enumerate() {
+            for (&v, &w) in vs.iter().zip(weights) {
+                let src = VertexId(u as u32);
+                let matched = inn[v.index()]
+                    .iter()
+                    .zip(&in_weights[v.index()])
+                    .any(|(&s, &iw)| s == src && iw.to_bits() == w.to_bits());
+                if !matched {
+                    return Err(GraphError::MissingEdge { src, dst: v });
+                }
+            }
+        }
+        Ok(DynamicGraph {
+            out,
+            out_weights,
+            inn,
+            in_weights,
+            features,
+            num_edges,
+        })
+    }
+
     /// Number of vertices.
     pub fn num_vertices(&self) -> usize {
         self.out.len()
@@ -499,5 +598,82 @@ mod tests {
     fn memory_bytes_nonzero_after_edges() {
         let g = triangle();
         assert!(g.memory_bytes() > 0);
+    }
+
+    /// Drives a graph through adds and swap_remove deletions, then rebuilds
+    /// it from its own adjacency lists: the restored graph must be equal
+    /// field-for-field (PartialEq covers list *order*, which edge-replay
+    /// could not reproduce).
+    #[test]
+    fn from_adjacency_round_trips_swap_removed_order() {
+        let mut g = DynamicGraph::new(4, 2);
+        for (u, v) in [(0, 1), (0, 2), (0, 3), (2, 1), (3, 1), (1, 0)] {
+            g.add_edge(VertexId(u), VertexId(v), (u + v) as f32 * 0.5)
+                .unwrap();
+        }
+        g.remove_edge(VertexId(0), VertexId(1)).unwrap(); // swap_remove reorders 0's out-list
+        g.remove_edge(VertexId(2), VertexId(1)).unwrap(); // ... and 1's in-list
+        g.set_feature(VertexId(2), &[7.0, -1.5]).unwrap();
+        let rebuilt = DynamicGraph::from_adjacency(
+            (0..4)
+                .map(|u| g.out_neighbors(VertexId(u)).to_vec())
+                .collect(),
+            (0..4)
+                .map(|u| g.out_weights(VertexId(u)).to_vec())
+                .collect(),
+            (0..4)
+                .map(|v| g.in_neighbors(VertexId(v)).to_vec())
+                .collect(),
+            (0..4).map(|v| g.in_weights(VertexId(v)).to_vec()).collect(),
+            g.features().clone(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, g);
+        assert_eq!(rebuilt.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn from_adjacency_rejects_inconsistent_lists() {
+        let features = Matrix::zeros(2, 1);
+        // In-list missing the edge recorded in the out-list.
+        let err = DynamicGraph::from_adjacency(
+            vec![vec![VertexId(1)], vec![]],
+            vec![vec![1.0], vec![]],
+            vec![vec![], vec![]],
+            vec![vec![], vec![]],
+            features.clone(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, GraphError::InvalidSpec(_)));
+        // Same edge count, but the in-list claims a different weight.
+        let err = DynamicGraph::from_adjacency(
+            vec![vec![VertexId(1)], vec![]],
+            vec![vec![1.0], vec![]],
+            vec![vec![], vec![VertexId(0)]],
+            vec![vec![], vec![2.0]],
+            features.clone(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, GraphError::MissingEdge { .. }));
+        // Duplicate sink in an out-list.
+        let err = DynamicGraph::from_adjacency(
+            vec![vec![VertexId(1), VertexId(1)], vec![]],
+            vec![vec![1.0, 1.0], vec![]],
+            vec![vec![], vec![VertexId(0), VertexId(0)]],
+            vec![vec![], vec![1.0, 1.0]],
+            features.clone(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, GraphError::DuplicateEdge { .. }));
+        // Out-of-range neighbour id.
+        let err = DynamicGraph::from_adjacency(
+            vec![vec![VertexId(7)], vec![]],
+            vec![vec![1.0], vec![]],
+            vec![vec![], vec![]],
+            vec![vec![], vec![]],
+            features,
+        )
+        .unwrap_err();
+        assert!(matches!(err, GraphError::UnknownVertex { .. }));
     }
 }

@@ -156,6 +156,18 @@ impl CsrSnapshot {
         CsrSnapshot::with_policy(g, CompactionPolicy::default())
     }
 
+    /// Builds a snapshot of a dynamic graph at a given topology epoch — the
+    /// checkpoint-restore constructor. The freshly compacted snapshot reads
+    /// bit-identically to one that *reached* `epoch` incrementally (the
+    /// bit-parity contract pins reads, not internal overlay state), so
+    /// recovery can rebuild the topology from a restored [`DynamicGraph`]
+    /// and resume the epoch sequence where the crashed process left off.
+    pub fn from_dynamic_at(g: &DynamicGraph, epoch: u64) -> Self {
+        let mut snap = CsrSnapshot::from_dynamic(g);
+        snap.epoch = epoch;
+        snap
+    }
+
     /// Builds a snapshot with an explicit compaction policy.
     pub fn with_policy(g: &DynamicGraph, policy: CompactionPolicy) -> Self {
         let base = CsrGraph::from_dynamic(g);

@@ -1,0 +1,1142 @@
+//! Durability for the serving tier: a write-ahead log of accepted update
+//! windows, epoch-consistent checkpoints, and bit-identical crash recovery.
+//!
+//! The unit of durability is the coalesced flush window — exactly what the
+//! scheduler already records as a `FlushRecord`. Every window the scheduler
+//! accepts is appended to the WAL *before* the engine applies it, stamped
+//! with the post-flush counters (`window_seq`, epoch, applied sequence,
+//! topology epoch). Because the engines are deterministic functions of
+//! (starting state, window sequence), replaying the logged windows from the
+//! latest checkpoint reconstructs the exact pre-crash state: same embedding
+//! bits, same adjacency order, same topology epoch. The repo's determinism
+//! contracts (`serve_consistency`, `parallel_determinism`) are what make
+//! that a testable property rather than a marketing claim.
+//!
+//! On-disk layout (one directory per engine; the sharded tier uses one
+//! subdirectory per shard, `shard-{p}/`):
+//!
+//! ```text
+//! wal-{seq:020}.log   length-prefixed, CRC-checksummed frames; the name is
+//!                     the window_seq of the segment's first frame; segments
+//!                     rotate at `segment_bytes`
+//! ckpt-{seq:020}.bin  full graph + embedding store at window_seq == seq,
+//!                     written to a temp file and atomically renamed
+//! ```
+//!
+//! A frame is `[len: u32][crc32(payload): u32][payload]`. A torn or
+//! truncated tail (short header, short payload, or checksum mismatch) marks
+//! the end of the durable prefix: everything before it is replayed,
+//! everything from it on is dropped, and the writer truncates the torn
+//! bytes before appending again. Checkpoints validate the same way; a
+//! corrupt newest checkpoint falls back to the previous one (the WAL is
+//! only pruned up to the *retained* checkpoint horizon).
+//!
+//! Crash injection for the chaos harness goes through [`FailPoints`]: the
+//! WAL append, checkpoint and post-publish paths consult a shared registry
+//! so kills land *between* and *inside* the critical sections (including a
+//! deliberately torn half-written frame).
+
+use crate::scheduler::ServeError;
+use ripple_core::DeltaMessage;
+use ripple_gnn::EmbeddingStore;
+use ripple_graph::{DynamicGraph, GraphUpdate, UpdateBatch, VertexId};
+use ripple_tensor::Matrix;
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Fail point consulted immediately before a WAL append writes any bytes:
+/// the window is lost entirely (never became durable).
+pub const FP_WAL_BEFORE_APPEND: &str = "wal.append.before";
+/// Fail point that tears the frame mid-write: the header and roughly half
+/// the payload reach the file, then the append fails. Recovery must detect
+/// the torn frame by checksum and drop it.
+pub const FP_WAL_TORN_APPEND: &str = "wal.append.torn";
+/// Fail point consulted after the frame is durable but before the engine
+/// applies the window: recovery must replay a window the crashed process
+/// never published.
+pub const FP_WAL_AFTER_APPEND: &str = "wal.append.after";
+/// Fail point consulted after the epoch is published but before a due
+/// checkpoint is taken (kills between the publish and checkpoint sections).
+pub const FP_AFTER_PUBLISH: &str = "publish.after";
+/// Fail point that abandons a checkpoint half-written: the temp file is
+/// left behind and never renamed, so recovery must ignore it.
+pub const FP_CKPT_MID: &str = "checkpoint.mid";
+
+/// When the WAL writer calls `fsync` (well, `fdatasync`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// Sync after every appended frame: a window acknowledged to the log is
+    /// durable against power loss, at the cost of one sync per flush.
+    #[default]
+    Always,
+    /// Never sync explicitly; durability is limited to what the OS page
+    /// cache has written back. Survives process kills (the chaos harness's
+    /// threat model) but not power loss.
+    Never,
+}
+
+/// Shared, armable crash-injection registry. Cloning shares the registry;
+/// the chaos harness holds one side and the serving session's WAL,
+/// checkpoint and publish paths consult the other.
+///
+/// A site armed with `after_hits = n` lets `n` calls pass and fires on call
+/// `n + 1`; firing disarms the site, so a recovered session does not
+/// immediately die at the same point.
+#[derive(Debug, Clone, Default)]
+pub struct FailPoints {
+    inner: Arc<Mutex<HashMap<&'static str, u64>>>,
+}
+
+impl FailPoints {
+    /// Creates an empty (never-firing) registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms `site` to fire after letting `after_hits` consultations pass.
+    pub fn arm(&self, site: &'static str, after_hits: u64) {
+        self.lock().insert(site, after_hits);
+    }
+
+    /// Disarms every site.
+    pub fn disarm_all(&self) {
+        self.lock().clear();
+    }
+
+    /// Whether any site is currently armed.
+    pub fn armed(&self) -> bool {
+        !self.lock().is_empty()
+    }
+
+    /// Consults `site`: returns `true` exactly when the armed hit count is
+    /// exhausted (and disarms it). Unarmed sites always return `false`.
+    pub fn fire(&self, site: &'static str) -> bool {
+        let mut map = self.lock();
+        match map.get_mut(site) {
+            Some(0) => {
+                map.remove(site);
+                true
+            }
+            Some(hits) => {
+                *hits -= 1;
+                false
+            }
+            None => false,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<&'static str, u64>> {
+        // A panic while holding this lock cannot leave the map
+        // inconsistent (single-key updates), so poisoning is ignorable.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Durability configuration carried inside `ServeConfig`. Equality ignores
+/// the fail-point registry (it is test-only plumbing, not configuration).
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Directory holding WAL segments and checkpoints. The sharded tier
+    /// appends `shard-{p}/` per shard.
+    pub dir: PathBuf,
+    /// Take a checkpoint every this many logged windows (each logged window
+    /// publishes exactly one epoch). `0` disables checkpoints: recovery
+    /// then replays the WAL from the bootstrap state.
+    pub checkpoint_every: u64,
+    /// Fsync policy for WAL appends and checkpoint files.
+    pub fsync: FsyncPolicy,
+    /// Rotate to a fresh WAL segment once the current one reaches this many
+    /// bytes.
+    pub segment_bytes: u64,
+    /// Crash-injection hooks (no-ops unless armed).
+    pub fail_points: FailPoints,
+}
+
+impl DurabilityConfig {
+    /// Durability rooted at `dir` with defaults: checkpoint every 64
+    /// windows, fsync on every flush, 8 MiB segments.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            dir: dir.into(),
+            checkpoint_every: 64,
+            fsync: FsyncPolicy::default(),
+            segment_bytes: 8 << 20,
+            fail_points: FailPoints::new(),
+        }
+    }
+
+    /// Sets the checkpoint cadence (in logged windows; `0` = never).
+    pub fn checkpoint_every(mut self, every: u64) -> Self {
+        self.checkpoint_every = every;
+        self
+    }
+
+    /// Sets the fsync policy.
+    pub fn fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.fsync = policy;
+        self
+    }
+
+    /// Sets the WAL segment rotation threshold in bytes.
+    pub fn segment_bytes(mut self, bytes: u64) -> Self {
+        self.segment_bytes = bytes.max(1);
+        self
+    }
+
+    /// Installs a shared crash-injection registry.
+    pub fn fail_points(mut self, points: FailPoints) -> Self {
+        self.fail_points = points;
+        self
+    }
+
+    /// The per-shard durability directory used by the sharded tier.
+    pub fn shard_dir(&self, shard: usize) -> PathBuf {
+        self.dir.join(format!("shard-{shard}"))
+    }
+
+    /// This configuration re-rooted at shard `shard`'s subdirectory.
+    pub fn for_shard(&self, shard: usize) -> Self {
+        let mut config = self.clone();
+        config.dir = self.shard_dir(shard);
+        config
+    }
+
+    /// Builds a configuration from the `RIPPLE_SERVE_WAL_DIR`,
+    /// `RIPPLE_SERVE_CKPT_EVERY` and `RIPPLE_SERVE_FSYNC`
+    /// (`always`/`never`) environment knobs. Returns `None` when no WAL
+    /// directory is set.
+    pub fn from_env() -> Option<Self> {
+        let dir = std::env::var("RIPPLE_SERVE_WAL_DIR").ok()?;
+        let mut config = DurabilityConfig::new(dir);
+        if let Some(every) = std::env::var("RIPPLE_SERVE_CKPT_EVERY")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+        {
+            config.checkpoint_every = every;
+        }
+        match std::env::var("RIPPLE_SERVE_FSYNC").as_deref() {
+            Ok("never") => config.fsync = FsyncPolicy::Never,
+            Ok("always") => config.fsync = FsyncPolicy::Always,
+            _ => {}
+        }
+        Some(config)
+    }
+}
+
+impl PartialEq for DurabilityConfig {
+    fn eq(&self, other: &Self) -> bool {
+        self.dir == other.dir
+            && self.checkpoint_every == other.checkpoint_every
+            && self.fsync == other.fsync
+            && self.segment_bytes == other.segment_bytes
+    }
+}
+
+/// One durable flush window: the post-flush counters plus the coalesced
+/// batch (and, on the sharded tier, the halo deltas consumed with it).
+///
+/// The counters are the values the session holds *after* applying this
+/// window — recovery resumes them from the last replayed frame. A frame
+/// with an empty batch is a fully-cancelled window: it still advances
+/// `window_seq` and publishes an epoch, which is exactly the ambiguity
+/// `window_seq` exists to resolve (an absent sequence number is a skipped
+/// flush; an empty batch is a logged one).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalFrame {
+    /// Monotone index of this logged window (1-based).
+    pub window_seq: u64,
+    /// Epoch published for this window.
+    pub epoch: u64,
+    /// Raw updates accepted through the end of this window.
+    pub applied_seq: u64,
+    /// Secondary (replicated halo-owner) updates through this window.
+    pub applied_secondary: u64,
+    /// Topology epoch after this window.
+    pub topology_epoch: u64,
+    /// Raw updates coalesced into this window.
+    pub raw: u64,
+    /// The coalesced updates, in application order.
+    pub batch: UpdateBatch,
+    /// Halo deltas applied with this window (sharded tier only).
+    pub halos: Vec<DeltaMessage>,
+}
+
+const FRAME_HEADER_BYTES: usize = 8;
+const CKPT_MAGIC: &[u8; 8] = b"RPLCKPT1";
+
+/// CRC-32 (IEEE 802.3, reflected) — hand-rolled because the offline shim
+/// set has no checksum crate. Bitwise, no table: WAL frames are small and
+/// checkpoint writes are rare.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f32(buf: &mut Vec<u8>, v: f32) {
+    put_u32(buf, v.to_bits());
+}
+
+/// Bounds-checked little-endian reader over a byte slice. Every decode
+/// failure is reported as `None` and treated as corruption by callers.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn f32(&mut self) -> Option<f32> {
+        self.u32().map(f32::from_bits)
+    }
+
+    fn f32_vec(&mut self, len: usize) -> Option<Vec<f32>> {
+        // Guard against corrupt lengths before allocating.
+        if len > self.buf.len().saturating_sub(self.pos) / 4 {
+            return None;
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.f32()?);
+        }
+        Some(out)
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn put_update(buf: &mut Vec<u8>, update: &GraphUpdate) {
+    match update {
+        GraphUpdate::AddEdge { src, dst, weight } => {
+            buf.push(0);
+            put_u32(buf, src.0);
+            put_u32(buf, dst.0);
+            put_f32(buf, *weight);
+        }
+        GraphUpdate::DeleteEdge { src, dst } => {
+            buf.push(1);
+            put_u32(buf, src.0);
+            put_u32(buf, dst.0);
+        }
+        GraphUpdate::UpdateFeature { vertex, features } => {
+            buf.push(2);
+            put_u32(buf, vertex.0);
+            put_u32(buf, features.len() as u32);
+            for &x in features {
+                put_f32(buf, x);
+            }
+        }
+    }
+}
+
+fn read_update(cur: &mut Cursor<'_>) -> Option<GraphUpdate> {
+    match cur.u8()? {
+        0 => {
+            let src = VertexId(cur.u32()?);
+            let dst = VertexId(cur.u32()?);
+            let weight = cur.f32()?;
+            Some(GraphUpdate::AddEdge { src, dst, weight })
+        }
+        1 => {
+            let src = VertexId(cur.u32()?);
+            let dst = VertexId(cur.u32()?);
+            Some(GraphUpdate::DeleteEdge { src, dst })
+        }
+        2 => {
+            let vertex = VertexId(cur.u32()?);
+            let len = cur.u32()? as usize;
+            let features = cur.f32_vec(len)?;
+            Some(GraphUpdate::UpdateFeature { vertex, features })
+        }
+        _ => None,
+    }
+}
+
+fn put_matrix(buf: &mut Vec<u8>, m: &Matrix) {
+    put_u32(buf, m.rows() as u32);
+    put_u32(buf, m.cols() as u32);
+    for &x in m.as_slice() {
+        put_f32(buf, x);
+    }
+}
+
+fn read_matrix(cur: &mut Cursor<'_>) -> Option<Matrix> {
+    let rows = cur.u32()? as usize;
+    let cols = cur.u32()? as usize;
+    let data = cur.f32_vec(rows.checked_mul(cols)?)?;
+    Matrix::from_flat(rows, cols, data).ok()
+}
+
+/// Encodes a frame's payload (everything the checksum covers).
+fn encode_payload(frame: &WalFrame) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64 + frame.batch.len() * 16);
+    put_u64(&mut buf, frame.window_seq);
+    put_u64(&mut buf, frame.epoch);
+    put_u64(&mut buf, frame.applied_seq);
+    put_u64(&mut buf, frame.applied_secondary);
+    put_u64(&mut buf, frame.topology_epoch);
+    put_u64(&mut buf, frame.raw);
+    put_u32(&mut buf, frame.batch.len() as u32);
+    for update in frame.batch.iter() {
+        put_update(&mut buf, update);
+    }
+    put_u32(&mut buf, frame.halos.len() as u32);
+    for halo in &frame.halos {
+        put_u32(&mut buf, halo.target.0);
+        put_u32(&mut buf, halo.hop as u32);
+        put_u32(&mut buf, halo.delta.len() as u32);
+        for &x in &halo.delta {
+            put_f32(&mut buf, x);
+        }
+    }
+    buf
+}
+
+fn decode_payload(payload: &[u8]) -> Option<WalFrame> {
+    let mut cur = Cursor::new(payload);
+    let window_seq = cur.u64()?;
+    let epoch = cur.u64()?;
+    let applied_seq = cur.u64()?;
+    let applied_secondary = cur.u64()?;
+    let topology_epoch = cur.u64()?;
+    let raw = cur.u64()?;
+    let n_updates = cur.u32()? as usize;
+    let mut updates = Vec::with_capacity(n_updates.min(payload.len()));
+    for _ in 0..n_updates {
+        updates.push(read_update(&mut cur)?);
+    }
+    let n_halos = cur.u32()? as usize;
+    let mut halos = Vec::with_capacity(n_halos.min(payload.len()));
+    for _ in 0..n_halos {
+        let target = VertexId(cur.u32()?);
+        let hop = cur.u32()? as usize;
+        let len = cur.u32()? as usize;
+        halos.push(DeltaMessage::new(target, hop, cur.f32_vec(len)?));
+    }
+    if !cur.done() {
+        return None;
+    }
+    Some(WalFrame {
+        window_seq,
+        epoch,
+        applied_seq,
+        applied_secondary,
+        topology_epoch,
+        raw,
+        batch: UpdateBatch::from_updates(updates),
+        halos,
+    })
+}
+
+/// Encodes a frame exactly as it appears on disk: `[len][crc][payload]`.
+/// Exposed so the torn-write tests can compute frame boundaries.
+pub fn encode_frame(frame: &WalFrame) -> Vec<u8> {
+    let payload = encode_payload(frame);
+    let mut buf = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    put_u32(&mut buf, payload.len() as u32);
+    put_u32(&mut buf, crc32(&payload));
+    buf.extend_from_slice(&payload);
+    buf
+}
+
+fn wal_err(context: &str, e: std::io::Error) -> ServeError {
+    ServeError::Wal(format!("{context}: {e}"))
+}
+
+fn segment_path(dir: &Path, start_seq: u64) -> PathBuf {
+    dir.join(format!("wal-{start_seq:020}.log"))
+}
+
+fn checkpoint_path(dir: &Path, window_seq: u64) -> PathBuf {
+    dir.join(format!("ckpt-{window_seq:020}.bin"))
+}
+
+/// Lists files in `dir` matching `prefix`/`suffix`, sorted ascending by
+/// name (which sorts by sequence number thanks to the zero padding).
+fn list_sorted(dir: &Path, prefix: &str, suffix: &str) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = match fs::read_dir(dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .map(|n| n.starts_with(prefix) && n.ends_with(suffix))
+                    .unwrap_or(false)
+            })
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    out.sort();
+    out
+}
+
+/// Appends length-prefixed, checksummed frames to rotating segments.
+#[derive(Debug)]
+pub struct WalWriter {
+    dir: PathBuf,
+    file: File,
+    written: u64,
+    segment_bytes: u64,
+    fsync: FsyncPolicy,
+    fail: FailPoints,
+    segments_created: u64,
+}
+
+impl WalWriter {
+    /// Opens the WAL in `dir` for appending, with `next_seq` the sequence
+    /// the next logged window will carry. If the newest existing segment
+    /// ends in a torn frame, the torn bytes are truncated away so the next
+    /// append starts on a clean frame boundary.
+    pub fn open(
+        dir: &Path,
+        next_seq: u64,
+        segment_bytes: u64,
+        fsync: FsyncPolicy,
+        fail: FailPoints,
+    ) -> crate::Result<Self> {
+        fs::create_dir_all(dir).map_err(|e| wal_err("creating WAL directory", e))?;
+        let segments = list_sorted(dir, "wal-", ".log");
+        let (file, written) = match segments.last() {
+            Some(path) => {
+                let bytes = fs::read(path).map_err(|e| wal_err("reading WAL segment", e))?;
+                let valid = valid_prefix_len(&bytes);
+                let file = OpenOptions::new()
+                    .write(true)
+                    .open(path)
+                    .map_err(|e| wal_err("opening WAL segment", e))?;
+                file.set_len(valid as u64)
+                    .map_err(|e| wal_err("truncating torn WAL tail", e))?;
+                let mut file = file;
+                use std::io::Seek;
+                file.seek(std::io::SeekFrom::End(0))
+                    .map_err(|e| wal_err("seeking WAL segment", e))?;
+                (file, valid as u64)
+            }
+            None => {
+                let file = File::create(segment_path(dir, next_seq))
+                    .map_err(|e| wal_err("creating WAL segment", e))?;
+                (file, 0)
+            }
+        };
+        Ok(WalWriter {
+            dir: dir.to_path_buf(),
+            file,
+            written,
+            segment_bytes: segment_bytes.max(1),
+            fsync,
+            fail,
+            segments_created: 0,
+        })
+    }
+
+    /// Appends one frame, honouring the fsync policy and any armed fail
+    /// points. An error here must poison the session: the frame may or may
+    /// not be durable, and only recovery can tell.
+    pub fn append(&mut self, frame: &WalFrame) -> crate::Result<()> {
+        if self.fail.fire(FP_WAL_BEFORE_APPEND) {
+            return Err(ServeError::Wal(format!(
+                "fail point {FP_WAL_BEFORE_APPEND} fired before window {}",
+                frame.window_seq
+            )));
+        }
+        if self.written >= self.segment_bytes {
+            self.file = File::create(segment_path(&self.dir, frame.window_seq))
+                .map_err(|e| wal_err("rotating WAL segment", e))?;
+            self.written = 0;
+            self.segments_created += 1;
+        }
+        let bytes = encode_frame(frame);
+        if self.fail.fire(FP_WAL_TORN_APPEND) {
+            // Simulate a crash mid-write: half the frame reaches the disk.
+            let torn = &bytes[..FRAME_HEADER_BYTES + (bytes.len() - FRAME_HEADER_BYTES) / 2];
+            self.file
+                .write_all(torn)
+                .and_then(|_| self.file.sync_data())
+                .map_err(|e| wal_err("tearing WAL frame", e))?;
+            self.written += torn.len() as u64;
+            return Err(ServeError::Wal(format!(
+                "fail point {FP_WAL_TORN_APPEND} tore window {}",
+                frame.window_seq
+            )));
+        }
+        self.file
+            .write_all(&bytes)
+            .map_err(|e| wal_err("appending WAL frame", e))?;
+        if self.fsync == FsyncPolicy::Always {
+            self.file
+                .sync_data()
+                .map_err(|e| wal_err("syncing WAL frame", e))?;
+        }
+        self.written += bytes.len() as u64;
+        if self.fail.fire(FP_WAL_AFTER_APPEND) {
+            return Err(ServeError::Wal(format!(
+                "fail point {FP_WAL_AFTER_APPEND} fired after window {} became durable",
+                frame.window_seq
+            )));
+        }
+        Ok(())
+    }
+
+    /// Number of segment rotations performed by this writer.
+    pub fn segments_created(&self) -> u64 {
+        self.segments_created
+    }
+}
+
+/// Length of the longest prefix of `bytes` that parses as whole, checksummed
+/// frames.
+fn valid_prefix_len(bytes: &[u8]) -> usize {
+    let mut pos = 0;
+    loop {
+        let Some(header) = bytes.get(pos..pos + FRAME_HEADER_BYTES) else {
+            return pos;
+        };
+        let len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        let Some(payload) = bytes.get(pos + FRAME_HEADER_BYTES..pos + FRAME_HEADER_BYTES + len)
+        else {
+            return pos;
+        };
+        if crc32(payload) != crc || decode_payload(payload).is_none() {
+            return pos;
+        }
+        pos += FRAME_HEADER_BYTES + len;
+    }
+}
+
+/// Result of scanning a WAL directory: the durable frames in order, plus
+/// how many trailing bytes were dropped as torn/corrupt.
+#[derive(Debug, Default)]
+pub struct WalScan {
+    /// Valid frames, in log order.
+    pub frames: Vec<WalFrame>,
+    /// Bytes discarded at the tail (torn frame, short header, bad crc).
+    pub dropped_tail_bytes: u64,
+    /// Number of segment files scanned.
+    pub segments: usize,
+}
+
+/// Reads every WAL segment in `dir` in order, stopping at the first
+/// invalid frame (everything after a corruption point is untrusted).
+pub fn read_wal(dir: &Path) -> crate::Result<WalScan> {
+    let mut scan = WalScan::default();
+    for path in list_sorted(dir, "wal-", ".log") {
+        scan.segments += 1;
+        let mut bytes = Vec::new();
+        File::open(&path)
+            .and_then(|mut f| f.read_to_end(&mut bytes))
+            .map_err(|e| wal_err("reading WAL segment", e))?;
+        let valid = valid_prefix_len(&bytes);
+        let mut pos = 0;
+        while pos < valid {
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            let payload = &bytes[pos + FRAME_HEADER_BYTES..pos + FRAME_HEADER_BYTES + len];
+            // valid_prefix_len already proved this decodes.
+            scan.frames
+                .push(decode_payload(payload).expect("validated frame"));
+            pos += FRAME_HEADER_BYTES + len;
+        }
+        if valid < bytes.len() {
+            scan.dropped_tail_bytes += (bytes.len() - valid) as u64;
+            break;
+        }
+    }
+    Ok(scan)
+}
+
+/// An epoch-consistent snapshot of one engine's durable state, taken at a
+/// window boundary: the full dynamic graph (both adjacency orders encoded
+/// verbatim — edge replay cannot reproduce `swap_remove` list order), the
+/// embedding store, and the counters the session holds at that boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Window sequence this checkpoint covers (frames with larger
+    /// sequences replay on top of it).
+    pub window_seq: u64,
+    /// Published epoch at the boundary.
+    pub epoch: u64,
+    /// Raw updates applied through the boundary.
+    pub applied_seq: u64,
+    /// Secondary updates applied through the boundary (sharded tier).
+    pub applied_secondary: u64,
+    /// Topology epoch at the boundary.
+    pub topology_epoch: u64,
+    /// The engine's graph (for shards: the halo-restricted local graph).
+    pub graph: DynamicGraph,
+    /// The engine's embedding store.
+    pub store: EmbeddingStore,
+}
+
+fn encode_checkpoint(ckpt: &Checkpoint) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u64(&mut buf, ckpt.window_seq);
+    put_u64(&mut buf, ckpt.epoch);
+    put_u64(&mut buf, ckpt.applied_seq);
+    put_u64(&mut buf, ckpt.applied_secondary);
+    put_u64(&mut buf, ckpt.topology_epoch);
+    let n = ckpt.graph.num_vertices();
+    put_u32(&mut buf, n as u32);
+    put_matrix(&mut buf, ckpt.graph.features());
+    put_u64(&mut buf, ckpt.graph.num_edges() as u64);
+    for u in 0..n {
+        let v = VertexId(u as u32);
+        let neighbors = ckpt.graph.out_neighbors(v);
+        let weights = ckpt.graph.out_weights(v);
+        put_u32(&mut buf, neighbors.len() as u32);
+        for (n, w) in neighbors.iter().zip(weights) {
+            put_u32(&mut buf, n.0);
+            put_f32(&mut buf, *w);
+        }
+    }
+    for u in 0..n {
+        let v = VertexId(u as u32);
+        let neighbors = ckpt.graph.in_neighbors(v);
+        let weights = ckpt.graph.in_weights(v);
+        put_u32(&mut buf, neighbors.len() as u32);
+        for (n, w) in neighbors.iter().zip(weights) {
+            put_u32(&mut buf, n.0);
+            put_f32(&mut buf, *w);
+        }
+    }
+    let layers = ckpt.store.num_layers();
+    put_u32(&mut buf, (layers + 1) as u32);
+    for l in 0..=layers {
+        put_matrix(&mut buf, ckpt.store.embeddings(l));
+    }
+    put_u32(&mut buf, layers as u32);
+    for l in 1..=layers {
+        put_matrix(&mut buf, ckpt.store.aggregates(l));
+    }
+    buf
+}
+
+fn decode_checkpoint(payload: &[u8]) -> Option<Checkpoint> {
+    let mut cur = Cursor::new(payload);
+    let window_seq = cur.u64()?;
+    let epoch = cur.u64()?;
+    let applied_seq = cur.u64()?;
+    let applied_secondary = cur.u64()?;
+    let topology_epoch = cur.u64()?;
+    let n = cur.u32()? as usize;
+    let features = read_matrix(&mut cur)?;
+    let num_edges = cur.u64()? as usize;
+    type AdjacencyLists = (Vec<Vec<VertexId>>, Vec<Vec<f32>>);
+    let read_adjacency = |cur: &mut Cursor<'_>| -> Option<AdjacencyLists> {
+        let mut ids = Vec::with_capacity(n);
+        let mut weights = Vec::with_capacity(n);
+        for _ in 0..n {
+            let len = cur.u32()? as usize;
+            let mut vs = Vec::with_capacity(len.min(payload.len()));
+            let mut ws = Vec::with_capacity(len.min(payload.len()));
+            for _ in 0..len {
+                vs.push(VertexId(cur.u32()?));
+                ws.push(cur.f32()?);
+            }
+            ids.push(vs);
+            weights.push(ws);
+        }
+        Some((ids, weights))
+    };
+    let (out, out_weights) = read_adjacency(&mut cur)?;
+    let (inn, in_weights) = read_adjacency(&mut cur)?;
+    let graph = DynamicGraph::from_adjacency(out, out_weights, inn, in_weights, features).ok()?;
+    if graph.num_edges() != num_edges {
+        return None;
+    }
+    let n_embeddings = cur.u32()? as usize;
+    let mut embeddings = Vec::with_capacity(n_embeddings.min(payload.len()));
+    for _ in 0..n_embeddings {
+        embeddings.push(read_matrix(&mut cur)?);
+    }
+    let n_aggregates = cur.u32()? as usize;
+    let mut aggregates = Vec::with_capacity(n_aggregates.min(payload.len()));
+    for _ in 0..n_aggregates {
+        aggregates.push(read_matrix(&mut cur)?);
+    }
+    if !cur.done() {
+        return None;
+    }
+    let store = EmbeddingStore::from_parts(embeddings, aggregates).ok()?;
+    Some(Checkpoint {
+        window_seq,
+        epoch,
+        applied_seq,
+        applied_secondary,
+        topology_epoch,
+        graph,
+        store,
+    })
+}
+
+/// Writes a checkpoint durably: temp file, checksum trailer, fsync, atomic
+/// rename. Retains the previous checkpoint as a fallback and prunes older
+/// ones plus any WAL segments wholly covered by the retained horizon.
+pub fn write_checkpoint(
+    dir: &Path,
+    ckpt: &Checkpoint,
+    fsync: FsyncPolicy,
+    fail: &FailPoints,
+) -> crate::Result<()> {
+    fs::create_dir_all(dir).map_err(|e| wal_err("creating checkpoint directory", e))?;
+    let payload = encode_checkpoint(ckpt);
+    let mut bytes = Vec::with_capacity(CKPT_MAGIC.len() + payload.len() + 4);
+    bytes.extend_from_slice(CKPT_MAGIC);
+    bytes.extend_from_slice(&payload);
+    put_u32(&mut bytes, crc32(&payload));
+    let tmp = dir.join(format!("ckpt-{:020}.tmp", ckpt.window_seq));
+    if fail.fire(FP_CKPT_MID) {
+        // Crash mid-checkpoint: half the temp file exists, no rename.
+        let _ = fs::write(&tmp, &bytes[..bytes.len() / 2]);
+        return Err(ServeError::Wal(format!(
+            "fail point {FP_CKPT_MID} abandoned checkpoint {}",
+            ckpt.window_seq
+        )));
+    }
+    let mut file = File::create(&tmp).map_err(|e| wal_err("creating checkpoint temp file", e))?;
+    file.write_all(&bytes)
+        .map_err(|e| wal_err("writing checkpoint", e))?;
+    if fsync == FsyncPolicy::Always {
+        file.sync_data()
+            .map_err(|e| wal_err("syncing checkpoint", e))?;
+    }
+    drop(file);
+    fs::rename(&tmp, checkpoint_path(dir, ckpt.window_seq))
+        .map_err(|e| wal_err("publishing checkpoint", e))?;
+    prune(dir);
+    Ok(())
+}
+
+/// Keeps the two newest checkpoints (newest + fallback), deletes older
+/// ones, stale temp files, and WAL segments whose every frame is covered by
+/// the *older* retained checkpoint. Best-effort: pruning failures are not
+/// durability failures.
+fn prune(dir: &Path) {
+    let checkpoints = list_sorted(dir, "ckpt-", ".bin");
+    if checkpoints.len() > 2 {
+        for path in &checkpoints[..checkpoints.len() - 2] {
+            let _ = fs::remove_file(path);
+        }
+    }
+    for tmp in list_sorted(dir, "ckpt-", ".tmp") {
+        let _ = fs::remove_file(tmp);
+    }
+    let floor = match checkpoints.iter().rev().nth(1).and_then(|p| file_seq(p)) {
+        Some(seq) => seq,
+        None => return,
+    };
+    let segments = list_sorted(dir, "wal-", ".log");
+    for pair in segments.windows(2) {
+        // Segment `pair[0]` only holds frames below `pair[1]`'s start; if
+        // those are all <= floor the checkpoint fallback never needs them.
+        match file_seq(&pair[1]) {
+            Some(next_start) if next_start <= floor + 1 => {
+                let _ = fs::remove_file(&pair[0]);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Extracts the zero-padded sequence number from a `wal-*.log` /
+/// `ckpt-*.bin` file name.
+fn file_seq(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let digits = name.split('-').nth(1)?.split('.').next()?;
+    digits.parse().ok()
+}
+
+/// Loads the newest checkpoint that validates (magic, checksum, and a
+/// fully consistent decode), falling back to older ones on corruption.
+pub fn load_latest_checkpoint(dir: &Path) -> Option<Checkpoint> {
+    for path in list_sorted(dir, "ckpt-", ".bin").iter().rev() {
+        let Ok(bytes) = fs::read(path) else { continue };
+        let Some(rest) = bytes.strip_prefix(CKPT_MAGIC.as_slice()) else {
+            continue;
+        };
+        if rest.len() < 4 {
+            continue;
+        }
+        let (payload, crc_bytes) = rest.split_at(rest.len() - 4);
+        if crc32(payload) != u32::from_le_bytes(crc_bytes.try_into().unwrap()) {
+            continue;
+        }
+        if let Some(ckpt) = decode_checkpoint(payload) {
+            return Some(ckpt);
+        }
+    }
+    None
+}
+
+/// Everything recovery needs: the newest valid checkpoint (if any) and the
+/// WAL frames that extend past it, in replay order.
+#[derive(Debug, Default)]
+pub struct RecoveredState {
+    /// Latest valid checkpoint, if one exists.
+    pub checkpoint: Option<Checkpoint>,
+    /// Frames with `window_seq` beyond the checkpoint, strictly increasing.
+    pub frames: Vec<WalFrame>,
+    /// Torn/corrupt bytes dropped from the WAL tail.
+    pub dropped_tail_bytes: u64,
+}
+
+impl RecoveredState {
+    /// `true` when the directory held no durable state at all.
+    pub fn is_empty(&self) -> bool {
+        self.checkpoint.is_none() && self.frames.is_empty()
+    }
+
+    /// The window sequence recovery resumes after (0 = fresh start).
+    pub fn resumed_window_seq(&self) -> u64 {
+        self.frames
+            .last()
+            .map(|f| f.window_seq)
+            .or_else(|| self.checkpoint.as_ref().map(|c| c.window_seq))
+            .unwrap_or(0)
+    }
+}
+
+/// Scans a durability directory: latest valid checkpoint plus the WAL tail
+/// beyond it. Returns an empty state for a missing/fresh directory.
+pub fn recover(dir: &Path) -> crate::Result<RecoveredState> {
+    if !dir.exists() {
+        return Ok(RecoveredState::default());
+    }
+    let checkpoint = load_latest_checkpoint(dir);
+    let scan = read_wal(dir)?;
+    let floor = checkpoint.as_ref().map(|c| c.window_seq).unwrap_or(0);
+    let mut frames = Vec::new();
+    let mut last = floor;
+    for frame in scan.frames {
+        // Frames at or below the checkpoint are already folded in; a
+        // non-monotone sequence would mean a corrupt log we failed to
+        // detect, so refuse to replay it.
+        if frame.window_seq <= last {
+            continue;
+        }
+        if frame.window_seq != last + 1 && last != floor {
+            return Err(ServeError::Wal(format!(
+                "WAL gap: window {} follows window {last}",
+                frame.window_seq
+            )));
+        }
+        last = frame.window_seq;
+        frames.push(frame);
+    }
+    Ok(RecoveredState {
+        checkpoint,
+        frames,
+        dropped_tail_bytes: scan.dropped_tail_bytes,
+    })
+}
+
+/// What a recovered session did to get back to its pre-crash state.
+/// Available from the serve handles via `recovery_report()`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// Whether a checkpoint was restored (vs replay from bootstrap).
+    pub from_checkpoint: bool,
+    /// Window sequence of the restored checkpoint (0 if none).
+    pub checkpoint_seq: u64,
+    /// WAL frames replayed on top of the checkpoint.
+    pub replayed_windows: u64,
+    /// Window sequence the session resumed at.
+    pub resumed_window_seq: u64,
+    /// Epoch the session resumed publishing from.
+    pub resumed_epoch: u64,
+    /// Torn/corrupt bytes dropped from the WAL tail.
+    pub dropped_tail_bytes: u64,
+    /// Wall-clock time spent restoring + replaying.
+    pub recovery_time: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(seq: u64, updates: Vec<GraphUpdate>) -> WalFrame {
+        WalFrame {
+            window_seq: seq,
+            epoch: seq,
+            applied_seq: seq * 3,
+            applied_secondary: 0,
+            topology_epoch: seq,
+            raw: updates.len() as u64 + 1,
+            batch: UpdateBatch::from_updates(updates),
+            halos: vec![DeltaMessage::new(VertexId(2), 1, vec![0.5, -0.25])],
+        }
+    }
+
+    fn sample_updates() -> Vec<GraphUpdate> {
+        vec![
+            GraphUpdate::add_weighted_edge(VertexId(0), VertexId(1), 0.75),
+            GraphUpdate::delete_edge(VertexId(1), VertexId(2)),
+            GraphUpdate::update_feature(VertexId(3), vec![1.0, -2.0, 0.125]),
+        ]
+    }
+
+    #[test]
+    fn frame_round_trips_bit_exactly() {
+        let f = frame(7, sample_updates());
+        let bytes = encode_frame(&f);
+        let len = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+        assert_eq!(len + FRAME_HEADER_BYTES, bytes.len());
+        let decoded = decode_payload(&bytes[FRAME_HEADER_BYTES..]).expect("valid frame");
+        assert_eq!(decoded, f);
+    }
+
+    #[test]
+    fn crc_matches_known_vector() {
+        // The classic IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn corrupt_byte_is_rejected() {
+        let f = frame(1, sample_updates());
+        for pos in 0..encode_frame(&f).len() {
+            let mut bytes = encode_frame(&f);
+            bytes[pos] ^= 0x40;
+            assert_eq!(
+                valid_prefix_len(&bytes),
+                0,
+                "flip at byte {pos} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_cleanly() {
+        let frames: Vec<WalFrame> = (1..=3).map(|s| frame(s, sample_updates())).collect();
+        let mut bytes = Vec::new();
+        for f in &frames {
+            bytes.extend_from_slice(&encode_frame(f));
+        }
+        let last_len = encode_frame(&frames[2]).len();
+        let boundary = bytes.len() - last_len;
+        for cut in 0..bytes.len() {
+            let valid = valid_prefix_len(&bytes[..cut]);
+            if cut < boundary + last_len {
+                assert!(valid <= boundary, "cut {cut} kept a torn frame");
+            } else {
+                assert_eq!(valid, bytes.len());
+            }
+        }
+    }
+
+    #[test]
+    fn fail_points_count_down_and_disarm() {
+        let points = FailPoints::new();
+        assert!(!points.fire(FP_WAL_BEFORE_APPEND));
+        points.arm(FP_WAL_BEFORE_APPEND, 2);
+        assert!(!points.fire(FP_WAL_BEFORE_APPEND));
+        assert!(!points.fire(FP_WAL_BEFORE_APPEND));
+        assert!(points.fire(FP_WAL_BEFORE_APPEND));
+        // Fired points disarm themselves.
+        assert!(!points.fire(FP_WAL_BEFORE_APPEND));
+        let clone = points.clone();
+        clone.arm(FP_CKPT_MID, 0);
+        assert!(points.armed(), "registry is shared across clones");
+        assert!(points.fire(FP_CKPT_MID));
+    }
+
+    #[test]
+    fn writer_rotates_segments_and_reader_reassembles() {
+        let dir = test_dir("rotate");
+        let mut writer =
+            WalWriter::open(&dir, 1, 64, FsyncPolicy::Never, FailPoints::new()).unwrap();
+        let frames: Vec<WalFrame> = (1..=9).map(|s| frame(s, sample_updates())).collect();
+        for f in &frames {
+            writer.append(f).unwrap();
+        }
+        assert!(
+            writer.segments_created() >= 2,
+            "64-byte segments must rotate"
+        );
+        let scan = read_wal(&dir).unwrap();
+        assert_eq!(scan.frames, frames);
+        assert_eq!(scan.dropped_tail_bytes, 0);
+        assert!(scan.segments >= 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopened_writer_truncates_torn_tail() {
+        let dir = test_dir("reopen");
+        let points = FailPoints::new();
+        let mut writer =
+            WalWriter::open(&dir, 1, 1 << 20, FsyncPolicy::Always, points.clone()).unwrap();
+        writer.append(&frame(1, sample_updates())).unwrap();
+        points.arm(FP_WAL_TORN_APPEND, 0);
+        assert!(matches!(
+            writer.append(&frame(2, sample_updates())),
+            Err(ServeError::Wal(_))
+        ));
+        drop(writer);
+        let scan = read_wal(&dir).unwrap();
+        assert_eq!(scan.frames.len(), 1);
+        assert!(scan.dropped_tail_bytes > 0);
+        // Reopening truncates the torn bytes and appends cleanly after.
+        let mut writer =
+            WalWriter::open(&dir, 2, 1 << 20, FsyncPolicy::Always, FailPoints::new()).unwrap();
+        writer.append(&frame(2, sample_updates())).unwrap();
+        let scan = read_wal(&dir).unwrap();
+        assert_eq!(
+            scan.frames.iter().map(|f| f.window_seq).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        assert_eq!(scan.dropped_tail_bytes, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    fn test_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ripple-durability-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+}

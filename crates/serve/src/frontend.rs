@@ -93,9 +93,16 @@ pub trait ServeFrontend {
     fn flush(&self) -> Option<u64>;
 
     /// Flushes until the session is fully drained: every accepted update
-    /// applied *and* (sharded) no cross-shard delta in flight. `None` once
-    /// the session has stopped.
-    fn quiesce(&self) -> Option<u64>;
+    /// applied *and* (sharded) no cross-shard delta in flight.
+    ///
+    /// # Errors
+    ///
+    /// The session's typed terminal failure once it has stopped abnormally:
+    /// [`ServeError::Engine`] / [`ServeError::Wal`] /
+    /// [`ServeError::SchedulerPanicked`] for a single-engine session,
+    /// [`ServeError::ShardFailed`] naming the failed shard for a sharded
+    /// one.
+    fn quiesce(&self) -> crate::Result<u64>;
 
     /// The flush logs recorded under [`crate::ServeConfig::record_batches`]:
     /// one per shard (indexed by partition), one total for a single-engine
@@ -140,11 +147,12 @@ impl<E> ServeFrontend for ServeHandle<E> {
         ServeHandle::flush(self)
     }
 
-    fn quiesce(&self) -> Option<u64> {
+    fn quiesce(&self) -> crate::Result<u64> {
         // One queue, one engine: a flush *is* a full drain — every update
         // accepted before it is absorbed first (FIFO), and there is no
         // cross-shard traffic.
         ServeHandle::flush(self)
+            .ok_or_else(|| ServeHandle::failure(self).unwrap_or(ServeError::SchedulerPanicked))
     }
 
     fn flush_logs(&self) -> Vec<FlushLog> {
@@ -183,7 +191,7 @@ impl ServeFrontend for ShardedServeHandle {
         ShardedServeHandle::flush(self)
     }
 
-    fn quiesce(&self) -> Option<u64> {
+    fn quiesce(&self) -> crate::Result<u64> {
         ShardedServeHandle::quiesce(self)
     }
 

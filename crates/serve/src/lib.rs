@@ -52,7 +52,7 @@
 //! let store = full_inference(&graph, &model).unwrap();
 //! let engine = RippleEngine::new(graph, model, store, RippleConfig::default()).unwrap();
 //!
-//! let handle = spawn(engine, ServeConfig::default());
+//! let handle = spawn(engine, ServeConfig::default()).unwrap();
 //! let client = handle.client();
 //! let mut queries = handle.query_service();
 //!
@@ -67,6 +67,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod durability;
 pub mod frontend;
 pub mod histogram;
 pub mod index;
@@ -76,14 +77,19 @@ pub mod query;
 pub mod router;
 pub mod scheduler;
 pub mod shard;
+pub mod soak;
 pub mod versioned;
 
+pub use durability::{
+    DurabilityConfig, FailPoints, FsyncPolicy, RecoveryReport, FP_AFTER_PUBLISH, FP_CKPT_MID,
+    FP_WAL_AFTER_APPEND, FP_WAL_BEFORE_APPEND, FP_WAL_TORN_APPEND,
+};
 pub use frontend::{ServeClient, ServeFrontend};
 pub use histogram::LatencyHistogram;
 pub use index::{IndexParams, IndexReader, IndexStats, TopKIndex};
 pub use loadgen::{
-    run_loadgen, run_topk_bench, LoadgenConfig, LoadgenReport, TopKBenchPoint, TopKBenchReport,
-    DEFAULT_NPROBE,
+    run_loadgen, run_nprobe_sweep, run_topk_bench, LoadgenConfig, LoadgenReport, NprobeSweepPoint,
+    NprobeSweepReport, TopKBenchPoint, TopKBenchReport, DEFAULT_NPROBE,
 };
 pub use metrics::{MetricsReport, ServeMetrics};
 pub use query::{QueryService, ReadMode, Stamped, TopKRequest};
@@ -93,6 +99,7 @@ pub use scheduler::{
     ServeHandle, Submission, UpdateClient, UpdateScheduler,
 };
 pub use shard::{spawn_sharded, ShardedEngines, ShardedServeHandle};
+pub use soak::{run_soak, SoakConfig, SoakReport};
 pub use versioned::{
     BufferStats, EpochSnapshot, SnapshotPublisher, SnapshotReader, VersionedStore,
 };

@@ -410,7 +410,7 @@ pub fn run_loadgen(config: &LoadgenConfig) -> LoadgenReport {
             &model,
             &store,
             RippleConfig::default(),
-            config.serve,
+            config.serve.clone(),
             config.shards,
         )
         .expect("sharded serving tier");
@@ -435,7 +435,7 @@ pub fn run_loadgen(config: &LoadgenConfig) -> LoadgenReport {
                     .expect("serial engine"),
             )
         };
-        let handle = spawn(engine, config.serve);
+        let handle = spawn(engine, config.serve.clone()).expect("serving session");
         let outcome = drive(&handle, config, stream);
         handle.shutdown().expect("serving session failed");
         outcome
@@ -577,7 +577,9 @@ fn drive<F: ServeFrontend>(
     }
     // Drain fully: close pending windows and (sharded) wait out in-flight
     // cross-shard deltas, then wait for every routed update to be visible.
-    frontend.quiesce();
+    // A poisoned session surfaces through the engine-error counter below
+    // and the caller's shutdown, so the drain tolerates a quiesce error.
+    let _ = frontend.quiesce();
     let drain_deadline = Instant::now() + Duration::from_secs(120);
     while metrics.applied() < metrics.enqueued() {
         if metrics.engine_errors() > 0 {
@@ -838,7 +840,7 @@ fn run_topk_point(vertices: usize, k: usize, seed: u64) -> TopKBenchPoint {
         .index(params)
         .build()
         .unwrap();
-    let handle = spawn(engine, serve);
+    let handle = spawn(engine, serve).expect("serving session");
 
     // Warm-up: stream the updates and drain, so the measured index state is
     // the product of per-epoch dirty repair, not the bootstrap build.
@@ -928,6 +930,240 @@ fn run_topk_point(vertices: usize, k: usize, seed: u64) -> TopKBenchPoint {
     }
 }
 
+/// One `nprobe` operating point of the recall-vs-nprobe sweep.
+#[derive(Debug, Clone)]
+pub struct NprobeSweepPoint {
+    /// Clusters probed per approximate query at this point.
+    pub nprobe: usize,
+    /// Fraction of the index's clusters this probes.
+    pub probe_fraction: f64,
+    /// Mean recall@k against the exact oracle.
+    pub recall: f64,
+    /// Median approximate-read latency.
+    pub approx_p50: Duration,
+    /// `exact_p50 / approx_p50` at this operating point.
+    pub speedup_p50: f64,
+}
+
+/// Result of [`run_nprobe_sweep`]: the recall-vs-nprobe trade-off curve of
+/// one serving session, measured over a shared seeded query sequence.
+#[derive(Debug, Clone)]
+pub struct NprobeSweepReport {
+    /// Vertices of the swept session's graph.
+    pub vertices: usize,
+    /// `k` used throughout (recall is recall@k).
+    pub k: usize,
+    /// Coarse clusters of the session's IVF index.
+    pub clusters: usize,
+    /// Queries measured per point.
+    pub queries: usize,
+    /// Median exact-scan latency (the sweep's common baseline).
+    pub exact_p50: Duration,
+    /// The measured points, in ascending `nprobe` order.
+    pub points: Vec<NprobeSweepPoint>,
+}
+
+impl NprobeSweepReport {
+    /// The `BENCH_nprobe.json` artifact (hand-rolled: the offline serde
+    /// shim has no serialiser).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"experiment\": \"serve_nprobe_sweep\",\n");
+        out.push_str(&format!("  \"vertices\": {},\n", self.vertices));
+        out.push_str(&format!("  \"k\": {},\n", self.k));
+        out.push_str(&format!("  \"clusters\": {},\n", self.clusters));
+        out.push_str(&format!("  \"queries\": {},\n", self.queries));
+        out.push_str(&format!(
+            "  \"exact_p50_us\": {:.3},\n",
+            self.exact_p50.as_secs_f64() * 1e6
+        ));
+        out.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"nprobe\": {},\n", p.nprobe));
+            out.push_str(&format!(
+                "      \"probe_fraction\": {:.4},\n",
+                p.probe_fraction
+            ));
+            out.push_str(&format!("      \"recall\": {:.4},\n", p.recall));
+            out.push_str(&format!(
+                "      \"approx_p50_us\": {:.3},\n",
+                p.approx_p50.as_secs_f64() * 1e6
+            ));
+            out.push_str(&format!("      \"speedup_p50\": {:.3}\n", p.speedup_p50));
+            out.push_str(if i + 1 == self.points.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+impl std::fmt::Display for NprobeSweepReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "recall-vs-nprobe, |V|={}, {} clusters, exact p50 {:.2} us",
+            self.vertices,
+            self.clusters,
+            self.exact_p50.as_secs_f64() * 1e6
+        )?;
+        writeln!(
+            f,
+            "{:>7} {:>10} {:>10} {:>13} {:>9}",
+            "nprobe", "fraction", "recall", "approx p50 us", "speedup"
+        )?;
+        for p in &self.points {
+            writeln!(
+                f,
+                "{:>7} {:>10.3} {:>10.4} {:>13.2} {:>8.1}x",
+                p.nprobe,
+                p.probe_fraction,
+                p.recall,
+                p.approx_p50.as_secs_f64() * 1e6,
+                p.speedup_p50
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Sweeps the recall-vs-nprobe trade-off of one single-engine session: warms
+/// the index through a streamed update phase (every epoch exercises dirty
+/// repair), then measures each probe count over the same seeded query
+/// sequence against the shared exact oracle. Recall must be non-decreasing
+/// in `nprobe` up to measurement noise; the caller picks the knee.
+///
+/// # Panics
+///
+/// Panics on setup failures and if the session fails to drain — the sweep
+/// treats those as fatal harness errors.
+pub fn run_nprobe_sweep(
+    vertices: usize,
+    k: usize,
+    nprobes: &[usize],
+    seed: u64,
+) -> NprobeSweepReport {
+    let feature_dim = 16;
+    let classes = 16;
+    let spec = DatasetSpec::custom(vertices, 6.0, feature_dim, classes);
+    let full = spec.generate(seed).expect("dataset generation");
+    let warmup_updates = (vertices / 10).clamp(200, 2_000);
+    let plan = build_stream(
+        &full,
+        &StreamConfig {
+            total_updates: warmup_updates,
+            seed: seed ^ 0x70_9c,
+            ..Default::default()
+        },
+    )
+    .expect("update stream");
+    let model = Workload::GcS
+        .build_model(feature_dim, 32, classes, 2, seed ^ 0x77)
+        .expect("model construction");
+    let store = full_inference(&plan.snapshot, &model).expect("bootstrap inference");
+    let stream: Vec<GraphUpdate> = plan
+        .batches(1)
+        .into_iter()
+        .flat_map(UpdateBatch::into_updates)
+        .collect();
+    let engine = RippleEngine::new(plan.snapshot, model, store, RippleConfig::default())
+        .expect("serial engine");
+    // Over-cluster like the top-k benchmark, so small probe counts leave
+    // recall headroom to sweep through instead of saturating immediately.
+    let mut params = crate::IndexParams::default();
+    params.clusters = params.effective_clusters(vertices) * 8;
+    let clusters = params.effective_clusters(vertices);
+    let serve = ServeConfig::builder()
+        .max_batch(64)
+        .index(params)
+        .build()
+        .unwrap();
+    let handle = spawn(engine, serve).expect("serving session");
+
+    let client = handle.client();
+    for update in stream {
+        if client.submit(update) == Submission::Closed {
+            break;
+        }
+    }
+    let metrics = handle.metrics();
+    let drain_deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        handle.flush();
+        if metrics.applied() >= metrics.enqueued() {
+            break;
+        }
+        assert!(
+            Instant::now() < drain_deadline && metrics.engine_errors() == 0,
+            "warm-up failed to drain cleanly"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // The session is drained, so every point reads the same snapshot: the
+    // shared query sequence makes the recall column directly comparable.
+    let num_queries = 100;
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xbe9c);
+    let query_vecs: Vec<Vec<f32>> = (0..num_queries)
+        .map(|_| (0..classes).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect();
+    let mut queries = handle.query_service();
+    let mut exact_lat = LatencyHistogram::new();
+    let exact_oracle: Vec<_> = query_vecs
+        .iter()
+        .map(|q| {
+            let started = Instant::now();
+            let exact = queries
+                .top_k(&TopKRequest::new(q.clone(), k))
+                .expect("exact top-k");
+            exact_lat.record(started.elapsed());
+            exact.value
+        })
+        .collect();
+    let exact_p50 = exact_lat.percentile(50.0);
+
+    let mut points = Vec::with_capacity(nprobes.len());
+    for &nprobe in nprobes {
+        let nprobe = nprobe.max(1);
+        let mut approx_lat = LatencyHistogram::new();
+        let mut recall_sum = 0.0f64;
+        for (q, oracle) in query_vecs.iter().zip(&exact_oracle) {
+            let started = Instant::now();
+            let approx = queries
+                .top_k(&TopKRequest::new(q.clone(), k).approx(nprobe))
+                .expect("approx top-k");
+            approx_lat.record(started.elapsed());
+            let hits = approx
+                .value
+                .iter()
+                .filter(|(v, _)| oracle.iter().any(|(ov, _)| ov == v))
+                .count();
+            recall_sum += hits as f64 / oracle.len().max(1) as f64;
+        }
+        let approx_p50 = approx_lat.percentile(50.0);
+        points.push(NprobeSweepPoint {
+            nprobe,
+            probe_fraction: nprobe as f64 / clusters.max(1) as f64,
+            recall: recall_sum / num_queries as f64,
+            approx_p50,
+            speedup_p50: exact_p50.as_secs_f64() / approx_p50.as_secs_f64().max(1e-9),
+        });
+    }
+    handle.shutdown().expect("serving session failed");
+    NprobeSweepReport {
+        vertices,
+        k,
+        clusters,
+        queries: num_queries,
+        exact_p50,
+        points,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -999,6 +1235,26 @@ mod tests {
         assert!(json.contains("\"experiment\": \"serve_topk_bench\""));
         assert!(json.contains("\"recall_at_10\""));
         assert!(report.to_string().contains("recall@10"));
+    }
+
+    #[test]
+    fn tiny_nprobe_sweep_traces_the_recall_curve() {
+        let report = run_nprobe_sweep(400, 10, &[1, 4, usize::MAX], 7);
+        assert_eq!(report.points.len(), 3);
+        assert!(report.clusters >= 1);
+        // Probing everything visits every row: recall must be perfect, and
+        // the curve is non-decreasing in nprobe (same drained snapshot).
+        let last = report.points.last().unwrap();
+        assert!(
+            (last.recall - 1.0).abs() < 1e-9,
+            "full probe must reach recall 1.0: {}",
+            last.recall
+        );
+        assert!(report.points[0].recall <= last.recall + 1e-9);
+        let json = report.to_json();
+        assert!(json.contains("\"experiment\": \"serve_nprobe_sweep\""));
+        assert!(json.contains("\"recall\""));
+        assert!(report.to_string().contains("nprobe"));
     }
 
     #[test]

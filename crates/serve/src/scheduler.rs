@@ -23,6 +23,10 @@
 //! the [`SnapshotPublisher`], which is what makes the batch visible to
 //! readers — queries never touch the engine's working store.
 
+use crate::durability::{
+    recover, write_checkpoint, Checkpoint, DurabilityConfig, RecoveryReport, WalFrame, WalWriter,
+    FP_AFTER_PUBLISH,
+};
 use crate::index::{IndexMaintainer, IndexParams, IndexReader, IndexStats, SharedIndexStats};
 use crate::metrics::ServeMetrics;
 use crate::versioned::{SnapshotPublisher, SnapshotReader, VersionedStore};
@@ -58,7 +62,7 @@ pub enum BackpressurePolicy {
 /// so a session can never start with a queue or window it cannot service.
 /// The struct is `#[non_exhaustive]` — downstream crates read the fields
 /// freely but cannot assemble unvalidated literals.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub struct ServeConfig {
     /// Bounded queue capacity between producers and the scheduler thread.
@@ -78,6 +82,10 @@ pub struct ServeConfig {
     /// disables the index; approximate reads then fail with
     /// [`ServeError::InvalidQuery`].
     pub index: Option<IndexParams>,
+    /// Durability: write-ahead log + epoch checkpoints under the configured
+    /// directory, with crash recovery on session start. `None` (the
+    /// default) serves purely in memory.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl ServeConfig {
@@ -103,6 +111,7 @@ impl Default for ServeConfig {
             policy: BackpressurePolicy::Block,
             record_batches: false,
             index: Some(IndexParams::default()),
+            durability: None,
         }
     }
 }
@@ -180,6 +189,23 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Enables durability: every flushed window is WAL-logged before it is
+    /// applied, checkpoints are cut every
+    /// [`DurabilityConfig::checkpoint_every`] windows, and session start
+    /// recovers whatever state the directory holds.
+    #[must_use]
+    pub fn durability(mut self, durability: DurabilityConfig) -> Self {
+        self.config.durability = Some(durability);
+        self
+    }
+
+    /// Disables durability (the default): purely in-memory serving.
+    #[must_use]
+    pub fn no_durability(mut self) -> Self {
+        self.config.durability = None;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -209,6 +235,18 @@ impl ServeConfigBuilder {
             if !(index.split_factor > 1.0 && index.split_factor.is_finite()) {
                 return Err(ServeError::InvalidConfig(
                     "index.split_factor must be a finite factor > 1.0".to_string(),
+                ));
+            }
+        }
+        if let Some(durability) = &config.durability {
+            if durability.dir.as_os_str().is_empty() {
+                return Err(ServeError::InvalidConfig(
+                    "durability.dir must name a directory".to_string(),
+                ));
+            }
+            if durability.segment_bytes == 0 {
+                return Err(ServeError::InvalidConfig(
+                    "durability.segment_bytes must be non-zero".to_string(),
                 ));
             }
         }
@@ -242,6 +280,19 @@ pub enum ServeError {
     Engine(RippleError),
     /// The scheduler thread terminated abnormally (panic).
     SchedulerPanicked,
+    /// The durability layer failed (WAL append, checkpoint write, or a
+    /// recovery scan found an unreplayable log). The session is poisoned:
+    /// the affected window may or may not be durable, and only a restart's
+    /// recovery pass can tell.
+    Wal(String),
+    /// A shard of the sharded tier failed; `error` is the shard-local
+    /// failure (engine error, WAL error, or panic).
+    ShardFailed {
+        /// Partition id of the failed shard.
+        shard: u32,
+        /// The shard-local failure.
+        error: Box<ServeError>,
+    },
     /// A [`ServeConfigBuilder`] or sharded-session parameter failed
     /// validation; the message names the offending knob.
     InvalidConfig(String),
@@ -268,6 +319,10 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::Engine(e) => write!(f, "serving engine error: {e}"),
             ServeError::SchedulerPanicked => f.write_str("scheduler thread panicked"),
+            ServeError::Wal(why) => write!(f, "durability error: {why}"),
+            ServeError::ShardFailed { shard, error } => {
+                write!(f, "shard {shard} failed: {error}")
+            }
             ServeError::InvalidConfig(why) => write!(f, "invalid serving configuration: {why}"),
             ServeError::InvalidQuery(why) => write!(f, "invalid query: {why}"),
             ServeError::UnknownVertex(v) => {
@@ -285,7 +340,9 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Engine(e) => Some(e),
+            ServeError::ShardFailed { error, .. } => Some(&**error),
             ServeError::SchedulerPanicked
+            | ServeError::Wal(_)
             | ServeError::InvalidConfig(_)
             | ServeError::InvalidQuery(_)
             | ServeError::UnknownVertex(_)
@@ -385,6 +442,12 @@ impl UpdateClient {
 /// the window covered, and the epoch the result was published at.
 #[derive(Debug, Clone)]
 pub struct FlushRecord {
+    /// Monotone 1-based sequence of this flushed window. Distinguishes an
+    /// *empty* flush (a window that fully cancelled out — logged, publishes
+    /// an epoch, bumps the sequence) from a *skipped* flush (nothing
+    /// pending — not logged, no sequence consumed), which is what recovery
+    /// replay keys on.
+    pub window_seq: u64,
     /// The coalesced batch handed to the engine (possibly empty if the
     /// whole window cancelled out).
     pub batch: UpdateBatch,
@@ -550,22 +613,99 @@ pub struct UpdateScheduler<E> {
     metrics: Arc<ServeMetrics>,
     window: Coalescer,
     applied_seq: u64,
+    /// Monotone sequence of logged windows (see [`FlushRecord::window_seq`]).
+    window_seq: u64,
+    /// The write-ahead log (present iff [`ServeConfig::durability`]).
+    wal: Option<WalWriter>,
+    recovery: Option<RecoveryReport>,
     flush_log: Option<FlushLog>,
 }
 
 impl<E: StreamingEngine> UpdateScheduler<E> {
     /// Wraps an engine, publishing its bootstrap store as epoch 0.
+    ///
+    /// With [`ServeConfig::durability`] set, session start first recovers
+    /// whatever the durability directory holds: the latest valid checkpoint
+    /// is restored into the engine, the WAL tail beyond it is replayed
+    /// window by window, and publishing resumes from the recovered epoch —
+    /// bit-identical to a session that never crashed, because the engines
+    /// are deterministic given the same window sequence. Torn tail frames
+    /// were already dropped by the scan; the WAL is then reopened for
+    /// appending on a clean frame boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Wal`] if the durability directory cannot be scanned or
+    /// reopened; [`ServeError::Engine`] if checkpoint restore or WAL replay
+    /// fails in the engine.
     pub fn new(
-        engine: E,
+        mut engine: E,
         config: ServeConfig,
         metrics: Arc<ServeMetrics>,
-    ) -> (Self, SnapshotReader) {
-        let (publisher, reader) = VersionedStore::bootstrap(engine.current_store());
+    ) -> crate::Result<(Self, SnapshotReader)> {
+        let started = Instant::now();
+        let mut window_seq = 0;
+        let mut applied_seq = 0;
+        let mut epoch = 0;
+        let mut recovery = None;
+        let wal = match &config.durability {
+            Some(d) => {
+                let recovered = recover(&d.dir)?;
+                let mut report = RecoveryReport {
+                    from_checkpoint: false,
+                    checkpoint_seq: 0,
+                    replayed_windows: 0,
+                    resumed_window_seq: recovered.resumed_window_seq(),
+                    resumed_epoch: 0,
+                    dropped_tail_bytes: recovered.dropped_tail_bytes,
+                    recovery_time: Duration::ZERO,
+                };
+                if let Some(ckpt) = recovered.checkpoint {
+                    report.from_checkpoint = true;
+                    report.checkpoint_seq = ckpt.window_seq;
+                    window_seq = ckpt.window_seq;
+                    applied_seq = ckpt.applied_seq;
+                    epoch = ckpt.epoch;
+                    engine
+                        .restore_state(ckpt.graph, ckpt.store, ckpt.topology_epoch)
+                        .map_err(ServeError::Engine)?;
+                }
+                for frame in &recovered.frames {
+                    if !frame.batch.is_empty() {
+                        engine
+                            .process_batch(&frame.batch)
+                            .map_err(ServeError::Engine)?;
+                    }
+                    report.replayed_windows += 1;
+                    window_seq = frame.window_seq;
+                    applied_seq = frame.applied_seq;
+                    epoch = frame.epoch;
+                }
+                report.resumed_epoch = epoch;
+                report.recovery_time = started.elapsed();
+                recovery = Some(report);
+                Some(WalWriter::open(
+                    &d.dir,
+                    window_seq + 1,
+                    d.segment_bytes,
+                    d.fsync,
+                    d.fail_points.clone(),
+                )?)
+            }
+            None => None,
+        };
+        let (publisher, reader) = VersionedStore::bootstrap_at(
+            engine.current_store(),
+            epoch,
+            applied_seq,
+            0,
+            engine.topology_epoch(),
+        );
         let flush_log = config.record_batches.then(FlushLog::new);
         let index = config
             .index
             .map(|params| IndexMaintainer::bootstrap(engine.current_store(), None, params).0);
-        (
+        Ok((
             UpdateScheduler {
                 engine,
                 publisher,
@@ -573,11 +713,20 @@ impl<E: StreamingEngine> UpdateScheduler<E> {
                 config,
                 metrics,
                 window: Coalescer::default(),
-                applied_seq: 0,
+                applied_seq,
+                window_seq,
+                wal,
+                recovery,
                 flush_log,
             },
             reader,
-        )
+        ))
+    }
+
+    /// What recovery did at session start (present iff
+    /// [`ServeConfig::durability`]).
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.recovery.clone()
     }
 
     /// The shared flush log (present iff [`ServeConfig::record_batches`]).
@@ -628,6 +777,24 @@ impl<E: StreamingEngine> UpdateScheduler<E> {
         }
         let (batch, raw, _secondary, enqueues) = self.window.drain();
         let ran_engine = !batch.is_empty();
+        // Log before apply. The frame records the *post*-window counters —
+        // all deterministic functions of the pre-state and the batch (the
+        // engine bumps the topology epoch exactly once per non-empty
+        // batch) — so recovery replay lands on the same stamps without
+        // re-deriving them.
+        self.window_seq += 1;
+        if let Some(wal) = &mut self.wal {
+            wal.append(&WalFrame {
+                window_seq: self.window_seq,
+                epoch: self.publisher.epoch() + 1,
+                applied_seq: self.applied_seq + raw,
+                applied_secondary: 0,
+                topology_epoch: self.engine.topology_epoch() + u64::from(ran_engine),
+                raw,
+                batch: batch.clone(),
+                halos: Vec::new(),
+            })?;
+        }
         if ran_engine {
             if let Err(e) = self.engine.process_batch(&batch) {
                 self.metrics.record_engine_error();
@@ -663,6 +830,7 @@ impl<E: StreamingEngine> UpdateScheduler<E> {
         self.metrics.record_flush(raw, ran_engine);
         if let Some(log) = &self.flush_log {
             log.push(FlushRecord {
+                window_seq: self.window_seq,
                 batch,
                 halos: Vec::new(),
                 raw,
@@ -670,6 +838,29 @@ impl<E: StreamingEngine> UpdateScheduler<E> {
                 applied_seq: self.applied_seq,
                 topology_epoch,
             });
+        }
+        if let Some(d) = &self.config.durability {
+            if d.fail_points.fire(FP_AFTER_PUBLISH) {
+                return Err(ServeError::Wal(format!(
+                    "fail point {FP_AFTER_PUBLISH} fired after epoch {epoch} was published"
+                )));
+            }
+            if d.checkpoint_every > 0 && self.window_seq.is_multiple_of(d.checkpoint_every) {
+                write_checkpoint(
+                    &d.dir,
+                    &Checkpoint {
+                        window_seq: self.window_seq,
+                        epoch,
+                        applied_seq: self.applied_seq,
+                        applied_secondary: 0,
+                        topology_epoch,
+                        graph: self.engine.current_graph().clone(),
+                        store: self.engine.current_store().clone(),
+                    },
+                    d.fsync,
+                    &d.fail_points,
+                )?;
+            }
         }
         Ok(epoch)
     }
@@ -735,6 +926,11 @@ pub struct ServeHandle<E> {
     index_stats: Option<Arc<SharedIndexStats>>,
     policy: BackpressurePolicy,
     flush_log: Option<FlushLog>,
+    recovery: Option<RecoveryReport>,
+    /// The scheduler thread parks its terminal error here before exiting,
+    /// so [`ServeFrontend::quiesce`](crate::ServeFrontend) callers get the
+    /// typed failure instead of a bare "scheduler gone".
+    failure: Arc<Mutex<Option<ServeError>>>,
     join: JoinHandle<Result<E, ServeError>>,
 }
 
@@ -792,47 +988,95 @@ impl<E> ServeHandle<E> {
         self.flush_log.clone().map(FlushLog::into_arc)
     }
 
+    /// What recovery did at session start (present iff the session was
+    /// spawned with [`ServeConfig::durability`]).
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.recovery.clone()
+    }
+
+    /// The terminal error the scheduler thread stopped on, if it has
+    /// stopped abnormally (engine failure, WAL failure, or panic).
+    pub fn failure(&self) -> Option<ServeError> {
+        self.failure
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
     /// Flushes the remaining window, stops the scheduler thread and returns
     /// the engine (with every accepted update applied).
+    ///
+    /// # Errors
+    ///
+    /// The typed terminal failure when the scheduler stopped abnormally:
+    /// [`ServeError::Engine`] for an engine failure, [`ServeError::Wal`]
+    /// for a durability failure, [`ServeError::SchedulerPanicked`] for a
+    /// caught panic.
     pub fn shutdown(self) -> Result<E, ServeError> {
         // The scheduler may already be gone (engine error); join either way.
         let _ = self.tx.send(Msg::Stop);
+        let failure = self.failure();
         match self.join.join() {
             Ok(result) => result,
-            Err(_) => Err(ServeError::SchedulerPanicked),
+            // `spawn` catches panics inside the thread, so a join error is
+            // a panic that escaped the harness (e.g. in thread teardown).
+            Err(_) => Err(failure.unwrap_or(ServeError::SchedulerPanicked)),
         }
     }
 }
 
 /// Spawns the serving scheduler for `engine` on a dedicated thread and
 /// returns the session handle. The engine's current store is published as
-/// epoch 0, so queries work immediately.
-pub fn spawn<E>(engine: E, config: ServeConfig) -> ServeHandle<E>
+/// epoch 0 — or, with [`ServeConfig::durability`] set, recovery runs first
+/// and the recovered store is published at the recovered epoch — so queries
+/// work immediately.
+///
+/// # Errors
+///
+/// [`ServeError::Wal`] / [`ServeError::Engine`] if durability recovery
+/// fails (see [`UpdateScheduler::new`]). A session without durability
+/// cannot fail to spawn.
+pub fn spawn<E>(engine: E, config: ServeConfig) -> crate::Result<ServeHandle<E>>
 where
     E: StreamingEngine + Send + 'static,
 {
     let metrics = Arc::new(ServeMetrics::new());
     let submitted = Arc::new(AtomicU64::new(0));
-    let (scheduler, reader) = UpdateScheduler::new(engine, config, Arc::clone(&metrics));
+    let queue_capacity = config.queue_capacity;
+    let policy = config.policy;
+    let (scheduler, reader) = UpdateScheduler::new(engine, config, Arc::clone(&metrics))?;
     let flush_log = scheduler.flush_log();
     let index_reader = scheduler.index_reader();
     let index_stats = scheduler.shared_index_stats();
-    let (tx, rx) = mpsc::sync_channel(config.queue_capacity.max(1));
+    let recovery = scheduler.recovery_report();
+    let failure: Arc<Mutex<Option<ServeError>>> = Arc::new(Mutex::new(None));
+    let failure_slot = Arc::clone(&failure);
+    let (tx, rx) = mpsc::sync_channel(queue_capacity.max(1));
     let join = std::thread::Builder::new()
         .name("ripple-serve-scheduler".to_string())
-        .spawn(move || scheduler.run(rx))
+        .spawn(move || {
+            let result =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| scheduler.run(rx)))
+                    .unwrap_or(Err(ServeError::SchedulerPanicked));
+            if let Err(e) = &result {
+                *failure_slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(e.clone());
+            }
+            result
+        })
         .expect("spawning the scheduler thread");
-    ServeHandle {
+    Ok(ServeHandle {
         tx,
         submitted,
         metrics,
         reader,
         index_reader,
         index_stats,
-        policy: config.policy,
+        policy,
         flush_log,
+        recovery,
+        failure,
         join,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -964,7 +1208,8 @@ mod tests {
                 ..Default::default()
             },
             Arc::clone(&metrics),
-        );
+        )
+        .unwrap();
         let now = Instant::now();
         for u in raw {
             scheduler.absorb(u, now).unwrap();
@@ -994,7 +1239,8 @@ mod tests {
                 ..Default::default()
             },
             Arc::clone(&metrics),
-        );
+        )
+        .unwrap();
         let now = Instant::now();
         let mut flushes = 0;
         for u in updates.iter().take(12).cloned() {
@@ -1020,7 +1266,8 @@ mod tests {
                 ..Default::default()
             },
             Arc::clone(&metrics),
-        );
+        )
+        .unwrap();
         let now = Instant::now();
         scheduler
             .absorb(GraphUpdate::add_edge(VertexId(0), VertexId(99)), now)
@@ -1048,7 +1295,8 @@ mod tests {
                 record_batches: true,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         let client = handle.client();
         let offered = updates.len();
         assert!(offered > 0);
@@ -1113,7 +1361,8 @@ mod tests {
                 max_batch: 1,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         let client = handle.client();
         let metrics = handle.metrics();
         // An update for a vertex outside the graph fails inside the engine.
@@ -1188,7 +1437,7 @@ mod tests {
     #[test]
     fn submissions_after_shutdown_are_closed() {
         let (graph, model, store, _) = bootstrap(13);
-        let handle = spawn(engine(graph, model, store), ServeConfig::default());
+        let handle = spawn(engine(graph, model, store), ServeConfig::default()).unwrap();
         let client = handle.client();
         handle.shutdown().unwrap();
         assert_eq!(
@@ -1207,7 +1456,8 @@ mod tests {
                 max_delay: Duration::from_millis(5),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         let client = handle.client();
         client.submit(updates[0].clone());
         let metrics = handle.metrics();

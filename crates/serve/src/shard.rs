@@ -22,6 +22,10 @@
 //! can never deadlock; producer backpressure is enforced at the
 //! [`crate::ShardRouter`] against per-shard depth counters instead.
 
+use crate::durability::{
+    recover, write_checkpoint, Checkpoint, DurabilityConfig, RecoveryReport, WalFrame, WalWriter,
+    FP_AFTER_PUBLISH,
+};
 use crate::index::{IndexMaintainer, IndexReader, IndexStats, SharedIndexStats};
 use crate::metrics::ServeMetrics;
 use crate::router::ShardRouter;
@@ -34,9 +38,9 @@ use ripple_graph::partition::{HashPartitioner, Partitioner, Partitioning};
 use ripple_graph::{DynamicGraph, PartitionId, VertexId};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 pub(crate) use crate::scheduler::QueuedUpdate;
 
@@ -76,6 +80,14 @@ struct ShardWorker {
     /// cross-shard edge updates (see the staleness dedup in
     /// [`crate::QueryService`]).
     applied_secondary: u64,
+    /// Monotone sequence of this shard's logged windows.
+    window_seq: u64,
+    /// This shard's write-ahead log (present iff the tier has
+    /// [`ServeConfig::durability`]; each shard logs under its own
+    /// subdirectory).
+    wal: Option<WalWriter>,
+    /// The shard-scoped durability configuration behind `wal`.
+    durability: Option<DurabilityConfig>,
     flush_log: Option<FlushLog>,
     /// This shard's queue-depth counter (decremented as updates are
     /// absorbed; the router enforces backpressure against it).
@@ -100,6 +112,33 @@ impl ShardWorker {
         let halo_batches = std::mem::take(&mut self.pending_halo_batches);
         self.halo_oldest = None;
         let ran_engine = !batch.is_empty() || !halos.is_empty();
+        // Log before apply, including the halos absorbed this window: peer
+        // shards log their *received* halos in their own frames, so replay
+        // of a shard's log alone reproduces its store (outgoing deltas are
+        // discarded on replay — the receivers already have them).
+        self.window_seq += 1;
+        if let Some(wal) = &mut self.wal {
+            let frame = WalFrame {
+                window_seq: self.window_seq,
+                epoch: self.publisher.epoch() + 1,
+                applied_seq: self.applied_seq + raw,
+                applied_secondary: self.applied_secondary + secondary,
+                topology_epoch: self.engine.topology_epoch() + u64::from(ran_engine),
+                raw,
+                batch: batch.clone(),
+                halos: halos.clone(),
+            };
+            if let Err(e) = wal.append(&frame) {
+                // The worker is about to exit; release the in-flight
+                // accounting so peers' quiesce loops can observe the
+                // failure instead of spinning.
+                if halo_batches > 0 {
+                    self.halo_in_flight
+                        .fetch_sub(halo_batches, Ordering::AcqRel);
+                }
+                return Err(e);
+            }
+        }
         let mut outgoing = Vec::new();
         if ran_engine {
             match self.engine.process_window(&batch, &halos) {
@@ -145,6 +184,7 @@ impl ShardWorker {
         self.metrics.record_flush(raw, ran_engine);
         if let Some(log) = &self.flush_log {
             log.push(FlushRecord {
+                window_seq: self.window_seq,
                 batch,
                 halos,
                 raw,
@@ -160,6 +200,29 @@ impl ShardWorker {
         if halo_batches > 0 {
             self.halo_in_flight
                 .fetch_sub(halo_batches, Ordering::AcqRel);
+        }
+        if let Some(d) = &self.durability {
+            if d.fail_points.fire(FP_AFTER_PUBLISH) {
+                return Err(ServeError::Wal(format!(
+                    "fail point {FP_AFTER_PUBLISH} fired after epoch {epoch} was published"
+                )));
+            }
+            if d.checkpoint_every > 0 && self.window_seq.is_multiple_of(d.checkpoint_every) {
+                write_checkpoint(
+                    &d.dir,
+                    &Checkpoint {
+                        window_seq: self.window_seq,
+                        epoch,
+                        applied_seq: self.applied_seq,
+                        applied_secondary: self.applied_secondary,
+                        topology_epoch,
+                        graph: self.engine.graph().clone(),
+                        store: self.engine.store().clone(),
+                    },
+                    d.fsync,
+                    &d.fail_points,
+                )?;
+            }
         }
         Ok(epoch)
     }
@@ -307,6 +370,12 @@ pub struct ShardedServeHandle {
     flush_logs: Vec<FlushLog>,
     halo_replicas: usize,
     config: ServeConfig,
+    /// Per-shard recovery reports (one per shard iff the tier was spawned
+    /// with [`ServeConfig::durability`]; empty otherwise).
+    recovery: Vec<RecoveryReport>,
+    /// Per-shard terminal-failure slots, filled by a worker before it
+    /// exits abnormally.
+    failures: Vec<Arc<Mutex<Option<ServeError>>>>,
     joins: Vec<JoinHandle<Result<ShardEngine, ServeError>>>,
 }
 
@@ -398,17 +467,43 @@ impl ShardedServeHandle {
     /// Flushes repeatedly until no cross-shard delta is in flight and every
     /// shard queue is empty, then returns the minimum per-shard epoch.
     /// Converges in at most `num_layers` rounds once producers stop
-    /// (messages only move to strictly higher hops). Returns `None` once
-    /// any shard has stopped.
-    pub fn quiesce(&self) -> Option<u64> {
+    /// (messages only move to strictly higher hops).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ShardFailed`] naming the failed shard once any shard
+    /// has stopped abnormally (engine failure, WAL failure, or panic).
+    pub fn quiesce(&self) -> crate::Result<u64> {
         loop {
-            let epoch = self.flush()?;
+            let Some(epoch) = self.flush() else {
+                return Err(self.tier_failure());
+            };
             if self.halo_in_flight.load(Ordering::Acquire) == 0
                 && self.depths.iter().all(|d| d.load(Ordering::Acquire) == 0)
             {
-                return Some(epoch);
+                return Ok(epoch);
             }
         }
+    }
+
+    /// Per-shard recovery reports, indexed by [`PartitionId`] (one per
+    /// shard iff the tier was spawned with [`ServeConfig::durability`]).
+    pub fn recovery_reports(&self) -> Vec<RecoveryReport> {
+        self.recovery.clone()
+    }
+
+    /// The typed failure of the first shard that stopped abnormally.
+    fn tier_failure(&self) -> ServeError {
+        for (p, slot) in self.failures.iter().enumerate() {
+            let failed = slot.lock().unwrap_or_else(|e| e.into_inner()).clone();
+            if let Some(error) = failed {
+                return ServeError::ShardFailed {
+                    shard: p as u32,
+                    error: Box::new(error),
+                };
+            }
+        }
+        ServeError::SchedulerPanicked
     }
 
     /// The per-shard flush logs, indexed by [`PartitionId`] (empty unless
@@ -420,6 +515,12 @@ impl ShardedServeHandle {
 
     /// Quiesces the tier, stops every shard worker and returns the shard
     /// engines (with every accepted update and cross-shard delta applied).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ShardFailed`] naming the first shard that stopped
+    /// abnormally and carrying its typed failure (engine error, WAL error,
+    /// or [`ServeError::SchedulerPanicked`] for a caught panic).
     pub fn shutdown(self) -> Result<ShardedEngines, ServeError> {
         // Drain in-flight halos first so the recovered engines are at
         // quiescence; a dead shard aborts the drain and surfaces its error
@@ -429,11 +530,22 @@ impl ShardedServeHandle {
             let _ = tx.send(ShardMsg::Stop);
         }
         let mut engines = Vec::with_capacity(self.joins.len());
-        for join in self.joins {
+        for (p, join) in self.joins.into_iter().enumerate() {
+            let shard = p as u32;
             match join.join() {
                 Ok(Ok(engine)) => engines.push(engine),
-                Ok(Err(e)) => return Err(e),
-                Err(_) => return Err(ServeError::SchedulerPanicked),
+                Ok(Err(e)) => {
+                    return Err(ServeError::ShardFailed {
+                        shard,
+                        error: Box::new(e),
+                    })
+                }
+                Err(_) => {
+                    return Err(ServeError::ShardFailed {
+                        shard,
+                        error: Box::new(ServeError::SchedulerPanicked),
+                    })
+                }
             }
         }
         Ok(ShardedEngines {
@@ -493,11 +605,13 @@ pub fn spawn_sharded(
     let mut index_readers = config.index.map(|_| Vec::with_capacity(shards));
     let mut index_stats = Vec::new();
     let mut flush_logs = Vec::new();
+    let mut recovery = Vec::new();
+    let mut failures = Vec::with_capacity(shards);
     let mut joins = Vec::with_capacity(shards);
 
     for (p, rx) in rxs.into_iter().enumerate() {
         let part = PartitionId(p as u32);
-        let engine = ShardEngine::new(
+        let mut engine = ShardEngine::new(
             graph,
             model.clone(),
             store.clone(),
@@ -505,7 +619,73 @@ pub fn spawn_sharded(
             Arc::clone(&partitioning),
             part,
         )?;
-        let (publisher, reader) = VersionedStore::bootstrap(engine.store());
+        // Per-shard durability: each shard logs and checkpoints its own
+        // window sequence under `dir/shard-{p}/` and recovers it here,
+        // exactly like the single-engine scheduler. Replay feeds each
+        // frame's batch *and* logged received halos back through the
+        // engine and discards the regenerated outgoing deltas — the peers
+        // hold their own logs.
+        let started = Instant::now();
+        let durability = config.durability.as_ref().map(|d| d.for_shard(p));
+        let mut window_seq = 0;
+        let mut applied_seq = 0;
+        let mut applied_secondary = 0;
+        let mut epoch = 0;
+        let wal = match &durability {
+            Some(d) => {
+                let recovered = recover(&d.dir)?;
+                let mut report = RecoveryReport {
+                    from_checkpoint: false,
+                    checkpoint_seq: 0,
+                    replayed_windows: 0,
+                    resumed_window_seq: recovered.resumed_window_seq(),
+                    resumed_epoch: 0,
+                    dropped_tail_bytes: recovered.dropped_tail_bytes,
+                    recovery_time: Duration::ZERO,
+                };
+                if let Some(ckpt) = recovered.checkpoint {
+                    report.from_checkpoint = true;
+                    report.checkpoint_seq = ckpt.window_seq;
+                    window_seq = ckpt.window_seq;
+                    applied_seq = ckpt.applied_seq;
+                    applied_secondary = ckpt.applied_secondary;
+                    epoch = ckpt.epoch;
+                    engine
+                        .restore_state(ckpt.graph, ckpt.store, ckpt.topology_epoch)
+                        .map_err(ServeError::Engine)?;
+                }
+                for frame in &recovered.frames {
+                    if !frame.batch.is_empty() || !frame.halos.is_empty() {
+                        engine
+                            .process_window(&frame.batch, &frame.halos)
+                            .map_err(ServeError::Engine)?;
+                    }
+                    report.replayed_windows += 1;
+                    window_seq = frame.window_seq;
+                    applied_seq = frame.applied_seq;
+                    applied_secondary = frame.applied_secondary;
+                    epoch = frame.epoch;
+                }
+                report.resumed_epoch = epoch;
+                report.recovery_time = started.elapsed();
+                recovery.push(report);
+                Some(WalWriter::open(
+                    &d.dir,
+                    window_seq + 1,
+                    d.segment_bytes,
+                    d.fsync,
+                    d.fail_points.clone(),
+                )?)
+            }
+            None => None,
+        };
+        let (publisher, reader) = VersionedStore::bootstrap_at(
+            engine.store(),
+            epoch,
+            applied_seq,
+            applied_secondary,
+            engine.topology_epoch(),
+        );
         readers.push(reader);
         // Each shard indexes only the rows it owns: the merged approximate
         // read scores every candidate from its owner's snapshot, exactly
@@ -534,18 +714,23 @@ pub fn spawn_sharded(
         alive.push(Arc::clone(&alive_flag));
         submitted.push(Arc::new(AtomicU64::new(0)));
         secondary_submitted.push(Arc::new(AtomicU64::new(0)));
+        let failure: Arc<Mutex<Option<ServeError>>> = Arc::new(Mutex::new(None));
+        failures.push(Arc::clone(&failure));
         let worker = ShardWorker {
             engine,
             publisher,
             index,
-            config,
+            config: config.clone(),
             metrics: Arc::clone(&metrics),
             window: Coalescer::default(),
             pending_halos: Vec::new(),
             pending_halo_batches: 0,
             halo_oldest: None,
-            applied_seq: 0,
-            applied_secondary: 0,
+            applied_seq,
+            applied_secondary,
+            window_seq,
+            wal,
+            durability,
             flush_log,
             depth,
             halo_in_flight: Arc::clone(&halo_in_flight),
@@ -563,7 +748,13 @@ pub fn spawn_sharded(
                     }
                 }
                 let _guard = AliveGuard(alive_flag);
-                worker.run(rx)
+                let result =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| worker.run(rx)))
+                        .unwrap_or(Err(ServeError::SchedulerPanicked));
+                if let Err(e) = &result {
+                    *failure.lock().unwrap_or_else(|e| e.into_inner()) = Some(e.clone());
+                }
+                result
             })
             .expect("spawning a shard worker thread");
         joins.push(join);
@@ -585,6 +776,8 @@ pub fn spawn_sharded(
         flush_logs,
         halo_replicas,
         config,
+        recovery,
+        failures,
         joins,
     })
 }
@@ -762,7 +955,8 @@ mod tests {
             )
             .unwrap(),
             ServeConfig::default(),
-        );
+        )
+        .unwrap();
         let (epoch, shards) = drive(&single);
         assert!(epoch >= 1);
         assert_eq!(shards, 1);

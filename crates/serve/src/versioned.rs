@@ -113,15 +113,30 @@ impl VersionedStore {
     /// Publishes `bootstrap` as epoch 0 and returns the (unique) publisher
     /// plus a first reader handle; further readers are cloned from either.
     pub fn bootstrap(bootstrap: &EmbeddingStore) -> (SnapshotPublisher, SnapshotReader) {
+        VersionedStore::bootstrap_at(bootstrap, 0, 0, 0, 0)
+    }
+
+    /// Publishes `bootstrap` with explicit counter stamps — the recovery
+    /// continuation of [`VersionedStore::bootstrap`]: a session restored
+    /// from a checkpoint plus WAL replay resumes its epoch sequence where
+    /// the crashed process left off instead of restarting at 0, preserving
+    /// epoch monotonicity for readers that outlive the crash.
+    pub fn bootstrap_at(
+        bootstrap: &EmbeddingStore,
+        epoch: u64,
+        applied_seq: u64,
+        applied_secondary: u64,
+        topology_epoch: u64,
+    ) -> (SnapshotPublisher, SnapshotReader) {
         let initial = Arc::new(EpochSnapshot {
-            epoch: 0,
-            applied_seq: 0,
-            applied_secondary: 0,
-            topology_epoch: 0,
+            epoch,
+            applied_seq,
+            applied_secondary,
+            topology_epoch,
             store: bootstrap.clone(),
         });
         let shared = Arc::new(VersionedStore {
-            epoch: AtomicU64::new(0),
+            epoch: AtomicU64::new(epoch),
             current: Mutex::new(Arc::clone(&initial)),
         });
         let publisher = SnapshotPublisher {

@@ -37,7 +37,7 @@ fn main() -> Result<(), ServeError> {
     // Serve: scheduler thread owns the engine; we keep a client + queries.
     // `ServeConfig::builder()` validates the window/queue knobs up front.
     let serve_config = ServeConfig::builder().max_batch(32).build()?;
-    let handle = spawn_serve(engine, serve_config);
+    let handle = spawn_serve(engine, serve_config)?;
     let client = handle.client();
     let mut queries = handle.query_service();
 
@@ -112,7 +112,7 @@ fn main() -> Result<(), ServeError> {
     )?;
     let router = sharded.client();
     router.submit(GraphUpdate::add_edge(VertexId(3), VertexId(42)));
-    sharded.quiesce();
+    sharded.quiesce()?;
     let mut queries = sharded.query_service();
     let stamped = queries.read_label(watched)?;
     println!(

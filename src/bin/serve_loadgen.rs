@@ -27,16 +27,21 @@
 //!   |V| ∈ {10k, 50k} and writes the comparison artifact
 //!   (`BENCH_topk.json` in CI) with per-mode p50/p99, recall@10 against the
 //!   exact oracle and the index repair/rebuild counters.
+//! * `--nprobe-sweep <path>` — sweeps the IVF probe width and writes a
+//!   recall@10-vs-speedup table against the exact oracle, tracing the
+//!   accuracy/latency trade-off curve the `DEFAULT_NPROBE` choice sits on.
 
 use ripple::experiments::{print_header, Scale};
 use ripple::serve::{
-    run_loadgen, run_topk_bench, LoadgenConfig, LoadgenReport, ReadMode, DEFAULT_NPROBE,
+    run_loadgen, run_nprobe_sweep, run_topk_bench, LoadgenConfig, LoadgenReport, ReadMode,
+    DEFAULT_NPROBE,
 };
 
 fn main() {
     let mut json_path: Option<String> = None;
     let mut shard_bench_path: Option<String> = None;
     let mut topk_bench_path: Option<String> = None;
+    let mut nprobe_sweep_path: Option<String> = None;
     let mut shards_override: Option<usize> = None;
     let mut read_mode_override: Option<ReadMode> = None;
     let mut args = std::env::args().skip(1);
@@ -63,6 +68,9 @@ fn main() {
             "--topk-bench" => {
                 topk_bench_path = Some(args.next().expect("--topk-bench requires a file path"));
             }
+            "--nprobe-sweep" => {
+                nprobe_sweep_path = Some(args.next().expect("--nprobe-sweep requires a file path"));
+            }
             "--read-mode" => {
                 let value = args.next().expect("--read-mode requires exact|approx");
                 read_mode_override = Some(match value.as_str() {
@@ -75,13 +83,18 @@ fn main() {
             }
             other => panic!(
                 "unknown flag {other} (expected --json <path>, --shards <n>, \
-                 --shard-bench <path>, --topk-bench <path> or --read-mode exact|approx)"
+                 --shard-bench <path>, --topk-bench <path>, --nprobe-sweep <path> \
+                 or --read-mode exact|approx)"
             ),
         }
     }
 
     if let Some(path) = topk_bench_path {
         run_topk_bench_cli(&path);
+        return;
+    }
+    if let Some(path) = nprobe_sweep_path {
+        run_nprobe_sweep_cli(&path);
         return;
     }
 
@@ -155,6 +168,28 @@ fn run_topk_bench_cli(path: &str) {
     println!("bit-identical scores; zero index rebuilds after the bootstrap build.");
     std::fs::write(path, report.to_json()).expect("writing topk bench JSON");
     println!("wrote top-k comparison to {path}");
+}
+
+/// Sweeps the IVF probe width and tabulates recall@k vs speedup over the
+/// exact scan (see [`ripple::serve::run_nprobe_sweep`]), then writes the
+/// artifact. Sizes follow `RIPPLE_SCALE`.
+fn run_nprobe_sweep_cli(path: &str) {
+    print_header(
+        "IVF probe-width sweep: recall@10 vs speedup over the exact scan",
+        Scale::from_env(),
+    );
+    let vertices = match std::env::var("RIPPLE_SCALE").unwrap_or_default().as_str() {
+        "tiny" => 1_000,
+        _ => 20_000,
+    };
+    let report = run_nprobe_sweep(vertices, 10, &[1, 2, 4, 8, 16, 32, 64], 42);
+    println!("{report}");
+    println!();
+    println!("Expected shape: recall climbs monotonically with nprobe toward 1.0 while");
+    println!("the speedup over the exact scan shrinks; the knee of the curve is the");
+    println!("operating point the serving tier's DEFAULT_NPROBE should sit near.");
+    std::fs::write(path, report.to_json()).expect("writing nprobe sweep JSON");
+    println!("wrote nprobe sweep to {path}");
 }
 
 /// Runs the identical workload against one engine and against a two-shard

@@ -84,7 +84,8 @@ fn linearizable_epoch_scenario(reader_threads: usize, seed: u64) {
             .record_batches(true)
             .build()
             .unwrap(),
-    );
+    )
+    .unwrap();
     let metrics = handle.metrics();
     let stop = Arc::new(AtomicBool::new(false));
 
@@ -240,7 +241,8 @@ fn served_endstate_matches_raw_stream_replay() {
         RippleConfig::default(),
     )
     .unwrap();
-    let handle = ripple::serve::spawn(engine, ServeConfig::builder().max_batch(7).build().unwrap());
+    let handle =
+        ripple::serve::spawn(engine, ServeConfig::builder().max_batch(7).build().unwrap()).unwrap();
     let client = handle.client();
     let (accepted, _) = client.submit_all(updates.clone());
     assert_eq!(accepted, updates.len());
@@ -507,7 +509,8 @@ fn cross_shard_edge_fanout_matches_the_unsharded_engine() {
         RippleConfig::default(),
     )
     .unwrap();
-    let single = ripple::serve::spawn(engine, ServeConfig::builder().max_batch(6).build().unwrap());
+    let single =
+        ripple::serve::spawn(engine, ServeConfig::builder().max_batch(6).build().unwrap()).unwrap();
     let (accepted, _) = single.client().submit_all(updates);
     assert!(accepted > 0);
     single.flush().expect("alive");

@@ -84,7 +84,8 @@ proptest! {
         let handle = ripple::serve::spawn(
             engine,
             ServeConfig::builder().max_batch(8).build().unwrap(),
-        );
+        )
+        .unwrap();
         let client = handle.client();
         let metrics = handle.metrics();
         for update in updates {
