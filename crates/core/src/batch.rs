@@ -12,7 +12,7 @@ use crate::parallel::ParallelRippleEngine;
 use crate::{Result, RippleError};
 use ripple_gnn::recompute::{vertex_wise_recompute_batch, BatchStats, RecomputeEngine};
 use ripple_gnn::{EmbeddingStore, GnnModel};
-use ripple_graph::{DynamicGraph, UpdateBatch};
+use ripple_graph::{DynamicGraph, UpdateBatch, VertexId};
 
 /// A strategy that consumes update batches and keeps predictions fresh.
 pub trait StreamingEngine {
@@ -70,6 +70,50 @@ pub trait StreamingEngine {
             self.strategy_name()
         )))
     }
+
+    /// The model the engine evaluates, when it exposes one. The admission
+    /// layer needs it to compute window footprints (cone depth, self
+    /// dependence); engines that return `None` simply never merge windows.
+    fn model(&self) -> Option<&GnnModel> {
+        None
+    }
+
+    /// Applies a group of **pairwise footprint-disjoint** windows and
+    /// returns the union of the rows they dirtied (sorted, deduplicated),
+    /// or `None` when the engine does not track dirty rows.
+    ///
+    /// The observable result — store rows, graph, topology epoch — must be
+    /// bit-identical to calling [`StreamingEngine::process_batch`] once per
+    /// window in order, and the topology epoch must advance once per
+    /// non-empty window either way. The default does exactly that sequential
+    /// replay; the Ripple engines override it with a single merged pass over
+    /// the concatenated batch, which is where disjoint windows actually
+    /// share propagation work (see `ripple_core::footprint`). Callers are
+    /// responsible for the disjointness precondition: merged execution of
+    /// conflicting windows is **not** bit-identical (a later window's edge
+    /// snapshots would predate an earlier window's writes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first engine error; windows before it are applied.
+    fn process_windows(&mut self, windows: &[UpdateBatch]) -> Result<Option<Vec<VertexId>>> {
+        let mut dirty: Option<Vec<VertexId>> = Some(Vec::new());
+        for batch in windows {
+            if batch.is_empty() {
+                continue;
+            }
+            self.process_batch(batch)?;
+            match (self.dirty_rows(), &mut dirty) {
+                (Some(rows), Some(acc)) => acc.extend_from_slice(rows),
+                _ => dirty = None,
+            }
+        }
+        if let Some(acc) = &mut dirty {
+            acc.sort_unstable();
+            acc.dedup();
+        }
+        Ok(dirty)
+    }
 }
 
 impl<T: StreamingEngine + ?Sized> StreamingEngine for Box<T> {
@@ -104,6 +148,14 @@ impl<T: StreamingEngine + ?Sized> StreamingEngine for Box<T> {
         topology_epoch: u64,
     ) -> Result<()> {
         (**self).restore_state(graph, store, topology_epoch)
+    }
+
+    fn model(&self) -> Option<&GnnModel> {
+        (**self).model()
+    }
+
+    fn process_windows(&mut self, windows: &[UpdateBatch]) -> Result<Option<Vec<VertexId>>> {
+        (**self).process_windows(windows)
     }
 }
 
@@ -140,6 +192,14 @@ impl StreamingEngine for RippleEngine {
     ) -> Result<()> {
         RippleEngine::restore_state(self, graph, store, topology_epoch)
     }
+
+    fn model(&self) -> Option<&GnnModel> {
+        Some(RippleEngine::model(self))
+    }
+
+    fn process_windows(&mut self, windows: &[UpdateBatch]) -> Result<Option<Vec<VertexId>>> {
+        RippleEngine::process_windows(self, windows).map(Some)
+    }
 }
 
 impl StreamingEngine for ParallelRippleEngine {
@@ -174,6 +234,14 @@ impl StreamingEngine for ParallelRippleEngine {
         topology_epoch: u64,
     ) -> Result<()> {
         ParallelRippleEngine::restore_state(self, graph, store, topology_epoch)
+    }
+
+    fn model(&self) -> Option<&GnnModel> {
+        Some(ParallelRippleEngine::model(self))
+    }
+
+    fn process_windows(&mut self, windows: &[UpdateBatch]) -> Result<Option<Vec<VertexId>>> {
+        ParallelRippleEngine::process_windows(self, windows).map(Some)
     }
 }
 
@@ -401,6 +469,108 @@ mod tests {
         assert_eq!(ripple.strategy_name(), "ripple");
         assert_eq!(rc.strategy_name(), "rc");
         assert_eq!(dnc.strategy_name(), "dnc");
+    }
+
+    #[test]
+    fn merged_disjoint_windows_match_sequential_replay_bit_for_bit() {
+        use crate::Footprint;
+        use ripple_graph::{GraphUpdate, VertexId};
+        // A long line graph gives interval-shaped cones, so windows far
+        // apart are provably footprint-disjoint.
+        let n = 64usize;
+        let mut graph = DynamicGraph::new(n, 6);
+        for v in 0..n - 1 {
+            graph
+                .add_edge(VertexId(v as u32), VertexId(v as u32 + 1), 1.0)
+                .unwrap();
+        }
+        let model = Workload::GcS.build_model(6, 8, 4, 2, 1).unwrap();
+        let store = full_inference(&graph, &model).unwrap();
+        let windows = vec![
+            UpdateBatch::from_updates(vec![GraphUpdate::update_feature(VertexId(2), vec![0.9; 6])]),
+            UpdateBatch::new(), // a fully-cancelled window merges as a no-op
+            UpdateBatch::from_updates(vec![
+                GraphUpdate::update_feature(VertexId(20), vec![-0.4; 6]),
+                GraphUpdate::add_edge(VertexId(24), VertexId(22)),
+            ]),
+            UpdateBatch::from_updates(vec![GraphUpdate::delete_edge(VertexId(40), VertexId(41))]),
+        ];
+        for pair in windows
+            .iter()
+            .filter(|w| !w.is_empty())
+            .collect::<Vec<_>>()
+            .windows(2)
+        {
+            let a = Footprint::for_batch(&graph, &model, pair[0]);
+            let b = Footprint::for_batch(&graph, &model, pair[1]);
+            assert!(a.disjoint(&b), "test windows must be disjoint");
+        }
+
+        let mut serial = RippleEngine::new(
+            graph.clone(),
+            model.clone(),
+            store.clone(),
+            RippleConfig::default(),
+        )
+        .unwrap();
+        let mut serial_dirty = Vec::new();
+        for window in windows.iter().filter(|w| !w.is_empty()) {
+            serial.process_batch(window).unwrap();
+            serial_dirty.extend_from_slice(RippleEngine::dirty_rows(&serial));
+        }
+        serial_dirty.sort_unstable();
+        serial_dirty.dedup();
+
+        let mut merged = RippleEngine::new(
+            graph.clone(),
+            model.clone(),
+            store.clone(),
+            RippleConfig::default(),
+        )
+        .unwrap();
+        let merged_dirty = merged.process_windows(&windows).unwrap();
+
+        assert!(merged.store() == serial.store(), "stores diverged");
+        assert!(merged.graph() == serial.graph(), "graphs diverged");
+        assert_eq!(merged.topology_epoch(), serial.topology_epoch());
+        assert_eq!(merged_dirty, serial_dirty);
+
+        // The parallel engine upholds the same contract.
+        let mut par = ParallelRippleEngine::new(
+            graph.clone(),
+            model.clone(),
+            store.clone(),
+            RippleConfig::default(),
+            2,
+        )
+        .unwrap();
+        let par_dirty = par.process_windows(&windows).unwrap();
+        assert!(par.store() == serial.store(), "parallel store diverged");
+        assert_eq!(par.topology_epoch(), serial.topology_epoch());
+        assert_eq!(par_dirty, serial_dirty);
+
+        // Box forwarding reaches the override, and the trait-default
+        // sequential fallback (an engine without dirty tracking) stays
+        // correct while reporting `None` for the union dirty set.
+        let mut boxed: Box<dyn StreamingEngine> = Box::new(
+            RippleEngine::new(
+                graph.clone(),
+                model.clone(),
+                store.clone(),
+                RippleConfig::default(),
+            )
+            .unwrap(),
+        );
+        let boxed_dirty = boxed.process_windows(&windows).unwrap().unwrap();
+        assert!(boxed.current_store() == serial.store());
+        assert_eq!(boxed.topology_epoch(), serial.topology_epoch());
+        assert_eq!(boxed_dirty, serial_dirty);
+
+        let mut rc = RecomputeEngine::new(graph, model, store, RecomputeConfig::rc()).unwrap();
+        let rc_dirty = rc.process_windows(&windows).unwrap();
+        assert!(rc_dirty.is_none(), "rc does not track dirty rows");
+        let diff = rc.current_store().max_final_diff(serial.store()).unwrap();
+        assert!(diff < 2e-3, "fallback replay diverged: {diff}");
     }
 
     #[test]

@@ -545,6 +545,48 @@ impl RippleEngine {
         Ok(stats)
     }
 
+    /// Applies a group of **pairwise footprint-disjoint** windows (see
+    /// [`crate::Footprint`]) as one merged pass over the concatenated batch,
+    /// returning the union of the dirtied rows. Bit-identical to processing
+    /// the windows sequentially: disjointness means the update operator
+    /// mutates disjoint adjacency rows, every mailbox target receives
+    /// deposits from exactly one window in its original relative order, and
+    /// re-evaluation reads only rows of the owning window's cone. The
+    /// topology epoch still advances once per non-empty window, so the
+    /// serving layer's per-window counters match a serial replay exactly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph and tensor errors like
+    /// [`RippleEngine::process_batch`]; the engine should be considered
+    /// poisoned after an error.
+    pub fn process_windows(&mut self, windows: &[UpdateBatch]) -> Result<Vec<VertexId>> {
+        let non_empty = windows.iter().filter(|b| !b.is_empty()).count();
+        match non_empty {
+            0 => return Ok(Vec::new()),
+            1 => {
+                let batch = windows.iter().find(|b| !b.is_empty()).expect("counted");
+                self.process_batch(batch)?;
+                return Ok(self.dirty.clone());
+            }
+            _ => {}
+        }
+        let mut merged = UpdateBatch::new();
+        for batch in windows.iter().filter(|b| !b.is_empty()) {
+            for update in batch.iter() {
+                merged.push(update.clone());
+            }
+        }
+        self.process_batch(&merged)?;
+        // The merged pass advanced the epoch once; a serial replay advances
+        // it once per non-empty window. Compaction timing (inside
+        // `process_batch`) only affects internal CSR layout, never reads.
+        for _ in 1..non_empty {
+            self.topo.advance_epoch();
+        }
+        Ok(self.dirty.clone())
+    }
+
     /// The `propagate` operator: walks the hops, applying mail, re-evaluating
     /// each affected frontier as one batched block in the engine's scratch
     /// arena (the **compute phase** — allocation-free in steady state) and

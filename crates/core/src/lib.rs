@@ -50,6 +50,7 @@
 pub mod batch;
 pub mod engine;
 pub mod error;
+pub mod footprint;
 pub mod mailbox;
 pub mod message;
 pub mod metrics;
@@ -59,6 +60,7 @@ pub mod shard;
 pub use batch::{StreamRunner, StreamingEngine};
 pub use engine::{RippleConfig, RippleEngine};
 pub use error::RippleError;
+pub use footprint::Footprint;
 pub use mailbox::{MailArena, MailboxSet};
 pub use message::{DeltaMessage, HaloStubs};
 pub use metrics::StreamSummary;

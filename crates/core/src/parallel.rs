@@ -380,6 +380,40 @@ impl ParallelRippleEngine {
         topo.maybe_compact();
         Ok(stats)
     }
+
+    /// Applies a group of **pairwise footprint-disjoint** windows as one
+    /// merged frontier-parallel pass, returning the union of the dirtied
+    /// rows — the same contract and bit-identity argument as
+    /// [`crate::RippleEngine::process_windows`], with the topology epoch
+    /// advancing once per non-empty window.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph and tensor errors like
+    /// [`ParallelRippleEngine::process_batch`].
+    pub fn process_windows(&mut self, windows: &[UpdateBatch]) -> Result<Vec<VertexId>> {
+        let non_empty = windows.iter().filter(|b| !b.is_empty()).count();
+        match non_empty {
+            0 => return Ok(Vec::new()),
+            1 => {
+                let batch = windows.iter().find(|b| !b.is_empty()).expect("counted");
+                self.process_batch(batch)?;
+                return Ok(self.dirty.clone());
+            }
+            _ => {}
+        }
+        let mut merged = UpdateBatch::new();
+        for batch in windows.iter().filter(|b| !b.is_empty()) {
+            for update in batch.iter() {
+                merged.push(update.clone());
+            }
+        }
+        self.process_batch(&merged)?;
+        for _ in 1..non_empty {
+            self.topo.advance_epoch();
+        }
+        Ok(self.dirty.clone())
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,308 @@
+//! Footprint-based concurrent window admission: the conflict-tracking
+//! commit pipeline in front of the serving engines.
+//!
+//! The serial scheduler closes a coalesced window, logs it, applies it, and
+//! publishes its epoch — one window fully committed before the next one is
+//! even looked at. Admission decouples *reservation* from *execution*:
+//! when a window closes, its [`Footprint`] (the vertices its updates plus
+//! their k-hop affected cones can touch) is computed against the current
+//! topology and checked against every in-flight reservation. Windows whose
+//! footprints are pairwise disjoint are **staged together**: each is
+//! WAL-logged immediately (in `window_seq` order, with its post-commit
+//! counters predicted), then the whole group executes as one merged engine
+//! pass and commits window by window, in the exact order the WAL recorded.
+//!
+//! The state machine per window:
+//!
+//! ```text
+//!           footprint computed      WAL appended,           applied +
+//!           against live topology   reservation held        epoch published
+//!  (closed) ---------------------> Pending -----------> Reserved -----------> Committed
+//!                                     |                    ^
+//!                                     | conflict with      | staged group drains
+//!                                     | in-flight set      | first, then this
+//!                                     +--------------------+ window stages alone
+//! ```
+//!
+//! A window that intersects the in-flight set is **serialized**: the staged
+//! group commits ahead of it (the conflict is counted), and only then does
+//! the conflicting window reserve — so the commit order readers observe is
+//! always the WAL's `window_seq` order, and every observable embedding is
+//! bit-identical to the serial pipeline at any concurrency level. Disjoint
+//! windows that join a non-empty group are counted as **merged**; every
+//! window committed from a group of two or more counts toward
+//! **admitted_concurrent**.
+//!
+//! The invariant the controller maintains is simple and load-bearing: the
+//! staged set is pairwise footprint-disjoint at all times. Everything else
+//! (merged-pass bit-identity, per-window epoch reconstruction from the
+//! merged dirty set, group fsync) leans on it.
+
+use ripple_core::Footprint;
+use std::time::{Duration, Instant};
+
+/// Admission knobs carried inside [`crate::ServeConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionParams {
+    /// Whether concurrent admission is on. Off (the default) keeps the
+    /// serial one-window-at-a-time pipeline exactly as it was.
+    pub enabled: bool,
+    /// Maximum in-flight (reserved, uncommitted) windows. The staged group
+    /// drains as soon as it reaches this depth. Must be at least 1.
+    pub max_inflight: usize,
+}
+
+impl Default for AdmissionParams {
+    fn default() -> Self {
+        AdmissionParams {
+            enabled: false,
+            max_inflight: 4,
+        }
+    }
+}
+
+impl AdmissionParams {
+    /// Admission enabled with the given in-flight depth.
+    pub fn enabled(max_inflight: usize) -> Self {
+        AdmissionParams {
+            enabled: true,
+            max_inflight: max_inflight.max(1),
+        }
+    }
+
+    /// Builds the knobs from the `RIPPLE_SERVE_ADMISSION` (`1`/`on`/`true`
+    /// to enable) and `RIPPLE_SERVE_INFLIGHT` (in-flight depth) environment
+    /// variables, defaulting to disabled.
+    pub fn from_env() -> Self {
+        let mut params = AdmissionParams::default();
+        if let Ok(v) = std::env::var("RIPPLE_SERVE_ADMISSION") {
+            params.enabled = matches!(v.as_str(), "1" | "on" | "true" | "yes");
+        }
+        if let Some(depth) = std::env::var("RIPPLE_SERVE_INFLIGHT")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            params.max_inflight = depth.max(1);
+        }
+        params
+    }
+}
+
+/// Lifecycle of one window moving through the admission pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowState {
+    /// Closed and footprinted, but not yet reserved (not WAL-logged).
+    Pending,
+    /// WAL-logged and holding a reservation in the in-flight set.
+    Reserved,
+    /// Applied and published; the reservation is released.
+    Committed,
+}
+
+/// One window travelling through admission: its sequence number, its
+/// footprint reservation, and whatever bookkeeping the caller needs to
+/// commit it later (`P` differs between the single-engine scheduler and the
+/// shard workers).
+#[derive(Debug)]
+pub struct StagedWindow<P> {
+    seq: u64,
+    footprint: Footprint,
+    state: WindowState,
+    /// Caller-owned commit bookkeeping (batch, predicted counters, lag
+    /// instants, …).
+    pub payload: P,
+}
+
+impl<P> StagedWindow<P> {
+    /// A freshly closed window in the [`WindowState::Pending`] state.
+    pub fn pending(seq: u64, footprint: Footprint, payload: P) -> Self {
+        StagedWindow {
+            seq,
+            footprint,
+            state: WindowState::Pending,
+            payload,
+        }
+    }
+
+    /// The window's logged sequence number.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The window's read/write footprint.
+    pub fn footprint(&self) -> &Footprint {
+        &self.footprint
+    }
+
+    /// Where the window is in the Pending → Reserved → Committed lifecycle.
+    pub fn state(&self) -> WindowState {
+        self.state
+    }
+
+    /// Marks the window committed (its epoch published). Must currently be
+    /// Reserved — the pipeline never commits a window it has not logged.
+    pub fn commit(&mut self) {
+        debug_assert_eq!(self.state, WindowState::Reserved, "commit before reserve");
+        self.state = WindowState::Committed;
+    }
+}
+
+/// The in-flight reservation set: at most `max_inflight` staged windows
+/// whose footprints are pairwise disjoint, waiting to execute as one merged
+/// group. Commit order is staging order, which is `window_seq` order.
+#[derive(Debug)]
+pub struct AdmissionController<P> {
+    max_inflight: usize,
+    staged: Vec<StagedWindow<P>>,
+    /// Instant the oldest currently staged window was reserved, bounding
+    /// how long an admitted window may wait for co-travellers.
+    staged_since: Option<Instant>,
+}
+
+impl<P> AdmissionController<P> {
+    /// An empty controller admitting up to `max_inflight` windows.
+    pub fn new(max_inflight: usize) -> Self {
+        AdmissionController {
+            max_inflight: max_inflight.max(1),
+            staged: Vec::new(),
+            staged_since: None,
+        }
+    }
+
+    /// Number of in-flight (reserved) windows.
+    pub fn len(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Whether no window is currently reserved.
+    pub fn is_empty(&self) -> bool {
+        self.staged.is_empty()
+    }
+
+    /// Whether the staged group has reached the in-flight cap (the caller
+    /// must drain before staging more).
+    pub fn is_full(&self) -> bool {
+        self.staged.len() >= self.max_inflight
+    }
+
+    /// Whether `footprint` is disjoint from every in-flight reservation —
+    /// i.e. whether a window with this footprint may join the staged group
+    /// without being observable. An empty group admits anything.
+    pub fn admits(&self, footprint: &Footprint) -> bool {
+        self.staged.iter().all(|w| w.footprint.disjoint(footprint))
+    }
+
+    /// Reserves `window`: transitions it Pending → Reserved and adds it to
+    /// the in-flight set. The caller must have WAL-logged the window and
+    /// checked [`AdmissionController::admits`] (debug-asserted here — a
+    /// conflicting reservation would break bit-identity, not just perf).
+    pub fn reserve(&mut self, mut window: StagedWindow<P>) {
+        debug_assert_eq!(window.state, WindowState::Pending, "double reserve");
+        debug_assert!(
+            self.admits(&window.footprint),
+            "reserving a conflicting window"
+        );
+        debug_assert!(!self.is_full(), "reserving past the in-flight cap");
+        debug_assert!(
+            self.staged
+                .last()
+                .map(|w| w.seq < window.seq)
+                .unwrap_or(true),
+            "reservations must stage in window_seq order"
+        );
+        window.state = WindowState::Reserved;
+        self.staged_since.get_or_insert_with(Instant::now);
+        self.staged.push(window);
+    }
+
+    /// The most recently reserved window, if any — the one whose predicted
+    /// post-commit counters the next reservation chains from.
+    pub fn last(&self) -> Option<&StagedWindow<P>> {
+        self.staged.last()
+    }
+
+    /// Takes the whole staged group for execution, in staging (=
+    /// `window_seq`) order, emptying the in-flight set.
+    pub fn take_group(&mut self) -> Vec<StagedWindow<P>> {
+        self.staged_since = None;
+        std::mem::take(&mut self.staged)
+    }
+
+    /// The instant by which the staged group must drain so no admitted
+    /// window waits longer than `max_delay` for co-travellers.
+    pub fn deadline(&self, max_delay: Duration) -> Option<Instant> {
+        self.staged_since.map(|t| t + max_delay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ripple_graph::VertexId;
+
+    fn fp(vertices: &[u32]) -> Footprint {
+        Footprint::from_writes(vertices.iter().map(|&v| VertexId(v)).collect())
+    }
+
+    #[test]
+    fn disjoint_windows_stage_until_the_cap() {
+        let mut ctl: AdmissionController<()> = AdmissionController::new(2);
+        assert!(ctl.admits(&fp(&[1, 2])));
+        ctl.reserve(StagedWindow::pending(1, fp(&[1, 2]), ()));
+        assert!(ctl.admits(&fp(&[3])));
+        assert!(!ctl.admits(&fp(&[2, 3])), "overlap on vertex 2");
+        ctl.reserve(StagedWindow::pending(2, fp(&[3]), ()));
+        assert!(ctl.is_full(), "cap of 2 reached");
+        let group = ctl.take_group();
+        assert_eq!(group.len(), 2);
+        assert!(ctl.is_empty());
+        assert_eq!(
+            group.iter().map(StagedWindow::seq).collect::<Vec<_>>(),
+            vec![1, 2],
+            "groups drain in window_seq order"
+        );
+        assert!(group.iter().all(|w| w.state() == WindowState::Reserved));
+    }
+
+    #[test]
+    fn window_state_machine_advances_in_order() {
+        let mut ctl: AdmissionController<u8> = AdmissionController::new(4);
+        let w = StagedWindow::pending(7, fp(&[5]), 42u8);
+        assert_eq!(w.state(), WindowState::Pending);
+        ctl.reserve(w);
+        let mut group = ctl.take_group();
+        assert_eq!(group[0].state(), WindowState::Reserved);
+        group[0].commit();
+        assert_eq!(group[0].state(), WindowState::Committed);
+        assert_eq!(group[0].payload, 42);
+    }
+
+    #[test]
+    fn empty_footprints_always_coexist() {
+        let mut ctl: AdmissionController<()> = AdmissionController::new(4);
+        ctl.reserve(StagedWindow::pending(1, Footprint::empty(), ()));
+        assert!(ctl.admits(&Footprint::empty()));
+        assert!(ctl.admits(&fp(&[0, 1, 2])));
+    }
+
+    #[test]
+    fn deadline_tracks_the_oldest_reservation() {
+        let mut ctl: AdmissionController<()> = AdmissionController::new(4);
+        assert!(ctl.deadline(Duration::from_millis(5)).is_none());
+        ctl.reserve(StagedWindow::pending(1, fp(&[1]), ()));
+        let d1 = ctl.deadline(Duration::from_millis(5)).unwrap();
+        ctl.reserve(StagedWindow::pending(2, fp(&[2]), ()));
+        let d2 = ctl.deadline(Duration::from_millis(5)).unwrap();
+        assert_eq!(d1, d2, "later reservations do not extend the deadline");
+        ctl.take_group();
+        assert!(ctl.deadline(Duration::from_millis(5)).is_none());
+    }
+
+    #[test]
+    fn params_default_off_and_clamp_inflight() {
+        let params = AdmissionParams::default();
+        assert!(!params.enabled);
+        assert_eq!(AdmissionParams::enabled(0).max_inflight, 1);
+        assert!(AdmissionParams::enabled(4).enabled);
+    }
+}

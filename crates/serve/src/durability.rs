@@ -39,11 +39,11 @@
 use crate::scheduler::ServeError;
 use ripple_core::DeltaMessage;
 use ripple_gnn::EmbeddingStore;
-use ripple_graph::{DynamicGraph, GraphUpdate, UpdateBatch, VertexId};
+use ripple_graph::{DynamicGraph, GraphUpdate, PartitionId, UpdateBatch, VertexId};
 use ripple_tensor::Matrix;
 use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
-use std::io::{Read, Write};
+use std::io::{BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -55,9 +55,9 @@ pub const FP_WAL_BEFORE_APPEND: &str = "wal.append.before";
 /// the payload reach the file, then the append fails. Recovery must detect
 /// the torn frame by checksum and drop it.
 pub const FP_WAL_TORN_APPEND: &str = "wal.append.torn";
-/// Fail point consulted after the frame is durable but before the engine
-/// applies the window: recovery must replay a window the crashed process
-/// never published.
+/// Fail point consulted after the frame is appended (durable up to the
+/// fsync policy) but before the engine applies the window: recovery must
+/// replay a window the crashed process never published.
 pub const FP_WAL_AFTER_APPEND: &str = "wal.append.after";
 /// Fail point consulted after the epoch is published but before a due
 /// checkpoint is taken (kills between the publish and checkpoint sections).
@@ -263,6 +263,26 @@ pub struct WalFrame {
     pub batch: UpdateBatch,
     /// Halo deltas applied with this window (sharded tier only).
     pub halos: Vec<DeltaMessage>,
+    /// Provenance runs over `halos`: which sender shard shipped each
+    /// consecutive run of deltas, and under which sender-side window
+    /// sequence. Recovery rebuilds the receiver's per-sender dedup
+    /// watermarks from these runs so a crashed sender re-shipping an
+    /// in-flight window applies exactly once.
+    pub halo_sources: Vec<HaloSource>,
+}
+
+/// One run of halo deltas inside a [`WalFrame`]: `count` consecutive
+/// entries of `frame.halos` that arrived from shard `from` tagged with the
+/// sender's `window_seq`. Runs appear in the same order as the deltas they
+/// describe and their counts sum to `frame.halos.len()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HaloSource {
+    /// Shard that produced the deltas.
+    pub from: PartitionId,
+    /// The sender's window sequence for the flush that produced them.
+    pub window_seq: u64,
+    /// Number of consecutive `halos` entries in this run.
+    pub count: u32,
 }
 
 const FRAME_HEADER_BYTES: usize = 8;
@@ -272,7 +292,13 @@ const CKPT_MAGIC: &[u8; 8] = b"RPLCKPT1";
 /// set has no checksum crate. Bitwise, no table: WAL frames are small and
 /// checkpoint writes are rare.
 pub fn crc32(data: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
+    !crc32_update(0xFFFF_FFFF, data)
+}
+
+/// Incremental CRC-32 state update (state starts at `0xFFFF_FFFF`, finish
+/// with a bitwise NOT). Lets the streaming checkpoint writer checksum
+/// without buffering the whole payload.
+fn crc32_update(mut crc: u32, data: &[u8]) -> u32 {
     for &byte in data {
         crc ^= byte as u32;
         for _ in 0..8 {
@@ -280,7 +306,40 @@ pub fn crc32(data: &[u8]) -> u32 {
             crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
         }
     }
-    !crc
+    crc
+}
+
+/// A `Write` adapter that checksums everything passing through it. The
+/// streaming checkpoint path writes straight to a `BufWriter<File>` through
+/// this, so no payload-sized buffer ever exists in memory.
+struct CrcWriter<W: Write> {
+    inner: W,
+    crc: u32,
+}
+
+impl<W: Write> CrcWriter<W> {
+    fn new(inner: W) -> Self {
+        CrcWriter {
+            inner,
+            crc: 0xFFFF_FFFF,
+        }
+    }
+
+    fn finish_crc(&self) -> u32 {
+        !self.crc
+    }
+}
+
+impl<W: Write> Write for CrcWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.crc = crc32_update(self.crc, &buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
 }
 
 fn put_u32(buf: &mut Vec<u8>, v: u32) {
@@ -396,14 +455,6 @@ fn read_update(cur: &mut Cursor<'_>) -> Option<GraphUpdate> {
     }
 }
 
-fn put_matrix(buf: &mut Vec<u8>, m: &Matrix) {
-    put_u32(buf, m.rows() as u32);
-    put_u32(buf, m.cols() as u32);
-    for &x in m.as_slice() {
-        put_f32(buf, x);
-    }
-}
-
 fn read_matrix(cur: &mut Cursor<'_>) -> Option<Matrix> {
     let rows = cur.u32()? as usize;
     let cols = cur.u32()? as usize;
@@ -433,6 +484,12 @@ fn encode_payload(frame: &WalFrame) -> Vec<u8> {
             put_f32(&mut buf, x);
         }
     }
+    put_u32(&mut buf, frame.halo_sources.len() as u32);
+    for source in &frame.halo_sources {
+        put_u32(&mut buf, source.from.0);
+        put_u64(&mut buf, source.window_seq);
+        put_u32(&mut buf, source.count);
+    }
     buf
 }
 
@@ -457,6 +514,23 @@ fn decode_payload(payload: &[u8]) -> Option<WalFrame> {
         let len = cur.u32()? as usize;
         halos.push(DeltaMessage::new(target, hop, cur.f32_vec(len)?));
     }
+    let n_sources = cur.u32()? as usize;
+    let mut halo_sources = Vec::with_capacity(n_sources.min(payload.len()));
+    let mut covered = 0u64;
+    for _ in 0..n_sources {
+        let source = HaloSource {
+            from: PartitionId(cur.u32()?),
+            window_seq: cur.u64()?,
+            count: cur.u32()?,
+        };
+        covered += source.count as u64;
+        halo_sources.push(source);
+    }
+    // Provenance runs must tile the halo list exactly; anything else is a
+    // corrupt frame.
+    if covered != halos.len() as u64 {
+        return None;
+    }
     if !cur.done() {
         return None;
     }
@@ -469,6 +543,7 @@ fn decode_payload(payload: &[u8]) -> Option<WalFrame> {
         raw,
         batch: UpdateBatch::from_updates(updates),
         halos,
+        halo_sources,
     })
 }
 
@@ -525,6 +600,7 @@ pub struct WalWriter {
     fsync: FsyncPolicy,
     fail: FailPoints,
     segments_created: u64,
+    syncs: u64,
 }
 
 impl WalWriter {
@@ -571,13 +647,25 @@ impl WalWriter {
             fsync,
             fail,
             segments_created: 0,
+            syncs: 0,
         })
     }
 
-    /// Appends one frame, honouring the fsync policy and any armed fail
-    /// points. An error here must poison the session: the frame may or may
-    /// not be durable, and only recovery can tell.
+    /// Appends one frame and makes it durable per the fsync policy. This is
+    /// the serial path: one window, one (conditional) sync. An error here
+    /// must poison the session: the frame may or may not be durable, and
+    /// only recovery can tell.
     pub fn append(&mut self, frame: &WalFrame) -> crate::Result<()> {
+        self.append_unsynced(frame)?;
+        self.sync()
+    }
+
+    /// Appends one frame *without* syncing, honouring any armed fail
+    /// points. The group-commit path under concurrent admission queues
+    /// several staged windows through here and then issues a single
+    /// [`WalWriter::sync`] for the whole group — one fsync covers every
+    /// frame queued since the last sync.
+    pub fn append_unsynced(&mut self, frame: &WalFrame) -> crate::Result<()> {
         if self.fail.fire(FP_WAL_BEFORE_APPEND) {
             return Err(ServeError::Wal(format!(
                 "fail point {FP_WAL_BEFORE_APPEND} fired before window {}",
@@ -585,6 +673,13 @@ impl WalWriter {
             )));
         }
         if self.written >= self.segment_bytes {
+            // Close out the old segment durably before rotating: a group
+            // sync after rotation only reaches the new file descriptor.
+            if self.fsync == FsyncPolicy::Always {
+                self.file
+                    .sync_data()
+                    .map_err(|e| wal_err("syncing rotated WAL segment", e))?;
+            }
             self.file = File::create(segment_path(&self.dir, frame.window_seq))
                 .map_err(|e| wal_err("rotating WAL segment", e))?;
             self.written = 0;
@@ -607,17 +702,24 @@ impl WalWriter {
         self.file
             .write_all(&bytes)
             .map_err(|e| wal_err("appending WAL frame", e))?;
+        self.written += bytes.len() as u64;
+        if self.fail.fire(FP_WAL_AFTER_APPEND) {
+            return Err(ServeError::Wal(format!(
+                "fail point {FP_WAL_AFTER_APPEND} fired after window {} was appended",
+                frame.window_seq
+            )));
+        }
+        Ok(())
+    }
+
+    /// Makes every frame appended since the last sync durable. A no-op
+    /// under [`FsyncPolicy::Never`].
+    pub fn sync(&mut self) -> crate::Result<()> {
         if self.fsync == FsyncPolicy::Always {
             self.file
                 .sync_data()
                 .map_err(|e| wal_err("syncing WAL frame", e))?;
-        }
-        self.written += bytes.len() as u64;
-        if self.fail.fire(FP_WAL_AFTER_APPEND) {
-            return Err(ServeError::Wal(format!(
-                "fail point {FP_WAL_AFTER_APPEND} fired after window {} became durable",
-                frame.window_seq
-            )));
+            self.syncs += 1;
         }
         Ok(())
     }
@@ -625,6 +727,12 @@ impl WalWriter {
     /// Number of segment rotations performed by this writer.
     pub fn segments_created(&self) -> u64 {
         self.segments_created
+    }
+
+    /// Number of explicit `fdatasync` calls issued (group commit batches
+    /// several appends behind one of these).
+    pub fn syncs(&self) -> u64 {
+        self.syncs
     }
 }
 
@@ -710,49 +818,124 @@ pub struct Checkpoint {
     pub graph: DynamicGraph,
     /// The engine's embedding store.
     pub store: EmbeddingStore,
+    /// Per-sender halo dedup watermarks at the boundary (sharded tier):
+    /// the highest sender `window_seq` whose deltas are folded into this
+    /// state, per peer shard. Restored so re-shipped in-flight deltas from
+    /// a recovering peer are recognised as already applied even after the
+    /// WAL frames carrying their provenance have been pruned.
+    pub halo_watermarks: Vec<(PartitionId, u64)>,
 }
 
-fn encode_checkpoint(ckpt: &Checkpoint) -> Vec<u8> {
-    let mut buf = Vec::new();
-    put_u64(&mut buf, ckpt.window_seq);
-    put_u64(&mut buf, ckpt.epoch);
-    put_u64(&mut buf, ckpt.applied_seq);
-    put_u64(&mut buf, ckpt.applied_secondary);
-    put_u64(&mut buf, ckpt.topology_epoch);
+impl Checkpoint {
+    /// A borrowed view of this checkpoint, for the streaming write path.
+    pub fn as_ref(&self) -> CheckpointRef<'_> {
+        CheckpointRef {
+            window_seq: self.window_seq,
+            epoch: self.epoch,
+            applied_seq: self.applied_seq,
+            applied_secondary: self.applied_secondary,
+            topology_epoch: self.topology_epoch,
+            graph: &self.graph,
+            store: &self.store,
+            halo_watermarks: &self.halo_watermarks,
+        }
+    }
+}
+
+/// A borrowed checkpoint: same fields as [`Checkpoint`] but referencing the
+/// engine's live (quiesced) graph and store instead of owning clones. The
+/// scheduler checkpoints through this so the store — by far the largest
+/// object in the session — is streamed to disk without ever being cloned.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointRef<'a> {
+    /// Window sequence this checkpoint covers.
+    pub window_seq: u64,
+    /// Published epoch at the boundary.
+    pub epoch: u64,
+    /// Raw updates applied through the boundary.
+    pub applied_seq: u64,
+    /// Secondary updates applied through the boundary (sharded tier).
+    pub applied_secondary: u64,
+    /// Topology epoch at the boundary.
+    pub topology_epoch: u64,
+    /// The engine's graph.
+    pub graph: &'a DynamicGraph,
+    /// The engine's embedding store.
+    pub store: &'a EmbeddingStore,
+    /// Per-sender halo dedup watermarks (empty on the single-engine tier).
+    pub halo_watermarks: &'a [(PartitionId, u64)],
+}
+
+fn write_u32<W: Write>(w: &mut W, v: u32) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_f32<W: Write>(w: &mut W, v: f32) -> std::io::Result<()> {
+    write_u32(w, v.to_bits())
+}
+
+fn write_matrix<W: Write>(w: &mut W, m: &Matrix) -> std::io::Result<()> {
+    write_u32(w, m.rows() as u32)?;
+    write_u32(w, m.cols() as u32)?;
+    for &x in m.as_slice() {
+        write_f32(w, x)?;
+    }
+    Ok(())
+}
+
+/// Streams the checkpoint payload (everything the trailer checksum covers)
+/// straight into `w`. This is the no-clone path: the graph and store are
+/// borrowed, the matrices are walked in place, and the only buffering is
+/// whatever `w` itself does (a `BufWriter` in practice).
+fn write_checkpoint_payload<W: Write>(w: &mut W, ckpt: &CheckpointRef<'_>) -> std::io::Result<()> {
+    write_u64(w, ckpt.window_seq)?;
+    write_u64(w, ckpt.epoch)?;
+    write_u64(w, ckpt.applied_seq)?;
+    write_u64(w, ckpt.applied_secondary)?;
+    write_u64(w, ckpt.topology_epoch)?;
     let n = ckpt.graph.num_vertices();
-    put_u32(&mut buf, n as u32);
-    put_matrix(&mut buf, ckpt.graph.features());
-    put_u64(&mut buf, ckpt.graph.num_edges() as u64);
+    write_u32(w, n as u32)?;
+    write_matrix(w, ckpt.graph.features())?;
+    write_u64(w, ckpt.graph.num_edges() as u64)?;
     for u in 0..n {
         let v = VertexId(u as u32);
         let neighbors = ckpt.graph.out_neighbors(v);
         let weights = ckpt.graph.out_weights(v);
-        put_u32(&mut buf, neighbors.len() as u32);
-        for (n, w) in neighbors.iter().zip(weights) {
-            put_u32(&mut buf, n.0);
-            put_f32(&mut buf, *w);
+        write_u32(w, neighbors.len() as u32)?;
+        for (id, weight) in neighbors.iter().zip(weights) {
+            write_u32(w, id.0)?;
+            write_f32(w, *weight)?;
         }
     }
     for u in 0..n {
         let v = VertexId(u as u32);
         let neighbors = ckpt.graph.in_neighbors(v);
         let weights = ckpt.graph.in_weights(v);
-        put_u32(&mut buf, neighbors.len() as u32);
-        for (n, w) in neighbors.iter().zip(weights) {
-            put_u32(&mut buf, n.0);
-            put_f32(&mut buf, *w);
+        write_u32(w, neighbors.len() as u32)?;
+        for (id, weight) in neighbors.iter().zip(weights) {
+            write_u32(w, id.0)?;
+            write_f32(w, *weight)?;
         }
     }
     let layers = ckpt.store.num_layers();
-    put_u32(&mut buf, (layers + 1) as u32);
+    write_u32(w, (layers + 1) as u32)?;
     for l in 0..=layers {
-        put_matrix(&mut buf, ckpt.store.embeddings(l));
+        write_matrix(w, ckpt.store.embeddings(l))?;
     }
-    put_u32(&mut buf, layers as u32);
+    write_u32(w, layers as u32)?;
     for l in 1..=layers {
-        put_matrix(&mut buf, ckpt.store.aggregates(l));
+        write_matrix(w, ckpt.store.aggregates(l))?;
     }
-    buf
+    write_u32(w, ckpt.halo_watermarks.len() as u32)?;
+    for (peer, seq) in ckpt.halo_watermarks {
+        write_u32(w, peer.0)?;
+        write_u64(w, *seq)?;
+    }
+    Ok(())
 }
 
 fn decode_checkpoint(payload: &[u8]) -> Option<Checkpoint> {
@@ -798,6 +981,13 @@ fn decode_checkpoint(payload: &[u8]) -> Option<Checkpoint> {
     for _ in 0..n_aggregates {
         aggregates.push(read_matrix(&mut cur)?);
     }
+    let n_watermarks = cur.u32()? as usize;
+    let mut halo_watermarks = Vec::with_capacity(n_watermarks.min(payload.len()));
+    for _ in 0..n_watermarks {
+        let peer = PartitionId(cur.u32()?);
+        let seq = cur.u64()?;
+        halo_watermarks.push((peer, seq));
+    }
     if !cur.done() {
         return None;
     }
@@ -810,36 +1000,62 @@ fn decode_checkpoint(payload: &[u8]) -> Option<Checkpoint> {
         topology_epoch,
         graph,
         store,
+        halo_watermarks,
     })
 }
 
-/// Writes a checkpoint durably: temp file, checksum trailer, fsync, atomic
-/// rename. Retains the previous checkpoint as a fallback and prunes older
-/// ones plus any WAL segments wholly covered by the retained horizon.
+/// Writes an owned checkpoint durably. Thin wrapper over
+/// [`write_checkpoint_ref`] for callers that already hold a [`Checkpoint`]
+/// (recovery round-trip tests, mostly).
 pub fn write_checkpoint(
     dir: &Path,
     ckpt: &Checkpoint,
     fsync: FsyncPolicy,
     fail: &FailPoints,
 ) -> crate::Result<()> {
+    write_checkpoint_ref(dir, &ckpt.as_ref(), fsync, fail)
+}
+
+/// Writes a checkpoint durably from *borrowed* state: temp file, streamed
+/// payload with a checksum trailer, fsync, atomic rename. Retains the
+/// previous checkpoint as a fallback and prunes older ones plus any WAL
+/// segments wholly covered by the retained horizon.
+///
+/// The payload is streamed through a CRC-tracking `BufWriter`, so the
+/// scheduler can checkpoint its quiesced engine without cloning the graph
+/// or the embedding store and without materialising a payload-sized buffer.
+pub fn write_checkpoint_ref(
+    dir: &Path,
+    ckpt: &CheckpointRef<'_>,
+    fsync: FsyncPolicy,
+    fail: &FailPoints,
+) -> crate::Result<()> {
     fs::create_dir_all(dir).map_err(|e| wal_err("creating checkpoint directory", e))?;
-    let payload = encode_checkpoint(ckpt);
-    let mut bytes = Vec::with_capacity(CKPT_MAGIC.len() + payload.len() + 4);
-    bytes.extend_from_slice(CKPT_MAGIC);
-    bytes.extend_from_slice(&payload);
-    put_u32(&mut bytes, crc32(&payload));
     let tmp = dir.join(format!("ckpt-{:020}.tmp", ckpt.window_seq));
     if fail.fire(FP_CKPT_MID) {
-        // Crash mid-checkpoint: half the temp file exists, no rename.
-        let _ = fs::write(&tmp, &bytes[..bytes.len() / 2]);
+        // Crash mid-checkpoint: a torn temp file exists, no rename.
+        let _ = fs::write(&tmp, CKPT_MAGIC);
         return Err(ServeError::Wal(format!(
             "fail point {FP_CKPT_MID} abandoned checkpoint {}",
             ckpt.window_seq
         )));
     }
-    let mut file = File::create(&tmp).map_err(|e| wal_err("creating checkpoint temp file", e))?;
-    file.write_all(&bytes)
+    let file = File::create(&tmp).map_err(|e| wal_err("creating checkpoint temp file", e))?;
+    let mut writer = CrcWriter::new(BufWriter::new(file));
+    // The magic goes around the checksum, not under it.
+    writer
+        .inner
+        .write_all(CKPT_MAGIC)
+        .and_then(|_| write_checkpoint_payload(&mut writer, ckpt))
         .map_err(|e| wal_err("writing checkpoint", e))?;
+    let crc = writer.finish_crc();
+    let mut buffered = writer.inner;
+    buffered
+        .write_all(&crc.to_le_bytes())
+        .map_err(|e| wal_err("writing checkpoint trailer", e))?;
+    let file = buffered
+        .into_inner()
+        .map_err(|e| wal_err("flushing checkpoint", e.into_error()))?;
     if fsync == FsyncPolicy::Always {
         file.sync_data()
             .map_err(|e| wal_err("syncing checkpoint", e))?;
@@ -1008,6 +1224,11 @@ mod tests {
             raw: updates.len() as u64 + 1,
             batch: UpdateBatch::from_updates(updates),
             halos: vec![DeltaMessage::new(VertexId(2), 1, vec![0.5, -0.25])],
+            halo_sources: vec![HaloSource {
+                from: PartitionId(1),
+                window_seq: seq,
+                count: 1,
+            }],
         }
     }
 
@@ -1102,6 +1323,33 @@ mod tests {
         assert_eq!(scan.dropped_tail_bytes, 0);
         assert!(scan.segments >= 3);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn group_commit_issues_one_fsync_per_group() {
+        let dir = test_dir("group-sync");
+        let mut writer =
+            WalWriter::open(&dir, 1, u64::MAX, FsyncPolicy::Always, FailPoints::new()).unwrap();
+        for seq in 1..=4 {
+            writer
+                .append_unsynced(&frame(seq, sample_updates()))
+                .unwrap();
+        }
+        assert_eq!(writer.syncs(), 0, "staged appends must not sync one by one");
+        writer.sync().unwrap();
+        assert_eq!(writer.syncs(), 1, "one fsync covers the whole staged group");
+        writer.append(&frame(5, sample_updates())).unwrap();
+        assert_eq!(writer.syncs(), 2, "the serial path still syncs per window");
+        assert_eq!(read_wal(&dir).unwrap().frames.len(), 5);
+
+        let never = test_dir("group-sync-never");
+        let mut writer =
+            WalWriter::open(&never, 1, u64::MAX, FsyncPolicy::Never, FailPoints::new()).unwrap();
+        writer.append(&frame(1, sample_updates())).unwrap();
+        writer.sync().unwrap();
+        assert_eq!(writer.syncs(), 0, "Never policy issues no fsyncs at all");
+        let _ = fs::remove_dir_all(&dir);
+        let _ = fs::remove_dir_all(&never);
     }
 
     #[test]

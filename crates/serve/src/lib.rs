@@ -67,6 +67,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod admission;
 pub mod durability;
 pub mod frontend;
 pub mod histogram;
@@ -80,6 +81,7 @@ pub mod shard;
 pub mod soak;
 pub mod versioned;
 
+pub use admission::{AdmissionController, AdmissionParams, StagedWindow, WindowState};
 pub use durability::{
     DurabilityConfig, FailPoints, FsyncPolicy, RecoveryReport, FP_AFTER_PUBLISH, FP_CKPT_MID,
     FP_WAL_AFTER_APPEND, FP_WAL_BEFORE_APPEND, FP_WAL_TORN_APPEND,
@@ -88,8 +90,9 @@ pub use frontend::{ServeClient, ServeFrontend};
 pub use histogram::LatencyHistogram;
 pub use index::{IndexParams, IndexReader, IndexStats, TopKIndex};
 pub use loadgen::{
-    run_loadgen, run_nprobe_sweep, run_topk_bench, LoadgenConfig, LoadgenReport, NprobeSweepPoint,
-    NprobeSweepReport, TopKBenchPoint, TopKBenchReport, DEFAULT_NPROBE,
+    run_admission_bench, run_loadgen, run_nprobe_sweep, run_topk_bench, AdmissionBenchPoint,
+    AdmissionBenchReport, LoadgenConfig, LoadgenReport, NprobeSweepPoint, NprobeSweepReport,
+    TopKBenchPoint, TopKBenchReport, DEFAULT_NPROBE,
 };
 pub use metrics::{MetricsReport, ServeMetrics};
 pub use query::{QueryService, ReadMode, Stamped, TopKRequest};

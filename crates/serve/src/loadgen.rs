@@ -39,7 +39,7 @@ use ripple_gnn::layer_wise::full_inference;
 use ripple_gnn::Workload;
 use ripple_graph::stream::{build_stream, StreamConfig};
 use ripple_graph::synth::DatasetSpec;
-use ripple_graph::{GraphUpdate, UpdateBatch, VertexId};
+use ripple_graph::{DynamicGraph, GraphUpdate, UpdateBatch, VertexId};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -116,6 +116,8 @@ impl LoadgenConfig {
     /// | `RIPPLE_SERVE_POLICY` | `block` or `shed` backpressure | `block` |
     /// | `RIPPLE_SERVE_READ_MODE` | `exact` or `approx` top-k reads | `exact` |
     /// | `RIPPLE_SERVE_NPROBE` | probed clusters of approx reads | 16 |
+    /// | `RIPPLE_SERVE_ADMISSION` | `1`/`on` enables concurrent admission | off |
+    /// | `RIPPLE_SERVE_INFLIGHT` | in-flight admission window depth | 4 |
     pub fn from_env() -> Self {
         let scale = std::env::var("RIPPLE_SCALE").unwrap_or_default();
         let (vertices, avg_degree, feature_dim, updates) = match scale.to_lowercase().as_str() {
@@ -159,6 +161,7 @@ impl LoadgenConfig {
                 _ => BackpressurePolicy::Block,
             };
         }
+        config.serve.admission = crate::admission::AdmissionParams::from_env();
         if let Ok(mode) = std::env::var("RIPPLE_SERVE_READ_MODE") {
             config.read_mode = match mode.to_lowercase().as_str() {
                 "approx" => ReadMode::Approx {
@@ -1164,6 +1167,341 @@ pub fn run_nprobe_sweep(
     }
 }
 
+/// One measured mode of the admission benchmark: a scenario run at one
+/// in-flight depth (depth 0 is the serial baseline every other depth is
+/// bit-compared against).
+#[derive(Debug, Clone)]
+pub struct AdmissionBenchPoint {
+    /// Which workload shape this point ran.
+    pub scenario: &'static str,
+    /// In-flight admission depth (0 = serial pipeline, admission off).
+    pub depth: usize,
+    /// Windows committed (= epochs published).
+    pub windows: u64,
+    /// Windows committed inside concurrent groups of two or more.
+    pub admitted_concurrent: u64,
+    /// Footprint conflicts detected while staging.
+    pub conflicts: u64,
+    /// Windows that joined an already non-empty staged group.
+    pub merged: u64,
+    /// Windows serialized behind a conflicting in-flight group.
+    pub serialized: u64,
+    /// Wall-clock time from first submit to drained shutdown.
+    pub elapsed: Duration,
+    /// Bit-parity violations against the serial baseline: differing
+    /// per-window commit stamps or a diverged final store. Must be zero —
+    /// [`run_admission_bench`] also panics on any.
+    pub parity_violations: u64,
+}
+
+/// Result of [`run_admission_bench`]: the serial baseline plus every
+/// admission depth, for each scenario.
+#[derive(Debug, Clone)]
+pub struct AdmissionBenchReport {
+    /// Measured points, grouped by scenario in depth order (serial first).
+    pub points: Vec<AdmissionBenchPoint>,
+}
+
+impl AdmissionBenchReport {
+    /// Total windows committed inside concurrent groups, across all points.
+    pub fn admitted_concurrent(&self) -> u64 {
+        self.points.iter().map(|p| p.admitted_concurrent).sum()
+    }
+
+    /// Total bit-parity violations across all points (must be zero).
+    pub fn parity_violations(&self) -> u64 {
+        self.points.iter().map(|p| p.parity_violations).sum()
+    }
+
+    /// The `BENCH_admission.json` artifact (hand-rolled: the offline serde
+    /// shim has no serialiser).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"experiment\": \"serve_admission_bench\",\n");
+        out.push_str(&format!(
+            "  \"admitted_concurrent\": {},\n",
+            self.admitted_concurrent()
+        ));
+        out.push_str(&format!(
+            "  \"parity_violations\": {},\n",
+            self.parity_violations()
+        ));
+        out.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"scenario\": \"{}\",\n", p.scenario));
+            out.push_str(&format!("      \"depth\": {},\n", p.depth));
+            out.push_str(&format!("      \"windows\": {},\n", p.windows));
+            out.push_str(&format!(
+                "      \"admitted_concurrent\": {},\n",
+                p.admitted_concurrent
+            ));
+            out.push_str(&format!("      \"conflicts\": {},\n", p.conflicts));
+            out.push_str(&format!("      \"merged\": {},\n", p.merged));
+            out.push_str(&format!("      \"serialized\": {},\n", p.serialized));
+            out.push_str(&format!(
+                "      \"elapsed_ms\": {:.3},\n",
+                p.elapsed.as_secs_f64() * 1e3
+            ));
+            out.push_str(&format!(
+                "      \"parity_violations\": {}\n",
+                p.parity_violations
+            ));
+            out.push_str(if i + 1 == self.points.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+impl std::fmt::Display for AdmissionBenchReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:>16} {:>6} {:>8} {:>9} {:>10} {:>7} {:>11} {:>11} {:>7}",
+            "scenario",
+            "depth",
+            "windows",
+            "admitted",
+            "conflicts",
+            "merged",
+            "serialized",
+            "elapsed ms",
+            "parity"
+        )?;
+        for p in &self.points {
+            writeln!(
+                f,
+                "{:>16} {:>6} {:>8} {:>9} {:>10} {:>7} {:>11} {:>11.2} {:>7}",
+                p.scenario,
+                p.depth,
+                p.windows,
+                p.admitted_concurrent,
+                p.conflicts,
+                p.merged,
+                p.serialized,
+                p.elapsed.as_secs_f64() * 1e3,
+                if p.parity_violations == 0 {
+                    "ok"
+                } else {
+                    "FAIL"
+                },
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// One admission-bench workload: a bootstrap spine plus the update stream
+/// and the window size that shapes its footprints.
+struct AdmissionScenario {
+    name: &'static str,
+    graph: DynamicGraph,
+    model: ripple_gnn::GnnModel,
+    store: ripple_gnn::EmbeddingStore,
+    updates: Vec<GraphUpdate>,
+    max_batch: usize,
+}
+
+/// What one serial or admission run leaves behind for bit-comparison.
+struct AdmissionRun {
+    store: ripple_gnn::EmbeddingStore,
+    stamps: Vec<(u64, u64, u64, u64)>,
+    metrics: MetricsReport,
+    elapsed: Duration,
+}
+
+fn run_admission_mode(scenario: &AdmissionScenario, depth: usize) -> AdmissionRun {
+    let engine = RippleEngine::new(
+        scenario.graph.clone(),
+        scenario.model.clone(),
+        scenario.store.clone(),
+        RippleConfig::default(),
+    )
+    .expect("bench engine");
+    let builder = ServeConfig::builder()
+        .max_batch(scenario.max_batch)
+        .max_delay(Duration::from_secs(60))
+        .record_batches(true);
+    let builder = if depth > 0 {
+        builder.concurrent_admission(depth)
+    } else {
+        builder
+    };
+    let handle = spawn(engine, builder.build().unwrap()).expect("bench session");
+    let client = handle.client();
+    let started = Instant::now();
+    for update in &scenario.updates {
+        client.submit(update.clone());
+    }
+    handle.flush().expect("bench scheduler alive");
+    let elapsed = started.elapsed();
+    let stamps = handle
+        .flush_log()
+        .expect("record_batches on")
+        .snapshot()
+        .into_iter()
+        .map(|r| (r.window_seq, r.epoch, r.applied_seq, r.topology_epoch))
+        .collect();
+    let metrics = handle.metrics().report();
+    let engine = handle.shutdown().expect("bench shutdown");
+    AdmissionRun {
+        store: engine.store().clone(),
+        stamps,
+        metrics,
+        elapsed,
+    }
+}
+
+/// Disconnected ring blocks: consecutive windows touch different
+/// components, so footprints are pairwise disjoint and groups fill to the
+/// in-flight cap — the best case for concurrent admission.
+fn disjoint_blocks_scenario(seed: u64) -> AdmissionScenario {
+    const BLOCKS: usize = 16;
+    const PER: usize = 8;
+    const DIM: usize = 8;
+    const MAX_BATCH: usize = 4;
+    let mut edges = Vec::new();
+    for b in 0..BLOCKS {
+        for i in 0..PER {
+            edges.push((
+                VertexId((b * PER + i) as u32),
+                VertexId((b * PER + (i + 1) % PER) as u32),
+            ));
+        }
+    }
+    let graph = DynamicGraph::from_edges(BLOCKS * PER, DIM, &edges).expect("block graph");
+    let model = Workload::GcS
+        .build_model(DIM, 16, 4, 2, seed ^ 0xAD)
+        .expect("bench model");
+    let store = full_inference(&graph, &model).expect("bench bootstrap");
+    let mut updates = Vec::new();
+    for round in 0..4usize {
+        for b in 0..BLOCKS {
+            for j in 0..MAX_BATCH {
+                updates.push(GraphUpdate::update_feature(
+                    VertexId((b * PER + j) as u32),
+                    vec![(round * BLOCKS + b + j) as f32 * 0.015_625; DIM],
+                ));
+            }
+        }
+    }
+    AdmissionScenario {
+        name: "disjoint-blocks",
+        graph,
+        model,
+        store,
+        updates,
+        max_batch: MAX_BATCH,
+    }
+}
+
+/// Hub churn: every window rewrites one hub vertex (plus a pseudorandom
+/// bystander), so staged groups conflict with the very next window — the
+/// worst case, where admission must serialize and still stay bit-exact.
+fn hub_churn_scenario(seed: u64) -> AdmissionScenario {
+    const DIM: usize = 8;
+    let graph = DatasetSpec::custom(240, 4.0, DIM, 4)
+        .generate(seed)
+        .expect("hub graph");
+    let model = Workload::GcS
+        .build_model(DIM, 16, 4, 2, seed ^ 0xBE)
+        .expect("bench model");
+    let store = full_inference(&graph, &model).expect("bench bootstrap");
+    let n = graph.num_vertices() as u64;
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let updates = (0..192u64)
+        .map(|i| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let r = state >> 33;
+            if i % 2 == 0 {
+                GraphUpdate::update_feature(VertexId(0), vec![(r % 16) as f32 * 0.0625; DIM])
+            } else {
+                GraphUpdate::update_feature(
+                    VertexId((r % n) as u32),
+                    vec![(r % 8) as f32 * 0.125; DIM],
+                )
+            }
+        })
+        .collect();
+    AdmissionScenario {
+        name: "hub-churn",
+        graph,
+        model,
+        store,
+        updates,
+        max_batch: 4,
+    }
+}
+
+/// Benchmarks footprint-based concurrent admission against the serial
+/// pipeline on a best-case (disjoint blocks) and worst-case (hub churn)
+/// stream, at in-flight depths 1, 2 and 4. Every depth is bit-compared
+/// against the serial baseline: per-window commit stamps and the final
+/// store must match exactly.
+///
+/// # Panics
+///
+/// Panics on setup failures, on any bit-parity violation, and if the
+/// disjoint-blocks scenario fails to admit a single concurrent group at
+/// depth >= 2 (the machinery the benchmark exists to measure).
+pub fn run_admission_bench(seed: u64) -> AdmissionBenchReport {
+    let mut points = Vec::new();
+    for scenario in [disjoint_blocks_scenario(seed), hub_churn_scenario(seed)] {
+        let serial = run_admission_mode(&scenario, 0);
+        points.push(AdmissionBenchPoint {
+            scenario: scenario.name,
+            depth: 0,
+            windows: serial.metrics.epochs,
+            admitted_concurrent: 0,
+            conflicts: 0,
+            merged: 0,
+            serialized: 0,
+            elapsed: serial.elapsed,
+            parity_violations: 0,
+        });
+        for depth in [1usize, 2, 4] {
+            let run = run_admission_mode(&scenario, depth);
+            let mut violations = 0u64;
+            if run.stamps != serial.stamps {
+                violations += 1;
+            }
+            if run.store != serial.store {
+                violations += 1;
+            }
+            assert_eq!(
+                violations, 0,
+                "{} depth {depth}: admission diverged from the serial pipeline",
+                scenario.name
+            );
+            if scenario.name == "disjoint-blocks" && depth >= 2 {
+                assert!(
+                    run.metrics.admitted_concurrent > 0,
+                    "disjoint windows at depth {depth} must form concurrent groups"
+                );
+            }
+            points.push(AdmissionBenchPoint {
+                scenario: scenario.name,
+                depth,
+                windows: run.metrics.epochs,
+                admitted_concurrent: run.metrics.admitted_concurrent,
+                conflicts: run.metrics.conflicts,
+                merged: run.metrics.merged,
+                serialized: run.metrics.serialized,
+                elapsed: run.elapsed,
+                parity_violations: violations,
+            });
+        }
+    }
+    AdmissionBenchReport { points }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1255,6 +1593,30 @@ mod tests {
         assert!(json.contains("\"experiment\": \"serve_nprobe_sweep\""));
         assert!(json.contains("\"recall\""));
         assert!(report.to_string().contains("nprobe"));
+    }
+
+    #[test]
+    fn admission_bench_admits_concurrently_with_zero_parity_violations() {
+        let report = run_admission_bench(7);
+        assert_eq!(report.parity_violations(), 0);
+        assert!(
+            report.admitted_concurrent() > 0,
+            "the disjoint-blocks scenario must form concurrent groups: {report}"
+        );
+        let hub_conflicts: u64 = report
+            .points
+            .iter()
+            .filter(|p| p.scenario == "hub-churn" && p.depth >= 2)
+            .map(|p| p.conflicts)
+            .sum();
+        assert!(
+            hub_conflicts > 0,
+            "hub churn at depth >= 2 must detect conflicts: {report}"
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"experiment\": \"serve_admission_bench\""));
+        assert!(json.contains("\"parity_violations\": 0"));
+        assert!(report.to_string().contains("disjoint-blocks"));
     }
 
     #[test]

@@ -18,6 +18,10 @@ pub struct ServeMetrics {
     batches: AtomicU64,
     epochs: AtomicU64,
     engine_errors: AtomicU64,
+    admitted_concurrent: AtomicU64,
+    conflicts: AtomicU64,
+    merged: AtomicU64,
+    serialized: AtomicU64,
     lag_nanos_sum: AtomicU64,
     lag_nanos_max: AtomicU64,
     lag_count: AtomicU64,
@@ -53,6 +57,25 @@ impl ServeMetrics {
 
     pub(crate) fn record_engine_error(&self) {
         self.engine_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one committed admission group of `windows` windows. Groups
+    /// of two or more executed concurrently (one merged engine pass); every
+    /// window beyond a group's first rode along as a merge.
+    pub(crate) fn record_admission_group(&self, windows: u64) {
+        if windows >= 2 {
+            self.admitted_concurrent
+                .fetch_add(windows, Ordering::Relaxed);
+            self.merged.fetch_add(windows - 1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one footprint conflict: a closing window intersected the
+    /// in-flight reservation set and forced the staged group to commit
+    /// ahead of it (the window was serialized behind the group).
+    pub(crate) fn record_conflict(&self) {
+        self.conflicts.fetch_add(1, Ordering::Relaxed);
+        self.serialized.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one update's enqueue→published-epoch visibility lag.
@@ -107,6 +130,28 @@ impl ServeMetrics {
         self.engine_errors.load(Ordering::Relaxed)
     }
 
+    /// Windows committed inside concurrent admission groups (size >= 2).
+    pub fn admitted_concurrent(&self) -> u64 {
+        self.admitted_concurrent.load(Ordering::Relaxed)
+    }
+
+    /// Footprint conflicts detected by the admission controller.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts.load(Ordering::Relaxed)
+    }
+
+    /// Windows that joined an already non-empty staged group (executed in
+    /// the group's single merged engine pass).
+    pub fn merged(&self) -> u64 {
+        self.merged.load(Ordering::Relaxed)
+    }
+
+    /// Windows deferred behind a conflicting in-flight group (the group
+    /// committed first; the window staged alone afterwards).
+    pub fn serialized(&self) -> u64 {
+        self.serialized.load(Ordering::Relaxed)
+    }
+
     /// Reads served by all query handles.
     pub fn reads(&self) -> u64 {
         self.reads.load(Ordering::Relaxed)
@@ -124,6 +169,10 @@ impl ServeMetrics {
             batches: self.batches(),
             epochs: self.epochs(),
             engine_errors: self.engine_errors(),
+            admitted_concurrent: self.admitted_concurrent(),
+            conflicts: self.conflicts(),
+            merged: self.merged(),
+            serialized: self.serialized(),
             reads,
             mean_read_latency: mean_duration(self.read_nanos_sum.load(Ordering::Relaxed), reads),
             mean_visibility_lag: mean_duration(
@@ -158,6 +207,14 @@ pub struct MetricsReport {
     pub epochs: u64,
     /// Engine failures observed by the scheduler.
     pub engine_errors: u64,
+    /// Windows committed inside concurrent admission groups (size >= 2).
+    pub admitted_concurrent: u64,
+    /// Footprint conflicts detected by the admission controller.
+    pub conflicts: u64,
+    /// Windows merged into an already non-empty staged group.
+    pub merged: u64,
+    /// Windows serialized behind a conflicting in-flight group.
+    pub serialized: u64,
     /// Reads served.
     pub reads: u64,
     /// Mean read latency across all served reads.
@@ -173,6 +230,7 @@ impl std::fmt::Display for MetricsReport {
         write!(
             f,
             "enqueued={} shed={} coalesced={} applied={} batches={} epochs={} errors={} \
+             admitted_concurrent={} conflicts={} merged={} serialized={} \
              reads={} mean_read={:.3}ms mean_lag={:.3}ms max_lag={:.3}ms",
             self.enqueued,
             self.shed,
@@ -181,6 +239,10 @@ impl std::fmt::Display for MetricsReport {
             self.batches,
             self.epochs,
             self.engine_errors,
+            self.admitted_concurrent,
+            self.conflicts,
+            self.merged,
+            self.serialized,
             self.reads,
             self.mean_read_latency.as_secs_f64() * 1e3,
             self.mean_visibility_lag.as_secs_f64() * 1e3,
@@ -203,6 +265,9 @@ mod tests {
         m.record_flush(2, true);
         m.record_flush(1, false);
         m.record_engine_error();
+        m.record_admission_group(3);
+        m.record_admission_group(1);
+        m.record_conflict();
         m.record_visibility_lag(Duration::from_millis(2));
         m.record_visibility_lag(Duration::from_millis(4));
         m.record_read(Duration::from_micros(10));
@@ -215,6 +280,13 @@ mod tests {
         assert_eq!(r.batches, 1);
         assert_eq!(r.epochs, 2);
         assert_eq!(r.engine_errors, 1);
+        assert_eq!(
+            r.admitted_concurrent, 3,
+            "singleton groups are not concurrent"
+        );
+        assert_eq!(r.merged, 2);
+        assert_eq!(r.conflicts, 1);
+        assert_eq!(r.serialized, 1);
         assert_eq!(r.reads, 1);
         assert_eq!(r.mean_visibility_lag, Duration::from_millis(3));
         assert_eq!(r.max_visibility_lag, Duration::from_millis(4));

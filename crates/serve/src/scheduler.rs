@@ -23,14 +23,15 @@
 //! the [`SnapshotPublisher`], which is what makes the batch visible to
 //! readers — queries never touch the engine's working store.
 
+use crate::admission::{AdmissionController, AdmissionParams, StagedWindow};
 use crate::durability::{
-    recover, write_checkpoint, Checkpoint, DurabilityConfig, RecoveryReport, WalFrame, WalWriter,
-    FP_AFTER_PUBLISH,
+    recover, write_checkpoint_ref, CheckpointRef, DurabilityConfig, RecoveryReport, WalFrame,
+    WalWriter, FP_AFTER_PUBLISH,
 };
 use crate::index::{IndexMaintainer, IndexParams, IndexReader, IndexStats, SharedIndexStats};
 use crate::metrics::ServeMetrics;
 use crate::versioned::{SnapshotPublisher, SnapshotReader, VersionedStore};
-use ripple_core::{DeltaMessage, RippleError, StreamingEngine};
+use ripple_core::{DeltaMessage, Footprint, RippleError, StreamingEngine};
 use ripple_graph::{GraphUpdate, UpdateBatch, VertexId};
 use std::collections::HashMap;
 use std::fmt;
@@ -86,6 +87,10 @@ pub struct ServeConfig {
     /// directory, with crash recovery on session start. `None` (the
     /// default) serves purely in memory.
     pub durability: Option<DurabilityConfig>,
+    /// Footprint-based concurrent window admission (see
+    /// [`crate::admission`]). Disabled by default: the serial
+    /// one-window-at-a-time commit pipeline.
+    pub admission: AdmissionParams,
 }
 
 impl ServeConfig {
@@ -112,6 +117,7 @@ impl Default for ServeConfig {
             record_batches: false,
             index: Some(IndexParams::default()),
             durability: None,
+            admission: AdmissionParams::default(),
         }
     }
 }
@@ -206,6 +212,29 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Sets the admission knobs (see [`crate::admission`]).
+    #[must_use]
+    pub fn admission(mut self, params: AdmissionParams) -> Self {
+        self.config.admission = params;
+        self
+    }
+
+    /// Enables footprint-based concurrent window admission with the given
+    /// in-flight depth: non-conflicting windows stage together and execute
+    /// as one merged engine pass, committing in `window_seq` order.
+    #[must_use]
+    pub fn concurrent_admission(mut self, max_inflight: usize) -> Self {
+        self.config.admission = AdmissionParams::enabled(max_inflight);
+        self
+    }
+
+    /// Disables concurrent admission (the default): serial commits.
+    #[must_use]
+    pub fn no_admission(mut self) -> Self {
+        self.config.admission = AdmissionParams::default();
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -249,6 +278,12 @@ impl ServeConfigBuilder {
                     "durability.segment_bytes must be non-zero".to_string(),
                 ));
             }
+        }
+        if config.admission.enabled && config.admission.max_inflight == 0 {
+            return Err(ServeError::InvalidConfig(
+                "admission.max_inflight must be non-zero (no window could ever reserve)"
+                    .to_string(),
+            ));
         }
         config.max_delay = config.max_delay.min(ServeConfig::MAX_DELAY);
         Ok(config)
@@ -597,6 +632,23 @@ impl Coalescer {
     }
 }
 
+/// Commit bookkeeping a staged window carries from reservation to
+/// publication: the coalesced batch, the raw-update accounting, and the
+/// post-commit counters predicted at WAL-append time (the publish
+/// debug-asserts the prediction).
+#[derive(Debug)]
+struct WindowCommit {
+    batch: UpdateBatch,
+    raw: u64,
+    enqueues: Vec<Instant>,
+    /// Predicted epoch this window publishes at.
+    epoch: u64,
+    /// Predicted cumulative raw updates applied through this window.
+    applied_seq: u64,
+    /// Predicted engine topology epoch as of this window's publication.
+    topology_epoch: u64,
+}
+
 /// The scheduler state machine: owns the engine, the snapshot publisher and
 /// the coalescing window. [`spawn`] runs it on a dedicated thread; tests can
 /// drive it synchronously via [`UpdateScheduler::absorb`] /
@@ -619,6 +671,11 @@ pub struct UpdateScheduler<E> {
     wal: Option<WalWriter>,
     recovery: Option<RecoveryReport>,
     flush_log: Option<FlushLog>,
+    /// The concurrent-admission controller (present iff
+    /// [`ServeConfig::admission`] is enabled *and* the engine exposes the
+    /// model and dirty-row tracking the footprint pipeline needs; engines
+    /// without either fall back to the serial path silently).
+    admission: Option<AdmissionController<WindowCommit>>,
 }
 
 impl<E: StreamingEngine> UpdateScheduler<E> {
@@ -705,6 +762,12 @@ impl<E: StreamingEngine> UpdateScheduler<E> {
         let index = config
             .index
             .map(|params| IndexMaintainer::bootstrap(engine.current_store(), None, params).0);
+        // Concurrent admission needs the model (to footprint windows) and
+        // per-batch dirty rows (to partition the merged pass's dirty set
+        // back per window); an engine without either serves serially.
+        let admission =
+            (config.admission.enabled && engine.model().is_some() && engine.dirty_rows().is_some())
+                .then(|| AdmissionController::new(config.admission.max_inflight));
         Ok((
             UpdateScheduler {
                 engine,
@@ -718,6 +781,7 @@ impl<E: StreamingEngine> UpdateScheduler<E> {
                 wal,
                 recovery,
                 flush_log,
+                admission,
             },
             reader,
         ))
@@ -748,6 +812,12 @@ impl<E: StreamingEngine> UpdateScheduler<E> {
 
     /// Absorbs one update into the coalescing window and flushes if the
     /// size window closed. Returns the published epoch if a flush happened.
+    ///
+    /// With concurrent admission on, a closed size window *stages* instead
+    /// of committing: epochs publish only when the staged group drains (on
+    /// a footprint conflict, a full in-flight set, a time window, or an
+    /// explicit flush), so the returned epoch is `None` while windows ride
+    /// in the group.
     pub fn absorb(&mut self, update: GraphUpdate, enqueued: Instant) -> crate::Result<Option<u64>> {
         self.window.push(
             QueuedUpdate {
@@ -758,6 +828,13 @@ impl<E: StreamingEngine> UpdateScheduler<E> {
             &self.metrics,
         );
         if self.window.raw_len() >= self.config.max_batch as u64 {
+            if self.admission.is_some() {
+                let drained = self.stage_window()?;
+                if self.admission.as_ref().is_some_and(|c| c.is_full()) {
+                    return self.drain_staged().map(Some);
+                }
+                return Ok(drained);
+            }
             return self.flush().map(Some);
         }
         Ok(None)
@@ -772,6 +849,12 @@ impl<E: StreamingEngine> UpdateScheduler<E> {
     /// refreshes copy O(affected) rows instead of the full store; a window
     /// that cancelled out entirely publishes with an empty dirty set.
     pub fn flush(&mut self) -> crate::Result<u64> {
+        if self.admission.is_some() {
+            // Stage the pending window (if any), then commit everything
+            // in flight: an explicit flush promises full visibility.
+            self.stage_window()?;
+            return self.drain_staged();
+        }
         if self.window.raw_len() == 0 {
             return Ok(self.publisher.epoch());
         }
@@ -793,6 +876,7 @@ impl<E: StreamingEngine> UpdateScheduler<E> {
                 raw,
                 batch: batch.clone(),
                 halos: Vec::new(),
+                halo_sources: Vec::new(),
             })?;
         }
         if ran_engine {
@@ -846,16 +930,213 @@ impl<E: StreamingEngine> UpdateScheduler<E> {
                 )));
             }
             if d.checkpoint_every > 0 && self.window_seq.is_multiple_of(d.checkpoint_every) {
-                write_checkpoint(
+                // Streamed straight from the engine's live graph and store:
+                // no clones of either on the scheduler thread.
+                write_checkpoint_ref(
                     &d.dir,
-                    &Checkpoint {
+                    &CheckpointRef {
                         window_seq: self.window_seq,
                         epoch,
                         applied_seq: self.applied_seq,
                         applied_secondary: 0,
                         topology_epoch,
-                        graph: self.engine.current_graph().clone(),
-                        store: self.engine.current_store().clone(),
+                        graph: self.engine.current_graph(),
+                        store: self.engine.current_store(),
+                        halo_watermarks: &[],
+                    },
+                    d.fsync,
+                    &d.fail_points,
+                )?;
+            }
+        }
+        Ok(epoch)
+    }
+
+    /// Closes the pending coalescing window and reserves it with the
+    /// admission controller: footprint it against the live topology,
+    /// WAL-append it (unsynced — the group fsyncs once at drain), predict
+    /// its post-commit counters and stage it. A window that conflicts with
+    /// the in-flight set first forces the staged group to commit (the
+    /// window is *serialized* behind it); the epoch such a forced drain
+    /// published is returned.
+    fn stage_window(&mut self) -> crate::Result<Option<u64>> {
+        if self.window.raw_len() == 0 {
+            return Ok(None);
+        }
+        let (batch, raw, _secondary, enqueues) = self.window.drain();
+        let footprint = {
+            let model = self
+                .engine
+                .model()
+                .expect("admission is gated on an exposed model");
+            Footprint::for_batch(self.engine.current_graph(), model, &batch)
+        };
+        let must_drain = {
+            let ctl = self
+                .admission
+                .as_ref()
+                .expect("stage_window without admission");
+            if !ctl.admits(&footprint) {
+                self.metrics.record_conflict();
+                true
+            } else {
+                ctl.is_full()
+            }
+        };
+        let mut drained = None;
+        if must_drain {
+            drained = Some(self.drain_staged()?);
+        }
+        // Predict the post-commit stamps by chaining off the last staged
+        // window (or the live counters when the group is empty): each
+        // window publishes one epoch, applies `raw` more updates, and bumps
+        // the topology epoch iff its batch reaches the engine. The WAL
+        // frame records these exact stamps, so recovery replay lands on
+        // them without re-deriving anything.
+        let ctl = self.admission.as_ref().expect("checked above");
+        let (base_epoch, base_applied, base_topo) = match ctl.last() {
+            Some(w) => (
+                w.payload.epoch,
+                w.payload.applied_seq,
+                w.payload.topology_epoch,
+            ),
+            None => (
+                self.publisher.epoch(),
+                self.applied_seq,
+                self.engine.topology_epoch(),
+            ),
+        };
+        self.window_seq += 1;
+        let commit = WindowCommit {
+            epoch: base_epoch + 1,
+            applied_seq: base_applied + raw,
+            topology_epoch: base_topo + u64::from(!batch.is_empty()),
+            batch,
+            raw,
+            enqueues,
+        };
+        if let Some(wal) = &mut self.wal {
+            wal.append_unsynced(&WalFrame {
+                window_seq: self.window_seq,
+                epoch: commit.epoch,
+                applied_seq: commit.applied_seq,
+                applied_secondary: 0,
+                topology_epoch: commit.topology_epoch,
+                raw: commit.raw,
+                batch: commit.batch.clone(),
+                halos: Vec::new(),
+                halo_sources: Vec::new(),
+            })?;
+        }
+        self.admission
+            .as_mut()
+            .expect("checked above")
+            .reserve(StagedWindow::pending(self.window_seq, footprint, commit));
+        Ok(drained)
+    }
+
+    /// Executes and commits the staged group: one fsync covering every
+    /// frame the group appended, one merged engine pass over the batches
+    /// (bit-identical to sequential passes because the group is pairwise
+    /// footprint-disjoint), then per-window epoch publication in
+    /// `window_seq` order — each window's dirty set recovered by
+    /// intersecting the merged dirty set with its write footprint. Returns
+    /// the last published epoch (the current epoch if nothing was staged).
+    fn drain_staged(&mut self) -> crate::Result<u64> {
+        let mut group = match self.admission.as_mut() {
+            Some(ctl) if !ctl.is_empty() => ctl.take_group(),
+            _ => return Ok(self.publisher.epoch()),
+        };
+        if let Some(wal) = &mut self.wal {
+            wal.sync()?;
+        }
+        let batches: Vec<UpdateBatch> = group
+            .iter_mut()
+            .map(|w| std::mem::replace(&mut w.payload.batch, UpdateBatch::new()))
+            .collect();
+        let merged_dirty = match self.engine.process_windows(&batches) {
+            Ok(dirty) => dirty.expect("admission is gated on dirty-row tracking"),
+            Err(e) => {
+                self.metrics.record_engine_error();
+                return Err(ServeError::Engine(e));
+            }
+        };
+        let first_seq = group.first().map(StagedWindow::seq).unwrap_or(0);
+        let last_seq = group.last().map(StagedWindow::seq).unwrap_or(0);
+        let mut scratch: Vec<VertexId> = Vec::new();
+        let mut epoch = self.publisher.epoch();
+        for (window, batch) in group.iter_mut().zip(batches) {
+            let ran_engine = !batch.is_empty();
+            self.applied_seq = window.payload.applied_seq;
+            // This window's share of the merged dirty set. Rows outside it
+            // keep their previous-epoch values in the snapshot — exactly
+            // the serial schedule's state, because disjointness means no
+            // later group member wrote inside this window's footprint.
+            scratch.clear();
+            window
+                .footprint()
+                .intersect_sorted_into(&merged_dirty, &mut scratch);
+            let dirty: &[VertexId] = if ran_engine { &scratch } else { &[] };
+            if let Some(index) = &mut self.index {
+                index.publish(self.engine.current_store(), Some(dirty));
+            }
+            epoch = self.publisher.publish_rows(
+                self.engine.current_store(),
+                self.applied_seq,
+                window.payload.topology_epoch,
+                Some(dirty),
+            );
+            debug_assert_eq!(epoch, window.payload.epoch, "predicted epoch drifted");
+            let published_at = Instant::now();
+            for enqueued in window.payload.enqueues.drain(..) {
+                self.metrics
+                    .record_visibility_lag(published_at.saturating_duration_since(enqueued));
+            }
+            self.metrics.record_flush(window.payload.raw, ran_engine);
+            if let Some(log) = &self.flush_log {
+                log.push(FlushRecord {
+                    window_seq: window.seq(),
+                    batch,
+                    halos: Vec::new(),
+                    raw: window.payload.raw,
+                    epoch,
+                    applied_seq: self.applied_seq,
+                    topology_epoch: window.payload.topology_epoch,
+                });
+            }
+            window.commit();
+        }
+        debug_assert_eq!(
+            self.engine.topology_epoch(),
+            group
+                .last()
+                .map(|w| w.payload.topology_epoch)
+                .unwrap_or_else(|| self.engine.topology_epoch()),
+            "predicted topology epoch drifted"
+        );
+        self.metrics.record_admission_group(group.len() as u64);
+        if let Some(d) = &self.config.durability {
+            if d.fail_points.fire(FP_AFTER_PUBLISH) {
+                return Err(ServeError::Wal(format!(
+                    "fail point {FP_AFTER_PUBLISH} fired after epoch {epoch} was published"
+                )));
+            }
+            // One checkpoint per group at most, cut iff the group crossed a
+            // cadence boundary (seq/every strictly grew across the group).
+            if d.checkpoint_every > 0
+                && last_seq / d.checkpoint_every > first_seq.saturating_sub(1) / d.checkpoint_every
+            {
+                write_checkpoint_ref(
+                    &d.dir,
+                    &CheckpointRef {
+                        window_seq: last_seq,
+                        epoch,
+                        applied_seq: self.applied_seq,
+                        applied_secondary: 0,
+                        topology_epoch: self.engine.topology_epoch(),
+                        graph: self.engine.current_graph(),
+                        store: self.engine.current_store(),
+                        halo_watermarks: &[],
                     },
                     d.fsync,
                     &d.fail_points,
@@ -874,7 +1155,19 @@ impl<E: StreamingEngine> UpdateScheduler<E> {
     /// arrives, flushing on the size and time windows.
     fn run(mut self, rx: Receiver<Msg>) -> Result<E, ServeError> {
         loop {
-            let wake = match self.window.deadline(self.config.max_delay) {
+            // The time window bounds both the pending coalescing window and
+            // (with admission on) the oldest staged-but-uncommitted window:
+            // no accepted update waits longer than `max_delay` to publish.
+            let deadline = match (
+                self.window.deadline(self.config.max_delay),
+                self.admission
+                    .as_ref()
+                    .and_then(|c| c.deadline(self.config.max_delay)),
+            ) {
+                (Some(w), Some(a)) => Some(w.min(a)),
+                (w, a) => w.or(a),
+            };
+            let wake = match deadline {
                 Some(deadline) => {
                     let budget = deadline.saturating_duration_since(Instant::now());
                     match rx.recv_timeout(budget) {

@@ -22,20 +22,21 @@
 //! can never deadlock; producer backpressure is enforced at the
 //! [`crate::ShardRouter`] against per-shard depth counters instead.
 
+use crate::admission::{AdmissionController, StagedWindow};
 use crate::durability::{
-    recover, write_checkpoint, Checkpoint, DurabilityConfig, RecoveryReport, WalFrame, WalWriter,
-    FP_AFTER_PUBLISH,
+    recover, write_checkpoint_ref, CheckpointRef, DurabilityConfig, HaloSource, RecoveryReport,
+    WalFrame, WalWriter, FP_AFTER_PUBLISH,
 };
 use crate::index::{IndexMaintainer, IndexReader, IndexStats, SharedIndexStats};
 use crate::metrics::ServeMetrics;
 use crate::router::ShardRouter;
 use crate::scheduler::{Coalescer, FlushLog, FlushRecord, ServeConfig, ServeError};
 use crate::versioned::{SnapshotPublisher, SnapshotReader, VersionedStore};
-use ripple_core::{DeltaMessage, RippleConfig, ShardEngine};
+use ripple_core::{DeltaMessage, Footprint, RippleConfig, ShardEngine};
 use ripple_gnn::{EmbeddingStore, GnnModel};
 use ripple_graph::partition::halo::HaloInfo;
 use ripple_graph::partition::{HashPartitioner, Partitioner, Partitioning};
-use ripple_graph::{DynamicGraph, PartitionId, VertexId};
+use ripple_graph::{DynamicGraph, PartitionId, UpdateBatch, VertexId};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
@@ -48,17 +49,49 @@ pub(crate) use crate::scheduler::QueuedUpdate;
 pub(crate) enum ShardMsg {
     /// One raw update routed to this shard.
     Update(QueuedUpdate),
-    /// A batch of halo deltas shipped by a peer shard's flush.
-    Halos(Vec<DeltaMessage>),
+    /// A batch of halo deltas shipped by one of a peer shard's committed
+    /// windows. The `(from, window_seq)` tag makes delivery idempotent:
+    /// recovery re-ships every replayed window's outgoing deltas (they may
+    /// have been in flight at the crash), and receivers drop any batch at
+    /// or below their per-sender watermark.
+    Halos {
+        /// The shipping shard.
+        from: PartitionId,
+        /// The shipping shard's window that produced these deltas.
+        window_seq: u64,
+        /// The deltas themselves.
+        messages: Vec<DeltaMessage>,
+    },
     /// Force the current window closed; replies with the epoch after flush.
     Flush(mpsc::Sender<u64>),
     /// Flush, then exit the worker loop.
     Stop,
 }
 
+/// Commit bookkeeping one staged shard window carries from its WAL append
+/// to its publication (the sharded analogue of the single-engine
+/// scheduler's payload): the window's own inputs plus the post-commit
+/// counters predicted at append time.
+struct ShardWindowCommit {
+    batch: UpdateBatch,
+    halos: Vec<DeltaMessage>,
+    halo_sources: Vec<HaloSource>,
+    /// Number of [`ShardMsg::Halos`] batches behind `halos` (in-flight
+    /// accounting released once the window commits).
+    halo_batches: u64,
+    raw: u64,
+    enqueues: Vec<Instant>,
+    epoch: u64,
+    applied_seq: u64,
+    applied_secondary: u64,
+    topology_epoch: u64,
+}
+
 /// One shard's scheduler state machine (the sharded analogue of
 /// [`crate::UpdateScheduler`]).
 struct ShardWorker {
+    /// This worker's own partition id (stamps outgoing halo batches).
+    part: PartitionId,
     engine: ShardEngine,
     publisher: SnapshotPublisher,
     /// IVF top-k index over this shard's **owned** rows (present iff
@@ -69,9 +102,18 @@ struct ShardWorker {
     window: Coalescer,
     /// Halo deltas received from peers since the last flush.
     pending_halos: Vec<DeltaMessage>,
+    /// One `(sender, window_seq, count)` run per accepted halo batch behind
+    /// `pending_halos`, in arrival order — logged into the next frame so
+    /// recovery can restore the dedup watermarks.
+    pending_halo_sources: Vec<HaloSource>,
     /// Number of [`ShardMsg::Halos`] batches behind `pending_halos` —
     /// the in-flight counter is decremented per batch once applied.
     pending_halo_batches: u64,
+    /// Per-sender dedup watermarks: the highest peer `window_seq` whose
+    /// halo batch this shard has accepted, indexed by [`PartitionId`]. A
+    /// re-shipped batch at or below the watermark is dropped, so recovery's
+    /// re-delivery applies exactly once.
+    halo_watermarks: Vec<u64>,
     /// Arrival instant of the oldest unapplied halo batch, so halo-only
     /// windows still close on the time window.
     halo_oldest: Option<Instant>,
@@ -96,6 +138,11 @@ struct ShardWorker {
     halo_in_flight: Arc<AtomicU64>,
     /// Senders to every shard of the tier, indexed by [`PartitionId`].
     peers: Vec<Sender<ShardMsg>>,
+    /// Concurrent window admission (present iff the tier's
+    /// [`ServeConfig::admission`] is enabled): windows stage with their WAL
+    /// frames unsynced, the group fsyncs once and commits in `window_seq`
+    /// order at drain.
+    admission: Option<AdmissionController<ShardWindowCommit>>,
 }
 
 impl ShardWorker {
@@ -103,19 +150,29 @@ impl ShardWorker {
     /// received halos through the shard engine, publishes the shard's next
     /// epoch, and ships outgoing cross-shard deltas. A window holding only
     /// halos still runs the engine and publishes.
+    ///
+    /// With concurrent admission on this is the *full-visibility* path: the
+    /// pending window stages and the whole in-flight group commits.
     fn flush(&mut self) -> crate::Result<u64> {
+        if self.admission.is_some() {
+            self.stage_window()?;
+            return self.drain_staged();
+        }
         if self.window.raw_len() == 0 && self.pending_halos.is_empty() {
             return Ok(self.publisher.epoch());
         }
         let (batch, raw, secondary, enqueues) = self.window.drain();
         let halos = std::mem::take(&mut self.pending_halos);
+        let halo_sources = std::mem::take(&mut self.pending_halo_sources);
         let halo_batches = std::mem::take(&mut self.pending_halo_batches);
         self.halo_oldest = None;
         let ran_engine = !batch.is_empty() || !halos.is_empty();
         // Log before apply, including the halos absorbed this window: peer
         // shards log their *received* halos in their own frames, so replay
-        // of a shard's log alone reproduces its store (outgoing deltas are
-        // discarded on replay — the receivers already have them).
+        // of a shard's log alone reproduces its store. Outgoing deltas are
+        // *re-shipped* on replay (they may have been in flight at a crash);
+        // the logged `(sender, window_seq)` runs are what lets receivers
+        // restore the watermarks that dedup the re-delivery.
         self.window_seq += 1;
         if let Some(wal) = &mut self.wal {
             let frame = WalFrame {
@@ -127,6 +184,7 @@ impl ShardWorker {
                 raw,
                 batch: batch.clone(),
                 halos: halos.clone(),
+                halo_sources: halo_sources.clone(),
             };
             if let Err(e) = wal.append(&frame) {
                 // The worker is about to exit; release the in-flight
@@ -139,6 +197,7 @@ impl ShardWorker {
                 return Err(e);
             }
         }
+        self.advance_watermarks(&halo_sources);
         let mut outgoing = Vec::new();
         if ran_engine {
             match self.engine.process_window(&batch, &halos) {
@@ -196,7 +255,7 @@ impl ShardWorker {
         // Ship before releasing the incoming accounting: the in-flight
         // counter must never read 0 while this window's follow-on messages
         // are still unsent, or a concurrent quiesce would end early.
-        self.ship(outgoing);
+        self.ship(self.window_seq, outgoing);
         if halo_batches > 0 {
             self.halo_in_flight
                 .fetch_sub(halo_batches, Ordering::AcqRel);
@@ -208,28 +267,285 @@ impl ShardWorker {
                 )));
             }
             if d.checkpoint_every > 0 && self.window_seq.is_multiple_of(d.checkpoint_every) {
-                write_checkpoint(
-                    &d.dir,
-                    &Checkpoint {
-                        window_seq: self.window_seq,
-                        epoch,
-                        applied_seq: self.applied_seq,
-                        applied_secondary: self.applied_secondary,
-                        topology_epoch,
-                        graph: self.engine.graph().clone(),
-                        store: self.engine.store().clone(),
-                    },
-                    d.fsync,
-                    &d.fail_points,
-                )?;
+                self.write_shard_checkpoint(self.window_seq, epoch)?;
             }
         }
         Ok(epoch)
     }
 
+    /// Closes the pending window and stages it with the admission
+    /// controller: footprint it (batch cone plus the forward cones of every
+    /// received halo target), WAL-append it unsynced, predict its
+    /// post-commit stamps and reserve it. A conflicting window first forces
+    /// the staged group to commit and is serialized behind it.
+    fn stage_window(&mut self) -> crate::Result<Option<u64>> {
+        if self.window.raw_len() == 0 && self.pending_halos.is_empty() {
+            return Ok(None);
+        }
+        let (batch, raw, secondary, enqueues) = self.window.drain();
+        let halos = std::mem::take(&mut self.pending_halos);
+        let halo_sources = std::mem::take(&mut self.pending_halo_sources);
+        let halo_batches = std::mem::take(&mut self.pending_halo_batches);
+        self.halo_oldest = None;
+        let ran_engine = !batch.is_empty() || !halos.is_empty();
+        let footprint = {
+            let graph = self.engine.graph();
+            let model = self.engine.model();
+            let mut fp = Footprint::for_batch(graph, model, &batch);
+            // A delta deposited at hop `h` re-evaluates its target and fans
+            // out along out-edges at every later hop, so each halo target's
+            // whole forward cone joins the window's footprint.
+            fp.extend_cone(graph, model.num_layers(), halos.iter().map(|m| m.target));
+            fp
+        };
+        let must_drain = {
+            let ctl = self
+                .admission
+                .as_ref()
+                .expect("stage_window without admission");
+            if !ctl.admits(&footprint) {
+                self.metrics.record_conflict();
+                true
+            } else {
+                ctl.is_full()
+            }
+        };
+        let mut drained = None;
+        if must_drain {
+            drained = Some(self.drain_staged()?);
+        }
+        // Chain the predicted post-commit stamps off the last staged window
+        // (or the live counters when the group is empty); the WAL frame
+        // records them so recovery replay lands on the same stamps.
+        let ctl = self.admission.as_ref().expect("checked above");
+        let (base_epoch, base_applied, base_secondary, base_topo) = match ctl.last() {
+            Some(w) => (
+                w.payload.epoch,
+                w.payload.applied_seq,
+                w.payload.applied_secondary,
+                w.payload.topology_epoch,
+            ),
+            None => (
+                self.publisher.epoch(),
+                self.applied_seq,
+                self.applied_secondary,
+                self.engine.topology_epoch(),
+            ),
+        };
+        self.window_seq += 1;
+        let commit = ShardWindowCommit {
+            epoch: base_epoch + 1,
+            applied_seq: base_applied + raw,
+            applied_secondary: base_secondary + secondary,
+            topology_epoch: base_topo + u64::from(ran_engine),
+            batch,
+            halos,
+            halo_sources,
+            halo_batches,
+            raw,
+            enqueues,
+        };
+        if let Some(wal) = &mut self.wal {
+            let frame = WalFrame {
+                window_seq: self.window_seq,
+                epoch: commit.epoch,
+                applied_seq: commit.applied_seq,
+                applied_secondary: commit.applied_secondary,
+                topology_epoch: commit.topology_epoch,
+                raw: commit.raw,
+                batch: commit.batch.clone(),
+                halos: commit.halos.clone(),
+                halo_sources: commit.halo_sources.clone(),
+            };
+            if let Err(e) = wal.append_unsynced(&frame) {
+                // The worker is about to exit; release this window's and
+                // every staged window's accounting so quiesce observes the
+                // failure instead of spinning.
+                self.release_halo_accounting(commit.halo_batches);
+                self.release_staged_accounting();
+                return Err(e);
+            }
+        }
+        self.advance_watermarks(&commit.halo_sources);
+        self.admission
+            .as_mut()
+            .expect("checked above")
+            .reserve(StagedWindow::pending(self.window_seq, footprint, commit));
+        Ok(drained)
+    }
+
+    /// Commits the staged group: one fsync covering every appended frame,
+    /// then each window executes and publishes individually, in
+    /// `window_seq` order — outgoing deltas ship per window, tagged with
+    /// that window's sequence. Returns the last published epoch (the
+    /// current epoch if nothing was staged).
+    fn drain_staged(&mut self) -> crate::Result<u64> {
+        let mut group = match self.admission.as_mut() {
+            Some(ctl) if !ctl.is_empty() => ctl.take_group(),
+            _ => return Ok(self.publisher.epoch()),
+        };
+        if let Some(wal) = &mut self.wal {
+            if let Err(e) = wal.sync() {
+                let pending: u64 = group.iter().map(|w| w.payload.halo_batches).sum();
+                self.release_halo_accounting(pending);
+                return Err(e);
+            }
+        }
+        let first_seq = group.first().map(StagedWindow::seq).unwrap_or(0);
+        let last_seq = group.last().map(StagedWindow::seq).unwrap_or(0);
+        let mut epoch = self.publisher.epoch();
+        for i in 0..group.len() {
+            let seq = group[i].seq();
+            let window = &mut group[i];
+            let ran_engine = !window.payload.batch.is_empty() || !window.payload.halos.is_empty();
+            let mut outgoing = Vec::new();
+            if ran_engine {
+                match self
+                    .engine
+                    .process_window(&window.payload.batch, &window.payload.halos)
+                {
+                    Ok((_stats, shipped)) => outgoing = shipped,
+                    Err(e) => {
+                        self.metrics.record_engine_error();
+                        let pending: u64 = group[i..].iter().map(|w| w.payload.halo_batches).sum();
+                        self.release_halo_accounting(pending);
+                        return Err(ServeError::Engine(e));
+                    }
+                }
+            }
+            self.applied_seq = window.payload.applied_seq;
+            self.applied_secondary = window.payload.applied_secondary;
+            let topology_epoch = self.engine.topology_epoch();
+            debug_assert_eq!(
+                topology_epoch, window.payload.topology_epoch,
+                "predicted topology epoch drifted"
+            );
+            let dirty: Option<&[VertexId]> = if ran_engine {
+                Some(self.engine.dirty_rows())
+            } else {
+                Some(&[])
+            };
+            if let Some(index) = &mut self.index {
+                index.publish(self.engine.store(), dirty);
+            }
+            epoch = self.publisher.publish_stamped(
+                self.engine.store(),
+                self.applied_seq,
+                self.applied_secondary,
+                topology_epoch,
+                dirty,
+            );
+            debug_assert_eq!(epoch, window.payload.epoch, "predicted epoch drifted");
+            let published_at = Instant::now();
+            for enqueued in window.payload.enqueues.drain(..) {
+                self.metrics
+                    .record_visibility_lag(published_at.saturating_duration_since(enqueued));
+            }
+            self.metrics.record_flush(window.payload.raw, ran_engine);
+            if let Some(log) = &self.flush_log {
+                log.push(FlushRecord {
+                    window_seq: seq,
+                    batch: std::mem::replace(&mut window.payload.batch, UpdateBatch::new()),
+                    halos: std::mem::take(&mut window.payload.halos),
+                    raw: window.payload.raw,
+                    epoch,
+                    applied_seq: self.applied_seq,
+                    topology_epoch,
+                });
+            }
+            // Ship before releasing the incoming accounting, as in the
+            // serial path: the counter must never read 0 while follow-on
+            // messages are unsent.
+            let halo_batches = window.payload.halo_batches;
+            window.commit();
+            self.ship(seq, outgoing);
+            self.release_halo_accounting(halo_batches);
+        }
+        self.metrics.record_admission_group(group.len() as u64);
+        if let Some(d) = &self.durability {
+            if d.fail_points.fire(FP_AFTER_PUBLISH) {
+                return Err(ServeError::Wal(format!(
+                    "fail point {FP_AFTER_PUBLISH} fired after epoch {epoch} was published"
+                )));
+            }
+            // One checkpoint per group at most, cut iff the group crossed a
+            // cadence boundary.
+            if d.checkpoint_every > 0
+                && last_seq / d.checkpoint_every > first_seq.saturating_sub(1) / d.checkpoint_every
+            {
+                self.write_shard_checkpoint(last_seq, epoch)?;
+            }
+        }
+        Ok(epoch)
+    }
+
+    /// Streams a checkpoint of the live shard state (no graph/store clone),
+    /// including the per-sender halo watermarks as of the logged windows.
+    fn write_shard_checkpoint(&self, window_seq: u64, epoch: u64) -> crate::Result<()> {
+        let d = self
+            .durability
+            .as_ref()
+            .expect("checkpoint without durability");
+        let watermarks: Vec<(PartitionId, u64)> = self
+            .halo_watermarks
+            .iter()
+            .enumerate()
+            .map(|(p, &seq)| (PartitionId(p as u32), seq))
+            .collect();
+        write_checkpoint_ref(
+            &d.dir,
+            &CheckpointRef {
+                window_seq,
+                epoch,
+                applied_seq: self.applied_seq,
+                applied_secondary: self.applied_secondary,
+                topology_epoch: self.engine.topology_epoch(),
+                graph: self.engine.graph(),
+                store: self.engine.store(),
+                halo_watermarks: &watermarks,
+            },
+            d.fsync,
+            &d.fail_points,
+        )
+    }
+
+    /// Advances the per-sender dedup watermarks for halo batches whose
+    /// `(sender, window_seq)` runs have just been WAL-logged. Watermarks
+    /// track *logged* batches only, so a checkpoint's watermarks never get
+    /// ahead of its store — a batch accepted but not yet logged at a crash
+    /// is re-accepted when the sender's recovery re-ships it.
+    fn advance_watermarks(&mut self, sources: &[HaloSource]) {
+        for source in sources {
+            let slot = &mut self.halo_watermarks[source.from.index()];
+            *slot = (*slot).max(source.window_seq);
+        }
+    }
+
+    /// Releases `batches` applied (or abandoned) halo batches from the
+    /// tier-wide in-flight counter.
+    fn release_halo_accounting(&self, batches: u64) {
+        if batches > 0 {
+            self.halo_in_flight.fetch_sub(batches, Ordering::AcqRel);
+        }
+    }
+
+    /// Releases the accounting of every still-staged window (the worker is
+    /// about to exit on an error).
+    fn release_staged_accounting(&mut self) {
+        if let Some(ctl) = &mut self.admission {
+            let staged: u64 = ctl
+                .take_group()
+                .iter()
+                .map(|w| w.payload.halo_batches)
+                .sum();
+            self.release_halo_accounting(staged);
+        }
+    }
+
     /// Delivers one window's outgoing deltas, one [`ShardMsg::Halos`] batch
-    /// per destination shard.
-    fn ship(&self, outgoing: Vec<(PartitionId, DeltaMessage)>) {
+    /// per destination shard, tagged `(self.part, window_seq)` so receivers
+    /// can deduplicate re-delivery.
+    fn ship(&self, window_seq: u64, outgoing: Vec<(PartitionId, DeltaMessage)>) {
         let mut per_part: Vec<Vec<DeltaMessage>> = vec![Vec::new(); self.peers.len()];
         for (part, message) in outgoing {
             per_part[part.index()].push(message);
@@ -239,11 +555,31 @@ impl ShardWorker {
                 continue;
             }
             self.halo_in_flight.fetch_add(1, Ordering::AcqRel);
-            if self.peers[part].send(ShardMsg::Halos(messages)).is_err() {
+            let msg = ShardMsg::Halos {
+                from: self.part,
+                window_seq,
+                messages,
+            };
+            if self.peers[part].send(msg).is_err() {
                 // The peer already exited (engine error / shutdown): the
                 // batch is lost, undo its accounting.
                 self.halo_in_flight.fetch_sub(1, Ordering::AcqRel);
             }
+        }
+    }
+
+    /// Closes the current window on a size trigger: a serial flush, or —
+    /// with admission on — a stage that drains only once the in-flight set
+    /// fills (conflicts inside [`ShardWorker::stage_window`] also drain).
+    fn close_window(&mut self) -> crate::Result<()> {
+        if self.admission.is_some() {
+            self.stage_window()?;
+            if self.admission.as_ref().is_some_and(|c| c.is_full()) {
+                self.drain_staged()?;
+            }
+            Ok(())
+        } else {
+            self.flush().map(|_| ())
         }
     }
 
@@ -253,10 +589,14 @@ impl ShardWorker {
         loop {
             let window_deadline = self.window.deadline(self.config.max_delay);
             let halo_deadline = self.halo_oldest.map(|t| t + self.config.max_delay);
-            let deadline = match (window_deadline, halo_deadline) {
-                (Some(a), Some(b)) => Some(a.min(b)),
-                (a, b) => a.or(b),
-            };
+            let staged_deadline = self
+                .admission
+                .as_ref()
+                .and_then(|c| c.deadline(self.config.max_delay));
+            let deadline = [window_deadline, halo_deadline, staged_deadline]
+                .into_iter()
+                .flatten()
+                .min();
             let wake = match deadline {
                 Some(deadline) => {
                     let budget = deadline.saturating_duration_since(Instant::now());
@@ -279,17 +619,33 @@ impl ShardWorker {
                     self.depth.fetch_sub(1, Ordering::AcqRel);
                     self.window.push(queued, &self.metrics);
                     if self.window.raw_len() >= self.config.max_batch as u64 {
-                        self.flush()?;
+                        self.close_window()?;
                     }
                 }
-                Some(ShardMsg::Halos(messages)) => {
+                Some(ShardMsg::Halos {
+                    from,
+                    window_seq,
+                    messages,
+                }) => {
+                    if window_seq <= self.halo_watermarks[from.index()] {
+                        // A re-shipped batch this shard already logged
+                        // (recovery re-delivers every replayed window's
+                        // outgoing deltas): drop it, release its accounting.
+                        self.release_halo_accounting(1);
+                        continue;
+                    }
                     self.halo_oldest.get_or_insert_with(Instant::now);
+                    self.pending_halo_sources.push(HaloSource {
+                        from,
+                        window_seq,
+                        count: messages.len() as u32,
+                    });
                     self.pending_halos.extend(messages);
                     self.pending_halo_batches += 1;
                     // Heavy cross-shard traffic closes the size window too,
                     // so the halo mailbox cannot buffer unboundedly.
                     if self.pending_halos.len() >= self.config.max_batch {
-                        self.flush()?;
+                        self.close_window()?;
                     }
                 }
                 Some(ShardMsg::Flush(ack)) => {
@@ -631,6 +987,7 @@ pub fn spawn_sharded(
         let mut applied_seq = 0;
         let mut applied_secondary = 0;
         let mut epoch = 0;
+        let mut halo_watermarks = vec![0u64; shards];
         let wal = match &durability {
             Some(d) => {
                 let recovered = recover(&d.dir)?;
@@ -650,15 +1007,51 @@ pub fn spawn_sharded(
                     applied_seq = ckpt.applied_seq;
                     applied_secondary = ckpt.applied_secondary;
                     epoch = ckpt.epoch;
+                    for (sender, seq) in &ckpt.halo_watermarks {
+                        if let Some(slot) = halo_watermarks.get_mut(sender.index()) {
+                            *slot = (*slot).max(*seq);
+                        }
+                    }
                     engine
                         .restore_state(ckpt.graph, ckpt.store, ckpt.topology_epoch)
                         .map_err(ServeError::Engine)?;
                 }
                 for frame in &recovered.frames {
+                    let mut outgoing = Vec::new();
                     if !frame.batch.is_empty() || !frame.halos.is_empty() {
-                        engine
+                        let (_stats, shipped) = engine
                             .process_window(&frame.batch, &frame.halos)
                             .map_err(ServeError::Engine)?;
+                        outgoing = shipped;
+                    }
+                    // The frame's logged halo runs advance the dedup
+                    // watermarks, exactly as they did when first logged.
+                    for source in &frame.halo_sources {
+                        if let Some(slot) = halo_watermarks.get_mut(source.from.index()) {
+                            *slot = (*slot).max(source.window_seq);
+                        }
+                    }
+                    // Re-ship the regenerated outgoing deltas: the originals
+                    // may have been in flight (unapplied by their receivers)
+                    // at the crash. Receivers whose logs already cover this
+                    // `(shard, window_seq)` drop the duplicates.
+                    let mut per_part: Vec<Vec<DeltaMessage>> = vec![Vec::new(); shards];
+                    for (dest, message) in outgoing {
+                        per_part[dest.index()].push(message);
+                    }
+                    for (dest, messages) in per_part.into_iter().enumerate() {
+                        if messages.is_empty() {
+                            continue;
+                        }
+                        halo_in_flight.fetch_add(1, Ordering::AcqRel);
+                        let msg = ShardMsg::Halos {
+                            from: part,
+                            window_seq: frame.window_seq,
+                            messages,
+                        };
+                        if txs[dest].send(msg).is_err() {
+                            halo_in_flight.fetch_sub(1, Ordering::AcqRel);
+                        }
                     }
                     report.replayed_windows += 1;
                     window_seq = frame.window_seq;
@@ -716,7 +1109,12 @@ pub fn spawn_sharded(
         secondary_submitted.push(Arc::new(AtomicU64::new(0)));
         let failure: Arc<Mutex<Option<ServeError>>> = Arc::new(Mutex::new(None));
         failures.push(Arc::clone(&failure));
+        let admission = config
+            .admission
+            .enabled
+            .then(|| AdmissionController::new(config.admission.max_inflight));
         let worker = ShardWorker {
+            part,
             engine,
             publisher,
             index,
@@ -724,7 +1122,9 @@ pub fn spawn_sharded(
             metrics: Arc::clone(&metrics),
             window: Coalescer::default(),
             pending_halos: Vec::new(),
+            pending_halo_sources: Vec::new(),
             pending_halo_batches: 0,
+            halo_watermarks,
             halo_oldest: None,
             applied_seq,
             applied_secondary,
@@ -735,6 +1135,7 @@ pub fn spawn_sharded(
             depth,
             halo_in_flight: Arc::clone(&halo_in_flight),
             peers: txs.clone(),
+            admission,
         };
         let join = std::thread::Builder::new()
             .name(format!("ripple-serve-shard-{p}"))

@@ -30,11 +30,17 @@
 //! * `--nprobe-sweep <path>` — sweeps the IVF probe width and writes a
 //!   recall@10-vs-speedup table against the exact oracle, tracing the
 //!   accuracy/latency trade-off curve the `DEFAULT_NPROBE` choice sits on.
+//! * `--admission-bench <path>` — benchmarks footprint-based concurrent
+//!   window admission against the serial pipeline (best-case disjoint
+//!   blocks, worst-case hub churn; in-flight depths 1/2/4) and writes
+//!   `BENCH_admission.json` with the group/conflict counters. Every depth
+//!   is bit-compared against the serial baseline: any parity violation
+//!   aborts the run.
 
 use ripple::experiments::{print_header, Scale};
 use ripple::serve::{
-    run_loadgen, run_nprobe_sweep, run_topk_bench, LoadgenConfig, LoadgenReport, ReadMode,
-    DEFAULT_NPROBE,
+    run_admission_bench, run_loadgen, run_nprobe_sweep, run_topk_bench, LoadgenConfig,
+    LoadgenReport, ReadMode, DEFAULT_NPROBE,
 };
 
 fn main() {
@@ -42,6 +48,7 @@ fn main() {
     let mut shard_bench_path: Option<String> = None;
     let mut topk_bench_path: Option<String> = None;
     let mut nprobe_sweep_path: Option<String> = None;
+    let mut admission_bench_path: Option<String> = None;
     let mut shards_override: Option<usize> = None;
     let mut read_mode_override: Option<ReadMode> = None;
     let mut args = std::env::args().skip(1);
@@ -71,6 +78,10 @@ fn main() {
             "--nprobe-sweep" => {
                 nprobe_sweep_path = Some(args.next().expect("--nprobe-sweep requires a file path"));
             }
+            "--admission-bench" => {
+                admission_bench_path =
+                    Some(args.next().expect("--admission-bench requires a file path"));
+            }
             "--read-mode" => {
                 let value = args.next().expect("--read-mode requires exact|approx");
                 read_mode_override = Some(match value.as_str() {
@@ -83,8 +94,8 @@ fn main() {
             }
             other => panic!(
                 "unknown flag {other} (expected --json <path>, --shards <n>, \
-                 --shard-bench <path>, --topk-bench <path>, --nprobe-sweep <path> \
-                 or --read-mode exact|approx)"
+                 --shard-bench <path>, --topk-bench <path>, --nprobe-sweep <path>, \
+                 --admission-bench <path> or --read-mode exact|approx)"
             ),
         }
     }
@@ -95,6 +106,10 @@ fn main() {
     }
     if let Some(path) = nprobe_sweep_path {
         run_nprobe_sweep_cli(&path);
+        return;
+    }
+    if let Some(path) = admission_bench_path {
+        run_admission_bench_cli(&path);
         return;
     }
 
@@ -111,7 +126,8 @@ fn main() {
     );
     println!(
         "graph: {} vertices, avg degree {:.1}; stream: {} updates; \
-         {} readers, {} engine thread(s), {} shard(s); window: {} updates / {:?}; queue {} ({:?})",
+         {} readers, {} engine thread(s), {} shard(s); window: {} updates / {:?}; queue {} ({:?}); \
+         admission: {}",
         config.vertices,
         config.avg_degree,
         config.updates,
@@ -122,6 +138,14 @@ fn main() {
         config.serve.max_delay,
         config.serve.queue_capacity,
         config.serve.policy,
+        if config.serve.admission.enabled {
+            format!(
+                "concurrent (inflight {})",
+                config.serve.admission.max_inflight
+            )
+        } else {
+            "serial".to_string()
+        },
     );
     println!();
 
@@ -168,6 +192,34 @@ fn run_topk_bench_cli(path: &str) {
     println!("bit-identical scores; zero index rebuilds after the bootstrap build.");
     std::fs::write(path, report.to_json()).expect("writing topk bench JSON");
     println!("wrote top-k comparison to {path}");
+}
+
+/// Benchmarks footprint-based concurrent window admission (see
+/// [`ripple::serve::run_admission_bench`]) and writes
+/// `BENCH_admission.json`. Bit-parity against the serial pipeline is
+/// asserted inside the bench: a nonzero violation count aborts the run.
+fn run_admission_bench_cli(path: &str) {
+    print_header(
+        "Concurrent window admission: footprint groups vs the serial pipeline",
+        Scale::from_env(),
+    );
+    let report = run_admission_bench(42);
+    println!("{report}");
+    println!();
+    println!("Expected shape: disjoint-blocks fills groups (admitted > 0, conflicts = 0),");
+    println!("hub-churn serializes (conflicts > 0, admitted ~ 0); every depth commits the");
+    println!("exact serial window stamps and final store — zero parity violations.");
+    assert_eq!(
+        report.parity_violations(),
+        0,
+        "admission diverged from the serial pipeline"
+    );
+    assert!(
+        report.admitted_concurrent() > 0,
+        "admission bench formed no concurrent groups"
+    );
+    std::fs::write(path, report.to_json()).expect("writing admission bench JSON");
+    println!("wrote admission comparison to {path}");
 }
 
 /// Sweeps the IVF probe width and tabulates recall@k vs speedup over the

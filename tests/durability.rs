@@ -79,18 +79,36 @@ fn engine(graph: &DynamicGraph, model: &GnnModel, store: &EmbeddingStore) -> Rip
 /// A serve config with durability into `dir`, long time windows (flushes in
 /// these tests are explicit) and `fail` consulted by the WAL paths.
 fn durable_config(dir: &Path, checkpoint_every: u64, fail: &FailPoints) -> ServeConfig {
-    ServeConfig::builder()
+    durable_config_with(dir, checkpoint_every, fail, FsyncPolicy::Never, 0)
+}
+
+/// [`durable_config`] with an explicit fsync policy and, when `inflight`
+/// is nonzero, concurrent admission at that depth — so the crash-site
+/// proptest also drives the group-commit (`append_unsynced` + one `sync`)
+/// WAL path and the group checkpoint boundary.
+fn durable_config_with(
+    dir: &Path,
+    checkpoint_every: u64,
+    fail: &FailPoints,
+    fsync: FsyncPolicy,
+    inflight: usize,
+) -> ServeConfig {
+    let builder = ServeConfig::builder()
         .max_batch(64)
         .max_delay(Duration::from_secs(60))
         .record_batches(true)
         .durability(
             DurabilityConfig::new(dir)
                 .checkpoint_every(checkpoint_every)
-                .fsync(FsyncPolicy::Never)
+                .fsync(fsync)
                 .fail_points(fail.clone()),
-        )
-        .build()
-        .unwrap()
+        );
+    let builder = if inflight > 0 {
+        builder.concurrent_admission(inflight)
+    } else {
+        builder
+    };
+    builder.build().unwrap()
 }
 
 /// Replays the durable single-engine WAL from bootstrap: the uncrashed
@@ -173,11 +191,14 @@ proptest! {
         site in 0usize..5,
         after_hits in 0u64..3,
         arm_at in 1usize..4,
+        always_fsync in 0u8..2,
+        inflight in 0usize..3,
     ) {
         let (graph, model, store, updates) = bootstrap(seed);
         let dir = scratch_dir(&format!("prop-{seed}-{site}-{after_hits}-{arm_at}"));
         let fail = FailPoints::new();
-        let config = durable_config(&dir, 2, &fail);
+        let fsync = if always_fsync == 1 { FsyncPolicy::Always } else { FsyncPolicy::Never };
+        let config = durable_config_with(&dir, 2, &fail, fsync, inflight * 2);
 
         // Crashed run: flush explicit windows; arm the fail point partway
         // through, then keep driving until it kills the scheduler.
@@ -232,8 +253,12 @@ proptest! {
         assert_bit_identical(&recovered, &reference, "single-engine crash");
 
         // Continuation: a resumed session extends the epoch sequence rather
-        // than restarting it.
-        let handle = spawn_serve(recovered, config).unwrap();
+        // than restarting it. Resumption starts from bootstrap state — the
+        // recovery contract restores a checkpoint (when one exists) and
+        // replays the WAL tail on top, so handing it an engine that already
+        // contains replayed windows would double-apply any tail not covered
+        // by a checkpoint.
+        let handle = spawn_serve(engine(&graph, &model, &store), config).unwrap();
         client_submit_one(&handle, &graph);
         prop_assert_eq!(handle.flush(), Some(last_epoch + 1));
         handle.shutdown().unwrap();
@@ -355,6 +380,16 @@ fn torn_tail_is_dropped_at_every_byte_offset() {
 /// Two-shard crash: each shard recovers from its own `shard-{p}/` stream
 /// and lands bit-identical to a fresh [`ShardEngine`] replaying that
 /// shard's durable windows (coalesced batches plus logged received halos).
+///
+/// Recovery additionally **re-ships** the outgoing halo deltas regenerated
+/// while replaying each durable window, repairing deltas that were in
+/// flight between shards when the crash hit; receivers drop the re-shipped
+/// copies they already logged (watermark dedup) and absorb the rest as
+/// ordinary logged windows. The ground truth is therefore taken from each
+/// shard's WAL *after* the recovered tier quiesces and shuts down: every
+/// window the shard committed — pre-crash and repaired — is in that log,
+/// and replaying it from bootstrap must reproduce the recovered state bit
+/// for bit.
 #[test]
 fn two_shard_crash_recovers_bit_identically_per_shard() {
     for seed in [3u64, 11] {
@@ -397,8 +432,18 @@ fn two_shard_crash_recovers_bit_identically_per_shard() {
         assert!(crash.is_err(), "the armed shard must fail the tier");
         fail.disarm_all();
 
-        // Ground truth per shard: replay its own WAL through a fresh shard
-        // engine built exactly like the tier builds them.
+        // Recovery: respawn the tier on the same directory and gather the
+        // recovered shard engines. Shutdown quiesces re-shipped in-flight
+        // halos first, so any repaired delta is applied — and logged — by
+        // the time the engines come back.
+        let handle =
+            spawn_sharded(&graph, &model, &store, RippleConfig::default(), config, 2).unwrap();
+        let reports = handle.recovery_reports();
+        assert_eq!(reports.len(), 2);
+        let recovered = handle.shutdown().unwrap().into_engines();
+
+        // Ground truth per shard: replay its own (post-recovery) WAL through
+        // a fresh shard engine built exactly like the tier builds them.
         let partitioning = Arc::new(HashPartitioner::new().partition(&graph, 2).unwrap());
         let mut references = Vec::new();
         for p in 0..2usize {
@@ -419,14 +464,6 @@ fn two_shard_crash_recovers_bit_identically_per_shard() {
             }
             references.push(shard_ref);
         }
-
-        // Recovery: respawn the tier on the same directory and gather the
-        // recovered shard engines.
-        let handle =
-            spawn_sharded(&graph, &model, &store, RippleConfig::default(), config, 2).unwrap();
-        let reports = handle.recovery_reports();
-        assert_eq!(reports.len(), 2);
-        let recovered = handle.shutdown().unwrap().into_engines();
         for (p, (rec, reference)) in recovered.iter().zip(&references).enumerate() {
             assert!(
                 rec.store() == reference.store(),
@@ -444,6 +481,88 @@ fn two_shard_crash_recovers_bit_identically_per_shard() {
         }
         let _ = std::fs::remove_dir_all(&dir);
     }
+}
+
+/// Exactly-once halo re-delivery: restarting a cleanly shut down tier
+/// makes recovery re-ship every replayed window's regenerated outgoing
+/// deltas — all of which the receiving shards already logged before the
+/// shutdown. The `(sender, window_seq)` watermarks must drop every
+/// re-shipped copy: no new windows commit, no WAL frames appear, and the
+/// restarted engines are bit-identical to the ones that shut down.
+#[test]
+fn reshipped_halos_after_clean_shutdown_apply_exactly_once() {
+    let (graph, model, store, updates) = bootstrap(17);
+    let dir = scratch_dir("halo-dedup");
+    let fail = FailPoints::new();
+    let config = durable_config(&dir, 2, &fail);
+    let durability = config.durability.clone().unwrap();
+
+    let handle = spawn_sharded(
+        &graph,
+        &model,
+        &store,
+        RippleConfig::default(),
+        config.clone(),
+        2,
+    )
+    .unwrap();
+    let router = handle.client();
+    for chunk in updates.chunks(6) {
+        for update in chunk {
+            router.submit(update.clone());
+        }
+        handle.flush().expect("healthy tier");
+    }
+    let first = handle.shutdown().unwrap().into_engines();
+
+    let frame_counts = |durability: &DurabilityConfig| -> Vec<usize> {
+        (0..2)
+            .map(|p| read_wal(&durability.shard_dir(p)).unwrap().frames.len())
+            .collect()
+    };
+    let frames_before = frame_counts(&durability);
+    let logged_halo_batches: usize = (0..2)
+        .map(|p| {
+            read_wal(&durability.shard_dir(p))
+                .unwrap()
+                .frames
+                .iter()
+                .map(|f| f.halo_sources.len())
+                .sum::<usize>()
+        })
+        .sum();
+    assert!(
+        logged_halo_batches > 0,
+        "the stream must exercise cross-shard halo traffic for dedup to matter"
+    );
+
+    // Restart on the same directory. Recovery replays each shard's windows
+    // and re-ships their outgoing deltas; the clean shutdown means every
+    // single one is a duplicate of a logged batch.
+    let handle = spawn_sharded(&graph, &model, &store, RippleConfig::default(), config, 2).unwrap();
+    let second = handle.shutdown().unwrap().into_engines();
+
+    assert_eq!(
+        frames_before,
+        frame_counts(&durability),
+        "deduped re-ships must not commit new windows"
+    );
+    for (p, (a, b)) in first.iter().zip(&second).enumerate() {
+        assert!(
+            a.store() == b.store(),
+            "shard {p} store changed across a clean restart"
+        );
+        assert!(
+            a.graph() == b.graph(),
+            "shard {p} graph changed across a clean restart"
+        );
+        assert_eq!(
+            a.topology_epoch(),
+            b.topology_epoch(),
+            "shard {p} topology epoch changed across a clean restart"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Checkpoints bound replay: after enough windows, recovery restores the
