@@ -16,7 +16,8 @@
 //! subdirectory per shard, `shard-{p}/`):
 //!
 //! ```text
-//! wal-{seq:020}.log   length-prefixed, CRC-checksummed frames; the name is
+//! wal-{seq:020}.log   an 8-byte format tag ([`WAL_MAGIC`]) followed by
+//!                     length-prefixed, CRC-checksummed frames; the name is
 //!                     the window_seq of the segment's first frame; segments
 //!                     rotate at `segment_bytes`
 //! ckpt-{seq:020}.bin  full graph + embedding store at window_seq == seq,
@@ -30,6 +31,12 @@
 //! bytes before appending again. Checkpoints validate the same way; a
 //! corrupt newest checkpoint falls back to the previous one (the WAL is
 //! only pruned up to the *retained* checkpoint horizon).
+//!
+//! Both encodings are versioned: the segment tag and the checkpoint magic
+//! change whenever the payload shape changes, and readers *refuse* data
+//! carrying a recognised-but-retired tag instead of misparsing it as a
+//! torn tail. Durable state from an older binary is never silently
+//! discarded as corruption — recovery fails loudly and names the file.
 //!
 //! Crash injection for the chaos harness goes through [`FailPoints`]: the
 //! WAL append, checkpoint and post-publish paths consult a shared registry
@@ -286,7 +293,18 @@ pub struct HaloSource {
 }
 
 const FRAME_HEADER_BYTES: usize = 8;
-const CKPT_MAGIC: &[u8; 8] = b"RPLCKPT1";
+/// Format tag opening every WAL segment. Version 2 added the
+/// `halo_sources` provenance section to the frame payload; segments
+/// without this tag (including v1 segments, which began directly with a
+/// frame header) are rejected loudly rather than parsed as torn.
+const WAL_MAGIC: &[u8; 8] = b"RPLWAL02";
+const WAL_HEADER_BYTES: usize = 8;
+/// Checkpoint magic. Version 2 added the `halo_watermarks` section.
+const CKPT_MAGIC: &[u8; 8] = b"RPLCKPT2";
+/// Magic of the retired v1 checkpoint encoding (no halo watermark
+/// section). Recognised only so recovery can fail loudly instead of
+/// skipping a durable checkpoint as corrupt.
+const CKPT_MAGIC_V1: &[u8; 8] = b"RPLCKPT1";
 
 /// CRC-32 (IEEE 802.3, reflected) — hand-rolled because the offline shim
 /// set has no checksum crate. Bitwise, no table: WAL frames are small and
@@ -562,6 +580,26 @@ fn wal_err(context: &str, e: std::io::Error) -> ServeError {
     ServeError::Wal(format!("{context}: {e}"))
 }
 
+/// Rejects a segment whose leading bytes carry a format tag other than
+/// [`WAL_MAGIC`]. A file shorter than the tag passes — that is a header
+/// write torn at segment creation (no frame was ever durable in it), which
+/// callers handle as an ordinary torn tail. A *wrong* tag means data from
+/// a different encoding (e.g. a pre-versioned v1 segment, which began
+/// directly with a frame header) and must fail loudly: truncating it as
+/// corruption would silently discard durable state.
+fn check_segment_format(path: &Path, bytes: &[u8]) -> crate::Result<()> {
+    if bytes.len() >= WAL_HEADER_BYTES && &bytes[..WAL_HEADER_BYTES] != WAL_MAGIC {
+        return Err(ServeError::Wal(format!(
+            "WAL segment {} does not start with format tag {} — it was \
+             written by an incompatible (likely older) version; refusing to \
+             recover rather than drop durable frames as corruption",
+            path.display(),
+            String::from_utf8_lossy(WAL_MAGIC),
+        )));
+    }
+    Ok(())
+}
+
 fn segment_path(dir: &Path, start_seq: u64) -> PathBuf {
     dir.join(format!("wal-{start_seq:020}.log"))
 }
@@ -620,7 +658,15 @@ impl WalWriter {
         let (file, written) = match segments.last() {
             Some(path) => {
                 let bytes = fs::read(path).map_err(|e| wal_err("reading WAL segment", e))?;
-                let valid = valid_prefix_len(&bytes);
+                check_segment_format(path, &bytes)?;
+                // Fewer than 8 bytes can only be a header write torn by a
+                // crash at segment creation (no frame fit yet): restart the
+                // segment. Otherwise resume after the last whole frame.
+                let valid = if bytes.len() < WAL_HEADER_BYTES {
+                    0
+                } else {
+                    WAL_HEADER_BYTES + valid_prefix_len(&bytes[WAL_HEADER_BYTES..])
+                };
                 let file = OpenOptions::new()
                     .write(true)
                     .open(path)
@@ -631,12 +677,20 @@ impl WalWriter {
                 use std::io::Seek;
                 file.seek(std::io::SeekFrom::End(0))
                     .map_err(|e| wal_err("seeking WAL segment", e))?;
-                (file, valid as u64)
+                if valid == 0 {
+                    file.write_all(WAL_MAGIC)
+                        .map_err(|e| wal_err("writing WAL segment header", e))?;
+                    (file, WAL_HEADER_BYTES as u64)
+                } else {
+                    (file, valid as u64)
+                }
             }
             None => {
-                let file = File::create(segment_path(dir, next_seq))
+                let mut file = File::create(segment_path(dir, next_seq))
                     .map_err(|e| wal_err("creating WAL segment", e))?;
-                (file, 0)
+                file.write_all(WAL_MAGIC)
+                    .map_err(|e| wal_err("writing WAL segment header", e))?;
+                (file, WAL_HEADER_BYTES as u64)
             }
         };
         Ok(WalWriter {
@@ -680,9 +734,12 @@ impl WalWriter {
                     .sync_data()
                     .map_err(|e| wal_err("syncing rotated WAL segment", e))?;
             }
-            self.file = File::create(segment_path(&self.dir, frame.window_seq))
+            let mut file = File::create(segment_path(&self.dir, frame.window_seq))
                 .map_err(|e| wal_err("rotating WAL segment", e))?;
-            self.written = 0;
+            file.write_all(WAL_MAGIC)
+                .map_err(|e| wal_err("writing WAL segment header", e))?;
+            self.file = file;
+            self.written = WAL_HEADER_BYTES as u64;
             self.segments_created += 1;
         }
         let bytes = encode_frame(frame);
@@ -779,18 +836,26 @@ pub fn read_wal(dir: &Path) -> crate::Result<WalScan> {
         File::open(&path)
             .and_then(|mut f| f.read_to_end(&mut bytes))
             .map_err(|e| wal_err("reading WAL segment", e))?;
-        let valid = valid_prefix_len(&bytes);
+        check_segment_format(&path, &bytes)?;
+        if bytes.len() < WAL_HEADER_BYTES {
+            // Header write torn at segment creation: no frame in it was
+            // ever durable, so this is an ordinary torn tail.
+            scan.dropped_tail_bytes += bytes.len() as u64;
+            break;
+        }
+        let body = &bytes[WAL_HEADER_BYTES..];
+        let valid = valid_prefix_len(body);
         let mut pos = 0;
         while pos < valid {
-            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
-            let payload = &bytes[pos + FRAME_HEADER_BYTES..pos + FRAME_HEADER_BYTES + len];
+            let len = u32::from_le_bytes(body[pos..pos + 4].try_into().unwrap()) as usize;
+            let payload = &body[pos + FRAME_HEADER_BYTES..pos + FRAME_HEADER_BYTES + len];
             // valid_prefix_len already proved this decodes.
             scan.frames
                 .push(decode_payload(payload).expect("validated frame"));
             pos += FRAME_HEADER_BYTES + len;
         }
-        if valid < bytes.len() {
-            scan.dropped_tail_bytes += (bytes.len() - valid) as u64;
+        if valid < body.len() {
+            scan.dropped_tail_bytes += (body.len() - valid) as u64;
             break;
         }
     }
@@ -1108,9 +1173,21 @@ fn file_seq(path: &Path) -> Option<u64> {
 
 /// Loads the newest checkpoint that validates (magic, checksum, and a
 /// fully consistent decode), falling back to older ones on corruption.
-pub fn load_latest_checkpoint(dir: &Path) -> Option<Checkpoint> {
+/// A checkpoint carrying a recognised *retired* magic is an error, not a
+/// fallback: it is durable state from an incompatible binary, and skipping
+/// it would silently recover an older world.
+pub fn load_latest_checkpoint(dir: &Path) -> crate::Result<Option<Checkpoint>> {
     for path in list_sorted(dir, "ckpt-", ".bin").iter().rev() {
         let Ok(bytes) = fs::read(path) else { continue };
+        if bytes.starts_with(CKPT_MAGIC_V1) {
+            return Err(ServeError::Wal(format!(
+                "checkpoint {} uses the retired {} encoding (no halo \
+                 watermark section); refusing to skip durable state — \
+                 recover it with the matching binary or remove it explicitly",
+                path.display(),
+                String::from_utf8_lossy(CKPT_MAGIC_V1),
+            )));
+        }
         let Some(rest) = bytes.strip_prefix(CKPT_MAGIC.as_slice()) else {
             continue;
         };
@@ -1122,10 +1199,10 @@ pub fn load_latest_checkpoint(dir: &Path) -> Option<Checkpoint> {
             continue;
         }
         if let Some(ckpt) = decode_checkpoint(payload) {
-            return Some(ckpt);
+            return Ok(Some(ckpt));
         }
     }
-    None
+    Ok(None)
 }
 
 /// Everything recovery needs: the newest valid checkpoint (if any) and the
@@ -1162,7 +1239,7 @@ pub fn recover(dir: &Path) -> crate::Result<RecoveredState> {
     if !dir.exists() {
         return Ok(RecoveredState::default());
     }
-    let checkpoint = load_latest_checkpoint(dir);
+    let checkpoint = load_latest_checkpoint(dir)?;
     let scan = read_wal(dir)?;
     let floor = checkpoint.as_ref().map(|c| c.window_seq).unwrap_or(0);
     let mut frames = Vec::new();
@@ -1386,5 +1463,62 @@ mod tests {
             std::env::temp_dir().join(format!("ripple-durability-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
+    }
+
+    /// A segment whose leading bytes are not the format tag — e.g. one
+    /// written by the pre-versioned encoding, which began directly with a
+    /// frame header — must fail recovery loudly, never be truncated away
+    /// as a torn tail.
+    #[test]
+    fn unversioned_wal_segment_is_rejected_not_truncated() {
+        let dir = test_dir("legacy-wal");
+        fs::create_dir_all(&dir).unwrap();
+        // Old-format layout: frames from byte 0, no segment tag.
+        fs::write(segment_path(&dir, 1), encode_frame(&frame(1, sample_updates()))).unwrap();
+        let err = read_wal(&dir).expect_err("legacy segment must not scan");
+        assert!(
+            err.to_string().contains("incompatible"),
+            "error must name the format mismatch: {err}"
+        );
+        recover(&dir).expect_err("recovery must surface the rejection");
+        WalWriter::open(&dir, 2, u64::MAX, FsyncPolicy::Never, FailPoints::new())
+            .expect_err("the writer must not truncate a legacy segment");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A header write torn at segment creation (fewer than tag-size bytes,
+    /// no frame ever durable) is an ordinary torn tail: scanned as empty
+    /// and reinitialised by the writer, not an error.
+    #[test]
+    fn torn_segment_header_is_recovered_as_empty() {
+        let dir = test_dir("torn-header");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(segment_path(&dir, 1), &WAL_MAGIC[..3]).unwrap();
+        let scan = read_wal(&dir).unwrap();
+        assert!(scan.frames.is_empty());
+        assert_eq!(scan.dropped_tail_bytes, 3);
+        let mut writer =
+            WalWriter::open(&dir, 1, u64::MAX, FsyncPolicy::Never, FailPoints::new()).unwrap();
+        writer.append(&frame(1, sample_updates())).unwrap();
+        assert_eq!(read_wal(&dir).unwrap().frames.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A checkpoint carrying the retired v1 magic is durable state from an
+    /// incompatible binary: recovery must error, not fall back past it.
+    #[test]
+    fn v1_checkpoint_is_rejected_not_skipped() {
+        let dir = test_dir("legacy-ckpt");
+        fs::create_dir_all(&dir).unwrap();
+        let mut bytes = CKPT_MAGIC_V1.to_vec();
+        bytes.extend_from_slice(&[0u8; 32]);
+        fs::write(checkpoint_path(&dir, 5), &bytes).unwrap();
+        let err = load_latest_checkpoint(&dir).expect_err("v1 checkpoint must not be skipped");
+        assert!(
+            err.to_string().contains("retired"),
+            "error must name the retired encoding: {err}"
+        );
+        recover(&dir).expect_err("recovery must surface the rejection");
+        let _ = fs::remove_dir_all(&dir);
     }
 }

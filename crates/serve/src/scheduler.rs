@@ -957,35 +957,48 @@ impl<E: StreamingEngine> UpdateScheduler<E> {
     /// WAL-append it (unsynced — the group fsyncs once at drain), predict
     /// its post-commit counters and stage it. A window that conflicts with
     /// the in-flight set first forces the staged group to commit (the
-    /// window is *serialized* behind it); the epoch such a forced drain
-    /// published is returned.
+    /// window is *serialized* behind it) and is then re-footprinted against
+    /// the post-commit topology; the epoch such a forced drain published is
+    /// returned.
     fn stage_window(&mut self) -> crate::Result<Option<u64>> {
         if self.window.raw_len() == 0 {
             return Ok(None);
         }
         let (batch, raw, _secondary, enqueues) = self.window.drain();
-        let footprint = {
+        let mut footprint = {
             let model = self
                 .engine
                 .model()
                 .expect("admission is gated on an exposed model");
             Footprint::for_batch(self.engine.current_graph(), model, &batch)
         };
-        let must_drain = {
+        let conflicted = {
             let ctl = self
                 .admission
                 .as_ref()
                 .expect("stage_window without admission");
-            if !ctl.admits(&footprint) {
-                self.metrics.record_conflict();
-                true
-            } else {
-                ctl.is_full()
-            }
+            !ctl.admits(&footprint)
         };
+        if conflicted {
+            self.metrics.record_conflict();
+        }
+        let must_drain =
+            conflicted || self.admission.as_ref().expect("checked above").is_full();
         let mut drained = None;
         if must_drain {
             drained = Some(self.drain_staged()?);
+            if conflicted {
+                // The drained group committed the very writes this window's
+                // cone intersects, and edges it added can extend that cone —
+                // so the pre-drain footprint is stale. Re-footprint against
+                // the post-commit topology before reserving, or a later
+                // window overlapping the grown cone would be judged
+                // disjoint and merged. The is_full drain needs no recompute:
+                // an *admitted* window is disjoint from every staged write
+                // set, so its cone cannot reach the edges the group added.
+                let model = self.engine.model().expect("checked above");
+                footprint = Footprint::for_batch(self.engine.current_graph(), model, &batch);
+            }
         }
         // Predict the post-commit stamps by chaining off the last staged
         // window (or the live counters when the group is empty): each

@@ -288,9 +288,9 @@ impl ShardWorker {
         let halo_batches = std::mem::take(&mut self.pending_halo_batches);
         self.halo_oldest = None;
         let ran_engine = !batch.is_empty() || !halos.is_empty();
-        let footprint = {
-            let graph = self.engine.graph();
-            let model = self.engine.model();
+        let compute_footprint = |engine: &ShardEngine| {
+            let graph = engine.graph();
+            let model = engine.model();
             let mut fp = Footprint::for_batch(graph, model, &batch);
             // A delta deposited at hop `h` re-evaluates its target and fans
             // out along out-edges at every later hop, so each halo target's
@@ -298,21 +298,32 @@ impl ShardWorker {
             fp.extend_cone(graph, model.num_layers(), halos.iter().map(|m| m.target));
             fp
         };
-        let must_drain = {
+        let mut footprint = compute_footprint(&self.engine);
+        let conflicted = {
             let ctl = self
                 .admission
                 .as_ref()
                 .expect("stage_window without admission");
-            if !ctl.admits(&footprint) {
-                self.metrics.record_conflict();
-                true
-            } else {
-                ctl.is_full()
-            }
+            !ctl.admits(&footprint)
         };
+        if conflicted {
+            self.metrics.record_conflict();
+        }
+        let must_drain =
+            conflicted || self.admission.as_ref().expect("checked above").is_full();
         let mut drained = None;
         if must_drain {
             drained = Some(self.drain_staged()?);
+            if conflicted {
+                // The drained group committed the writes this window's cone
+                // intersects; edges it added can extend that cone, so the
+                // pre-drain footprint is stale. Re-footprint against the
+                // post-commit topology to keep the staged set's documented
+                // pairwise disjointness actually true. (The is_full drain
+                // is safe without this: an admitted window's cone cannot
+                // reach edges added inside write sets it is disjoint from.)
+                footprint = compute_footprint(&self.engine);
+            }
         }
         // Chain the predicted post-commit stamps off the last staged window
         // (or the live counters when the group is empty); the WAL frame
