@@ -13,13 +13,19 @@
 //! When the `RIPPLE_CSR_JSON` environment variable names a file, the bench
 //! re-times both walks with plain wall-clock repetitions and writes the rows
 //! (including the CSR-over-Vec speedup) as the `BENCH_csr.json` artifact CI
-//! uploads next to `BENCH_kernels.json` and `BENCH_serve.json`.
+//! uploads next to `BENCH_kernels.json` and `BENCH_serve.json`. The artifact
+//! records the detected core count and SIMD tier, and adds a `simd_sparse`
+//! section comparing the forced-scalar sparse phase against the active tier
+//! (SIMD `axpy` + software prefetch of upcoming neighbour rows) — with a
+//! speedup floor asserted at mean degree ≥ 16 only when the environment has
+//! a non-scalar tier, so a scalar-only runner reports honestly instead of
+//! silently uploading numbers with no SIMD in them.
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use ripple_gnn::Aggregator;
 use ripple_graph::synth::DatasetSpec;
 use ripple_graph::{CsrGraph, DynamicGraph, GraphView, VertexId};
-use ripple_tensor::{init, Matrix};
+use ripple_tensor::{init, simd, Matrix, SimdTier};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -29,6 +35,24 @@ const DEGREES: [usize; 3] = [4, 16, 64];
 const VERTICES: usize = 2_000;
 /// Embedding width of the aggregated table.
 const DIM: usize = 8;
+
+/// Sparse-phase speedup floor (active tier vs forced scalar) asserted at
+/// mean degree ≥ 16 on SIMD-capable hardware. The gather-latency win from
+/// prefetch plus the lane-parallel `axpy` comfortably clears this; the floor
+/// stays modest because the sparse phase is memory-bound, not compute-bound.
+const SIMD_SPARSE_FLOOR: f64 = 1.05;
+/// The degree at which the sparse-phase floor starts being asserted —
+/// below this the rows are too short for prefetch to matter.
+const SIMD_SPARSE_FLOOR_DEGREE: usize = 16;
+/// Vertices in the `simd_sparse` scenario. The legacy 2k x dim-8 table is
+/// 64 KiB — fully cache-resident, so it cannot exhibit the gather-latency
+/// stall prefetch exists to hide (prefetching L1-resident rows is pure
+/// overhead). The SIMD comparison therefore uses a table well past L2:
+/// 40k x 32 x 4 B = 5 MiB, the shape where embedding gathers actually miss.
+const SIMD_VERTICES: usize = 40_000;
+/// Embedding width of the `simd_sparse` scenario (serving models span
+/// 16–602; 32 keeps the bench fast while exceeding a cache line per row).
+const SIMD_DIM: usize = 32;
 
 /// The streaming steady state the engines actually compare: a dynamic graph
 /// that has absorbed churn (its per-vertex `Vec`s reallocated and reordered
@@ -156,12 +180,81 @@ fn write_csr_json(path: &str) {
             vec_walk / csr_stream
         ));
     }
+    rows.extend(simd_sparse_rows());
     let json = format!(
-        "{{\n  \"experiment\": \"csr_aggregate\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"csr_aggregate\",\n  \"simd_tier\": \"{}\",\n  \
+         \"detected_tier\": \"{}\",\n  \"cores\": {},\n  \
+         \"simd_floor_asserted\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        simd::active_tier(),
+        simd::detected_tier(),
+        simd::detected_cores(),
+        simd::active_tier() != SimdTier::Scalar,
         rows.join(",\n")
     );
     std::fs::write(path, &json).expect("writing CSR JSON");
     println!("wrote {path}:\n{json}");
+}
+
+/// The `simd_sparse` scenario: a [`SIMD_VERTICES`] x [`SIMD_DIM`] embedding
+/// table (past L2, so neighbour gathers genuinely miss) and the CSR stream
+/// of a power-law graph at the requested mean degree. No churn pass — the
+/// comparison never touches the Vec-list layout, only the CSR snapshot.
+fn simd_scenario(degree: usize) -> (CsrGraph, Matrix) {
+    let graph = DatasetSpec::custom(SIMD_VERTICES, degree as f64, 8, 4)
+        .generate_weighted(9191 + degree as u64, true)
+        .expect("dataset");
+    let csr = graph.to_csr();
+    let table = init::uniform(SIMD_VERTICES, SIMD_DIM, -1.0, 1.0, 7);
+    (csr, table)
+}
+
+/// The forced-scalar vs active-tier CSR sparse phase (`simd_sparse`
+/// section): same graph, same CSR stream, only the kernel tier (and with it
+/// the neighbour-row prefetch) differs. Asserts bit-identical accumulates
+/// and, at mean degree ≥ [`SIMD_SPARSE_FLOOR_DEGREE`] on SIMD-capable
+/// hardware, the [`SIMD_SPARSE_FLOOR`] speedup.
+fn simd_sparse_rows() -> Vec<String> {
+    let tier = simd::active_tier();
+    let mut rows = Vec::new();
+    for degree in DEGREES {
+        let (csr, table) = simd_scenario(degree);
+        let mut out_scalar = vec![0.0f32; SIMD_DIM];
+        let mut out_simd = vec![0.0f32; SIMD_DIM];
+        let rounds = (256 / degree.max(1)).clamp(9, 31);
+        let (scalar, simd_time) = time_interleaved(
+            rounds,
+            || {
+                simd::force_tier(Some(SimdTier::Scalar));
+                black_box(sparse_phase(&csr, &table, &mut out_scalar));
+            },
+            || {
+                simd::force_tier(None);
+                black_box(sparse_phase(&csr, &table, &mut out_simd));
+            },
+        );
+        simd::force_tier(None);
+        assert_eq!(
+            out_scalar, out_simd,
+            "scalar and {tier} sparse phases diverged at degree {degree}"
+        );
+        let speedup = scalar / simd_time;
+        if tier != SimdTier::Scalar && degree >= SIMD_SPARSE_FLOOR_DEGREE {
+            assert!(
+                speedup >= SIMD_SPARSE_FLOOR,
+                "{tier} sparse-phase speedup {speedup:.2}x below the \
+                 {SIMD_SPARSE_FLOOR}x floor at degree {degree}"
+            );
+        }
+        rows.push(format!(
+            "    {{\"section\": \"simd_sparse\", \"mean_degree\": {degree}, \
+             \"vertices\": {SIMD_VERTICES}, \"dim\": {SIMD_DIM}, \"tier\": \"{tier}\", \
+             \"scalar_ms\": {:.4}, \"simd_ms\": {:.4}, \"speedup\": {:.3}}}",
+            scalar * 1e3,
+            simd_time * 1e3,
+            speedup
+        ));
+    }
+    rows
 }
 
 fn main() {

@@ -10,14 +10,19 @@
 //! bench additionally times the `full_inference` and GEMM comparisons with
 //! plain wall-clock repetitions and writes the rows (including the
 //! batched-over-per-vertex speedup) as the `BENCH_kernels.json` artifact CI
-//! uploads next to `BENCH_parallel.json`.
+//! uploads next to `BENCH_parallel.json`. The artifact records the detected
+//! core count and the active/detected SIMD tiers, and adds a `simd_gemm`
+//! section comparing the forced-scalar kernels against the active tier —
+//! with a speedup *floor* asserted only when the environment actually has a
+//! SIMD tier to spend (never on a scalar-only host, so a 1-core scalar
+//! runner can't silently upload numbers that look like a regression).
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use ripple_gnn::layer_wise::{full_inference, full_inference_per_vertex};
 use ripple_gnn::{Aggregator, GnnModel, LayerKind};
 use ripple_graph::synth::DatasetSpec;
 use ripple_graph::DynamicGraph;
-use ripple_tensor::{init, ops, Matrix};
+use ripple_tensor::{init, ops, simd, Matrix, SimdTier};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -99,6 +104,83 @@ fn time_mean(reps: u32, mut f: impl FnMut()) -> f64 {
     total.as_secs_f64() / f64::from(reps)
 }
 
+/// Interleaved A/B timing: alternates one pass of each side per round and
+/// reports per-side medians, so machine noise hits both sides equally.
+fn time_interleaved(rounds: usize, mut a: impl FnMut(), mut b: impl FnMut()) -> (f64, f64) {
+    a();
+    b(); // warm-up
+    let mut a_times = Vec::with_capacity(rounds);
+    let mut b_times = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let start = Instant::now();
+        a();
+        a_times.push(start.elapsed());
+        let start = Instant::now();
+        b();
+        b_times.push(start.elapsed());
+    }
+    let median = |times: &mut Vec<Duration>| {
+        times.sort_unstable();
+        times[times.len() / 2].as_secs_f64()
+    };
+    (median(&mut a_times), median(&mut b_times))
+}
+
+/// Dense-GEMM speedup floor asserted for the active SIMD tier over the
+/// forced-scalar kernels (only on hardware that *has* a non-scalar tier).
+/// The 8-lane AVX2 / 4-lane NEON tiles should clear this comfortably at the
+/// swept dims; the floor is deliberately below the ~2x target so CI noise
+/// doesn't flake the job.
+const SIMD_GEMM_FLOOR: f64 = 1.5;
+
+/// The forced-scalar vs active-tier GEMM comparison (`simd_gemm` section).
+/// Returns the JSON rows and asserts the floor when a SIMD tier is active.
+fn simd_gemm_rows() -> Vec<String> {
+    let tier = simd::active_tier();
+    let mut rows = Vec::new();
+    for dim in HIDDEN_DIMS {
+        let a = init::uniform(GEMM_ROWS, dim, -1.0, 1.0, 1);
+        let w = init::uniform(dim, dim, -1.0, 1.0, 2);
+        let mut out_scalar = Matrix::default();
+        let mut out_simd = Matrix::default();
+        let (scalar, simd_time) = time_interleaved(
+            30,
+            || {
+                simd::force_tier(Some(SimdTier::Scalar));
+                ops::gemm_into(&a, &w, &mut out_scalar).unwrap();
+                black_box(out_scalar.as_slice()[0]);
+            },
+            || {
+                simd::force_tier(None);
+                ops::gemm_into(&a, &w, &mut out_simd).unwrap();
+                black_box(out_simd.as_slice()[0]);
+            },
+        );
+        simd::force_tier(None);
+        // The tiers must agree bit for bit — the whole point of the design.
+        assert_eq!(
+            out_scalar.as_slice(),
+            out_simd.as_slice(),
+            "scalar and {tier} GEMM diverged at dim {dim}"
+        );
+        let speedup = scalar / simd_time;
+        if tier != SimdTier::Scalar {
+            assert!(
+                speedup >= SIMD_GEMM_FLOOR,
+                "{tier} GEMM speedup {speedup:.2}x below the {SIMD_GEMM_FLOOR}x floor at dim {dim}"
+            );
+        }
+        rows.push(format!(
+            "    {{\"section\": \"simd_gemm\", \"hidden_dim\": {dim}, \"tier\": \"{tier}\", \
+             \"scalar_ms\": {:.4}, \"simd_ms\": {:.4}, \"speedup\": {:.3}}}",
+            scalar * 1e3,
+            simd_time * 1e3,
+            speedup
+        ));
+    }
+    rows
+}
+
 /// Writes the `BENCH_kernels.json` artifact (hand-rolled: the offline serde
 /// shim has no serialiser).
 fn write_kernels_json(path: &str) {
@@ -144,8 +226,15 @@ fn write_kernels_json(path: &str) {
             matvec / gemm
         ));
     }
+    rows.extend(simd_gemm_rows());
     let json = format!(
-        "{{\n  \"experiment\": \"kernel_throughput\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"kernel_throughput\",\n  \"simd_tier\": \"{}\",\n  \
+         \"detected_tier\": \"{}\",\n  \"cores\": {},\n  \
+         \"simd_floor_asserted\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        simd::active_tier(),
+        simd::detected_tier(),
+        simd::detected_cores(),
+        simd::active_tier() != SimdTier::Scalar,
         rows.join(",\n")
     );
     std::fs::write(path, &json).expect("writing kernel JSON");

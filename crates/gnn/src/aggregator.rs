@@ -70,10 +70,7 @@ impl Aggregator {
                     out.fill(0.0);
                     return;
                 }
-                let inv = 1.0 / in_degree as f32;
-                for (o, x) in out.iter_mut().zip(raw.iter()) {
-                    *o = x * inv;
-                }
+                ripple_tensor::scaled_copy(out, raw, 1.0 / in_degree as f32);
             }
         }
     }
@@ -94,6 +91,14 @@ impl Aggregator {
     /// `neighbors` and `weights` must be parallel slices (weights are ignored
     /// for `Sum`/`Mean`).
     ///
+    /// This is the CSR sparse phase's inner loop: the neighbour slice makes
+    /// upcoming embedding-row addresses visible *before* they are
+    /// accumulated, so on non-scalar SIMD tiers the loop issues a software
+    /// prefetch [`ripple_tensor::simd::PREFETCH_AHEAD`] neighbours ahead —
+    /// hiding the gather latency that stalls this loop at mean degree ≥ 16.
+    /// Prefetching never changes the accumulated values; the two loop bodies
+    /// below perform the identical `axpy` sequence.
+    ///
     /// # Panics
     ///
     /// Panics if `neighbors` and `weights` have different lengths, if `out`
@@ -106,6 +111,7 @@ impl Aggregator {
         weights: &[f32],
         out: &mut [f32],
     ) {
+        use ripple_tensor::simd;
         assert_eq!(
             neighbors.len(),
             weights.len(),
@@ -113,9 +119,22 @@ impl Aggregator {
         );
         assert_eq!(out.len(), table.cols(), "raw_aggregate_into width mismatch");
         out.fill(0.0);
-        for (&u, &w) in neighbors.iter().zip(weights.iter()) {
-            let coeff = self.edge_coefficient(w);
-            ripple_tensor::axpy(out, coeff, table.row(u.index()));
+        if simd::prefetch_enabled() && neighbors.len() > simd::PREFETCH_AHEAD {
+            for &u in neighbors.iter().take(simd::PREFETCH_AHEAD) {
+                simd::prefetch_slice(table.row(u.index()));
+            }
+            for (i, (&u, &w)) in neighbors.iter().zip(weights.iter()).enumerate() {
+                if let Some(ahead) = neighbors.get(i + simd::PREFETCH_AHEAD) {
+                    simd::prefetch_slice(table.row(ahead.index()));
+                }
+                let coeff = self.edge_coefficient(w);
+                ripple_tensor::axpy(out, coeff, table.row(u.index()));
+            }
+        } else {
+            for (&u, &w) in neighbors.iter().zip(weights.iter()) {
+                let coeff = self.edge_coefficient(w);
+                ripple_tensor::axpy(out, coeff, table.row(u.index()));
+            }
         }
     }
 

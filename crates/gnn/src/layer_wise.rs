@@ -138,14 +138,30 @@ pub fn full_inference_on<G: GraphView + Sync>(
             }
         }
 
+        let prefetch = ripple_tensor::simd::prefetch_enabled();
         let results = pool.map_ranges(&mut states, n, |state, range| -> Result<()> {
             let (agg_block, emb_block, scratch) = state;
             let m = range.len();
             // Sparse phase: raw aggregates straight into the store block,
-            // streaming one contiguous index/weight slice per vertex.
+            // streaming one contiguous index/weight slice per vertex. The
+            // CSR stream makes the *next* vertex's neighbour ids visible
+            // while the current vertex accumulates, so on non-scalar tiers
+            // its first embedding rows are prefetched one vertex early —
+            // by the time the accumulate loop reaches them the lines are in
+            // flight (the in-row lookahead inside `raw_aggregate_into`
+            // covers the rest of the row).
             for (i, v) in range.clone().enumerate() {
                 let vid = VertexId(v as u32);
                 let (neighbors, weights) = view.in_adjacency(vid);
+                if prefetch && v + 1 < range.end {
+                    let (next_neighbors, _) = view.in_adjacency(VertexId(v as u32 + 1));
+                    for u in next_neighbors
+                        .iter()
+                        .take(ripple_tensor::simd::PREFETCH_AHEAD)
+                    {
+                        ripple_tensor::simd::prefetch_slice(prev.row(u.index()));
+                    }
+                }
                 aggregator.raw_aggregate_into(
                     prev,
                     neighbors,
@@ -304,8 +320,18 @@ pub fn reevaluate_slice_into<G: GraphView + ?Sized>(
     let aggregator = model.aggregator();
     let in_dim = layer.input_dim();
 
+    // The vertex slice makes upcoming aggregate/embedding row addresses
+    // visible ahead of the copy loops — same prefetch discipline as the
+    // sparse aggregation phase (no effect on values).
+    let prefetch = ripple_tensor::simd::prefetch_enabled();
+    let ahead = ripple_tensor::simd::PREFETCH_AHEAD;
     scratch.lhs.resize_reuse(vertices.len(), in_dim);
     for (i, &v) in vertices.iter().enumerate() {
+        if prefetch {
+            if let Some(a) = vertices.get(i + ahead) {
+                ripple_tensor::simd::prefetch_slice(store.aggregate(hop, *a));
+            }
+        }
         aggregator.finalize_into(
             store.aggregate(hop, v),
             graph.in_degree(v),
@@ -316,6 +342,11 @@ pub fn reevaluate_slice_into<G: GraphView + ?Sized>(
         let prev = store.embeddings(hop - 1);
         scratch.lhs2.resize_reuse(vertices.len(), in_dim);
         for (i, &v) in vertices.iter().enumerate() {
+            if prefetch {
+                if let Some(a) = vertices.get(i + ahead) {
+                    ripple_tensor::simd::prefetch_slice(prev.row(a.index()));
+                }
+            }
             scratch.lhs2.row_mut(i).copy_from_slice(prev.row(v.index()));
         }
     } else {

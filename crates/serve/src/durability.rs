@@ -1474,7 +1474,11 @@ mod tests {
         let dir = test_dir("legacy-wal");
         fs::create_dir_all(&dir).unwrap();
         // Old-format layout: frames from byte 0, no segment tag.
-        fs::write(segment_path(&dir, 1), encode_frame(&frame(1, sample_updates()))).unwrap();
+        fs::write(
+            segment_path(&dir, 1),
+            encode_frame(&frame(1, sample_updates())),
+        )
+        .unwrap();
         let err = read_wal(&dir).expect_err("legacy segment must not scan");
         assert!(
             err.to_string().contains("incompatible"),

@@ -254,6 +254,7 @@ impl LoadgenReport {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str("  \"experiment\": \"serve_loadgen\",\n");
+        out.push_str(&format!("  {},\n", ripple_tensor::simd::env_json_fields()));
         out.push_str(&format!("  \"readers\": {},\n", self.readers));
         out.push_str(&format!("  \"engine_threads\": {},\n", self.engine_threads));
         out.push_str(&format!("  \"shards\": {},\n", self.shards));
@@ -687,6 +688,7 @@ impl TopKBenchReport {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str("  \"experiment\": \"serve_topk_bench\",\n");
+        out.push_str(&format!("  {},\n", ripple_tensor::simd::env_json_fields()));
         out.push_str(&format!("  \"k\": {},\n", self.k));
         out.push_str("  \"points\": [\n");
         for (i, p) in self.points.iter().enumerate() {
@@ -972,6 +974,7 @@ impl NprobeSweepReport {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str("  \"experiment\": \"serve_nprobe_sweep\",\n");
+        out.push_str(&format!("  {},\n", ripple_tensor::simd::env_json_fields()));
         out.push_str(&format!("  \"vertices\": {},\n", self.vertices));
         out.push_str(&format!("  \"k\": {},\n", self.k));
         out.push_str(&format!("  \"clusters\": {},\n", self.clusters));
@@ -1218,6 +1221,7 @@ impl AdmissionBenchReport {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str("  \"experiment\": \"serve_admission_bench\",\n");
+        out.push_str(&format!("  {},\n", ripple_tensor::simd::env_json_fields()));
         out.push_str(&format!(
             "  \"admitted_concurrent\": {},\n",
             self.admitted_concurrent()

@@ -982,8 +982,7 @@ impl<E: StreamingEngine> UpdateScheduler<E> {
         if conflicted {
             self.metrics.record_conflict();
         }
-        let must_drain =
-            conflicted || self.admission.as_ref().expect("checked above").is_full();
+        let must_drain = conflicted || self.admission.as_ref().expect("checked above").is_full();
         let mut drained = None;
         if must_drain {
             drained = Some(self.drain_staged()?);

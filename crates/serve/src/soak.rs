@@ -185,6 +185,7 @@ impl SoakReport {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str("  \"experiment\": \"serve_soak\",\n");
+        out.push_str(&format!("  {},\n", ripple_tensor::simd::env_json_fields()));
         out.push_str(&format!("  \"cycles\": {},\n", self.cycles));
         out.push_str(&format!(
             "  \"verification_failures\": {},\n",

@@ -17,6 +17,9 @@
 //! * [`init`] — deterministic (seeded) Xavier/uniform initialisers so that
 //!   experiments are reproducible without trained weights.
 //! * [`activation`] — the element-wise non-linearities used by the models.
+//! * [`simd`] — runtime-dispatched AVX2/NEON micro-kernels (bit-identical
+//!   to the scalar references) plus software-prefetch helpers, selected via
+//!   one-time feature detection and the `RIPPLE_SIMD` knob.
 //!
 //! The paper's performance story lives in *how little* work the incremental
 //! engine does; this crate's job is to make the work that remains
@@ -46,13 +49,15 @@ pub mod matrix;
 pub mod ops;
 pub mod pool;
 pub mod scratch;
+pub mod simd;
 pub mod vector;
 
 pub use error::TensorError;
 pub use matrix::Matrix;
 pub use pool::WorkerPool;
 pub use scratch::Scratch;
-pub use vector::{add_assign, axpy, l2_norm, max_abs_diff, scale, sub_assign};
+pub use simd::SimdTier;
+pub use vector::{add_assign, axpy, l2_norm, max_abs_diff, scale, scaled_copy, sub_assign};
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, TensorError>;

@@ -15,7 +15,18 @@
 //! shared dimension in ascending index order from a zero accumulator, with no
 //! zero-skip branches, so the batched and row-at-a-time paths produce
 //! **bit-identical** results — the property the engines' parity tests pin.
+//!
+//! # SIMD dispatch
+//!
+//! [`gemm_block_into`] and [`row_matmul_into`] dispatch once per call on
+//! [`crate::simd::active_tier`] to explicit AVX2/NEON micro-kernels that
+//! reproduce the scalar tiling and per-element accumulation order exactly
+//! (see [`crate::simd`] for why the tiers stay bit-identical);
+//! [`gather_rows_into`] additionally software-prefetches upcoming source
+//! rows, whose indices are visible ahead of time. `tests/simd_parity.rs`
+//! pins every tier against the scalar reference bit for bit.
 
+use crate::simd::{self, SimdTier};
 use crate::{Matrix, Result, TensorError};
 
 /// Columns per register tile of the GEMM micro-kernel. Eight `f32`
@@ -62,8 +73,30 @@ pub fn gemm_block_into(a_rows: &[f32], m: usize, b: &Matrix, out: &mut [f32]) ->
             right: (m, n),
         });
     }
+    match simd::active_tier() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the dispatcher only returns Avx2 when the CPU supports it,
+        // and the shape checks above establish the kernel's slice contract.
+        SimdTier::Avx2 => unsafe { simd::x86::gemm_block(a_rows, m, k, n, b.as_slice(), out) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: NEON is baseline on aarch64; shapes checked above.
+        SimdTier::Neon => unsafe { simd::neon::gemm_block(a_rows, m, k, n, b.as_slice(), out) },
+        _ => gemm_block_scalar(a_rows, m, k, n, b.as_slice(), out),
+    }
+    Ok(())
+}
+
+/// The scalar reference implementation of [`gemm_block_into`] — the
+/// accumulation-order contract every SIMD tier must reproduce bit for bit.
+fn gemm_block_scalar(
+    a_rows: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    b_data: &[f32],
+    out: &mut [f32],
+) {
     let a_data = a_rows;
-    let b_data = b.as_slice();
     let out_data = out;
 
     let mut i0 = 0;
@@ -98,14 +131,13 @@ pub fn gemm_block_into(a_rows: &[f32], m: usize, b: &Matrix, out: &mut [f32]) ->
         i0 += GEMM_MR;
     }
     for i in i0..m {
-        row_matmul_unchecked(
+        row_matmul_scalar(
             &a_data[i * k..(i + 1) * k],
             b_data,
             n,
             &mut out_data[i * n..(i + 1) * n],
         );
     }
-    Ok(())
 }
 
 /// Dense matrix multiplication `A (m x k) * B (k x n)` written into `out`,
@@ -127,9 +159,17 @@ pub fn gemm_into(a: &Matrix, b: &Matrix, out: &mut Matrix) -> Result<()> {
     gemm_block_into(a.as_slice(), a.rows(), b, out.as_mut_slice())
 }
 
-/// Scalar column tail of one GEMM output row: columns `j0..n`.
+/// Scalar column tail of one GEMM output row: columns `j0..n`. Shared by the
+/// scalar kernels and the SIMD tiers (whose sub-8-column tails stay scalar,
+/// exactly like the scalar kernel's own tail loop).
 #[inline]
-fn gemm_row_tail(a_row: &[f32], b_data: &[f32], n: usize, j0: usize, out_row: &mut [f32]) {
+pub(crate) fn gemm_row_tail(
+    a_row: &[f32],
+    b_data: &[f32],
+    n: usize,
+    j0: usize,
+    out_row: &mut [f32],
+) {
     for (j, out_cell) in out_row.iter_mut().enumerate().skip(j0).take(n - j0) {
         let mut acc = 0.0f32;
         for (p, &a_ip) in a_row.iter().enumerate() {
@@ -140,9 +180,9 @@ fn gemm_row_tail(a_row: &[f32], b_data: &[f32], n: usize, j0: usize, out_row: &m
 }
 
 /// One full output row, register-tiled over columns (the `m < 4` tail of
-/// [`gemm_into`] and the body of [`row_matmul_into`]).
+/// [`gemm_into`] and the scalar body of [`row_matmul_into`]).
 #[inline]
-fn row_matmul_unchecked(x: &[f32], w_data: &[f32], n: usize, out: &mut [f32]) {
+fn row_matmul_scalar(x: &[f32], w_data: &[f32], n: usize, out: &mut [f32]) {
     let mut j0 = 0;
     while j0 + GEMM_NR <= n {
         let mut acc = [0.0f32; GEMM_NR];
@@ -204,7 +244,16 @@ pub fn row_matmul_into(x: &[f32], w: &Matrix, out: &mut [f32]) -> Result<()> {
             right: (1, w.cols()),
         });
     }
-    row_matmul_unchecked(x, w.as_slice(), w.cols(), out);
+    let n = w.cols();
+    match simd::active_tier() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 is only dispatched when detected; shapes checked above.
+        SimdTier::Avx2 => unsafe { simd::x86::row_matmul(x, w.as_slice(), n, out) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: NEON is baseline on aarch64; shapes checked above.
+        SimdTier::Neon => unsafe { simd::neon::row_matmul(x, w.as_slice(), n, out) },
+        _ => row_matmul_scalar(x, w.as_slice(), n, out),
+    }
     Ok(())
 }
 
@@ -226,14 +275,37 @@ pub fn row_matmul(x: &[f32], w: &Matrix) -> Result<Vec<f32>> {
 /// evaluation uses to build contiguous GEMM operands from scattered vertex
 /// rows; steady-state calls perform no heap allocation.
 ///
+/// The index list makes upcoming source rows visible before they are copied,
+/// so on non-scalar tiers the loop issues a software prefetch
+/// [`simd::PREFETCH_AHEAD`] slots ahead — the scattered-row analogue of the
+/// CSR neighbour-stream prefetch in the aggregation phase. Prefetching never
+/// changes the gathered bytes.
+///
 /// # Errors
 ///
 /// Returns [`TensorError::IndexOutOfBounds`] if any index is out of range.
 pub fn gather_rows_into(m: &Matrix, indices: &[usize], out: &mut Matrix) -> Result<()> {
     out.resize_reuse(indices.len(), m.cols());
-    for (slot, &i) in indices.iter().enumerate() {
-        let row = m.try_row(i)?;
-        out.row_mut(slot).copy_from_slice(row);
+    if simd::prefetch_enabled() {
+        for &i in indices.iter().take(simd::PREFETCH_AHEAD) {
+            if let Ok(row) = m.try_row(i) {
+                simd::prefetch_slice(row);
+            }
+        }
+        for (slot, &i) in indices.iter().enumerate() {
+            if let Some(&ahead) = indices.get(slot + simd::PREFETCH_AHEAD) {
+                if let Ok(row) = m.try_row(ahead) {
+                    simd::prefetch_slice(row);
+                }
+            }
+            let row = m.try_row(i)?;
+            out.row_mut(slot).copy_from_slice(row);
+        }
+    } else {
+        for (slot, &i) in indices.iter().enumerate() {
+            let row = m.try_row(i)?;
+            out.row_mut(slot).copy_from_slice(row);
+        }
     }
     Ok(())
 }

@@ -1,0 +1,718 @@
+//! Runtime-dispatched SIMD micro-kernels and software-prefetch helpers.
+//!
+//! The scalar kernels in [`crate::ops`] and [`crate::vector`] rely on
+//! autovectorisation; this module adds explicit `std::arch` paths — AVX2 on
+//! `x86_64`, NEON on `aarch64` — selected **once** at runtime and cached in a
+//! [`OnceLock`]. Every SIMD kernel preserves the exact ascending-k,
+//! zero-initialised accumulation order of its scalar reference, so all tiers
+//! produce **bit-identical** results (pinned by `tests/simd_parity.rs`):
+//!
+//! * The GEMM/row-matmul kernels vectorise across *output columns* — the 8
+//!   accumulator lanes of a `4 x 8` register tile are 8 independent output
+//!   elements, each still summing `A[i][p] * B[p][j]` for `p` ascending.
+//! * Fused multiply-add (`fmadd`/`fmla`) is **deliberately not used** in any
+//!   accumulation: an FMA rounds once where `mul` + `add` round twice, which
+//!   would break bit-parity with the scalar kernels. The SIMD win here is
+//!   lane-parallelism and operand reuse, not contraction.
+//! * The element-wise kernels (`axpy`, `add_assign`, …) compute each lane
+//!   with the same two-rounding `mul`/`add` sequence as the scalar loop.
+//!
+//! # Tier selection
+//!
+//! [`active_tier`] resolves as: the `RIPPLE_SIMD` environment variable
+//! (`scalar|avx2|neon|auto`, default `auto`) filtered by what the hardware
+//! actually supports — forcing a tier the CPU (or target arch) lacks falls
+//! back to [`SimdTier::Scalar`] rather than faulting. `auto` picks
+//! [`detected_tier`], the best supported tier. Benches and parity tests can
+//! bypass the cache with [`force_tier`].
+//!
+//! # Software prefetch
+//!
+//! The sparse aggregation phase walks CSR adjacency slices whose upcoming
+//! neighbour ids are visible *before* their embedding rows are needed;
+//! [`prefetch_slice`] lets those loops issue `prefetcht0`/`prfm` hints a few
+//! neighbours ahead (see `Aggregator::raw_aggregate_into`). Prefetching never
+//! changes results; it is gated on [`prefetch_enabled`] (any non-scalar tier)
+//! so that `RIPPLE_SIMD=scalar` still measures the pure pre-SIMD baseline.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// A runtime-selectable kernel tier. All tiers are bit-identical; they differ
+/// only in throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimdTier {
+    /// Portable scalar kernels (the reference implementation).
+    Scalar,
+    /// 256-bit AVX2 kernels (`x86_64` with the `avx2` feature).
+    Avx2,
+    /// 128-bit NEON kernels (`aarch64`; baseline feature there).
+    Neon,
+}
+
+impl SimdTier {
+    /// The lowercase name used by `RIPPLE_SIMD` and the bench artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdTier::Scalar => "scalar",
+            SimdTier::Avx2 => "avx2",
+            SimdTier::Neon => "neon",
+        }
+    }
+
+    /// Whether this binary, on this CPU, can execute the tier's kernels.
+    pub fn is_supported(self) -> bool {
+        match self {
+            SimdTier::Scalar => true,
+            SimdTier::Avx2 => {
+                #[cfg(target_arch = "x86_64")]
+                {
+                    std::arch::is_x86_feature_detected!("avx2")
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                {
+                    false
+                }
+            }
+            SimdTier::Neon => cfg!(target_arch = "aarch64"),
+        }
+    }
+
+    /// Every tier, for exhaustive parity sweeps. Filter with
+    /// [`SimdTier::is_supported`] to get the force-selectable set on the
+    /// current machine.
+    pub fn all() -> [SimdTier; 3] {
+        [SimdTier::Scalar, SimdTier::Avx2, SimdTier::Neon]
+    }
+}
+
+impl std::fmt::Display for SimdTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The best tier the current hardware supports, ignoring `RIPPLE_SIMD` and
+/// any [`force_tier`] override.
+pub fn detected_tier() -> SimdTier {
+    if SimdTier::Avx2.is_supported() {
+        SimdTier::Avx2
+    } else if SimdTier::Neon.is_supported() {
+        SimdTier::Neon
+    } else {
+        SimdTier::Scalar
+    }
+}
+
+/// Number of logical cores the runtime reports — recorded next to the tier
+/// in every bench artifact so perf numbers are attributable to the
+/// environment that produced them.
+pub fn detected_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// `RIPPLE_SIMD` + hardware detection, resolved once per process.
+static RESOLVED: OnceLock<SimdTier> = OnceLock::new();
+
+/// Test/bench override slot: `TIER_UNSET` defers to [`RESOLVED`].
+static OVERRIDE: AtomicU8 = AtomicU8::new(TIER_UNSET);
+
+const TIER_UNSET: u8 = u8::MAX;
+
+fn tier_from_u8(v: u8) -> SimdTier {
+    match v {
+        1 => SimdTier::Avx2,
+        2 => SimdTier::Neon,
+        _ => SimdTier::Scalar,
+    }
+}
+
+fn tier_to_u8(t: SimdTier) -> u8 {
+    match t {
+        SimdTier::Scalar => 0,
+        SimdTier::Avx2 => 1,
+        SimdTier::Neon => 2,
+    }
+}
+
+fn resolve_from_env() -> SimdTier {
+    let requested = std::env::var("RIPPLE_SIMD").unwrap_or_default();
+    let tier = match requested.trim().to_ascii_lowercase().as_str() {
+        "scalar" => SimdTier::Scalar,
+        "avx2" => SimdTier::Avx2,
+        "neon" => SimdTier::Neon,
+        _ => detected_tier(), // "auto", unset, or unrecognised
+    };
+    if tier.is_supported() {
+        tier
+    } else {
+        SimdTier::Scalar
+    }
+}
+
+/// The tier every dispatching kernel in the workspace currently runs —
+/// `RIPPLE_SIMD` filtered by hardware support, resolved once and cached
+/// (unless overridden by [`force_tier`]).
+pub fn active_tier() -> SimdTier {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        TIER_UNSET => *RESOLVED.get_or_init(resolve_from_env),
+        v => tier_from_u8(v),
+    }
+}
+
+/// Overrides (or with `None`, restores) the dispatched tier at runtime —
+/// the hook `tests/simd_parity.rs` and the kernel benches use to compare
+/// tiers within one process. Forcing an unsupported tier resolves to
+/// [`SimdTier::Scalar`]. Because all tiers are bit-identical, flipping the
+/// override while other threads compute is benign: each kernel call reads
+/// the tier once at entry.
+pub fn force_tier(tier: Option<SimdTier>) {
+    let v = match tier {
+        Some(t) if t.is_supported() => tier_to_u8(t),
+        Some(_) => tier_to_u8(SimdTier::Scalar),
+        None => TIER_UNSET,
+    };
+    OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// Whether the hot loops should issue software prefetches: any non-scalar
+/// tier. Kept out of the scalar tier so `RIPPLE_SIMD=scalar` reproduces the
+/// pre-SIMD baseline exactly (prefetching never changes *results*, only
+/// timings).
+#[inline]
+pub fn prefetch_enabled() -> bool {
+    active_tier() != SimdTier::Scalar
+}
+
+/// The environment fingerprint every `BENCH_*.json` artifact embeds, as a
+/// brace-less JSON fragment: active tier, detected tier and core count.
+/// Performance numbers without these fields are not comparable across
+/// machines — a scalar 1-core runner and an AVX2 16-core box both upload
+/// artifacts, and consumers must be able to tell them apart.
+pub fn env_json_fields() -> String {
+    format!(
+        "\"simd_tier\": \"{}\", \"detected_tier\": \"{}\", \"cores\": {}",
+        active_tier(),
+        detected_tier(),
+        detected_cores()
+    )
+}
+
+/// Issues a read prefetch hint for the cache line holding `ptr`. Compiles to
+/// `prefetcht0` on `x86_64`, `prfm pldl1keep` on `aarch64`, and nothing
+/// elsewhere. Safe for any pointer value: prefetch instructions do not fault.
+#[inline(always)]
+pub fn prefetch_read<T>(ptr: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        _mm_prefetch::<_MM_HINT_T0>(ptr as *const i8);
+    }
+    #[cfg(target_arch = "aarch64")]
+    unsafe {
+        core::arch::asm!(
+            "prfm pldl1keep, [{0}]",
+            in(reg) ptr,
+            options(nostack, preserves_flags, readonly)
+        );
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        let _ = ptr;
+    }
+}
+
+/// Cache lines prefetched per row by [`prefetch_slice`]: enough to cover an
+/// embedding row up to 64 `f32` wide without flooding the load queue for the
+/// very wide dims.
+const PREFETCH_LINES: usize = 4;
+
+/// Prefetches the leading cache lines of a row (up to `PREFETCH_LINES`
+/// 64-byte lines). The sparse aggregation loops call this for the embedding
+/// rows of neighbours a few positions ahead in the CSR index stream.
+#[inline]
+pub fn prefetch_slice(s: &[f32]) {
+    let bytes = std::mem::size_of_val(s);
+    let ptr = s.as_ptr().cast::<u8>();
+    let mut off = 0usize;
+    while off < bytes && off < PREFETCH_LINES * 64 {
+        prefetch_read(ptr.wrapping_add(off));
+        off += 64;
+    }
+}
+
+/// How many neighbours ahead of the current accumulate the sparse loops
+/// prefetch. Far enough to cover DRAM latency at the accumulate cost of a
+/// typical embedding row, near enough that the lines are still resident when
+/// reached.
+pub const PREFETCH_AHEAD: usize = 4;
+
+// ---------------------------------------------------------------------------
+// AVX2 kernels (x86_64)
+// ---------------------------------------------------------------------------
+
+/// AVX2 implementations of the dispatching kernels. Each function mirrors the
+/// scalar kernel's loop structure exactly — same tiling, same ascending-k
+/// accumulation from zero, `mul` + `add` (never `fmadd`) — so the results are
+/// bit-identical lane for lane.
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod x86 {
+    use core::arch::x86_64::*;
+
+    /// Lanes per AVX2 register (`f32`).
+    const LANES: usize = 8;
+
+    /// # Safety
+    ///
+    /// Requires AVX2 (guaranteed by the dispatcher) and the same slice-shape
+    /// contract as the scalar kernel: `a.len() == m*k`, `b.len() == k*n`,
+    /// `out.len() == m*n`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn gemm_block(a: &[f32], m: usize, k: usize, n: usize, b: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(out.len(), m * n);
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let op = out.as_mut_ptr();
+        let mut i0 = 0;
+        while i0 + 4 <= m {
+            let mut j0 = 0;
+            while j0 + LANES <= n {
+                let mut acc0 = _mm256_setzero_ps();
+                let mut acc1 = _mm256_setzero_ps();
+                let mut acc2 = _mm256_setzero_ps();
+                let mut acc3 = _mm256_setzero_ps();
+                for p in 0..k {
+                    // One unaligned B-tile load reused across 4 rows of A —
+                    // the same operand reuse as the scalar register tile.
+                    let bt = _mm256_loadu_ps(bp.add(p * n + j0));
+                    let a0 = _mm256_set1_ps(*ap.add(i0 * k + p));
+                    let a1 = _mm256_set1_ps(*ap.add((i0 + 1) * k + p));
+                    let a2 = _mm256_set1_ps(*ap.add((i0 + 2) * k + p));
+                    let a3 = _mm256_set1_ps(*ap.add((i0 + 3) * k + p));
+                    acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(a0, bt));
+                    acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(a1, bt));
+                    acc2 = _mm256_add_ps(acc2, _mm256_mul_ps(a2, bt));
+                    acc3 = _mm256_add_ps(acc3, _mm256_mul_ps(a3, bt));
+                }
+                _mm256_storeu_ps(op.add(i0 * n + j0), acc0);
+                _mm256_storeu_ps(op.add((i0 + 1) * n + j0), acc1);
+                _mm256_storeu_ps(op.add((i0 + 2) * n + j0), acc2);
+                _mm256_storeu_ps(op.add((i0 + 3) * n + j0), acc3);
+                j0 += LANES;
+            }
+            if j0 < n {
+                for di in 0..4 {
+                    let i = i0 + di;
+                    crate::ops::gemm_row_tail(
+                        &a[i * k..(i + 1) * k],
+                        b,
+                        n,
+                        j0,
+                        &mut out[i * n..(i + 1) * n],
+                    );
+                }
+            }
+            i0 += 4;
+        }
+        for i in i0..m {
+            row_matmul(&a[i * k..(i + 1) * k], b, n, &mut out[i * n..(i + 1) * n]);
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2 and `w.len() == x.len() * n`, `out.len() == n`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn row_matmul(x: &[f32], w: &[f32], n: usize, out: &mut [f32]) {
+        debug_assert_eq!(w.len(), x.len() * n);
+        debug_assert_eq!(out.len(), n);
+        let wp = w.as_ptr();
+        let op = out.as_mut_ptr();
+        let mut j0 = 0;
+        while j0 + LANES <= n {
+            let mut acc = _mm256_setzero_ps();
+            for (p, &xp) in x.iter().enumerate() {
+                let wt = _mm256_loadu_ps(wp.add(p * n + j0));
+                acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(xp), wt));
+            }
+            _mm256_storeu_ps(op.add(j0), acc);
+            j0 += LANES;
+        }
+        crate::ops::gemm_row_tail(x, w, n, j0, out);
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2 and `dst.len() == src.len()`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn add_assign(dst: &mut [f32], src: &[f32]) {
+        let n = dst.len();
+        let dp = dst.as_mut_ptr();
+        let sp = src.as_ptr();
+        let mut i = 0;
+        while i + LANES <= n {
+            let d = _mm256_loadu_ps(dp.add(i));
+            let s = _mm256_loadu_ps(sp.add(i));
+            _mm256_storeu_ps(dp.add(i), _mm256_add_ps(d, s));
+            i += LANES;
+        }
+        while i < n {
+            *dp.add(i) += *sp.add(i);
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2 and `dst.len() == src.len()`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sub_assign(dst: &mut [f32], src: &[f32]) {
+        let n = dst.len();
+        let dp = dst.as_mut_ptr();
+        let sp = src.as_ptr();
+        let mut i = 0;
+        while i + LANES <= n {
+            let d = _mm256_loadu_ps(dp.add(i));
+            let s = _mm256_loadu_ps(sp.add(i));
+            _mm256_storeu_ps(dp.add(i), _mm256_sub_ps(d, s));
+            i += LANES;
+        }
+        while i < n {
+            *dp.add(i) -= *sp.add(i);
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2 and `dst.len() == src.len()`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn axpy(dst: &mut [f32], alpha: f32, src: &[f32]) {
+        let n = dst.len();
+        let dp = dst.as_mut_ptr();
+        let sp = src.as_ptr();
+        let va = _mm256_set1_ps(alpha);
+        let mut i = 0;
+        while i + LANES <= n {
+            let d = _mm256_loadu_ps(dp.add(i));
+            let s = _mm256_loadu_ps(sp.add(i));
+            // mul + add, not fmadd: each lane rounds exactly like the scalar
+            // `*d += alpha * *s`.
+            _mm256_storeu_ps(dp.add(i), _mm256_add_ps(d, _mm256_mul_ps(va, s)));
+            i += LANES;
+        }
+        while i < n {
+            *dp.add(i) += alpha * *sp.add(i);
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn scale(dst: &mut [f32], alpha: f32) {
+        let n = dst.len();
+        let dp = dst.as_mut_ptr();
+        let va = _mm256_set1_ps(alpha);
+        let mut i = 0;
+        while i + LANES <= n {
+            let d = _mm256_loadu_ps(dp.add(i));
+            _mm256_storeu_ps(dp.add(i), _mm256_mul_ps(d, va));
+            i += LANES;
+        }
+        while i < n {
+            *dp.add(i) *= alpha;
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2 and `dst.len() == src.len()`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn scaled_copy(dst: &mut [f32], src: &[f32], alpha: f32) {
+        let n = dst.len();
+        let dp = dst.as_mut_ptr();
+        let sp = src.as_ptr();
+        let va = _mm256_set1_ps(alpha);
+        let mut i = 0;
+        while i + LANES <= n {
+            let s = _mm256_loadu_ps(sp.add(i));
+            _mm256_storeu_ps(dp.add(i), _mm256_mul_ps(s, va));
+            i += LANES;
+        }
+        while i < n {
+            *dp.add(i) = *sp.add(i) * alpha;
+            i += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NEON kernels (aarch64)
+// ---------------------------------------------------------------------------
+
+/// NEON implementations of the dispatching kernels, mirroring the scalar
+/// loop structure (and the AVX2 module) exactly. An 8-wide column tile is two
+/// `float32x4_t` registers; `vfma`/`vmla` are avoided for the same
+/// bit-parity reason as `fmadd` on x86.
+#[cfg(target_arch = "aarch64")]
+pub(crate) mod neon {
+    use core::arch::aarch64::*;
+
+    /// Lanes per NEON register (`f32`).
+    const LANES: usize = 4;
+
+    /// # Safety
+    ///
+    /// NEON is a baseline `aarch64` feature; same shape contract as the
+    /// scalar kernel.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn gemm_block(a: &[f32], m: usize, k: usize, n: usize, b: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(out.len(), m * n);
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let op = out.as_mut_ptr();
+        let mut i0 = 0;
+        while i0 + 4 <= m {
+            let mut j0 = 0;
+            // The scalar kernel's 8-wide column tile = two 4-lane registers
+            // per output row.
+            while j0 + 2 * LANES <= n {
+                let mut acc0a = vdupq_n_f32(0.0);
+                let mut acc0b = vdupq_n_f32(0.0);
+                let mut acc1a = vdupq_n_f32(0.0);
+                let mut acc1b = vdupq_n_f32(0.0);
+                let mut acc2a = vdupq_n_f32(0.0);
+                let mut acc2b = vdupq_n_f32(0.0);
+                let mut acc3a = vdupq_n_f32(0.0);
+                let mut acc3b = vdupq_n_f32(0.0);
+                for p in 0..k {
+                    let bta = vld1q_f32(bp.add(p * n + j0));
+                    let btb = vld1q_f32(bp.add(p * n + j0 + LANES));
+                    let a0 = vdupq_n_f32(*ap.add(i0 * k + p));
+                    let a1 = vdupq_n_f32(*ap.add((i0 + 1) * k + p));
+                    let a2 = vdupq_n_f32(*ap.add((i0 + 2) * k + p));
+                    let a3 = vdupq_n_f32(*ap.add((i0 + 3) * k + p));
+                    acc0a = vaddq_f32(acc0a, vmulq_f32(a0, bta));
+                    acc0b = vaddq_f32(acc0b, vmulq_f32(a0, btb));
+                    acc1a = vaddq_f32(acc1a, vmulq_f32(a1, bta));
+                    acc1b = vaddq_f32(acc1b, vmulq_f32(a1, btb));
+                    acc2a = vaddq_f32(acc2a, vmulq_f32(a2, bta));
+                    acc2b = vaddq_f32(acc2b, vmulq_f32(a2, btb));
+                    acc3a = vaddq_f32(acc3a, vmulq_f32(a3, bta));
+                    acc3b = vaddq_f32(acc3b, vmulq_f32(a3, btb));
+                }
+                vst1q_f32(op.add(i0 * n + j0), acc0a);
+                vst1q_f32(op.add(i0 * n + j0 + LANES), acc0b);
+                vst1q_f32(op.add((i0 + 1) * n + j0), acc1a);
+                vst1q_f32(op.add((i0 + 1) * n + j0 + LANES), acc1b);
+                vst1q_f32(op.add((i0 + 2) * n + j0), acc2a);
+                vst1q_f32(op.add((i0 + 2) * n + j0 + LANES), acc2b);
+                vst1q_f32(op.add((i0 + 3) * n + j0), acc3a);
+                vst1q_f32(op.add((i0 + 3) * n + j0 + LANES), acc3b);
+                j0 += 2 * LANES;
+            }
+            if j0 < n {
+                for di in 0..4 {
+                    let i = i0 + di;
+                    crate::ops::gemm_row_tail(
+                        &a[i * k..(i + 1) * k],
+                        b,
+                        n,
+                        j0,
+                        &mut out[i * n..(i + 1) * n],
+                    );
+                }
+            }
+            i0 += 4;
+        }
+        for i in i0..m {
+            row_matmul(&a[i * k..(i + 1) * k], b, n, &mut out[i * n..(i + 1) * n]);
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Same shape contract as the scalar kernel.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn row_matmul(x: &[f32], w: &[f32], n: usize, out: &mut [f32]) {
+        debug_assert_eq!(w.len(), x.len() * n);
+        debug_assert_eq!(out.len(), n);
+        let wp = w.as_ptr();
+        let op = out.as_mut_ptr();
+        let mut j0 = 0;
+        while j0 + 2 * LANES <= n {
+            let mut acca = vdupq_n_f32(0.0);
+            let mut accb = vdupq_n_f32(0.0);
+            for (p, &xp) in x.iter().enumerate() {
+                let va = vdupq_n_f32(xp);
+                acca = vaddq_f32(acca, vmulq_f32(va, vld1q_f32(wp.add(p * n + j0))));
+                accb = vaddq_f32(accb, vmulq_f32(va, vld1q_f32(wp.add(p * n + j0 + LANES))));
+            }
+            vst1q_f32(op.add(j0), acca);
+            vst1q_f32(op.add(j0 + LANES), accb);
+            j0 += 2 * LANES;
+        }
+        crate::ops::gemm_row_tail(x, w, n, j0, out);
+    }
+
+    /// # Safety
+    ///
+    /// Requires `dst.len() == src.len()`.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn add_assign(dst: &mut [f32], src: &[f32]) {
+        let n = dst.len();
+        let dp = dst.as_mut_ptr();
+        let sp = src.as_ptr();
+        let mut i = 0;
+        while i + LANES <= n {
+            let d = vld1q_f32(dp.add(i));
+            let s = vld1q_f32(sp.add(i));
+            vst1q_f32(dp.add(i), vaddq_f32(d, s));
+            i += LANES;
+        }
+        while i < n {
+            *dp.add(i) += *sp.add(i);
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Requires `dst.len() == src.len()`.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn sub_assign(dst: &mut [f32], src: &[f32]) {
+        let n = dst.len();
+        let dp = dst.as_mut_ptr();
+        let sp = src.as_ptr();
+        let mut i = 0;
+        while i + LANES <= n {
+            let d = vld1q_f32(dp.add(i));
+            let s = vld1q_f32(sp.add(i));
+            vst1q_f32(dp.add(i), vsubq_f32(d, s));
+            i += LANES;
+        }
+        while i < n {
+            *dp.add(i) -= *sp.add(i);
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Requires `dst.len() == src.len()`.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn axpy(dst: &mut [f32], alpha: f32, src: &[f32]) {
+        let n = dst.len();
+        let dp = dst.as_mut_ptr();
+        let sp = src.as_ptr();
+        let va = vdupq_n_f32(alpha);
+        let mut i = 0;
+        while i + LANES <= n {
+            let d = vld1q_f32(dp.add(i));
+            let s = vld1q_f32(sp.add(i));
+            // mul + add, not vfma: matches the scalar two-rounding sequence.
+            vst1q_f32(dp.add(i), vaddq_f32(d, vmulq_f32(va, s)));
+            i += LANES;
+        }
+        while i < n {
+            *dp.add(i) += alpha * *sp.add(i);
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    ///
+    /// None beyond NEON availability.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn scale(dst: &mut [f32], alpha: f32) {
+        let n = dst.len();
+        let dp = dst.as_mut_ptr();
+        let va = vdupq_n_f32(alpha);
+        let mut i = 0;
+        while i + LANES <= n {
+            let d = vld1q_f32(dp.add(i));
+            vst1q_f32(dp.add(i), vmulq_f32(d, va));
+            i += LANES;
+        }
+        while i < n {
+            *dp.add(i) *= alpha;
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Requires `dst.len() == src.len()`.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn scaled_copy(dst: &mut [f32], src: &[f32], alpha: f32) {
+        let n = dst.len();
+        let dp = dst.as_mut_ptr();
+        let sp = src.as_ptr();
+        let va = vdupq_n_f32(alpha);
+        let mut i = 0;
+        while i + LANES <= n {
+            let s = vld1q_f32(sp.add(i));
+            vst1q_f32(dp.add(i), vmulq_f32(s, va));
+            i += LANES;
+        }
+        while i < n {
+            *dp.add(i) = *sp.add(i) * alpha;
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_always_supported_and_detection_is_sane() {
+        assert!(SimdTier::Scalar.is_supported());
+        assert!(detected_tier().is_supported());
+        assert!(detected_cores() >= 1);
+    }
+
+    #[test]
+    fn force_tier_round_trip() {
+        let baseline = active_tier();
+        force_tier(Some(SimdTier::Scalar));
+        assert_eq!(active_tier(), SimdTier::Scalar);
+        assert!(!prefetch_enabled());
+        // Forcing an unsupported tier must degrade to scalar, not fault.
+        for t in SimdTier::all() {
+            if !t.is_supported() {
+                force_tier(Some(t));
+                assert_eq!(active_tier(), SimdTier::Scalar);
+            }
+        }
+        force_tier(None);
+        assert_eq!(active_tier(), baseline);
+    }
+
+    #[test]
+    fn prefetch_never_faults() {
+        // Prefetch is a hint: empty, short and unaligned slices are all fine.
+        prefetch_slice(&[]);
+        let v = vec![1.0f32; 1000];
+        prefetch_slice(&v);
+        prefetch_slice(&v[3..17]);
+        prefetch_read(std::ptr::null::<f32>());
+    }
+
+    #[test]
+    fn tier_names_round_trip_with_display() {
+        for t in SimdTier::all() {
+            assert_eq!(t.to_string(), t.name());
+        }
+    }
+}

@@ -5,6 +5,17 @@
 //! embeddings), so these helpers are the hottest code in the workspace. They
 //! operate on plain slices to avoid committing callers to a particular
 //! container.
+//!
+//! The element-wise mutators ([`add_assign`], [`sub_assign`], [`axpy`],
+//! [`scale`], [`scaled_copy`]) dispatch on [`crate::simd::active_tier`] to
+//! explicit AVX2/NEON lane loops. Each lane performs the identical
+//! `mul`/`add` rounding sequence as the scalar element it replaces (no FMA
+//! contraction), so every tier is bit-identical — `tests/simd_parity.rs`
+//! pins it. The *reductions* ([`dot`], [`l2_norm`]) stay scalar on every
+//! tier: a lane-parallel reduction would reassociate the sum and break
+//! bit-parity with the serial accumulation order.
+
+use crate::simd::{self, SimdTier};
 
 /// Element-wise `dst += src`.
 ///
@@ -20,8 +31,18 @@
 /// ```
 pub fn add_assign(dst: &mut [f32], src: &[f32]) {
     assert_eq!(dst.len(), src.len(), "add_assign length mismatch");
-    for (d, s) in dst.iter_mut().zip(src.iter()) {
-        *d += *s;
+    match simd::active_tier() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 only dispatched when detected; lengths checked above.
+        SimdTier::Avx2 => unsafe { simd::x86::add_assign(dst, src) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: NEON is baseline on aarch64; lengths checked above.
+        SimdTier::Neon => unsafe { simd::neon::add_assign(dst, src) },
+        _ => {
+            for (d, s) in dst.iter_mut().zip(src.iter()) {
+                *d += *s;
+            }
+        }
     }
 }
 
@@ -32,8 +53,18 @@ pub fn add_assign(dst: &mut [f32], src: &[f32]) {
 /// Panics if the slices have different lengths.
 pub fn sub_assign(dst: &mut [f32], src: &[f32]) {
     assert_eq!(dst.len(), src.len(), "sub_assign length mismatch");
-    for (d, s) in dst.iter_mut().zip(src.iter()) {
-        *d -= *s;
+    match simd::active_tier() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 only dispatched when detected; lengths checked above.
+        SimdTier::Avx2 => unsafe { simd::x86::sub_assign(dst, src) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: NEON is baseline on aarch64; lengths checked above.
+        SimdTier::Neon => unsafe { simd::neon::sub_assign(dst, src) },
+        _ => {
+            for (d, s) in dst.iter_mut().zip(src.iter()) {
+                *d -= *s;
+            }
+        }
     }
 }
 
@@ -48,15 +79,59 @@ pub fn sub_assign(dst: &mut [f32], src: &[f32]) {
 /// Panics if the slices have different lengths.
 pub fn axpy(dst: &mut [f32], alpha: f32, src: &[f32]) {
     assert_eq!(dst.len(), src.len(), "axpy length mismatch");
-    for (d, s) in dst.iter_mut().zip(src.iter()) {
-        *d += alpha * *s;
+    match simd::active_tier() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 only dispatched when detected; lengths checked above.
+        SimdTier::Avx2 => unsafe { simd::x86::axpy(dst, alpha, src) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: NEON is baseline on aarch64; lengths checked above.
+        SimdTier::Neon => unsafe { simd::neon::axpy(dst, alpha, src) },
+        _ => {
+            for (d, s) in dst.iter_mut().zip(src.iter()) {
+                *d += alpha * *s;
+            }
+        }
     }
 }
 
 /// Element-wise `dst *= alpha`.
 pub fn scale(dst: &mut [f32], alpha: f32) {
-    for d in dst.iter_mut() {
-        *d *= alpha;
+    match simd::active_tier() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 only dispatched when detected.
+        SimdTier::Avx2 => unsafe { simd::x86::scale(dst, alpha) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: NEON is baseline on aarch64.
+        SimdTier::Neon => unsafe { simd::neon::scale(dst, alpha) },
+        _ => {
+            for d in dst.iter_mut() {
+                *d *= alpha;
+            }
+        }
+    }
+}
+
+/// Element-wise `dst = alpha * src` — the out-of-place form of [`scale`]
+/// the `Mean` aggregator's finalize loop uses to normalise a raw aggregate
+/// into its output row without a copy-then-scale round trip.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn scaled_copy(dst: &mut [f32], src: &[f32], alpha: f32) {
+    assert_eq!(dst.len(), src.len(), "scaled_copy length mismatch");
+    match simd::active_tier() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 only dispatched when detected; lengths checked above.
+        SimdTier::Avx2 => unsafe { simd::x86::scaled_copy(dst, src, alpha) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: NEON is baseline on aarch64; lengths checked above.
+        SimdTier::Neon => unsafe { simd::neon::scaled_copy(dst, src, alpha) },
+        _ => {
+            for (d, s) in dst.iter_mut().zip(src.iter()) {
+                *d = alpha * *s;
+            }
+        }
     }
 }
 
@@ -137,6 +212,23 @@ mod tests {
         let mut v = vec![1.0, -2.0, 3.0];
         scale(&mut v, 2.0);
         assert_eq!(v, vec![2.0, -4.0, 6.0]);
+    }
+
+    #[test]
+    fn scaled_copy_matches_copy_then_scale() {
+        let src = vec![1.0, -2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+        let mut out = vec![9.9f32; src.len()];
+        scaled_copy(&mut out, &src, 0.5);
+        let mut reference = src.clone();
+        scale(&mut reference, 0.5);
+        assert_eq!(out, reference);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn scaled_copy_length_mismatch_panics() {
+        let mut out = vec![0.0f32; 2];
+        scaled_copy(&mut out, &[1.0], 2.0);
     }
 
     #[test]

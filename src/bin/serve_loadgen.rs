@@ -311,6 +311,7 @@ fn shard_bench_json(single: &LoadgenReport, tiered: &LoadgenReport) -> String {
     }
     let mut out = String::from("{\n");
     out.push_str("  \"experiment\": \"serve_shard_bench\",\n");
+    out.push_str(&format!("  {},\n", ripple_tensor::simd::env_json_fields()));
     out.push_str(&format!("  \"readers\": {},\n", single.readers));
     topology(&mut out, "unsharded", single, true);
     topology(&mut out, "sharded", tiered, false);

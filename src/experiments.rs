@@ -445,6 +445,7 @@ pub fn print_scaling_rows(rows: &[ScalingRow]) {
 pub fn scaling_rows_to_json(scale: Scale, rows: &[ScalingRow]) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"experiment\": \"fig9_parallel_scaling\",\n");
+    out.push_str(&format!("  {},\n", ripple_tensor::simd::env_json_fields()));
     out.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
     out.push_str("  \"workload\": \"GC-S\",\n  \"rows\": [\n");
     for (i, row) in rows.iter().enumerate() {
@@ -461,11 +462,21 @@ pub fn scaling_rows_to_json(scale: Scale, rows: &[ScalingRow]) -> String {
     out
 }
 
-/// Prints a standard experiment header with the scale in use.
+/// Prints a standard experiment header with the scale in use, plus the
+/// SIMD tier and core count the run will actually execute with — the two
+/// facts without which its throughput numbers cannot be compared to anyone
+/// else's.
 pub fn print_header(title: &str, scale: Scale) {
+    use ripple_tensor::simd;
     println!("==============================================================================");
     println!("{title}");
     println!("scale: {scale:?} (set RIPPLE_SCALE=tiny|small|medium to change)");
+    println!(
+        "simd: {} (detected {}; set RIPPLE_SIMD=scalar|avx2|neon|auto to change), cores: {}",
+        simd::active_tier(),
+        simd::detected_tier(),
+        simd::detected_cores()
+    );
     println!("==============================================================================");
 }
 

@@ -1,0 +1,343 @@
+//! SIMD/scalar parity suite: every runtime-dispatched micro-kernel must be
+//! **bit-identical** — not merely within tolerance — to its scalar reference
+//! on every supported tier, for arbitrary shapes including the awkward tails
+//! (`m % 4 != 0`, `n % 8 != 0`, odd `k`) and 32-byte-misaligned row offsets.
+//! The SIMD paths vectorise across independent output elements and keep each
+//! element's ascending-`k` mul-then-add rounding sequence (no FMA), so the
+//! exactness contract that `tests/kernel_parity.rs` and
+//! `tests/exactness_property.rs` pin for the batched kernels extends
+//! unchanged to the vectorised ones; these tests pin that extension, plus a
+//! forced-scalar vs `auto` end-to-end engine run.
+//!
+//! The tier override (`simd::force_tier`) is process-global, so every test
+//! that flips it holds [`TIER_LOCK`] for its whole body.
+
+use proptest::prelude::*;
+use ripple::prelude::*;
+use ripple::tensor::{init, ops, simd, vector, Matrix, SimdTier};
+use std::sync::Mutex;
+
+/// Serialises tests that flip the process-global tier override.
+static TIER_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` under each tier in turn (forced scalar first, then each
+/// supported non-scalar tier), holding [`TIER_LOCK`] throughout, and always
+/// clears the override afterwards — even if `f` panics.
+fn with_tiers(mut f: impl FnMut(SimdTier)) {
+    let _guard = TIER_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    struct Reset;
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            simd::force_tier(None);
+        }
+    }
+    let _reset = Reset;
+    for tier in tiers_to_test() {
+        simd::force_tier(Some(tier));
+        f(tier);
+    }
+    simd::force_tier(None);
+}
+
+/// Scalar plus every tier the host supports. On a scalar-only host this is
+/// just `[Scalar]` — the parity tests then compare scalar with itself, which
+/// is honest (there is nothing else to compare) and keeps the suite green on
+/// any runner.
+fn tiers_to_test() -> Vec<SimdTier> {
+    SimdTier::all()
+        .iter()
+        .copied()
+        .filter(|t| t.is_supported())
+        .collect()
+}
+
+/// Asserts two equal-length f32 slices are identical bit for bit.
+fn assert_bits_eq(a: &[f32], b: &[f32], context: &str) {
+    assert_eq!(a.len(), b.len(), "{context}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{context}: element {i} differs ({x} vs {y})"
+        );
+    }
+}
+
+/// The CI canary: on an AVX2-capable x86-64 host with `RIPPLE_SIMD` unset
+/// (or set to `auto`), automatic resolution must pick the AVX2 tier — a CI
+/// runner with the hardware must never silently fall back to scalar.
+#[test]
+fn auto_resolution_uses_simd_on_capable_hosts() {
+    let env = std::env::var("RIPPLE_SIMD").unwrap_or_default();
+    if !(env.is_empty() || env.eq_ignore_ascii_case("auto")) {
+        return; // The operator forced a tier; resolution honours it.
+    }
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        assert_eq!(simd::detected_tier(), SimdTier::Avx2);
+        let _guard = TIER_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        simd::force_tier(None);
+        assert_eq!(simd::active_tier(), SimdTier::Avx2);
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        assert_eq!(simd::detected_tier(), SimdTier::Neon);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// GEMM parity at random shapes, deliberately spanning the register-tile
+    /// tails: `m % 4 != 0` (row tail), `n % 8 != 0` (column tail), odd `k`.
+    #[test]
+    fn gemm_is_bit_identical_across_tiers(
+        m in 1usize..18,
+        k in 1usize..17,
+        n in 1usize..21,
+        seed in 0u64..1000,
+    ) {
+        let a = init::uniform(m, k, -2.0, 2.0, seed);
+        let b = init::uniform(k, n, -2.0, 2.0, seed ^ 0x5ca1ab1e);
+        let mut reference = Matrix::default();
+        let mut out = Matrix::default();
+        with_tiers(|tier| {
+            if tier == SimdTier::Scalar {
+                ops::gemm_into(&a, &b, &mut reference).unwrap();
+            } else {
+                ops::gemm_into(&a, &b, &mut out).unwrap();
+                assert_bits_eq(
+                    reference.as_slice(),
+                    out.as_slice(),
+                    &format!("gemm {m}x{k}x{n} on {tier}"),
+                );
+            }
+        });
+    }
+
+    /// Single-row matmul parity (the per-vertex projection kernel),
+    /// including widths that leave 1..7-lane column tails.
+    #[test]
+    fn row_matmul_is_bit_identical_across_tiers(
+        k in 1usize..23,
+        n in 1usize..27,
+        seed in 0u64..1000,
+    ) {
+        let x = init::uniform(1, k, -2.0, 2.0, seed);
+        let w = init::uniform(k, n, -2.0, 2.0, seed ^ 0xfeed);
+        let mut reference = vec![0.0f32; n];
+        let mut out = vec![0.0f32; n];
+        with_tiers(|tier| {
+            if tier == SimdTier::Scalar {
+                ops::row_matmul_into(x.row(0), &w, &mut reference).unwrap();
+            } else {
+                ops::row_matmul_into(x.row(0), &w, &mut out).unwrap();
+                assert_bits_eq(&reference, &out, &format!("row_matmul {k}x{n} on {tier}"));
+            }
+        });
+    }
+
+    /// Element-wise vector kernel parity (`add_assign` / `sub_assign` /
+    /// `axpy` / `scale` / `scaled_copy`) at lengths spanning sub-lane,
+    /// one-lane and multi-lane-plus-tail sizes.
+    #[test]
+    fn vector_kernels_are_bit_identical_across_tiers(
+        len in 1usize..70,
+        alpha in -3.0f32..3.0,
+        seed in 0u64..1000,
+    ) {
+        let base = init::uniform(1, len, -5.0, 5.0, seed);
+        let src = init::uniform(1, len, -5.0, 5.0, seed ^ 0xd00d);
+        let mut reference: Vec<Vec<f32>> = Vec::new();
+        with_tiers(|tier| {
+            let mut add = base.row(0).to_vec();
+            vector::add_assign(&mut add, src.row(0));
+            let mut sub = base.row(0).to_vec();
+            vector::sub_assign(&mut sub, src.row(0));
+            let mut ax = base.row(0).to_vec();
+            vector::axpy(&mut ax, alpha, src.row(0));
+            let mut sc = base.row(0).to_vec();
+            vector::scale(&mut sc, alpha);
+            let mut cp = vec![0.0f32; len];
+            vector::scaled_copy(&mut cp, src.row(0), alpha);
+            let results = vec![add, sub, ax, sc, cp];
+            if tier == SimdTier::Scalar {
+                reference = results;
+            } else {
+                for (name, (got, want)) in ["add_assign", "sub_assign", "axpy", "scale", "scaled_copy"]
+                    .iter()
+                    .zip(results.iter().zip(reference.iter()))
+                {
+                    assert_bits_eq(want, got, &format!("{name} len {len} on {tier}"));
+                }
+            }
+        });
+    }
+
+    /// `gather_rows_into` parity: the software-prefetch path must gather
+    /// exactly the same rows as the plain path, including repeated and
+    /// boundary indices.
+    #[test]
+    fn gather_rows_is_bit_identical_across_tiers(
+        rows in 1usize..40,
+        cols in 1usize..24,
+        seed in 0u64..1000,
+        indices in prop::collection::vec(0usize..40, 1..50),
+    ) {
+        let table = init::uniform(rows, cols, -3.0, 3.0, seed);
+        let indices: Vec<usize> = indices.into_iter().map(|i| i % rows).collect();
+        let mut reference = Matrix::default();
+        let mut out = Matrix::default();
+        with_tiers(|tier| {
+            if tier == SimdTier::Scalar {
+                ops::gather_rows_into(&table, &indices, &mut reference).unwrap();
+            } else {
+                ops::gather_rows_into(&table, &indices, &mut out).unwrap();
+                assert_bits_eq(
+                    reference.as_slice(),
+                    out.as_slice(),
+                    &format!("gather {}x{cols} on {tier}", indices.len()),
+                );
+            }
+        });
+    }
+
+    /// Aggregator accumulate + finalize parity across tiers: the prefetching
+    /// SIMD `axpy` walk and the scalar walk must produce bit-identical raw
+    /// aggregates and finalised embeddings for every aggregator.
+    #[test]
+    fn aggregator_paths_are_bit_identical_across_tiers(
+        vertices in 8usize..60,
+        dim in 1usize..24,
+        degree in 1usize..24,
+        seed in 0u64..1000,
+    ) {
+        let table = init::uniform(vertices, dim, -2.0, 2.0, seed);
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let neighbors: Vec<VertexId> = (0..degree)
+            .map(|_| VertexId((next() % vertices as u64) as u32))
+            .collect();
+        let weights: Vec<f32> = (0..degree).map(|_| (next() % 7) as f32 * 0.25 + 0.25).collect();
+        for agg in Aggregator::all() {
+            let mut reference = vec![0.0f32; dim];
+            let mut fin_reference = vec![0.0f32; dim];
+            let mut out = vec![0.0f32; dim];
+            let mut fin = vec![0.0f32; dim];
+            with_tiers(|tier| {
+                if tier == SimdTier::Scalar {
+                    agg.raw_aggregate_into(&table, &neighbors, &weights, &mut reference);
+                    agg.finalize_into(&reference, degree, &mut fin_reference);
+                } else {
+                    agg.raw_aggregate_into(&table, &neighbors, &weights, &mut out);
+                    assert_bits_eq(&reference, &out, &format!("{agg} aggregate on {tier}"));
+                    agg.finalize_into(&out, degree, &mut fin);
+                    assert_bits_eq(&fin_reference, &fin, &format!("{agg} finalize on {tier}"));
+                }
+            });
+        }
+    }
+}
+
+/// Alignment audit regression: `gemm_block_into` takes raw `&[f32]` operand
+/// and output slices, so callers can (and do) hand it sub-slices at offsets
+/// that are 4-byte- but not 32-byte-aligned. The AVX2/NEON kernels use
+/// unaligned load/store intrinsics throughout; this pins that contract by
+/// running the same multiply from every misalignment 0..8 floats.
+#[test]
+fn gemm_block_handles_misaligned_row_slices() {
+    let (m, k, n) = (7, 11, 13);
+    let b = init::uniform(k, n, -2.0, 2.0, 21);
+    let a_vals = init::uniform(1, m * k, -2.0, 2.0, 22);
+    with_tiers(|tier| {
+        let mut reference: Option<Vec<f32>> = None;
+        for offset in 0..8usize {
+            // The same A values, staged `offset` floats into a backing
+            // buffer: 32-byte aligned only when offset % 8 == 0 (and the
+            // allocator plays along); the kernel must not care.
+            let mut a_backing = vec![0.0f32; 8 + m * k];
+            a_backing[offset..offset + m * k].copy_from_slice(a_vals.row(0));
+            let a_rows = &a_backing[offset..offset + m * k];
+            let mut out_backing = vec![0.0f32; 8 + m * n];
+            let out = &mut out_backing[offset..offset + m * n];
+            ops::gemm_block_into(a_rows, m, &b, out).unwrap();
+            match &reference {
+                None => reference = Some(out.to_vec()),
+                Some(want) => {
+                    assert_bits_eq(want, out, &format!("gemm_block offset {offset} on {tier}"))
+                }
+            }
+        }
+    });
+}
+
+/// The end-to-end pin: a full streaming run (bootstrap inference + update
+/// batches through the incremental engine) under `RIPPLE_SIMD=scalar`
+/// semantics is bit-identical to the same run under automatic tier
+/// resolution. SIMD is an implementation detail — no observable state, from
+/// embeddings to raw aggregates, may shift by a single bit.
+#[test]
+fn forced_scalar_and_auto_engine_runs_are_bit_identical() {
+    let _guard = TIER_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    struct Reset;
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            simd::force_tier(None);
+        }
+    }
+    let _reset = Reset;
+
+    let run = |tier: Option<SimdTier>| -> EmbeddingStore {
+        simd::force_tier(tier);
+        let spec = DatasetSpec::arxiv_like()
+            .scaled_to(300)
+            .with_avg_in_degree(5.0)
+            .with_feature_dim(12);
+        let full = spec.generate_weighted(11, true).unwrap();
+        let plan = build_stream(
+            &full,
+            &StreamConfig {
+                holdout_fraction: 0.1,
+                total_updates: 80,
+                seed: 5,
+            },
+        )
+        .unwrap();
+        let model = Workload::GcW
+            .build_model(12, 16, spec.num_classes, 2, 3)
+            .unwrap();
+        let store = full_inference(&plan.snapshot, &model).unwrap();
+        let batches = plan.batches(20);
+        let mut engine =
+            RippleEngine::new(plan.snapshot, model, store, RippleConfig::default()).unwrap();
+        for batch in batches {
+            engine.process_batch(&batch).unwrap();
+        }
+        engine.store().clone()
+    };
+
+    let scalar = run(Some(SimdTier::Scalar));
+    let auto = run(None);
+    simd::force_tier(None);
+
+    assert_eq!(scalar.num_layers(), auto.num_layers());
+    for l in 0..=scalar.num_layers() {
+        assert_bits_eq(
+            scalar.embeddings(l).as_slice(),
+            auto.embeddings(l).as_slice(),
+            &format!("engine embeddings hop {l}"),
+        );
+    }
+    for l in 1..=scalar.num_layers() {
+        assert_bits_eq(
+            scalar.aggregates(l).as_slice(),
+            auto.aggregates(l).as_slice(),
+            &format!("engine aggregates hop {l}"),
+        );
+    }
+}
